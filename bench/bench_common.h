@@ -1,0 +1,100 @@
+// Shared experiment harness for the paper-reproduction benchmarks: builds a
+// SimCluster per configuration, runs YCSB phases with per-phase metric
+// capture, and prints paper-style tables.
+//
+// Scale knobs (environment):
+//   TEBIS_RECORDS  dataset size in keys          (default 40000)
+//   TEBIS_OPS      operations per run phase      (default 20000)
+//   TEBIS_L0       L0 capacity in keys per region (default 512)
+//   TEBIS_BW_MB    device bandwidth model, MB/s; 0 disables (default 400)
+#ifndef TEBIS_BENCH_BENCH_COMMON_H_
+#define TEBIS_BENCH_BENCH_COMMON_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/common/histogram.h"
+#include "src/ycsb/sim_cluster.h"
+#include "src/ycsb/workload.h"
+
+namespace tebis {
+namespace bench {
+
+// Nominal core frequency used to convert CPU time to cycles (the paper's
+// Xeon E5-2630 runs at 2.4 GHz).
+inline constexpr double kCyclesPerNs = 2.4;
+
+struct BenchScale {
+  uint64_t records;
+  uint64_t ops;
+  uint64_t l0_entries;
+  uint64_t bandwidth_mb;
+  static BenchScale FromEnv();
+};
+
+struct ExperimentConfig {
+  std::string name;  // "Send-Index", "Build-Index", "Build-IndexRL", "No-Replication"
+  ReplicationMode mode = ReplicationMode::kSendIndex;
+  int replication_factor = 2;
+  // 0 = use the scale default; Build-IndexRL (§5.5) divides it.
+  uint64_t l0_entries_override = 0;
+};
+
+// The standard three (paper §4) plus the reduced-L0 baseline (§5.5).
+ExperimentConfig SendIndexConfig(int rf = 2);
+ExperimentConfig BuildIndexConfig(int rf = 2);
+ExperimentConfig NoReplicationConfig();
+ExperimentConfig BuildIndexReducedL0Config(int rf = 2);
+
+struct PhaseMetrics {
+  std::string workload;
+  double kops_per_sec = 0;
+  double kcycles_per_op = 0;
+  double io_amplification = 0;
+  double net_amplification = 0;
+  Histogram insert_latency;
+  Histogram read_latency;
+  Histogram update_latency;
+  ClusterCpuBreakdown cpu;   // inclusive timings during this phase
+  uint64_t cpu_ns = 0;       // total CPU during this phase
+  uint64_t ops = 0;
+  uint64_t l0_memory_bytes = 0;
+  uint64_t device_bytes = 0;
+  uint64_t network_bytes = 0;
+  uint64_t dataset_bytes = 0;
+};
+
+// Runs Load A and then each requested run phase on one cluster, resetting the
+// traffic counters between phases (the paper reports per-phase metrics).
+class Experiment {
+ public:
+  Experiment(const ExperimentConfig& config, const KvSizeMix& mix, const BenchScale& scale);
+
+  StatusOr<PhaseMetrics> RunLoad();
+  StatusOr<PhaseMetrics> RunPhase(const WorkloadSpec& spec);
+
+  SimCluster* cluster() { return cluster_.get(); }
+
+ private:
+  PhaseMetrics Capture(const YcsbResult& result, uint64_t cpu_ns,
+                       const ClusterCpuBreakdown& cpu_before);
+
+  ExperimentConfig config_;
+  BenchScale scale_;
+  std::unique_ptr<SimCluster> cluster_;
+  std::unique_ptr<YcsbWorkload> workload_;
+};
+
+// --- table printing ------------------------------------------------------------
+
+void PrintHeader(const std::string& title);
+// Prints one metric as a table: rows = row_names, columns = config names.
+void PrintMetricTable(const std::string& metric, const std::vector<std::string>& row_names,
+                      const std::vector<std::string>& config_names,
+                      const std::vector<std::vector<double>>& values, int precision = 1);
+
+}  // namespace bench
+}  // namespace tebis
+
+#endif  // TEBIS_BENCH_BENCH_COMMON_H_

@@ -1,0 +1,95 @@
+// Reproduces paper Figure 10: three-way replication (two backups per region)
+// across the six KV size distributions, for Build-IndexRL (reduced L0),
+// Build-Index, Send-Index, and No-Replication, Load A and Run A. Expected
+// shape: the Send-Index gains grow relative to two-way replication (more
+// backup compactions compete for the device), and Build-IndexRL is the worst
+// of the replicated configurations.
+#include <cstdio>
+#include <vector>
+
+#include "bench/bench_common.h"
+
+namespace tebis {
+namespace bench {
+namespace {
+
+int Main() {
+  const BenchScale scale = BenchScale::FromEnv();
+  const std::vector<KvSizeMix> mixes = {kMixS, kMixM, kMixL, kMixSD, kMixMD, kMixLD};
+  const std::vector<ExperimentConfig> configs = {
+      BuildIndexReducedL0Config(/*rf=*/3), BuildIndexConfig(/*rf=*/3), SendIndexConfig(/*rf=*/3),
+      NoReplicationConfig()};
+
+  PrintHeader("Figure 10: three-way replication across KV size distributions");
+
+  struct Cell {
+    PhaseMetrics load;
+    PhaseMetrics run;
+  };
+  std::vector<std::vector<Cell>> results(mixes.size(), std::vector<Cell>(configs.size()));
+  for (size_t m = 0; m < mixes.size(); ++m) {
+    for (size_t c = 0; c < configs.size(); ++c) {
+      Experiment experiment(configs[c], mixes[m], scale);
+      auto load = experiment.RunLoad();
+      if (!load.ok()) {
+        fprintf(stderr, "load failed: %s\n", load.status().ToString().c_str());
+        return 1;
+      }
+      auto run = experiment.RunPhase(kRunA);
+      if (!run.ok()) {
+        fprintf(stderr, "run failed: %s\n", run.status().ToString().c_str());
+        return 1;
+      }
+      results[m][c] = Cell{*load, *run};
+      fprintf(stderr, "  [%s %s] load %.0f kops/s\n", mixes[m].name, configs[c].name.c_str(),
+              load->kops_per_sec);
+    }
+  }
+
+  std::vector<std::string> rows;
+  std::vector<std::string> cols;
+  for (const auto& mix : mixes) {
+    rows.push_back(mix.name);
+  }
+  for (const auto& config : configs) {
+    cols.push_back(config.name);
+  }
+  auto table = [&](const char* title, auto getter, int precision) {
+    std::vector<std::vector<double>> values;
+    for (size_t m = 0; m < mixes.size(); ++m) {
+      std::vector<double> row;
+      for (size_t c = 0; c < configs.size(); ++c) {
+        row.push_back(getter(results[m][c]));
+      }
+      values.push_back(row);
+    }
+    PrintMetricTable(title, rows, cols, values, precision);
+  };
+
+  printf("\n########## (a) Load A ##########\n");
+  table("Throughput (Kops/s)", [](const Cell& c) { return c.load.kops_per_sec; }, 1);
+  table("Efficiency (Kcycles/op)", [](const Cell& c) { return c.load.kcycles_per_op; }, 1);
+  table("I/O Amplification", [](const Cell& c) { return c.load.io_amplification; }, 2);
+  table("Network Amplification", [](const Cell& c) { return c.load.net_amplification; }, 2);
+
+  printf("\n########## (b) Run A ##########\n");
+  table("Throughput (Kops/s)", [](const Cell& c) { return c.run.kops_per_sec; }, 1);
+  table("Efficiency (Kcycles/op)", [](const Cell& c) { return c.run.kcycles_per_op; }, 1);
+  table("I/O Amplification", [](const Cell& c) { return c.run.io_amplification; }, 2);
+  table("Network Amplification", [](const Cell& c) { return c.run.net_amplification; }, 2);
+
+  printf("\n-- Send-Index vs Build-Index (3-way, Load A) --\n");
+  for (size_t m = 0; m < mixes.size(); ++m) {
+    printf("  %-4s throughput %.2fx efficiency %.2fx io-amp %.2fx\n", mixes[m].name,
+           results[m][2].load.kops_per_sec / results[m][1].load.kops_per_sec,
+           results[m][1].load.kcycles_per_op / results[m][2].load.kcycles_per_op,
+           results[m][1].load.io_amplification / results[m][2].load.io_amplification);
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace tebis
+
+int main() { return tebis::bench::Main(); }

@@ -1,0 +1,74 @@
+// Reproduces paper Figure 6: throughput and efficiency for YCSB Load A and
+// Run A–Run D with the SD KV size distribution, two-way replication.
+// Expected shape: Send-Index beats Build-Index on the write-heavy phases
+// (Load A, Run A); the read-dominated phases (Run B–D) are nearly identical
+// across configurations.
+#include <cstdio>
+#include <vector>
+
+#include "bench/bench_common.h"
+
+namespace tebis {
+namespace bench {
+namespace {
+
+int Main() {
+  const BenchScale scale = BenchScale::FromEnv();
+  const std::vector<ExperimentConfig> configs = {BuildIndexConfig(), SendIndexConfig(),
+                                                 NoReplicationConfig()};
+  const std::vector<WorkloadSpec> phases = {kRunA, kRunB, kRunC, kRunD};
+
+  PrintHeader("Figure 6: Load A, Run A-D with the SD distribution (2-way)");
+
+  std::vector<std::vector<PhaseMetrics>> results(configs.size());
+  for (size_t c = 0; c < configs.size(); ++c) {
+    Experiment experiment(configs[c], kMixSD, scale);
+    auto load = experiment.RunLoad();
+    if (!load.ok()) {
+      fprintf(stderr, "load failed: %s\n", load.status().ToString().c_str());
+      return 1;
+    }
+    results[c].push_back(*load);
+    for (const auto& phase : phases) {
+      auto run = experiment.RunPhase(phase);
+      if (!run.ok()) {
+        fprintf(stderr, "%s failed: %s\n", phase.name, run.status().ToString().c_str());
+        return 1;
+      }
+      results[c].push_back(*run);
+      fprintf(stderr, "  [%s %s] %.0f kops/s\n", configs[c].name.c_str(), phase.name,
+              run->kops_per_sec);
+    }
+  }
+
+  std::vector<std::string> rows = {"Load A", "Run A", "Run B", "Run C", "Run D"};
+  std::vector<std::string> cols;
+  for (const auto& config : configs) {
+    cols.push_back(config.name);
+  }
+  std::vector<std::vector<double>> throughput, efficiency;
+  for (size_t r = 0; r < rows.size(); ++r) {
+    std::vector<double> t, e;
+    for (size_t c = 0; c < configs.size(); ++c) {
+      t.push_back(results[c][r].kops_per_sec);
+      e.push_back(results[c][r].kcycles_per_op);
+    }
+    throughput.push_back(t);
+    efficiency.push_back(e);
+  }
+  PrintMetricTable("Throughput (Kops/s)", rows, cols, throughput, 1);
+  PrintMetricTable("Efficiency (Kcycles/op)", rows, cols, efficiency, 1);
+
+  printf("\nShape check: Send-Index/Build-Index throughput: Load A %.2fx, Run A %.2fx,\n"
+         "read-dominated Run B %.2fx / Run C %.2fx / Run D %.2fx (expected ~1.0).\n",
+         throughput[0][1] / throughput[0][0], throughput[1][1] / throughput[1][0],
+         throughput[2][1] / throughput[2][0], throughput[3][1] / throughput[3][0],
+         throughput[4][1] / throughput[4][0]);
+  return 0;
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace tebis
+
+int main() { return tebis::bench::Main(); }

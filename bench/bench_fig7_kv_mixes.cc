@@ -1,0 +1,101 @@
+// Reproduces paper Figure 7: throughput, efficiency, I/O amplification, and
+// network amplification for Load A and Run A across the six KV size
+// distributions (S/M/L/SD/MD/LD), two-way replication, for Build-Index,
+// Send-Index, and No-Replication.
+#include <cstdio>
+#include <vector>
+
+#include "bench/bench_common.h"
+
+namespace tebis {
+namespace bench {
+namespace {
+
+int Main() {
+  const BenchScale scale = BenchScale::FromEnv();
+  const std::vector<KvSizeMix> mixes = {kMixS, kMixM, kMixL, kMixSD, kMixMD, kMixLD};
+  const std::vector<ExperimentConfig> configs = {BuildIndexConfig(), SendIndexConfig(),
+                                                 NoReplicationConfig()};
+
+  PrintHeader("Figure 7: Load A and Run A across KV size distributions (2-way)");
+  printf("records=%llu ops=%llu l0=%llu\n", static_cast<unsigned long long>(scale.records),
+         static_cast<unsigned long long>(scale.ops),
+         static_cast<unsigned long long>(scale.l0_entries));
+
+  struct Cell {
+    PhaseMetrics load;
+    PhaseMetrics run;
+  };
+  std::vector<std::vector<Cell>> results(mixes.size(), std::vector<Cell>(configs.size()));
+
+  for (size_t m = 0; m < mixes.size(); ++m) {
+    for (size_t c = 0; c < configs.size(); ++c) {
+      Experiment experiment(configs[c], mixes[m], scale);
+      auto load = experiment.RunLoad();
+      if (!load.ok()) {
+        fprintf(stderr, "load failed: %s\n", load.status().ToString().c_str());
+        return 1;
+      }
+      auto run = experiment.RunPhase(kRunA);
+      if (!run.ok()) {
+        fprintf(stderr, "run failed: %s\n", run.status().ToString().c_str());
+        return 1;
+      }
+      results[m][c] = Cell{*load, *run};
+      fprintf(stderr, "  [%s %s] load %.0f kops/s, run %.0f kops/s\n", mixes[m].name,
+              configs[c].name.c_str(), load->kops_per_sec, run->kops_per_sec);
+    }
+  }
+
+  std::vector<std::string> rows;
+  std::vector<std::string> cols;
+  for (const auto& mix : mixes) {
+    rows.push_back(mix.name);
+  }
+  for (const auto& config : configs) {
+    cols.push_back(config.name);
+  }
+
+  auto table = [&](const char* title, auto getter, int precision) {
+    std::vector<std::vector<double>> values;
+    for (size_t m = 0; m < mixes.size(); ++m) {
+      std::vector<double> row;
+      for (size_t c = 0; c < configs.size(); ++c) {
+        row.push_back(getter(results[m][c]));
+      }
+      values.push_back(row);
+    }
+    PrintMetricTable(title, rows, cols, values, precision);
+  };
+
+  printf("\n########## (a) Load A ##########\n");
+  table("Throughput (Kops/s)", [](const Cell& c) { return c.load.kops_per_sec; }, 1);
+  table("Efficiency (Kcycles/op)", [](const Cell& c) { return c.load.kcycles_per_op; }, 1);
+  table("I/O Amplification", [](const Cell& c) { return c.load.io_amplification; }, 2);
+  table("Network Amplification", [](const Cell& c) { return c.load.net_amplification; }, 2);
+
+  printf("\n########## (b) Run A ##########\n");
+  table("Throughput (Kops/s)", [](const Cell& c) { return c.run.kops_per_sec; }, 1);
+  table("Efficiency (Kcycles/op)", [](const Cell& c) { return c.run.kcycles_per_op; }, 1);
+  table("I/O Amplification", [](const Cell& c) { return c.run.io_amplification; }, 2);
+  table("Network Amplification", [](const Cell& c) { return c.run.net_amplification; }, 2);
+
+  // Headline ratios (paper: Send-Index vs Build-Index).
+  printf("\n-- Send-Index vs Build-Index ratios (Load A) --\n");
+  printf("%-6s %12s %12s %12s\n", "mix", "throughput", "efficiency", "io-amp");
+  for (size_t m = 0; m < mixes.size(); ++m) {
+    const Cell& build = results[m][0];
+    const Cell& send = results[m][1];
+    printf("%-6s %11.2fx %11.2fx %11.2fx\n", mixes[m].name,
+           send.load.kops_per_sec / build.load.kops_per_sec,
+           build.load.kcycles_per_op / send.load.kcycles_per_op,
+           build.load.io_amplification / send.load.io_amplification);
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace tebis
+
+int main() { return tebis::bench::Main(); }

@@ -1,0 +1,79 @@
+// Reproduces paper Figure 8: tail latency (50/70/90/99/99.9/99.99 percentiles)
+// for Load A inserts and Run A reads/updates with the SD distribution.
+// Expected shape: Send-Index has lower tails than Build-Index (its backups
+// steal less device/CPU from the primaries, so L0 stalls are shorter);
+// No-Replication is lowest.
+#include <cstdio>
+#include <vector>
+
+#include "bench/bench_common.h"
+
+namespace tebis {
+namespace bench {
+namespace {
+
+const double kPercentiles[] = {50, 70, 90, 99, 99.9, 99.99};
+
+void PrintLatencyTable(const char* title, const std::vector<std::string>& config_names,
+                       const std::vector<Histogram>& histograms) {
+  printf("\n-- %s latency (us) --\n", title);
+  printf("%-10s", "pct");
+  for (const auto& name : config_names) {
+    printf("%16s", name.c_str());
+  }
+  printf("\n");
+  for (double p : kPercentiles) {
+    printf("%-10.2f", p);
+    for (const auto& histogram : histograms) {
+      printf("%16.1f", static_cast<double>(histogram.Percentile(p)) / 1000.0);
+    }
+    printf("\n");
+  }
+}
+
+int Main() {
+  const BenchScale scale = BenchScale::FromEnv();
+  const std::vector<ExperimentConfig> configs = {SendIndexConfig(), BuildIndexConfig(),
+                                                 NoReplicationConfig()};
+
+  PrintHeader("Figure 8: tail latency, Load A insert + Run A read/update (SD)");
+
+  std::vector<std::string> names;
+  std::vector<Histogram> insert_hist, read_hist, update_hist;
+  for (const auto& config : configs) {
+    Experiment experiment(config, kMixSD, scale);
+    auto load = experiment.RunLoad();
+    if (!load.ok()) {
+      fprintf(stderr, "load failed: %s\n", load.status().ToString().c_str());
+      return 1;
+    }
+    auto run = experiment.RunPhase(kRunA);
+    if (!run.ok()) {
+      fprintf(stderr, "run failed: %s\n", run.status().ToString().c_str());
+      return 1;
+    }
+    names.push_back(config.name);
+    insert_hist.push_back(load->insert_latency);
+    read_hist.push_back(run->read_latency);
+    update_hist.push_back(run->update_latency);
+    fprintf(stderr, "  [%s] insert p99 %.0f us\n", config.name.c_str(),
+            static_cast<double>(load->insert_latency.Percentile(99)) / 1000.0);
+  }
+
+  PrintLatencyTable("Load A insert", names, insert_hist);
+  PrintLatencyTable("Run A read", names, read_hist);
+  PrintLatencyTable("Run A update", names, update_hist);
+
+  printf("\nShape check: Build-Index/Send-Index p99 — insert %.2fx, update %.2fx\n",
+         static_cast<double>(insert_hist[1].Percentile(99)) /
+             static_cast<double>(insert_hist[0].Percentile(99)),
+         static_cast<double>(update_hist[1].Percentile(99)) /
+             static_cast<double>(update_hist[0].Percentile(99)));
+  return 0;
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace tebis
+
+int main() { return tebis::bench::Main(); }

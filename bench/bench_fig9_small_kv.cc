@@ -1,0 +1,94 @@
+// Reproduces paper Figure 9: the Send-Index advantage as the percentage of
+// small KVs grows (40/60/80/100%, remainder split evenly between medium and
+// large), Load A and Run A, two-way replication. Expected shape: the gains in
+// throughput, efficiency, and I/O amplification all increase with the small
+// percentage (KV separation helps least when metadata ~ KV size, so
+// compaction pressure is highest and Send-Index saves the most).
+#include <cstdio>
+#include <vector>
+
+#include "bench/bench_common.h"
+
+namespace tebis {
+namespace bench {
+namespace {
+
+int Main() {
+  const BenchScale scale = BenchScale::FromEnv();
+  const std::vector<int> small_pcts = {40, 60, 80, 100};
+  const std::vector<ExperimentConfig> configs = {BuildIndexConfig(), SendIndexConfig(),
+                                                 NoReplicationConfig()};
+
+  PrintHeader("Figure 9: small-KV percentage sweep (2-way)");
+
+  struct Cell {
+    PhaseMetrics load;
+    PhaseMetrics run;
+  };
+  std::vector<std::vector<Cell>> results(small_pcts.size(),
+                                         std::vector<Cell>(configs.size()));
+  for (size_t p = 0; p < small_pcts.size(); ++p) {
+    const KvSizeMix mix = SmallSweepMix(small_pcts[p]);
+    for (size_t c = 0; c < configs.size(); ++c) {
+      Experiment experiment(configs[c], mix, scale);
+      auto load = experiment.RunLoad();
+      if (!load.ok()) {
+        fprintf(stderr, "load failed: %s\n", load.status().ToString().c_str());
+        return 1;
+      }
+      auto run = experiment.RunPhase(kRunA);
+      if (!run.ok()) {
+        fprintf(stderr, "run failed: %s\n", run.status().ToString().c_str());
+        return 1;
+      }
+      results[p][c] = Cell{*load, *run};
+      fprintf(stderr, "  [%d%% %s] load %.0f kops/s\n", small_pcts[p], configs[c].name.c_str(),
+              load->kops_per_sec);
+    }
+  }
+
+  std::vector<std::string> rows;
+  std::vector<std::string> cols;
+  for (int pct : small_pcts) {
+    rows.push_back(std::to_string(pct) + "%");
+  }
+  for (const auto& config : configs) {
+    cols.push_back(config.name);
+  }
+  auto table = [&](const char* title, auto getter, int precision) {
+    std::vector<std::vector<double>> values;
+    for (size_t p = 0; p < small_pcts.size(); ++p) {
+      std::vector<double> row;
+      for (size_t c = 0; c < configs.size(); ++c) {
+        row.push_back(getter(results[p][c]));
+      }
+      values.push_back(row);
+    }
+    PrintMetricTable(title, rows, cols, values, precision);
+  };
+
+  printf("\n########## (a) Load A ##########\n");
+  table("Throughput (Kops/s)", [](const Cell& c) { return c.load.kops_per_sec; }, 1);
+  table("Efficiency (Kcycles/op)", [](const Cell& c) { return c.load.kcycles_per_op; }, 1);
+  table("I/O Amplification", [](const Cell& c) { return c.load.io_amplification; }, 2);
+  table("Network Amplification", [](const Cell& c) { return c.load.net_amplification; }, 2);
+
+  printf("\n########## (b) Run A ##########\n");
+  table("Throughput (Kops/s)", [](const Cell& c) { return c.run.kops_per_sec; }, 1);
+  table("Efficiency (Kcycles/op)", [](const Cell& c) { return c.run.kcycles_per_op; }, 1);
+  table("I/O Amplification", [](const Cell& c) { return c.run.io_amplification; }, 2);
+  table("Network Amplification", [](const Cell& c) { return c.run.net_amplification; }, 2);
+
+  printf("\n-- Send/Build throughput gain by small%% (Load A) --\n");
+  for (size_t p = 0; p < small_pcts.size(); ++p) {
+    printf("  %3d%%: %.2fx\n", small_pcts[p],
+           results[p][1].load.kops_per_sec / results[p][0].load.kops_per_sec);
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace tebis
+
+int main() { return tebis::bench::Main(); }

@@ -1,0 +1,65 @@
+// Reproduces paper §5.5 (L0 memory usage): with the same *total* L0 budget,
+// Build-IndexRL (each replica gets L0/RF) loses badly to Send-Index (single
+// full-size L0 on the primary, none on the backups). Also reports the L0
+// memory footprint itself, the paper's 2x/3x replication memory tax.
+#include <cstdio>
+#include <vector>
+
+#include "bench/bench_common.h"
+
+namespace tebis {
+namespace bench {
+namespace {
+
+int Main() {
+  const BenchScale scale = BenchScale::FromEnv();
+  const std::vector<ExperimentConfig> configs = {
+      BuildIndexReducedL0Config(), BuildIndexConfig(), SendIndexConfig()};
+
+  PrintHeader("Section 5.5: L0 memory budget (2-way, SD)");
+
+  std::vector<PhaseMetrics> loads, runs;
+  std::vector<uint64_t> budgets;
+  for (const auto& config : configs) {
+    Experiment experiment(config, kMixSD, scale);
+    budgets.push_back(experiment.cluster()->TotalL0BudgetKeys());
+    auto load = experiment.RunLoad();
+    if (!load.ok()) {
+      fprintf(stderr, "load failed: %s\n", load.status().ToString().c_str());
+      return 1;
+    }
+    auto run = experiment.RunPhase(kRunA);
+    if (!run.ok()) {
+      fprintf(stderr, "run failed: %s\n", run.status().ToString().c_str());
+      return 1;
+    }
+    loads.push_back(*load);
+    runs.push_back(*run);
+    fprintf(stderr, "  [%s] load %.0f kops/s, L0 mem %.1f KB\n", config.name.c_str(),
+            load->kops_per_sec, static_cast<double>(load->l0_memory_bytes) / 1024.0);
+  }
+
+  printf("\n%-16s %14s %14s %12s %12s %16s\n", "config", "load Kops/s", "run Kops/s",
+         "Kcycles/op", "io-amp", "L0 budget (keys)");
+  for (size_t c = 0; c < configs.size(); ++c) {
+    printf("%-16s %14.1f %14.1f %12.1f %12.2f %16llu\n", configs[c].name.c_str(),
+           loads[c].kops_per_sec, runs[c].kops_per_sec, loads[c].kcycles_per_op,
+           loads[c].io_amplification, static_cast<unsigned long long>(budgets[c]));
+  }
+  printf("\nBuild-IndexRL and Send-Index have the same total L0 budget; Build-Index\n"
+         "needs %.1fx more memory for the same per-replica L0 (the paper's 2x/3x tax).\n",
+         static_cast<double>(budgets[1]) / static_cast<double>(budgets[2]));
+
+  printf("\nShape check (Send-Index vs Build-IndexRL): throughput %.2fx, efficiency %.2fx,\n"
+         "io-amp %.2fx (paper: 1.2-1.32x, 1.17-1.53x, 1.95-5.48x)\n",
+         loads[2].kops_per_sec / loads[0].kops_per_sec,
+         loads[0].kcycles_per_op / loads[2].kcycles_per_op,
+         loads[0].io_amplification / loads[2].io_amplification);
+  return 0;
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace tebis
+
+int main() { return tebis::bench::Main(); }

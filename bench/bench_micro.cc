@@ -1,0 +1,198 @@
+// Micro-benchmarks (google-benchmark) for the mechanisms the design builds
+// on, including the headline ablation: rewriting a shipped index segment
+// (Send-Index backup work) versus re-building the same index from sorted
+// entries (what a Build-Index backup's compaction does, minus its read I/O).
+#include <benchmark/benchmark.h>
+
+#include <memory>
+#include <vector>
+
+#include "src/common/crc32.h"
+#include "src/common/random.h"
+#include "src/lsm/btree_builder.h"
+#include "src/lsm/btree_node.h"
+#include "src/lsm/btree_reader.h"
+#include "src/lsm/memtable.h"
+#include "src/net/message.h"
+#include "src/replication/segment_map.h"
+#include "src/storage/block_device.h"
+
+namespace tebis {
+namespace {
+
+std::unique_ptr<BlockDevice> MakeDevice() {
+  BlockDeviceOptions opts;
+  opts.segment_size = 1 << 18;
+  opts.max_segments = 1 << 16;
+  auto dev = BlockDevice::Create(opts);
+  return std::move(*dev);
+}
+
+std::string Key(uint64_t i) {
+  char buf[32];
+  snprintf(buf, sizeof(buf), "user%010llu", static_cast<unsigned long long>(i));
+  return buf;
+}
+
+// --- the ablation: rewrite vs rebuild -------------------------------------------
+
+// Builds one leaf segment image with `entries` leaf entries.
+std::string BuildLeafSegment(size_t entries) {
+  std::string segment;
+  std::vector<char> node(kDefaultNodeSize);
+  size_t added = 0;
+  uint64_t key = 0;
+  while (added < entries) {
+    LeafNodeBuilder builder(node.data(), node.size());
+    while (!builder.Full() && added < entries) {
+      builder.Add(Key(key), (key << 18) | 128);
+      key += 2;
+      added++;
+    }
+    builder.Finish();
+    segment.append(node.data(), node.size());
+  }
+  return segment;
+}
+
+void BM_IndexSegmentRewrite(benchmark::State& state) {
+  const size_t entries = static_cast<size_t>(state.range(0));
+  const std::string segment = BuildLeafSegment(entries);
+  SegmentMap log_map;
+  for (uint64_t seg = 0; seg < 2 * entries + 2; ++seg) {
+    (void)log_map.Insert(seg, seg + 1000000);
+  }
+  SegmentGeometry geometry(1 << 18);
+  std::string scratch;
+  for (auto _ : state) {
+    scratch = segment;
+    OffsetTranslator translate = [&](uint64_t off) -> StatusOr<uint64_t> {
+      auto local = log_map.Lookup(geometry.SegmentOf(off));
+      return geometry.Translate(off, *local);
+    };
+    for (size_t off = 0; off < scratch.size(); off += kDefaultNodeSize) {
+      benchmark::DoNotOptimize(
+          RewriteLeafOffsets(scratch.data() + off, kDefaultNodeSize, translate));
+    }
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations() * entries));
+}
+BENCHMARK(BM_IndexSegmentRewrite)->Arg(1000)->Arg(10000);
+
+void BM_IndexSegmentRebuild(benchmark::State& state) {
+  // The Build-Index equivalent: insert the same entries into a fresh leaf
+  // image (in-memory sort order already given — this is the *lower bound* of
+  // the backup's compaction CPU, ignoring its read I/O and merge).
+  const size_t entries = static_cast<size_t>(state.range(0));
+  std::vector<std::string> keys;
+  std::vector<uint64_t> offsets;
+  for (size_t i = 0; i < entries; ++i) {
+    keys.push_back(Key(i * 2));
+    offsets.push_back((static_cast<uint64_t>(i) << 18) | 128);
+  }
+  std::vector<char> node(kDefaultNodeSize);
+  for (auto _ : state) {
+    size_t added = 0;
+    while (added < entries) {
+      LeafNodeBuilder builder(node.data(), node.size());
+      while (!builder.Full() && added < entries) {
+        builder.Add(keys[added], offsets[added]);
+        added++;
+      }
+      builder.Finish();
+      benchmark::DoNotOptimize(node.data());
+    }
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations() * entries));
+}
+BENCHMARK(BM_IndexSegmentRebuild)->Arg(1000)->Arg(10000);
+
+// --- B+ tree ------------------------------------------------------------------
+
+void BM_BTreeBulkLoad(benchmark::State& state) {
+  const uint64_t n = static_cast<uint64_t>(state.range(0));
+  for (auto _ : state) {
+    auto device = MakeDevice();
+    BTreeBuilder builder(device.get(), kDefaultNodeSize, IoClass::kCompactionWrite, nullptr);
+    for (uint64_t i = 0; i < n; ++i) {
+      (void)builder.Add(Key(i), i << 18);
+    }
+    auto tree = builder.Finish();
+    benchmark::DoNotOptimize(tree->root_offset);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) * static_cast<int64_t>(n));
+}
+BENCHMARK(BM_BTreeBulkLoad)->Arg(10000)->Arg(100000);
+
+void BM_BTreeLookup(benchmark::State& state) {
+  const uint64_t n = 100000;
+  auto device = MakeDevice();
+  BTreeBuilder builder(device.get(), kDefaultNodeSize, IoClass::kCompactionWrite, nullptr);
+  std::map<uint64_t, std::string> stored;
+  for (uint64_t i = 0; i < n; ++i) {
+    (void)builder.Add(Key(i), i);
+    stored[i] = Key(i);
+  }
+  auto tree = builder.Finish();
+  BTreeReader reader(device.get(), nullptr, kDefaultNodeSize, *tree, IoClass::kLookup);
+  FullKeyLoader loader = [&](uint64_t off) -> StatusOr<std::string> { return stored.at(off); };
+  Random rng(1);
+  for (auto _ : state) {
+    auto found = reader.Find(Key(rng.Uniform(n)), loader);
+    benchmark::DoNotOptimize(found.ok());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
+}
+BENCHMARK(BM_BTreeLookup);
+
+// --- memtable -----------------------------------------------------------------
+
+void BM_MemtableInsert(benchmark::State& state) {
+  Random rng(2);
+  for (auto _ : state) {
+    state.PauseTiming();
+    Memtable table;
+    state.ResumeTiming();
+    for (int i = 0; i < 10000; ++i) {
+      table.Put(Key(rng.Uniform(100000)), ValueLocation{static_cast<uint64_t>(i), false});
+    }
+    benchmark::DoNotOptimize(table.entries());
+  }
+  state.SetItemsProcessed(state.iterations() * 10000);
+}
+BENCHMARK(BM_MemtableInsert);
+
+// --- message protocol -----------------------------------------------------------
+
+void BM_MessageEncodeDecode(benchmark::State& state) {
+  const size_t payload_size = static_cast<size_t>(state.range(0));
+  std::string payload(payload_size, 'p');
+  MessageHeader header{};
+  header.payload_size = static_cast<uint32_t>(payload_size);
+  header.padded_payload_size = static_cast<uint32_t>(PaddedPayloadSize(payload_size, false));
+  header.type = static_cast<uint16_t>(MessageType::kPut);
+  std::vector<char> buf(MessageWireSize(header.padded_payload_size));
+  for (auto _ : state) {
+    EncodeMessage(buf.data(), header, payload);
+    MessageHeader out;
+    benchmark::DoNotOptimize(TryDecodeHeader(buf.data(), &out));
+    benchmark::DoNotOptimize(PayloadComplete(buf.data(), out));
+    ScrubRendezvous(buf.data(), buf.size());
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations() * buf.size()));
+}
+BENCHMARK(BM_MessageEncodeDecode)->Arg(33)->Arg(1023)->Arg(65536);
+
+void BM_Crc32(benchmark::State& state) {
+  std::string data(static_cast<size_t>(state.range(0)), 'x');
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(Crc32c(data.data(), data.size()));
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) * state.range(0));
+}
+BENCHMARK(BM_Crc32)->Arg(128)->Arg(4096);
+
+}  // namespace
+}  // namespace tebis
+
+BENCHMARK_MAIN();

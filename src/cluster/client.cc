@@ -1,0 +1,304 @@
+#include "src/cluster/client.h"
+
+#include "src/cluster/kv_wire.h"
+#include "src/common/logging.h"
+
+namespace tebis {
+namespace {
+
+constexpr int kMaxAttempts = 8;
+
+}  // namespace
+
+TebisClient::TebisClient(Fabric* fabric, std::string name, ServerResolver resolver,
+                         std::vector<std::string> seed_servers, size_t buffer_size)
+    : fabric_(fabric),
+      name_(std::move(name)),
+      resolver_(std::move(resolver)),
+      seed_servers_(std::move(seed_servers)),
+      buffer_size_(buffer_size) {}
+
+StatusOr<RpcClient*> TebisClient::ClientFor(const std::string& server) {
+  ServerEndpoint* endpoint = resolver_(server);
+  if (endpoint == nullptr) {
+    // The server is gone; drop any cached connection so we never wait on it.
+    connections_.erase(server);
+    return Status::Unavailable("server " + server + " unreachable");
+  }
+  auto it = connections_.find(server);
+  if (it != connections_.end()) {
+    return it->second.get();
+  }
+  auto client = std::make_unique<RpcClient>(fabric_, name_, endpoint, buffer_size_);
+  RpcClient* raw = client.get();
+  connections_[server] = std::move(client);
+  return raw;
+}
+
+Status TebisClient::RefreshMap() {
+  stats_.map_refreshes++;
+  size_t alloc = 4096;
+  for (const auto& seed : seed_servers_) {
+    auto client = ClientFor(seed);
+    if (!client.ok()) {
+      continue;
+    }
+    for (int attempt = 0; attempt < 3; ++attempt) {
+      auto reply =
+          (*client)->Call(MessageType::kGetRegionMap, 0, Slice(), alloc, 0, rpc_timeout_ns_);
+      if (!reply.ok()) {
+        break;  // try the next seed
+      }
+      if (reply->header.flags & kFlagTruncatedReply) {
+        uint64_t needed;
+        TEBIS_RETURN_IF_ERROR(DecodeTruncatedReply(reply->payload, &needed));
+        alloc = needed + 64;
+        continue;
+      }
+      if (reply->header.flags & kFlagError) {
+        break;
+      }
+      auto map = RegionMap::Deserialize(reply->payload);
+      if (!map.ok()) {
+        return map.status();
+      }
+      map_ = std::make_shared<const RegionMap>(std::move(*map));
+      return Status::Ok();
+    }
+  }
+  return Status::Unavailable("could not fetch region map from any seed server");
+}
+
+Status TebisClient::Connect() { return RefreshMap(); }
+
+Status TebisClient::Issue(PendingOp* op) {
+  if (map_ == nullptr) {
+    TEBIS_RETURN_IF_ERROR(RefreshMap());
+  }
+  // Scans route by start key; everything else by exact key. If the cached
+  // map routes to an unreachable server, refresh and re-route (§3.1).
+  const RegionInfo* region = nullptr;
+  RpcClient* client = nullptr;
+  for (int attempt = 0; attempt < 3; ++attempt) {
+    region = map_->FindRegion(op->key);
+    if (region == nullptr) {
+      return Status::Internal("no region owns key " + op->key);
+    }
+    auto resolved = ClientFor(region->primary);
+    if (resolved.ok()) {
+      client = *resolved;
+      break;
+    }
+    stats_.failover_retries++;
+    TEBIS_RETURN_IF_ERROR(RefreshMap());
+  }
+  if (client == nullptr) {
+    return Status::Unavailable("primary for " + op->key + " unreachable after retries");
+  }
+  std::string payload;
+  switch (op->type) {
+    case MessageType::kPut:
+      payload = EncodePutRequest(op->key, op->value);
+      break;
+    case MessageType::kGet:
+    case MessageType::kDelete:
+      payload = EncodeKeyRequest(op->key);
+      break;
+    case MessageType::kScan:
+      payload = EncodeScanRequest(op->key, op->limit);
+      break;
+    default:
+      return Status::Internal("bad op type");
+  }
+  TEBIS_ASSIGN_OR_RETURN(
+      op->request_id,
+      client->SendRequest(op->type, region->region_id, payload, op->reply_alloc,
+                          static_cast<uint32_t>(map_->version())));
+  op->server = region->primary;
+  op->attempts++;
+  return Status::Ok();
+}
+
+StatusOr<TebisClient::OpHandle> TebisClient::PutAsync(Slice key, Slice value) {
+  PendingOp op;
+  op.type = MessageType::kPut;
+  op.key = key.ToString();
+  op.value = value.ToString();
+  op.reply_alloc = 16;
+  TEBIS_RETURN_IF_ERROR(Issue(&op));
+  stats_.puts++;
+  const OpHandle handle = next_handle_++;
+  pending_.emplace(handle, std::move(op));
+  return handle;
+}
+
+StatusOr<TebisClient::OpHandle> TebisClient::GetAsync(Slice key) {
+  PendingOp op;
+  op.type = MessageType::kGet;
+  op.key = key.ToString();
+  op.reply_alloc = default_value_alloc_;
+  TEBIS_RETURN_IF_ERROR(Issue(&op));
+  stats_.gets++;
+  const OpHandle handle = next_handle_++;
+  pending_.emplace(handle, std::move(op));
+  return handle;
+}
+
+StatusOr<TebisClient::OpHandle> TebisClient::DeleteAsync(Slice key) {
+  PendingOp op;
+  op.type = MessageType::kDelete;
+  op.key = key.ToString();
+  op.reply_alloc = 16;
+  TEBIS_RETURN_IF_ERROR(Issue(&op));
+  stats_.deletes++;
+  const OpHandle handle = next_handle_++;
+  pending_.emplace(handle, std::move(op));
+  return handle;
+}
+
+TebisClient::OpResult TebisClient::Complete(OpHandle handle) {
+  auto it = pending_.find(handle);
+  if (it == pending_.end()) {
+    return OpResult{Status::NotFound("unknown op handle"), ""};
+  }
+  PendingOp& op = it->second;
+  while (true) {
+    auto client = ClientFor(op.server);
+    StatusOr<RpcReply> reply = Status::Unavailable("server gone");
+    if (client.ok()) {
+      reply = (*client)->WaitReply(op.request_id, rpc_timeout_ns_);
+    }
+    if (!reply.ok()) {
+      // The server likely failed before replying. Refresh the map and
+      // re-route to the (possibly promoted) new primary (§3.5).
+      stats_.failover_retries++;
+      if (op.attempts >= kMaxAttempts) {
+        pending_.erase(it);
+        return OpResult{reply.status(), ""};
+      }
+      Status s = RefreshMap();
+      if (s.ok()) {
+        s = Issue(&op);
+      }
+      if (!s.ok()) {
+        pending_.erase(it);
+        return OpResult{s, ""};
+      }
+      continue;
+    }
+    if (reply->header.flags & kFlagWrongRegion) {
+      // Stale map (§3.1): refresh and re-issue.
+      stats_.wrong_region_retries++;
+      if (op.attempts >= kMaxAttempts) {
+        pending_.erase(it);
+        return OpResult{Status::Unavailable("too many wrong-region retries"), ""};
+      }
+      Status s = RefreshMap();
+      if (s.ok()) {
+        s = Issue(&op);
+      }
+      if (!s.ok()) {
+        pending_.erase(it);
+        return OpResult{s, ""};
+      }
+      continue;
+    }
+    if (reply->header.flags & kFlagTruncatedReply) {
+      // §3.4.1: grow the allocation (persistently) and retry once more.
+      stats_.truncated_retries++;
+      uint64_t needed = 0;
+      if (Status s = DecodeTruncatedReply(reply->payload, &needed); !s.ok()) {
+        pending_.erase(it);
+        return OpResult{s, ""};
+      }
+      op.reply_alloc = needed + 64;
+      if (op.type == MessageType::kGet) {
+        default_value_alloc_ = std::max(default_value_alloc_, op.reply_alloc);
+      }
+      if (Status s = Issue(&op); !s.ok()) {
+        pending_.erase(it);
+        return OpResult{s, ""};
+      }
+      continue;
+    }
+    if (reply->header.flags & kFlagError) {
+      // The payload carries the status string; map NotFound back.
+      const std::string& message = reply->payload;
+      Status status = message.rfind("NotFound", 0) == 0 ? Status::NotFound(message)
+                                                        : Status::Internal(message);
+      pending_.erase(it);
+      return OpResult{status, ""};
+    }
+    OpResult result{Status::Ok(), std::move(reply->payload)};
+    pending_.erase(it);
+    return result;
+  }
+}
+
+TebisClient::OpResult TebisClient::Wait(OpHandle handle) { return Complete(handle); }
+
+Status TebisClient::WaitAll() {
+  Status first;
+  while (!pending_.empty()) {
+    const OpHandle handle = pending_.begin()->first;
+    OpResult result = Complete(handle);
+    if (!result.status.ok() && !result.status.IsNotFound() && first.ok()) {
+      first = result.status;
+    }
+  }
+  return first;
+}
+
+Status TebisClient::Put(Slice key, Slice value) {
+  TEBIS_ASSIGN_OR_RETURN(OpHandle handle, PutAsync(key, value));
+  return Wait(handle).status;
+}
+
+StatusOr<std::string> TebisClient::Get(Slice key) {
+  TEBIS_ASSIGN_OR_RETURN(OpHandle handle, GetAsync(key));
+  OpResult result = Wait(handle);
+  if (!result.status.ok()) {
+    return result.status;
+  }
+  return std::move(result.value);
+}
+
+Status TebisClient::Delete(Slice key) {
+  TEBIS_ASSIGN_OR_RETURN(OpHandle handle, DeleteAsync(key));
+  return Wait(handle).status;
+}
+
+StatusOr<std::vector<KvPair>> TebisClient::Scan(Slice start, uint32_t limit) {
+  // A range may span regions: scan region by region, following each region's
+  // end key, until the limit is filled or the key space ends.
+  std::vector<KvPair> out;
+  std::string cursor = start.ToString();
+  while (out.size() < limit) {
+    PendingOp op;
+    op.type = MessageType::kScan;
+    op.key = cursor;
+    op.limit = limit - static_cast<uint32_t>(out.size());
+    op.reply_alloc = std::max<size_t>(default_value_alloc_ * op.limit / 4, 4096);
+    TEBIS_RETURN_IF_ERROR(Issue(&op));
+    stats_.scans++;
+    const OpHandle handle = next_handle_++;
+    pending_.emplace(handle, std::move(op));
+    OpResult result = Complete(handle);
+    if (!result.status.ok()) {
+      return result.status;
+    }
+    std::vector<KvPair> pairs;
+    TEBIS_RETURN_IF_ERROR(DecodeScanReply(result.value, &pairs));
+    out.insert(out.end(), std::make_move_iterator(pairs.begin()),
+               std::make_move_iterator(pairs.end()));
+    // Continue into the next region, if any.
+    const RegionInfo* region = map_->FindRegion(cursor);
+    if (region == nullptr || region->end_key.empty()) {
+      break;  // last region
+    }
+    cursor = region->end_key;
+  }
+  return out;
+}
+
+}  // namespace tebis

@@ -1,0 +1,115 @@
+// The Tebis client library (paper §3.1, §3.4.1): caches the region map,
+// routes each operation to the primary of the owning region over the
+// RDMA-write protocol, and recovers transparently from stale maps
+// (kFlagWrongRegion -> refresh + retry) and undersized reply allocations
+// (kFlagTruncatedReply -> larger allocation + retry, the §3.4.1 round trip).
+//
+// Operations can be pipelined: *Async issues without waiting; Wait/WaitAll
+// harvest completions. One TebisClient is single-threaded (use one per client
+// thread, as the paper's client processes do).
+#ifndef TEBIS_CLUSTER_CLIENT_H_
+#define TEBIS_CLUSTER_CLIENT_H_
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/cluster/region_map.h"
+#include "src/lsm/kv_store.h"
+#include "src/net/rpc_client.h"
+
+namespace tebis {
+
+// Resolves a server name to its client endpoint ("network addressing").
+using ServerResolver = std::function<ServerEndpoint*(const std::string&)>;
+
+struct ClientStats {
+  uint64_t puts = 0;
+  uint64_t gets = 0;
+  uint64_t deletes = 0;
+  uint64_t scans = 0;
+  uint64_t wrong_region_retries = 0;
+  uint64_t truncated_retries = 0;
+  uint64_t failover_retries = 0;
+  uint64_t map_refreshes = 0;
+};
+
+class TebisClient {
+ public:
+  TebisClient(Fabric* fabric, std::string name, ServerResolver resolver,
+              std::vector<std::string> seed_servers,
+              size_t buffer_size = kDefaultConnectionBufferSize);
+
+  TebisClient(const TebisClient&) = delete;
+  TebisClient& operator=(const TebisClient&) = delete;
+
+  // Fetches the region map from a seed server (clients read and cache it at
+  // initialization, §3.1).
+  Status Connect();
+
+  // --- synchronous API ---
+  Status Put(Slice key, Slice value);
+  StatusOr<std::string> Get(Slice key);
+  Status Delete(Slice key);
+  StatusOr<std::vector<KvPair>> Scan(Slice start, uint32_t limit);
+
+  // --- pipelined API ---
+  using OpHandle = uint64_t;
+  struct OpResult {
+    Status status;
+    std::string value;  // get only
+  };
+  StatusOr<OpHandle> PutAsync(Slice key, Slice value);
+  StatusOr<OpHandle> GetAsync(Slice key);
+  StatusOr<OpHandle> DeleteAsync(Slice key);
+  // Blocks (polling + retries) until the op completes.
+  OpResult Wait(OpHandle handle);
+  // Completes every pending op; returns the first error.
+  Status WaitAll();
+  size_t pending() const { return pending_.size(); }
+
+  const ClientStats& stats() const { return stats_; }
+  uint64_t map_version() const { return map_ == nullptr ? 0 : map_->version(); }
+  // Per-attempt RPC timeout before the client assumes the server died and
+  // re-routes via a fresh map.
+  void set_rpc_timeout_ns(uint64_t ns) { rpc_timeout_ns_ = ns; }
+
+ private:
+  struct PendingOp {
+    MessageType type;
+    std::string key;
+    std::string value;     // put
+    uint32_t limit = 0;    // scan
+    size_t reply_alloc;
+    std::string server;    // where it was sent
+    uint64_t request_id;
+    int attempts = 0;
+  };
+
+  Status RefreshMap();
+  StatusOr<RpcClient*> ClientFor(const std::string& server);
+  // Issues (or re-issues) `op` to the current owner of its key.
+  Status Issue(PendingOp* op);
+  // Drives one op to completion.
+  OpResult Complete(OpHandle handle);
+
+  Fabric* const fabric_;
+  const std::string name_;
+  const ServerResolver resolver_;
+  const std::vector<std::string> seed_servers_;
+  const size_t buffer_size_;
+
+  std::map<std::string, std::unique_ptr<RpcClient>> connections_;
+  std::shared_ptr<const RegionMap> map_;
+  std::map<OpHandle, PendingOp> pending_;
+  OpHandle next_handle_ = 1;
+  size_t default_value_alloc_ = 1024;
+  uint64_t rpc_timeout_ns_ = 2'000'000'000ull;
+  ClientStats stats_;
+};
+
+}  // namespace tebis
+
+#endif  // TEBIS_CLUSTER_CLIENT_H_

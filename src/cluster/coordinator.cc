@@ -1,0 +1,199 @@
+#include "src/cluster/coordinator.h"
+
+#include <cstdio>
+
+namespace tebis {
+
+Coordinator::SessionId Coordinator::CreateSession() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  SessionId id = next_session_++;
+  sessions_[id] = true;
+  return id;
+}
+
+bool Coordinator::SessionAlive(SessionId session) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = sessions_.find(session);
+  return it != sessions_.end() && it->second;
+}
+
+std::string Coordinator::ParentOf(const std::string& path) {
+  auto pos = path.rfind('/');
+  if (pos == std::string::npos || pos == 0) {
+    return "/";
+  }
+  return path.substr(0, pos);
+}
+
+void Coordinator::QueueNodeWatches(const std::string& path, WatchEventType type,
+                                   std::vector<std::pair<Watcher, WatchEvent>>* out) {
+  auto [begin, end] = node_watches_.equal_range(path);
+  for (auto it = begin; it != end; ++it) {
+    out->emplace_back(it->second, WatchEvent{type, path});
+  }
+  node_watches_.erase(begin, end);  // one-shot, like ZooKeeper
+}
+
+void Coordinator::QueueChildWatches(const std::string& parent,
+                                    std::vector<std::pair<Watcher, WatchEvent>>* out) {
+  auto [begin, end] = child_watches_.equal_range(parent);
+  for (auto it = begin; it != end; ++it) {
+    out->emplace_back(it->second, WatchEvent{WatchEventType::kChildrenChanged, parent});
+  }
+  child_watches_.erase(begin, end);
+}
+
+void Coordinator::Fire(std::vector<std::pair<Watcher, WatchEvent>>* callbacks) {
+  for (auto& [watcher, event] : *callbacks) {
+    if (watcher) {
+      watcher(event);
+    }
+  }
+}
+
+Status Coordinator::Create(SessionId session, const std::string& path, const std::string& data,
+                           const CreateOptions& options, std::string* created_path) {
+  std::vector<std::pair<Watcher, WatchEvent>> callbacks;
+  std::string actual;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (path.empty() || path[0] != '/' || (path.size() > 1 && path.back() == '/')) {
+      return Status::InvalidArgument("bad znode path: " + path);
+    }
+    if (options.ephemeral && (session == kNoSession || !sessions_.contains(session) ||
+                              !sessions_.at(session))) {
+      return Status::FailedPrecondition("ephemeral node needs a live session");
+    }
+    const std::string parent = ParentOf(path);
+    if (parent != "/" && !nodes_.contains(parent)) {
+      return Status::NotFound("parent " + parent + " does not exist");
+    }
+    actual = path;
+    if (options.sequential) {
+      uint64_t seq = parent == "/" ? root_sequence_++ : nodes_[parent].next_sequence++;
+      char suffix[16];
+      snprintf(suffix, sizeof(suffix), "%010llu", static_cast<unsigned long long>(seq));
+      actual += suffix;
+    }
+    if (nodes_.contains(actual)) {
+      return Status::AlreadyExists(actual);
+    }
+    Node node;
+    node.data = data;
+    node.owner = options.ephemeral ? session : kNoSession;
+    nodes_[actual] = std::move(node);
+    QueueNodeWatches(actual, WatchEventType::kCreated, &callbacks);
+    QueueChildWatches(parent, &callbacks);
+  }
+  if (created_path != nullptr) {
+    *created_path = actual;
+  }
+  Fire(&callbacks);
+  return Status::Ok();
+}
+
+Status Coordinator::DeleteLocked(const std::string& path,
+                                 std::vector<std::pair<Watcher, WatchEvent>>* callbacks) {
+  auto it = nodes_.find(path);
+  if (it == nodes_.end()) {
+    return Status::NotFound(path);
+  }
+  nodes_.erase(it);
+  QueueNodeWatches(path, WatchEventType::kDeleted, callbacks);
+  QueueChildWatches(ParentOf(path), callbacks);
+  return Status::Ok();
+}
+
+Status Coordinator::Delete(SessionId session, const std::string& path) {
+  std::vector<std::pair<Watcher, WatchEvent>> callbacks;
+  Status status;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    status = DeleteLocked(path, &callbacks);
+  }
+  Fire(&callbacks);
+  return status;
+}
+
+void Coordinator::ExpireSession(SessionId session) {
+  std::vector<std::pair<Watcher, WatchEvent>> callbacks;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = sessions_.find(session);
+    if (it == sessions_.end() || !it->second) {
+      return;
+    }
+    it->second = false;
+    std::vector<std::string> doomed;
+    for (const auto& [path, node] : nodes_) {
+      if (node.owner == session) {
+        doomed.push_back(path);
+      }
+    }
+    for (const auto& path : doomed) {
+      (void)DeleteLocked(path, &callbacks);
+    }
+  }
+  Fire(&callbacks);
+}
+
+Status Coordinator::Set(const std::string& path, const std::string& data) {
+  std::vector<std::pair<Watcher, WatchEvent>> callbacks;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = nodes_.find(path);
+    if (it == nodes_.end()) {
+      return Status::NotFound(path);
+    }
+    it->second.data = data;
+    QueueNodeWatches(path, WatchEventType::kDataChanged, &callbacks);
+  }
+  Fire(&callbacks);
+  return Status::Ok();
+}
+
+StatusOr<std::string> Coordinator::Get(const std::string& path, Watcher watcher) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = nodes_.find(path);
+  if (it == nodes_.end()) {
+    return Status::NotFound(path);
+  }
+  if (watcher) {
+    node_watches_.emplace(path, std::move(watcher));
+  }
+  return it->second.data;
+}
+
+bool Coordinator::Exists(const std::string& path, Watcher watcher) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const bool exists = nodes_.contains(path);
+  if (watcher) {
+    node_watches_.emplace(path, std::move(watcher));
+  }
+  return exists;
+}
+
+StatusOr<std::vector<std::string>> Coordinator::List(const std::string& path, Watcher watcher) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (path != "/" && !nodes_.contains(path)) {
+    return Status::NotFound(path);
+  }
+  const std::string prefix = path == "/" ? "/" : path + "/";
+  std::vector<std::string> children;
+  for (auto it = nodes_.lower_bound(prefix); it != nodes_.end(); ++it) {
+    const std::string& p = it->first;
+    if (p.compare(0, prefix.size(), prefix) != 0) {
+      break;
+    }
+    const std::string rest = p.substr(prefix.size());
+    if (rest.find('/') == std::string::npos) {
+      children.push_back(rest);
+    }
+  }
+  if (watcher) {
+    child_watches_.emplace(path, std::move(watcher));
+  }
+  return children;
+}
+
+}  // namespace tebis

@@ -1,0 +1,97 @@
+// In-process coordination service standing in for ZooKeeper (paper §3.1,
+// §3.5): a hierarchical znode store with sessions, ephemeral nodes (deleted
+// when their session expires — the failure detector), sequential nodes (used
+// for master election) and one-shot watches.
+#ifndef TEBIS_CLUSTER_COORDINATOR_H_
+#define TEBIS_CLUSTER_COORDINATOR_H_
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "src/common/status.h"
+
+namespace tebis {
+
+enum class WatchEventType {
+  kCreated,
+  kDeleted,
+  kDataChanged,
+  kChildrenChanged,
+};
+
+struct WatchEvent {
+  WatchEventType type;
+  std::string path;
+};
+
+using Watcher = std::function<void(const WatchEvent&)>;
+
+class Coordinator {
+ public:
+  using SessionId = uint64_t;
+  static constexpr SessionId kNoSession = 0;
+
+  Coordinator() = default;
+  Coordinator(const Coordinator&) = delete;
+  Coordinator& operator=(const Coordinator&) = delete;
+
+  SessionId CreateSession();
+
+  // Simulates a client crash / heartbeat loss: all ephemeral nodes of the
+  // session are deleted and their watches fire. Idempotent.
+  void ExpireSession(SessionId session);
+  bool SessionAlive(SessionId session) const;
+
+  struct CreateOptions {
+    bool ephemeral = false;
+    bool sequential = false;
+  };
+
+  // Creates a znode. Parent must exist (except for the root's children).
+  // Sequential nodes get a monotonically increasing 10-digit suffix; the
+  // actual path is returned through `created_path`.
+  Status Create(SessionId session, const std::string& path, const std::string& data,
+                const CreateOptions& options, std::string* created_path = nullptr);
+
+  Status Delete(SessionId session, const std::string& path);
+  Status Set(const std::string& path, const std::string& data);
+  StatusOr<std::string> Get(const std::string& path, Watcher watcher = nullptr);
+  bool Exists(const std::string& path, Watcher watcher = nullptr);
+
+  // Children names (not full paths), sorted. `watcher` fires once on the next
+  // child create/delete under `path`.
+  StatusOr<std::vector<std::string>> List(const std::string& path, Watcher watcher = nullptr);
+
+ private:
+  struct Node {
+    std::string data;
+    SessionId owner = kNoSession;  // non-zero => ephemeral
+    uint64_t next_sequence = 0;
+  };
+
+  static std::string ParentOf(const std::string& path);
+  // Must hold mutex_. Collects watch callbacks to fire after unlock.
+  void QueueNodeWatches(const std::string& path, WatchEventType type,
+                        std::vector<std::pair<Watcher, WatchEvent>>* out);
+  void QueueChildWatches(const std::string& parent,
+                         std::vector<std::pair<Watcher, WatchEvent>>* out);
+  Status DeleteLocked(const std::string& path,
+                      std::vector<std::pair<Watcher, WatchEvent>>* callbacks);
+  static void Fire(std::vector<std::pair<Watcher, WatchEvent>>* callbacks);
+
+  mutable std::mutex mutex_;
+  std::map<std::string, Node> nodes_;  // sorted: children are a range scan
+  std::multimap<std::string, Watcher> node_watches_;
+  std::multimap<std::string, Watcher> child_watches_;
+  std::map<SessionId, bool> sessions_;
+  SessionId next_session_ = 1;
+  uint64_t root_sequence_ = 0;
+};
+
+}  // namespace tebis
+
+#endif  // TEBIS_CLUSTER_COORDINATOR_H_

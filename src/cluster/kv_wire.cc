@@ -1,0 +1,74 @@
+#include "src/cluster/kv_wire.h"
+
+namespace tebis {
+
+std::string EncodePutRequest(Slice key, Slice value) {
+  WireWriter w;
+  w.Bytes(key).Bytes(value);
+  return w.str();
+}
+
+Status DecodePutRequest(Slice payload, Slice* key, Slice* value) {
+  WireReader r(payload);
+  TEBIS_RETURN_IF_ERROR(r.BytesView(key));
+  return r.BytesView(value);
+}
+
+std::string EncodeKeyRequest(Slice key) {
+  WireWriter w;
+  w.Bytes(key);
+  return w.str();
+}
+
+Status DecodeKeyRequest(Slice payload, Slice* key) {
+  WireReader r(payload);
+  return r.BytesView(key);
+}
+
+std::string EncodeScanRequest(Slice start, uint32_t limit) {
+  WireWriter w;
+  w.Bytes(start).U32(limit);
+  return w.str();
+}
+
+Status DecodeScanRequest(Slice payload, Slice* start, uint32_t* limit) {
+  WireReader r(payload);
+  TEBIS_RETURN_IF_ERROR(r.BytesView(start));
+  return r.U32(limit);
+}
+
+std::string EncodeScanReply(const std::vector<KvPair>& pairs) {
+  WireWriter w;
+  w.U32(static_cast<uint32_t>(pairs.size()));
+  for (const auto& kv : pairs) {
+    w.Bytes(kv.key).Bytes(kv.value);
+  }
+  return w.str();
+}
+
+Status DecodeScanReply(Slice payload, std::vector<KvPair>* pairs) {
+  WireReader r(payload);
+  uint32_t n;
+  TEBIS_RETURN_IF_ERROR(r.U32(&n));
+  pairs->clear();
+  for (uint32_t i = 0; i < n; ++i) {
+    KvPair kv;
+    TEBIS_RETURN_IF_ERROR(r.Bytes(&kv.key));
+    TEBIS_RETURN_IF_ERROR(r.Bytes(&kv.value));
+    pairs->push_back(std::move(kv));
+  }
+  return Status::Ok();
+}
+
+std::string EncodeTruncatedReply(uint64_t needed_payload_bytes) {
+  WireWriter w;
+  w.U64(needed_payload_bytes);
+  return w.str();
+}
+
+Status DecodeTruncatedReply(Slice payload, uint64_t* needed_payload_bytes) {
+  WireReader r(payload);
+  return r.U64(needed_payload_bytes);
+}
+
+}  // namespace tebis

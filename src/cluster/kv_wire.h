@@ -1,0 +1,32 @@
+// Client <-> region-server payload encodings for KV operations.
+#ifndef TEBIS_CLUSTER_KV_WIRE_H_
+#define TEBIS_CLUSTER_KV_WIRE_H_
+
+#include <string>
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/lsm/kv_store.h"
+#include "src/net/wire.h"
+
+namespace tebis {
+
+std::string EncodePutRequest(Slice key, Slice value);
+Status DecodePutRequest(Slice payload, Slice* key, Slice* value);
+
+std::string EncodeKeyRequest(Slice key);  // get & delete share the shape
+Status DecodeKeyRequest(Slice payload, Slice* key);
+
+std::string EncodeScanRequest(Slice start, uint32_t limit);
+Status DecodeScanRequest(Slice payload, Slice* start, uint32_t* limit);
+
+std::string EncodeScanReply(const std::vector<KvPair>& pairs);
+Status DecodeScanReply(Slice payload, std::vector<KvPair>* pairs);
+
+// Truncated replies (§3.4.1) carry only the size the client must allocate.
+std::string EncodeTruncatedReply(uint64_t needed_payload_bytes);
+Status DecodeTruncatedReply(Slice payload, uint64_t* needed_payload_bytes);
+
+}  // namespace tebis
+
+#endif  // TEBIS_CLUSTER_KV_WIRE_H_

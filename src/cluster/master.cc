@@ -1,0 +1,359 @@
+#include "src/cluster/master.h"
+
+#include <algorithm>
+
+#include "src/common/logging.h"
+
+namespace tebis {
+namespace {
+
+constexpr char kElectionPath[] = "/master-election";
+constexpr char kRegionMapPath[] = "/region_map";
+
+}  // namespace
+
+Master::Master(Coordinator* coordinator, std::string name,
+               std::map<std::string, RegionServer*> directory)
+    : coordinator_(coordinator), name_(std::move(name)), directory_(std::move(directory)) {}
+
+bool Master::IsLeader() const {
+  std::lock_guard<std::recursive_mutex> lock(mutex_);
+  return leader_ && !failed_;
+}
+
+std::shared_ptr<const RegionMap> Master::current_map() const {
+  std::lock_guard<std::recursive_mutex> lock(mutex_);
+  return map_;
+}
+
+Status Master::Campaign() {
+  session_ = coordinator_->CreateSession();
+  if (!coordinator_->Exists(kElectionPath)) {
+    (void)coordinator_->Create(Coordinator::kNoSession, kElectionPath, "", {});
+  }
+  TEBIS_RETURN_IF_ERROR(coordinator_->Create(session_, std::string(kElectionPath) + "/m-",
+                                             name_,
+                                             {.ephemeral = true, .sequential = true},
+                                             &election_node_));
+  // Leader check: am I the lowest sequence? Otherwise watch my predecessor.
+  auto check = [this]() {
+    auto children = coordinator_->List(kElectionPath);
+    if (!children.ok() || children->empty()) {
+      return;
+    }
+    const std::string mine = election_node_.substr(strlen(kElectionPath) + 1);
+    std::sort(children->begin(), children->end());
+    if (children->front() == mine) {
+      OnBecameLeader();
+      return;
+    }
+    // Watch the candidate immediately before us.
+    auto it = std::lower_bound(children->begin(), children->end(), mine);
+    const std::string predecessor = *(it - 1);
+    coordinator_->Exists(std::string(kElectionPath) + "/" + predecessor,
+                         [this](const WatchEvent& event) {
+                           if (event.type == WatchEventType::kDeleted) {
+                             RecheckLeadership();
+                           }
+                         });
+  };
+  recheck_ = check;
+  check();
+  return Status::Ok();
+}
+
+void Master::RecheckLeadership() {
+  std::lock_guard<std::recursive_mutex> lock(mutex_);
+  if (failed_) {
+    return;
+  }
+  if (recheck_) {
+    recheck_();
+  }
+}
+
+void Master::OnBecameLeader() {
+  std::lock_guard<std::recursive_mutex> lock(mutex_);
+  if (leader_ || failed_) {
+    return;
+  }
+  leader_ = true;
+  TEBIS_LOG(kInfo) << "master " << name_ << " became leader";
+  // Recover the map from the coordinator if a previous leader installed one,
+  // then reconcile: any server in the map that is no longer a member failed
+  // while there was no leader.
+  auto stored = coordinator_->Get(kRegionMapPath);
+  if (stored.ok()) {
+    auto map = RegionMap::Deserialize(*stored);
+    if (map.ok()) {
+      map_ = std::make_shared<const RegionMap>(*map);
+    }
+  }
+  ArmServerWatch();
+  if (map_ != nullptr) {
+    HandleMembershipChange();
+  }
+}
+
+void Master::ArmServerWatch() {
+  (void)coordinator_->List("/servers", [this](const WatchEvent&) {
+    std::lock_guard<std::recursive_mutex> lock(mutex_);
+    if (!leader_ || failed_) {
+      return;
+    }
+    ArmServerWatch();  // one-shot watches must be re-armed first
+    HandleMembershipChange();
+  });
+}
+
+bool Master::ServerAlive(const std::string& name) const {
+  return coordinator_->Exists("/servers/" + name);
+}
+
+void Master::HandleMembershipChange() {
+  std::lock_guard<std::recursive_mutex> lock(mutex_);
+  if (map_ == nullptr) {
+    return;
+  }
+  // Find servers referenced by the map that are gone.
+  std::vector<std::string> failed;
+  for (const auto& region : map_->regions()) {
+    if (!ServerAlive(region.primary)) {
+      failed.push_back(region.primary);
+    }
+    for (const auto& backup : region.backups) {
+      if (!ServerAlive(backup)) {
+        failed.push_back(backup);
+      }
+    }
+  }
+  std::sort(failed.begin(), failed.end());
+  failed.erase(std::unique(failed.begin(), failed.end()), failed.end());
+  for (const auto& server : failed) {
+    Status s = HandleServerFailure(server);
+    if (!s.ok()) {
+      TEBIS_LOG(kError) << "failure handling for " << server << ": " << s.ToString();
+    }
+  }
+}
+
+Status Master::HandleServerFailure(const std::string& failed) {
+  TEBIS_LOG(kInfo) << "master " << name_ << " handling failure of " << failed;
+  RegionMap updated = *map_;  // copy, then bump + publish
+  std::vector<uint32_t> region_ids;
+  for (const auto& region : updated.regions()) {
+    region_ids.push_back(region.region_id);
+  }
+  // Primary failures first: promotion restores availability (§3.5). The
+  // promotion leaves `failed` in the region's backup list so the second pass
+  // replaces that replica like any other lost backup.
+  for (uint32_t id : region_ids) {
+    if (updated.FindById(id)->primary == failed) {
+      TEBIS_RETURN_IF_ERROR(HandlePrimaryFailure(&updated, id, failed));
+    }
+  }
+  for (uint32_t id : region_ids) {
+    const RegionInfo* region = updated.FindById(id);
+    if (std::find(region->backups.begin(), region->backups.end(), failed) !=
+        region->backups.end()) {
+      TEBIS_RETURN_IF_ERROR(HandleBackupFailure(&updated, id, failed));
+    }
+  }
+  updated.BumpVersion();
+  TEBIS_RETURN_IF_ERROR(PushMap(updated));
+  return Status::Ok();
+}
+
+StatusOr<std::string> Master::PickReplacement(const RegionInfo& region) const {
+  for (const auto& [name, server] : directory_) {
+    if (!ServerAlive(name)) {
+      continue;
+    }
+    if (name == region.primary) {
+      continue;
+    }
+    if (std::find(region.backups.begin(), region.backups.end(), name) != region.backups.end()) {
+      continue;
+    }
+    return name;
+  }
+  return Status::ResourceExhausted("no replacement server available");
+}
+
+Status Master::HandleBackupFailure(RegionMap* map, uint32_t region_id,
+                                   const std::string& failed) {
+  RegionInfo* region = map->MutableFindById(region_id);
+  if (region == nullptr) {
+    return Status::NotFound("region " + std::to_string(region_id));
+  }
+  RegionServer* primary = directory_.at(region->primary);
+  // Stop replicating to the dead node immediately.
+  (void)primary->DetachBackup(region_id, failed);
+  // Replace the failed backup with a fresh node and transfer the region data
+  // (§3.5: "the master instructs the rest of the region servers in the group
+  // to transfer their region data to the new backup").
+  auto replacement = PickReplacement(*region);
+  if (!replacement.ok()) {
+    // Degraded but available: drop the replica.
+    std::erase(region->backups, failed);
+    return Status::Ok();
+  }
+  RegionServer* new_backup = directory_.at(*replacement);
+  TEBIS_RETURN_IF_ERROR(new_backup->OpenBackupRegion(region_id));
+  TEBIS_RETURN_IF_ERROR(primary->AttachBackupWithFullSync(region_id, new_backup));
+  std::erase(region->backups, failed);
+  region->backups.push_back(*replacement);
+  return Status::Ok();
+}
+
+Status Master::HandlePrimaryFailure(RegionMap* map, uint32_t region_id,
+                                    const std::string& failed) {
+  RegionInfo* region = map->MutableFindById(region_id);
+  if (region == nullptr) {
+    return Status::NotFound("region " + std::to_string(region_id));
+  }
+  if (region->backups.empty()) {
+    return Status::Internal("region " + std::to_string(region_id) + " lost all replicas");
+  }
+  // Promote the first surviving backup.
+  std::string promoted;
+  for (const auto& backup : region->backups) {
+    if (ServerAlive(backup)) {
+      promoted = backup;
+      break;
+    }
+  }
+  if (promoted.empty()) {
+    return Status::Internal("region " + std::to_string(region_id) + " lost all replicas");
+  }
+  RegionServer* new_primary = directory_.at(promoted);
+  SegmentMap new_primary_log_map;
+  TEBIS_RETURN_IF_ERROR(new_primary->PromoteRegion(region_id, &new_primary_log_map));
+
+  // Remaining backups re-key their log maps (§3.2) and re-attach to the new
+  // primary; then the new primary replays the unflushed buffer, replicated.
+  for (const auto& backup : region->backups) {
+    if (backup == promoted || !ServerAlive(backup)) {
+      continue;
+    }
+    RegionServer* server = directory_.at(backup);
+    TEBIS_RETURN_IF_ERROR(server->AdoptNewPrimaryLogMap(region_id, new_primary_log_map));
+    TEBIS_RETURN_IF_ERROR(new_primary->AttachBackup(region_id, server));
+  }
+  TEBIS_RETURN_IF_ERROR(new_primary->ReplayPromotionBuffer(region_id));
+
+  std::erase(region->backups, promoted);
+  region->backups.push_back(failed);  // now a (failed) backup slot: handled next
+  region->primary = promoted;
+  return Status::Ok();
+}
+
+Status Master::PushMap(const RegionMap& map) {
+  auto shared = std::make_shared<const RegionMap>(map);
+  {
+    std::lock_guard<std::recursive_mutex> lock(mutex_);
+    map_ = shared;
+  }
+  const std::string serialized = map.Serialize();
+  if (coordinator_->Exists(kRegionMapPath)) {
+    TEBIS_RETURN_IF_ERROR(coordinator_->Set(kRegionMapPath, serialized));
+  } else {
+    TEBIS_RETURN_IF_ERROR(
+        coordinator_->Create(Coordinator::kNoSession, kRegionMapPath, serialized, {}));
+  }
+  for (auto& [name, server] : directory_) {
+    if (ServerAlive(name)) {
+      server->SetRegionMap(shared);
+    }
+  }
+  return Status::Ok();
+}
+
+Status Master::Bootstrap(const RegionMap& map) {
+  std::lock_guard<std::recursive_mutex> lock(mutex_);
+  if (!leader_) {
+    return Status::FailedPrecondition("only the leader bootstraps");
+  }
+  for (const auto& region : map.regions()) {
+    auto primary_it = directory_.find(region.primary);
+    if (primary_it == directory_.end()) {
+      return Status::NotFound("unknown server " + region.primary);
+    }
+    TEBIS_RETURN_IF_ERROR(primary_it->second->OpenPrimaryRegion(region.region_id));
+    for (const auto& backup : region.backups) {
+      auto backup_it = directory_.find(backup);
+      if (backup_it == directory_.end()) {
+        return Status::NotFound("unknown server " + backup);
+      }
+      TEBIS_RETURN_IF_ERROR(backup_it->second->OpenBackupRegion(region.region_id));
+      TEBIS_RETURN_IF_ERROR(
+          primary_it->second->AttachBackup(region.region_id, backup_it->second));
+    }
+  }
+  return PushMap(map);
+}
+
+Status Master::MovePrimary(uint32_t region_id, const std::string& new_primary) {
+  std::lock_guard<std::recursive_mutex> lock(mutex_);
+  if (!leader_) {
+    return Status::FailedPrecondition("only the leader balances load");
+  }
+  if (map_ == nullptr) {
+    return Status::FailedPrecondition("no region map installed");
+  }
+  RegionMap updated = *map_;
+  RegionInfo* region = updated.MutableFindById(region_id);
+  if (region == nullptr) {
+    return Status::NotFound("region " + std::to_string(region_id));
+  }
+  if (region->primary == new_primary) {
+    return Status::Ok();
+  }
+  if (std::find(region->backups.begin(), region->backups.end(), new_primary) ==
+      region->backups.end()) {
+    return Status::InvalidArgument(new_primary + " is not a backup of the region");
+  }
+  if (!ServerAlive(region->primary) || !ServerAlive(new_primary)) {
+    return Status::Unavailable("both ends of the handover must be alive");
+  }
+  RegionServer* old_server = directory_.at(region->primary);
+  RegionServer* new_server = directory_.at(new_primary);
+
+  // 1) Seal the log so the backup holds everything (acked data is already in
+  //    its buffer; the flush also persists and maps it).
+  TEBIS_RETURN_IF_ERROR(old_server->FlushRegionTail(region_id));
+  // 2) Promote the chosen backup.
+  SegmentMap new_primary_log_map;
+  TEBIS_RETURN_IF_ERROR(new_server->PromoteRegion(region_id, &new_primary_log_map));
+  // 3) Remaining backups re-key and re-attach; the old primary demotes and
+  //    attaches as a backup.
+  for (const auto& backup : region->backups) {
+    if (backup == new_primary || !ServerAlive(backup)) {
+      continue;
+    }
+    RegionServer* server = directory_.at(backup);
+    TEBIS_RETURN_IF_ERROR(server->AdoptNewPrimaryLogMap(region_id, new_primary_log_map));
+    TEBIS_RETURN_IF_ERROR(new_server->AttachBackup(region_id, server));
+  }
+  TEBIS_RETURN_IF_ERROR(old_server->DemoteRegion(region_id, new_primary_log_map));
+  TEBIS_RETURN_IF_ERROR(new_server->AttachBackup(region_id, old_server));
+  // 4) Replay the promotion buffer through the new primary (replicated).
+  TEBIS_RETURN_IF_ERROR(new_server->ReplayPromotionBuffer(region_id));
+
+  std::erase(region->backups, new_primary);
+  region->backups.push_back(region->primary);
+  region->primary = new_primary;
+  updated.BumpVersion();
+  return PushMap(updated);
+}
+
+void Master::Fail() {
+  {
+    std::lock_guard<std::recursive_mutex> lock(mutex_);
+    failed_ = true;
+    leader_ = false;
+  }
+  coordinator_->ExpireSession(session_);
+}
+
+}  // namespace tebis

@@ -1,0 +1,84 @@
+// The Tebis master (paper §3.1, §3.5): reads the region map, issues open
+// region commands with primary/backup roles, watches the coordinator's
+// membership (ephemeral nodes) to detect failures, and orchestrates recovery:
+//   backup failure  -> replacement backup + full region transfer
+//   primary failure -> promote a backup (log-map re-keying, L0 replay),
+//                      update the map, then treat as a backup failure
+// Multiple Master instances race in a leader election; only the leader acts.
+#ifndef TEBIS_CLUSTER_MASTER_H_
+#define TEBIS_CLUSTER_MASTER_H_
+
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+
+#include "src/cluster/coordinator.h"
+#include "src/cluster/region_map.h"
+#include "src/cluster/region_server.h"
+
+namespace tebis {
+
+class Master {
+ public:
+  // `directory` resolves server names to in-process instances (the admin
+  // control plane); replacement backups are chosen from it.
+  Master(Coordinator* coordinator, std::string name,
+         std::map<std::string, RegionServer*> directory);
+
+  Master(const Master&) = delete;
+  Master& operator=(const Master&) = delete;
+
+  // Joins the leader election. The lowest sequence node leads; the others
+  // watch their predecessor and take over on its death (§3.5 master failure).
+  Status Campaign();
+  bool IsLeader() const;
+
+  // Leader-only: installs the initial region map — opens all regions with
+  // their roles, wires replication channels, distributes the map.
+  Status Bootstrap(const RegionMap& map);
+
+  // Leader-only load balancing (§3.1): gracefully moves a region's primary
+  // role to one of its current backups. The old primary flushes its tail, the
+  // backup is promoted, and the old primary is demoted to a backup — no data
+  // loss and no full region transfer. The handover window is not quiesced:
+  // a write racing the move may fail and must be retried by the client
+  // (reads/writes before and after are unaffected).
+  Status MovePrimary(uint32_t region_id, const std::string& new_primary);
+
+  // Simulates master death: expires the session (standbys take over).
+  void Fail();
+
+  std::shared_ptr<const RegionMap> current_map() const;
+
+  const std::string& name() const { return name_; }
+
+ private:
+  void OnBecameLeader();
+  void RecheckLeadership();
+  void ArmServerWatch();
+  void HandleMembershipChange();
+  Status HandleServerFailure(const std::string& failed);
+  Status HandlePrimaryFailure(RegionMap* map, uint32_t region_id, const std::string& failed);
+  Status HandleBackupFailure(RegionMap* map, uint32_t region_id, const std::string& failed);
+  StatusOr<std::string> PickReplacement(const RegionInfo& region) const;
+  Status PushMap(const RegionMap& map);
+  bool ServerAlive(const std::string& name) const;
+
+  Coordinator* const coordinator_;
+  const std::string name_;
+  std::map<std::string, RegionServer*> directory_;
+
+  Coordinator::SessionId session_ = Coordinator::kNoSession;
+  std::string election_node_;
+
+  mutable std::recursive_mutex mutex_;
+  bool leader_ = false;
+  bool failed_ = false;
+  std::shared_ptr<const RegionMap> map_;
+  std::function<void()> recheck_;
+};
+
+}  // namespace tebis
+
+#endif  // TEBIS_CLUSTER_MASTER_H_

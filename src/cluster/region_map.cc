@@ -1,0 +1,131 @@
+#include "src/cluster/region_map.h"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace tebis {
+
+StatusOr<RegionMap> RegionMap::CreateUniform(uint32_t num_regions, const std::string& key_prefix,
+                                             int digits, uint64_t key_space,
+                                             const std::vector<std::string>& servers,
+                                             int replication_factor) {
+  if (num_regions == 0 || servers.empty() || replication_factor < 1 ||
+      static_cast<size_t>(replication_factor) > servers.size()) {
+    return Status::InvalidArgument("bad region map parameters");
+  }
+  auto boundary = [&](uint64_t n) {
+    char buf[64];
+    snprintf(buf, sizeof(buf), "%s%0*llu", key_prefix.c_str(), digits,
+             static_cast<unsigned long long>(n));
+    return std::string(buf);
+  };
+  RegionMap map;
+  for (uint32_t i = 0; i < num_regions; ++i) {
+    RegionInfo region;
+    region.region_id = i;
+    region.start_key = i == 0 ? "" : boundary(i * key_space / num_regions);
+    region.end_key = i + 1 == num_regions ? "" : boundary((i + 1) * key_space / num_regions);
+    region.primary = servers[i % servers.size()];
+    for (int r = 1; r < replication_factor; ++r) {
+      region.backups.push_back(servers[(i + r) % servers.size()]);
+    }
+    map.regions_.push_back(std::move(region));
+  }
+  return map;
+}
+
+const RegionInfo* RegionMap::FindRegion(Slice key) const {
+  // Regions are sorted by start_key; find the last region whose start <= key.
+  auto it = std::upper_bound(
+      regions_.begin(), regions_.end(), key,
+      [](Slice k, const RegionInfo& r) { return k.Compare(Slice(r.start_key)) < 0; });
+  if (it == regions_.begin()) {
+    return nullptr;
+  }
+  const RegionInfo& region = *(it - 1);
+  return region.Contains(key) ? &region : nullptr;
+}
+
+const RegionInfo* RegionMap::FindById(uint32_t region_id) const {
+  for (const auto& region : regions_) {
+    if (region.region_id == region_id) {
+      return &region;
+    }
+  }
+  return nullptr;
+}
+
+RegionInfo* RegionMap::MutableFindById(uint32_t region_id) {
+  for (auto& region : regions_) {
+    if (region.region_id == region_id) {
+      return &region;
+    }
+  }
+  return nullptr;
+}
+
+std::vector<uint32_t> RegionMap::PrimariesOf(const std::string& server) const {
+  std::vector<uint32_t> out;
+  for (const auto& region : regions_) {
+    if (region.primary == server) {
+      out.push_back(region.region_id);
+    }
+  }
+  return out;
+}
+
+std::vector<uint32_t> RegionMap::BackupsOf(const std::string& server) const {
+  std::vector<uint32_t> out;
+  for (const auto& region : regions_) {
+    for (const auto& backup : region.backups) {
+      if (backup == server) {
+        out.push_back(region.region_id);
+        break;
+      }
+    }
+  }
+  return out;
+}
+
+std::string RegionMap::Serialize() const {
+  WireWriter w;
+  w.U64(version_);
+  w.U32(static_cast<uint32_t>(regions_.size()));
+  for (const auto& region : regions_) {
+    w.U32(region.region_id);
+    w.Bytes(region.start_key);
+    w.Bytes(region.end_key);
+    w.Bytes(region.primary);
+    w.U32(static_cast<uint32_t>(region.backups.size()));
+    for (const auto& backup : region.backups) {
+      w.Bytes(backup);
+    }
+  }
+  return w.str();
+}
+
+StatusOr<RegionMap> RegionMap::Deserialize(Slice data) {
+  WireReader r(data);
+  RegionMap map;
+  TEBIS_RETURN_IF_ERROR(r.U64(&map.version_));
+  uint32_t num_regions;
+  TEBIS_RETURN_IF_ERROR(r.U32(&num_regions));
+  for (uint32_t i = 0; i < num_regions; ++i) {
+    RegionInfo region;
+    TEBIS_RETURN_IF_ERROR(r.U32(&region.region_id));
+    TEBIS_RETURN_IF_ERROR(r.Bytes(&region.start_key));
+    TEBIS_RETURN_IF_ERROR(r.Bytes(&region.end_key));
+    TEBIS_RETURN_IF_ERROR(r.Bytes(&region.primary));
+    uint32_t num_backups;
+    TEBIS_RETURN_IF_ERROR(r.U32(&num_backups));
+    for (uint32_t b = 0; b < num_backups; ++b) {
+      std::string backup;
+      TEBIS_RETURN_IF_ERROR(r.Bytes(&backup));
+      region.backups.push_back(std::move(backup));
+    }
+    map.regions_.push_back(std::move(region));
+  }
+  return map;
+}
+
+}  // namespace tebis

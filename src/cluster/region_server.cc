@@ -1,0 +1,557 @@
+#include "src/cluster/region_server.h"
+
+#include "src/cluster/kv_wire.h"
+#include "src/common/logging.h"
+#include "src/net/rpc_client.h"
+#include "src/replication/replication_wire.h"
+#include "src/replication/rpc_backup_channel.h"
+
+namespace tebis {
+namespace {
+
+MessageType ReplyTypeFor(MessageType request) {
+  return static_cast<MessageType>(static_cast<uint16_t>(request) + 1);
+}
+
+}  // namespace
+
+RegionServer::RegionServer(Fabric* fabric, Coordinator* coordinator, std::string name,
+                           RegionServerOptions options)
+    : fabric_(fabric), coordinator_(coordinator), name_(std::move(name)), options_(options) {
+  if (options_.replication_connection_buffer == 0) {
+    options_.replication_connection_buffer = 8 * options_.device_options.segment_size;
+  }
+}
+
+RegionServer::~RegionServer() { Stop(); }
+
+Status RegionServer::Start() {
+  if (started_) {
+    return Status::FailedPrecondition("server already started");
+  }
+  TEBIS_ASSIGN_OR_RETURN(device_, BlockDevice::Create(options_.device_options));
+  client_endpoint_ = std::make_unique<ServerEndpoint>(fabric_, name_, options_.num_spinners,
+                                                      options_.num_workers);
+  replication_endpoint_ = std::make_unique<ServerEndpoint>(
+      fabric_, name_ + ":repl", /*num_spinners=*/1, /*num_workers=*/2);
+  auto handler = [this](const MessageHeader& header, std::string payload, ReplyContext ctx) {
+    HandleRequest(header, std::move(payload), std::move(ctx));
+  };
+  client_endpoint_->set_handler(handler);
+  replication_endpoint_->set_handler(handler);
+  client_endpoint_->Start();
+  replication_endpoint_->Start();
+
+  session_ = coordinator_->CreateSession();
+  // Membership (§3.5): the ephemeral node is the failure detector.
+  if (!coordinator_->Exists("/servers")) {
+    (void)coordinator_->Create(Coordinator::kNoSession, "/servers", "", {});
+  }
+  TEBIS_RETURN_IF_ERROR(coordinator_->Create(session_, "/servers/" + name_, "",
+                                             {.ephemeral = true, .sequential = false}));
+  started_ = true;
+  return Status::Ok();
+}
+
+void RegionServer::Stop() {
+  if (!started_) {
+    return;
+  }
+  started_ = false;
+  client_endpoint_->Stop();
+  replication_endpoint_->Stop();
+}
+
+void RegionServer::Crash() {
+  if (crashed_) {
+    return;
+  }
+  crashed_ = true;
+  Stop();
+  {
+    std::lock_guard<std::mutex> lock(regions_mutex_);
+    regions_.clear();
+  }
+  coordinator_->ExpireSession(session_);
+}
+
+// --- admin API ------------------------------------------------------------
+
+Status RegionServer::OpenPrimaryRegion(uint32_t region_id) {
+  std::lock_guard<std::mutex> lock(regions_mutex_);
+  if (regions_.contains(region_id)) {
+    return Status::AlreadyExists("region " + std::to_string(region_id));
+  }
+  auto handle = std::make_unique<RegionHandle>();
+  handle->is_primary = true;
+  TEBIS_ASSIGN_OR_RETURN(
+      handle->primary,
+      PrimaryRegion::Create(device_.get(), options_.kv_options, options_.replication_mode));
+  regions_[region_id] = std::move(handle);
+  return Status::Ok();
+}
+
+Status RegionServer::OpenBackupRegion(uint32_t region_id) {
+  std::lock_guard<std::mutex> lock(regions_mutex_);
+  if (regions_.contains(region_id)) {
+    return Status::AlreadyExists("region " + std::to_string(region_id));
+  }
+  auto handle = std::make_unique<RegionHandle>();
+  handle->is_primary = false;
+  // Register the log buffer this region's primary will write one-sided.
+  handle->replication_buffer =
+      fabric_->RegisterBuffer(/*owner=*/name_, /*writer=*/"primary-of-r" + std::to_string(region_id),
+                              options_.device_options.segment_size);
+  if (options_.replication_mode == ReplicationMode::kSendIndex) {
+    TEBIS_ASSIGN_OR_RETURN(handle->send_backup,
+                           SendIndexBackupRegion::Create(device_.get(), options_.kv_options,
+                                                         handle->replication_buffer));
+  } else {
+    TEBIS_ASSIGN_OR_RETURN(handle->build_backup,
+                           BuildIndexBackupRegion::Create(device_.get(), options_.kv_options,
+                                                          handle->replication_buffer));
+  }
+  regions_[region_id] = std::move(handle);
+  return Status::Ok();
+}
+
+Status RegionServer::CloseRegion(uint32_t region_id) {
+  std::lock_guard<std::mutex> lock(regions_mutex_);
+  if (regions_.erase(region_id) == 0) {
+    return Status::NotFound("region " + std::to_string(region_id));
+  }
+  return Status::Ok();
+}
+
+StatusOr<std::shared_ptr<RegisteredBuffer>> RegionServer::GetReplicationBuffer(
+    uint32_t region_id) {
+  std::lock_guard<std::mutex> lock(regions_mutex_);
+  auto it = regions_.find(region_id);
+  if (it == regions_.end() || it->second->replication_buffer == nullptr) {
+    return Status::NotFound("no backup region " + std::to_string(region_id));
+  }
+  return it->second->replication_buffer;
+}
+
+RegionServer::RegionHandle* RegionServer::FindRegion(uint32_t region_id) const {
+  std::lock_guard<std::mutex> lock(regions_mutex_);
+  auto it = regions_.find(region_id);
+  return it == regions_.end() ? nullptr : it->second.get();
+}
+
+Status RegionServer::AttachBackup(uint32_t region_id, RegionServer* backup_server) {
+  RegionHandle* handle = FindRegion(region_id);
+  if (handle == nullptr || !handle->is_primary) {
+    return Status::FailedPrecondition("not primary for region " + std::to_string(region_id));
+  }
+  TEBIS_ASSIGN_OR_RETURN(std::shared_ptr<RegisteredBuffer> buffer,
+                         backup_server->GetReplicationBuffer(region_id));
+  auto client = std::make_unique<RpcClient>(
+      fabric_, name_ + ">r" + std::to_string(region_id) + ">" + backup_server->name(),
+      backup_server->replication_endpoint(), options_.replication_connection_buffer);
+  std::lock_guard<std::mutex> lock(handle->mutex);
+  handle->primary->AddBackup(
+      std::make_unique<RpcBackupChannel>(std::move(client), region_id, std::move(buffer)));
+  return Status::Ok();
+}
+
+Status RegionServer::AttachBackupWithFullSync(uint32_t region_id, RegionServer* backup_server) {
+  RegionHandle* handle = FindRegion(region_id);
+  if (handle == nullptr || !handle->is_primary) {
+    return Status::FailedPrecondition("not primary for region " + std::to_string(region_id));
+  }
+  TEBIS_ASSIGN_OR_RETURN(std::shared_ptr<RegisteredBuffer> buffer,
+                         backup_server->GetReplicationBuffer(region_id));
+  auto client = std::make_unique<RpcClient>(
+      fabric_, name_ + ">r" + std::to_string(region_id) + ">" + backup_server->name(),
+      backup_server->replication_endpoint(), options_.replication_connection_buffer);
+  auto channel =
+      std::make_unique<RpcBackupChannel>(std::move(client), region_id, std::move(buffer));
+  std::lock_guard<std::mutex> lock(handle->mutex);
+  TEBIS_RETURN_IF_ERROR(handle->primary->FullSync(channel.get()));
+  handle->primary->AddBackup(std::move(channel));
+  return Status::Ok();
+}
+
+Status RegionServer::DetachBackup(uint32_t region_id, const std::string& backup_name) {
+  RegionHandle* handle = FindRegion(region_id);
+  if (handle == nullptr || !handle->is_primary) {
+    return Status::FailedPrecondition("not primary for region " + std::to_string(region_id));
+  }
+  std::lock_guard<std::mutex> lock(handle->mutex);
+  handle->primary->RemoveBackup(backup_name);
+  return Status::Ok();
+}
+
+Status RegionServer::PromoteRegion(uint32_t region_id, SegmentMap* log_map_out) {
+  RegionHandle* handle = FindRegion(region_id);
+  if (handle == nullptr || handle->is_primary) {
+    return Status::FailedPrecondition("no backup region " + std::to_string(region_id));
+  }
+  std::lock_guard<std::mutex> lock(handle->mutex);
+  // Preserve the unflushed buffer image: it is replayed once the remaining
+  // backups are re-attached (so the re-appends replicate).
+  handle->promotion_buffer_image.assign(handle->replication_buffer->data(),
+                                        handle->replication_buffer->size());
+  std::unique_ptr<KvStore> store;
+  if (handle->send_backup != nullptr) {
+    if (log_map_out != nullptr) {
+      *log_map_out = handle->send_backup->log_map();
+    }
+    TEBIS_ASSIGN_OR_RETURN(store, handle->send_backup->Promote(/*replay_rdma_buffer=*/false));
+    handle->send_backup.reset();
+  } else {
+    if (log_map_out != nullptr) {
+      *log_map_out = handle->build_backup->log_map();
+    }
+    TEBIS_ASSIGN_OR_RETURN(store, handle->build_backup->Promote(/*replay_rdma_buffer=*/false));
+    handle->build_backup.reset();
+  }
+  TEBIS_ASSIGN_OR_RETURN(
+      handle->primary,
+      PrimaryRegion::CreateFromStore(device_.get(), options_.replication_mode, std::move(store)));
+  handle->is_primary = true;
+  return Status::Ok();
+}
+
+Status RegionServer::FlushRegionTail(uint32_t region_id) {
+  RegionHandle* handle = FindRegion(region_id);
+  if (handle == nullptr || !handle->is_primary) {
+    return Status::FailedPrecondition("region not primary: " + std::to_string(region_id));
+  }
+  std::lock_guard<std::mutex> lock(handle->mutex);
+  return handle->primary->store()->value_log()->FlushTail();
+}
+
+Status RegionServer::DemoteRegion(uint32_t region_id, const SegmentMap& new_primary_log_map) {
+  RegionHandle* handle = FindRegion(region_id);
+  if (handle == nullptr || !handle->is_primary) {
+    return Status::FailedPrecondition("region not primary: " + std::to_string(region_id));
+  }
+  std::lock_guard<std::mutex> lock(handle->mutex);
+  std::unique_ptr<KvStore> store = handle->primary->ReleaseStore();
+  if (store->value_log()->tail_used() != 0) {
+    return Status::FailedPrecondition("tail not flushed before demotion");
+  }
+  // The demoted node's log map is the inverse of the promoted node's
+  // (new-primary segment -> local segment), ordered by the local flush order.
+  TEBIS_ASSIGN_OR_RETURN(SegmentMap inverted, new_primary_log_map.Invert());
+  std::vector<SegmentId> flush_order;
+  for (SegmentId mine : store->value_log()->flushed_segments()) {
+    TEBIS_ASSIGN_OR_RETURN(SegmentId theirs, new_primary_log_map.Lookup(mine));
+    flush_order.push_back(theirs);
+  }
+  handle->replication_buffer = fabric_->RegisterBuffer(
+      /*owner=*/name_, /*writer=*/"primary-of-r" + std::to_string(region_id),
+      options_.device_options.segment_size);
+  if (options_.replication_mode == ReplicationMode::kSendIndex) {
+    KvStore::Parts parts = KvStore::Decompose(std::move(store));
+    TEBIS_ASSIGN_OR_RETURN(
+        handle->send_backup,
+        SendIndexBackupRegion::CreateFromParts(device_.get(), options_.kv_options,
+                                               handle->replication_buffer, std::move(parts.log),
+                                               std::move(parts.levels), std::move(inverted),
+                                               std::move(flush_order), parts.l0_replay_from));
+  } else {
+    TEBIS_ASSIGN_OR_RETURN(
+        handle->build_backup,
+        BuildIndexBackupRegion::CreateFromStore(device_.get(), options_.kv_options,
+                                                handle->replication_buffer, std::move(store),
+                                                std::move(inverted), std::move(flush_order)));
+  }
+  handle->primary.reset();
+  handle->is_primary = false;
+  return Status::Ok();
+}
+
+Status RegionServer::AdoptNewPrimaryLogMap(uint32_t region_id, const SegmentMap& map) {
+  RegionHandle* handle = FindRegion(region_id);
+  if (handle == nullptr || handle->is_primary) {
+    return Status::FailedPrecondition("no backup region " + std::to_string(region_id));
+  }
+  std::lock_guard<std::mutex> lock(handle->mutex);
+  if (handle->send_backup != nullptr) {
+    return handle->send_backup->AdoptNewPrimaryLogMap(map);
+  }
+  return Status::Ok();  // Build-Index backups key nothing on primary segments
+}
+
+Status RegionServer::ReplayPromotionBuffer(uint32_t region_id) {
+  RegionHandle* handle = FindRegion(region_id);
+  if (handle == nullptr || !handle->is_primary) {
+    return Status::FailedPrecondition("region not primary: " + std::to_string(region_id));
+  }
+  std::lock_guard<std::mutex> lock(handle->mutex);
+  Status status = handle->primary->ReplayBufferImage(Slice(handle->promotion_buffer_image));
+  handle->promotion_buffer_image.clear();
+  return status;
+}
+
+void RegionServer::SetRegionMap(std::shared_ptr<const RegionMap> map) {
+  std::lock_guard<std::mutex> lock(map_mutex_);
+  map_ = std::move(map);
+}
+
+std::shared_ptr<const RegionMap> RegionServer::region_map() const {
+  std::lock_guard<std::mutex> lock(map_mutex_);
+  return map_;
+}
+
+bool RegionServer::IsPrimaryFor(uint32_t region_id) const {
+  RegionHandle* handle = FindRegion(region_id);
+  return handle != nullptr && handle->is_primary;
+}
+
+// --- request handling --------------------------------------------------------
+
+void RegionServer::ReplyError(const ReplyContext& ctx, MessageType reply_type,
+                              const Status& status) {
+  Status sent = ctx.SendReply(reply_type, kFlagError, status.ToString());
+  if (!sent.ok()) {
+    TEBIS_LOG(kError) << "failed to send error reply: " << sent.ToString();
+  }
+}
+
+void RegionServer::HandleRequest(const MessageHeader& header, std::string payload,
+                                 ReplyContext ctx) {
+  const auto type = static_cast<MessageType>(header.type);
+  const MessageType reply_type = ReplyTypeFor(type);
+
+  if (type == MessageType::kGetRegionMap) {
+    std::shared_ptr<const RegionMap> map = region_map();
+    if (map == nullptr) {
+      ReplyError(ctx, reply_type, Status::Unavailable("no region map yet"));
+      return;
+    }
+    std::string serialized = map->Serialize();
+    if (!ctx.ReplyFits(serialized.size())) {
+      (void)ctx.SendReply(reply_type, kFlagTruncatedReply,
+                          EncodeTruncatedReply(serialized.size()));
+      return;
+    }
+    (void)ctx.SendReply(reply_type, 0, serialized);
+    return;
+  }
+
+  RegionHandle* region = FindRegion(header.region_id);
+  if (region == nullptr) {
+    (void)ctx.SendReply(reply_type, kFlagWrongRegion, Slice());
+    return;
+  }
+
+  switch (type) {
+    case MessageType::kPut:
+    case MessageType::kGet:
+    case MessageType::kDelete:
+    case MessageType::kScan:
+      HandleKvOp(region, header, payload, ctx);
+      return;
+    case MessageType::kFlushLog:
+    case MessageType::kCompactionBegin:
+    case MessageType::kIndexSegment:
+    case MessageType::kCompactionEnd:
+    case MessageType::kLogTrim:
+    case MessageType::kSetReplayStart:
+      HandleReplicationOp(region, header, payload, ctx);
+      return;
+    default:
+      ReplyError(ctx, reply_type, Status::InvalidArgument("unexpected message type"));
+  }
+}
+
+void RegionServer::HandleKvOp(RegionHandle* region, const MessageHeader& header, Slice payload,
+                              const ReplyContext& ctx) {
+  const auto type = static_cast<MessageType>(header.type);
+  const MessageType reply_type = ReplyTypeFor(type);
+  std::lock_guard<std::mutex> lock(region->mutex);
+  if (!region->is_primary) {
+    // The client's map is stale: this replica is a backup (§3.1).
+    (void)ctx.SendReply(reply_type, kFlagWrongRegion, Slice());
+    return;
+  }
+  PrimaryRegion* primary = region->primary.get();
+  switch (type) {
+    case MessageType::kPut: {
+      Slice key, value;
+      if (Status s = DecodePutRequest(payload, &key, &value); !s.ok()) {
+        ReplyError(ctx, reply_type, s);
+        return;
+      }
+      if (Status s = primary->Put(key, value); !s.ok()) {
+        ReplyError(ctx, reply_type, s);
+        return;
+      }
+      (void)ctx.SendReply(reply_type, 0, Slice());
+      return;
+    }
+    case MessageType::kDelete: {
+      Slice key;
+      if (Status s = DecodeKeyRequest(payload, &key); !s.ok()) {
+        ReplyError(ctx, reply_type, s);
+        return;
+      }
+      if (Status s = primary->Delete(key); !s.ok()) {
+        ReplyError(ctx, reply_type, s);
+        return;
+      }
+      (void)ctx.SendReply(reply_type, 0, Slice());
+      return;
+    }
+    case MessageType::kGet: {
+      Slice key;
+      if (Status s = DecodeKeyRequest(payload, &key); !s.ok()) {
+        ReplyError(ctx, reply_type, s);
+        return;
+      }
+      auto value = primary->Get(key);
+      if (!value.ok()) {
+        ReplyError(ctx, reply_type, value.status());
+        return;
+      }
+      if (!ctx.ReplyFits(value->size())) {
+        // §3.4.1: the reply does not fit the client's allocation; tell the
+        // client how much to allocate (one extra round trip).
+        (void)ctx.SendReply(reply_type, kFlagTruncatedReply,
+                            EncodeTruncatedReply(value->size()));
+        return;
+      }
+      (void)ctx.SendReply(reply_type, 0, *value);
+      return;
+    }
+    case MessageType::kScan: {
+      Slice start;
+      uint32_t limit;
+      if (Status s = DecodeScanRequest(payload, &start, &limit); !s.ok()) {
+        ReplyError(ctx, reply_type, s);
+        return;
+      }
+      auto pairs = primary->Scan(start, limit);
+      if (!pairs.ok()) {
+        ReplyError(ctx, reply_type, pairs.status());
+        return;
+      }
+      std::string encoded = EncodeScanReply(*pairs);
+      if (!ctx.ReplyFits(encoded.size())) {
+        (void)ctx.SendReply(reply_type, kFlagTruncatedReply,
+                            EncodeTruncatedReply(encoded.size()));
+        return;
+      }
+      (void)ctx.SendReply(reply_type, 0, encoded);
+      return;
+    }
+    default:
+      ReplyError(ctx, reply_type, Status::Internal("bad kv op"));
+  }
+}
+
+void RegionServer::HandleReplicationOp(RegionHandle* region, const MessageHeader& header,
+                                       Slice payload, const ReplyContext& ctx) {
+  const auto type = static_cast<MessageType>(header.type);
+  const MessageType reply_type = ReplyTypeFor(type);
+  std::lock_guard<std::mutex> lock(region->mutex);
+  if (region->is_primary) {
+    ReplyError(ctx, reply_type, Status::FailedPrecondition("replication op on primary"));
+    return;
+  }
+  SendIndexBackupRegion* send = region->send_backup.get();
+  BuildIndexBackupRegion* build = region->build_backup.get();
+  Status status;
+  switch (type) {
+    case MessageType::kFlushLog: {
+      FlushLogMsg msg{};
+      status = DecodeFlushLog(payload, &msg);
+      if (status.ok()) {
+        status = send != nullptr ? send->HandleLogFlush(msg.primary_segment)
+                                 : build->HandleLogFlush(msg.primary_segment);
+      }
+      break;
+    }
+    case MessageType::kCompactionBegin: {
+      CompactionBeginMsg msg{};
+      status = DecodeCompactionBegin(payload, &msg);
+      if (status.ok() && send != nullptr) {
+        status = send->HandleCompactionBegin(msg.compaction_id, static_cast<int>(msg.src_level),
+                                             static_cast<int>(msg.dst_level));
+      }
+      break;
+    }
+    case MessageType::kIndexSegment: {
+      IndexSegmentMsg msg{};
+      status = DecodeIndexSegment(payload, &msg);
+      if (status.ok() && send != nullptr) {
+        status = send->HandleIndexSegment(msg.compaction_id, static_cast<int>(msg.dst_level),
+                                          static_cast<int>(msg.tree_level), msg.primary_segment,
+                                          msg.data);
+      }
+      break;
+    }
+    case MessageType::kCompactionEnd: {
+      CompactionEndMsg msg{};
+      status = DecodeCompactionEnd(payload, &msg);
+      if (status.ok() && send != nullptr) {
+        status = send->HandleCompactionEnd(msg.compaction_id, static_cast<int>(msg.src_level),
+                                           static_cast<int>(msg.dst_level), msg.tree);
+      }
+      break;
+    }
+    case MessageType::kLogTrim: {
+      TrimLogMsg msg{};
+      status = DecodeTrimLog(payload, &msg);
+      if (status.ok()) {
+        status = send != nullptr ? send->HandleTrimLog(msg.segments)
+                                 : build->HandleTrimLog(msg.segments);
+      }
+      break;
+    }
+    case MessageType::kSetReplayStart: {
+      WireReader r(payload);
+      uint64_t index = 0;
+      status = r.U64(&index);
+      if (status.ok() && send != nullptr) {
+        send->set_replay_from(index);
+      }
+      break;
+    }
+    default:
+      status = Status::Internal("bad replication op");
+  }
+  if (!status.ok()) {
+    ReplyError(ctx, reply_type, status);
+    return;
+  }
+  (void)ctx.SendReply(reply_type, 0, Slice());
+}
+
+RegionServerStats RegionServer::Aggregate() const {
+  RegionServerStats out;
+  std::lock_guard<std::mutex> lock(regions_mutex_);
+  for (const auto& [id, handle] : regions_) {
+    std::lock_guard<std::mutex> region_lock(handle->mutex);
+    if (handle->is_primary && handle->primary != nullptr) {
+      const KvStoreStats& kv = handle->primary->store()->stats();
+      out.puts += kv.puts;
+      out.gets += kv.gets;
+      out.deletes += kv.deletes;
+      out.scans += kv.scans;
+      out.compactions += kv.compactions;
+      out.insert_l0_cpu_ns += kv.insert_l0_cpu_ns;
+      out.compaction_cpu_ns += kv.compaction_cpu_ns;
+      out.get_cpu_ns += kv.get_cpu_ns;
+      out.l0_memory_bytes += handle->primary->store()->l0_memory_bytes();
+      const ReplicationStats& rs = handle->primary->replication_stats();
+      out.log_replication_cpu_ns += rs.log_replication_cpu_ns;
+      out.send_index_cpu_ns += rs.send_index_cpu_ns;
+      out.index_bytes_shipped += rs.index_bytes_shipped;
+    } else if (handle->send_backup != nullptr) {
+      out.rewrite_index_cpu_ns += handle->send_backup->stats().rewrite_cpu_ns;
+    } else if (handle->build_backup != nullptr) {
+      out.backup_insert_cpu_ns += handle->build_backup->stats().insert_cpu_ns;
+      out.compaction_cpu_ns += handle->build_backup->store()->stats().compaction_cpu_ns;
+      out.compactions += handle->build_backup->store()->stats().compactions;
+      out.l0_memory_bytes += handle->build_backup->l0_memory_bytes();
+    }
+  }
+  return out;
+}
+
+}  // namespace tebis

@@ -1,0 +1,160 @@
+// A Tebis region server (paper §3.1): hosts regions with primary or backup
+// roles, serves client KV operations through the RDMA-write protocol, and
+// runs the backup-side replication handlers. Each server has two endpoints:
+// the client endpoint (paper: 2 spinning threads + 8 workers) and a separate
+// replication endpoint whose workers never block on remote calls — modelling
+// the paper's split between protocol threads and compaction threads and
+// keeping primary->backup shipping deadlock-free.
+#ifndef TEBIS_CLUSTER_REGION_SERVER_H_
+#define TEBIS_CLUSTER_REGION_SERVER_H_
+
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "src/cluster/coordinator.h"
+#include "src/cluster/region_map.h"
+#include "src/net/server_endpoint.h"
+#include "src/replication/build_index_backup.h"
+#include "src/replication/primary_region.h"
+#include "src/replication/send_index_backup.h"
+#include "src/storage/block_device.h"
+
+namespace tebis {
+
+struct RegionServerOptions {
+  int num_spinners = 2;  // paper §4
+  int num_workers = 8;   // paper §4
+  BlockDeviceOptions device_options;
+  KvStoreOptions kv_options;
+  ReplicationMode replication_mode = ReplicationMode::kSendIndex;
+  // Connection buffer for server-to-server replication channels; index
+  // segments must fit, so default to 8 segments.
+  size_t replication_connection_buffer = 0;
+};
+
+// Aggregate counters for the experiment harness.
+struct RegionServerStats {
+  uint64_t puts = 0;
+  uint64_t gets = 0;
+  uint64_t deletes = 0;
+  uint64_t scans = 0;
+  uint64_t compactions = 0;
+  uint64_t insert_l0_cpu_ns = 0;
+  uint64_t compaction_cpu_ns = 0;
+  uint64_t get_cpu_ns = 0;
+  uint64_t log_replication_cpu_ns = 0;
+  uint64_t send_index_cpu_ns = 0;
+  uint64_t rewrite_index_cpu_ns = 0;
+  uint64_t backup_insert_cpu_ns = 0;
+  uint64_t l0_memory_bytes = 0;
+  uint64_t index_bytes_shipped = 0;
+};
+
+class RegionServer {
+ public:
+  RegionServer(Fabric* fabric, Coordinator* coordinator, std::string name,
+               RegionServerOptions options);
+  ~RegionServer();
+
+  RegionServer(const RegionServer&) = delete;
+  RegionServer& operator=(const RegionServer&) = delete;
+
+  // Creates the device, registers the ephemeral /servers/<name> node and
+  // starts both endpoints.
+  Status Start();
+  void Stop();
+  // Simulated failure: endpoints stop, the coordinator session expires (the
+  // master's failure detector fires), regions are dropped.
+  void Crash();
+  bool crashed() const { return crashed_; }
+
+  const std::string& name() const { return name_; }
+  BlockDevice* device() { return device_.get(); }
+  ServerEndpoint* client_endpoint() { return client_endpoint_.get(); }
+  ServerEndpoint* replication_endpoint() { return replication_endpoint_.get(); }
+  Fabric* fabric() { return fabric_; }
+
+  // --- admin API (driven by the master; models open/close region commands) ---
+
+  Status OpenPrimaryRegion(uint32_t region_id);
+  Status OpenBackupRegion(uint32_t region_id);
+  Status CloseRegion(uint32_t region_id);
+
+  // Backup-side registered log buffer for a region (handed to the primary at
+  // attach time, modelling MR exchange during connection setup).
+  StatusOr<std::shared_ptr<RegisteredBuffer>> GetReplicationBuffer(uint32_t region_id);
+
+  // Wires a local *primary* region to a backup hosted on `backup_server`.
+  Status AttachBackup(uint32_t region_id, RegionServer* backup_server);
+  // Same, but first streams the full region state (recovery path).
+  Status AttachBackupWithFullSync(uint32_t region_id, RegionServer* backup_server);
+
+  // Drops the replication channel to a failed backup.
+  Status DetachBackup(uint32_t region_id, const std::string& backup_name);
+
+  // §3.5: converts a local backup region into the primary. Returns the log
+  // map the other backups need for re-keying (Send-Index; empty otherwise).
+  Status PromoteRegion(uint32_t region_id, SegmentMap* log_map_out);
+
+  // Graceful primary handover (load balancing, §3.1). FlushRegionTail seals
+  // the log so the chosen backup is fully caught up; DemoteRegion then turns
+  // the local primary into a backup of `new_primary_log_map`'s owner.
+  Status FlushRegionTail(uint32_t region_id);
+  Status DemoteRegion(uint32_t region_id, const SegmentMap& new_primary_log_map);
+  Status AdoptNewPrimaryLogMap(uint32_t region_id, const SegmentMap& map);
+  // After backups are re-attached: replays the unflushed RDMA buffer kept
+  // from promotion through the new primary (replicated).
+  Status ReplayPromotionBuffer(uint32_t region_id);
+
+  void SetRegionMap(std::shared_ptr<const RegionMap> map);
+  std::shared_ptr<const RegionMap> region_map() const;
+
+  // True if this server currently hosts `region_id` as primary.
+  bool IsPrimaryFor(uint32_t region_id) const;
+
+  RegionServerStats Aggregate() const;
+
+ private:
+  struct RegionHandle {
+    mutable std::mutex mutex;
+    bool is_primary = false;
+    std::unique_ptr<PrimaryRegion> primary;
+    std::unique_ptr<SendIndexBackupRegion> send_backup;
+    std::unique_ptr<BuildIndexBackupRegion> build_backup;
+    std::shared_ptr<RegisteredBuffer> replication_buffer;  // backup role
+    std::string promotion_buffer_image;                    // kept across promotion
+  };
+
+  void HandleRequest(const MessageHeader& header, std::string payload, ReplyContext ctx);
+  void HandleKvOp(RegionHandle* region, const MessageHeader& header, Slice payload,
+                  const ReplyContext& ctx);
+  void HandleReplicationOp(RegionHandle* region, const MessageHeader& header, Slice payload,
+                           const ReplyContext& ctx);
+  RegionHandle* FindRegion(uint32_t region_id) const;
+  static void ReplyError(const ReplyContext& ctx, MessageType reply_type, const Status& status);
+
+  Fabric* const fabric_;
+  Coordinator* const coordinator_;
+  const std::string name_;
+  RegionServerOptions options_;
+
+  std::unique_ptr<BlockDevice> device_;
+  std::unique_ptr<ServerEndpoint> client_endpoint_;
+  std::unique_ptr<ServerEndpoint> replication_endpoint_;
+  Coordinator::SessionId session_ = Coordinator::kNoSession;
+  bool started_ = false;
+  bool crashed_ = false;
+
+  mutable std::mutex regions_mutex_;
+  std::map<uint32_t, std::unique_ptr<RegionHandle>> regions_;
+
+  mutable std::mutex map_mutex_;
+  std::shared_ptr<const RegionMap> map_;
+};
+
+}  // namespace tebis
+
+#endif  // TEBIS_CLUSTER_REGION_SERVER_H_

@@ -1,0 +1,20 @@
+#include "src/common/clock.h"
+
+#include <ctime>
+
+namespace tebis {
+namespace {
+
+uint64_t ClockNanos(clockid_t id) {
+  timespec ts{};
+  clock_gettime(id, &ts);
+  return static_cast<uint64_t>(ts.tv_sec) * 1000000000ull + static_cast<uint64_t>(ts.tv_nsec);
+}
+
+}  // namespace
+
+uint64_t ThreadCpuNanos() { return ClockNanos(CLOCK_THREAD_CPUTIME_ID); }
+
+uint64_t ProcessCpuNanos() { return ClockNanos(CLOCK_PROCESS_CPUTIME_ID); }
+
+}  // namespace tebis

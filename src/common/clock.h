@@ -1,0 +1,58 @@
+// Wall-clock and per-thread CPU-time helpers. Thread CPU time is the basis of
+// the "cycles/op" efficiency metric (paper Eq. 1): we measure CPU seconds and
+// convert with a nominal clock frequency.
+#ifndef TEBIS_COMMON_CLOCK_H_
+#define TEBIS_COMMON_CLOCK_H_
+
+#include <chrono>
+#include <cstdint>
+
+namespace tebis {
+
+// Monotonic wall-clock time in nanoseconds.
+inline uint64_t NowNanos() {
+  return static_cast<uint64_t>(std::chrono::duration_cast<std::chrono::nanoseconds>(
+                                   std::chrono::steady_clock::now().time_since_epoch())
+                                   .count());
+}
+
+// CPU time consumed by the calling thread, in nanoseconds.
+uint64_t ThreadCpuNanos();
+
+// CPU time consumed by the whole process, in nanoseconds.
+uint64_t ProcessCpuNanos();
+
+// Scoped wall-clock timer accumulating into a counter.
+class ScopedTimer {
+ public:
+  explicit ScopedTimer(uint64_t* accumulator_ns)
+      : accumulator_ns_(accumulator_ns), start_(NowNanos()) {}
+  ~ScopedTimer() { *accumulator_ns_ += NowNanos() - start_; }
+
+  ScopedTimer(const ScopedTimer&) = delete;
+  ScopedTimer& operator=(const ScopedTimer&) = delete;
+
+ private:
+  uint64_t* accumulator_ns_;
+  uint64_t start_;
+};
+
+// Scoped per-thread CPU-time timer; the basis of the Table-3 style
+// cycles-per-component breakdown.
+class ScopedCpuTimer {
+ public:
+  explicit ScopedCpuTimer(uint64_t* accumulator_ns)
+      : accumulator_ns_(accumulator_ns), start_(ThreadCpuNanos()) {}
+  ~ScopedCpuTimer() { *accumulator_ns_ += ThreadCpuNanos() - start_; }
+
+  ScopedCpuTimer(const ScopedCpuTimer&) = delete;
+  ScopedCpuTimer& operator=(const ScopedCpuTimer&) = delete;
+
+ private:
+  uint64_t* accumulator_ns_;
+  uint64_t start_;
+};
+
+}  // namespace tebis
+
+#endif  // TEBIS_COMMON_CLOCK_H_

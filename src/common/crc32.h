@@ -1,0 +1,16 @@
+// CRC32C (Castagnoli) used to checksum value-log records and shipped index
+// segments.
+#ifndef TEBIS_COMMON_CRC32_H_
+#define TEBIS_COMMON_CRC32_H_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace tebis {
+
+// Computes CRC32C of data[0, n) seeded with `init` (pass 0 for a fresh CRC).
+uint32_t Crc32c(const void* data, size_t n, uint32_t init = 0);
+
+}  // namespace tebis
+
+#endif  // TEBIS_COMMON_CRC32_H_

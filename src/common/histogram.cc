@@ -1,0 +1,98 @@
+#include "src/common/histogram.h"
+
+#include <algorithm>
+#include <bit>
+#include <cstdio>
+#include <limits>
+
+namespace tebis {
+
+Histogram::Histogram()
+    : buckets_(64 * kSubBuckets, 0),
+      count_(0),
+      sum_(0),
+      min_(std::numeric_limits<uint64_t>::max()),
+      max_(0) {}
+
+size_t Histogram::BucketFor(uint64_t v) const {
+  if (v < kSubBuckets) {
+    return static_cast<size_t>(v);
+  }
+  const int msb = 63 - std::countl_zero(v);
+  // Within power-of-two group `msb`, split linearly into kSubBuckets.
+  const int shift = msb - 5;  // 2^5 == kSubBuckets
+  const uint64_t sub = (v >> shift) - kSubBuckets;
+  return static_cast<size_t>(msb - 5) * kSubBuckets + kSubBuckets + sub;
+}
+
+uint64_t Histogram::BucketUpperBound(size_t index) const {
+  if (index < kSubBuckets) {
+    return index;
+  }
+  const size_t group = (index - kSubBuckets) / kSubBuckets;
+  const size_t sub = (index - kSubBuckets) % kSubBuckets;
+  const int shift = static_cast<int>(group);
+  return ((kSubBuckets + sub + 1) << shift) - 1;
+}
+
+void Histogram::Record(uint64_t value_ns) {
+  size_t b = BucketFor(value_ns);
+  if (b >= buckets_.size()) {
+    b = buckets_.size() - 1;
+  }
+  buckets_[b]++;
+  count_++;
+  sum_ += value_ns;
+  min_ = std::min(min_, value_ns);
+  max_ = std::max(max_, value_ns);
+}
+
+void Histogram::Merge(const Histogram& other) {
+  for (size_t i = 0; i < buckets_.size(); ++i) {
+    buckets_[i] += other.buckets_[i];
+  }
+  count_ += other.count_;
+  sum_ += other.sum_;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+}
+
+void Histogram::Reset() {
+  std::fill(buckets_.begin(), buckets_.end(), 0);
+  count_ = 0;
+  sum_ = 0;
+  min_ = std::numeric_limits<uint64_t>::max();
+  max_ = 0;
+}
+
+double Histogram::Mean() const {
+  return count_ == 0 ? 0.0 : static_cast<double>(sum_) / static_cast<double>(count_);
+}
+
+uint64_t Histogram::Percentile(double p) const {
+  if (count_ == 0) {
+    return 0;
+  }
+  const double target = p / 100.0 * static_cast<double>(count_);
+  uint64_t seen = 0;
+  for (size_t i = 0; i < buckets_.size(); ++i) {
+    seen += buckets_[i];
+    if (static_cast<double>(seen) >= target) {
+      return std::min(BucketUpperBound(i), max_);
+    }
+  }
+  return max_;
+}
+
+std::string Histogram::Summary() const {
+  char buf[256];
+  snprintf(buf, sizeof(buf), "count=%llu mean=%.1fns p50=%llu p99=%llu p99.9=%llu max=%llu",
+           static_cast<unsigned long long>(count_), Mean(),
+           static_cast<unsigned long long>(Percentile(50)),
+           static_cast<unsigned long long>(Percentile(99)),
+           static_cast<unsigned long long>(Percentile(99.9)),
+           static_cast<unsigned long long>(max_));
+  return buf;
+}
+
+}  // namespace tebis

@@ -1,0 +1,47 @@
+// Latency histogram with logarithmic bucketing, used for the tail-latency
+// figures (Fig. 8). Records values in nanoseconds; reports arbitrary
+// percentiles.
+#ifndef TEBIS_COMMON_HISTOGRAM_H_
+#define TEBIS_COMMON_HISTOGRAM_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace tebis {
+
+class Histogram {
+ public:
+  Histogram();
+
+  void Record(uint64_t value_ns);
+  void Merge(const Histogram& other);
+  void Reset();
+
+  uint64_t count() const { return count_; }
+  uint64_t min() const { return count_ == 0 ? 0 : min_; }
+  uint64_t max() const { return max_; }
+  double Mean() const;
+
+  // p in [0, 100]. Returns an upper bound of the bucket containing the
+  // percentile (values are bucketed with <= 3% relative error).
+  uint64_t Percentile(double p) const;
+
+  std::string Summary() const;
+
+ private:
+  // Buckets: 64 power-of-two groups x kSubBuckets linear sub-buckets.
+  static constexpr int kSubBuckets = 32;
+  size_t BucketFor(uint64_t v) const;
+  uint64_t BucketUpperBound(size_t index) const;
+
+  std::vector<uint64_t> buckets_;
+  uint64_t count_;
+  uint64_t sum_;
+  uint64_t min_;
+  uint64_t max_;
+};
+
+}  // namespace tebis
+
+#endif  // TEBIS_COMMON_HISTOGRAM_H_

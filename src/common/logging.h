@@ -1,0 +1,73 @@
+// Minimal leveled logging. Benchmarks set the level to kWarn to keep output
+// parseable; tests may raise it for debugging.
+#ifndef TEBIS_COMMON_LOGGING_H_
+#define TEBIS_COMMON_LOGGING_H_
+
+#include <sstream>
+#include <string>
+
+namespace tebis {
+
+enum class LogLevel { kDebug = 0, kInfo, kWarn, kError };
+
+// Sets / gets the global minimum level that is emitted.
+void SetLogLevel(LogLevel level);
+LogLevel GetLogLevel();
+
+// Emits one formatted log line (thread-safe).
+void LogMessage(LogLevel level, const char* file, int line, const std::string& message);
+
+namespace logging_internal {
+
+class LogLine {
+ public:
+  LogLine(LogLevel level, const char* file, int line) : level_(level), file_(file), line_(line) {}
+  ~LogLine() { LogMessage(level_, file_, line_, stream_.str()); }
+
+  template <typename T>
+  LogLine& operator<<(const T& v) {
+    stream_ << v;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  const char* file_;
+  int line_;
+  std::ostringstream stream_;
+};
+
+}  // namespace logging_internal
+
+#define TEBIS_LOG(level)                                          \
+  if (::tebis::LogLevel::level >= ::tebis::GetLogLevel())         \
+  ::tebis::logging_internal::LogLine(::tebis::LogLevel::level, __FILE__, __LINE__)
+
+#define TEBIS_CHECK(cond)                                                            \
+  if (!(cond))                                                                       \
+  ::tebis::logging_internal::FatalLine(__FILE__, __LINE__) << "Check failed: " #cond
+
+namespace logging_internal {
+
+// Like LogLine but aborts the process in the destructor.
+class FatalLine {
+ public:
+  FatalLine(const char* file, int line) : file_(file), line_(line) {}
+  [[noreturn]] ~FatalLine();
+
+  template <typename T>
+  FatalLine& operator<<(const T& v) {
+    stream_ << v;
+    return *this;
+  }
+
+ private:
+  const char* file_;
+  int line_;
+  std::ostringstream stream_;
+};
+
+}  // namespace logging_internal
+}  // namespace tebis
+
+#endif  // TEBIS_COMMON_LOGGING_H_

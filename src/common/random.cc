@@ -1,0 +1,15 @@
+#include "src/common/random.h"
+
+namespace tebis {
+
+std::string Random::Bytes(size_t size) {
+  static const char kAlphabet[] = "abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ0123456789";
+  std::string out;
+  out.resize(size);
+  for (size_t i = 0; i < size; ++i) {
+    out[i] = kAlphabet[Uniform(sizeof(kAlphabet) - 1)];
+  }
+  return out;
+}
+
+}  // namespace tebis

@@ -1,0 +1,58 @@
+// Deterministic pseudo-random generators used by workload generation and
+// property tests. We avoid std::mt19937 in hot paths; xorshift128+ is both
+// faster and reproducible across standard libraries.
+#ifndef TEBIS_COMMON_RANDOM_H_
+#define TEBIS_COMMON_RANDOM_H_
+
+#include <cstdint>
+#include <string>
+
+namespace tebis {
+
+class Random {
+ public:
+  explicit Random(uint64_t seed = 0x9e3779b97f4a7c15ull) {
+    // SplitMix64 expansion of the seed so that nearby seeds give unrelated
+    // streams.
+    auto mix = [&seed]() {
+      seed += 0x9e3779b97f4a7c15ull;
+      uint64_t z = seed;
+      z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+      z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+      return z ^ (z >> 31);
+    };
+    s0_ = mix();
+    s1_ = mix();
+  }
+
+  uint64_t Next() {
+    uint64_t x = s0_;
+    const uint64_t y = s1_;
+    s0_ = y;
+    x ^= x << 23;
+    s1_ = x ^ y ^ (x >> 17) ^ (y >> 26);
+    return s1_ + y;
+  }
+
+  // Uniform in [0, n). n must be > 0.
+  uint64_t Uniform(uint64_t n) { return Next() % n; }
+
+  // Uniform in [lo, hi].
+  uint64_t UniformRange(uint64_t lo, uint64_t hi) { return lo + Uniform(hi - lo + 1); }
+
+  // Uniform double in [0, 1).
+  double NextDouble() { return static_cast<double>(Next() >> 11) * (1.0 / 9007199254740992.0); }
+
+  bool OneIn(uint64_t n) { return Uniform(n) == 0; }
+
+  // Random printable-ish bytes of exactly `size` bytes.
+  std::string Bytes(size_t size);
+
+ private:
+  uint64_t s0_;
+  uint64_t s1_;
+};
+
+}  // namespace tebis
+
+#endif  // TEBIS_COMMON_RANDOM_H_

@@ -1,0 +1,72 @@
+// Non-owning byte view used across the storage and network layers.
+#ifndef TEBIS_COMMON_SLICE_H_
+#define TEBIS_COMMON_SLICE_H_
+
+#include <cassert>
+#include <cstring>
+#include <string>
+#include <string_view>
+
+namespace tebis {
+
+// Like std::string_view but with helpers used by the KV code paths. Slices do
+// not own the bytes they reference; callers must keep the backing storage
+// alive.
+class Slice {
+ public:
+  Slice() : data_(""), size_(0) {}
+  Slice(const char* data, size_t size) : data_(data), size_(size) {}
+  Slice(const std::string& s) : data_(s.data()), size_(s.size()) {}  // NOLINT
+  Slice(const char* s) : data_(s), size_(strlen(s)) {}               // NOLINT
+  Slice(std::string_view v) : data_(v.data()), size_(v.size()) {}    // NOLINT
+
+  const char* data() const { return data_; }
+  size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+
+  char operator[](size_t i) const {
+    assert(i < size_);
+    return data_[i];
+  }
+
+  void RemovePrefix(size_t n) {
+    assert(n <= size_);
+    data_ += n;
+    size_ -= n;
+  }
+
+  std::string ToString() const { return std::string(data_, size_); }
+  std::string_view ToView() const { return std::string_view(data_, size_); }
+
+  // Three-way comparison with memcmp semantics (shorter prefix sorts first).
+  int Compare(const Slice& other) const {
+    const size_t min_len = size_ < other.size_ ? size_ : other.size_;
+    int r = memcmp(data_, other.data_, min_len);
+    if (r == 0) {
+      if (size_ < other.size_) {
+        r = -1;
+      } else if (size_ > other.size_) {
+        r = +1;
+      }
+    }
+    return r;
+  }
+
+  bool StartsWith(const Slice& prefix) const {
+    return size_ >= prefix.size_ && memcmp(data_, prefix.data_, prefix.size_) == 0;
+  }
+
+  bool operator==(const Slice& other) const {
+    return size_ == other.size_ && memcmp(data_, other.data_, size_) == 0;
+  }
+  bool operator!=(const Slice& other) const { return !(*this == other); }
+  bool operator<(const Slice& other) const { return Compare(other) < 0; }
+
+ private:
+  const char* data_;
+  size_t size_;
+};
+
+}  // namespace tebis
+
+#endif  // TEBIS_COMMON_SLICE_H_

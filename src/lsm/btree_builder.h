@@ -1,0 +1,85 @@
+// Bottom-up, left-to-right bulk loader for on-device level indexes.
+//
+// The builder packs fixed-size nodes into per-tree-level segment streams and
+// writes each segment to the device with one large write when it fills. A
+// SegmentSink observes every completed segment image — that is exactly the
+// hook the Send-Index primary uses to ship the index incrementally while the
+// compaction is still running (paper §3.3).
+#ifndef TEBIS_LSM_BTREE_BUILDER_H_
+#define TEBIS_LSM_BTREE_BUILDER_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/common/slice.h"
+#include "src/common/status.h"
+#include "src/lsm/btree_node.h"
+#include "src/storage/block_device.h"
+
+namespace tebis {
+
+// A finished on-device B+ tree (one LSM level).
+struct BuiltTree {
+  uint64_t root_offset = kInvalidOffset;
+  uint16_t height = 0;  // levels above the leaves; 0 => root is a leaf
+  uint64_t num_entries = 0;
+  std::vector<SegmentId> segments;
+  uint64_t bytes_written = 0;
+
+  bool empty() const { return root_offset == kInvalidOffset; }
+};
+
+// Observes completed index segments as they are produced.
+class SegmentSink {
+ public:
+  virtual ~SegmentSink() = default;
+
+  // `bytes` is the used prefix of the segment image (whole nodes only).
+  // tree_level 0 = leaf segments. Called in build order; partial segments are
+  // emitted leaf-level-first when the tree finishes.
+  virtual void OnSegmentComplete(int tree_level, SegmentId segment, Slice bytes) = 0;
+};
+
+class BTreeBuilder {
+ public:
+  // Writes through `device` accounting I/O as `io_class`. `sink` may be null.
+  BTreeBuilder(BlockDevice* device, size_t node_size, IoClass io_class, SegmentSink* sink);
+  ~BTreeBuilder();
+
+  BTreeBuilder(const BTreeBuilder&) = delete;
+  BTreeBuilder& operator=(const BTreeBuilder&) = delete;
+
+  // Adds the next entry. Keys must arrive in strictly ascending order.
+  Status Add(Slice key, uint64_t log_offset);
+
+  // Completes all partial nodes and segments and returns the tree. The
+  // builder must not be reused afterwards.
+  StatusOr<BuiltTree> Finish();
+
+ private:
+  struct LevelState;
+
+  Status CompleteLeafNode();
+  Status CompleteIndexNode(size_t level);
+  Status AddPivot(size_t level, Slice key, uint64_t child_offset);
+  Status PlaceNode(size_t level, const char* node, uint64_t* offset_out);
+  Status FlushStream(size_t level);
+  LevelState& Level(size_t level);
+
+  BlockDevice* const device_;
+  const size_t node_size_;
+  const IoClass io_class_;
+  SegmentSink* const sink_;
+
+  std::vector<std::unique_ptr<LevelState>> levels_;
+  std::string last_key_;  // for ascending-order enforcement
+  uint64_t num_entries_ = 0;
+  uint64_t bytes_written_ = 0;
+  std::vector<SegmentId> segments_;
+  bool finished_ = false;
+};
+
+}  // namespace tebis
+
+#endif  // TEBIS_LSM_BTREE_BUILDER_H_

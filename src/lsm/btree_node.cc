@@ -1,0 +1,203 @@
+#include "src/lsm/btree_node.h"
+
+#include <cassert>
+#include <cstring>
+
+namespace tebis {
+namespace {
+
+NodeHeader* MutableHeader(char* data) { return reinterpret_cast<NodeHeader*>(data); }
+
+}  // namespace
+
+// --- LeafNodeView ---------------------------------------------------------
+
+StatusOr<int> LeafNodeView::CompareEntry(
+    uint32_t i, Slice key, const std::function<StatusOr<std::string>(uint64_t)>& full_key) const {
+  const LeafEntry& e = entry(i);
+  int c = ComparePrefix(e.prefix, key);
+  if (c != 0) {
+    return c;
+  }
+  // Prefixes tie. If both keys fit entirely in the prefix, the zero padding
+  // already decided equality for equal sizes; sizes break the remaining ties
+  // only when both fit.
+  if (e.key_size <= kPrefixSize && key.size() <= kPrefixSize) {
+    if (e.key_size == key.size()) {
+      return 0;
+    }
+    return e.key_size < key.size() ? -1 : 1;
+  }
+  TEBIS_ASSIGN_OR_RETURN(std::string stored, full_key(e.log_offset));
+  return Slice(stored).Compare(key);
+}
+
+StatusOr<uint32_t> LeafNodeView::LowerBound(
+    Slice key, const std::function<StatusOr<std::string>(uint64_t)>& full_key) const {
+  uint32_t lo = 0;
+  uint32_t hi = num_entries();
+  while (lo < hi) {
+    const uint32_t mid = lo + (hi - lo) / 2;
+    TEBIS_ASSIGN_OR_RETURN(int c, CompareEntry(mid, key, full_key));
+    if (c < 0) {
+      lo = mid + 1;
+    } else {
+      hi = mid;
+    }
+  }
+  return lo;
+}
+
+StatusOr<uint32_t> LeafNodeView::Find(
+    Slice key, const std::function<StatusOr<std::string>(uint64_t)>& full_key) const {
+  TEBIS_ASSIGN_OR_RETURN(uint32_t i, LowerBound(key, full_key));
+  if (i >= num_entries()) {
+    return Status::NotFound();
+  }
+  TEBIS_ASSIGN_OR_RETURN(int c, CompareEntry(i, key, full_key));
+  if (c != 0) {
+    return Status::NotFound();
+  }
+  return i;
+}
+
+// --- LeafNodeBuilder --------------------------------------------------------
+
+LeafNodeBuilder::LeafNodeBuilder(char* data, size_t node_size)
+    : data_(data),
+      node_size_(node_size),
+      capacity_(static_cast<uint32_t>(LeafCapacity(node_size))),
+      count_(0) {
+  Reset();
+}
+
+void LeafNodeBuilder::Add(Slice key, uint64_t log_offset) {
+  assert(!Full());
+  auto* entries = reinterpret_cast<LeafEntry*>(data_ + sizeof(NodeHeader));
+  LeafEntry& e = entries[count_++];
+  e.log_offset = log_offset;
+  e.key_size = static_cast<uint32_t>(key.size());
+  MakePrefix(key, e.prefix);
+}
+
+void LeafNodeBuilder::Finish() {
+  NodeHeader* h = MutableHeader(data_);
+  h->magic = kLeafMagic;
+  h->tree_height = 0;
+  h->reserved = 0;
+  h->num_entries = count_;
+  h->cell_bytes = 0;
+}
+
+void LeafNodeBuilder::Reset() {
+  memset(data_, 0, node_size_);
+  count_ = 0;
+}
+
+Status RewriteLeafOffsets(char* data, size_t node_size, const OffsetTranslator& translate) {
+  LeafNodeView view(data, node_size);
+  if (!view.IsValid()) {
+    return Status::Corruption("not a leaf node");
+  }
+  auto* entries = reinterpret_cast<LeafEntry*>(data + sizeof(NodeHeader));
+  const uint32_t n = view.num_entries();
+  for (uint32_t i = 0; i < n; ++i) {
+    TEBIS_ASSIGN_OR_RETURN(entries[i].log_offset, translate(entries[i].log_offset));
+  }
+  return Status::Ok();
+}
+
+// --- IndexNodeView ------------------------------------------------------------
+
+const char* IndexNodeView::cell(uint32_t i) const {
+  const auto* slots = reinterpret_cast<const uint16_t*>(data_ + sizeof(NodeHeader));
+  return data_ + slots[i];
+}
+
+Slice IndexNodeView::key(uint32_t i) const {
+  const char* c = cell(i);
+  uint16_t len;
+  memcpy(&len, c, sizeof(len));
+  return Slice(c + kIndexCellHeaderSize, len);
+}
+
+uint64_t IndexNodeView::child(uint32_t i) const {
+  const char* c = cell(i);
+  uint64_t off;
+  memcpy(&off, c + sizeof(uint16_t), sizeof(off));
+  return off;
+}
+
+uint32_t IndexNodeView::FindChild(Slice target) const {
+  // Last entry with key <= target; entry 0 is the fallback for smaller keys.
+  uint32_t lo = 0;
+  uint32_t hi = num_entries();
+  while (lo < hi) {
+    const uint32_t mid = lo + (hi - lo) / 2;
+    if (key(mid).Compare(target) <= 0) {
+      lo = mid + 1;
+    } else {
+      hi = mid;
+    }
+  }
+  return lo == 0 ? 0 : lo - 1;
+}
+
+// --- IndexNodeBuilder ---------------------------------------------------------
+
+IndexNodeBuilder::IndexNodeBuilder(char* data, size_t node_size)
+    : data_(data), node_size_(node_size), count_(0), cell_bytes_(0) {
+  Reset();
+}
+
+bool IndexNodeBuilder::WouldOverflow(size_t key_len) const {
+  const size_t slots_end = sizeof(NodeHeader) + (count_ + 1) * kIndexSlotSize;
+  const size_t cells_start = node_size_ - cell_bytes_ - IndexCellSize(key_len);
+  return slots_end > cells_start;
+}
+
+void IndexNodeBuilder::Add(Slice key, uint64_t child_offset) {
+  assert(!WouldOverflow(key.size()));
+  cell_bytes_ += IndexCellSize(key.size());
+  char* c = data_ + node_size_ - cell_bytes_;
+  const uint16_t len = static_cast<uint16_t>(key.size());
+  memcpy(c, &len, sizeof(len));
+  memcpy(c + sizeof(uint16_t), &child_offset, sizeof(child_offset));
+  memcpy(c + kIndexCellHeaderSize, key.data(), key.size());
+  auto* slots = reinterpret_cast<uint16_t*>(data_ + sizeof(NodeHeader));
+  slots[count_++] = static_cast<uint16_t>(node_size_ - cell_bytes_);
+}
+
+void IndexNodeBuilder::Finish(uint16_t tree_height) {
+  NodeHeader* h = MutableHeader(data_);
+  h->magic = kIndexMagic;
+  h->tree_height = tree_height;
+  h->reserved = 0;
+  h->num_entries = count_;
+  h->cell_bytes = static_cast<uint32_t>(cell_bytes_);
+}
+
+void IndexNodeBuilder::Reset() {
+  memset(data_, 0, node_size_);
+  count_ = 0;
+  cell_bytes_ = 0;
+}
+
+Status RewriteIndexChildren(char* data, size_t node_size, const OffsetTranslator& translate) {
+  IndexNodeView view(data, node_size);
+  if (!view.IsValid()) {
+    return Status::Corruption("not an index node");
+  }
+  const auto* slots = reinterpret_cast<const uint16_t*>(data + sizeof(NodeHeader));
+  const uint32_t n = view.num_entries();
+  for (uint32_t i = 0; i < n; ++i) {
+    char* c = data + slots[i];
+    uint64_t child;
+    memcpy(&child, c + sizeof(uint16_t), sizeof(child));
+    TEBIS_ASSIGN_OR_RETURN(uint64_t translated, translate(child));
+    memcpy(c + sizeof(uint16_t), &translated, sizeof(translated));
+  }
+  return Status::Ok();
+}
+
+}  // namespace tebis

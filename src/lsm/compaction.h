@@ -1,0 +1,84 @@
+// Leveled compaction: k-way merge of a newer source into an older level,
+// producing a fresh on-device B+ tree through BTreeBuilder. Sources are
+// ordered newest-first; on key ties the newest version wins and older ones
+// are dropped. Tombstones are elided only when compacting into the last
+// level.
+#ifndef TEBIS_LSM_COMPACTION_H_
+#define TEBIS_LSM_COMPACTION_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/lsm/btree_builder.h"
+#include "src/lsm/btree_reader.h"
+#include "src/lsm/memtable.h"
+#include "src/lsm/value_log.h"
+
+namespace tebis {
+
+// One key version flowing through a merge.
+struct MergeEntry {
+  std::string key;
+  uint64_t log_offset = kInvalidOffset;
+  bool tombstone = false;
+};
+
+// Ordered stream of key versions.
+class MergeSource {
+ public:
+  virtual ~MergeSource() = default;
+  virtual bool Valid() const = 0;
+  virtual const MergeEntry& entry() const = 0;
+  virtual Status Next() = 0;
+};
+
+// Streams an L0 memtable (keys already in memory).
+class MemtableMergeSource : public MergeSource {
+ public:
+  // Starts at the first key >= `start` (whole table when `start` is empty).
+  explicit MemtableMergeSource(const Memtable* table, Slice start = Slice());
+  bool Valid() const override { return valid_; }
+  const MergeEntry& entry() const override { return entry_; }
+  Status Next() override;
+
+ private:
+  void Load();
+  Memtable::Iterator it_;
+  MergeEntry entry_;
+  bool valid_ = false;
+};
+
+// Streams a device level. Reads leaves/index nodes and the full key of every
+// entry from the value log with direct I/O (IoClass::kCompactionRead) — this
+// is precisely the read traffic Send-Index removes from backups.
+class LevelMergeSource : public MergeSource {
+ public:
+  LevelMergeSource(BlockDevice* device, size_t node_size, const BuiltTree& tree,
+                   const ValueLog* log);
+  // Positions at the first key >= `start` (whole level when `start` is empty).
+  Status Init(Slice start = Slice());
+
+  bool Valid() const override { return valid_; }
+  const MergeEntry& entry() const override { return entry_; }
+  Status Next() override;
+
+ private:
+  Status Load();
+  BTreeReader reader_;
+  BTreeIterator it_;
+  const ValueLog* log_;
+  MergeEntry entry_;
+  bool valid_ = false;
+};
+
+// Merges `sources` (newest first) into `builder`. Returns the number of
+// entries written. Duplicate keys keep only the newest version; when
+// `drop_tombstones` is set, surviving tombstones are not written out.
+StatusOr<uint64_t> MergeSources(std::vector<MergeSource*> sources, bool drop_tombstones,
+                                BTreeBuilder* builder);
+
+}  // namespace tebis
+
+#endif  // TEBIS_LSM_COMPACTION_H_

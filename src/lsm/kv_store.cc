@@ -1,0 +1,498 @@
+#include "src/lsm/kv_store.h"
+
+#include <algorithm>
+
+#include "src/common/clock.h"
+#include "src/common/logging.h"
+#include "src/lsm/btree_reader.h"
+#include "src/lsm/compaction.h"
+#include "src/lsm/manifest.h"
+
+namespace tebis {
+namespace {
+
+// Adapts a CompactionObserver to the builder's SegmentSink.
+class ObserverSink : public SegmentSink {
+ public:
+  ObserverSink(CompactionObserver* observer, const CompactionInfo& info)
+      : observer_(observer), info_(info) {}
+
+  void OnSegmentComplete(int tree_level, SegmentId segment, Slice bytes) override {
+    if (observer_ != nullptr) {
+      observer_->OnIndexSegment(info_, tree_level, segment, bytes);
+    }
+  }
+
+ private:
+  CompactionObserver* observer_;
+  CompactionInfo info_;
+};
+
+}  // namespace
+
+StatusOr<std::unique_ptr<KvStore>> KvStore::Create(BlockDevice* device,
+                                                   const KvStoreOptions& options) {
+  if (options.max_levels < 1 || options.growth_factor < 2 || options.l0_max_entries == 0) {
+    return Status::InvalidArgument("bad KvStoreOptions");
+  }
+  if (options.node_size > device->segment_size() ||
+      device->segment_size() % options.node_size != 0) {
+    return Status::InvalidArgument("node_size must divide segment_size");
+  }
+  std::unique_ptr<KvStore> store(new KvStore(device, options));
+  TEBIS_ASSIGN_OR_RETURN(store->log_, ValueLog::Create(device));
+  return store;
+}
+
+StatusOr<std::unique_ptr<KvStore>> KvStore::CreateFromParts(BlockDevice* device,
+                                                            const KvStoreOptions& options,
+                                                            std::unique_ptr<ValueLog> log,
+                                                            std::vector<BuiltTree> levels) {
+  if (levels.size() != options.max_levels + 1) {
+    return Status::InvalidArgument("levels vector must have max_levels+1 entries");
+  }
+  std::unique_ptr<KvStore> store(new KvStore(device, options));
+  store->log_ = std::move(log);
+  store->levels_ = std::move(levels);
+  return store;
+}
+
+KvStore::KvStore(BlockDevice* device, const KvStoreOptions& options)
+    : device_(device),
+      options_(options),
+      memtable_(std::make_unique<Memtable>()),
+      levels_(options.max_levels + 1) {
+  if (options.cache_bytes > 0) {
+    cache_ = std::make_unique<PageCache>(device, options.cache_bytes, options.node_size);
+  }
+}
+
+uint64_t KvStore::LevelCapacity(uint32_t level) const {
+  uint64_t cap = options_.l0_max_entries;
+  for (uint32_t i = 0; i < level; ++i) {
+    cap *= options_.growth_factor;
+  }
+  return cap;
+}
+
+FullKeyLoader KvStore::LookupKeyLoader() {
+  return [this](uint64_t off) -> StatusOr<std::string> {
+    std::string key;
+    TEBIS_RETURN_IF_ERROR(log_->ReadKey(off, &key, nullptr, cache_.get(), IoClass::kLookup));
+    return key;
+  };
+}
+
+Status KvStore::Put(Slice key, Slice value) {
+  bool flushed;
+  {
+    ScopedCpuTimer t(&stats_.insert_l0_cpu_ns);
+    TEBIS_ASSIGN_OR_RETURN(ValueLog::AppendResult res, log_->Append(key, value, false));
+    memtable_->Put(key, ValueLocation{res.offset, false});
+    stats_.puts++;
+    flushed = res.flushed_segment;
+  }
+  if (flushed && options_.auto_checkpoint) {
+    TEBIS_RETURN_IF_ERROR(Checkpoint().status());
+  }
+  return MaybeCompact();
+}
+
+Status KvStore::Delete(Slice key) {
+  bool flushed;
+  {
+    ScopedCpuTimer t(&stats_.insert_l0_cpu_ns);
+    TEBIS_ASSIGN_OR_RETURN(ValueLog::AppendResult res, log_->Append(key, Slice(), true));
+    memtable_->Put(key, ValueLocation{res.offset, true});
+    stats_.deletes++;
+    flushed = res.flushed_segment;
+  }
+  if (flushed && options_.auto_checkpoint) {
+    TEBIS_RETURN_IF_ERROR(Checkpoint().status());
+  }
+  return MaybeCompact();
+}
+
+Status KvStore::ReplayRecord(Slice key, uint64_t log_offset, bool tombstone) {
+  memtable_->Put(key, ValueLocation{log_offset, tombstone});
+  return Status::Ok();
+}
+
+StatusOr<ValueLocation> KvStore::FindLocation(Slice key) {
+  ValueLocation loc;
+  if (memtable_->Get(key, &loc)) {
+    return loc;
+  }
+  FullKeyLoader loader = LookupKeyLoader();
+  for (uint32_t i = 1; i <= options_.max_levels; ++i) {
+    if (levels_[i].empty()) {
+      continue;
+    }
+    BTreeReader reader(device_, cache_.get(), options_.node_size, levels_[i], IoClass::kLookup);
+    auto found = reader.Find(key, loader);
+    if (found.ok()) {
+      // The tombstone flag lives in the log record; the caller reads it.
+      return ValueLocation{*found, false};
+    }
+    if (!found.status().IsNotFound()) {
+      return found.status();
+    }
+  }
+  return Status::NotFound();
+}
+
+StatusOr<std::string> KvStore::Get(Slice key) {
+  ScopedCpuTimer t(&stats_.get_cpu_ns);
+  stats_.gets++;
+  TEBIS_ASSIGN_OR_RETURN(ValueLocation loc, FindLocation(key));
+  if (loc.tombstone) {
+    return Status::NotFound();
+  }
+  LogRecord rec;
+  TEBIS_RETURN_IF_ERROR(log_->ReadRecord(loc.log_offset, &rec, cache_.get(), IoClass::kLookup));
+  if (rec.tombstone) {
+    return Status::NotFound();
+  }
+  return std::move(rec.value);
+}
+
+StatusOr<std::vector<KvPair>> KvStore::Scan(Slice start, size_t limit) {
+  stats_.scans++;
+  FullKeyLoader loader = LookupKeyLoader();
+
+  std::vector<std::unique_ptr<MergeSource>> owned;
+  owned.push_back(std::make_unique<MemtableMergeSource>(memtable_.get(), start));
+  for (uint32_t i = 1; i <= options_.max_levels; ++i) {
+    if (levels_[i].empty()) {
+      continue;
+    }
+    auto src = std::make_unique<LevelMergeSource>(device_, options_.node_size, levels_[i],
+                                                  log_.get());
+    TEBIS_RETURN_IF_ERROR(src->Init(start));
+    owned.push_back(std::move(src));
+  }
+
+  std::vector<KvPair> out;
+  while (out.size() < limit) {
+    int best = -1;
+    for (size_t i = 0; i < owned.size(); ++i) {
+      if (!owned[i]->Valid()) {
+        continue;
+      }
+      if (best < 0 ||
+          Slice(owned[i]->entry().key).Compare(Slice(owned[best]->entry().key)) < 0) {
+        best = static_cast<int>(i);
+      }
+    }
+    if (best < 0) {
+      break;
+    }
+    const MergeEntry winner = owned[best]->entry();
+    for (auto& src : owned) {
+      while (src->Valid() && Slice(src->entry().key) == Slice(winner.key)) {
+        TEBIS_RETURN_IF_ERROR(src->Next());
+      }
+    }
+    if (winner.tombstone) {
+      continue;
+    }
+    LogRecord rec;
+    TEBIS_RETURN_IF_ERROR(
+        log_->ReadRecord(winner.log_offset, &rec, cache_.get(), IoClass::kLookup));
+    out.push_back(KvPair{std::move(rec.key), std::move(rec.value)});
+  }
+  return out;
+}
+
+Status KvStore::MaybeCompact() {
+  bool progressed = true;
+  while (progressed) {
+    progressed = false;
+    if (memtable_->entries() >= options_.l0_max_entries) {
+      TEBIS_RETURN_IF_ERROR(CompactIntoNext(0));
+      progressed = true;
+    }
+    for (uint32_t i = 1; i < options_.max_levels; ++i) {
+      if (levels_[i].num_entries > LevelCapacity(i)) {
+        TEBIS_RETURN_IF_ERROR(CompactIntoNext(static_cast<int>(i)));
+        progressed = true;
+      }
+    }
+  }
+  return Status::Ok();
+}
+
+Status KvStore::ForceFullCompaction() {
+  TEBIS_RETURN_IF_ERROR(FlushL0());
+  for (uint32_t i = 1; i < options_.max_levels; ++i) {
+    if (!levels_[i].empty()) {
+      TEBIS_RETURN_IF_ERROR(CompactIntoNext(static_cast<int>(i)));
+    }
+  }
+  return Status::Ok();
+}
+
+Status KvStore::FlushL0() {
+  if (memtable_->entries() == 0) {
+    return Status::Ok();
+  }
+  TEBIS_RETURN_IF_ERROR(CompactIntoNext(0));
+  return MaybeCompact();
+}
+
+Status KvStore::FreeTreeSegments(const BuiltTree& tree) {
+  for (SegmentId seg : tree.segments) {
+    if (cache_ != nullptr) {
+      cache_->InvalidateSegment(seg);
+    }
+    TEBIS_RETURN_IF_ERROR(device_->FreeSegment(seg));
+  }
+  return Status::Ok();
+}
+
+Status KvStore::CompactIntoNext(int src_level) {
+  ScopedCpuTimer t(&stats_.compaction_cpu_ns);
+  const int dst_level = src_level + 1;
+  if (dst_level > static_cast<int>(options_.max_levels)) {
+    return Status::FailedPrecondition("cannot compact past the last level");
+  }
+  CompactionInfo info{next_compaction_id_++, src_level, dst_level};
+  if (observer_ != nullptr) {
+    observer_->OnCompactionBegin(info);
+  }
+  if (src_level == 0) {
+    // Seal the tail so the new level references only flushed log segments —
+    // required both by backup pointer rewriting (§3.3) and by local recovery
+    // (the replay boundary below). The replicated observer usually flushed
+    // already, making this a no-op.
+    TEBIS_RETURN_IF_ERROR(log_->FlushTail());
+    l0_replay_from_ = log_->flushed_segments().size();
+  }
+
+  ObserverSink sink(observer_, info);
+  BTreeBuilder builder(device_, options_.node_size, IoClass::kCompactionWrite, &sink);
+
+  std::unique_ptr<MemtableMergeSource> mem_src;
+  std::unique_ptr<LevelMergeSource> src_src;
+  std::unique_ptr<LevelMergeSource> dst_src;
+  std::vector<MergeSource*> sources;
+
+  if (src_level == 0) {
+    mem_src = std::make_unique<MemtableMergeSource>(memtable_.get());
+    sources.push_back(mem_src.get());
+  } else if (!levels_[src_level].empty()) {
+    src_src = std::make_unique<LevelMergeSource>(device_, options_.node_size, levels_[src_level],
+                                                 log_.get());
+    TEBIS_RETURN_IF_ERROR(src_src->Init());
+    sources.push_back(src_src.get());
+  }
+  if (!levels_[dst_level].empty()) {
+    dst_src = std::make_unique<LevelMergeSource>(device_, options_.node_size, levels_[dst_level],
+                                                 log_.get());
+    TEBIS_RETURN_IF_ERROR(dst_src->Init());
+    sources.push_back(dst_src.get());
+  }
+
+  const bool drop_tombstones = dst_level == static_cast<int>(options_.max_levels);
+  TEBIS_ASSIGN_OR_RETURN(uint64_t written, MergeSources(sources, drop_tombstones, &builder));
+  (void)written;
+  TEBIS_ASSIGN_OR_RETURN(BuiltTree new_tree, builder.Finish());
+
+  // Retire the inputs.
+  if (src_level == 0) {
+    memtable_ = std::make_unique<Memtable>();
+  } else {
+    TEBIS_RETURN_IF_ERROR(FreeTreeSegments(levels_[src_level]));
+    levels_[src_level] = BuiltTree{};
+  }
+  TEBIS_RETURN_IF_ERROR(FreeTreeSegments(levels_[dst_level]));
+  levels_[dst_level] = new_tree;
+
+  stats_.compactions++;
+  if (observer_ != nullptr) {
+    observer_->OnCompactionEnd(info, new_tree);
+  }
+  if (options_.auto_checkpoint) {
+    TEBIS_RETURN_IF_ERROR(Checkpoint().status());
+  }
+  return Status::Ok();
+}
+
+StatusOr<size_t> KvStore::GarbageCollectHead(size_t max_segments) {
+  const auto& flushed = log_->flushed_segments();
+  const size_t n = std::min(max_segments, flushed.size());
+  if (n == 0) {
+    return size_t{0};
+  }
+  const uint64_t seg_size = device_->segment_size();
+  std::string buf;
+  buf.resize(seg_size);
+  for (size_t s = 0; s < n; ++s) {
+    const SegmentId seg = flushed[s];
+    const uint64_t base = device_->geometry().BaseOffset(seg);
+    TEBIS_RETURN_IF_ERROR(device_->Read(base, seg_size, buf.data(), IoClass::kGc));
+    TEBIS_RETURN_IF_ERROR(ValueLog::ForEachRecord(
+        Slice(buf.data(), buf.size()), base, [&](const LogRecord& rec) -> Status {
+          if (rec.tombstone) {
+            return Status::Ok();  // tombstones live in the index, not the log head
+          }
+          // Live iff this offset is still the newest version of the key.
+          auto loc = FindLocation(rec.key);
+          if (!loc.ok()) {
+            if (loc.status().IsNotFound()) {
+              return Status::Ok();
+            }
+            return loc.status();
+          }
+          if (loc->tombstone || loc->log_offset != rec.offset) {
+            return Status::Ok();  // superseded
+          }
+          return Put(rec.key, rec.value);  // move to the tail
+        }));
+  }
+  // The moved records are duplicated at the tail, but leaf entries in device
+  // levels may still reference the head segments. Run a full cascade so the
+  // newest (tail) versions replace every stale reference, then trim.
+  TEBIS_RETURN_IF_ERROR(ForceFullCompaction());
+  const auto& still_flushed = log_->flushed_segments();
+  if (cache_ != nullptr) {
+    for (size_t s = 0; s < n && s < still_flushed.size(); ++s) {
+      cache_->InvalidateSegment(still_flushed[s]);
+    }
+  }
+  TEBIS_RETURN_IF_ERROR(log_->TrimHead(n));
+  l0_replay_from_ -= std::min(l0_replay_from_, n);
+  if (options_.auto_checkpoint) {
+    TEBIS_RETURN_IF_ERROR(Checkpoint().status());
+  }
+  return n;
+}
+
+StatusOr<KvStore::IntegrityReport> KvStore::CheckIntegrity() {
+  IntegrityReport report;
+  // Levels: in-order iteration with every entry's record readable.
+  for (uint32_t level = 1; level <= options_.max_levels; ++level) {
+    if (levels_[level].empty()) {
+      continue;
+    }
+    BTreeReader reader(device_, nullptr, options_.node_size, levels_[level], IoClass::kOther);
+    BTreeIterator it(&reader);
+    TEBIS_RETURN_IF_ERROR(it.SeekToFirst());
+    std::string prev;
+    uint64_t entries = 0;
+    while (it.Valid()) {
+      std::string key;
+      bool tombstone;
+      Status read = log_->ReadKey(it.entry().log_offset, &key, &tombstone, nullptr,
+                                  IoClass::kOther);
+      if (!read.ok()) {
+        return Status::Corruption("L" + std::to_string(level) + " entry " +
+                                  std::to_string(entries) + ": " + read.ToString());
+      }
+      LogRecord record;
+      TEBIS_RETURN_IF_ERROR(
+          log_->ReadRecord(it.entry().log_offset, &record, nullptr, IoClass::kOther));
+      if (!prev.empty() && Slice(prev).Compare(Slice(key)) >= 0) {
+        return Status::Corruption("L" + std::to_string(level) + " out of order at " + key);
+      }
+      prev = key;
+      entries++;
+      TEBIS_RETURN_IF_ERROR(it.Next());
+    }
+    if (entries != levels_[level].num_entries) {
+      return Status::Corruption("L" + std::to_string(level) + " entry count mismatch: " +
+                                std::to_string(entries) + " vs " +
+                                std::to_string(levels_[level].num_entries));
+    }
+    report.level_entries_checked += entries;
+  }
+  // Value log: every flushed segment parses with valid CRCs.
+  const uint64_t seg_size = device_->segment_size();
+  std::string buf(seg_size, 0);
+  for (SegmentId seg : log_->flushed_segments()) {
+    const uint64_t base = device_->geometry().BaseOffset(seg);
+    TEBIS_RETURN_IF_ERROR(device_->Read(base, seg_size, buf.data(), IoClass::kOther));
+    TEBIS_RETURN_IF_ERROR(ValueLog::ForEachRecord(Slice(buf.data(), buf.size()), base,
+                                                  [&](const LogRecord&) {
+                                                    report.log_records_checked++;
+                                                    return Status::Ok();
+                                                  }));
+  }
+  return report;
+}
+
+// --- checkpoint / local recovery ---------------------------------------------
+
+StatusOr<SegmentId> KvStore::Checkpoint() {
+  Manifest manifest;
+  manifest.levels = levels_;
+  manifest.log_flushed_segments = log_->flushed_segments();
+  manifest.l0_replay_from = l0_replay_from_;
+  const std::string body = manifest.Encode();
+  // Layout in the checkpoint segment: [u32 length][manifest bytes].
+  if (body.size() + 4 > device_->segment_size()) {
+    return Status::ResourceExhausted("manifest larger than a segment");
+  }
+  TEBIS_ASSIGN_OR_RETURN(SegmentId fresh, device_->AllocateSegment());
+  const uint32_t length = static_cast<uint32_t>(body.size());
+  std::string image;
+  image.resize(4 + body.size());
+  memcpy(image.data(), &length, 4);
+  memcpy(image.data() + 4, body.data(), body.size());
+  TEBIS_RETURN_IF_ERROR(
+      device_->Write(device_->geometry().BaseOffset(fresh), Slice(image), IoClass::kOther));
+  if (checkpoint_segment_ != kInvalidSegment) {
+    TEBIS_RETURN_IF_ERROR(device_->FreeSegment(checkpoint_segment_));
+  }
+  checkpoint_segment_ = fresh;
+  return fresh;
+}
+
+StatusOr<std::unique_ptr<KvStore>> KvStore::Recover(BlockDevice* device,
+                                                    const KvStoreOptions& options,
+                                                    SegmentId checkpoint_segment) {
+  TEBIS_RETURN_IF_ERROR(device->AdoptAllocated({checkpoint_segment}));
+  std::string image(device->segment_size(), 0);
+  TEBIS_RETURN_IF_ERROR(device->Read(device->geometry().BaseOffset(checkpoint_segment),
+                                     image.size(), image.data(), IoClass::kRecovery));
+  uint32_t length;
+  memcpy(&length, image.data(), 4);
+  if (length + 4 > image.size()) {
+    return Status::Corruption("checkpoint length field out of range");
+  }
+  TEBIS_ASSIGN_OR_RETURN(Manifest manifest, Manifest::Decode(Slice(image.data() + 4, length)));
+  if (manifest.levels.size() != options.max_levels + 1) {
+    return Status::InvalidArgument("checkpoint level count does not match options");
+  }
+  // Re-mark every segment the store owns.
+  std::vector<SegmentId> owned = manifest.log_flushed_segments;
+  for (const BuiltTree& tree : manifest.levels) {
+    owned.insert(owned.end(), tree.segments.begin(), tree.segments.end());
+  }
+  TEBIS_RETURN_IF_ERROR(device->AdoptAllocated(owned));
+
+  TEBIS_ASSIGN_OR_RETURN(std::unique_ptr<ValueLog> log,
+                         ValueLog::Recover(device, manifest.log_flushed_segments));
+  TEBIS_ASSIGN_OR_RETURN(std::unique_ptr<KvStore> store,
+                         CreateFromParts(device, options, std::move(log),
+                                         std::move(manifest.levels)));
+  store->checkpoint_segment_ = checkpoint_segment;
+  store->l0_replay_from_ = manifest.l0_replay_from;
+
+  // Rebuild L0 from the flushed-but-unindexed log suffix (same mechanism as
+  // backup promotion).
+  const auto& flushed = store->log_->flushed_segments();
+  std::string segment(device->segment_size(), 0);
+  for (size_t i = manifest.l0_replay_from; i < flushed.size(); ++i) {
+    const uint64_t base = device->geometry().BaseOffset(flushed[i]);
+    TEBIS_RETURN_IF_ERROR(
+        device->Read(base, segment.size(), segment.data(), IoClass::kRecovery));
+    TEBIS_RETURN_IF_ERROR(ValueLog::ForEachRecord(
+        Slice(segment.data(), segment.size()), base, [&](const LogRecord& rec) {
+          return store->ReplayRecord(rec.key, rec.offset, rec.tombstone);
+        }));
+  }
+  return store;
+}
+
+}  // namespace tebis

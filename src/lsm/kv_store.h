@@ -1,0 +1,214 @@
+// The Kreon-style single-node LSM engine Tebis runs inside every region
+// replica (paper §2): KV separation into a segmented value log, an in-memory
+// L0 (skiplist), and on-device B+ tree levels with leveled compaction
+// (growth factor f, default 4).
+//
+// Replication hooks:
+//  * ValueLog observer        — mirrors appends/flushes (paper §3.2)
+//  * CompactionObserver       — receives every index segment as it is built,
+//                               plus compaction begin/end (Send-Index, §3.3)
+//  * ReplayRecord/CreateFromParts — rebuilds L0 / adopts shipped levels when a
+//                               backup is promoted to primary (§3.5)
+#ifndef TEBIS_LSM_KV_STORE_H_
+#define TEBIS_LSM_KV_STORE_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/lsm/btree_builder.h"
+#include "src/lsm/btree_reader.h"
+#include "src/lsm/memtable.h"
+#include "src/lsm/page_cache.h"
+#include "src/lsm/value_log.h"
+#include "src/storage/block_device.h"
+
+namespace tebis {
+
+struct KvStoreOptions {
+  // L0 spills into L1 when it reaches this many keys (paper: 96K; the
+  // Build-IndexRL configuration of §5.5 uses 32K).
+  uint64_t l0_max_entries = 96 * 1024;
+  // Level i holds up to l0_max_entries * growth_factor^i keys (paper: f=4).
+  uint32_t growth_factor = 4;
+  // Number of device levels (L1..Lmax). Tombstones are elided when compacting
+  // into Lmax.
+  uint32_t max_levels = 4;
+  size_t node_size = kDefaultNodeSize;
+  // Page-cache capacity for lookups/scans; 0 disables caching (the paper caps
+  // the cache at 25% of the dataset via cgroups).
+  uint64_t cache_bytes = 0;
+  // Persist a checkpoint manifest after every compaction and tail flush, so
+  // Recover() restores everything up to the last flushed log segment.
+  bool auto_checkpoint = false;
+};
+
+struct CompactionInfo {
+  uint64_t compaction_id = 0;
+  int src_level = 0;  // 0 == L0
+  int dst_level = 1;
+};
+
+// Observer of the compaction lifecycle; the Send-Index primary attaches one
+// to stream index segments to its backups while the compaction runs.
+class CompactionObserver {
+ public:
+  virtual ~CompactionObserver() = default;
+  virtual void OnCompactionBegin(const CompactionInfo& info) {}
+  // `bytes` is the used prefix of a just-sealed index segment (whole nodes).
+  virtual void OnIndexSegment(const CompactionInfo& info, int tree_level, SegmentId segment,
+                              Slice bytes) {}
+  // The compaction produced `new_tree` for dst_level; src and old-dst
+  // segments have been freed on the primary device.
+  virtual void OnCompactionEnd(const CompactionInfo& info, const BuiltTree& new_tree) {}
+};
+
+struct KvStoreStats {
+  uint64_t puts = 0;
+  uint64_t gets = 0;
+  uint64_t deletes = 0;
+  uint64_t scans = 0;
+  uint64_t compactions = 0;
+  // Per-thread CPU time per component (Table 3 breakdown).
+  uint64_t insert_l0_cpu_ns = 0;   // Put path excluding compaction work
+  uint64_t compaction_cpu_ns = 0;  // merge + build + I/O issue (incl. observer time)
+  uint64_t get_cpu_ns = 0;
+};
+
+struct KvPair {
+  std::string key;
+  std::string value;
+};
+
+class KvStore {
+ public:
+  static StatusOr<std::unique_ptr<KvStore>> Create(BlockDevice* device,
+                                                   const KvStoreOptions& options);
+
+  // Promotion path (§3.5): builds an engine around an existing value log and
+  // already-installed level trees (a Send-Index backup's state). The caller
+  // then replays the log tail into L0 with ReplayRecord.
+  static StatusOr<std::unique_ptr<KvStore>> CreateFromParts(BlockDevice* device,
+                                                            const KvStoreOptions& options,
+                                                            std::unique_ptr<ValueLog> log,
+                                                            std::vector<BuiltTree> levels);
+
+  KvStore(const KvStore&) = delete;
+  KvStore& operator=(const KvStore&) = delete;
+
+  Status Put(Slice key, Slice value);
+  Status Delete(Slice key);
+  StatusOr<std::string> Get(Slice key);
+
+  // Returns up to `limit` pairs with key >= start, ascending, skipping
+  // tombstones.
+  StatusOr<std::vector<KvPair>> Scan(Slice start, size_t limit);
+
+  // Inserts an existing log record into L0 without appending to the log
+  // (promotion replay).
+  Status ReplayRecord(Slice key, uint64_t log_offset, bool tombstone);
+
+  // Forces an L0 -> L1 compaction (plus any cascade) even if L0 is not full.
+  Status FlushL0();
+
+  // Runs compactions until every level is within capacity.
+  Status MaybeCompact();
+
+  // Flushes L0 and then compacts every non-empty level downwards, leaving all
+  // data in the deepest reachable level. Used before value-log trims so that
+  // no surviving leaf entry references superseded record offsets.
+  Status ForceFullCompaction();
+
+  // Value-log GC: scans up to `max_segments` of the oldest flushed log
+  // segments, re-appends live records, and trims the head. Returns the number
+  // of segments reclaimed. The primary tells backups to trim the same count
+  // (paper §4: backups "only perform the trim").
+  StatusOr<size_t> GarbageCollectHead(size_t max_segments);
+
+  // fsck-style verification: every level index is sorted with readable,
+  // CRC-valid log records behind each entry, and every flushed log segment
+  // parses end to end. Returns the first inconsistency found.
+  struct IntegrityReport {
+    uint64_t level_entries_checked = 0;
+    uint64_t log_records_checked = 0;
+  };
+  StatusOr<IntegrityReport> CheckIntegrity();
+
+  // --- checkpoint / local recovery ---------------------------------------
+
+  // Persists a manifest (levels, flushed log segments, L0 replay boundary)
+  // into a dedicated segment and returns its id; the previous checkpoint
+  // segment is freed. The id is the store's "superblock" handle — keep it
+  // somewhere durable (Recover needs it).
+  StatusOr<SegmentId> Checkpoint();
+
+  // Rebuilds a store from `checkpoint_segment` on a device whose backing file
+  // was reopened (BlockDeviceOptions::reopen_existing). Restores every record
+  // in flushed log segments — the in-memory tail is not local state; in Tebis
+  // it comes back from the replicas via promotion (§3.5).
+  static StatusOr<std::unique_ptr<KvStore>> Recover(BlockDevice* device,
+                                                    const KvStoreOptions& options,
+                                                    SegmentId checkpoint_segment);
+
+  // Dismantles a store into its durable parts (graceful primary handover:
+  // the demoted primary re-wraps them as a backup region). The L0 content is
+  // dropped — the caller must have flushed the tail, which makes every L0
+  // record recoverable from the flushed segments past l0_replay_from.
+  struct Parts {
+    std::unique_ptr<ValueLog> log;
+    std::vector<BuiltTree> levels;
+    size_t l0_replay_from;
+  };
+  static Parts Decompose(std::unique_ptr<KvStore> store) {
+    Parts parts;
+    parts.log = std::move(store->log_);
+    parts.levels = std::move(store->levels_);
+    parts.l0_replay_from = store->l0_replay_from_;
+    return parts;
+  }
+
+  void set_compaction_observer(CompactionObserver* observer) { observer_ = observer; }
+
+  ValueLog* value_log() { return log_.get(); }
+  PageCache* cache() { return cache_.get(); }
+  const KvStoreOptions& options() const { return options_; }
+  uint64_t l0_entries() const { return memtable_->entries(); }
+  uint64_t l0_memory_bytes() const { return memtable_->ApproximateMemoryBytes(); }
+  const BuiltTree& level(uint32_t i) const { return levels_[i]; }
+  uint32_t max_levels() const { return options_.max_levels; }
+  const KvStoreStats& stats() const { return stats_; }
+
+  uint64_t LevelCapacity(uint32_t level) const;
+
+ private:
+  KvStore(BlockDevice* device, const KvStoreOptions& options);
+
+  Status CompactIntoNext(int src_level);
+  Status FreeTreeSegments(const BuiltTree& tree);
+  // Resolves the newest location of `key`, searching L0 then L1..Lmax.
+  StatusOr<ValueLocation> FindLocation(Slice key);
+  FullKeyLoader LookupKeyLoader();
+
+  BlockDevice* const device_;
+  const KvStoreOptions options_;
+
+  std::unique_ptr<ValueLog> log_;
+  std::unique_ptr<Memtable> memtable_;
+  std::unique_ptr<PageCache> cache_;
+  // levels_[0] unused (L0 is the memtable); levels_[1..max_levels] on device.
+  std::vector<BuiltTree> levels_;
+
+  CompactionObserver* observer_ = nullptr;
+  uint64_t next_compaction_id_ = 1;
+  KvStoreStats stats_;
+
+  // First flushed log segment not yet reflected in the levels (recovery
+  // replays from here), plus the current checkpoint segment.
+  size_t l0_replay_from_ = 0;
+  SegmentId checkpoint_segment_ = kInvalidSegment;
+};
+
+}  // namespace tebis
+
+#endif  // TEBIS_LSM_KV_STORE_H_

@@ -1,0 +1,115 @@
+#include "src/lsm/memtable.h"
+
+#include <cstring>
+
+namespace tebis {
+
+struct Memtable::Node {
+  std::string key;
+  ValueLocation location;
+  int height;
+  Node* next[1];  // flexible: height pointers allocated inline
+};
+
+Memtable::Memtable() : max_height_(1), rng_(0xdecafbadull), entries_(0), memory_bytes_(0) {
+  head_ = NewNode(Slice(), ValueLocation{}, kMaxHeight);
+  for (int i = 0; i < kMaxHeight; ++i) {
+    head_->next[i] = nullptr;
+  }
+}
+
+Memtable::~Memtable() {
+  for (Node* n : all_nodes_) {
+    n->~Node();
+    ::operator delete(n);
+  }
+}
+
+Memtable::Node* Memtable::NewNode(Slice key, ValueLocation location, int height) {
+  const size_t bytes = sizeof(Node) + sizeof(Node*) * (static_cast<size_t>(height) - 1);
+  void* mem = ::operator new(bytes);
+  Node* node = new (mem) Node();
+  node->key = key.ToString();
+  node->location = location;
+  node->height = height;
+  for (int i = 0; i < height; ++i) {
+    node->next[i] = nullptr;
+  }
+  all_nodes_.push_back(node);
+  memory_bytes_ += bytes + key.size();
+  return node;
+}
+
+int Memtable::RandomHeight() {
+  int height = 1;
+  while (height < kMaxHeight && rng_.OneIn(4)) {
+    height++;
+  }
+  return height;
+}
+
+Memtable::Node* Memtable::FindGreaterOrEqual(Slice key, Node** prev) const {
+  Node* x = head_;
+  int level = max_height_ - 1;
+  while (true) {
+    Node* next = x->next[level];
+    if (next != nullptr && Slice(next->key).Compare(key) < 0) {
+      x = next;
+    } else {
+      if (prev != nullptr) {
+        prev[level] = x;
+      }
+      if (level == 0) {
+        return next;
+      }
+      level--;
+    }
+  }
+}
+
+void Memtable::Put(Slice key, ValueLocation location) {
+  Node* prev[kMaxHeight];
+  Node* node = FindGreaterOrEqual(key, prev);
+  if (node != nullptr && Slice(node->key) == key) {
+    node->location = location;  // newest version wins in place
+    return;
+  }
+  const int height = RandomHeight();
+  if (height > max_height_) {
+    for (int i = max_height_; i < height; ++i) {
+      prev[i] = head_;
+    }
+    max_height_ = height;
+  }
+  Node* fresh = NewNode(key, location, height);
+  for (int i = 0; i < height; ++i) {
+    fresh->next[i] = prev[i]->next[i];
+    prev[i]->next[i] = fresh;
+  }
+  entries_++;
+}
+
+bool Memtable::Get(Slice key, ValueLocation* out) const {
+  Node* node = FindGreaterOrEqual(key, nullptr);
+  if (node != nullptr && Slice(node->key) == key) {
+    *out = node->location;
+    return true;
+  }
+  return false;
+}
+
+Slice Memtable::Iterator::key() const { return Slice(static_cast<const Node*>(node_)->key); }
+
+ValueLocation Memtable::Iterator::location() const {
+  return static_cast<const Node*>(node_)->location;
+}
+
+void Memtable::Iterator::Next() { node_ = static_cast<const Node*>(node_)->next[0]; }
+
+void Memtable::Iterator::Seek(Slice target) {
+  node_ = table_->FindGreaterOrEqual(target, nullptr);
+}
+
+void Memtable::Iterator::SeekToFirst() { node_ = table_->head_->next[0]; }
+
+}  // namespace tebis

@@ -1,0 +1,81 @@
+// In-memory L0: a skiplist mapping keys to value-log locations. Kreon keeps
+// L0 fully in memory to amortize I/O during the L0->L1 compaction; Tebis
+// Send-Index backups do NOT keep one (paper §3.3), which is where the memory
+// savings come from.
+#ifndef TEBIS_LSM_MEMTABLE_H_
+#define TEBIS_LSM_MEMTABLE_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/common/random.h"
+#include "src/common/slice.h"
+#include "src/storage/segment.h"
+
+namespace tebis {
+
+// Location of the newest version of a key.
+struct ValueLocation {
+  uint64_t log_offset = kInvalidOffset;
+  bool tombstone = false;
+};
+
+class Memtable {
+ public:
+  Memtable();
+  ~Memtable();
+
+  Memtable(const Memtable&) = delete;
+  Memtable& operator=(const Memtable&) = delete;
+
+  // Inserts or overwrites the location of `key`.
+  void Put(Slice key, ValueLocation location);
+
+  // Returns true and fills `out` if the key is present (tombstones count as
+  // present — the caller must check).
+  bool Get(Slice key, ValueLocation* out) const;
+
+  size_t entries() const { return entries_; }
+  size_t ApproximateMemoryBytes() const { return memory_bytes_; }
+
+  // Sorted forward iterator.
+  class Iterator {
+   public:
+    bool Valid() const { return node_ != nullptr; }
+    Slice key() const;
+    ValueLocation location() const;
+    void Next();
+    // Positions at the first entry >= target.
+    void Seek(Slice target);
+    void SeekToFirst();
+
+   private:
+    friend class Memtable;
+    explicit Iterator(const Memtable* table) : table_(table), node_(nullptr) {}
+    const Memtable* table_;
+    const void* node_;
+  };
+
+  Iterator NewIterator() const { return Iterator(this); }
+
+ private:
+  struct Node;
+  static constexpr int kMaxHeight = 12;
+
+  Node* NewNode(Slice key, ValueLocation location, int height);
+  int RandomHeight();
+  // Returns the first node >= key; fills prev[] when non-null.
+  Node* FindGreaterOrEqual(Slice key, Node** prev) const;
+
+  Node* head_;
+  int max_height_;
+  Random rng_;
+  size_t entries_;
+  size_t memory_bytes_;
+  std::vector<Node*> all_nodes_;  // owned; freed in destructor
+};
+
+}  // namespace tebis
+
+#endif  // TEBIS_LSM_MEMTABLE_H_

@@ -1,0 +1,65 @@
+#include "src/lsm/page_cache.h"
+
+#include <algorithm>
+#include <cstring>
+
+namespace tebis {
+
+PageCache::PageCache(BlockDevice* device, uint64_t capacity_bytes, uint64_t page_size)
+    : device_(device),
+      page_size_(page_size),
+      capacity_pages_(std::max<uint64_t>(1, capacity_bytes / page_size)) {}
+
+Status PageCache::FaultPage(uint64_t page_offset, IoClass io_class, const char** data) {
+  auto it = pages_.find(page_offset);
+  if (it != pages_.end()) {
+    hits_++;
+    lru_.splice(lru_.begin(), lru_, it->second);
+    *data = it->second->data.get();
+    return Status::Ok();
+  }
+  misses_++;
+  Page page;
+  page.page_offset = page_offset;
+  page.data = std::make_unique<char[]>(page_size_);
+  TEBIS_RETURN_IF_ERROR(device_->Read(page_offset, page_size_, page.data.get(), io_class));
+  lru_.push_front(std::move(page));
+  pages_[page_offset] = lru_.begin();
+  while (pages_.size() > capacity_pages_) {
+    pages_.erase(lru_.back().page_offset);
+    lru_.pop_back();
+  }
+  *data = lru_.front().data.get();
+  return Status::Ok();
+}
+
+Status PageCache::Read(uint64_t offset, size_t n, char* out, IoClass io_class) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  size_t done = 0;
+  while (done < n) {
+    const uint64_t cur = offset + done;
+    const uint64_t page_offset = cur & ~(page_size_ - 1);
+    const uint64_t in_page = cur - page_offset;
+    const size_t chunk = std::min<uint64_t>(n - done, page_size_ - in_page);
+    const char* data = nullptr;
+    TEBIS_RETURN_IF_ERROR(FaultPage(page_offset, io_class, &data));
+    memcpy(out + done, data + in_page, chunk);
+    done += chunk;
+  }
+  return Status::Ok();
+}
+
+void PageCache::InvalidateSegment(SegmentId segment) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const SegmentGeometry& geometry = device_->geometry();
+  const uint64_t base = geometry.BaseOffset(segment);
+  for (uint64_t off = base; off < base + geometry.segment_size(); off += page_size_) {
+    auto it = pages_.find(off);
+    if (it != pages_.end()) {
+      lru_.erase(it->second);
+      pages_.erase(it);
+    }
+  }
+}
+
+}  // namespace tebis

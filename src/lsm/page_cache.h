@@ -1,0 +1,61 @@
+// LRU page cache in front of the block device, standing in for Kreon's
+// memory-mapped I/O cache. Lookups and scans read through it; compactions use
+// "direct I/O" (they bypass the cache entirely, paper §2).
+#ifndef TEBIS_LSM_PAGE_CACHE_H_
+#define TEBIS_LSM_PAGE_CACHE_H_
+
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+
+#include "src/common/status.h"
+#include "src/storage/block_device.h"
+
+namespace tebis {
+
+class PageCache {
+ public:
+  // `capacity_bytes` is rounded down to whole pages (minimum one page).
+  // `page_size` must divide the device segment size.
+  PageCache(BlockDevice* device, uint64_t capacity_bytes, uint64_t page_size = 4096);
+
+  PageCache(const PageCache&) = delete;
+  PageCache& operator=(const PageCache&) = delete;
+
+  // Reads [offset, offset+n) through the cache. The range must stay within one
+  // segment. Whole pages are faulted from the device on miss (accounted as
+  // `io_class` traffic), mirroring mmap behaviour.
+  Status Read(uint64_t offset, size_t n, char* out, IoClass io_class);
+
+  // Drops all pages of a segment (called when a compaction frees it).
+  void InvalidateSegment(SegmentId segment);
+
+  uint64_t hits() const { return hits_; }
+  uint64_t misses() const { return misses_; }
+  uint64_t page_size() const { return page_size_; }
+
+ private:
+  struct Page {
+    uint64_t page_offset;
+    std::unique_ptr<char[]> data;
+  };
+  using LruList = std::list<Page>;
+
+  Status FaultPage(uint64_t page_offset, IoClass io_class, const char** data);
+
+  BlockDevice* const device_;
+  const uint64_t page_size_;
+  const uint64_t capacity_pages_;
+
+  std::mutex mutex_;
+  LruList lru_;  // front = most recent
+  std::unordered_map<uint64_t, LruList::iterator> pages_;
+  uint64_t hits_ = 0;
+  uint64_t misses_ = 0;
+};
+
+}  // namespace tebis
+
+#endif  // TEBIS_LSM_PAGE_CACHE_H_

@@ -1,0 +1,263 @@
+#include "src/lsm/value_log.h"
+
+#include <cstring>
+
+#include "src/common/crc32.h"
+#include "src/lsm/page_cache.h"
+
+namespace tebis {
+namespace {
+
+void EncodeU32(char* p, uint32_t v) { memcpy(p, &v, sizeof(v)); }
+uint32_t DecodeU32(const char* p) {
+  uint32_t v;
+  memcpy(&v, p, sizeof(v));
+  return v;
+}
+
+}  // namespace
+
+StatusOr<std::unique_ptr<ValueLog>> ValueLog::Create(BlockDevice* device) {
+  std::unique_ptr<ValueLog> log(new ValueLog(device));
+  TEBIS_RETURN_IF_ERROR(log->OpenNewTail());
+  return log;
+}
+
+StatusOr<std::unique_ptr<ValueLog>> ValueLog::Recover(BlockDevice* device,
+                                                      std::vector<SegmentId> flushed_segments) {
+  std::unique_ptr<ValueLog> log(new ValueLog(device));
+  log->flushed_segments_ = std::move(flushed_segments);
+  TEBIS_RETURN_IF_ERROR(log->OpenNewTail());
+  return log;
+}
+
+ValueLog::ValueLog(BlockDevice* device) : device_(device) {}
+
+Status ValueLog::OpenNewTail() {
+  TEBIS_ASSIGN_OR_RETURN(tail_segment_, device_->AllocateSegment());
+  if (tail_buffer_ == nullptr) {
+    tail_buffer_ = std::make_unique<char[]>(device_->segment_size());
+  }
+  memset(tail_buffer_.get(), 0, device_->segment_size());
+  tail_used_ = 0;
+  return Status::Ok();
+}
+
+Status ValueLog::SealTail() {
+  const uint64_t seg_size = device_->segment_size();
+  if (tail_used_ < seg_size) {
+    // Pad the remainder so readers stop at the marker.
+    EncodeU32(tail_buffer_.get() + tail_used_, kPadMarker);
+  }
+  const uint64_t base = device_->geometry().BaseOffset(tail_segment_);
+  TEBIS_RETURN_IF_ERROR(
+      device_->Write(base, Slice(tail_buffer_.get(), seg_size), IoClass::kLogFlush));
+  if (observer_ != nullptr) {
+    observer_->OnTailFlush(tail_segment_, Slice(tail_buffer_.get(), seg_size));
+  }
+  flushed_segments_.push_back(tail_segment_);
+  return Status::Ok();
+}
+
+StatusOr<ValueLog::AppendResult> ValueLog::Append(Slice key, Slice value, bool tombstone) {
+  if (key.empty() || key.size() > kMaxKeySize) {
+    return Status::InvalidArgument("key size must be in [1, " + std::to_string(kMaxKeySize) + "]");
+  }
+  const size_t need = LogRecordSize(key.size(), value.size());
+  const uint64_t seg_size = device_->segment_size();
+  // +4 so there is always room for a pad marker after the record.
+  if (need + 4 > seg_size) {
+    return Status::InvalidArgument("record larger than a segment");
+  }
+
+  AppendResult result{};
+  if (tail_used_ + need + 4 > seg_size) {
+    TEBIS_RETURN_IF_ERROR(SealTail());
+    TEBIS_RETURN_IF_ERROR(OpenNewTail());
+    result.flushed_segment = true;
+  }
+
+  char* p = tail_buffer_.get() + tail_used_;
+  EncodeU32(p, static_cast<uint32_t>(key.size()));
+  EncodeU32(p + 4, static_cast<uint32_t>(value.size()));
+  p[8] = tombstone ? static_cast<char>(kRecordFlagTombstone) : 0;
+  memcpy(p + kLogRecordHeaderSize, key.data(), key.size());
+  memcpy(p + kLogRecordHeaderSize + key.size(), value.data(), value.size());
+  const uint32_t crc = Crc32c(p, kLogRecordHeaderSize + key.size() + value.size());
+  EncodeU32(p + need - kLogRecordTrailerSize, crc);
+
+  const uint64_t offset_in_segment = tail_used_;
+  result.offset = device_->geometry().BaseOffset(tail_segment_) | offset_in_segment;
+  result.encoded_size = need;
+  tail_used_ += need;
+  total_appended_bytes_ += need;
+
+  if (observer_ != nullptr) {
+    observer_->OnAppend(tail_segment_, offset_in_segment, Slice(p, need));
+  }
+  return result;
+}
+
+Status ValueLog::FlushTail() {
+  if (tail_used_ == 0) {
+    return Status::Ok();
+  }
+  TEBIS_RETURN_IF_ERROR(SealTail());
+  return OpenNewTail();
+}
+
+StatusOr<LogRecord> ValueLog::Decode(const char* buf, size_t available, uint64_t offset) {
+  if (available < kLogRecordHeaderSize) {
+    return Status::Corruption("record header truncated");
+  }
+  const uint32_t key_size = DecodeU32(buf);
+  if (key_size == kPadMarker) {
+    return Status::OutOfRange("pad marker");
+  }
+  const uint32_t value_size = DecodeU32(buf + 4);
+  if (key_size == 0 || key_size > kMaxKeySize) {
+    return Status::Corruption("bad key size " + std::to_string(key_size));
+  }
+  const size_t need = LogRecordSize(key_size, value_size);
+  if (available < need) {
+    return Status::Corruption("record body truncated");
+  }
+  const uint32_t stored_crc = DecodeU32(buf + need - kLogRecordTrailerSize);
+  const uint32_t crc = Crc32c(buf, kLogRecordHeaderSize + key_size + value_size);
+  if (stored_crc != crc) {
+    return Status::Corruption("record crc mismatch at offset " + std::to_string(offset));
+  }
+  LogRecord rec;
+  rec.key.assign(buf + kLogRecordHeaderSize, key_size);
+  rec.value.assign(buf + kLogRecordHeaderSize + key_size, value_size);
+  rec.tombstone = (buf[8] & kRecordFlagTombstone) != 0;
+  rec.offset = offset;
+  rec.encoded_size = need;
+  return rec;
+}
+
+Status ValueLog::ReadRecord(uint64_t offset, LogRecord* out, PageCache* cache,
+                            IoClass io_class) const {
+  const SegmentGeometry& geometry = device_->geometry();
+  const SegmentId segment = geometry.SegmentOf(offset);
+  const uint64_t in_segment = geometry.OffsetInSegment(offset);
+
+  if (segment == tail_segment_) {
+    if (in_segment >= tail_used_) {
+      return Status::OutOfRange("offset past log tail");
+    }
+    TEBIS_ASSIGN_OR_RETURN(*out,
+                           Decode(tail_buffer_.get() + in_segment, tail_used_ - in_segment, offset));
+    return Status::Ok();
+  }
+
+  // Flushed segment: read header first, then the body.
+  char header[kLogRecordHeaderSize];
+  auto read = [&](uint64_t off, size_t n, char* dst) -> Status {
+    if (cache != nullptr) {
+      return cache->Read(off, n, dst, io_class);
+    }
+    return device_->Read(off, n, dst, io_class);
+  };
+  TEBIS_RETURN_IF_ERROR(read(offset, kLogRecordHeaderSize, header));
+  const uint32_t key_size = DecodeU32(header);
+  if (key_size == kPadMarker) {
+    return Status::OutOfRange("pad marker");
+  }
+  const uint32_t value_size = DecodeU32(header + 4);
+  if (key_size == 0 || key_size > kMaxKeySize) {
+    return Status::Corruption("bad key size in log record");
+  }
+  const size_t need = LogRecordSize(key_size, value_size);
+  std::string buf;
+  buf.resize(need);
+  memcpy(buf.data(), header, kLogRecordHeaderSize);
+  TEBIS_RETURN_IF_ERROR(read(offset + kLogRecordHeaderSize, need - kLogRecordHeaderSize,
+                             buf.data() + kLogRecordHeaderSize));
+  TEBIS_ASSIGN_OR_RETURN(*out, Decode(buf.data(), need, offset));
+  return Status::Ok();
+}
+
+Status ValueLog::ReadKey(uint64_t offset, std::string* key, bool* tombstone, PageCache* cache,
+                         IoClass io_class) const {
+  const SegmentGeometry& geometry = device_->geometry();
+  const SegmentId segment = geometry.SegmentOf(offset);
+  const uint64_t in_segment = geometry.OffsetInSegment(offset);
+
+  if (segment == tail_segment_) {
+    if (in_segment >= tail_used_) {
+      return Status::OutOfRange("offset past log tail");
+    }
+    const char* p = tail_buffer_.get() + in_segment;
+    const uint32_t key_size = DecodeU32(p);
+    if (key_size == 0 || key_size > kMaxKeySize) {
+      return Status::Corruption("bad key size in tail record");
+    }
+    key->assign(p + kLogRecordHeaderSize, key_size);
+    if (tombstone != nullptr) {
+      *tombstone = (p[8] & kRecordFlagTombstone) != 0;
+    }
+    return Status::Ok();
+  }
+
+  auto read = [&](uint64_t off, size_t n, char* dst) -> Status {
+    if (cache != nullptr) {
+      return cache->Read(off, n, dst, io_class);
+    }
+    return device_->Read(off, n, dst, io_class);
+  };
+  char header[kLogRecordHeaderSize];
+  TEBIS_RETURN_IF_ERROR(read(offset, kLogRecordHeaderSize, header));
+  const uint32_t key_size = DecodeU32(header);
+  if (key_size == 0 || key_size == kPadMarker || key_size > kMaxKeySize) {
+    return Status::Corruption("bad key size in log record");
+  }
+  if (tombstone != nullptr) {
+    *tombstone = (header[8] & kRecordFlagTombstone) != 0;
+  }
+  key->resize(key_size);
+  return read(offset + kLogRecordHeaderSize, key_size, key->data());
+}
+
+Status ValueLog::TrimHead(size_t n) {
+  if (n > flushed_segments_.size()) {
+    return Status::InvalidArgument("trim beyond flushed log");
+  }
+  for (size_t i = 0; i < n; ++i) {
+    TEBIS_RETURN_IF_ERROR(device_->FreeSegment(flushed_segments_[i]));
+  }
+  flushed_segments_.erase(flushed_segments_.begin(), flushed_segments_.begin() + n);
+  return Status::Ok();
+}
+
+StatusOr<SegmentId> ValueLog::AppendRawSegment(Slice segment_bytes) {
+  if (segment_bytes.size() > device_->segment_size()) {
+    return Status::InvalidArgument("raw segment larger than device segment");
+  }
+  TEBIS_ASSIGN_OR_RETURN(SegmentId seg, device_->AllocateSegment());
+  const uint64_t base = device_->geometry().BaseOffset(seg);
+  TEBIS_RETURN_IF_ERROR(device_->Write(base, segment_bytes, IoClass::kLogFlush));
+  flushed_segments_.push_back(seg);
+  return seg;
+}
+
+Status ValueLog::ForEachRecord(Slice segment_bytes, uint64_t segment_base,
+                               const std::function<Status(const LogRecord&)>& fn) {
+  size_t pos = 0;
+  while (pos + kLogRecordHeaderSize <= segment_bytes.size()) {
+    const char* p = segment_bytes.data() + pos;
+    const uint32_t key_size = DecodeU32(p);
+    if (key_size == kPadMarker || key_size == 0) {
+      break;  // pad marker or zeroed remainder
+    }
+    auto rec = Decode(p, segment_bytes.size() - pos, segment_base + pos);
+    if (!rec.ok()) {
+      return rec.status();
+    }
+    TEBIS_RETURN_IF_ERROR(fn(*rec));
+    pos += rec->encoded_size;
+  }
+  return Status::Ok();
+}
+
+}  // namespace tebis

@@ -1,0 +1,126 @@
+// Segmented append-only value log (KV separation, paper §2). The tail segment
+// lives in memory; when it fills, it is flushed to the device with one large
+// write and observers are notified — that is the hook the replication layer
+// uses to mirror the log to backups (paper §3.2).
+#ifndef TEBIS_LSM_VALUE_LOG_H_
+#define TEBIS_LSM_VALUE_LOG_H_
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/common/slice.h"
+#include "src/common/status.h"
+#include "src/lsm/format.h"
+#include "src/storage/block_device.h"
+
+namespace tebis {
+
+class PageCache;
+
+// Decoded view of one log record.
+struct LogRecord {
+  std::string key;
+  std::string value;
+  bool tombstone = false;
+  uint64_t offset = kInvalidOffset;  // device offset of the record
+  size_t encoded_size = 0;
+};
+
+// Observer of log appends/flushes. Callbacks run on the appending thread.
+class ValueLogObserver {
+ public:
+  virtual ~ValueLogObserver() = default;
+
+  // A record was appended to the in-memory tail. `record_bytes` points into
+  // the tail buffer; `offset_in_segment` is its position within the tail.
+  virtual void OnAppend(SegmentId tail_segment, uint64_t offset_in_segment, Slice record_bytes) {}
+
+  // The tail segment was persisted to the device. `segment_bytes` is the full
+  // segment image.
+  virtual void OnTailFlush(SegmentId tail_segment, Slice segment_bytes) {}
+};
+
+class ValueLog {
+ public:
+  // The log allocates segments from `device` and writes flushes with
+  // IoClass::kLogFlush.
+  static StatusOr<std::unique_ptr<ValueLog>> Create(BlockDevice* device);
+
+  // Recovery: rebuilds a log around already-allocated flushed segments (from
+  // a checkpoint manifest) and opens a fresh tail.
+  static StatusOr<std::unique_ptr<ValueLog>> Recover(BlockDevice* device,
+                                                     std::vector<SegmentId> flushed_segments);
+
+  ValueLog(const ValueLog&) = delete;
+  ValueLog& operator=(const ValueLog&) = delete;
+
+  void set_observer(ValueLogObserver* observer) { observer_ = observer; }
+
+  struct AppendResult {
+    uint64_t offset;       // device offset of the record
+    size_t encoded_size;   // bytes occupied in the log
+    bool flushed_segment;  // true if this append sealed the previous tail
+  };
+
+  // Appends one record and returns its device offset. May flush the tail
+  // (allocating a new one) when the record does not fit.
+  StatusOr<AppendResult> Append(Slice key, Slice value, bool tombstone);
+
+  // Forces the current tail to the device (pads the remainder) and opens a
+  // fresh tail segment. No-op on an empty tail.
+  Status FlushTail();
+
+  // Reads the record at `offset`. Serves from the in-memory tail when the
+  // offset is in the unflushed tail. When `cache` is non-null, flushed reads
+  // go through it; otherwise straight to the device with `io_class`.
+  Status ReadRecord(uint64_t offset, LogRecord* out, PageCache* cache, IoClass io_class) const;
+
+  // Reads only the key (and tombstone flag) of the record at `offset` — used
+  // by compaction merges, which never need the value.
+  Status ReadKey(uint64_t offset, std::string* key, bool* tombstone, PageCache* cache,
+                 IoClass io_class) const;
+
+  SegmentId tail_segment() const { return tail_segment_; }
+  uint64_t tail_used() const { return tail_used_; }
+  const std::vector<SegmentId>& flushed_segments() const { return flushed_segments_; }
+  uint64_t total_appended_bytes() const { return total_appended_bytes_; }
+
+  // Frees the oldest `n` flushed segments (value-log trim after GC).
+  Status TrimHead(size_t n);
+
+  // Installs a raw segment image produced elsewhere — a backup persisting its
+  // replication buffer on a flush message (§3.2). Allocates a local segment,
+  // writes the bytes with IoClass::kLogFlush, registers it as flushed, and
+  // returns the local segment id (the backup side of the log map entry).
+  StatusOr<SegmentId> AppendRawSegment(Slice segment_bytes);
+
+  // Decodes every record in a raw segment image, calling `fn(record)`; stops
+  // at the pad marker or at a zeroed header. Used by Build-Index backups and
+  // by L0 replay during promotion.
+  static Status ForEachRecord(Slice segment_bytes, uint64_t segment_base,
+                              const std::function<Status(const LogRecord&)>& fn);
+
+ private:
+  explicit ValueLog(BlockDevice* device);
+  Status OpenNewTail();
+  Status SealTail();
+
+  // Decodes one record from `buf` (which has at least header bytes available).
+  static StatusOr<LogRecord> Decode(const char* buf, size_t available, uint64_t offset);
+
+  BlockDevice* const device_;
+  ValueLogObserver* observer_ = nullptr;
+
+  SegmentId tail_segment_ = kInvalidSegment;
+  std::unique_ptr<char[]> tail_buffer_;
+  uint64_t tail_used_ = 0;
+
+  std::vector<SegmentId> flushed_segments_;
+  uint64_t total_appended_bytes_ = 0;
+};
+
+}  // namespace tebis
+
+#endif  // TEBIS_LSM_VALUE_LOG_H_

@@ -1,0 +1,80 @@
+#include "src/net/fabric.h"
+
+#include <cstring>
+
+#include "src/net/message.h"
+
+namespace tebis {
+
+RegisteredBuffer::RegisteredBuffer(Fabric* fabric, std::string owner, std::string writer,
+                                   size_t size)
+    : fabric_(fabric), owner_(std::move(owner)), writer_(std::move(writer)), data_(size, 0) {}
+
+Status RegisteredBuffer::RdmaWrite(uint64_t offset, Slice bytes) {
+  if (offset + bytes.size() > data_.size()) {
+    return Status::OutOfRange("RDMA write past registered region");
+  }
+  // The payload body first; callers that need ordered visibility (the message
+  // protocol) place their own release-store rendezvous words.
+  memcpy(data_.data() + offset, bytes.data(), bytes.size());
+  fabric_->AccountWrite(writer_, owner_, bytes.size() + kWireOverheadPerWrite);
+  return Status::Ok();
+}
+
+Status RegisteredBuffer::RdmaWriteMessage(uint64_t offset, const MessageHeader& header,
+                                          Slice payload) {
+  const size_t wire = MessageWireSize(header.padded_payload_size);
+  if (offset + wire > data_.size()) {
+    return Status::OutOfRange("RDMA message write past registered region");
+  }
+  EncodeMessage(data_.data() + offset, header, payload);
+  fabric_->AccountWrite(writer_, owner_, wire + kWireOverheadPerWrite);
+  return Status::Ok();
+}
+
+std::shared_ptr<RegisteredBuffer> Fabric::RegisterBuffer(const std::string& owner,
+                                                         const std::string& writer, size_t size) {
+  return std::make_shared<RegisteredBuffer>(this, owner, writer, size);
+}
+
+NodeTraffic& Fabric::TrafficFor(const std::string& node) {
+  auto it = traffic_.find(node);
+  if (it == traffic_.end()) {
+    it = traffic_.emplace(node, std::make_unique<NodeTraffic>()).first;
+  }
+  return *it->second;
+}
+
+void Fabric::AccountWrite(const std::string& from, const std::string& to, uint64_t bytes) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  TrafficFor(from).bytes_sent.fetch_add(bytes, std::memory_order_relaxed);
+  TrafficFor(from).writes.fetch_add(1, std::memory_order_relaxed);
+  TrafficFor(to).bytes_received.fetch_add(bytes, std::memory_order_relaxed);
+  total_bytes_.fetch_add(bytes, std::memory_order_relaxed);
+}
+
+uint64_t Fabric::BytesSent(const std::string& node) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = traffic_.find(node);
+  return it == traffic_.end() ? 0 : it->second->bytes_sent.load(std::memory_order_relaxed);
+}
+
+uint64_t Fabric::BytesReceived(const std::string& node) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = traffic_.find(node);
+  return it == traffic_.end() ? 0 : it->second->bytes_received.load(std::memory_order_relaxed);
+}
+
+uint64_t Fabric::TotalBytes() const { return total_bytes_.load(std::memory_order_relaxed); }
+
+void Fabric::ResetTraffic() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (auto& [name, traffic] : traffic_) {
+    traffic->bytes_sent.store(0, std::memory_order_relaxed);
+    traffic->bytes_received.store(0, std::memory_order_relaxed);
+    traffic->writes.store(0, std::memory_order_relaxed);
+  }
+  total_bytes_.store(0, std::memory_order_relaxed);
+}
+
+}  // namespace tebis

@@ -1,0 +1,99 @@
+// In-process simulated RDMA fabric. One-sided RDMA WRITE is modelled as a
+// memcpy into the remote node's registered memory plus a local work
+// completion; the remote CPU is never involved — exactly the property the
+// Tebis protocols rely on (paper §2, §3.2, §3.4).
+//
+// Every transfer is accounted against per-node traffic counters (plus a
+// fixed per-message wire overhead), which is what the network-amplification
+// experiments measure.
+#ifndef TEBIS_NET_FABRIC_H_
+#define TEBIS_NET_FABRIC_H_
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "src/common/slice.h"
+#include "src/common/status.h"
+
+namespace tebis {
+
+// Approximate per-RDMA-write wire overhead (Ethernet + IP + UDP + RoCE BTH).
+inline constexpr uint64_t kWireOverheadPerWrite = 66;
+
+struct NodeTraffic {
+  std::atomic<uint64_t> bytes_sent{0};
+  std::atomic<uint64_t> bytes_received{0};
+  std::atomic<uint64_t> writes{0};
+};
+
+class Fabric;
+
+// A chunk of memory registered on `owner` that a single remote peer may write
+// with one-sided operations. Used for client request rings, client reply
+// rings, and the per-region value-log replication buffers.
+class RegisteredBuffer {
+ public:
+  RegisteredBuffer(Fabric* fabric, std::string owner, std::string writer, size_t size);
+
+  size_t size() const { return data_.size(); }
+
+  // One-sided write by `writer_` (accounted as writer->owner traffic). The
+  // owner's CPU is not involved.
+  Status RdmaWrite(uint64_t offset, Slice bytes);
+
+  // One-sided write of a protocol message: the body is stored first, then the
+  // rendezvous magics with release ordering, so a concurrently polling reader
+  // never observes a torn message (models RDMA write last-byte ordering).
+  Status RdmaWriteMessage(uint64_t offset, const struct MessageHeader& header, Slice payload);
+
+  // Owner-side access (polling / persisting the buffer).
+  const char* data() const { return data_.data(); }
+  char* mutable_data() { return data_.data(); }
+
+  const std::string& owner() const { return owner_; }
+  const std::string& writer() const { return writer_; }
+
+ private:
+  Fabric* const fabric_;
+  const std::string owner_;
+  const std::string writer_;
+  std::vector<char> data_;
+};
+
+// Simulated RDMA network connecting named nodes.
+class Fabric {
+ public:
+  Fabric() = default;
+  Fabric(const Fabric&) = delete;
+  Fabric& operator=(const Fabric&) = delete;
+
+  // Registers `size` bytes on `owner`, writable by `writer`.
+  std::shared_ptr<RegisteredBuffer> RegisterBuffer(const std::string& owner,
+                                                   const std::string& writer, size_t size);
+
+  // Traffic accounting (called by RegisteredBuffer).
+  void AccountWrite(const std::string& from, const std::string& to, uint64_t bytes);
+
+  uint64_t BytesSent(const std::string& node) const;
+  uint64_t BytesReceived(const std::string& node) const;
+  // Total bytes that crossed the fabric (each transfer counted once).
+  uint64_t TotalBytes() const;
+  void ResetTraffic();
+
+ private:
+  NodeTraffic& TrafficFor(const std::string& node);
+
+  mutable std::mutex mutex_;
+  std::map<std::string, std::unique_ptr<NodeTraffic>> traffic_;
+  std::atomic<uint64_t> total_bytes_{0};
+};
+
+}  // namespace tebis
+
+#endif  // TEBIS_NET_FABRIC_H_

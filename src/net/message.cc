@@ -1,0 +1,138 @@
+#include "src/net/message.h"
+
+#include <cassert>
+
+namespace tebis {
+namespace {
+
+inline void StoreMagicRelease(char* p, uint32_t value) {
+  __atomic_store_n(reinterpret_cast<uint32_t*>(p), value, __ATOMIC_RELEASE);
+}
+
+inline uint32_t LoadMagicAcquire(const char* p) {
+  return __atomic_load_n(reinterpret_cast<const uint32_t*>(p), __ATOMIC_ACQUIRE);
+}
+
+constexpr size_t kMagicOffsetInBlock = kMessageHeaderSize - sizeof(uint32_t);
+
+}  // namespace
+
+const char* MessageTypeName(MessageType type) {
+  switch (type) {
+    case MessageType::kNoop:
+      return "Noop";
+    case MessageType::kNoopReply:
+      return "NoopReply";
+    case MessageType::kPut:
+      return "Put";
+    case MessageType::kPutReply:
+      return "PutReply";
+    case MessageType::kGet:
+      return "Get";
+    case MessageType::kGetReply:
+      return "GetReply";
+    case MessageType::kDelete:
+      return "Delete";
+    case MessageType::kDeleteReply:
+      return "DeleteReply";
+    case MessageType::kScan:
+      return "Scan";
+    case MessageType::kScanReply:
+      return "ScanReply";
+    case MessageType::kFlushLog:
+      return "FlushLog";
+    case MessageType::kFlushLogReply:
+      return "FlushLogReply";
+    case MessageType::kIndexSegment:
+      return "IndexSegment";
+    case MessageType::kIndexSegmentReply:
+      return "IndexSegmentReply";
+    case MessageType::kCompactionBegin:
+      return "CompactionBegin";
+    case MessageType::kCompactionBeginReply:
+      return "CompactionBeginReply";
+    case MessageType::kCompactionEnd:
+      return "CompactionEnd";
+    case MessageType::kCompactionEndReply:
+      return "CompactionEndReply";
+    case MessageType::kLogTrim:
+      return "LogTrim";
+    case MessageType::kLogTrimReply:
+      return "LogTrimReply";
+    case MessageType::kReplicaBuildSegment:
+      return "ReplicaBuildSegment";
+    case MessageType::kReplicaBuildSegmentReply:
+      return "ReplicaBuildSegmentReply";
+    case MessageType::kGetRegionMap:
+      return "GetRegionMap";
+    case MessageType::kGetRegionMapReply:
+      return "GetRegionMapReply";
+    case MessageType::kSetReplayStart:
+      return "SetReplayStart";
+    case MessageType::kSetReplayStartReply:
+      return "SetReplayStartReply";
+  }
+  return "?";
+}
+
+size_t PaddedPayloadSize(size_t payload_size, bool allow_empty) {
+  if (payload_size == 0) {
+    // KV messages keep a minimal payload block so every message is >= 256 B
+    // on the wire (the paper's minimum-payload rule); NOOP fillers may be
+    // header-only to fill a ring exactly.
+    return allow_empty ? 0 : kMessageHeaderSize;
+  }
+  // Round (payload + end-rendezvous) up to a header multiple.
+  const size_t need = payload_size + sizeof(uint32_t);
+  return (need + kMessageHeaderSize - 1) / kMessageHeaderSize * kMessageHeaderSize;
+}
+
+void EncodeMessage(char* dst, const MessageHeader& header, Slice payload) {
+  assert(header.payload_size == payload.size());
+  assert(header.padded_payload_size == 0 || header.padded_payload_size >= payload.size() + 4);
+  char* payload_area = dst + kMessageHeaderSize;
+  if (header.padded_payload_size > 0) {
+    // Payload bytes, zero padding, then the end rendezvous (release).
+    memcpy(payload_area, payload.data(), payload.size());
+    const size_t pad_from = payload.size();
+    const size_t pad_to = header.padded_payload_size - sizeof(uint32_t);
+    if (pad_to > pad_from) {
+      memset(payload_area + pad_from, 0, pad_to - pad_from);
+    }
+    StoreMagicRelease(payload_area + pad_to, kRendezvousMagic);
+  }
+  // Header body first, then its magic last (release): a reader that sees the
+  // header magic is guaranteed to see the body and the payload rendezvous.
+  MessageHeader h = header;
+  h.magic = 0;
+  memcpy(dst, &h, kMessageHeaderSize);
+  StoreMagicRelease(dst + kMagicOffsetInBlock, kRendezvousMagic);
+}
+
+bool TryDecodeHeader(const char* src, MessageHeader* out) {
+  if (LoadMagicAcquire(src + kMagicOffsetInBlock) != kRendezvousMagic) {
+    return false;
+  }
+  memcpy(out, src, kMessageHeaderSize);
+  out->magic = kRendezvousMagic;
+  return true;
+}
+
+bool PayloadComplete(const char* msg, const MessageHeader& header) {
+  if (header.padded_payload_size == 0) {
+    return true;
+  }
+  const char* end_magic =
+      msg + kMessageHeaderSize + header.padded_payload_size - sizeof(uint32_t);
+  return LoadMagicAcquire(end_magic) == kRendezvousMagic;
+}
+
+void ScrubRendezvous(char* msg, size_t wire_size) {
+  // A future header's magic can only sit at block_end - 4 for each 128 B
+  // block, and a future payload rendezvous likewise; zero exactly those.
+  for (size_t off = kMagicOffsetInBlock; off < wire_size; off += kMessageHeaderSize) {
+    StoreMagicRelease(msg + off, 0);
+  }
+}
+
+}  // namespace tebis

@@ -1,0 +1,61 @@
+#include "src/net/ring_allocator.h"
+
+#include <cassert>
+
+namespace tebis {
+
+// Invariants: `regions_` holds live allocations in allocation order. The
+// occupied span runs from `head_` to `tail_` in ring order; free space is the
+// remainder. `tail_` NEVER jumps: the receiving side's rendezvous advances
+// strictly sequentially (wrapping only at the very end of the ring), so
+// allocations must too — that is why a tail gap must be filled with a NOOP
+// message instead of simply skipping to offset 0 (§3.4.2 case b).
+
+RingAllocator::RingAllocator(size_t capacity) : capacity_(capacity) {}
+
+RingAllocator::Allocation RingAllocator::Allocate(size_t n) {
+  assert(n > 0 && n <= capacity_);
+  const bool empty = regions_.empty();
+  if (empty) {
+    head_ = tail_;  // everything is free, but the write position persists
+  }
+  const size_t occupied = empty ? 0 : (tail_ - head_ + capacity_) % capacity_;
+  // head_ == tail_ with live regions means completely full.
+  const size_t free = (!empty && occupied == 0) ? 0 : capacity_ - occupied;
+  if (free < n) {
+    return Allocation{AllocStatus::kFull, 0, 0};
+  }
+  const size_t until_end = capacity_ - tail_;
+  if (n <= until_end) {
+    const size_t offset = tail_;
+    regions_.push_back(Region{offset, n, false});
+    tail_ = (tail_ + n) % capacity_;
+    return Allocation{AllocStatus::kOk, offset, 0};
+  }
+  // The allocation would cross the ring end. The caller must fill the tail
+  // gap (with a NOOP message) and retry; the retry then starts at offset 0.
+  if (free < until_end + n) {
+    return Allocation{AllocStatus::kFull, 0, 0};
+  }
+  return Allocation{AllocStatus::kNeedWrap, 0, until_end};
+}
+
+void RingAllocator::Free(size_t offset) {
+  for (auto& region : regions_) {
+    if (region.offset == offset && !region.freed) {
+      region.freed = true;
+      Reclaim();
+      return;
+    }
+  }
+  assert(false && "free of unknown region");
+}
+
+void RingAllocator::Reclaim() {
+  while (!regions_.empty() && regions_.front().freed) {
+    regions_.pop_front();
+  }
+  head_ = regions_.empty() ? tail_ : regions_.front().offset;
+}
+
+}  // namespace tebis

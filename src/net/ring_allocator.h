@@ -1,0 +1,59 @@
+// Client-managed circular buffer allocator (paper §3.4.1): clients own both
+// the request and the reply rings so server workers never synchronize on
+// buffer allocation. Frees may arrive out of order (workers reply out of
+// order); space is reclaimed when the oldest region becomes free.
+#ifndef TEBIS_NET_RING_ALLOCATOR_H_
+#define TEBIS_NET_RING_ALLOCATOR_H_
+
+#include <cstddef>
+#include <deque>
+
+namespace tebis {
+
+class RingAllocator {
+ public:
+  explicit RingAllocator(size_t capacity);
+
+  enum class AllocStatus {
+    kOk,
+    // Not enough space before the end of the ring, but wrapping would
+    // succeed: the caller must fill the tail gap (NOOP message) first.
+    kNeedWrap,
+    kFull,
+  };
+
+  struct Allocation {
+    AllocStatus status;
+    size_t offset = 0;      // valid when kOk
+    size_t tail_gap = 0;    // valid when kNeedWrap: bytes left before the end
+  };
+
+  // Requests `n` contiguous bytes. n must be > 0 and <= capacity.
+  Allocation Allocate(size_t n);
+
+  // Marks the region starting at `offset` free. Reclaims space only when the
+  // oldest regions are free (FIFO reclamation).
+  void Free(size_t offset);
+
+  size_t capacity() const { return capacity_; }
+  size_t live_regions() const { return regions_.size(); }
+  bool Empty() const { return regions_.empty(); }
+
+ private:
+  struct Region {
+    size_t offset;
+    size_t size;
+    bool freed;
+  };
+
+  void Reclaim();
+
+  const size_t capacity_;
+  std::deque<Region> regions_;  // allocation order
+  size_t head_ = 0;             // offset of the oldest live region
+  size_t tail_ = 0;             // next allocation position
+};
+
+}  // namespace tebis
+
+#endif  // TEBIS_NET_RING_ALLOCATOR_H_

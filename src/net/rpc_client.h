@@ -1,0 +1,90 @@
+// Client side of the Tebis protocol (§3.4.1): the client owns both rings. It
+// allocates a request slot in its send ring and a reply slot in its receive
+// ring for every operation, RDMA-writes the request, and polls the reply slot
+// for the server's RDMA-written answer. Requests complete out of order.
+#ifndef TEBIS_NET_RPC_CLIENT_H_
+#define TEBIS_NET_RPC_CLIENT_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+
+#include "src/net/fabric.h"
+#include "src/net/message.h"
+#include "src/net/ring_allocator.h"
+#include "src/net/server_endpoint.h"
+
+namespace tebis {
+
+struct RpcReply {
+  MessageHeader header;
+  std::string payload;
+};
+
+class RpcClient {
+ public:
+  // Establishes a connection to `server` under the client's `name`.
+  RpcClient(Fabric* fabric, std::string name, ServerEndpoint* server,
+            size_t buffer_size = kDefaultConnectionBufferSize);
+
+  RpcClient(const RpcClient&) = delete;
+  RpcClient& operator=(const RpcClient&) = delete;
+
+  // Sends a request asynchronously. `reply_payload_alloc` is the payload size
+  // the client reserves for the reply (§3.4.1: put replies are fixed-size;
+  // get/scan replies are a guess that grows on truncation). Returns the
+  // request id. Blocks polling for ring space when the rings are full.
+  StatusOr<uint64_t> SendRequest(MessageType type, uint32_t region_id, Slice payload,
+                                 size_t reply_payload_alloc, uint32_t map_version = 0);
+
+  // Polls once for completed replies; fills `out` and returns true if the
+  // given request has completed.
+  bool TryGetReply(uint64_t request_id, RpcReply* out);
+
+  // Blocks (polling) until the reply arrives or `timeout_ns` elapses.
+  StatusOr<RpcReply> WaitReply(uint64_t request_id, uint64_t timeout_ns = 5'000'000'000ull);
+
+  // Convenience: send and wait.
+  StatusOr<RpcReply> Call(MessageType type, uint32_t region_id, Slice payload,
+                          size_t reply_payload_alloc, uint32_t map_version = 0,
+                          uint64_t timeout_ns = 5'000'000'000ull);
+
+  size_t pending_requests() const { return pending_.size(); }
+  const std::string& name() const { return name_; }
+
+  // Adaptive default reply allocation (grows when the server reports
+  // truncation).
+  size_t default_reply_alloc() const { return default_reply_alloc_; }
+  void set_default_reply_alloc(size_t n) { default_reply_alloc_ = n; }
+
+ private:
+  struct Pending {
+    size_t request_offset;
+    size_t reply_offset;
+    size_t reply_wire_size;
+    bool discard;  // NOOP fillers: free silently on completion
+  };
+
+  // Scans pending reply slots for completed replies; stores them aside.
+  void Poll();
+  Status SendNoopFiller(size_t wire_size);
+  StatusOr<size_t> AllocateWithWrap(RingAllocator* ring, size_t n, bool is_send_ring);
+
+  Fabric* const fabric_;
+  const std::string name_;
+  std::shared_ptr<RegisteredBuffer> request_buffer_;  // we write requests here
+  std::shared_ptr<RegisteredBuffer> reply_buffer_;    // server writes replies here
+
+  RingAllocator send_ring_;
+  RingAllocator reply_ring_;
+
+  uint64_t next_request_id_ = 1;
+  size_t default_reply_alloc_ = 1024;
+  std::map<uint64_t, Pending> pending_;
+  std::map<uint64_t, RpcReply> completed_;
+};
+
+}  // namespace tebis
+
+#endif  // TEBIS_NET_RPC_CLIENT_H_

@@ -1,0 +1,187 @@
+#include "src/net/server_endpoint.h"
+
+#include "src/common/clock.h"
+#include "src/common/logging.h"
+
+namespace tebis {
+
+bool ReplyContext::ReplyFits(size_t payload_size) const {
+  return MessageWireSize(PaddedPayloadSize(payload_size, /*allow_empty=*/false)) <=
+         request_.reply_alloc_size;
+}
+
+Status ReplyContext::SendReply(MessageType type, uint16_t flags, Slice payload) const {
+  MessageHeader reply{};
+  reply.payload_size = static_cast<uint32_t>(payload.size());
+  reply.padded_payload_size =
+      static_cast<uint32_t>(PaddedPayloadSize(payload.size(), /*allow_empty=*/false));
+  reply.type = static_cast<uint16_t>(type);
+  reply.flags = flags;
+  reply.region_id = request_.region_id;
+  reply.request_id = request_.request_id;
+  if (MessageWireSize(reply.padded_payload_size) > request_.reply_alloc_size) {
+    return Status::InvalidArgument("reply larger than the client's allocation");
+  }
+  return reply_buffer_->RdmaWriteMessage(request_.reply_offset, reply, payload);
+}
+
+ServerEndpoint::ServerEndpoint(Fabric* fabric, std::string name, int num_spinners,
+                               int num_workers)
+    : fabric_(fabric), name_(std::move(name)), num_spinners_(num_spinners), workers_(num_workers) {}
+
+ServerEndpoint::~ServerEndpoint() { Stop(); }
+
+ServerEndpoint::ConnectionHandles ServerEndpoint::Accept(const std::string& client_name,
+                                                         size_t buffer_size) {
+  auto conn = std::make_unique<ServerConnection>();
+  conn->client_name = client_name;
+  conn->request_buffer = fabric_->RegisterBuffer(/*owner=*/name_, /*writer=*/client_name,
+                                                 buffer_size);
+  conn->reply_buffer = fabric_->RegisterBuffer(/*owner=*/client_name, /*writer=*/name_,
+                                               buffer_size);
+  ConnectionHandles handles{conn->request_buffer, conn->reply_buffer};
+  std::lock_guard<std::mutex> lock(connections_mutex_);
+  connections_.push_back(std::move(conn));
+  return handles;
+}
+
+void ServerEndpoint::Disconnect(const std::string& client_name) {
+  std::lock_guard<std::mutex> lock(connections_mutex_);
+  for (auto it = connections_.begin(); it != connections_.end(); ++it) {
+    if ((*it)->client_name == client_name) {
+      connections_.erase(it);
+      return;
+    }
+  }
+}
+
+int ServerEndpoint::ColdConnections() const {
+  std::lock_guard<std::mutex> lock(connections_mutex_);
+  int cold = 0;
+  for (const auto& conn : connections_) {
+    cold += conn->cold ? 1 : 0;
+  }
+  return cold;
+}
+
+int ServerEndpoint::PollConnection(ServerConnection* conn) {
+  // Hot/cold polling (§3.4.1 extension): cold connections are only probed on
+  // a fraction of passes; one message re-promotes them.
+  if (conn->cold && cold_polling_.load(std::memory_order_relaxed)) {
+    if (++conn->cold_skip < kColdPollPeriod) {
+      polls_skipped_.fetch_add(1, std::memory_order_relaxed);
+      return 0;
+    }
+    conn->cold_skip = 0;
+  }
+  polls_performed_.fetch_add(1, std::memory_order_relaxed);
+  int dispatched = 0;
+  const size_t capacity = conn->request_buffer->size();
+  while (true) {
+    const char* at = conn->request_buffer->data() + conn->rendezvous;
+    MessageHeader header;
+    if (!TryDecodeHeader(at, &header)) {
+      break;
+    }
+    if (!PayloadComplete(at, header)) {
+      break;  // second rendezvous not fired yet
+    }
+    const size_t wire = MessageWireSize(header.padded_payload_size);
+    if (conn->rendezvous + wire > capacity) {
+      TEBIS_LOG(kError) << "malformed message crosses ring end from " << conn->client_name;
+      break;
+    }
+    std::string payload(at + kMessageHeaderSize, header.payload_size);
+    // Scrub so future messages are detected only once fully written, then
+    // advance the rendezvous (wrapping at the end, §3.4.2 case a).
+    ScrubRendezvous(conn->request_buffer->mutable_data() + conn->rendezvous, wire);
+    conn->rendezvous = (conn->rendezvous + wire) % capacity;
+    messages_received_.fetch_add(1, std::memory_order_relaxed);
+    dispatched++;
+
+    ReplyContext ctx(conn->reply_buffer, header);
+    if (static_cast<MessageType>(header.type) == MessageType::kNoop) {
+      // Fillers get an immediate NOOP reply from a worker (§3.4.2 case b).
+      workers_.Dispatch([ctx] {
+        Status s = ctx.SendReply(MessageType::kNoopReply, 0, Slice());
+        if (!s.ok()) {
+          TEBIS_LOG(kError) << "noop reply failed: " << s.ToString();
+        }
+      });
+      continue;
+    }
+    if (!handler_) {
+      TEBIS_LOG(kError) << "no handler installed; dropping "
+                        << MessageTypeName(static_cast<MessageType>(header.type));
+      continue;
+    }
+    RequestHandler& handler = handler_;
+    workers_.Dispatch([&handler, header, payload = std::move(payload), ctx]() mutable {
+      handler(header, std::move(payload), ctx);
+    });
+  }
+  if (dispatched > 0) {
+    conn->idle_polls = 0;
+    conn->cold = false;
+  } else if (cold_polling_.load(std::memory_order_relaxed) && !conn->cold &&
+             ++conn->idle_polls >= kColdThreshold) {
+    conn->cold = true;
+    conn->cold_skip = 0;
+    cold_demotions_.fetch_add(1, std::memory_order_relaxed);
+  }
+  return dispatched;
+}
+
+int ServerEndpoint::PollOnce() {
+  std::lock_guard<std::mutex> lock(connections_mutex_);
+  int total = 0;
+  for (auto& conn : connections_) {
+    total += PollConnection(conn.get());
+  }
+  return total;
+}
+
+void ServerEndpoint::SpinLoop(int spinner_index) {
+  uint64_t cpu_start = ThreadCpuNanos();
+  while (running_.load(std::memory_order_acquire)) {
+    int dispatched = 0;
+    {
+      std::lock_guard<std::mutex> lock(connections_mutex_);
+      const size_t n = connections_.size();
+      // Spinners share connections round-robin by index.
+      for (size_t i = spinner_index; i < n; i += num_spinners_) {
+        dispatched += PollConnection(connections_[i].get());
+      }
+    }
+    if (dispatched == 0) {
+      std::this_thread::yield();
+    }
+  }
+  spin_cpu_ns_.fetch_add(ThreadCpuNanos() - cpu_start, std::memory_order_relaxed);
+}
+
+void ServerEndpoint::Start() {
+  if (running_.exchange(true)) {
+    return;
+  }
+  workers_.Start();
+  for (int i = 0; i < num_spinners_; ++i) {
+    spinners_.emplace_back([this, i] { SpinLoop(i); });
+  }
+}
+
+void ServerEndpoint::Stop() {
+  if (!running_.exchange(false)) {
+    return;
+  }
+  for (auto& t : spinners_) {
+    if (t.joinable()) {
+      t.join();
+    }
+  }
+  spinners_.clear();
+  workers_.Drain();
+  workers_.Stop();
+}
+
+}  // namespace tebis

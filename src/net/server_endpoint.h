@@ -1,0 +1,150 @@
+// Server side of the Tebis RDMA-write protocol: per-connection receive rings
+// polled by a spinning thread (§3.4.2), tasks handed to a WorkerPool, replies
+// RDMA-written into the client's reply ring at the offset the client chose
+// (§3.4.1).
+#ifndef TEBIS_NET_SERVER_ENDPOINT_H_
+#define TEBIS_NET_SERVER_ENDPOINT_H_
+
+#include <atomic>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "src/net/fabric.h"
+#include "src/net/message.h"
+#include "src/net/worker_pool.h"
+
+namespace tebis {
+
+inline constexpr size_t kDefaultConnectionBufferSize = 256 * 1024;  // paper §3.4.1
+
+class ServerEndpoint;
+
+// Everything a worker needs to answer one request.
+class ReplyContext {
+ public:
+  ReplyContext(std::shared_ptr<RegisteredBuffer> reply_buffer, const MessageHeader& request)
+      : reply_buffer_(std::move(reply_buffer)), request_(request) {}
+
+  const MessageHeader& request() const { return request_; }
+
+  // True if a reply with `payload_size` bytes fits in the client's allocated
+  // reply slot.
+  bool ReplyFits(size_t payload_size) const;
+  size_t reply_alloc() const { return request_.reply_alloc_size; }
+
+  // RDMA-writes the reply into the client's reply ring. The payload must fit
+  // (callers use ReplyFits and the kFlagTruncatedReply convention otherwise).
+  Status SendReply(MessageType type, uint16_t flags, Slice payload) const;
+
+ private:
+  std::shared_ptr<RegisteredBuffer> reply_buffer_;
+  MessageHeader request_;
+};
+
+// Server-side connection state: the client's request ring (registered on this
+// server) plus the client's reply ring (registered on the client).
+struct ServerConnection {
+  std::string client_name;
+  std::shared_ptr<RegisteredBuffer> request_buffer;  // client writes, we poll
+  std::shared_ptr<RegisteredBuffer> reply_buffer;    // we write replies
+  size_t rendezvous = 0;                             // next header position
+
+  // Hot/cold polling (the paper's §3.4.1 future-work extension, implemented
+  // here): a connection that stays idle for kColdThreshold consecutive polls
+  // is demoted to cold and only polled every kColdPollPeriod passes, cutting
+  // the spinning thread's per-pass work for large client counts. Any message
+  // instantly re-promotes the connection to hot.
+  uint32_t idle_polls = 0;
+  bool cold = false;
+  uint32_t cold_skip = 0;
+};
+
+inline constexpr uint32_t kColdThreshold = 10000;  // polls with no message
+inline constexpr uint32_t kColdPollPeriod = 64;    // poll cold conns 1/64 passes
+
+// Handler invoked on a worker thread for every received message.
+using RequestHandler =
+    std::function<void(const MessageHeader& header, std::string payload, ReplyContext ctx)>;
+
+// The endpoint a region server exposes. One or more spinning threads poll the
+// connections round-robin; dispatch follows the worker-queue policy.
+class ServerEndpoint {
+ public:
+  // `num_spinners` spinning threads and `num_workers` workers (paper: 2 and 8
+  // per server).
+  ServerEndpoint(Fabric* fabric, std::string name, int num_spinners, int num_workers);
+  ~ServerEndpoint();
+
+  ServerEndpoint(const ServerEndpoint&) = delete;
+  ServerEndpoint& operator=(const ServerEndpoint&) = delete;
+
+  void set_handler(RequestHandler handler) { handler_ = std::move(handler); }
+
+  // Connection establishment: allocates the request ring on this server and
+  // the reply ring on the client. Returns the pair for the client side.
+  struct ConnectionHandles {
+    std::shared_ptr<RegisteredBuffer> request_buffer;
+    std::shared_ptr<RegisteredBuffer> reply_buffer;
+  };
+  ConnectionHandles Accept(const std::string& client_name,
+                           size_t buffer_size = kDefaultConnectionBufferSize);
+
+  // Frees a client's connection state (client disconnected or failed).
+  void Disconnect(const std::string& client_name);
+
+  void Start();
+  void Stop();
+
+  // Polls every connection once on the caller's thread; returns messages
+  // dispatched. Used by deterministic tests; Start() runs this in a loop.
+  int PollOnce();
+
+  const std::string& name() const { return name_; }
+  Fabric* fabric() { return fabric_; }
+  WorkerPool& workers() { return workers_; }
+  uint64_t messages_received() const { return messages_received_.load(std::memory_order_relaxed); }
+  // CPU nanoseconds burned by the spinning threads (part of "Other" in the
+  // Table 3 breakdown).
+  uint64_t spin_cpu_ns() const { return spin_cpu_ns_.load(std::memory_order_relaxed); }
+
+  // Hot/cold polling stats (§3.4.1 extension). The extension can be disabled
+  // for A/B measurements (see bench_ablation).
+  void set_cold_polling(bool enabled) { cold_polling_ = enabled; }
+  uint64_t cold_demotions() const { return cold_demotions_.load(std::memory_order_relaxed); }
+  uint64_t polls_skipped() const { return polls_skipped_.load(std::memory_order_relaxed); }
+  // Rendezvous probes actually performed (a pass over a cold connection that
+  // is skipped does not count) — the §3.4.1 extension's savings metric.
+  uint64_t polls_performed() const { return polls_performed_.load(std::memory_order_relaxed); }
+  // Number of currently-cold connections (test/introspection).
+  int ColdConnections() const;
+
+ private:
+  void SpinLoop(int spinner_index);
+  int PollConnection(ServerConnection* conn);
+
+  Fabric* const fabric_;
+  const std::string name_;
+  const int num_spinners_;
+  RequestHandler handler_;
+  WorkerPool workers_;
+
+  mutable std::mutex connections_mutex_;
+  std::vector<std::unique_ptr<ServerConnection>> connections_;
+
+  std::atomic<bool> running_{false};
+  std::vector<std::thread> spinners_;
+  std::atomic<uint64_t> messages_received_{0};
+  std::atomic<uint64_t> spin_cpu_ns_{0};
+  std::atomic<uint64_t> cold_demotions_{0};
+  std::atomic<uint64_t> polls_skipped_{0};
+  std::atomic<uint64_t> polls_performed_{0};
+  std::atomic<bool> cold_polling_{true};
+};
+
+}  // namespace tebis
+
+#endif  // TEBIS_NET_SERVER_ENDPOINT_H_

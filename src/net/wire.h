@@ -1,0 +1,87 @@
+// Payload serialization helpers. All multi-byte integers are little-endian
+// (native on every platform we target); strings are length-prefixed.
+#ifndef TEBIS_NET_WIRE_H_
+#define TEBIS_NET_WIRE_H_
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+
+#include "src/common/slice.h"
+#include "src/common/status.h"
+
+namespace tebis {
+
+class WireWriter {
+ public:
+  WireWriter& U8(uint8_t v) { return Raw(&v, 1); }
+  WireWriter& U16(uint16_t v) { return Raw(&v, sizeof(v)); }
+  WireWriter& U32(uint32_t v) { return Raw(&v, sizeof(v)); }
+  WireWriter& U64(uint64_t v) { return Raw(&v, sizeof(v)); }
+  WireWriter& Bytes(Slice s) {
+    U32(static_cast<uint32_t>(s.size()));
+    return Raw(s.data(), s.size());
+  }
+  // Appends raw bytes without a length prefix.
+  WireWriter& Raw(const void* data, size_t n) {
+    buffer_.append(static_cast<const char*>(data), n);
+    return *this;
+  }
+
+  const std::string& str() const { return buffer_; }
+  Slice slice() const { return Slice(buffer_); }
+
+ private:
+  std::string buffer_;
+};
+
+class WireReader {
+ public:
+  explicit WireReader(Slice data) : data_(data) {}
+
+  Status U8(uint8_t* v) { return Fixed(v, 1); }
+  Status U16(uint16_t* v) { return Fixed(v, sizeof(*v)); }
+  Status U32(uint32_t* v) { return Fixed(v, sizeof(*v)); }
+  Status U64(uint64_t* v) { return Fixed(v, sizeof(*v)); }
+
+  Status Bytes(std::string* out) {
+    uint32_t n;
+    TEBIS_RETURN_IF_ERROR(U32(&n));
+    if (n > data_.size()) {
+      return Status::Corruption("wire: string length past end");
+    }
+    out->assign(data_.data(), n);
+    data_.RemovePrefix(n);
+    return Status::Ok();
+  }
+
+  // Zero-copy view of a length-prefixed string (valid while the payload is).
+  Status BytesView(Slice* out) {
+    uint32_t n;
+    TEBIS_RETURN_IF_ERROR(U32(&n));
+    if (n > data_.size()) {
+      return Status::Corruption("wire: string length past end");
+    }
+    *out = Slice(data_.data(), n);
+    data_.RemovePrefix(n);
+    return Status::Ok();
+  }
+
+  size_t remaining() const { return data_.size(); }
+
+ private:
+  Status Fixed(void* out, size_t n) {
+    if (data_.size() < n) {
+      return Status::Corruption("wire: truncated integer");
+    }
+    memcpy(out, data_.data(), n);
+    data_.RemovePrefix(n);
+    return Status::Ok();
+  }
+
+  Slice data_;
+};
+
+}  // namespace tebis
+
+#endif  // TEBIS_NET_WIRE_H_

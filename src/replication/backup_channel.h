@@ -1,0 +1,53 @@
+// How a primary region talks to one backup replica. The data plane (value-log
+// records) goes through one-sided RDMA writes into the backup's registered
+// buffer — no backup CPU (paper §3.2). The control plane (flush, index
+// shipping, trim) is ordinary messages handled by the backup's workers.
+//
+// Two implementations: RpcBackupChannel runs the real protocol over the
+// simulated fabric; tests may implement the interface directly.
+#ifndef TEBIS_REPLICATION_BACKUP_CHANNEL_H_
+#define TEBIS_REPLICATION_BACKUP_CHANNEL_H_
+
+#include <string>
+
+#include "src/common/slice.h"
+#include "src/common/status.h"
+#include "src/lsm/btree_builder.h"
+#include "src/storage/segment.h"
+
+namespace tebis {
+
+class BackupChannel {
+ public:
+  virtual ~BackupChannel() = default;
+
+  // Data plane: one-sided write of a log record into the backup's RDMA buffer
+  // at the record's offset within the tail segment.
+  virtual Status RdmaWriteLog(uint64_t offset_in_segment, Slice record_bytes) = 0;
+
+  // Control plane (§3.2): the tail segment `primary_segment` is full and
+  // persisted on the primary; the backup must persist its RDMA buffer and add
+  // the log-map entry. Blocks until the backup acknowledges.
+  virtual Status FlushLog(SegmentId primary_segment) = 0;
+
+  // Control plane (§3.3): compaction lifecycle for Send-Index shipping.
+  virtual Status CompactionBegin(uint64_t compaction_id, int src_level, int dst_level) = 0;
+  virtual Status ShipIndexSegment(uint64_t compaction_id, int dst_level, int tree_level,
+                                  SegmentId primary_segment, Slice bytes) = 0;
+  virtual Status CompactionEnd(uint64_t compaction_id, int src_level, int dst_level,
+                               const BuiltTree& primary_tree) = 0;
+
+  // GC coordination (paper §4: backups "only perform the trim").
+  virtual Status TrimLog(size_t segments) = 0;
+
+  // Recovery/full-sync: after shipping the levels, tells the backup which
+  // flushed-log segment starts the un-indexed suffix (L0 replay point, §3.5).
+  // Build-Index backups ignore this.
+  virtual Status SetLogReplayStart(size_t flushed_segment_index) = 0;
+
+  virtual const std::string& backup_name() const = 0;
+};
+
+}  // namespace tebis
+
+#endif  // TEBIS_REPLICATION_BACKUP_CHANNEL_H_

@@ -1,0 +1,98 @@
+#include "src/replication/build_index_backup.h"
+
+#include "src/common/clock.h"
+
+namespace tebis {
+
+StatusOr<std::unique_ptr<BuildIndexBackupRegion>> BuildIndexBackupRegion::Create(
+    BlockDevice* device, const KvStoreOptions& options,
+    std::shared_ptr<RegisteredBuffer> rdma_buffer) {
+  if (rdma_buffer == nullptr || rdma_buffer->size() < device->segment_size()) {
+    return Status::InvalidArgument("RDMA buffer must hold at least one segment");
+  }
+  std::unique_ptr<BuildIndexBackupRegion> backup(
+      new BuildIndexBackupRegion(device, options, std::move(rdma_buffer)));
+  TEBIS_ASSIGN_OR_RETURN(backup->store_, KvStore::Create(device, options));
+  return backup;
+}
+
+StatusOr<std::unique_ptr<BuildIndexBackupRegion>> BuildIndexBackupRegion::CreateFromStore(
+    BlockDevice* device, const KvStoreOptions& options,
+    std::shared_ptr<RegisteredBuffer> rdma_buffer, std::unique_ptr<KvStore> store,
+    SegmentMap log_map, std::vector<SegmentId> primary_flush_order) {
+  if (rdma_buffer == nullptr || rdma_buffer->size() < device->segment_size()) {
+    return Status::InvalidArgument("RDMA buffer must hold at least one segment");
+  }
+  std::unique_ptr<BuildIndexBackupRegion> backup(
+      new BuildIndexBackupRegion(device, options, std::move(rdma_buffer)));
+  backup->store_ = std::move(store);
+  backup->log_map_ = std::move(log_map);
+  backup->primary_flush_order_ = std::move(primary_flush_order);
+  return backup;
+}
+
+BuildIndexBackupRegion::BuildIndexBackupRegion(BlockDevice* device, const KvStoreOptions& options,
+                                               std::shared_ptr<RegisteredBuffer> rdma_buffer)
+    : device_(device), options_(options), rdma_buffer_(std::move(rdma_buffer)) {}
+
+Status BuildIndexBackupRegion::HandleLogFlush(SegmentId primary_segment) {
+  const uint64_t seg_size = device_->segment_size();
+  Slice image(rdma_buffer_->data(), seg_size);
+  TEBIS_ASSIGN_OR_RETURN(SegmentId local, store_->value_log()->AppendRawSegment(image));
+  TEBIS_RETURN_IF_ERROR(log_map_.Insert(primary_segment, local));
+  primary_flush_order_.push_back(primary_segment);
+  stats_.log_flushes++;
+
+  // The baseline's work: every record goes through the in-memory L0 index
+  // ("in-memory sorting") and, when L0 fills, a full local compaction with
+  // its read-merge-write I/O.
+  ScopedCpuTimer timer(&stats_.insert_cpu_ns);
+  const uint64_t base = device_->geometry().BaseOffset(local);
+  TEBIS_RETURN_IF_ERROR(ValueLog::ForEachRecord(
+      image, /*segment_base=*/0, [&](const LogRecord& rec) -> Status {
+        const uint64_t local_offset = base + rec.offset;  // same in-segment offset
+        TEBIS_RETURN_IF_ERROR(store_->ReplayRecord(rec.key, local_offset, rec.tombstone));
+        stats_.records_inserted++;
+        return store_->MaybeCompact();
+      }));
+  return Status::Ok();
+}
+
+Status BuildIndexBackupRegion::HandleTrimLog(size_t segments) {
+  if (segments > primary_flush_order_.size()) {
+    return Status::InvalidArgument("trim beyond replicated log");
+  }
+  // The primary ran a full cascade before trimming; mirror it locally so no
+  // surviving leaf entry references the segments about to be dropped.
+  TEBIS_RETURN_IF_ERROR(store_->ForceFullCompaction());
+  TEBIS_RETURN_IF_ERROR(store_->value_log()->TrimHead(segments));
+  SegmentMap fresh;
+  for (size_t i = segments; i < primary_flush_order_.size(); ++i) {
+    TEBIS_ASSIGN_OR_RETURN(SegmentId local, log_map_.Lookup(primary_flush_order_[i]));
+    TEBIS_RETURN_IF_ERROR(fresh.Insert(primary_flush_order_[i], local));
+  }
+  log_map_ = std::move(fresh);
+  primary_flush_order_.erase(primary_flush_order_.begin(),
+                             primary_flush_order_.begin() + static_cast<long>(segments));
+  return Status::Ok();
+}
+
+StatusOr<std::unique_ptr<KvStore>> BuildIndexBackupRegion::Promote(bool replay_rdma_buffer) {
+  if (!replay_rdma_buffer) {
+    return std::move(store_);
+  }
+  const uint64_t seg_size = device_->segment_size();
+  Status replay_status = ValueLog::ForEachRecord(
+      Slice(rdma_buffer_->data(), seg_size), /*segment_base=*/0, [&](const LogRecord& rec) {
+        if (rec.tombstone) {
+          return store_->Delete(rec.key);
+        }
+        return store_->Put(rec.key, rec.value);
+      });
+  if (!replay_status.ok() && !replay_status.IsCorruption()) {
+    return replay_status;
+  }
+  return std::move(store_);
+}
+
+}  // namespace tebis

@@ -1,0 +1,74 @@
+// The Build-Index baseline backup (paper §4, "Build-Index"): the value log is
+// replicated exactly like Send-Index, but the backup maintains its own L0 and
+// runs its own compactions — re-inserting every flushed record into a full
+// Kreon engine. This is the CPU/read-I/O cost Send-Index eliminates.
+#ifndef TEBIS_REPLICATION_BUILD_INDEX_BACKUP_H_
+#define TEBIS_REPLICATION_BUILD_INDEX_BACKUP_H_
+
+#include <memory>
+#include <vector>
+
+#include "src/lsm/kv_store.h"
+#include "src/net/fabric.h"
+#include "src/replication/segment_map.h"
+#include "src/storage/block_device.h"
+
+namespace tebis {
+
+struct BuildIndexBackupStats {
+  uint64_t insert_cpu_ns = 0;  // re-inserting flushed records into L0
+  uint64_t records_inserted = 0;
+  uint64_t log_flushes = 0;
+};
+
+class BuildIndexBackupRegion {
+ public:
+  static StatusOr<std::unique_ptr<BuildIndexBackupRegion>> Create(
+      BlockDevice* device, const KvStoreOptions& options,
+      std::shared_ptr<RegisteredBuffer> rdma_buffer);
+
+  // Graceful demotion: wraps a former primary's complete engine as a backup
+  // of the promoted node. `log_map` maps the new primary's segments to this
+  // node's; `primary_flush_order` lists them in flush order.
+  static StatusOr<std::unique_ptr<BuildIndexBackupRegion>> CreateFromStore(
+      BlockDevice* device, const KvStoreOptions& options,
+      std::shared_ptr<RegisteredBuffer> rdma_buffer, std::unique_ptr<KvStore> store,
+      SegmentMap log_map, std::vector<SegmentId> primary_flush_order);
+
+  BuildIndexBackupRegion(const BuildIndexBackupRegion&) = delete;
+  BuildIndexBackupRegion& operator=(const BuildIndexBackupRegion&) = delete;
+
+  // Persists the RDMA buffer as a local log segment, then replays every
+  // record into the local engine (L0 insert + any compactions it triggers).
+  Status HandleLogFlush(SegmentId primary_segment);
+
+  Status HandleTrimLog(size_t segments);
+
+  // Promotion is cheap for Build-Index: the engine is already complete; only
+  // the unflushed RDMA buffer must be replayed (skipped when the caller
+  // replays it through the wrapped PrimaryRegion instead).
+  StatusOr<std::unique_ptr<KvStore>> Promote(bool replay_rdma_buffer = true);
+
+  const RegisteredBuffer* rdma_buffer() const { return rdma_buffer_.get(); }
+
+  KvStore* store() { return store_.get(); }
+  const SegmentMap& log_map() const { return log_map_; }
+  const BuildIndexBackupStats& stats() const { return stats_; }
+  uint64_t l0_memory_bytes() const { return store_->l0_memory_bytes(); }
+
+ private:
+  BuildIndexBackupRegion(BlockDevice* device, const KvStoreOptions& options,
+                         std::shared_ptr<RegisteredBuffer> rdma_buffer);
+
+  BlockDevice* const device_;
+  const KvStoreOptions options_;
+  std::shared_ptr<RegisteredBuffer> rdma_buffer_;
+  std::unique_ptr<KvStore> store_;
+  SegmentMap log_map_;
+  std::vector<SegmentId> primary_flush_order_;
+  BuildIndexBackupStats stats_;
+};
+
+}  // namespace tebis
+
+#endif  // TEBIS_REPLICATION_BUILD_INDEX_BACKUP_H_

@@ -1,0 +1,119 @@
+// BackupChannel that invokes a backup region object in-process (no message
+// protocol). The data plane still flows through the registered RDMA buffer so
+// network traffic is accounted identically; control messages are modelled as
+// one accounted message each. Used by unit tests and by single-process
+// benchmark setups where the full RPC path is not under test.
+#ifndef TEBIS_REPLICATION_LOCAL_BACKUP_CHANNEL_H_
+#define TEBIS_REPLICATION_LOCAL_BACKUP_CHANNEL_H_
+
+#include <memory>
+#include <string>
+
+#include "src/net/fabric.h"
+#include "src/net/message.h"
+#include "src/replication/backup_channel.h"
+#include "src/replication/build_index_backup.h"
+#include "src/replication/replication_wire.h"
+#include "src/replication/send_index_backup.h"
+
+namespace tebis {
+
+class LocalBackupChannel : public BackupChannel {
+ public:
+  // Exactly one of `send_backup` / `build_backup` is non-null. The channel
+  // does not own the backup. `buffer` is the backup's registered log buffer;
+  // `primary_name` is used only for traffic accounting of control messages.
+  LocalBackupChannel(Fabric* fabric, std::string primary_name,
+                     std::shared_ptr<RegisteredBuffer> buffer, SendIndexBackupRegion* send_backup,
+                     BuildIndexBackupRegion* build_backup)
+      : fabric_(fabric),
+        primary_name_(std::move(primary_name)),
+        buffer_(std::move(buffer)),
+        send_backup_(send_backup),
+        build_backup_(build_backup),
+        backup_name_(buffer_->owner()) {}
+
+  Status RdmaWriteLog(uint64_t offset_in_segment, Slice record_bytes) override {
+    return buffer_->RdmaWrite(offset_in_segment, record_bytes);
+  }
+
+  Status FlushLog(SegmentId primary_segment) override {
+    AccountControlMessage(EncodeFlushLog({primary_segment}).size());
+    if (send_backup_ != nullptr) {
+      return send_backup_->HandleLogFlush(primary_segment);
+    }
+    return build_backup_->HandleLogFlush(primary_segment);
+  }
+
+  Status CompactionBegin(uint64_t compaction_id, int src_level, int dst_level) override {
+    if (send_backup_ == nullptr) {
+      return Status::Ok();
+    }
+    AccountControlMessage(EncodeCompactionBegin({compaction_id,
+                                                 static_cast<uint32_t>(src_level),
+                                                 static_cast<uint32_t>(dst_level)})
+                              .size());
+    return send_backup_->HandleCompactionBegin(compaction_id, src_level, dst_level);
+  }
+
+  Status ShipIndexSegment(uint64_t compaction_id, int dst_level, int tree_level,
+                          SegmentId primary_segment, Slice bytes) override {
+    if (send_backup_ == nullptr) {
+      return Status::Ok();
+    }
+    // The segment body is the dominant network cost of Send-Index.
+    AccountControlMessage(bytes.size() + 28);
+    return send_backup_->HandleIndexSegment(compaction_id, dst_level, tree_level,
+                                            primary_segment, bytes);
+  }
+
+  Status CompactionEnd(uint64_t compaction_id, int src_level, int dst_level,
+                       const BuiltTree& primary_tree) override {
+    if (send_backup_ == nullptr) {
+      return Status::Ok();
+    }
+    CompactionEndMsg msg{compaction_id, static_cast<uint32_t>(src_level),
+                         static_cast<uint32_t>(dst_level), primary_tree};
+    AccountControlMessage(EncodeCompactionEnd(msg).size());
+    return send_backup_->HandleCompactionEnd(compaction_id, src_level, dst_level, primary_tree);
+  }
+
+  Status TrimLog(size_t segments) override {
+    AccountControlMessage(EncodeTrimLog({static_cast<uint32_t>(segments)}).size());
+    if (send_backup_ != nullptr) {
+      return send_backup_->HandleTrimLog(segments);
+    }
+    return build_backup_->HandleTrimLog(segments);
+  }
+
+  Status SetLogReplayStart(size_t flushed_segment_index) override {
+    AccountControlMessage(8);
+    if (send_backup_ != nullptr) {
+      send_backup_->set_replay_from(flushed_segment_index);
+    }
+    return Status::Ok();
+  }
+
+  const std::string& backup_name() const override { return backup_name_; }
+
+ private:
+  void AccountControlMessage(size_t payload_size) {
+    // One request + one fixed-size ack, padded like the real protocol.
+    const size_t request =
+        MessageWireSize(PaddedPayloadSize(payload_size, /*allow_empty=*/false));
+    const size_t ack = MessageWireSize(PaddedPayloadSize(0, /*allow_empty=*/false));
+    fabric_->AccountWrite(primary_name_, backup_name_, request + kWireOverheadPerWrite);
+    fabric_->AccountWrite(backup_name_, primary_name_, ack + kWireOverheadPerWrite);
+  }
+
+  Fabric* const fabric_;
+  const std::string primary_name_;
+  std::shared_ptr<RegisteredBuffer> buffer_;
+  SendIndexBackupRegion* const send_backup_;
+  BuildIndexBackupRegion* const build_backup_;
+  const std::string backup_name_;
+};
+
+}  // namespace tebis
+
+#endif  // TEBIS_REPLICATION_LOCAL_BACKUP_CHANNEL_H_

@@ -1,0 +1,234 @@
+#include "src/replication/primary_region.h"
+
+#include "src/common/clock.h"
+#include "src/common/logging.h"
+
+namespace tebis {
+
+const char* ReplicationModeName(ReplicationMode mode) {
+  switch (mode) {
+    case ReplicationMode::kNoReplication:
+      return "No-Replication";
+    case ReplicationMode::kSendIndex:
+      return "Send-Index";
+    case ReplicationMode::kBuildIndex:
+      return "Build-Index";
+  }
+  return "?";
+}
+
+StatusOr<std::unique_ptr<PrimaryRegion>> PrimaryRegion::Create(BlockDevice* device,
+                                                               const KvStoreOptions& options,
+                                                               ReplicationMode mode) {
+  std::unique_ptr<PrimaryRegion> region(new PrimaryRegion(device, mode));
+  TEBIS_ASSIGN_OR_RETURN(region->store_, KvStore::Create(device, options));
+  region->store_->value_log()->set_observer(region.get());
+  region->store_->set_compaction_observer(region.get());
+  return region;
+}
+
+StatusOr<std::unique_ptr<PrimaryRegion>> PrimaryRegion::CreateFromStore(
+    BlockDevice* device, ReplicationMode mode, std::unique_ptr<KvStore> store) {
+  std::unique_ptr<PrimaryRegion> region(new PrimaryRegion(device, mode));
+  region->store_ = std::move(store);
+  region->store_->value_log()->set_observer(region.get());
+  region->store_->set_compaction_observer(region.get());
+  // Everything currently flushed is covered by the adopted levels' replay
+  // bookkeeping on the backups; the next L0 compaction resets this.
+  region->l0_boundary_ = 0;
+  return region;
+}
+
+PrimaryRegion::PrimaryRegion(BlockDevice* device, ReplicationMode mode)
+    : device_(device), mode_(mode) {}
+
+void PrimaryRegion::AddBackup(std::unique_ptr<BackupChannel> channel) {
+  backups_.push_back(std::move(channel));
+}
+
+bool PrimaryRegion::RemoveBackup(const std::string& backup_name) {
+  for (auto it = backups_.begin(); it != backups_.end(); ++it) {
+    if ((*it)->backup_name() == backup_name) {
+      backups_.erase(it);
+      return true;
+    }
+  }
+  return false;
+}
+
+void PrimaryRegion::Park(const Status& status) {
+  if (!status.ok() && parked_error_.ok()) {
+    TEBIS_LOG(kError) << "replication error parked: " << status.ToString();
+    parked_error_ = status;
+  }
+}
+
+Status PrimaryRegion::TakeParkedError() {
+  Status s = parked_error_;
+  parked_error_ = Status::Ok();
+  return s;
+}
+
+Status PrimaryRegion::Put(Slice key, Slice value) {
+  TEBIS_RETURN_IF_ERROR(store_->Put(key, value));
+  return TakeParkedError();
+}
+
+Status PrimaryRegion::Delete(Slice key) {
+  TEBIS_RETURN_IF_ERROR(store_->Delete(key));
+  return TakeParkedError();
+}
+
+StatusOr<std::string> PrimaryRegion::Get(Slice key) { return store_->Get(key); }
+
+StatusOr<std::vector<KvPair>> PrimaryRegion::Scan(Slice start, size_t limit) {
+  return store_->Scan(start, limit);
+}
+
+Status PrimaryRegion::FlushL0() {
+  TEBIS_RETURN_IF_ERROR(store_->FlushL0());
+  return TakeParkedError();
+}
+
+StatusOr<size_t> PrimaryRegion::GarbageCollect(size_t max_segments) {
+  TEBIS_ASSIGN_OR_RETURN(size_t freed, store_->GarbageCollectHead(max_segments));
+  TEBIS_RETURN_IF_ERROR(TakeParkedError());
+  for (auto& backup : backups_) {
+    TEBIS_RETURN_IF_ERROR(backup->TrimLog(freed));
+  }
+  return freed;
+}
+
+Status PrimaryRegion::FullSync(BackupChannel* channel) {
+  // Seal the tail so the entire dataset is in flushed segments + L0, and the
+  // levels reference only flushed offsets.
+  TEBIS_RETURN_IF_ERROR(store_->value_log()->FlushTail());
+  TEBIS_RETURN_IF_ERROR(TakeParkedError());
+
+  const uint64_t seg_size = device_->segment_size();
+  std::string buf(seg_size, 0);
+  // 1) The value log, oldest first, through the normal §3.2 path: buffer
+  //    write + flush message builds the backup's log and log map.
+  for (SegmentId seg : store_->value_log()->flushed_segments()) {
+    TEBIS_RETURN_IF_ERROR(device_->Read(device_->geometry().BaseOffset(seg), seg_size, buf.data(),
+                                        IoClass::kRecovery));
+    TEBIS_RETURN_IF_ERROR(channel->RdmaWriteLog(0, Slice(buf)));
+    TEBIS_RETURN_IF_ERROR(channel->FlushLog(seg));
+  }
+  // 2) (Send-Index) every device level via synthetic compactions; the backup
+  //    rewrites them exactly like live shipments.
+  if (mode_ == ReplicationMode::kSendIndex) {
+    for (uint32_t i = 1; i <= store_->max_levels(); ++i) {
+      const BuiltTree& tree = store_->level(i);
+      if (tree.empty()) {
+        continue;
+      }
+      const uint64_t sync_id = next_sync_id_++;
+      TEBIS_RETURN_IF_ERROR(channel->CompactionBegin(sync_id, 0, static_cast<int>(i)));
+      for (SegmentId seg : tree.segments) {
+        TEBIS_RETURN_IF_ERROR(device_->Read(device_->geometry().BaseOffset(seg), seg_size,
+                                            buf.data(), IoClass::kRecovery));
+        TEBIS_RETURN_IF_ERROR(
+            channel->ShipIndexSegment(sync_id, static_cast<int>(i), 0, seg, Slice(buf)));
+      }
+      TEBIS_RETURN_IF_ERROR(channel->CompactionEnd(sync_id, 0, static_cast<int>(i), tree));
+    }
+  }
+  // 3) Where L0 replay starts if this backup is ever promoted.
+  return channel->SetLogReplayStart(l0_boundary_);
+}
+
+Status PrimaryRegion::ReplayBufferImage(Slice image) {
+  Status status = ValueLog::ForEachRecord(image, /*segment_base=*/0,
+                                          [this](const LogRecord& rec) {
+                                            if (rec.tombstone) {
+                                              return Delete(rec.key);
+                                            }
+                                            return Put(rec.key, rec.value);
+                                          });
+  if (!status.ok() && !status.IsCorruption()) {
+    return status;  // a torn trailing record marks the end of valid data
+  }
+  return Status::Ok();
+}
+
+// --- data plane (§3.2) ---------------------------------------------------------
+
+void PrimaryRegion::OnAppend(SegmentId tail_segment, uint64_t offset_in_segment,
+                             Slice record_bytes) {
+  if (backups_.empty()) {
+    return;
+  }
+  ScopedCpuTimer timer(&replication_stats_.log_replication_cpu_ns);
+  // Replicate the record plus the 4 zero bytes that follow it in the tail
+  // buffer (ValueLog reserves them). They act as an end-of-data terminator in
+  // the backup's RDMA buffer, so promotion never replays stale bytes from a
+  // previous tail image.
+  Slice with_terminator(record_bytes.data(), record_bytes.size() + 4);
+  for (auto& backup : backups_) {
+    Park(backup->RdmaWriteLog(offset_in_segment, with_terminator));
+  }
+  replication_stats_.log_records_replicated++;
+}
+
+void PrimaryRegion::OnTailFlush(SegmentId tail_segment, Slice segment_bytes) {
+  if (backups_.empty()) {
+    return;
+  }
+  ScopedCpuTimer timer(&replication_stats_.log_replication_cpu_ns);
+  const uint64_t start = ThreadCpuNanos();
+  for (auto& backup : backups_) {
+    Park(backup->FlushLog(tail_segment));
+  }
+  if (in_compaction_begin_) {
+    replication_stats_.log_flush_in_compaction_cpu_ns += ThreadCpuNanos() - start;
+  }
+  replication_stats_.log_flushes++;
+}
+
+// --- index shipping (§3.3) -------------------------------------------------------
+
+void PrimaryRegion::OnCompactionBegin(const CompactionInfo& info) {
+  // Every log offset the compaction will emit must already be flushed (and
+  // therefore mapped on the backups): seal the tail first. Done even without
+  // backups so the L0 boundary stays exact for later FullSyncs.
+  in_compaction_begin_ = true;
+  Park(store_->value_log()->FlushTail());
+  in_compaction_begin_ = false;
+  if (info.src_level == 0) {
+    l0_boundary_ = store_->value_log()->flushed_segments().size();
+  }
+  if (backups_.empty() || mode_ != ReplicationMode::kSendIndex) {
+    return;
+  }
+  ScopedCpuTimer timer(&replication_stats_.send_index_cpu_ns);
+  for (auto& backup : backups_) {
+    Park(backup->CompactionBegin(info.compaction_id, info.src_level, info.dst_level));
+  }
+}
+
+void PrimaryRegion::OnIndexSegment(const CompactionInfo& info, int tree_level, SegmentId segment,
+                                   Slice bytes) {
+  if (mode_ != ReplicationMode::kSendIndex || backups_.empty()) {
+    return;
+  }
+  ScopedCpuTimer timer(&replication_stats_.send_index_cpu_ns);
+  for (auto& backup : backups_) {
+    Park(backup->ShipIndexSegment(info.compaction_id, info.dst_level, tree_level, segment,
+                                  bytes));
+  }
+  replication_stats_.index_segments_shipped++;
+  replication_stats_.index_bytes_shipped += bytes.size();
+}
+
+void PrimaryRegion::OnCompactionEnd(const CompactionInfo& info, const BuiltTree& new_tree) {
+  if (mode_ != ReplicationMode::kSendIndex || backups_.empty()) {
+    return;
+  }
+  ScopedCpuTimer timer(&replication_stats_.send_index_cpu_ns);
+  for (auto& backup : backups_) {
+    Park(backup->CompactionEnd(info.compaction_id, info.src_level, info.dst_level, new_tree));
+  }
+}
+
+}  // namespace tebis

@@ -1,0 +1,128 @@
+// A primary replica of one region: the Kreon engine plus the Tebis
+// replication machinery. Client operations flow through here; the value log
+// is mirrored to every backup with one-sided RDMA writes (§3.2), and —
+// depending on the mode — compactions either ship their pre-built index
+// (Send-Index, §3.3) or leave the backups to compact on their own
+// (Build-Index baseline).
+#ifndef TEBIS_REPLICATION_PRIMARY_REGION_H_
+#define TEBIS_REPLICATION_PRIMARY_REGION_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/lsm/kv_store.h"
+#include "src/replication/backup_channel.h"
+
+namespace tebis {
+
+enum class ReplicationMode {
+  kNoReplication,
+  kSendIndex,
+  kBuildIndex,
+};
+
+const char* ReplicationModeName(ReplicationMode mode);
+
+struct ReplicationStats {
+  uint64_t log_replication_cpu_ns = 0;  // Table 3 "KV log replication"
+  // Portion of log_replication_cpu_ns spent in the tail flush that a
+  // compaction begin forces (nested inside the compaction timer; used to
+  // peel exclusive Table-3 buckets).
+  uint64_t log_flush_in_compaction_cpu_ns = 0;
+  uint64_t send_index_cpu_ns = 0;       // Table 3 "Send index"
+  uint64_t log_records_replicated = 0;
+  uint64_t log_flushes = 0;
+  uint64_t index_segments_shipped = 0;
+  uint64_t index_bytes_shipped = 0;
+};
+
+class PrimaryRegion : public ValueLogObserver, public CompactionObserver {
+ public:
+  static StatusOr<std::unique_ptr<PrimaryRegion>> Create(BlockDevice* device,
+                                                         const KvStoreOptions& options,
+                                                         ReplicationMode mode);
+
+  // Promotion path (§3.5): wraps an engine produced by a backup's Promote().
+  static StatusOr<std::unique_ptr<PrimaryRegion>> CreateFromStore(
+      BlockDevice* device, ReplicationMode mode, std::unique_ptr<KvStore> store);
+
+  PrimaryRegion(const PrimaryRegion&) = delete;
+  PrimaryRegion& operator=(const PrimaryRegion&) = delete;
+
+  // Attaches a backup. The channel's RDMA buffer must already be registered.
+  void AddBackup(std::unique_ptr<BackupChannel> channel);
+
+  // Detaches a failed backup (the master removes it from the replica set
+  // before wiring a replacement, §3.5). Returns false if unknown.
+  bool RemoveBackup(const std::string& backup_name);
+
+  // Client operations. A put/delete returns only after the record is in the
+  // memory of every backup (§3.2: "when a client receives an acknowledgment
+  // it means that its operation has been replicated in the replica set").
+  Status Put(Slice key, Slice value);
+  Status Delete(Slice key);
+  StatusOr<std::string> Get(Slice key);
+  StatusOr<std::vector<KvPair>> Scan(Slice start, size_t limit);
+
+  // GC with backup trim coordination (paper §4).
+  StatusOr<size_t> GarbageCollect(size_t max_segments);
+
+  Status FlushL0();
+
+  // Recovery (§3.5 "backup failure"): streams this region's entire state —
+  // the replicated log, then (Send-Index) each level via the normal shipping
+  // messages, then the L0 replay point — to a freshly opened backup. Call
+  // before AddBackup(channel) while no other operation is running.
+  Status FullSync(BackupChannel* channel);
+
+  // Replays a promotion RDMA-buffer image as fresh (replicated) operations.
+  Status ReplayBufferImage(Slice image);
+
+  // Index of the first flushed log segment not yet covered by the levels.
+  size_t l0_boundary() const { return l0_boundary_; }
+
+  KvStore* store() { return store_.get(); }
+  // Graceful demotion: detaches observers and hands the engine to the caller.
+  // The region object must be discarded afterwards.
+  std::unique_ptr<KvStore> ReleaseStore() {
+    store_->value_log()->set_observer(nullptr);
+    store_->set_compaction_observer(nullptr);
+    return std::move(store_);
+  }
+  ReplicationMode mode() const { return mode_; }
+  const ReplicationStats& replication_stats() const { return replication_stats_; }
+  size_t num_backups() const { return backups_.size(); }
+
+ private:
+  PrimaryRegion(BlockDevice* device, ReplicationMode mode);
+
+  // ValueLogObserver (data plane).
+  void OnAppend(SegmentId tail_segment, uint64_t offset_in_segment, Slice record_bytes) override;
+  void OnTailFlush(SegmentId tail_segment, Slice segment_bytes) override;
+
+  // CompactionObserver (index shipping).
+  void OnCompactionBegin(const CompactionInfo& info) override;
+  void OnIndexSegment(const CompactionInfo& info, int tree_level, SegmentId segment,
+                      Slice bytes) override;
+  void OnCompactionEnd(const CompactionInfo& info, const BuiltTree& new_tree) override;
+
+  // Observers cannot return errors; failures park here and surface on the
+  // next client operation.
+  void Park(const Status& status);
+  Status TakeParkedError();
+
+  BlockDevice* const device_;
+  const ReplicationMode mode_;
+  std::unique_ptr<KvStore> store_;
+  std::vector<std::unique_ptr<BackupChannel>> backups_;
+  Status parked_error_;
+  ReplicationStats replication_stats_;
+  size_t l0_boundary_ = 0;
+  uint64_t next_sync_id_ = 1ull << 62;  // synthetic compaction ids for FullSync
+  bool in_compaction_begin_ = false;    // attributes nested tail flushes
+};
+
+}  // namespace tebis
+
+#endif  // TEBIS_REPLICATION_PRIMARY_REGION_H_

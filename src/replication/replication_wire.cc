@@ -1,0 +1,91 @@
+#include "src/replication/replication_wire.h"
+
+namespace tebis {
+
+std::string EncodeFlushLog(const FlushLogMsg& msg) {
+  WireWriter w;
+  w.U64(msg.primary_segment);
+  return w.str();
+}
+
+Status DecodeFlushLog(Slice payload, FlushLogMsg* out) {
+  WireReader r(payload);
+  return r.U64(&out->primary_segment);
+}
+
+std::string EncodeCompactionBegin(const CompactionBeginMsg& msg) {
+  WireWriter w;
+  w.U64(msg.compaction_id).U32(msg.src_level).U32(msg.dst_level);
+  return w.str();
+}
+
+Status DecodeCompactionBegin(Slice payload, CompactionBeginMsg* out) {
+  WireReader r(payload);
+  TEBIS_RETURN_IF_ERROR(r.U64(&out->compaction_id));
+  TEBIS_RETURN_IF_ERROR(r.U32(&out->src_level));
+  return r.U32(&out->dst_level);
+}
+
+std::string EncodeIndexSegment(const IndexSegmentMsg& msg) {
+  WireWriter w;
+  w.U64(msg.compaction_id)
+      .U32(msg.dst_level)
+      .U32(msg.tree_level)
+      .U64(msg.primary_segment)
+      .Bytes(msg.data);
+  return w.str();
+}
+
+Status DecodeIndexSegment(Slice payload, IndexSegmentMsg* out) {
+  WireReader r(payload);
+  TEBIS_RETURN_IF_ERROR(r.U64(&out->compaction_id));
+  TEBIS_RETURN_IF_ERROR(r.U32(&out->dst_level));
+  TEBIS_RETURN_IF_ERROR(r.U32(&out->tree_level));
+  TEBIS_RETURN_IF_ERROR(r.U64(&out->primary_segment));
+  return r.BytesView(&out->data);
+}
+
+std::string EncodeCompactionEnd(const CompactionEndMsg& msg) {
+  WireWriter w;
+  w.U64(msg.compaction_id).U32(msg.src_level).U32(msg.dst_level);
+  w.U64(msg.tree.root_offset).U16(msg.tree.height).U64(msg.tree.num_entries);
+  w.U64(msg.tree.bytes_written);
+  w.U32(static_cast<uint32_t>(msg.tree.segments.size()));
+  for (SegmentId seg : msg.tree.segments) {
+    w.U64(seg);
+  }
+  return w.str();
+}
+
+Status DecodeCompactionEnd(Slice payload, CompactionEndMsg* out) {
+  WireReader r(payload);
+  TEBIS_RETURN_IF_ERROR(r.U64(&out->compaction_id));
+  TEBIS_RETURN_IF_ERROR(r.U32(&out->src_level));
+  TEBIS_RETURN_IF_ERROR(r.U32(&out->dst_level));
+  TEBIS_RETURN_IF_ERROR(r.U64(&out->tree.root_offset));
+  TEBIS_RETURN_IF_ERROR(r.U16(&out->tree.height));
+  TEBIS_RETURN_IF_ERROR(r.U64(&out->tree.num_entries));
+  TEBIS_RETURN_IF_ERROR(r.U64(&out->tree.bytes_written));
+  uint32_t n;
+  TEBIS_RETURN_IF_ERROR(r.U32(&n));
+  out->tree.segments.clear();
+  for (uint32_t i = 0; i < n; ++i) {
+    uint64_t seg;
+    TEBIS_RETURN_IF_ERROR(r.U64(&seg));
+    out->tree.segments.push_back(seg);
+  }
+  return Status::Ok();
+}
+
+std::string EncodeTrimLog(const TrimLogMsg& msg) {
+  WireWriter w;
+  w.U32(msg.segments);
+  return w.str();
+}
+
+Status DecodeTrimLog(Slice payload, TrimLogMsg* out) {
+  WireReader r(payload);
+  return r.U32(&out->segments);
+}
+
+}  // namespace tebis

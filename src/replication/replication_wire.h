@@ -1,0 +1,61 @@
+// Wire encodings of the replication control messages, shared by the
+// primary-side channel and the backup-side region server.
+#ifndef TEBIS_REPLICATION_REPLICATION_WIRE_H_
+#define TEBIS_REPLICATION_REPLICATION_WIRE_H_
+
+#include <string>
+
+#include "src/common/status.h"
+#include "src/lsm/btree_builder.h"
+#include "src/net/wire.h"
+#include "src/storage/segment.h"
+
+namespace tebis {
+
+struct FlushLogMsg {
+  SegmentId primary_segment;
+};
+
+struct CompactionBeginMsg {
+  uint64_t compaction_id;
+  uint32_t src_level;
+  uint32_t dst_level;
+};
+
+struct IndexSegmentMsg {
+  uint64_t compaction_id;
+  uint32_t dst_level;
+  uint32_t tree_level;
+  SegmentId primary_segment;
+  Slice data;  // view into the payload
+};
+
+struct CompactionEndMsg {
+  uint64_t compaction_id;
+  uint32_t src_level;
+  uint32_t dst_level;
+  BuiltTree tree;  // the primary's tree description (root, height, segments)
+};
+
+struct TrimLogMsg {
+  uint32_t segments;
+};
+
+std::string EncodeFlushLog(const FlushLogMsg& msg);
+Status DecodeFlushLog(Slice payload, FlushLogMsg* out);
+
+std::string EncodeCompactionBegin(const CompactionBeginMsg& msg);
+Status DecodeCompactionBegin(Slice payload, CompactionBeginMsg* out);
+
+std::string EncodeIndexSegment(const IndexSegmentMsg& msg);
+Status DecodeIndexSegment(Slice payload, IndexSegmentMsg* out);
+
+std::string EncodeCompactionEnd(const CompactionEndMsg& msg);
+Status DecodeCompactionEnd(Slice payload, CompactionEndMsg* out);
+
+std::string EncodeTrimLog(const TrimLogMsg& msg);
+Status DecodeTrimLog(Slice payload, TrimLogMsg* out);
+
+}  // namespace tebis
+
+#endif  // TEBIS_REPLICATION_REPLICATION_WIRE_H_

@@ -1,0 +1,61 @@
+#include "src/replication/rpc_backup_channel.h"
+
+#include "src/replication/replication_wire.h"
+
+namespace tebis {
+
+RpcBackupChannel::RpcBackupChannel(std::unique_ptr<RpcClient> client, uint32_t region_id,
+                                   std::shared_ptr<RegisteredBuffer> buffer)
+    : client_(std::move(client)),
+      region_id_(region_id),
+      buffer_(std::move(buffer)),
+      backup_name_(buffer_->owner()) {}
+
+Status RpcBackupChannel::RdmaWriteLog(uint64_t offset_in_segment, Slice record_bytes) {
+  return buffer_->RdmaWrite(offset_in_segment, record_bytes);
+}
+
+Status RpcBackupChannel::CallChecked(MessageType type, Slice payload, size_t reply_alloc) {
+  TEBIS_ASSIGN_OR_RETURN(RpcReply reply, client_->Call(type, region_id_, payload, reply_alloc));
+  if (reply.header.flags & kFlagError) {
+    return Status::Internal("backup " + backup_name_ + " rejected " + MessageTypeName(type) +
+                            ": " + reply.payload);
+  }
+  return Status::Ok();
+}
+
+Status RpcBackupChannel::FlushLog(SegmentId primary_segment) {
+  return CallChecked(MessageType::kFlushLog, EncodeFlushLog({primary_segment}));
+}
+
+Status RpcBackupChannel::CompactionBegin(uint64_t compaction_id, int src_level, int dst_level) {
+  return CallChecked(MessageType::kCompactionBegin,
+                     EncodeCompactionBegin({compaction_id, static_cast<uint32_t>(src_level),
+                                            static_cast<uint32_t>(dst_level)}));
+}
+
+Status RpcBackupChannel::ShipIndexSegment(uint64_t compaction_id, int dst_level, int tree_level,
+                                          SegmentId primary_segment, Slice bytes) {
+  IndexSegmentMsg msg{compaction_id, static_cast<uint32_t>(dst_level),
+                      static_cast<uint32_t>(tree_level), primary_segment, bytes};
+  return CallChecked(MessageType::kIndexSegment, EncodeIndexSegment(msg));
+}
+
+Status RpcBackupChannel::CompactionEnd(uint64_t compaction_id, int src_level, int dst_level,
+                                       const BuiltTree& primary_tree) {
+  CompactionEndMsg msg{compaction_id, static_cast<uint32_t>(src_level),
+                       static_cast<uint32_t>(dst_level), primary_tree};
+  return CallChecked(MessageType::kCompactionEnd, EncodeCompactionEnd(msg));
+}
+
+Status RpcBackupChannel::TrimLog(size_t segments) {
+  return CallChecked(MessageType::kLogTrim, EncodeTrimLog({static_cast<uint32_t>(segments)}));
+}
+
+Status RpcBackupChannel::SetLogReplayStart(size_t flushed_segment_index) {
+  WireWriter w;
+  w.U64(flushed_segment_index);
+  return CallChecked(MessageType::kSetReplayStart, w.slice());
+}
+
+}  // namespace tebis

@@ -1,0 +1,45 @@
+// BackupChannel over the simulated RDMA message protocol: control messages go
+// through an RpcClient to the backup's region server; the data plane writes
+// the registered log buffer directly (one-sided).
+#ifndef TEBIS_REPLICATION_RPC_BACKUP_CHANNEL_H_
+#define TEBIS_REPLICATION_RPC_BACKUP_CHANNEL_H_
+
+#include <memory>
+#include <string>
+
+#include "src/net/rpc_client.h"
+#include "src/replication/backup_channel.h"
+
+namespace tebis {
+
+class RpcBackupChannel : public BackupChannel {
+ public:
+  // `client` is a dedicated connection from the primary server to the backup
+  // server (owned by this channel); `region_id` routes to the backup region.
+  RpcBackupChannel(std::unique_ptr<RpcClient> client, uint32_t region_id,
+                   std::shared_ptr<RegisteredBuffer> buffer);
+
+  Status RdmaWriteLog(uint64_t offset_in_segment, Slice record_bytes) override;
+  Status FlushLog(SegmentId primary_segment) override;
+  Status CompactionBegin(uint64_t compaction_id, int src_level, int dst_level) override;
+  Status ShipIndexSegment(uint64_t compaction_id, int dst_level, int tree_level,
+                          SegmentId primary_segment, Slice bytes) override;
+  Status CompactionEnd(uint64_t compaction_id, int src_level, int dst_level,
+                       const BuiltTree& primary_tree) override;
+  Status TrimLog(size_t segments) override;
+  Status SetLogReplayStart(size_t flushed_segment_index) override;
+
+  const std::string& backup_name() const override { return backup_name_; }
+
+ private:
+  Status CallChecked(MessageType type, Slice payload, size_t reply_alloc = 16);
+
+  std::unique_ptr<RpcClient> client_;
+  const uint32_t region_id_;
+  std::shared_ptr<RegisteredBuffer> buffer_;
+  const std::string backup_name_;
+};
+
+}  // namespace tebis
+
+#endif  // TEBIS_REPLICATION_RPC_BACKUP_CHANNEL_H_

@@ -1,0 +1,302 @@
+#include "src/replication/send_index_backup.h"
+
+#include <cstring>
+
+#include "src/common/clock.h"
+#include "src/common/logging.h"
+#include "src/lsm/btree_node.h"
+#include "src/lsm/btree_reader.h"
+
+namespace tebis {
+
+StatusOr<std::unique_ptr<SendIndexBackupRegion>> SendIndexBackupRegion::Create(
+    BlockDevice* device, const KvStoreOptions& options,
+    std::shared_ptr<RegisteredBuffer> rdma_buffer) {
+  if (rdma_buffer == nullptr || rdma_buffer->size() < device->segment_size()) {
+    return Status::InvalidArgument("RDMA buffer must hold at least one segment");
+  }
+  std::unique_ptr<SendIndexBackupRegion> backup(
+      new SendIndexBackupRegion(device, options, std::move(rdma_buffer)));
+  TEBIS_ASSIGN_OR_RETURN(backup->log_, ValueLog::Create(device));
+  return backup;
+}
+
+StatusOr<std::unique_ptr<SendIndexBackupRegion>> SendIndexBackupRegion::CreateFromParts(
+    BlockDevice* device, const KvStoreOptions& options,
+    std::shared_ptr<RegisteredBuffer> rdma_buffer, std::unique_ptr<ValueLog> log,
+    std::vector<BuiltTree> levels, SegmentMap log_map,
+    std::vector<SegmentId> primary_flush_order, size_t replay_from) {
+  if (rdma_buffer == nullptr || rdma_buffer->size() < device->segment_size()) {
+    return Status::InvalidArgument("RDMA buffer must hold at least one segment");
+  }
+  if (levels.size() != options.max_levels + 1) {
+    return Status::InvalidArgument("levels vector must have max_levels+1 entries");
+  }
+  std::unique_ptr<SendIndexBackupRegion> backup(
+      new SendIndexBackupRegion(device, options, std::move(rdma_buffer)));
+  backup->log_ = std::move(log);
+  backup->levels_ = std::move(levels);
+  backup->log_map_ = std::move(log_map);
+  backup->primary_flush_order_ = std::move(primary_flush_order);
+  backup->replay_from_ = replay_from;
+  return backup;
+}
+
+SendIndexBackupRegion::SendIndexBackupRegion(BlockDevice* device, const KvStoreOptions& options,
+                                             std::shared_ptr<RegisteredBuffer> rdma_buffer)
+    : device_(device),
+      options_(options),
+      rdma_buffer_(std::move(rdma_buffer)),
+      levels_(options.max_levels + 1) {}
+
+Status SendIndexBackupRegion::HandleLogFlush(SegmentId primary_segment) {
+  // Persist the replicated tail (one large write, like the primary's flush).
+  TEBIS_ASSIGN_OR_RETURN(
+      SegmentId local,
+      log_->AppendRawSegment(Slice(rdma_buffer_->data(), device_->segment_size())));
+  TEBIS_RETURN_IF_ERROR(log_map_.Insert(primary_segment, local));
+  primary_flush_order_.push_back(primary_segment);
+  stats_.log_flushes++;
+  return Status::Ok();
+}
+
+Status SendIndexBackupRegion::HandleCompactionBegin(uint64_t compaction_id, int src_level,
+                                                    int dst_level) {
+  if (pending_.has_value()) {
+    return Status::FailedPrecondition("compaction already in progress on backup");
+  }
+  pending_.emplace();
+  pending_->id = compaction_id;
+  pending_->src_level = src_level;
+  pending_->dst_level = dst_level;
+  pending_->replay_from_snapshot = log_->flushed_segments().size();
+  return Status::Ok();
+}
+
+Status SendIndexBackupRegion::RewriteSegment(PendingCompaction* pending, char* bytes,
+                                             size_t size) {
+  const size_t node_size = options_.node_size;
+  if (size % node_size != 0) {
+    return Status::InvalidArgument("index segment is not node aligned");
+  }
+  // Leaf entries point into the value log: translate through the log map
+  // (strict — the referenced segment must have been flushed already, which
+  // the primary guarantees by flushing the tail before compacting). Index
+  // children point into other index segments: translate through the index
+  // map, reserving a local segment on first sight (forward references).
+  OffsetTranslator log_translate = [this](uint64_t offset) -> StatusOr<uint64_t> {
+    TEBIS_ASSIGN_OR_RETURN(SegmentId local,
+                           log_map_.Lookup(device_->geometry().SegmentOf(offset)));
+    stats_.offsets_rewritten++;
+    return device_->geometry().Translate(offset, local);
+  };
+  OffsetTranslator index_translate = [this, pending](uint64_t offset) -> StatusOr<uint64_t> {
+    TEBIS_ASSIGN_OR_RETURN(
+        SegmentId local,
+        pending->index_map.GetOrReserve(device_->geometry().SegmentOf(offset),
+                                        [this] { return device_->AllocateSegment(); }));
+    stats_.offsets_rewritten++;
+    return device_->geometry().Translate(offset, local);
+  };
+
+  for (size_t off = 0; off < size; off += node_size) {
+    char* node = bytes + off;
+    NodeHeader header;
+    memcpy(&header, node, sizeof(header));
+    if (header.magic == kLeafMagic) {
+      TEBIS_RETURN_IF_ERROR(RewriteLeafOffsets(node, node_size, log_translate));
+    } else if (header.magic == kIndexMagic) {
+      TEBIS_RETURN_IF_ERROR(RewriteIndexChildren(node, node_size, index_translate));
+    } else if (header.magic == 0) {
+      break;  // zeroed tail of a partially-used segment (full-sync path)
+    } else {
+      return Status::Corruption("unknown node magic in shipped segment");
+    }
+  }
+  return Status::Ok();
+}
+
+Status SendIndexBackupRegion::HandleIndexSegment(uint64_t compaction_id, int dst_level,
+                                                 int tree_level, SegmentId primary_segment,
+                                                 Slice bytes) {
+  if (!pending_.has_value() || pending_->id != compaction_id) {
+    return Status::FailedPrecondition("index segment for unknown compaction");
+  }
+  ScopedCpuTimer timer(&stats_.rewrite_cpu_ns);
+  // Allocate (or claim the reserved) local segment for this primary segment.
+  TEBIS_ASSIGN_OR_RETURN(
+      SegmentId local,
+      pending_->index_map.GetOrReserve(primary_segment,
+                                       [this] { return device_->AllocateSegment(); }));
+  // Rewrite in a scratch copy, then one large local write.
+  std::string scratch(bytes.data(), bytes.size());
+  TEBIS_RETURN_IF_ERROR(RewriteSegment(&*pending_, scratch.data(), scratch.size()));
+  TEBIS_RETURN_IF_ERROR(device_->Write(device_->geometry().BaseOffset(local), Slice(scratch),
+                                       IoClass::kIndexRewrite));
+  stats_.segments_rewritten++;
+  return Status::Ok();
+}
+
+Status SendIndexBackupRegion::FreeTree(const BuiltTree& tree) {
+  for (SegmentId seg : tree.segments) {
+    TEBIS_RETURN_IF_ERROR(device_->FreeSegment(seg));
+  }
+  return Status::Ok();
+}
+
+Status SendIndexBackupRegion::HandleCompactionEnd(uint64_t compaction_id, int src_level,
+                                                  int dst_level, const BuiltTree& primary_tree) {
+  if (!pending_.has_value() || pending_->id != compaction_id) {
+    return Status::FailedPrecondition("compaction end for unknown compaction");
+  }
+  ScopedCpuTimer timer(&stats_.rewrite_cpu_ns);
+  BuiltTree local_tree;
+  local_tree.height = primary_tree.height;
+  local_tree.num_entries = primary_tree.num_entries;
+  local_tree.bytes_written = primary_tree.bytes_written;
+  if (!primary_tree.empty()) {
+    // Translate the root (§3.3: "each backup translates to the root offset of
+    // its storage space using its index map") and the segment list.
+    TEBIS_ASSIGN_OR_RETURN(
+        SegmentId root_seg,
+        pending_->index_map.Lookup(device_->geometry().SegmentOf(primary_tree.root_offset)));
+    local_tree.root_offset = device_->geometry().Translate(primary_tree.root_offset, root_seg);
+    for (SegmentId seg : primary_tree.segments) {
+      TEBIS_ASSIGN_OR_RETURN(SegmentId local, pending_->index_map.Lookup(seg));
+      local_tree.segments.push_back(local);
+    }
+    if (primary_tree.segments.size() != pending_->index_map.size()) {
+      return Status::Corruption("reserved index segments never shipped");
+    }
+  }
+  // Retire inputs exactly like the primary did.
+  if (src_level >= 1) {
+    TEBIS_RETURN_IF_ERROR(FreeTree(levels_[src_level]));
+    levels_[src_level] = BuiltTree{};
+  } else {
+    // L0 -> L1 finished: everything up to the begin snapshot is indexed.
+    replay_from_ = pending_->replay_from_snapshot;
+  }
+  TEBIS_RETURN_IF_ERROR(FreeTree(levels_[dst_level]));
+  levels_[dst_level] = local_tree;
+  pending_.reset();  // the index map is only valid during the compaction
+  return Status::Ok();
+}
+
+Status SendIndexBackupRegion::HandleTrimLog(size_t segments) {
+  if (segments > primary_flush_order_.size()) {
+    return Status::InvalidArgument("trim beyond replicated log");
+  }
+  TEBIS_RETURN_IF_ERROR(log_->TrimHead(segments));
+  // Rebuild the log map without the trimmed prefix.
+  SegmentMap fresh;
+  for (size_t i = segments; i < primary_flush_order_.size(); ++i) {
+    TEBIS_ASSIGN_OR_RETURN(SegmentId local, log_map_.Lookup(primary_flush_order_[i]));
+    TEBIS_RETURN_IF_ERROR(fresh.Insert(primary_flush_order_[i], local));
+  }
+  log_map_ = std::move(fresh);
+  primary_flush_order_.erase(primary_flush_order_.begin(),
+                             primary_flush_order_.begin() + static_cast<long>(segments));
+  if (replay_from_ >= segments) {
+    replay_from_ -= segments;
+  } else {
+    replay_from_ = 0;
+  }
+  return Status::Ok();
+}
+
+StatusOr<std::unique_ptr<KvStore>> SendIndexBackupRegion::Promote(bool replay_rdma_buffer) {
+  // Abort any half-shipped compaction: free the local segments it allocated
+  // and keep the previous (consistent) levels.
+  if (pending_.has_value()) {
+    for (const auto& [primary, local] : pending_->index_map.entries()) {
+      TEBIS_RETURN_IF_ERROR(device_->FreeSegment(local));
+    }
+    pending_.reset();
+  }
+
+  const size_t replay_from = replay_from_;
+  std::vector<SegmentId> replay_segments(log_->flushed_segments().begin() +
+                                             static_cast<long>(replay_from),
+                                         log_->flushed_segments().end());
+
+  TEBIS_ASSIGN_OR_RETURN(std::unique_ptr<KvStore> store,
+                         KvStore::CreateFromParts(device_, options_, std::move(log_),
+                                                  std::move(levels_)));
+
+  // Rebuild L0: replay flushed segments newer than the last L0 compaction
+  // (existing offsets, no re-append)...
+  const uint64_t seg_size = device_->segment_size();
+  std::string buf(seg_size, 0);
+  for (SegmentId seg : replay_segments) {
+    const uint64_t base = device_->geometry().BaseOffset(seg);
+    TEBIS_RETURN_IF_ERROR(device_->Read(base, seg_size, buf.data(), IoClass::kRecovery));
+    TEBIS_RETURN_IF_ERROR(ValueLog::ForEachRecord(
+        Slice(buf.data(), buf.size()), base, [&](const LogRecord& rec) {
+          return store->ReplayRecord(rec.key, rec.offset, rec.tombstone);
+        }));
+  }
+  // ...then the unflushed RDMA buffer (records the primary acked but had not
+  // flushed). These are re-appended through the new primary's own log.
+  if (!replay_rdma_buffer) {
+    return store;
+  }
+  Status replay_status = ValueLog::ForEachRecord(
+      Slice(rdma_buffer_->data(), seg_size), /*segment_base=*/0, [&](const LogRecord& rec) {
+        if (rec.tombstone) {
+          return store->Delete(rec.key);
+        }
+        return store->Put(rec.key, rec.value);
+      });
+  if (!replay_status.ok() && !replay_status.IsCorruption()) {
+    // A torn trailing record (primary died mid-RDMA-write) reads as
+    // corruption and marks the end of the replicated data; anything else is a
+    // real error.
+    return replay_status;
+  }
+  return store;
+}
+
+Status SendIndexBackupRegion::AdoptNewPrimaryLogMap(const SegmentMap& new_primary_log_map) {
+  TEBIS_ASSIGN_OR_RETURN(SegmentMap rekeyed, log_map_.RekeyForNewPrimary(new_primary_log_map));
+  log_map_ = std::move(rekeyed);
+  // The flush-order list must be re-keyed too.
+  std::vector<SegmentId> fresh_order;
+  for (SegmentId old_primary : primary_flush_order_) {
+    auto new_primary = new_primary_log_map.Lookup(old_primary);
+    if (new_primary.ok()) {
+      fresh_order.push_back(*new_primary);
+    }
+  }
+  primary_flush_order_ = std::move(fresh_order);
+  return Status::Ok();
+}
+
+StatusOr<std::string> SendIndexBackupRegion::DebugGet(Slice key) {
+  FullKeyLoader loader = [this](uint64_t off) -> StatusOr<std::string> {
+    std::string k;
+    TEBIS_RETURN_IF_ERROR(log_->ReadKey(off, &k, nullptr, nullptr, IoClass::kLookup));
+    return k;
+  };
+  for (uint32_t i = 1; i <= options_.max_levels; ++i) {
+    if (levels_[i].empty()) {
+      continue;
+    }
+    BTreeReader reader(device_, nullptr, options_.node_size, levels_[i], IoClass::kLookup);
+    auto found = reader.Find(key, loader);
+    if (found.ok()) {
+      LogRecord rec;
+      TEBIS_RETURN_IF_ERROR(log_->ReadRecord(*found, &rec, nullptr, IoClass::kLookup));
+      if (rec.tombstone) {
+        return Status::NotFound();
+      }
+      return std::move(rec.value);
+    }
+    if (!found.status().IsNotFound()) {
+      return found.status();
+    }
+  }
+  return Status::NotFound();
+}
+
+}  // namespace tebis

@@ -1,0 +1,134 @@
+// A Send-Index backup replica (paper §3.3): it keeps the replicated value log
+// and the device levels, but no L0 and no compactions. Shipped index segments
+// are *rewritten* — every device offset gets its high-order bits replaced
+// through the log map (leaf entries) or the index map (index-node children) —
+// and written locally.
+#ifndef TEBIS_REPLICATION_SEND_INDEX_BACKUP_H_
+#define TEBIS_REPLICATION_SEND_INDEX_BACKUP_H_
+
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "src/lsm/kv_store.h"
+#include "src/lsm/value_log.h"
+#include "src/net/fabric.h"
+#include "src/replication/segment_map.h"
+#include "src/storage/block_device.h"
+
+namespace tebis {
+
+struct SendIndexBackupStats {
+  uint64_t rewrite_cpu_ns = 0;  // Table 3 "Rewrite index"
+  uint64_t segments_rewritten = 0;
+  uint64_t offsets_rewritten = 0;
+  uint64_t log_flushes = 0;
+};
+
+class SendIndexBackupRegion {
+ public:
+  // `rdma_buffer` is the log replication buffer the primary writes with
+  // one-sided operations; it must be at least one segment large.
+  static StatusOr<std::unique_ptr<SendIndexBackupRegion>> Create(
+      BlockDevice* device, const KvStoreOptions& options,
+      std::shared_ptr<RegisteredBuffer> rdma_buffer);
+
+  // Graceful demotion (load balancing, §3.1): wraps a former primary's
+  // durable parts as a backup of the newly promoted primary. `log_map` maps
+  // the NEW primary's segments to this node's; `primary_flush_order` lists
+  // the new primary's segment ids in flush order; `replay_from` is the L0
+  // replay boundary carried over from the former primary's engine.
+  static StatusOr<std::unique_ptr<SendIndexBackupRegion>> CreateFromParts(
+      BlockDevice* device, const KvStoreOptions& options,
+      std::shared_ptr<RegisteredBuffer> rdma_buffer, std::unique_ptr<ValueLog> log,
+      std::vector<BuiltTree> levels, SegmentMap log_map,
+      std::vector<SegmentId> primary_flush_order, size_t replay_from);
+
+  SendIndexBackupRegion(const SendIndexBackupRegion&) = delete;
+  SendIndexBackupRegion& operator=(const SendIndexBackupRegion&) = delete;
+
+  // --- control-plane handlers (run on the backup's worker threads) ---
+
+  // §3.2 step 2c/2d: persist the RDMA buffer as a local log segment and add
+  // the <primary segment, backup segment> log-map entry.
+  Status HandleLogFlush(SegmentId primary_segment);
+
+  // §3.3: compaction lifecycle.
+  Status HandleCompactionBegin(uint64_t compaction_id, int src_level, int dst_level);
+  Status HandleIndexSegment(uint64_t compaction_id, int dst_level, int tree_level,
+                            SegmentId primary_segment, Slice bytes);
+  Status HandleCompactionEnd(uint64_t compaction_id, int src_level, int dst_level,
+                             const BuiltTree& primary_tree);
+
+  // GC: trim the oldest `segments` local log segments (the primary moved all
+  // live data to the tail already).
+  Status HandleTrimLog(size_t segments);
+
+  // --- promotion (§3.5) ---
+
+  // Converts this backup into a primary engine: adopts the levels and value
+  // log, replays the log tail (segments after the last L0 compaction) to
+  // rebuild L0, and aborts any half-shipped compaction. When
+  // `replay_rdma_buffer` is set the unflushed RDMA buffer is re-applied too;
+  // pass false when the caller replays it through the wrapped PrimaryRegion
+  // instead (so the re-appends replicate to the remaining backups). The
+  // backup object is consumed.
+  StatusOr<std::unique_ptr<KvStore>> Promote(bool replay_rdma_buffer = true);
+
+  const RegisteredBuffer* rdma_buffer() const { return rdma_buffer_.get(); }
+
+  // A *different* backup was promoted: re-key this node's log map from
+  // old-primary segment numbers to the new primary's (§3.2, in-memory only).
+  Status AdoptNewPrimaryLogMap(const SegmentMap& new_primary_log_map);
+
+  // --- introspection ---
+
+  const SegmentMap& log_map() const { return log_map_; }
+  const BuiltTree& level(uint32_t i) const { return levels_[i]; }
+  ValueLog* value_log() { return log_.get(); }
+  const SendIndexBackupStats& stats() const { return stats_; }
+  uint64_t l0_memory_bytes() const { return 0; }  // the headline saving
+
+  // Test/verification read path: lookup through the local device levels only
+  // (backups have no L0).
+  StatusOr<std::string> DebugGet(Slice key);
+
+  // Recovery/full-sync (§3.5): overrides the L0-replay start point.
+  void set_replay_from(size_t flushed_segment_index) { replay_from_ = flushed_segment_index; }
+  size_t replay_from() const { return replay_from_; }
+
+ private:
+  SendIndexBackupRegion(BlockDevice* device, const KvStoreOptions& options,
+                        std::shared_ptr<RegisteredBuffer> rdma_buffer);
+
+  struct PendingCompaction {
+    uint64_t id;
+    int src_level;
+    int dst_level;
+    SegmentMap index_map;
+    size_t replay_from_snapshot;  // log segments flushed when it began
+  };
+
+  Status RewriteSegment(PendingCompaction* pending, char* bytes, size_t size);
+  Status FreeTree(const BuiltTree& tree);
+
+  BlockDevice* const device_;
+  const KvStoreOptions options_;
+  std::shared_ptr<RegisteredBuffer> rdma_buffer_;
+
+  std::unique_ptr<ValueLog> log_;
+  std::vector<SegmentId> primary_flush_order_;  // primary segs in flush order
+  SegmentMap log_map_;
+  std::vector<BuiltTree> levels_;  // [0] unused
+  std::optional<PendingCompaction> pending_;
+
+  // First flushed-segment index that is NOT yet reflected in the levels; L0
+  // replay starts here on promotion.
+  size_t replay_from_ = 0;
+
+  SendIndexBackupStats stats_;
+};
+
+}  // namespace tebis
+
+#endif  // TEBIS_REPLICATION_SEND_INDEX_BACKUP_H_

@@ -1,0 +1,217 @@
+#include "src/storage/block_device.h"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <thread>
+
+#include "src/common/logging.h"
+
+namespace tebis {
+namespace {
+
+// Sleep in chunks of at least this much accumulated debt to avoid paying timer
+// granularity on every small transfer.
+constexpr uint64_t kMinSleepNs = 100 * 1000;
+
+}  // namespace
+
+StatusOr<std::unique_ptr<BlockDevice>> BlockDevice::Create(const BlockDeviceOptions& options) {
+  SegmentGeometry geometry(options.segment_size);
+  if (!geometry.IsValid()) {
+    return Status::InvalidArgument("segment_size must be a positive power of two");
+  }
+  if (options.max_segments == 0) {
+    return Status::InvalidArgument("max_segments must be > 0");
+  }
+  std::unique_ptr<BlockDevice> device(new BlockDevice(options));
+  TEBIS_RETURN_IF_ERROR(device->Init());
+  return device;
+}
+
+BlockDevice::BlockDevice(const BlockDeviceOptions& options)
+    : options_(options), geometry_(options.segment_size) {}
+
+Status BlockDevice::Init() {
+  if (!options_.backing_file.empty()) {
+    const int flags = O_CREAT | O_RDWR | (options_.reopen_existing ? 0 : O_TRUNC);
+    fd_ = open(options_.backing_file.c_str(), flags, 0644);
+    if (fd_ < 0) {
+      return Status::IoError("open " + options_.backing_file + ": " + strerror(errno));
+    }
+  }
+  return Status::Ok();
+}
+
+Status BlockDevice::AdoptAllocated(const std::vector<SegmentId>& segments) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (SegmentId segment : segments) {
+    if (segment >= options_.max_segments) {
+      return Status::OutOfRange("segment beyond device capacity");
+    }
+    if (segment < allocated_.size() && allocated_[segment]) {
+      return Status::AlreadyExists("segment " + std::to_string(segment) + " already allocated");
+    }
+  }
+  for (SegmentId segment : segments) {
+    if (segment >= allocated_.size()) {
+      allocated_.resize(segment + 1, false);
+      segments_.resize(segment + 1);
+    }
+    allocated_[segment] = true;
+    if (segment >= next_segment_) {
+      next_segment_ = segment + 1;
+    }
+  }
+  return Status::Ok();
+}
+
+BlockDevice::~BlockDevice() {
+  if (fd_ >= 0) {
+    close(fd_);
+  }
+}
+
+StatusOr<SegmentId> BlockDevice::AllocateSegment() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  SegmentId id;
+  if (!free_list_.empty()) {
+    id = free_list_.back();
+    free_list_.pop_back();
+  } else {
+    if (next_segment_ >= options_.max_segments) {
+      return Status::ResourceExhausted("device full: " + std::to_string(next_segment_) +
+                                       " segments");
+    }
+    id = next_segment_++;
+  }
+  if (id >= allocated_.size()) {
+    allocated_.resize(id + 1, false);
+    segments_.resize(id + 1);
+  }
+  allocated_[id] = true;
+  return id;
+}
+
+Status BlockDevice::FreeSegment(SegmentId segment) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (segment >= allocated_.size() || !allocated_[segment]) {
+    return Status::InvalidArgument("free of unallocated segment " + std::to_string(segment));
+  }
+  allocated_[segment] = false;
+  segments_[segment].reset();  // drop the backing memory
+  free_list_.push_back(segment);
+  return Status::Ok();
+}
+
+bool BlockDevice::IsAllocated(SegmentId segment) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return segment < allocated_.size() && allocated_[segment];
+}
+
+uint64_t BlockDevice::AllocatedSegments() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  uint64_t n = 0;
+  for (bool a : allocated_) {
+    n += a ? 1 : 0;
+  }
+  return n;
+}
+
+Status BlockDevice::CheckRange(uint64_t device_offset, size_t n) const {
+  const SegmentId segment = geometry_.SegmentOf(device_offset);
+  if (n == 0) {
+    return Status::InvalidArgument("zero-length transfer");
+  }
+  if (geometry_.OffsetInSegment(device_offset) + n > geometry_.segment_size()) {
+    return Status::InvalidArgument("transfer crosses a segment boundary");
+  }
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (segment >= allocated_.size() || !allocated_[segment]) {
+    return Status::InvalidArgument("I/O to unallocated segment " + std::to_string(segment));
+  }
+  return Status::Ok();
+}
+
+char* BlockDevice::SegmentBuffer(SegmentId segment) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto& buf = segments_[segment];
+  if (buf == nullptr) {
+    buf = std::make_unique<char[]>(geometry_.segment_size());
+    memset(buf.get(), 0, geometry_.segment_size());
+    if (fd_ >= 0 && options_.reopen_existing) {
+      // Fault the segment image from the backing file (short reads leave
+      // zeros — the file may end before segments that were never written).
+      ssize_t r = pread(fd_, buf.get(), geometry_.segment_size(),
+                        static_cast<off_t>(geometry_.BaseOffset(segment)));
+      (void)r;
+    }
+  }
+  return buf.get();
+}
+
+void BlockDevice::Throttle(bool is_write, size_t n) const {
+  if (!options_.cost_model.Enabled()) {
+    return;
+  }
+  const auto& cm = options_.cost_model;
+  const uint64_t bw = is_write ? cm.write_bandwidth_bytes_per_sec : cm.read_bandwidth_bytes_per_sec;
+  const uint64_t lat = is_write ? cm.write_latency_ns_per_op : cm.read_latency_ns_per_op;
+  uint64_t cost_ns = lat;
+  if (bw != 0) {
+    cost_ns += static_cast<uint64_t>(n) * 1000000000ull / bw;
+  }
+  uint64_t to_sleep = 0;
+  {
+    std::lock_guard<std::mutex> lock(throttle_mutex_);
+    uint64_t& debt = is_write ? write_debt_ns_ : read_debt_ns_;
+    debt += cost_ns;
+    if (debt >= kMinSleepNs) {
+      to_sleep = debt;
+      debt = 0;
+    }
+  }
+  if (to_sleep > 0) {
+    std::this_thread::sleep_for(std::chrono::nanoseconds(to_sleep));
+  }
+}
+
+uint64_t BlockDevice::AccountedBytes(size_t n) const {
+  const uint64_t g = options_.accounting_granularity;
+  if (g <= 1) {
+    return n;
+  }
+  return (n + g - 1) / g * g;
+}
+
+Status BlockDevice::Write(uint64_t device_offset, Slice data, IoClass io_class) {
+  TEBIS_RETURN_IF_ERROR(CheckRange(device_offset, data.size()));
+  const SegmentId segment = geometry_.SegmentOf(device_offset);
+  char* buf = SegmentBuffer(segment);
+  memcpy(buf + geometry_.OffsetInSegment(device_offset), data.data(), data.size());
+  if (fd_ >= 0) {
+    ssize_t w = pwrite(fd_, data.data(), data.size(), static_cast<off_t>(device_offset));
+    if (w != static_cast<ssize_t>(data.size())) {
+      return Status::IoError("pwrite: " + std::string(strerror(errno)));
+    }
+  }
+  const uint64_t accounted = AccountedBytes(data.size());
+  stats_.AddWrite(io_class, accounted);
+  Throttle(/*is_write=*/true, accounted);
+  return Status::Ok();
+}
+
+Status BlockDevice::Read(uint64_t device_offset, size_t n, char* out, IoClass io_class) const {
+  TEBIS_RETURN_IF_ERROR(CheckRange(device_offset, n));
+  const SegmentId segment = geometry_.SegmentOf(device_offset);
+  const char* buf = SegmentBuffer(segment);
+  memcpy(out, buf + geometry_.OffsetInSegment(device_offset), n);
+  const uint64_t accounted = AccountedBytes(n);
+  stats_.AddRead(io_class, accounted);
+  Throttle(/*is_write=*/false, accounted);
+  return Status::Ok();
+}
+
+}  // namespace tebis

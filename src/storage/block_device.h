@@ -1,0 +1,120 @@
+// Simulated NVMe block device. Storage is segment-granular: callers allocate
+// and free whole segments, and all reads/writes must stay inside one segment
+// (which is how Kreon/Tebis lay out both the value log and the level indexes).
+//
+// The device is memory-backed by default and optionally file-backed. Every
+// transfer is accounted in IoStats, and an optional cost model converts bytes
+// into wall-clock delay so that I/O amplification shows up in throughput the
+// way it does on a real flash device.
+#ifndef TEBIS_STORAGE_BLOCK_DEVICE_H_
+#define TEBIS_STORAGE_BLOCK_DEVICE_H_
+
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "src/common/slice.h"
+#include "src/common/status.h"
+#include "src/storage/io_stats.h"
+#include "src/storage/segment.h"
+
+namespace tebis {
+
+// Bandwidth/latency model. Zero bandwidth disables throttling for that
+// direction. The throttle accumulates debt and sleeps in >=100us chunks so
+// small transfers are cheap to account.
+struct DeviceCostModel {
+  uint64_t read_bandwidth_bytes_per_sec = 0;
+  uint64_t write_bandwidth_bytes_per_sec = 0;
+  uint64_t read_latency_ns_per_op = 0;
+  uint64_t write_latency_ns_per_op = 0;
+
+  bool Enabled() const {
+    return read_bandwidth_bytes_per_sec != 0 || write_bandwidth_bytes_per_sec != 0 ||
+           read_latency_ns_per_op != 0 || write_latency_ns_per_op != 0;
+  }
+};
+
+struct BlockDeviceOptions {
+  uint64_t segment_size = kDefaultSegmentSize;  // must be a power of two
+  uint64_t max_segments = 1 << 20;              // capacity cap
+  // Transfers are accounted (and throttled) rounded up to this many bytes —
+  // real flash moves whole sectors no matter how few bytes a read wants.
+  // 1 = byte-accurate (unit tests); benchmarks use 512.
+  uint64_t accounting_granularity = 1;
+  DeviceCostModel cost_model;
+  // If non-empty the device persists segments to this file with pread/pwrite;
+  // otherwise segments live in anonymous memory.
+  std::string backing_file;
+  // Recovery: open the backing file without truncating and fault segment
+  // contents from it on first access.
+  bool reopen_existing = false;
+};
+
+class BlockDevice {
+ public:
+  static StatusOr<std::unique_ptr<BlockDevice>> Create(const BlockDeviceOptions& options);
+  ~BlockDevice();
+
+  BlockDevice(const BlockDevice&) = delete;
+  BlockDevice& operator=(const BlockDevice&) = delete;
+
+  const SegmentGeometry& geometry() const { return geometry_; }
+  uint64_t segment_size() const { return geometry_.segment_size(); }
+
+  // Allocates a fresh segment and returns its id. Freed segments are recycled.
+  StatusOr<SegmentId> AllocateSegment();
+  Status FreeSegment(SegmentId segment);
+
+  // Recovery: marks `segments` as allocated (they belong to a store being
+  // recovered from this device's backing file). Fails if any is already
+  // allocated.
+  Status AdoptAllocated(const std::vector<SegmentId>& segments);
+  bool IsAllocated(SegmentId segment) const;
+  uint64_t AllocatedSegments() const;
+
+  // Writes `data` at `device_offset`. The range must lie inside one allocated
+  // segment.
+  Status Write(uint64_t device_offset, Slice data, IoClass io_class);
+
+  // Reads `n` bytes at `device_offset` into `out` (same single-segment rule).
+  Status Read(uint64_t device_offset, size_t n, char* out, IoClass io_class) const;
+
+  IoStats& stats() { return stats_; }
+  const IoStats& stats() const { return stats_; }
+
+ private:
+  explicit BlockDevice(const BlockDeviceOptions& options);
+  Status Init();
+
+  Status CheckRange(uint64_t device_offset, size_t n) const;
+  void Throttle(bool is_write, size_t n) const;
+  uint64_t AccountedBytes(size_t n) const;
+
+  // Returns the in-memory buffer for `segment`, creating it on demand.
+  char* SegmentBuffer(SegmentId segment) const;
+
+  const BlockDeviceOptions options_;
+  const SegmentGeometry geometry_;
+
+  mutable std::mutex mutex_;
+  // One lazily-allocated buffer per segment (memory-backed mode). In
+  // file-backed mode buffers act as a write-through image of the file.
+  mutable std::vector<std::unique_ptr<char[]>> segments_;
+  std::vector<bool> allocated_;
+  std::vector<SegmentId> free_list_;
+  SegmentId next_segment_ = 0;
+  int fd_ = -1;
+
+  mutable IoStats stats_;
+
+  // Cost-model debt, guarded by throttle_mutex_.
+  mutable std::mutex throttle_mutex_;
+  mutable uint64_t read_debt_ns_ = 0;
+  mutable uint64_t write_debt_ns_ = 0;
+};
+
+}  // namespace tebis
+
+#endif  // TEBIS_STORAGE_BLOCK_DEVICE_H_

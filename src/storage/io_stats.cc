@@ -1,0 +1,66 @@
+#include "src/storage/io_stats.h"
+
+#include <cstdio>
+
+namespace tebis {
+
+const char* IoClassName(IoClass c) {
+  switch (c) {
+    case IoClass::kLogFlush:
+      return "log_flush";
+    case IoClass::kCompactionRead:
+      return "compaction_read";
+    case IoClass::kCompactionWrite:
+      return "compaction_write";
+    case IoClass::kIndexRewrite:
+      return "index_rewrite";
+    case IoClass::kLookup:
+      return "lookup";
+    case IoClass::kRecovery:
+      return "recovery";
+    case IoClass::kGc:
+      return "gc";
+    case IoClass::kOther:
+      return "other";
+  }
+  return "?";
+}
+
+uint64_t IoStats::TotalReadBytes() const {
+  uint64_t total = 0;
+  for (const auto& b : read_bytes_) {
+    total += b.load(std::memory_order_relaxed);
+  }
+  return total;
+}
+
+uint64_t IoStats::TotalWriteBytes() const {
+  uint64_t total = 0;
+  for (const auto& b : write_bytes_) {
+    total += b.load(std::memory_order_relaxed);
+  }
+  return total;
+}
+
+void IoStats::Reset() {
+  for (auto& b : read_bytes_) {
+    b.store(0, std::memory_order_relaxed);
+  }
+  for (auto& b : write_bytes_) {
+    b.store(0, std::memory_order_relaxed);
+  }
+  read_ops_.store(0, std::memory_order_relaxed);
+  write_ops_.store(0, std::memory_order_relaxed);
+}
+
+std::string IoStats::Summary() const {
+  char buf[256];
+  snprintf(buf, sizeof(buf), "read=%llu MB (%llu ops) write=%llu MB (%llu ops)",
+           static_cast<unsigned long long>(TotalReadBytes() >> 20),
+           static_cast<unsigned long long>(ReadOps()),
+           static_cast<unsigned long long>(TotalWriteBytes() >> 20),
+           static_cast<unsigned long long>(WriteOps()));
+  return buf;
+}
+
+}  // namespace tebis

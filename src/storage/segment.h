@@ -1,0 +1,55 @@
+// Segment geometry shared by the device, the LSM engine, and the replication
+// layer. Tebis stores the value log and every level index as lists of
+// fixed-size, power-of-two aligned segments (paper §3.3). A device offset is
+// `(segment_number << shift) | offset_in_segment`, which is what makes backup
+// pointer rewriting a high-order-bit replacement.
+#ifndef TEBIS_STORAGE_SEGMENT_H_
+#define TEBIS_STORAGE_SEGMENT_H_
+
+#include <bit>
+#include <cstdint>
+
+namespace tebis {
+
+using SegmentId = uint64_t;
+
+inline constexpr uint64_t kInvalidOffset = ~0ull;
+inline constexpr SegmentId kInvalidSegment = ~0ull;
+
+// Paper default: 2 MB segments. Tests and benches use smaller segments to keep
+// datasets manageable; everything is parameterized on this.
+inline constexpr uint64_t kDefaultSegmentSize = 2 * 1024 * 1024;
+
+class SegmentGeometry {
+ public:
+  // segment_size must be a power of two.
+  explicit constexpr SegmentGeometry(uint64_t segment_size)
+      : segment_size_(segment_size), shift_(std::countr_zero(segment_size)) {}
+
+  constexpr uint64_t segment_size() const { return segment_size_; }
+  constexpr int shift() const { return shift_; }
+
+  constexpr SegmentId SegmentOf(uint64_t device_offset) const { return device_offset >> shift_; }
+  constexpr uint64_t OffsetInSegment(uint64_t device_offset) const {
+    return device_offset & (segment_size_ - 1);
+  }
+  constexpr uint64_t BaseOffset(SegmentId segment) const { return segment << shift_; }
+
+  // The §3.3 rewrite: keep the low-order (in-segment) bits, replace the
+  // segment number.
+  constexpr uint64_t Translate(uint64_t device_offset, SegmentId new_segment) const {
+    return BaseOffset(new_segment) | OffsetInSegment(device_offset);
+  }
+
+  constexpr bool IsValid() const {
+    return segment_size_ > 0 && (segment_size_ & (segment_size_ - 1)) == 0;
+  }
+
+ private:
+  uint64_t segment_size_;
+  int shift_;
+};
+
+}  // namespace tebis
+
+#endif  // TEBIS_STORAGE_SEGMENT_H_

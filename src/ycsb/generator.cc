@@ -1,0 +1,71 @@
+#include "src/ycsb/generator.h"
+
+#include <cmath>
+
+namespace tebis {
+namespace {
+
+double Zeta(uint64_t n, double theta) {
+  double sum = 0;
+  for (uint64_t i = 1; i <= n; ++i) {
+    sum += 1.0 / std::pow(static_cast<double>(i), theta);
+  }
+  return sum;
+}
+
+}  // namespace
+
+uint64_t FnvHash64(uint64_t value) {
+  constexpr uint64_t kOffset = 0xCBF29CE484222325ull;
+  constexpr uint64_t kPrime = 1099511628211ull;
+  uint64_t hash = kOffset;
+  for (int i = 0; i < 8; ++i) {
+    hash ^= (value >> (i * 8)) & 0xff;
+    hash *= kPrime;
+  }
+  return hash;
+}
+
+ZipfianGenerator::ZipfianGenerator(uint64_t n, double constant)
+    : n_(n == 0 ? 1 : n), theta_(constant) {
+  zeta_n_ = Zeta(n_, theta_);
+  zeta2_ = Zeta(2, theta_);
+  alpha_ = 1.0 / (1.0 - theta_);
+  eta_ = (1.0 - std::pow(2.0 / static_cast<double>(n_), 1.0 - theta_)) / (1.0 - zeta2_ / zeta_n_);
+}
+
+uint64_t ZipfianGenerator::Next(Random* rng) {
+  const double u = rng->NextDouble();
+  const double uz = u * zeta_n_;
+  if (uz < 1.0) {
+    return 0;
+  }
+  if (uz < 1.0 + std::pow(0.5, theta_)) {
+    return 1;
+  }
+  const double v = eta_ * u - eta_ + 1.0;
+  return static_cast<uint64_t>(static_cast<double>(n_) * std::pow(v, alpha_));
+}
+
+ScrambledZipfianGenerator::ScrambledZipfianGenerator(uint64_t n) : n_(n), zipfian_(n) {}
+
+uint64_t ScrambledZipfianGenerator::Next(Random* rng) {
+  return FnvHash64(zipfian_.Next(rng)) % n_;
+}
+
+uint64_t LatestGenerator::Next(Random* rng) {
+  const uint64_t count = insert_count_->load(std::memory_order_relaxed);
+  if (count == 0) {
+    return 0;
+  }
+  // Rebuild the zipfian when the key space has grown appreciably; zeta is
+  // O(n), so rebuild geometrically.
+  if (count > built_for_ * 2 || built_for_ == 1) {
+    zipfian_ = ZipfianGenerator(count);
+    built_for_ = count;
+  }
+  const uint64_t offset = zipfian_.Next(rng);
+  return offset >= count ? count - 1 : count - 1 - offset;
+}
+
+}  // namespace tebis

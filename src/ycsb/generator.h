@@ -1,0 +1,78 @@
+// Key-choosing distributions of the YCSB benchmark (paper §4, Table 1):
+// Zipfian (workloads A-C), Latest (workload D), plus Uniform. The Zipfian
+// implementation follows the original YCSB generator (Gray et al.'s
+// rejection-free method with precomputed zeta).
+#ifndef TEBIS_YCSB_GENERATOR_H_
+#define TEBIS_YCSB_GENERATOR_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+
+#include "src/common/random.h"
+
+namespace tebis {
+
+class KeyGenerator {
+ public:
+  virtual ~KeyGenerator() = default;
+  virtual uint64_t Next(Random* rng) = 0;
+};
+
+class UniformGenerator : public KeyGenerator {
+ public:
+  explicit UniformGenerator(uint64_t n) : n_(n) {}
+  uint64_t Next(Random* rng) override { return rng->Uniform(n_); }
+
+ private:
+  uint64_t n_;
+};
+
+// Standard YCSB Zipfian over [0, n) with constant 0.99: item 0 is the
+// hottest.
+class ZipfianGenerator : public KeyGenerator {
+ public:
+  explicit ZipfianGenerator(uint64_t n, double constant = 0.99);
+  uint64_t Next(Random* rng) override;
+
+ private:
+  uint64_t n_;
+  double theta_;
+  double zeta_n_;
+  double zeta2_;
+  double alpha_;
+  double eta_;
+};
+
+// Zipfian with the popularity scattered over the key space (what YCSB uses
+// for A-C so hot keys do not cluster in one region).
+class ScrambledZipfianGenerator : public KeyGenerator {
+ public:
+  explicit ScrambledZipfianGenerator(uint64_t n);
+  uint64_t Next(Random* rng) override;
+
+ private:
+  uint64_t n_;
+  ZipfianGenerator zipfian_;
+};
+
+// YCSB "latest": recently inserted keys are the hottest (workload D). The
+// insert counter advances as the workload inserts.
+class LatestGenerator : public KeyGenerator {
+ public:
+  explicit LatestGenerator(std::atomic<uint64_t>* insert_count)
+      : insert_count_(insert_count), zipfian_(1) {}
+  uint64_t Next(Random* rng) override;
+
+ private:
+  std::atomic<uint64_t>* insert_count_;
+  ZipfianGenerator zipfian_;  // rebuilt lazily as the key space grows
+  uint64_t built_for_ = 1;
+};
+
+// 64-bit FNV-1a, the scrambler YCSB uses.
+uint64_t FnvHash64(uint64_t value);
+
+}  // namespace tebis
+
+#endif  // TEBIS_YCSB_GENERATOR_H_

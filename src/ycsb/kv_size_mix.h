@@ -1,0 +1,68 @@
+// Facebook-style KV size distributions (paper Table 2): small KVs are 33 B,
+// medium 123 B, large 1023 B (key + value). Mixes S/M/L are uniform-size;
+// SD/MD/LD follow the 60-20-20 pattern dominated by one class.
+#ifndef TEBIS_YCSB_KV_SIZE_MIX_H_
+#define TEBIS_YCSB_KV_SIZE_MIX_H_
+
+#include <cstdint>
+#include <string>
+
+#include "src/common/random.h"
+
+namespace tebis {
+
+inline constexpr size_t kSmallKvBytes = 33;
+inline constexpr size_t kMediumKvBytes = 123;
+inline constexpr size_t kLargeKvBytes = 1023;
+
+struct KvSizeMix {
+  const char* name;
+  int pct_small;
+  int pct_medium;
+  int pct_large;
+
+  // Total KV size for one operation, sampled by the mix. Deterministic per
+  // key when the caller passes a key-derived rng.
+  size_t SampleKvBytes(Random* rng) const {
+    const uint64_t roll = rng->Uniform(100);
+    if (roll < static_cast<uint64_t>(pct_small)) {
+      return kSmallKvBytes;
+    }
+    if (roll < static_cast<uint64_t>(pct_small + pct_medium)) {
+      return kMediumKvBytes;
+    }
+    return kLargeKvBytes;
+  }
+
+  // Value size for a given key size (total KV size minus the key; at least 1).
+  size_t SampleValueBytes(Random* rng, size_t key_size) const {
+    const size_t total = SampleKvBytes(rng);
+    return total > key_size + 1 ? total - key_size : 1;
+  }
+
+  double AverageKvBytes() const {
+    return (pct_small * static_cast<double>(kSmallKvBytes) +
+            pct_medium * static_cast<double>(kMediumKvBytes) +
+            pct_large * static_cast<double>(kLargeKvBytes)) /
+           100.0;
+  }
+};
+
+// The six distributions of Table 2.
+inline constexpr KvSizeMix kMixS{"S", 100, 0, 0};
+inline constexpr KvSizeMix kMixM{"M", 0, 100, 0};
+inline constexpr KvSizeMix kMixL{"L", 0, 0, 100};
+inline constexpr KvSizeMix kMixSD{"SD", 60, 20, 20};
+inline constexpr KvSizeMix kMixMD{"MD", 20, 60, 20};
+inline constexpr KvSizeMix kMixLD{"LD", 20, 20, 60};
+
+// Fig. 9 sweep: `pct_small` small KVs, the rest split evenly between medium
+// and large.
+inline KvSizeMix SmallSweepMix(int pct_small) {
+  const int rest = (100 - pct_small) / 2;
+  return KvSizeMix{"sweep", pct_small, rest, 100 - pct_small - rest};
+}
+
+}  // namespace tebis
+
+#endif  // TEBIS_YCSB_KV_SIZE_MIX_H_

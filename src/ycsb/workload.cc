@@ -1,0 +1,114 @@
+#include "src/ycsb/workload.h"
+
+#include <cstdio>
+#include <numeric>
+
+#include "src/common/clock.h"
+
+namespace tebis {
+
+std::string YcsbKey(uint64_t i) {
+  char buf[32];
+  snprintf(buf, sizeof(buf), "user%010llu", static_cast<unsigned long long>(i));
+  return buf;
+}
+
+YcsbWorkload::YcsbWorkload(const YcsbOptions& options) : options_(options) {}
+
+size_t YcsbWorkload::ValueBytesFor(uint64_t item) const {
+  // The size class of a key is a pure function of the key, so updates write
+  // the same size the load did.
+  Random rng(options_.seed ^ FnvHash64(item));
+  return options_.size_mix.SampleValueBytes(&rng, kYcsbKeySize);
+}
+
+StatusOr<YcsbResult> YcsbWorkload::RunLoad(const KvHooks& kv) {
+  YcsbResult result;
+  result.workload = "Load A";
+  Random rng(options_.seed);
+  Random value_rng(options_.seed + 1);
+  const uint64_t n = options_.record_count;
+  // A multiplier coprime with n gives a bijection of [0, n) — keys arrive in
+  // scrambled order, each exactly once.
+  uint64_t multiplier = 0x9E3779B97F4A7C15ull % n;
+  while (multiplier < 2 || std::gcd(multiplier, n) != 1) {
+    multiplier = (multiplier + 1) % n;
+  }
+  const uint64_t start = NowNanos();
+  std::string value;
+  for (uint64_t i = 0; i < n; ++i) {
+    const uint64_t item = (i * multiplier) % n;
+    const std::string key = YcsbKey(item);
+    value = value_rng.Bytes(ValueBytesFor(item));
+    const uint64_t op_start = NowNanos();
+    TEBIS_RETURN_IF_ERROR(kv.put(key, value));
+    result.insert_latency.Record(NowNanos() - op_start);
+    result.dataset_bytes += key.size() + value.size();
+    insert_count_.fetch_add(1, std::memory_order_relaxed);
+  }
+  (void)rng;
+  result.ops = n;
+  result.seconds = static_cast<double>(NowNanos() - start) / 1e9;
+  result.kops_per_sec = static_cast<double>(n) / result.seconds / 1000.0;
+  return result;
+}
+
+StatusOr<YcsbResult> YcsbWorkload::RunPhase(const WorkloadSpec& spec, const KvHooks& kv) {
+  YcsbResult result;
+  result.workload = spec.name;
+  Random rng(options_.seed + 17);
+  Random value_rng(options_.seed + 23);
+
+  std::unique_ptr<KeyGenerator> chooser;
+  switch (spec.distribution) {
+    case KeyDistribution::kZipfian:
+      chooser = std::make_unique<ScrambledZipfianGenerator>(options_.record_count);
+      break;
+    case KeyDistribution::kLatest:
+      chooser = std::make_unique<LatestGenerator>(&insert_count_);
+      break;
+    case KeyDistribution::kUniform:
+      chooser = std::make_unique<UniformGenerator>(options_.record_count);
+      break;
+  }
+
+  const uint64_t start = NowNanos();
+  std::string value;
+  for (uint64_t i = 0; i < options_.op_count; ++i) {
+    const uint64_t roll = rng.Uniform(100);
+    if (roll < static_cast<uint64_t>(spec.pct_insert)) {
+      // Insert a brand-new key (workload D).
+      const uint64_t item = insert_count_.fetch_add(1, std::memory_order_relaxed);
+      const std::string key = YcsbKey(item);
+      value = value_rng.Bytes(ValueBytesFor(item));
+      const uint64_t op_start = NowNanos();
+      TEBIS_RETURN_IF_ERROR(kv.put(key, value));
+      result.insert_latency.Record(NowNanos() - op_start);
+      result.dataset_bytes += key.size() + value.size();
+    } else if (roll < static_cast<uint64_t>(spec.pct_insert + spec.pct_read)) {
+      const uint64_t item = chooser->Next(&rng);
+      const std::string key = YcsbKey(item);
+      const uint64_t op_start = NowNanos();
+      Status s = kv.read(key);
+      if (!s.ok() && !s.IsNotFound()) {
+        return s;
+      }
+      result.read_latency.Record(NowNanos() - op_start);
+      result.dataset_bytes += key.size() + ValueBytesFor(item);
+    } else {
+      const uint64_t item = chooser->Next(&rng);
+      const std::string key = YcsbKey(item);
+      value = value_rng.Bytes(ValueBytesFor(item));
+      const uint64_t op_start = NowNanos();
+      TEBIS_RETURN_IF_ERROR(kv.put(key, value));
+      result.update_latency.Record(NowNanos() - op_start);
+      result.dataset_bytes += key.size() + value.size();
+    }
+  }
+  result.ops = options_.op_count;
+  result.seconds = static_cast<double>(NowNanos() - start) / 1e9;
+  result.kops_per_sec = static_cast<double>(result.ops) / result.seconds / 1000.0;
+  return result;
+}
+
+}  // namespace tebis

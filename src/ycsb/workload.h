@@ -1,0 +1,89 @@
+// YCSB workload definitions (paper Table 1) and the workload runner. The
+// runner drives any KV through the operation mix, generating keys with the
+// workload's distribution and values with a Facebook size mix (Table 2), and
+// measures throughput, per-op latency histograms, and CPU time.
+#ifndef TEBIS_YCSB_WORKLOAD_H_
+#define TEBIS_YCSB_WORKLOAD_H_
+
+#include <atomic>
+#include <functional>
+#include <string>
+
+#include "src/common/histogram.h"
+#include "src/common/slice.h"
+#include "src/common/status.h"
+#include "src/ycsb/generator.h"
+#include "src/ycsb/kv_size_mix.h"
+
+namespace tebis {
+
+enum class KeyDistribution { kZipfian, kLatest, kUniform };
+
+// Operation mix; percentages must sum to 100.
+struct WorkloadSpec {
+  const char* name;
+  int pct_insert;
+  int pct_read;
+  int pct_update;
+  KeyDistribution distribution;
+};
+
+// Table 1.
+inline constexpr WorkloadSpec kLoadA{"Load A", 100, 0, 0, KeyDistribution::kZipfian};
+inline constexpr WorkloadSpec kRunA{"Run A", 0, 50, 50, KeyDistribution::kZipfian};
+inline constexpr WorkloadSpec kRunB{"Run B", 0, 95, 5, KeyDistribution::kZipfian};
+inline constexpr WorkloadSpec kRunC{"Run C", 0, 100, 0, KeyDistribution::kZipfian};
+inline constexpr WorkloadSpec kRunD{"Run D", 5, 95, 0, KeyDistribution::kLatest};
+
+// Abstract KV the workload drives (a SimCluster, a TebisClient, a KvStore).
+struct KvHooks {
+  std::function<Status(Slice key, Slice value)> put;
+  std::function<Status(Slice key)> read;  // value discarded
+};
+
+struct YcsbResult {
+  std::string workload;
+  uint64_t ops = 0;
+  double seconds = 0;
+  double kops_per_sec = 0;
+  uint64_t dataset_bytes = 0;  // application bytes written + read (for amps)
+  Histogram insert_latency;
+  Histogram read_latency;
+  Histogram update_latency;
+};
+
+struct YcsbOptions {
+  uint64_t record_count = 100000;  // keys loaded by Load A
+  uint64_t op_count = 50000;       // ops per run phase
+  KvSizeMix size_mix = kMixSD;
+  uint64_t seed = 42;
+};
+
+// Zero-padded YCSB-style key for item `i`.
+std::string YcsbKey(uint64_t i);
+inline constexpr size_t kYcsbKeySize = 14;  // "user" + 10 digits
+
+class YcsbWorkload {
+ public:
+  explicit YcsbWorkload(const YcsbOptions& options);
+
+  // Load phase: inserts every record exactly once, in scrambled order.
+  StatusOr<YcsbResult> RunLoad(const KvHooks& kv);
+
+  // Run phase: op_count operations with the spec's mix/distribution.
+  StatusOr<YcsbResult> RunPhase(const WorkloadSpec& spec, const KvHooks& kv);
+
+  // Deterministic per-key value sizing (an update writes the same size the
+  // load wrote, like the paper's modified YCSB-C).
+  size_t ValueBytesFor(uint64_t item) const;
+
+  uint64_t inserted() const { return insert_count_.load(std::memory_order_relaxed); }
+
+ private:
+  YcsbOptions options_;
+  std::atomic<uint64_t> insert_count_{0};
+};
+
+}  // namespace tebis
+
+#endif  // TEBIS_YCSB_WORKLOAD_H_

@@ -1,0 +1,259 @@
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <set>
+#include <thread>
+#include <vector>
+
+#include "src/common/clock.h"
+#include "src/common/crc32.h"
+#include "src/common/histogram.h"
+#include "src/common/random.h"
+#include "src/common/slice.h"
+#include "src/common/status.h"
+
+namespace tebis {
+namespace {
+
+TEST(StatusTest, DefaultIsOk) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage) {
+  Status s = Status::NotFound("key xyz");
+  EXPECT_FALSE(s.ok());
+  EXPECT_TRUE(s.IsNotFound());
+  EXPECT_EQ(s.code(), StatusCode::kNotFound);
+  EXPECT_EQ(s.ToString(), "NotFound: key xyz");
+}
+
+TEST(StatusTest, AllCodesHaveNames) {
+  for (int c = 0; c <= static_cast<int>(StatusCode::kInternal); ++c) {
+    EXPECT_STRNE(StatusCodeName(static_cast<StatusCode>(c)), "Unknown");
+  }
+}
+
+TEST(StatusTest, Equality) {
+  EXPECT_EQ(Status::Ok(), Status::Ok());
+  EXPECT_EQ(Status::NotFound("a"), Status::NotFound("a"));
+  EXPECT_FALSE(Status::NotFound("a") == Status::NotFound("b"));
+}
+
+TEST(StatusOrTest, HoldsValue) {
+  StatusOr<int> v = 42;
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ(*v, 42);
+  EXPECT_TRUE(v.status().ok());
+}
+
+TEST(StatusOrTest, HoldsError) {
+  StatusOr<int> v = Status::IoError("disk");
+  ASSERT_FALSE(v.ok());
+  EXPECT_EQ(v.status().code(), StatusCode::kIoError);
+}
+
+TEST(StatusOrTest, MoveOnlyValue) {
+  StatusOr<std::unique_ptr<int>> v = std::make_unique<int>(7);
+  ASSERT_TRUE(v.ok());
+  std::unique_ptr<int> p = std::move(v).value();
+  EXPECT_EQ(*p, 7);
+}
+
+StatusOr<int> ParsePositive(int x) {
+  if (x <= 0) {
+    return Status::InvalidArgument("not positive");
+  }
+  return x;
+}
+
+Status UseAssignOrReturn(int x, int* out) {
+  TEBIS_ASSIGN_OR_RETURN(int v, ParsePositive(x));
+  *out = v * 2;
+  return Status::Ok();
+}
+
+TEST(StatusOrTest, AssignOrReturnMacro) {
+  int out = 0;
+  EXPECT_TRUE(UseAssignOrReturn(3, &out).ok());
+  EXPECT_EQ(out, 6);
+  EXPECT_EQ(UseAssignOrReturn(-1, &out).code(), StatusCode::kInvalidArgument);
+}
+
+TEST(SliceTest, BasicAccessors) {
+  Slice s("hello");
+  EXPECT_EQ(s.size(), 5u);
+  EXPECT_FALSE(s.empty());
+  EXPECT_EQ(s[1], 'e');
+  EXPECT_EQ(s.ToString(), "hello");
+}
+
+TEST(SliceTest, CompareIsMemcmpOrder) {
+  EXPECT_LT(Slice("abc").Compare(Slice("abd")), 0);
+  EXPECT_GT(Slice("abd").Compare(Slice("abc")), 0);
+  EXPECT_EQ(Slice("abc").Compare(Slice("abc")), 0);
+  // Shorter prefix sorts first.
+  EXPECT_LT(Slice("ab").Compare(Slice("abc")), 0);
+}
+
+TEST(SliceTest, StartsWithAndRemovePrefix) {
+  Slice s("segment42");
+  EXPECT_TRUE(s.StartsWith("segment"));
+  EXPECT_FALSE(s.StartsWith("segmenz"));
+  s.RemovePrefix(7);
+  EXPECT_EQ(s.ToString(), "42");
+}
+
+TEST(Crc32Test, KnownVectors) {
+  // CRC32C("123456789") = 0xE3069283 (well-known check value).
+  EXPECT_EQ(Crc32c("123456789", 9), 0xE3069283u);
+  EXPECT_EQ(Crc32c("", 0), 0u);
+}
+
+TEST(Crc32Test, IncrementalMatchesOneShot) {
+  const char* data = "The quick brown fox jumps over the lazy dog";
+  const size_t n = strlen(data);
+  uint32_t whole = Crc32c(data, n);
+  uint32_t part = Crc32c(data, 10);
+  part = Crc32c(data + 10, n - 10, part);
+  EXPECT_EQ(part, whole);
+}
+
+TEST(Crc32Test, DetectsBitFlip) {
+  std::string data = "some log record payload";
+  uint32_t before = Crc32c(data.data(), data.size());
+  data[5] ^= 1;
+  EXPECT_NE(Crc32c(data.data(), data.size()), before);
+}
+
+TEST(RandomTest, Deterministic) {
+  Random a(123), b(123);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.Next(), b.Next());
+  }
+}
+
+TEST(RandomTest, DifferentSeedsDiffer) {
+  Random a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) {
+    same += (a.Next() == b.Next()) ? 1 : 0;
+  }
+  EXPECT_LT(same, 3);
+}
+
+TEST(RandomTest, UniformInRange) {
+  Random r(7);
+  for (int i = 0; i < 1000; ++i) {
+    uint64_t v = r.UniformRange(10, 20);
+    EXPECT_GE(v, 10u);
+    EXPECT_LE(v, 20u);
+  }
+}
+
+TEST(RandomTest, NextDoubleInUnitInterval) {
+  Random r(9);
+  for (int i = 0; i < 1000; ++i) {
+    double d = r.NextDouble();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(RandomTest, BytesHasRequestedSize) {
+  Random r(11);
+  EXPECT_EQ(r.Bytes(0).size(), 0u);
+  EXPECT_EQ(r.Bytes(33).size(), 33u);
+  EXPECT_EQ(r.Bytes(1023).size(), 1023u);
+}
+
+TEST(HistogramTest, EmptyHistogram) {
+  Histogram h;
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.Percentile(50), 0u);
+  EXPECT_EQ(h.Mean(), 0.0);
+}
+
+TEST(HistogramTest, SingleValue) {
+  Histogram h;
+  h.Record(1000);
+  EXPECT_EQ(h.count(), 1u);
+  EXPECT_EQ(h.min(), 1000u);
+  EXPECT_EQ(h.max(), 1000u);
+  // Bucketing error is <= ~3%.
+  EXPECT_NEAR(static_cast<double>(h.Percentile(50)), 1000.0, 35.0);
+}
+
+TEST(HistogramTest, PercentilesAreMonotone) {
+  Histogram h;
+  Random r(5);
+  for (int i = 0; i < 100000; ++i) {
+    h.Record(r.UniformRange(100, 1000000));
+  }
+  uint64_t prev = 0;
+  for (double p : {10.0, 50.0, 90.0, 99.0, 99.9, 99.99}) {
+    uint64_t v = h.Percentile(p);
+    EXPECT_GE(v, prev) << "p" << p;
+    prev = v;
+  }
+  EXPECT_LE(h.Percentile(100), h.max());
+}
+
+TEST(HistogramTest, UniformMedianNearMidpoint) {
+  Histogram h;
+  Random r(5);
+  for (int i = 0; i < 200000; ++i) {
+    h.Record(r.UniformRange(0, 10000));
+  }
+  uint64_t p50 = h.Percentile(50);
+  EXPECT_GT(p50, 4500u);
+  EXPECT_LT(p50, 5500u);
+}
+
+TEST(HistogramTest, MergeCombinesCounts) {
+  Histogram a, b;
+  a.Record(10);
+  a.Record(20);
+  b.Record(1000000);
+  a.Merge(b);
+  EXPECT_EQ(a.count(), 3u);
+  EXPECT_EQ(a.min(), 10u);
+  EXPECT_EQ(a.max(), 1000000u);
+}
+
+TEST(HistogramTest, ResetClears) {
+  Histogram h;
+  h.Record(5);
+  h.Reset();
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.max(), 0u);
+}
+
+TEST(ClockTest, MonotonicAdvances) {
+  uint64_t a = NowNanos();
+  uint64_t b = NowNanos();
+  EXPECT_GE(b, a);
+}
+
+TEST(ClockTest, ThreadCpuTimeGrowsUnderWork) {
+  uint64_t start = ThreadCpuNanos();
+  uint64_t sink = 0;
+  for (int i = 0; i < 2000000; ++i) {
+    sink += static_cast<uint64_t>(i) * 2654435761u;
+  }
+  asm volatile("" : : "r"(sink));
+  EXPECT_GT(ThreadCpuNanos(), start);
+}
+
+TEST(ClockTest, ScopedTimerAccumulates) {
+  uint64_t acc = 0;
+  {
+    ScopedTimer t(&acc);
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+  EXPECT_GE(acc, 1000000u);  // at least 1ms
+}
+
+}  // namespace
+}  // namespace tebis

@@ -1,0 +1,245 @@
+// Randomized adversarial tests: malformed wire input must fail cleanly,
+// allocators must match reference models, and merge/iteration invariants must
+// hold under arbitrary interleavings.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <deque>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "src/cluster/kv_wire.h"
+#include "src/cluster/region_map.h"
+#include "src/common/random.h"
+#include "src/lsm/btree_builder.h"
+#include "src/lsm/btree_reader.h"
+#include "src/lsm/compaction.h"
+#include "src/lsm/value_log.h"
+#include "src/net/message.h"
+#include "src/net/ring_allocator.h"
+#include "src/replication/replication_wire.h"
+#include "src/storage/block_device.h"
+
+namespace tebis {
+namespace {
+
+std::unique_ptr<BlockDevice> MakeDevice() {
+  BlockDeviceOptions opts;
+  opts.segment_size = 1 << 16;
+  opts.max_segments = 1 << 16;
+  auto dev = BlockDevice::Create(opts);
+  EXPECT_TRUE(dev.ok());
+  return std::move(*dev);
+}
+
+// --- wire decoders never crash or over-read on garbage -------------------------
+
+class WireFuzzTest : public testing::TestWithParam<uint64_t> {};
+
+TEST_P(WireFuzzTest, RandomBytesFailCleanly) {
+  Random rng(GetParam());
+  for (int i = 0; i < 2000; ++i) {
+    std::string junk = rng.Bytes(rng.Uniform(200));
+    // Each decoder either succeeds (fine — random bytes can be valid) or
+    // returns an error. Either way: no crash, no UB.
+    Slice key, value, start;
+    uint32_t limit;
+    (void)DecodePutRequest(junk, &key, &value);
+    (void)DecodeKeyRequest(junk, &key);
+    (void)DecodeScanRequest(junk, &start, &limit);
+    std::vector<KvPair> pairs;
+    (void)DecodeScanReply(junk, &pairs);
+    FlushLogMsg flush;
+    (void)DecodeFlushLog(junk, &flush);
+    IndexSegmentMsg seg;
+    (void)DecodeIndexSegment(junk, &seg);
+    CompactionEndMsg end;
+    (void)DecodeCompactionEnd(junk, &end);
+    (void)RegionMap::Deserialize(junk);
+  }
+}
+
+TEST_P(WireFuzzTest, TruncatedValidMessagesFail) {
+  Random rng(GetParam() + 100);
+  for (int i = 0; i < 500; ++i) {
+    CompactionEndMsg msg{};
+    msg.compaction_id = rng.Next();
+    msg.tree.root_offset = rng.Next();
+    msg.tree.height = 2;
+    msg.tree.num_entries = rng.Uniform(1000);
+    for (int s = 0; s < 5; ++s) {
+      msg.tree.segments.push_back(rng.Next());
+    }
+    std::string encoded = EncodeCompactionEnd(msg);
+    // Any strict prefix must fail to decode.
+    const size_t cut = rng.Uniform(encoded.size());
+    CompactionEndMsg out{};
+    EXPECT_FALSE(DecodeCompactionEnd(Slice(encoded.data(), cut), &out).ok());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, WireFuzzTest, testing::Values(1, 2, 3));
+
+// --- corrupted log segments are rejected, not misparsed --------------------------
+
+TEST(LogFuzzTest, CorruptedSegmentImagesFailCleanly) {
+  auto dev = MakeDevice();
+  auto log = ValueLog::Create(dev.get());
+  ASSERT_TRUE(log.ok());
+  Random rng(7);
+  for (int i = 0; i < 200; ++i) {
+    ASSERT_TRUE((*log)->Append("key" + std::to_string(i), rng.Bytes(rng.Uniform(100)), false)
+                    .ok());
+  }
+  ASSERT_TRUE((*log)->FlushTail().ok());
+  std::string image(1 << 16, 0);
+  uint64_t base = dev->geometry().BaseOffset((*log)->flushed_segments()[0]);
+  ASSERT_TRUE(dev->Read(base, image.size(), image.data(), IoClass::kOther).ok());
+
+  for (int trial = 0; trial < 300; ++trial) {
+    std::string corrupted = image;
+    // Flip a handful of random bytes.
+    for (int f = 0; f < 3; ++f) {
+      corrupted[rng.Uniform(corrupted.size())] ^= static_cast<char>(1 + rng.Uniform(255));
+    }
+    int records = 0;
+    Status s = ValueLog::ForEachRecord(corrupted, base, [&](const LogRecord& rec) {
+      records++;
+      return Status::Ok();
+    });
+    // Either the walk stops cleanly at the corruption (error) or the flips
+    // hit padding/values whose CRC still covers them... any record that WAS
+    // delivered must have had a valid CRC, so we only check no crash and
+    // bounded output.
+    EXPECT_LE(records, 200);
+    (void)s;
+  }
+}
+
+// --- ring allocator vs reference model -------------------------------------------
+
+TEST(RingFuzzTest, MatchesReferenceModel) {
+  // Model: the ring is correct iff (a) all live regions are disjoint,
+  // (b) allocations advance strictly sequentially mod capacity, (c) a filler
+  // is demanded exactly when the tail gap cannot fit the request.
+  constexpr size_t kCapacity = 8192;
+  Random rng(13);
+  for (int round = 0; round < 20; ++round) {
+    RingAllocator ring(kCapacity);
+    std::deque<std::pair<size_t, size_t>> live;  // offset, size
+    size_t expected_next = 0;
+    for (int op = 0; op < 3000; ++op) {
+      if (live.size() < 12 && rng.Uniform(3) != 0) {
+        const size_t n = 128 * (1 + rng.Uniform(6));
+        auto a = ring.Allocate(n);
+        if (a.status == RingAllocator::AllocStatus::kNeedWrap) {
+          ASSERT_EQ(a.tail_gap, kCapacity - expected_next);
+          auto filler = ring.Allocate(a.tail_gap);
+          ASSERT_EQ(filler.status, RingAllocator::AllocStatus::kOk);
+          ASSERT_EQ(filler.offset, expected_next);
+          live.emplace_back(filler.offset, a.tail_gap);
+          expected_next = 0;
+          a = ring.Allocate(n);
+        }
+        if (a.status == RingAllocator::AllocStatus::kOk) {
+          ASSERT_EQ(a.offset, expected_next) << "allocation must be sequential";
+          // Disjointness with every live region.
+          for (const auto& [off, size] : live) {
+            const bool overlap = a.offset < off + size && off < a.offset + n;
+            ASSERT_FALSE(overlap) << "overlap at " << a.offset;
+          }
+          live.emplace_back(a.offset, n);
+          expected_next = (a.offset + n) % kCapacity;
+        }
+      } else if (!live.empty()) {
+        const size_t idx = rng.Uniform(live.size());
+        ring.Free(live[idx].first);
+        live.erase(live.begin() + static_cast<long>(idx));
+      }
+    }
+  }
+}
+
+// --- merge invariants under many random sources ----------------------------------
+
+TEST(MergeFuzzTest, KWayMergeKeepsNewestAndSorts) {
+  Random rng(21);
+  for (int round = 0; round < 10; ++round) {
+    // Build 2-5 memtables, newest first; track the expected winner per key.
+    const int num_sources = 2 + static_cast<int>(rng.Uniform(4));
+    std::vector<std::unique_ptr<Memtable>> tables;
+    std::map<std::string, uint64_t> expected;
+    for (int s = 0; s < num_sources; ++s) {
+      tables.push_back(std::make_unique<Memtable>());
+      for (int i = 0; i < 300; ++i) {
+        char key[32];
+        snprintf(key, sizeof(key), "k%06llu", (unsigned long long)rng.Uniform(500));
+        const uint64_t offset = (static_cast<uint64_t>(s) << 32) | rng.Uniform(1 << 20);
+        tables[s]->Put(key, ValueLocation{offset, false});
+        // Newest source (lowest index) wins: only record if no newer source
+        // already claimed this key.
+        ValueLocation probe;
+        bool newer_has_it = false;
+        for (int t = 0; t < s; ++t) {
+          if (tables[t]->Get(key, &probe)) {
+            newer_has_it = true;
+            break;
+          }
+        }
+        if (!newer_has_it) {
+          // The LAST put of this source for this key wins within the source.
+          expected[key] = offset;
+        }
+      }
+    }
+    auto dev = MakeDevice();
+    BTreeBuilder builder(dev.get(), kDefaultNodeSize, IoClass::kCompactionWrite, nullptr);
+    std::vector<std::unique_ptr<MemtableMergeSource>> sources;
+    std::vector<MergeSource*> raw;
+    for (auto& table : tables) {
+      sources.push_back(std::make_unique<MemtableMergeSource>(table.get()));
+      raw.push_back(sources.back().get());
+    }
+    auto written = MergeSources(raw, false, &builder);
+    ASSERT_TRUE(written.ok());
+    EXPECT_EQ(*written, expected.size());
+    auto tree = builder.Finish();
+    ASSERT_TRUE(tree.ok());
+    // Iterate: sorted, and every entry matches the expected winner.
+    BTreeReader reader(dev.get(), nullptr, kDefaultNodeSize, *tree, IoClass::kLookup);
+    BTreeIterator it(&reader);
+    ASSERT_TRUE(it.SeekToFirst().ok());
+    auto want = expected.begin();
+    while (it.Valid()) {
+      ASSERT_NE(want, expected.end());
+      EXPECT_EQ(it.entry().log_offset, want->second) << want->first;
+      ++want;
+      ASSERT_TRUE(it.Next().ok());
+    }
+    EXPECT_EQ(want, expected.end());
+  }
+}
+
+// --- message header detection never fires on random garbage ---------------------
+
+TEST(MessageFuzzTest, GarbageRarelyDecodesAndNeverCrashes) {
+  Random rng(31);
+  std::vector<char> buf(4096);
+  int detections = 0;
+  for (int i = 0; i < 5000; ++i) {
+    for (auto& b : buf) {
+      b = static_cast<char>(rng.Next());
+    }
+    MessageHeader header;
+    if (TryDecodeHeader(buf.data(), &header)) {
+      detections++;  // needs the exact 32-bit magic: ~1 in 4 billion
+      (void)PayloadComplete(buf.data(), header);
+    }
+  }
+  EXPECT_LE(detections, 1);
+}
+
+}  // namespace
+}  // namespace tebis

@@ -1,0 +1,182 @@
+// Graceful primary handover (load balancing, paper §3.1): the master moves a
+// region's primary role to one of its backups with no data loss; the old
+// primary becomes a backup and keeps replicating.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "src/cluster/client.h"
+#include "src/cluster/coordinator.h"
+#include "src/cluster/master.h"
+#include "src/cluster/region_server.h"
+#include "src/replication/segment_map.h"
+
+namespace tebis {
+namespace {
+
+struct HandoverCluster {
+  explicit HandoverCluster(ReplicationMode mode) {
+    RegionServerOptions options;
+    options.device_options.segment_size = 1 << 16;
+    options.device_options.max_segments = 1 << 16;
+    options.kv_options.l0_max_entries = 256;
+    options.replication_mode = mode;
+    std::vector<std::string> names;
+    for (int i = 0; i < 3; ++i) {
+      names.push_back("server" + std::to_string(i));
+      servers.push_back(std::make_unique<RegionServer>(&fabric, &zk, names.back(), options));
+      EXPECT_TRUE(servers.back()->Start().ok());
+      directory[names.back()] = servers.back().get();
+    }
+    master = std::make_unique<Master>(&zk, "m0", directory);
+    EXPECT_TRUE(master->Campaign().ok());
+    auto map = RegionMap::CreateUniform(2, "user", 10, 4000, names, 2);
+    EXPECT_TRUE(map.ok());
+    EXPECT_TRUE(master->Bootstrap(*map).ok());
+    client = std::make_unique<TebisClient>(
+        &fabric, "client",
+        [this](const std::string& name) -> ServerEndpoint* {
+          auto it = directory.find(name);
+          return (it == directory.end() || it->second->crashed())
+                     ? nullptr
+                     : it->second->client_endpoint();
+        },
+        names);
+    client->set_rpc_timeout_ns(1'000'000'000ull);
+    EXPECT_TRUE(client->Connect().ok());
+  }
+
+  ~HandoverCluster() {
+    for (auto& server : servers) {
+      server->Stop();
+    }
+  }
+
+  static std::string Key(uint64_t i) {
+    char buf[32];
+    snprintf(buf, sizeof(buf), "user%010llu", static_cast<unsigned long long>(i % 4000));
+    return buf;
+  }
+
+  Fabric fabric;
+  Coordinator zk;
+  std::vector<std::unique_ptr<RegionServer>> servers;
+  std::map<std::string, RegionServer*> directory;
+  std::unique_ptr<Master> master;
+  std::unique_ptr<TebisClient> client;
+};
+
+TEST(SegmentMapInvertTest, SwapsKeysAndValues) {
+  SegmentMap map;
+  ASSERT_TRUE(map.Insert(1, 100).ok());
+  ASSERT_TRUE(map.Insert(2, 200).ok());
+  auto inverted = map.Invert();
+  ASSERT_TRUE(inverted.ok());
+  EXPECT_EQ(*inverted->Lookup(100), 1u);
+  EXPECT_EQ(*inverted->Lookup(200), 2u);
+  // Duplicate values cannot invert.
+  SegmentMap dup;
+  ASSERT_TRUE(dup.Insert(1, 5).ok());
+  ASSERT_TRUE(dup.Insert(2, 5).ok());
+  EXPECT_FALSE(dup.Invert().ok());
+}
+
+class HandoverModeTest : public testing::TestWithParam<ReplicationMode> {};
+
+TEST_P(HandoverModeTest, MovePrimaryKeepsAllDataAndAcceptsWrites) {
+  HandoverCluster cluster(GetParam());
+  std::map<std::string, std::string> model;
+  for (int i = 0; i < 2500; ++i) {
+    std::string key = HandoverCluster::Key(i * 13);
+    std::string value = "pre-move-" + std::to_string(i);
+    ASSERT_TRUE(cluster.client->Put(key, value).ok());
+    model[key] = value;
+  }
+  // Move region 0's primary role to its backup.
+  const RegionInfo* region0 = cluster.master->current_map()->FindById(0);
+  ASSERT_NE(region0, nullptr);
+  const std::string old_primary = region0->primary;
+  const std::string new_primary = region0->backups[0];
+  Status moved = cluster.master->MovePrimary(0, new_primary);
+  ASSERT_TRUE(moved.ok()) << moved.ToString();
+  const RegionInfo* after = cluster.master->current_map()->FindById(0);
+  EXPECT_EQ(after->primary, new_primary);
+  EXPECT_EQ(after->backups[0], old_primary);
+  EXPECT_TRUE(cluster.directory.at(new_primary)->IsPrimaryFor(0));
+  EXPECT_FALSE(cluster.directory.at(old_primary)->IsPrimaryFor(0));
+
+  // Every acknowledged write survives; the client re-routes via the new map.
+  for (const auto& [key, value] : model) {
+    auto v = cluster.client->Get(key);
+    ASSERT_TRUE(v.ok()) << key << " " << v.status().ToString();
+    EXPECT_EQ(*v, value) << key;
+  }
+  // New writes land on the new primary and replicate to the demoted one.
+  for (int i = 0; i < 1500; ++i) {
+    std::string key = HandoverCluster::Key(i * 7);
+    model[key] = "post-move-" + std::to_string(i);
+    ASSERT_TRUE(cluster.client->Put(key, model[key]).ok());
+  }
+  for (int i = 0; i < 1500; i += 111) {
+    auto v = cluster.client->Get(HandoverCluster::Key(i * 7));
+    ASSERT_TRUE(v.ok());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Modes, HandoverModeTest,
+                         testing::Values(ReplicationMode::kSendIndex,
+                                         ReplicationMode::kBuildIndex));
+
+TEST(HandoverTest, DemotedPrimarySurvivesNextFailover) {
+  // The real proof the demotion produced a correct backup: crash the NEW
+  // primary and let the master promote the demoted node back.
+  HandoverCluster cluster(ReplicationMode::kSendIndex);
+  std::map<std::string, std::string> model;
+  for (int i = 0; i < 2000; ++i) {
+    std::string key = HandoverCluster::Key(i * 3);
+    model[key] = "v-" + std::to_string(i);
+    ASSERT_TRUE(cluster.client->Put(key, model[key]).ok());
+  }
+  const RegionInfo* region0 = cluster.master->current_map()->FindById(0);
+  const std::string old_primary = region0->primary;
+  const std::string new_primary = region0->backups[0];
+  ASSERT_TRUE(cluster.master->MovePrimary(0, new_primary).ok());
+  // More writes through the new primary (replicated to the demoted backup).
+  for (int i = 0; i < 1000; ++i) {
+    std::string key = HandoverCluster::Key(i * 3);
+    model[key] = "updated-" + std::to_string(i);
+    ASSERT_TRUE(cluster.client->Put(key, model[key]).ok());
+  }
+  // Crash the new primary: the demoted node must come back with everything.
+  cluster.directory.at(new_primary)->Crash();
+  for (const auto& [key, value] : model) {
+    auto v = cluster.client->Get(key);
+    ASSERT_TRUE(v.ok()) << key << " " << v.status().ToString();
+    EXPECT_EQ(*v, value) << key;
+  }
+}
+
+TEST(HandoverTest, MovePrimaryValidation) {
+  HandoverCluster cluster(ReplicationMode::kSendIndex);
+  // Not a backup of the region.
+  const RegionInfo* region0 = cluster.master->current_map()->FindById(0);
+  std::string outsider;
+  for (const auto& [name, server] : cluster.directory) {
+    if (name != region0->primary &&
+        std::find(region0->backups.begin(), region0->backups.end(), name) ==
+            region0->backups.end()) {
+      outsider = name;
+    }
+  }
+  ASSERT_FALSE(outsider.empty());
+  EXPECT_FALSE(cluster.master->MovePrimary(0, outsider).ok());
+  // Moving to the current primary is a no-op success.
+  EXPECT_TRUE(cluster.master->MovePrimary(0, region0->primary).ok());
+  // Unknown region.
+  EXPECT_TRUE(cluster.master->MovePrimary(999, region0->backups[0]).IsNotFound());
+}
+
+}  // namespace
+}  // namespace tebis

@@ -1,0 +1,1046 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <memory>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "src/common/random.h"
+#include "src/lsm/btree_builder.h"
+#include "src/lsm/btree_node.h"
+#include "src/lsm/btree_reader.h"
+#include "src/lsm/compaction.h"
+#include "src/lsm/format.h"
+#include "src/lsm/kv_store.h"
+#include "src/lsm/memtable.h"
+#include "src/lsm/page_cache.h"
+#include "src/lsm/value_log.h"
+#include "src/storage/block_device.h"
+
+namespace tebis {
+namespace {
+
+std::unique_ptr<BlockDevice> MakeDevice(uint64_t segment_size = 1 << 16,
+                                        uint64_t max_segments = 4096) {
+  BlockDeviceOptions opts;
+  opts.segment_size = segment_size;
+  opts.max_segments = max_segments;
+  auto dev = BlockDevice::Create(opts);
+  EXPECT_TRUE(dev.ok());
+  return std::move(*dev);
+}
+
+// Zero-pads numbers so lexicographic order == numeric order.
+std::string Key(uint64_t i) {
+  char buf[32];
+  snprintf(buf, sizeof(buf), "key%010llu", static_cast<unsigned long long>(i));
+  return buf;
+}
+
+// --- ValueLog -----------------------------------------------------------------
+
+TEST(ValueLogTest, AppendAndReadBack) {
+  auto dev = MakeDevice();
+  auto log = ValueLog::Create(dev.get());
+  ASSERT_TRUE(log.ok());
+  auto res = (*log)->Append("alpha", "value-1", false);
+  ASSERT_TRUE(res.ok());
+  LogRecord rec;
+  ASSERT_TRUE((*log)->ReadRecord(res->offset, &rec, nullptr, IoClass::kLookup).ok());
+  EXPECT_EQ(rec.key, "alpha");
+  EXPECT_EQ(rec.value, "value-1");
+  EXPECT_FALSE(rec.tombstone);
+}
+
+TEST(ValueLogTest, TombstoneRoundTrip) {
+  auto dev = MakeDevice();
+  auto log = ValueLog::Create(dev.get());
+  ASSERT_TRUE(log.ok());
+  auto res = (*log)->Append("gone", "", true);
+  ASSERT_TRUE(res.ok());
+  LogRecord rec;
+  ASSERT_TRUE((*log)->ReadRecord(res->offset, &rec, nullptr, IoClass::kLookup).ok());
+  EXPECT_TRUE(rec.tombstone);
+  std::string key;
+  bool tomb = false;
+  ASSERT_TRUE((*log)->ReadKey(res->offset, &key, &tomb, nullptr, IoClass::kLookup).ok());
+  EXPECT_EQ(key, "gone");
+  EXPECT_TRUE(tomb);
+}
+
+TEST(ValueLogTest, RejectsBadKeySizes) {
+  auto dev = MakeDevice();
+  auto log = ValueLog::Create(dev.get());
+  ASSERT_TRUE(log.ok());
+  EXPECT_FALSE((*log)->Append("", "v", false).ok());
+  EXPECT_FALSE((*log)->Append(std::string(kMaxKeySize + 1, 'k'), "v", false).ok());
+}
+
+TEST(ValueLogTest, RejectsRecordLargerThanSegment) {
+  auto dev = MakeDevice(4096);
+  auto log = ValueLog::Create(dev.get());
+  ASSERT_TRUE(log.ok());
+  EXPECT_FALSE((*log)->Append("k", std::string(5000, 'v'), false).ok());
+}
+
+TEST(ValueLogTest, SegmentRolloverAndReadFromFlushed) {
+  auto dev = MakeDevice(4096);
+  auto log = ValueLog::Create(dev.get());
+  ASSERT_TRUE(log.ok());
+  std::vector<uint64_t> offsets;
+  const std::string value(500, 'v');
+  for (int i = 0; i < 40; ++i) {  // ~20KB total => several 4KB segments
+    auto res = (*log)->Append(Key(i), value, false);
+    ASSERT_TRUE(res.ok());
+    offsets.push_back(res->offset);
+  }
+  EXPECT_GE((*log)->flushed_segments().size(), 3u);
+  for (int i = 0; i < 40; ++i) {
+    LogRecord rec;
+    ASSERT_TRUE((*log)->ReadRecord(offsets[i], &rec, nullptr, IoClass::kLookup).ok());
+    EXPECT_EQ(rec.key, Key(i));
+    EXPECT_EQ(rec.value, value);
+  }
+}
+
+class TrackingLogObserver : public ValueLogObserver {
+ public:
+  void OnAppend(SegmentId seg, uint64_t off, Slice bytes) override {
+    appends++;
+    append_bytes += bytes.size();
+  }
+  void OnTailFlush(SegmentId seg, Slice bytes) override {
+    flushes++;
+    flushed_segments.push_back(seg);
+    EXPECT_EQ(bytes.size(), 4096u);
+  }
+  int appends = 0;
+  uint64_t append_bytes = 0;
+  int flushes = 0;
+  std::vector<SegmentId> flushed_segments;
+};
+
+TEST(ValueLogTest, ObserverSeesAppendsAndFlushes) {
+  auto dev = MakeDevice(4096);
+  auto log = ValueLog::Create(dev.get());
+  ASSERT_TRUE(log.ok());
+  TrackingLogObserver obs;
+  (*log)->set_observer(&obs);
+  const std::string value(1000, 'v');
+  for (int i = 0; i < 8; ++i) {
+    ASSERT_TRUE((*log)->Append(Key(i), value, false).ok());
+  }
+  EXPECT_EQ(obs.appends, 8);
+  EXPECT_GE(obs.flushes, 1);
+  EXPECT_EQ(obs.flushed_segments, (*log)->flushed_segments());
+}
+
+TEST(ValueLogTest, FlushTailPersistsAndOpensNewTail) {
+  auto dev = MakeDevice(4096);
+  auto log = ValueLog::Create(dev.get());
+  ASSERT_TRUE(log.ok());
+  auto res = (*log)->Append("k1", "v1", false);
+  ASSERT_TRUE(res.ok());
+  SegmentId old_tail = (*log)->tail_segment();
+  ASSERT_TRUE((*log)->FlushTail().ok());
+  EXPECT_NE((*log)->tail_segment(), old_tail);
+  EXPECT_EQ((*log)->tail_used(), 0u);
+  // Record remains readable from the flushed segment.
+  LogRecord rec;
+  ASSERT_TRUE((*log)->ReadRecord(res->offset, &rec, nullptr, IoClass::kLookup).ok());
+  EXPECT_EQ(rec.value, "v1");
+}
+
+TEST(ValueLogTest, ForEachRecordWalksSegmentImage) {
+  auto dev = MakeDevice(4096);
+  auto log = ValueLog::Create(dev.get());
+  ASSERT_TRUE(log.ok());
+  for (int i = 0; i < 5; ++i) {
+    ASSERT_TRUE((*log)->Append(Key(i), "v" + std::to_string(i), false).ok());
+  }
+  ASSERT_TRUE((*log)->FlushTail().ok());
+  SegmentId seg = (*log)->flushed_segments()[0];
+  std::string buf(4096, 0);
+  uint64_t base = dev->geometry().BaseOffset(seg);
+  ASSERT_TRUE(dev->Read(base, 4096, buf.data(), IoClass::kRecovery).ok());
+  std::vector<std::string> keys;
+  ASSERT_TRUE(ValueLog::ForEachRecord(buf, base, [&](const LogRecord& r) {
+                keys.push_back(r.key);
+                return Status::Ok();
+              }).ok());
+  ASSERT_EQ(keys.size(), 5u);
+  for (int i = 0; i < 5; ++i) {
+    EXPECT_EQ(keys[i], Key(i));
+  }
+}
+
+TEST(ValueLogTest, AppendRawSegmentReadable) {
+  auto dev_a = MakeDevice(4096);
+  auto dev_b = MakeDevice(4096);
+  auto log_a = ValueLog::Create(dev_a.get());
+  auto log_b = ValueLog::Create(dev_b.get());
+  ASSERT_TRUE(log_a.ok() && log_b.ok());
+  ASSERT_TRUE((*log_a)->Append("mirrored", "payload", false).ok());
+  ASSERT_TRUE((*log_a)->FlushTail().ok());
+  // Copy A's flushed segment image into B as a raw segment ("RDMA buffer").
+  SegmentId seg_a = (*log_a)->flushed_segments()[0];
+  std::string image(4096, 0);
+  ASSERT_TRUE(dev_a->Read(dev_a->geometry().BaseOffset(seg_a), 4096, image.data(),
+                          IoClass::kOther)
+                  .ok());
+  auto seg_b = (*log_b)->AppendRawSegment(image);
+  ASSERT_TRUE(seg_b.ok());
+  LogRecord rec;
+  uint64_t off_b = dev_b->geometry().BaseOffset(*seg_b);  // record at offset 0 in segment
+  ASSERT_TRUE((*log_b)->ReadRecord(off_b, &rec, nullptr, IoClass::kLookup).ok());
+  EXPECT_EQ(rec.key, "mirrored");
+  EXPECT_EQ(rec.value, "payload");
+}
+
+TEST(ValueLogTest, CorruptionDetected) {
+  auto dev = MakeDevice(4096);
+  auto log = ValueLog::Create(dev.get());
+  ASSERT_TRUE(log.ok());
+  auto res = (*log)->Append("kk", "vv", false);
+  ASSERT_TRUE(res.ok());
+  ASSERT_TRUE((*log)->FlushTail().ok());
+  // Flip a byte of the record on the device.
+  char byte;
+  ASSERT_TRUE(dev->Read(res->offset + kLogRecordHeaderSize, 1, &byte, IoClass::kOther).ok());
+  byte ^= 0x40;
+  ASSERT_TRUE(dev->Write(res->offset + kLogRecordHeaderSize, Slice(&byte, 1), IoClass::kOther)
+                  .ok());
+  LogRecord rec;
+  Status s = (*log)->ReadRecord(res->offset, &rec, nullptr, IoClass::kLookup);
+  EXPECT_TRUE(s.IsCorruption()) << s.ToString();
+}
+
+// --- Memtable --------------------------------------------------------------
+
+TEST(MemtableTest, PutGetOverwrite) {
+  Memtable table;
+  table.Put("a", ValueLocation{100, false});
+  table.Put("b", ValueLocation{200, false});
+  ValueLocation loc;
+  ASSERT_TRUE(table.Get("a", &loc));
+  EXPECT_EQ(loc.log_offset, 100u);
+  table.Put("a", ValueLocation{300, true});
+  ASSERT_TRUE(table.Get("a", &loc));
+  EXPECT_EQ(loc.log_offset, 300u);
+  EXPECT_TRUE(loc.tombstone);
+  EXPECT_EQ(table.entries(), 2u);  // overwrite does not add entries
+  EXPECT_FALSE(table.Get("c", &loc));
+}
+
+TEST(MemtableTest, IterationIsSorted) {
+  Memtable table;
+  Random rng(42);
+  std::set<std::string> keys;
+  for (int i = 0; i < 1000; ++i) {
+    std::string k = rng.Bytes(1 + rng.Uniform(20));
+    keys.insert(k);
+    table.Put(k, ValueLocation{static_cast<uint64_t>(i), false});
+  }
+  EXPECT_EQ(table.entries(), keys.size());
+  auto it = table.NewIterator();
+  it.SeekToFirst();
+  auto expect = keys.begin();
+  while (it.Valid()) {
+    ASSERT_NE(expect, keys.end());
+    EXPECT_EQ(it.key().ToString(), *expect);
+    ++expect;
+    it.Next();
+  }
+  EXPECT_EQ(expect, keys.end());
+}
+
+TEST(MemtableTest, SeekFindsLowerBound) {
+  Memtable table;
+  for (int i = 0; i < 100; i += 2) {
+    table.Put(Key(i), ValueLocation{static_cast<uint64_t>(i), false});
+  }
+  auto it = table.NewIterator();
+  it.Seek(Key(31));
+  ASSERT_TRUE(it.Valid());
+  EXPECT_EQ(it.key().ToString(), Key(32));
+  it.Seek(Key(98));
+  ASSERT_TRUE(it.Valid());
+  EXPECT_EQ(it.key().ToString(), Key(98));
+  it.Seek(Key(99));
+  EXPECT_FALSE(it.Valid());
+}
+
+TEST(MemtableTest, MemoryGrowsWithEntries) {
+  Memtable table;
+  size_t before = table.ApproximateMemoryBytes();
+  for (int i = 0; i < 100; ++i) {
+    table.Put(Key(i), ValueLocation{0, false});
+  }
+  EXPECT_GT(table.ApproximateMemoryBytes(), before);
+}
+
+// --- B+ tree node layer --------------------------------------------------------
+
+TEST(BTreeNodeTest, LeafBuildAndSearch) {
+  // Key(i) is 13 bytes, one longer than kPrefixSize, so equal-prefix ties
+  // exercise the full-key loader exactly like KV separation does.
+  std::vector<char> buf(kDefaultNodeSize);
+  LeafNodeBuilder builder(buf.data(), buf.size());
+  std::map<uint64_t, std::string> by_offset;
+  for (int i = 0; i < 50; ++i) {
+    const uint64_t offset = 1000 + i;
+    by_offset[offset] = Key(i * 3);
+    builder.Add(Key(i * 3), offset);
+  }
+  builder.Finish();
+
+  LeafNodeView view(buf.data(), buf.size());
+  ASSERT_TRUE(view.IsValid());
+  EXPECT_EQ(view.num_entries(), 50u);
+  auto full_key = [&](uint64_t off) -> StatusOr<std::string> { return by_offset.at(off); };
+  auto found = view.Find(Key(9), full_key);
+  ASSERT_TRUE(found.ok());
+  EXPECT_EQ(view.entry(*found).log_offset, 1003u);
+  EXPECT_TRUE(view.Find(Key(10), full_key).status().IsNotFound());
+}
+
+TEST(BTreeNodeTest, LeafPrefixCollisionUsesFullKey) {
+  // Keys share the 12-byte prefix and differ afterwards.
+  std::vector<char> buf(kDefaultNodeSize);
+  LeafNodeBuilder builder(buf.data(), buf.size());
+  std::string base = "sameprefix12";  // exactly kPrefixSize
+  ASSERT_EQ(base.size(), kPrefixSize);
+  std::map<uint64_t, std::string> stored;
+  for (int i = 0; i < 5; ++i) {
+    std::string k = base + std::string(1, static_cast<char>('a' + i));
+    stored[100 + i] = k;
+    builder.Add(k, 100 + i);
+  }
+  builder.Finish();
+  LeafNodeView view(buf.data(), buf.size());
+  int full_key_calls = 0;
+  auto full_key = [&](uint64_t off) -> StatusOr<std::string> {
+    full_key_calls++;
+    return stored.at(off);
+  };
+  auto found = view.Find(base + "c", full_key);
+  ASSERT_TRUE(found.ok());
+  EXPECT_EQ(view.entry(*found).log_offset, 102u);
+  EXPECT_GT(full_key_calls, 0);
+  EXPECT_TRUE(view.Find(base + "z", full_key).status().IsNotFound());
+}
+
+TEST(BTreeNodeTest, ShortKeysDecidedWithoutLogRead) {
+  std::vector<char> buf(kDefaultNodeSize);
+  LeafNodeBuilder builder(buf.data(), buf.size());
+  builder.Add("ab", 1);
+  builder.Add("abc", 2);  // shares short prefix, both fit in kPrefixSize
+  builder.Finish();
+  LeafNodeView view(buf.data(), buf.size());
+  auto no_full_key = [](uint64_t) -> StatusOr<std::string> {
+    return Status::Internal("should not be called");
+  };
+  auto found = view.Find("abc", no_full_key);
+  ASSERT_TRUE(found.ok());
+  EXPECT_EQ(view.entry(*found).log_offset, 2u);
+  found = view.Find("ab", no_full_key);
+  ASSERT_TRUE(found.ok());
+  EXPECT_EQ(view.entry(*found).log_offset, 1u);
+}
+
+TEST(BTreeNodeTest, IndexNodeSearch) {
+  std::vector<char> buf(kDefaultNodeSize);
+  IndexNodeBuilder builder(buf.data(), buf.size());
+  builder.Add(Key(0), 1000);
+  builder.Add(Key(10), 2000);
+  builder.Add(Key(20), 3000);
+  builder.Finish(1);
+
+  IndexNodeView view(buf.data(), buf.size());
+  ASSERT_TRUE(view.IsValid());
+  EXPECT_EQ(view.num_entries(), 3u);
+  EXPECT_EQ(view.header().tree_height, 1u);
+  EXPECT_EQ(view.child(view.FindChild(Key(5))), 1000u);
+  EXPECT_EQ(view.child(view.FindChild(Key(10))), 2000u);
+  EXPECT_EQ(view.child(view.FindChild(Key(15))), 2000u);
+  EXPECT_EQ(view.child(view.FindChild(Key(99))), 3000u);
+  // Keys below the first pivot fall through to child 0.
+  EXPECT_EQ(view.child(view.FindChild("aaa")), 1000u);
+}
+
+TEST(BTreeNodeTest, IndexNodeOverflowDetection) {
+  std::vector<char> buf(256);
+  IndexNodeBuilder builder(buf.data(), buf.size());
+  int added = 0;
+  while (!builder.WouldOverflow(13)) {
+    builder.Add(Key(added), added);
+    added++;
+  }
+  EXPECT_GT(added, 2);
+  builder.Finish(1);
+  IndexNodeView view(buf.data(), buf.size());
+  EXPECT_EQ(view.num_entries(), static_cast<uint32_t>(added));
+}
+
+TEST(BTreeNodeTest, RewriteLeafOffsetsTranslates) {
+  std::vector<char> buf(kDefaultNodeSize);
+  LeafNodeBuilder builder(buf.data(), buf.size());
+  builder.Add("k1", 0x10000 | 5);
+  builder.Add("k2", 0x20000 | 9);
+  builder.Finish();
+  ASSERT_TRUE(RewriteLeafOffsets(buf.data(), buf.size(), [](uint64_t off) -> StatusOr<uint64_t> {
+                return off + 0x100000;
+              }).ok());
+  LeafNodeView view(buf.data(), buf.size());
+  EXPECT_EQ(view.entry(0).log_offset, (0x10000u | 5) + 0x100000u);
+  EXPECT_EQ(view.entry(1).log_offset, (0x20000u | 9) + 0x100000u);
+}
+
+TEST(BTreeNodeTest, RewriteIndexChildrenTranslates) {
+  std::vector<char> buf(kDefaultNodeSize);
+  IndexNodeBuilder builder(buf.data(), buf.size());
+  builder.Add("a", 111);
+  builder.Add("m", 222);
+  builder.Finish(1);
+  ASSERT_TRUE(
+      RewriteIndexChildren(buf.data(), buf.size(), [](uint64_t off) -> StatusOr<uint64_t> {
+        return off * 10;
+      }).ok());
+  IndexNodeView view(buf.data(), buf.size());
+  EXPECT_EQ(view.child(0), 1110u);
+  EXPECT_EQ(view.child(1), 2220u);
+  EXPECT_EQ(view.key(1).ToString(), "m");  // keys untouched
+}
+
+TEST(BTreeNodeTest, RewriteRejectsWrongNodeKind) {
+  std::vector<char> buf(kDefaultNodeSize);
+  LeafNodeBuilder builder(buf.data(), buf.size());
+  builder.Add("k", 1);
+  builder.Finish();
+  auto identity = [](uint64_t off) -> StatusOr<uint64_t> { return off; };
+  EXPECT_FALSE(RewriteIndexChildren(buf.data(), buf.size(), identity).ok());
+  ASSERT_TRUE(RewriteLeafOffsets(buf.data(), buf.size(), identity).ok());
+}
+
+// --- B+ tree builder + reader round trips ---------------------------------------
+
+struct TreeFixture {
+  std::unique_ptr<BlockDevice> device;
+  std::unique_ptr<ValueLog> log;
+  BuiltTree tree;
+  std::vector<std::pair<std::string, uint64_t>> entries;  // key -> log offset
+};
+
+// Builds a tree over `n` log-backed keys with stride 2 (odd keys absent).
+TreeFixture BuildTree(uint64_t n, uint64_t segment_size = 1 << 16) {
+  TreeFixture fx;
+  fx.device = MakeDevice(segment_size, 1 << 16);
+  auto log = ValueLog::Create(fx.device.get());
+  EXPECT_TRUE(log.ok());
+  fx.log = std::move(*log);
+  BTreeBuilder builder(fx.device.get(), kDefaultNodeSize, IoClass::kCompactionWrite, nullptr);
+  for (uint64_t i = 0; i < n; ++i) {
+    const std::string key = Key(i * 2);
+    auto res = fx.log->Append(key, "value" + std::to_string(i), false);
+    EXPECT_TRUE(res.ok());
+    EXPECT_TRUE(builder.Add(key, res->offset).ok());
+    fx.entries.emplace_back(key, res->offset);
+  }
+  auto tree = builder.Finish();
+  EXPECT_TRUE(tree.ok());
+  fx.tree = *tree;
+  return fx;
+}
+
+FullKeyLoader LoaderFor(const ValueLog* log) {
+  return [log](uint64_t off) -> StatusOr<std::string> {
+    std::string key;
+    TEBIS_RETURN_IF_ERROR(log->ReadKey(off, &key, nullptr, nullptr, IoClass::kLookup));
+    return key;
+  };
+}
+
+TEST(BTreeBuilderTest, EmptyTree) {
+  auto dev = MakeDevice();
+  BTreeBuilder builder(dev.get(), kDefaultNodeSize, IoClass::kCompactionWrite, nullptr);
+  auto tree = builder.Finish();
+  ASSERT_TRUE(tree.ok());
+  EXPECT_TRUE(tree->empty());
+  EXPECT_EQ(tree->num_entries, 0u);
+}
+
+TEST(BTreeBuilderTest, RejectsOutOfOrderKeys) {
+  auto dev = MakeDevice();
+  BTreeBuilder builder(dev.get(), kDefaultNodeSize, IoClass::kCompactionWrite, nullptr);
+  ASSERT_TRUE(builder.Add("b", 1).ok());
+  EXPECT_FALSE(builder.Add("a", 2).ok());
+  EXPECT_FALSE(builder.Add("b", 3).ok());  // duplicates also rejected
+}
+
+TEST(BTreeBuilderTest, RejectsUseAfterFinish) {
+  auto dev = MakeDevice();
+  BTreeBuilder builder(dev.get(), kDefaultNodeSize, IoClass::kCompactionWrite, nullptr);
+  ASSERT_TRUE(builder.Add("a", 1).ok());
+  ASSERT_TRUE(builder.Finish().ok());
+  EXPECT_FALSE(builder.Add("b", 2).ok());
+  EXPECT_FALSE(builder.Finish().ok());
+}
+
+class BTreeRoundTripTest : public testing::TestWithParam<uint64_t> {};
+
+TEST_P(BTreeRoundTripTest, FindEveryKeyAndMissAbsent) {
+  const uint64_t n = GetParam();
+  TreeFixture fx = BuildTree(n);
+  EXPECT_EQ(fx.tree.num_entries, n);
+  BTreeReader reader(fx.device.get(), nullptr, kDefaultNodeSize, fx.tree, IoClass::kLookup);
+  auto loader = LoaderFor(fx.log.get());
+  for (const auto& [key, offset] : fx.entries) {
+    auto found = reader.Find(key, loader);
+    ASSERT_TRUE(found.ok()) << key;
+    EXPECT_EQ(*found, offset);
+  }
+  // Odd keys are absent.
+  for (uint64_t i = 0; i < std::min<uint64_t>(n, 50); ++i) {
+    EXPECT_TRUE(reader.Find(Key(i * 2 + 1), loader).status().IsNotFound());
+  }
+}
+
+TEST_P(BTreeRoundTripTest, IteratorVisitsAllInOrder) {
+  const uint64_t n = GetParam();
+  TreeFixture fx = BuildTree(n);
+  BTreeReader reader(fx.device.get(), nullptr, kDefaultNodeSize, fx.tree, IoClass::kLookup);
+  BTreeIterator it(&reader);
+  ASSERT_TRUE(it.SeekToFirst().ok());
+  uint64_t count = 0;
+  while (it.Valid()) {
+    ASSERT_LT(count, fx.entries.size());
+    EXPECT_EQ(it.entry().log_offset, fx.entries[count].second);
+    count++;
+    ASSERT_TRUE(it.Next().ok());
+  }
+  EXPECT_EQ(count, n);
+}
+
+// Sizes chosen to cover: single leaf, multiple leaves one index node, two
+// index levels, and multi-segment trees.
+INSTANTIATE_TEST_SUITE_P(TreeSizes, BTreeRoundTripTest,
+                         testing::Values(1, 2, 169, 170, 171, 5000, 40000));
+
+TEST(BTreeIteratorTest, SeekLandsOnLowerBound) {
+  TreeFixture fx = BuildTree(1000);
+  BTreeReader reader(fx.device.get(), nullptr, kDefaultNodeSize, fx.tree, IoClass::kLookup);
+  auto loader = LoaderFor(fx.log.get());
+  BTreeIterator it(&reader);
+  // Key(501) is absent (odd); expect Key(502).
+  ASSERT_TRUE(it.Seek(Key(501), loader).ok());
+  ASSERT_TRUE(it.Valid());
+  std::string key;
+  ASSERT_TRUE(fx.log->ReadKey(it.entry().log_offset, &key, nullptr, nullptr, IoClass::kLookup)
+                  .ok());
+  EXPECT_EQ(key, Key(502));
+  // Seek beyond the last key.
+  ASSERT_TRUE(it.Seek(Key(999999), loader).ok());
+  EXPECT_FALSE(it.Valid());
+}
+
+TEST(BTreeBuilderTest, SinkSeesSegmentsInBuildOrder) {
+  struct Sink : SegmentSink {
+    void OnSegmentComplete(int tree_level, SegmentId segment, Slice bytes) override {
+      events.emplace_back(tree_level, segment, bytes.size());
+      total_bytes += bytes.size();
+    }
+    std::vector<std::tuple<int, SegmentId, size_t>> events;
+    uint64_t total_bytes = 0;
+  } sink;
+  auto dev = MakeDevice(1 << 16, 1 << 16);
+  auto log = ValueLog::Create(dev.get());
+  ASSERT_TRUE(log.ok());
+  BTreeBuilder builder(dev.get(), kDefaultNodeSize, IoClass::kCompactionWrite, &sink);
+  const uint64_t n = 20000;
+  for (uint64_t i = 0; i < n; ++i) {
+    auto res = (*log)->Append(Key(i), "v", false);
+    ASSERT_TRUE(res.ok());
+    ASSERT_TRUE(builder.Add(Key(i), res->offset).ok());
+  }
+  auto tree = builder.Finish();
+  ASSERT_TRUE(tree.ok());
+  ASSERT_FALSE(sink.events.empty());
+  EXPECT_EQ(sink.total_bytes, tree->bytes_written);
+  // Every segment of the tree is emitted exactly once.
+  std::set<SegmentId> emitted;
+  for (const auto& [level, seg, size] : sink.events) {
+    EXPECT_TRUE(emitted.insert(seg).second);
+  }
+  EXPECT_EQ(emitted.size(), tree->segments.size());
+  // Leaf segments (level 0) must exist.
+  EXPECT_TRUE(std::any_of(sink.events.begin(), sink.events.end(),
+                          [](const auto& e) { return std::get<0>(e) == 0; }));
+}
+
+// --- PageCache -----------------------------------------------------------------
+
+TEST(PageCacheTest, HitsAvoidDeviceReads) {
+  auto dev = MakeDevice(1 << 16);
+  auto seg = dev->AllocateSegment();
+  ASSERT_TRUE(seg.ok());
+  uint64_t base = dev->geometry().BaseOffset(*seg);
+  std::string data(4096, 'p');
+  ASSERT_TRUE(dev->Write(base, data, IoClass::kOther).ok());
+  dev->stats().Reset();
+
+  PageCache cache(dev.get(), 1 << 20);
+  char out[100];
+  ASSERT_TRUE(cache.Read(base + 10, 100, out, IoClass::kLookup).ok());
+  EXPECT_EQ(cache.misses(), 1u);
+  ASSERT_TRUE(cache.Read(base + 50, 100, out, IoClass::kLookup).ok());
+  EXPECT_EQ(cache.hits(), 1u);
+  // Only one page fault hit the device.
+  EXPECT_EQ(dev->stats().TotalReadBytes(), 4096u);
+}
+
+TEST(PageCacheTest, EvictionBoundsMemory) {
+  auto dev = MakeDevice(1 << 16, 256);
+  std::vector<uint64_t> bases;
+  std::string data(4096, 'x');
+  for (int i = 0; i < 16; ++i) {
+    auto seg = dev->AllocateSegment();
+    ASSERT_TRUE(seg.ok());
+    bases.push_back(dev->geometry().BaseOffset(*seg));
+    ASSERT_TRUE(dev->Write(bases.back(), data, IoClass::kOther).ok());
+  }
+  PageCache cache(dev.get(), 4 * 4096);  // 4 pages
+  char out[8];
+  for (int round = 0; round < 2; ++round) {
+    for (auto base : bases) {
+      ASSERT_TRUE(cache.Read(base, 8, out, IoClass::kLookup).ok());
+    }
+  }
+  // Working set (16 pages) exceeds capacity (4), so round 2 misses too.
+  EXPECT_EQ(cache.misses(), 32u);
+}
+
+TEST(PageCacheTest, InvalidateSegmentDropsPages) {
+  auto dev = MakeDevice(1 << 16);
+  auto seg = dev->AllocateSegment();
+  ASSERT_TRUE(seg.ok());
+  uint64_t base = dev->geometry().BaseOffset(*seg);
+  std::string data(4096, 'a');
+  ASSERT_TRUE(dev->Write(base, data, IoClass::kOther).ok());
+  PageCache cache(dev.get(), 1 << 20);
+  char out[4];
+  ASSERT_TRUE(cache.Read(base, 4, out, IoClass::kLookup).ok());
+  cache.InvalidateSegment(*seg);
+  // Device contents changed; the cache must not serve the stale page.
+  std::string fresh(4096, 'b');
+  ASSERT_TRUE(dev->Write(base, fresh, IoClass::kOther).ok());
+  ASSERT_TRUE(cache.Read(base, 4, out, IoClass::kLookup).ok());
+  EXPECT_EQ(out[0], 'b');
+}
+
+// --- Compaction merge ------------------------------------------------------------
+
+TEST(CompactionTest, NewestVersionWinsOnTies) {
+  Memtable newer;
+  Memtable older;
+  newer.Put("k1", ValueLocation{100, false});
+  older.Put("k1", ValueLocation{1, false});
+  older.Put("k2", ValueLocation{2, false});
+  auto dev = MakeDevice();
+  BTreeBuilder builder(dev.get(), kDefaultNodeSize, IoClass::kCompactionWrite, nullptr);
+  MemtableMergeSource src_new(&newer);
+  MemtableMergeSource src_old(&older);
+  auto written = MergeSources({&src_new, &src_old}, false, &builder);
+  ASSERT_TRUE(written.ok());
+  EXPECT_EQ(*written, 2u);
+  auto tree = builder.Finish();
+  ASSERT_TRUE(tree.ok());
+  BTreeReader reader(dev.get(), nullptr, kDefaultNodeSize, *tree, IoClass::kLookup);
+  auto loader = [](uint64_t) -> StatusOr<std::string> { return Status::Internal("no log"); };
+  auto found = reader.Find("k1", loader);
+  ASSERT_TRUE(found.ok());
+  EXPECT_EQ(*found, 100u);  // newest offset
+}
+
+TEST(CompactionTest, TombstonesDroppedOnlyAtLastLevel) {
+  Memtable table;
+  table.Put("dead", ValueLocation{50, true});
+  table.Put("live", ValueLocation{60, false});
+  auto dev = MakeDevice();
+  {
+    BTreeBuilder keep(dev.get(), kDefaultNodeSize, IoClass::kCompactionWrite, nullptr);
+    MemtableMergeSource src(&table);
+    auto written = MergeSources({&src}, /*drop_tombstones=*/false, &keep);
+    ASSERT_TRUE(written.ok());
+    EXPECT_EQ(*written, 2u);
+  }
+  {
+    BTreeBuilder drop(dev.get(), kDefaultNodeSize, IoClass::kCompactionWrite, nullptr);
+    MemtableMergeSource src(&table);
+    auto written = MergeSources({&src}, /*drop_tombstones=*/true, &drop);
+    ASSERT_TRUE(written.ok());
+    EXPECT_EQ(*written, 1u);
+  }
+}
+
+TEST(CompactionTest, LevelMergeSourceStreamsWholeLevel) {
+  TreeFixture fx = BuildTree(2000);
+  LevelMergeSource src(fx.device.get(), kDefaultNodeSize, fx.tree, fx.log.get());
+  ASSERT_TRUE(src.Init().ok());
+  uint64_t count = 0;
+  std::string prev;
+  while (src.Valid()) {
+    if (!prev.empty()) {
+      EXPECT_LT(prev, src.entry().key);
+    }
+    prev = src.entry().key;
+    count++;
+    ASSERT_TRUE(src.Next().ok());
+  }
+  EXPECT_EQ(count, 2000u);
+}
+
+TEST(CompactionTest, CompactionReadsAccountedAsCompactionTraffic) {
+  TreeFixture fx = BuildTree(2000);
+  fx.device->stats().Reset();
+  LevelMergeSource src(fx.device.get(), kDefaultNodeSize, fx.tree, fx.log.get());
+  ASSERT_TRUE(src.Init().ok());
+  while (src.Valid()) {
+    ASSERT_TRUE(src.Next().ok());
+  }
+  EXPECT_GT(fx.device->stats().ReadBytes(IoClass::kCompactionRead), 0u);
+  EXPECT_EQ(fx.device->stats().ReadBytes(IoClass::kLookup), 0u);
+}
+
+// --- KvStore engine ---------------------------------------------------------------
+
+KvStoreOptions SmallStoreOptions() {
+  KvStoreOptions opts;
+  opts.l0_max_entries = 256;
+  opts.growth_factor = 4;
+  opts.max_levels = 3;
+  opts.cache_bytes = 0;
+  return opts;
+}
+
+TEST(KvStoreTest, PutGetSmoke) {
+  auto dev = MakeDevice(1 << 16, 1 << 16);
+  auto store = KvStore::Create(dev.get(), SmallStoreOptions());
+  ASSERT_TRUE(store.ok());
+  ASSERT_TRUE((*store)->Put("hello", "world").ok());
+  auto v = (*store)->Get("hello");
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ(*v, "world");
+  EXPECT_TRUE((*store)->Get("missing").status().IsNotFound());
+}
+
+TEST(KvStoreTest, OverwriteReturnsNewest) {
+  auto dev = MakeDevice(1 << 16, 1 << 16);
+  auto store = KvStore::Create(dev.get(), SmallStoreOptions());
+  ASSERT_TRUE(store.ok());
+  for (int i = 0; i < 5; ++i) {
+    ASSERT_TRUE((*store)->Put("k", "v" + std::to_string(i)).ok());
+  }
+  auto v = (*store)->Get("k");
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ(*v, "v4");
+}
+
+TEST(KvStoreTest, DeleteHidesKeyAcrossCompactions) {
+  auto dev = MakeDevice(1 << 16, 1 << 16);
+  auto store = KvStore::Create(dev.get(), SmallStoreOptions());
+  ASSERT_TRUE(store.ok());
+  ASSERT_TRUE((*store)->Put("doomed", "value").ok());
+  ASSERT_TRUE((*store)->FlushL0().ok());  // now in L1
+  ASSERT_TRUE((*store)->Delete("doomed").ok());
+  EXPECT_TRUE((*store)->Get("doomed").status().IsNotFound());
+  ASSERT_TRUE((*store)->FlushL0().ok());  // tombstone merges into L1
+  EXPECT_TRUE((*store)->Get("doomed").status().IsNotFound());
+}
+
+TEST(KvStoreTest, CompactionTriggersWhenL0Full) {
+  auto dev = MakeDevice(1 << 16, 1 << 16);
+  auto store = KvStore::Create(dev.get(), SmallStoreOptions());
+  ASSERT_TRUE(store.ok());
+  for (int i = 0; i < 300; ++i) {
+    ASSERT_TRUE((*store)->Put(Key(i), "value").ok());
+  }
+  EXPECT_GE((*store)->stats().compactions, 1u);
+  EXPECT_LT((*store)->l0_entries(), 256u);
+  EXPECT_FALSE((*store)->level(1).empty());
+  // Everything still readable.
+  for (int i = 0; i < 300; ++i) {
+    auto v = (*store)->Get(Key(i));
+    ASSERT_TRUE(v.ok()) << Key(i) << " " << v.status().ToString();
+  }
+}
+
+TEST(KvStoreTest, LargeWorkloadWithOverwritesStaysConsistent) {
+  auto dev = MakeDevice(1 << 16, 1 << 16);
+  auto store = KvStore::Create(dev.get(), SmallStoreOptions());
+  ASSERT_TRUE(store.ok());
+  Random rng(77);
+  std::map<std::string, std::string> model;
+  for (int i = 0; i < 20000; ++i) {
+    std::string key = Key(rng.Uniform(3000));
+    std::string value = "v" + std::to_string(i);
+    ASSERT_TRUE((*store)->Put(key, value).ok());
+    model[key] = value;
+  }
+  EXPECT_GT((*store)->stats().compactions, 5u);
+  for (const auto& [key, value] : model) {
+    auto v = (*store)->Get(key);
+    ASSERT_TRUE(v.ok()) << key;
+    EXPECT_EQ(*v, value) << key;
+  }
+}
+
+TEST(KvStoreTest, ScanMergesLevelsAndSkipsTombstones) {
+  auto dev = MakeDevice(1 << 16, 1 << 16);
+  auto store = KvStore::Create(dev.get(), SmallStoreOptions());
+  ASSERT_TRUE(store.ok());
+  for (int i = 0; i < 600; ++i) {  // spans L0 and L1
+    ASSERT_TRUE((*store)->Put(Key(i), "value" + std::to_string(i)).ok());
+  }
+  ASSERT_TRUE((*store)->Delete(Key(100)).ok());
+  auto scan = (*store)->Scan(Key(98), 5);
+  ASSERT_TRUE(scan.ok());
+  ASSERT_EQ(scan->size(), 5u);
+  EXPECT_EQ((*scan)[0].key, Key(98));
+  EXPECT_EQ((*scan)[1].key, Key(99));
+  EXPECT_EQ((*scan)[2].key, Key(101));  // 100 deleted
+  EXPECT_EQ((*scan)[3].key, Key(102));
+  EXPECT_EQ((*scan)[2].value, "value101");
+}
+
+TEST(KvStoreTest, ScanFromStartReturnsEverything) {
+  auto dev = MakeDevice(1 << 16, 1 << 16);
+  auto store = KvStore::Create(dev.get(), SmallStoreOptions());
+  ASSERT_TRUE(store.ok());
+  const int n = 1000;
+  for (int i = 0; i < n; ++i) {
+    ASSERT_TRUE((*store)->Put(Key(i), "x").ok());
+  }
+  auto scan = (*store)->Scan(Slice(), 10000);
+  ASSERT_TRUE(scan.ok());
+  EXPECT_EQ(scan->size(), static_cast<size_t>(n));
+  for (int i = 0; i + 1 < n; ++i) {
+    EXPECT_LT((*scan)[i].key, (*scan)[i + 1].key);
+  }
+}
+
+TEST(KvStoreTest, CascadingCompactionsReachDeeperLevels) {
+  auto dev = MakeDevice(1 << 16, 1 << 17);
+  KvStoreOptions opts = SmallStoreOptions();
+  opts.l0_max_entries = 128;
+  auto store = KvStore::Create(dev.get(), opts);
+  ASSERT_TRUE(store.ok());
+  for (int i = 0; i < 4000; ++i) {
+    ASSERT_TRUE((*store)->Put(Key(i), "payload").ok());
+  }
+  EXPECT_FALSE((*store)->level(2).empty());
+  for (int i = 0; i < 4000; i += 37) {
+    ASSERT_TRUE((*store)->Get(Key(i)).ok()) << i;
+  }
+}
+
+TEST(KvStoreTest, CompactionObserverLifecycle) {
+  struct Obs : CompactionObserver {
+    void OnCompactionBegin(const CompactionInfo& info) override { begins.push_back(info); }
+    void OnIndexSegment(const CompactionInfo&, int, SegmentId, Slice bytes) override {
+      segment_bytes += bytes.size();
+    }
+    void OnCompactionEnd(const CompactionInfo& info, const BuiltTree& tree) override {
+      ends.push_back(info);
+      last_tree = tree;
+    }
+    std::vector<CompactionInfo> begins, ends;
+    uint64_t segment_bytes = 0;
+    BuiltTree last_tree;
+  } obs;
+  auto dev = MakeDevice(1 << 16, 1 << 16);
+  auto store = KvStore::Create(dev.get(), SmallStoreOptions());
+  ASSERT_TRUE(store.ok());
+  (*store)->set_compaction_observer(&obs);
+  for (int i = 0; i < 600; ++i) {
+    ASSERT_TRUE((*store)->Put(Key(i), "v").ok());
+  }
+  ASSERT_FALSE(obs.begins.empty());
+  EXPECT_EQ(obs.begins.size(), obs.ends.size());
+  EXPECT_GT(obs.segment_bytes, 0u);
+  EXPECT_FALSE(obs.last_tree.empty());
+  EXPECT_EQ(obs.begins[0].src_level, 0);
+  EXPECT_EQ(obs.begins[0].dst_level, 1);
+}
+
+TEST(KvStoreTest, FreedSegmentsAreRecycledNotLeaked) {
+  auto dev = MakeDevice(1 << 16, 1 << 16);
+  auto store = KvStore::Create(dev.get(), SmallStoreOptions());
+  ASSERT_TRUE(store.ok());
+  for (int i = 0; i < 5000; ++i) {
+    ASSERT_TRUE((*store)->Put(Key(i % 500), "value" + std::to_string(i)).ok());
+  }
+  // Allocated segments must be bounded: levels + value log, not one per
+  // compaction.
+  uint64_t log_segments = (*store)->value_log()->flushed_segments().size() + 1;
+  uint64_t level_segments = 0;
+  for (uint32_t l = 1; l <= 3; ++l) {
+    level_segments += (*store)->level(l).segments.size();
+  }
+  EXPECT_EQ(dev->AllocatedSegments(), log_segments + level_segments);
+}
+
+TEST(KvStoreTest, ReplayRecordRebuildsL0) {
+  auto dev = MakeDevice(1 << 16, 1 << 16);
+  auto store = KvStore::Create(dev.get(), SmallStoreOptions());
+  ASSERT_TRUE(store.ok());
+  auto res = (*store)->value_log()->Append("replayed", "val", false);
+  ASSERT_TRUE(res.ok());
+  ASSERT_TRUE((*store)->ReplayRecord("replayed", res->offset, false).ok());
+  auto v = (*store)->Get("replayed");
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ(*v, "val");
+}
+
+TEST(KvStoreTest, GcReclaimsLogSegments) {
+  auto dev = MakeDevice(1 << 14, 1 << 16);  // small 16K segments
+  KvStoreOptions opts = SmallStoreOptions();
+  opts.l0_max_entries = 64;
+  auto store = KvStore::Create(dev.get(), opts);
+  ASSERT_TRUE(store.ok());
+  // Overwrite a small key set many times: most log bytes become garbage.
+  for (int i = 0; i < 3000; ++i) {
+    ASSERT_TRUE((*store)->Put(Key(i % 50), std::string(100, 'a' + (i % 26))).ok());
+  }
+  const size_t before = (*store)->value_log()->flushed_segments().size();
+  ASSERT_GT(before, 4u);
+  auto freed = (*store)->GarbageCollectHead(4);
+  ASSERT_TRUE(freed.ok()) << freed.status().ToString();
+  EXPECT_EQ(*freed, 4u);
+  // All 50 keys still readable with their newest values.
+  for (int k = 0; k < 50; ++k) {
+    ASSERT_TRUE((*store)->Get(Key(k)).ok()) << k;
+  }
+}
+
+TEST(KvStoreTest, GcThenCompactionsDoNotTouchFreedSegments) {
+  auto dev = MakeDevice(1 << 14, 1 << 16);
+  KvStoreOptions opts = SmallStoreOptions();
+  opts.l0_max_entries = 64;
+  auto store = KvStore::Create(dev.get(), opts);
+  ASSERT_TRUE(store.ok());
+  for (int i = 0; i < 2000; ++i) {
+    ASSERT_TRUE((*store)->Put(Key(i % 40), "value-" + std::to_string(i)).ok());
+  }
+  ASSERT_TRUE((*store)->GarbageCollectHead(3).ok());
+  // Trigger more compactions; they must not read the trimmed segments.
+  for (int i = 0; i < 2000; ++i) {
+    ASSERT_TRUE((*store)->Put(Key(i % 40), "after-" + std::to_string(i)).ok());
+  }
+  for (int k = 0; k < 40; ++k) {
+    auto v = (*store)->Get(Key(k));
+    ASSERT_TRUE(v.ok());
+    EXPECT_EQ(v->rfind("after-", 0), 0u) << *v;
+  }
+}
+
+TEST(KvStoreTest, CacheReducesLookupTraffic) {
+  auto dev = MakeDevice(1 << 16, 1 << 16);
+  KvStoreOptions opts = SmallStoreOptions();
+  opts.cache_bytes = 8 << 20;
+  auto store = KvStore::Create(dev.get(), opts);
+  ASSERT_TRUE(store.ok());
+  for (int i = 0; i < 2000; ++i) {
+    ASSERT_TRUE((*store)->Put(Key(i), "cached-value").ok());
+  }
+  ASSERT_TRUE((*store)->FlushL0().ok());
+  // First pass faults pages; second pass should be nearly free.
+  for (int i = 0; i < 2000; ++i) {
+    ASSERT_TRUE((*store)->Get(Key(i)).ok());
+  }
+  uint64_t after_first = dev->stats().ReadBytes(IoClass::kLookup);
+  for (int i = 0; i < 2000; ++i) {
+    ASSERT_TRUE((*store)->Get(Key(i)).ok());
+  }
+  uint64_t after_second = dev->stats().ReadBytes(IoClass::kLookup);
+  EXPECT_EQ(after_first, after_second);
+  EXPECT_GT((*store)->cache()->hits(), 0u);
+}
+
+TEST(KvStoreTest, StatsAccumulate) {
+  auto dev = MakeDevice(1 << 16, 1 << 16);
+  auto store = KvStore::Create(dev.get(), SmallStoreOptions());
+  ASSERT_TRUE(store.ok());
+  for (int i = 0; i < 300; ++i) {
+    ASSERT_TRUE((*store)->Put(Key(i), "v").ok());
+  }
+  ASSERT_TRUE((*store)->Get(Key(5)).ok());
+  const KvStoreStats& st = (*store)->stats();
+  EXPECT_EQ(st.puts, 300u);
+  EXPECT_EQ(st.gets, 1u);
+  EXPECT_GT(st.insert_l0_cpu_ns, 0u);
+  EXPECT_GT(st.compaction_cpu_ns, 0u);
+}
+
+TEST(KvStoreTest, RejectsBadOptions) {
+  auto dev = MakeDevice(1 << 16);
+  KvStoreOptions opts;
+  opts.node_size = 1000;  // does not divide segment size
+  EXPECT_FALSE(KvStore::Create(dev.get(), opts).ok());
+  opts = KvStoreOptions{};
+  opts.growth_factor = 1;
+  EXPECT_FALSE(KvStore::Create(dev.get(), opts).ok());
+}
+
+// Property: after any interleaving of puts/deletes/flushes, the store agrees
+// with a std::map model, both for gets and full scans.
+class KvStorePropertyTest : public testing::TestWithParam<uint64_t> {};
+
+TEST_P(KvStorePropertyTest, MatchesModelUnderRandomOps) {
+  auto dev = MakeDevice(1 << 16, 1 << 16);
+  KvStoreOptions opts = SmallStoreOptions();
+  opts.l0_max_entries = 128;
+  auto store = KvStore::Create(dev.get(), opts);
+  ASSERT_TRUE(store.ok());
+  Random rng(GetParam());
+  std::map<std::string, std::string> model;
+  for (int i = 0; i < 5000; ++i) {
+    const int op = static_cast<int>(rng.Uniform(10));
+    std::string key = Key(rng.Uniform(400));
+    if (op < 6) {
+      std::string value = rng.Bytes(1 + rng.Uniform(200));
+      ASSERT_TRUE((*store)->Put(key, value).ok());
+      model[key] = value;
+    } else if (op < 8) {
+      ASSERT_TRUE((*store)->Delete(key).ok());
+      model.erase(key);
+    } else if (op == 8) {
+      auto got = (*store)->Get(key);
+      auto expect = model.find(key);
+      if (expect == model.end()) {
+        EXPECT_TRUE(got.status().IsNotFound()) << key;
+      } else {
+        ASSERT_TRUE(got.ok()) << key;
+        EXPECT_EQ(*got, expect->second);
+      }
+    } else {
+      ASSERT_TRUE((*store)->FlushL0().ok());
+    }
+  }
+  // Final full-scan equivalence.
+  auto scan = (*store)->Scan(Slice(), 1 << 20);
+  ASSERT_TRUE(scan.ok());
+  ASSERT_EQ(scan->size(), model.size());
+  auto expect = model.begin();
+  for (const auto& kv : *scan) {
+    EXPECT_EQ(kv.key, expect->first);
+    EXPECT_EQ(kv.value, expect->second);
+    ++expect;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, KvStorePropertyTest, testing::Values(1, 2, 3, 4, 5));
+
+}  // namespace
+}  // namespace tebis

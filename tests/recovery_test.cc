@@ -1,0 +1,319 @@
+// Checkpoint + local recovery: a store can be rebuilt from its device after a
+// process restart — the manifest restores the levels and the flushed log, and
+// the L0 replay boundary restores everything down to the last flushed record.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <memory>
+#include <string>
+
+#include "src/common/random.h"
+#include "src/lsm/kv_store.h"
+#include "src/lsm/manifest.h"
+#include "src/storage/block_device.h"
+
+namespace tebis {
+namespace {
+
+constexpr uint64_t kSegmentSize = 1 << 16;
+
+BlockDeviceOptions DeviceOptions(const std::string& file = "", bool reopen = false) {
+  BlockDeviceOptions opts;
+  opts.segment_size = kSegmentSize;
+  opts.max_segments = 1 << 16;
+  opts.backing_file = file;
+  opts.reopen_existing = reopen;
+  return opts;
+}
+
+KvStoreOptions StoreOptions() {
+  KvStoreOptions opts;
+  opts.l0_max_entries = 256;
+  opts.max_levels = 3;
+  opts.auto_checkpoint = true;
+  return opts;
+}
+
+std::string Key(uint64_t i) {
+  char buf[32];
+  snprintf(buf, sizeof(buf), "key%010llu", static_cast<unsigned long long>(i));
+  return buf;
+}
+
+TEST(ManifestTest, EncodeDecodeRoundTrip) {
+  Manifest manifest;
+  manifest.levels.resize(4);
+  manifest.levels[1].root_offset = 0x12345;
+  manifest.levels[1].height = 2;
+  manifest.levels[1].num_entries = 999;
+  manifest.levels[1].segments = {7, 8, 9};
+  manifest.log_flushed_segments = {1, 2, 3, 4};
+  manifest.l0_replay_from = 2;
+  std::string encoded = manifest.Encode();
+  auto decoded = Manifest::Decode(encoded);
+  ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+  EXPECT_EQ(decoded->levels.size(), 4u);
+  EXPECT_EQ(decoded->levels[1].root_offset, 0x12345u);
+  EXPECT_EQ(decoded->levels[1].segments, (std::vector<SegmentId>{7, 8, 9}));
+  EXPECT_EQ(decoded->log_flushed_segments, (std::vector<SegmentId>{1, 2, 3, 4}));
+  EXPECT_EQ(decoded->l0_replay_from, 2u);
+}
+
+TEST(ManifestTest, CorruptionDetected) {
+  Manifest manifest;
+  manifest.levels.resize(2);
+  std::string encoded = manifest.Encode();
+  encoded[encoded.size() / 2] ^= 0x10;
+  EXPECT_TRUE(Manifest::Decode(encoded).status().IsCorruption());
+  EXPECT_FALSE(Manifest::Decode(Slice(encoded.data(), 3)).ok());
+}
+
+TEST(RecoveryTest, SameDeviceCheckpointRecover) {
+  // Simulates a crash where the device object survives (crash of the engine,
+  // not the machine): recover from the checkpoint on the same device.
+  auto dev = BlockDevice::Create(DeviceOptions());
+  ASSERT_TRUE(dev.ok());
+  std::map<std::string, std::string> expected;
+  SegmentId superblock = kInvalidSegment;
+  {
+    auto store = KvStore::Create(dev->get(), StoreOptions());
+    ASSERT_TRUE(store.ok());
+    for (int i = 0; i < 2000; ++i) {
+      std::string value = "v-" + std::to_string(i);
+      ASSERT_TRUE((*store)->Put(Key(i % 500), value).ok());
+      expected[Key(i % 500)] = value;
+    }
+    // Everything up to the last flush is recoverable; force a flush + final
+    // checkpoint so the whole dataset is durable.
+    ASSERT_TRUE((*store)->value_log()->FlushTail().ok());
+    auto checkpoint = (*store)->Checkpoint();
+    ASSERT_TRUE(checkpoint.ok());
+    superblock = *checkpoint;
+    // The store "crashes" here: the unique_ptr dies, memory state is gone.
+    // Free the store's segments?? No — a crash does NOT free anything; the
+    // device still has them allocated, which is exactly what Recover expects.
+  }
+  // The same device cannot re-adopt; create the recovered store on a fresh
+  // view by using Recover's adoption path against a reopened file instead —
+  // covered below. Here we only verify the manifest references live segments.
+  std::string image(kSegmentSize, 0);
+  ASSERT_TRUE(dev->get()
+                  ->Read(dev->get()->geometry().BaseOffset(superblock), kSegmentSize,
+                         image.data(), IoClass::kRecovery)
+                  .ok());
+  uint32_t length;
+  memcpy(&length, image.data(), 4);
+  auto manifest = Manifest::Decode(Slice(image.data() + 4, length));
+  ASSERT_TRUE(manifest.ok());
+  for (SegmentId seg : manifest->log_flushed_segments) {
+    EXPECT_TRUE(dev->get()->IsAllocated(seg));
+  }
+}
+
+TEST(RecoveryTest, FileBackedFullRestart) {
+  const std::string file = testing::TempDir() + "/tebis_recovery.img";
+  std::map<std::string, std::string> expected;
+  SegmentId superblock = kInvalidSegment;
+  {
+    auto dev = BlockDevice::Create(DeviceOptions(file));
+    ASSERT_TRUE(dev.ok());
+    auto store = KvStore::Create(dev->get(), StoreOptions());
+    ASSERT_TRUE(store.ok());
+    Random rng(3);
+    for (int i = 0; i < 3000; ++i) {
+      std::string key = Key(rng.Uniform(600));
+      std::string value = rng.Bytes(1 + rng.Uniform(120));
+      ASSERT_TRUE((*store)->Put(key, value).ok());
+      expected[key] = value;
+    }
+    for (int i = 0; i < 600; i += 5) {
+      ASSERT_TRUE((*store)->Delete(Key(i)).ok());
+      expected.erase(Key(i));
+    }
+    ASSERT_TRUE((*store)->value_log()->FlushTail().ok());
+    auto checkpoint = (*store)->Checkpoint();
+    ASSERT_TRUE(checkpoint.ok());
+    superblock = *checkpoint;
+    // Process "dies": device and store destroyed; only the file remains.
+  }
+  {
+    auto dev = BlockDevice::Create(DeviceOptions(file, /*reopen=*/true));
+    ASSERT_TRUE(dev.ok());
+    auto store = KvStore::Recover(dev->get(), StoreOptions(), superblock);
+    ASSERT_TRUE(store.ok()) << store.status().ToString();
+    for (const auto& [key, value] : expected) {
+      auto v = (*store)->Get(key);
+      ASSERT_TRUE(v.ok()) << key << " " << v.status().ToString();
+      EXPECT_EQ(*v, value) << key;
+    }
+    for (int i = 0; i < 600; i += 5) {
+      EXPECT_TRUE((*store)->Get(Key(i)).status().IsNotFound()) << i;
+    }
+    // The recovered store keeps working: writes, compactions, checkpoints.
+    for (int i = 0; i < 1000; ++i) {
+      ASSERT_TRUE((*store)->Put(Key(i), "post-recovery-" + std::to_string(i)).ok());
+    }
+    auto v = (*store)->Get(Key(123));
+    ASSERT_TRUE(v.ok());
+    EXPECT_EQ(*v, "post-recovery-123");
+  }
+}
+
+TEST(RecoveryTest, RecoverTwiceFromSameCheckpointChain) {
+  // Crash again after recovery: the auto-checkpoints taken post-recovery keep
+  // a valid chain.
+  const std::string file = testing::TempDir() + "/tebis_recovery2.img";
+  SegmentId superblock;
+  {
+    auto dev = BlockDevice::Create(DeviceOptions(file));
+    ASSERT_TRUE(dev.ok());
+    auto store = KvStore::Create(dev->get(), StoreOptions());
+    ASSERT_TRUE(store.ok());
+    for (int i = 0; i < 1500; ++i) {
+      ASSERT_TRUE((*store)->Put(Key(i), "gen1").ok());
+    }
+    ASSERT_TRUE((*store)->value_log()->FlushTail().ok());
+    superblock = *(*store)->Checkpoint();
+  }
+  {
+    auto dev = BlockDevice::Create(DeviceOptions(file, true));
+    ASSERT_TRUE(dev.ok());
+    auto store = KvStore::Recover(dev->get(), StoreOptions(), superblock);
+    ASSERT_TRUE(store.ok());
+    for (int i = 0; i < 1500; ++i) {
+      ASSERT_TRUE((*store)->Put(Key(i), "gen2").ok());
+    }
+    ASSERT_TRUE((*store)->value_log()->FlushTail().ok());
+    superblock = *(*store)->Checkpoint();
+  }
+  {
+    auto dev = BlockDevice::Create(DeviceOptions(file, true));
+    ASSERT_TRUE(dev.ok());
+    auto store = KvStore::Recover(dev->get(), StoreOptions(), superblock);
+    ASSERT_TRUE(store.ok()) << store.status().ToString();
+    for (int i = 0; i < 1500; i += 97) {
+      auto v = (*store)->Get(Key(i));
+      ASSERT_TRUE(v.ok()) << i;
+      EXPECT_EQ(*v, "gen2");
+    }
+  }
+}
+
+TEST(RecoveryTest, UnflushedTailIsNotRecoveredLocally) {
+  // Documents the durability contract: records only in the in-memory tail are
+  // not local state (replicas own them, §3.5).
+  const std::string file = testing::TempDir() + "/tebis_recovery3.img";
+  SegmentId superblock;
+  {
+    auto dev = BlockDevice::Create(DeviceOptions(file));
+    ASSERT_TRUE(dev.ok());
+    auto store = KvStore::Create(dev->get(), StoreOptions());
+    ASSERT_TRUE(store.ok());
+    ASSERT_TRUE((*store)->Put("durable", "flushed-value").ok());
+    ASSERT_TRUE((*store)->value_log()->FlushTail().ok());
+    superblock = *(*store)->Checkpoint();
+    ASSERT_TRUE((*store)->Put("volatile", "tail-only-value").ok());
+    // Crash without flushing.
+  }
+  auto dev = BlockDevice::Create(DeviceOptions(file, true));
+  ASSERT_TRUE(dev.ok());
+  auto store = KvStore::Recover(dev->get(), StoreOptions(), superblock);
+  ASSERT_TRUE(store.ok());
+  EXPECT_TRUE((*store)->Get("durable").ok());
+  EXPECT_TRUE((*store)->Get("volatile").status().IsNotFound());
+}
+
+TEST(IntegrityTest, CleanStorePassesAndCountsEverything) {
+  auto dev = BlockDevice::Create(DeviceOptions());
+  ASSERT_TRUE(dev.ok());
+  auto store = KvStore::Create(dev->get(), StoreOptions());
+  ASSERT_TRUE(store.ok());
+  for (int i = 0; i < 2000; ++i) {
+    ASSERT_TRUE((*store)->Put(Key(i), "int-" + std::to_string(i)).ok());
+  }
+  ASSERT_TRUE((*store)->FlushL0().ok());
+  auto report = (*store)->CheckIntegrity();
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  EXPECT_EQ(report->level_entries_checked, 2000u);
+  EXPECT_GE(report->log_records_checked, 2000u);
+}
+
+TEST(IntegrityTest, DetectsCorruptedLogRecord) {
+  auto dev = BlockDevice::Create(DeviceOptions());
+  ASSERT_TRUE(dev.ok());
+  auto store = KvStore::Create(dev->get(), StoreOptions());
+  ASSERT_TRUE(store.ok());
+  for (int i = 0; i < 1000; ++i) {
+    ASSERT_TRUE((*store)->Put(Key(i), "victim").ok());
+  }
+  ASSERT_TRUE((*store)->FlushL0().ok());
+  // Flip a byte in the middle of the first flushed log segment.
+  SegmentId seg = (*store)->value_log()->flushed_segments()[0];
+  uint64_t off = dev->get()->geometry().BaseOffset(seg) + 2000;
+  char byte;
+  ASSERT_TRUE(dev->get()->Read(off, 1, &byte, IoClass::kOther).ok());
+  byte ^= 0x5a;
+  ASSERT_TRUE(dev->get()->Write(off, Slice(&byte, 1), IoClass::kOther).ok());
+  auto report = (*store)->CheckIntegrity();
+  EXPECT_FALSE(report.ok());
+  EXPECT_TRUE(report.status().IsCorruption()) << report.status().ToString();
+}
+
+TEST(IntegrityTest, RecoveredStorePassesIntegrity) {
+  const std::string file = testing::TempDir() + "/tebis_integrity.img";
+  SegmentId superblock;
+  {
+    auto dev = BlockDevice::Create(DeviceOptions(file));
+    ASSERT_TRUE(dev.ok());
+    auto store = KvStore::Create(dev->get(), StoreOptions());
+    ASSERT_TRUE(store.ok());
+    for (int i = 0; i < 2500; ++i) {
+      ASSERT_TRUE((*store)->Put(Key(i % 400), "gen-" + std::to_string(i)).ok());
+    }
+    ASSERT_TRUE((*store)->value_log()->FlushTail().ok());
+    superblock = *(*store)->Checkpoint();
+  }
+  auto dev = BlockDevice::Create(DeviceOptions(file, true));
+  ASSERT_TRUE(dev.ok());
+  auto store = KvStore::Recover(dev->get(), StoreOptions(), superblock);
+  ASSERT_TRUE(store.ok());
+  auto report = (*store)->CheckIntegrity();
+  EXPECT_TRUE(report.ok()) << report.status().ToString();
+}
+
+TEST(RecoveryTest, CheckpointAfterGcRecovers) {
+  const std::string file = testing::TempDir() + "/tebis_recovery4.img";
+  SegmentId superblock;
+  std::map<std::string, std::string> expected;
+  {
+    auto dev = BlockDevice::Create(DeviceOptions(file));
+    ASSERT_TRUE(dev.ok());
+    KvStoreOptions opts = StoreOptions();
+    opts.l0_max_entries = 64;
+    auto store = KvStore::Create(dev->get(), opts);
+    ASSERT_TRUE(store.ok());
+    for (int i = 0; i < 3000; ++i) {
+      std::string value = "gc-" + std::to_string(i);
+      ASSERT_TRUE((*store)->Put(Key(i % 40), value).ok());
+      expected[Key(i % 40)] = value;
+    }
+    auto freed = (*store)->GarbageCollectHead(3);
+    ASSERT_TRUE(freed.ok());
+    ASSERT_TRUE((*store)->value_log()->FlushTail().ok());
+    superblock = *(*store)->Checkpoint();
+  }
+  auto dev = BlockDevice::Create(DeviceOptions(file, true));
+  ASSERT_TRUE(dev.ok());
+  KvStoreOptions opts = StoreOptions();
+  opts.l0_max_entries = 64;
+  auto store = KvStore::Recover(dev->get(), opts, superblock);
+  ASSERT_TRUE(store.ok()) << store.status().ToString();
+  for (const auto& [key, value] : expected) {
+    auto v = (*store)->Get(key);
+    ASSERT_TRUE(v.ok()) << key;
+    EXPECT_EQ(*v, value);
+  }
+}
+
+}  // namespace
+}  // namespace tebis

@@ -1,0 +1,313 @@
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+#include <vector>
+
+#include "src/common/random.h"
+#include "src/ycsb/generator.h"
+#include "src/ycsb/kv_size_mix.h"
+#include "src/ycsb/sim_cluster.h"
+#include "src/ycsb/workload.h"
+
+namespace tebis {
+namespace {
+
+// --- generators -------------------------------------------------------------
+
+TEST(GeneratorTest, UniformCoversRange) {
+  UniformGenerator gen(100);
+  Random rng(1);
+  std::set<uint64_t> seen;
+  for (int i = 0; i < 5000; ++i) {
+    uint64_t v = gen.Next(&rng);
+    ASSERT_LT(v, 100u);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 100u);
+}
+
+TEST(GeneratorTest, ZipfianIsSkewed) {
+  ZipfianGenerator gen(10000);
+  Random rng(2);
+  std::map<uint64_t, int> counts;
+  for (int i = 0; i < 100000; ++i) {
+    counts[gen.Next(&rng)]++;
+  }
+  // Item 0 dominates; the head is much hotter than the tail.
+  int head = 0;
+  for (uint64_t item = 0; item < 100; ++item) {
+    head += counts.contains(item) ? counts[item] : 0;
+  }
+  EXPECT_GT(head, 100000 / 3);  // >1/3 of probability mass in the top 1%
+  EXPECT_GT(counts[0], counts.contains(5000) ? counts[5000] * 10 : 1000);
+}
+
+TEST(GeneratorTest, ZipfianStaysInRange) {
+  ZipfianGenerator gen(777);
+  Random rng(3);
+  for (int i = 0; i < 100000; ++i) {
+    EXPECT_LT(gen.Next(&rng), 777u);
+  }
+}
+
+TEST(GeneratorTest, ScrambledZipfianSpreadsHotKeys) {
+  ScrambledZipfianGenerator gen(10000);
+  Random rng(4);
+  // The hottest keys should not all be small indexes: bucket by item/1000 and
+  // expect multiple buckets to receive heavy traffic.
+  std::map<uint64_t, int> bucket_counts;
+  for (int i = 0; i < 100000; ++i) {
+    bucket_counts[gen.Next(&rng) / 1000]++;
+  }
+  int heavy_buckets = 0;
+  for (auto& [bucket, count] : bucket_counts) {
+    if (count > 2000) {
+      heavy_buckets++;
+    }
+  }
+  EXPECT_GE(heavy_buckets, 5);
+}
+
+TEST(GeneratorTest, LatestFavorsRecentInserts) {
+  std::atomic<uint64_t> inserted{10000};
+  LatestGenerator gen(&inserted);
+  Random rng(5);
+  uint64_t recent = 0;
+  for (int i = 0; i < 20000; ++i) {
+    uint64_t v = gen.Next(&rng);
+    ASSERT_LT(v, 10000u);
+    if (v >= 9000) {
+      recent++;
+    }
+  }
+  EXPECT_GT(recent, 10000u);  // more than half of accesses in the newest 10%
+}
+
+TEST(GeneratorTest, FnvIsDeterministic) {
+  EXPECT_EQ(FnvHash64(42), FnvHash64(42));
+  EXPECT_NE(FnvHash64(42), FnvHash64(43));
+}
+
+// --- size mixes -------------------------------------------------------------
+
+TEST(KvSizeMixTest, PureMixesAreConstant) {
+  Random rng(6);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(kMixS.SampleKvBytes(&rng), kSmallKvBytes);
+    EXPECT_EQ(kMixM.SampleKvBytes(&rng), kMediumKvBytes);
+    EXPECT_EQ(kMixL.SampleKvBytes(&rng), kLargeKvBytes);
+  }
+}
+
+TEST(KvSizeMixTest, SdMixMatchesProportions) {
+  Random rng(7);
+  std::map<size_t, int> counts;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) {
+    counts[kMixSD.SampleKvBytes(&rng)]++;
+  }
+  EXPECT_NEAR(counts[kSmallKvBytes], n * 0.6, n * 0.02);
+  EXPECT_NEAR(counts[kMediumKvBytes], n * 0.2, n * 0.02);
+  EXPECT_NEAR(counts[kLargeKvBytes], n * 0.2, n * 0.02);
+}
+
+TEST(KvSizeMixTest, AverageSizesMatchTable2Ordering) {
+  // Table 2 dataset sizes: S < M < SD < MD < LD < L.
+  EXPECT_LT(kMixS.AverageKvBytes(), kMixM.AverageKvBytes());
+  EXPECT_LT(kMixM.AverageKvBytes(), kMixSD.AverageKvBytes());
+  EXPECT_LT(kMixSD.AverageKvBytes(), kMixMD.AverageKvBytes());
+  EXPECT_LT(kMixMD.AverageKvBytes(), kMixLD.AverageKvBytes());
+  EXPECT_LT(kMixLD.AverageKvBytes(), kMixL.AverageKvBytes());
+}
+
+TEST(KvSizeMixTest, SweepMixSumsTo100) {
+  for (int pct : {40, 60, 80, 100}) {
+    KvSizeMix mix = SmallSweepMix(pct);
+    EXPECT_EQ(mix.pct_small + mix.pct_medium + mix.pct_large, 100);
+    EXPECT_EQ(mix.pct_small, pct);
+  }
+}
+
+// --- workload ---------------------------------------------------------------
+
+TEST(YcsbWorkloadTest, LoadInsertsEveryKeyOnce) {
+  YcsbOptions options;
+  options.record_count = 1000;
+  YcsbWorkload workload(options);
+  std::set<std::string> keys;
+  KvHooks hooks;
+  hooks.put = [&](Slice key, Slice value) {
+    EXPECT_TRUE(keys.insert(key.ToString()).second) << "duplicate " << key.ToString();
+    return Status::Ok();
+  };
+  hooks.read = [](Slice) { return Status::Ok(); };
+  auto result = workload.RunLoad(hooks);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(keys.size(), 1000u);
+  EXPECT_EQ(result->ops, 1000u);
+  EXPECT_GT(result->kops_per_sec, 0.0);
+  // All keys within the record space.
+  EXPECT_TRUE(keys.contains(YcsbKey(0)));
+  EXPECT_TRUE(keys.contains(YcsbKey(999)));
+}
+
+TEST(YcsbWorkloadTest, ValueSizesDeterministicPerKey) {
+  YcsbOptions options;
+  options.size_mix = kMixSD;
+  YcsbWorkload a(options), b(options);
+  for (uint64_t i = 0; i < 200; ++i) {
+    EXPECT_EQ(a.ValueBytesFor(i), b.ValueBytesFor(i));
+  }
+}
+
+TEST(YcsbWorkloadTest, RunAMixesReadsAndUpdates) {
+  YcsbOptions options;
+  options.record_count = 500;
+  options.op_count = 10000;
+  YcsbWorkload workload(options);
+  int puts = 0, reads = 0;
+  KvHooks hooks;
+  hooks.put = [&](Slice, Slice) {
+    puts++;
+    return Status::Ok();
+  };
+  hooks.read = [&](Slice) {
+    reads++;
+    return Status::Ok();
+  };
+  ASSERT_TRUE(workload.RunLoad(hooks).ok());
+  puts = 0;
+  auto result = workload.RunPhase(kRunA, hooks);
+  ASSERT_TRUE(result.ok());
+  EXPECT_NEAR(puts, 5000, 300);
+  EXPECT_NEAR(reads, 5000, 300);
+  EXPECT_EQ(result->read_latency.count() + result->update_latency.count(), 10000u);
+}
+
+TEST(YcsbWorkloadTest, RunDInsertsExtendKeySpace) {
+  YcsbOptions options;
+  options.record_count = 500;
+  options.op_count = 4000;
+  YcsbWorkload workload(options);
+  std::set<std::string> keys;
+  KvHooks hooks;
+  hooks.put = [&](Slice key, Slice) {
+    keys.insert(key.ToString());
+    return Status::Ok();
+  };
+  hooks.read = [](Slice) { return Status::Ok(); };
+  ASSERT_TRUE(workload.RunLoad(hooks).ok());
+  ASSERT_TRUE(workload.RunPhase(kRunD, hooks).ok());
+  EXPECT_GT(workload.inserted(), 500u);  // ~5% of 4000 new inserts
+  EXPECT_GT(keys.size(), 500u);
+}
+
+// --- SimCluster end-to-end -----------------------------------------------------
+
+SimClusterOptions SmallSimOptions(ReplicationMode mode, int rf = 2) {
+  SimClusterOptions options;
+  options.num_servers = 3;
+  options.num_regions = 4;
+  options.replication_factor = rf;
+  options.mode = mode;
+  options.kv_options.l0_max_entries = 256;
+  options.kv_options.max_levels = 3;
+  options.device_options.segment_size = 1 << 16;
+  options.device_options.max_segments = 1 << 16;
+  options.key_space = 100000;
+  return options;
+}
+
+TEST(SimClusterTest, YcsbLoadAndRunAThroughCluster) {
+  auto cluster = SimCluster::Create(SmallSimOptions(ReplicationMode::kSendIndex));
+  ASSERT_TRUE(cluster.ok());
+  YcsbOptions options;
+  options.record_count = 5000;
+  options.op_count = 5000;
+  options.size_mix = kMixSD;
+  YcsbWorkload workload(options);
+  auto load = workload.RunLoad((*cluster)->Hooks());
+  ASSERT_TRUE(load.ok()) << load.status().ToString();
+  auto run = workload.RunPhase(kRunA, (*cluster)->Hooks());
+  ASSERT_TRUE(run.ok()) << run.status().ToString();
+  EXPECT_GT((*cluster)->TotalCompactions(), 0u);
+  EXPECT_GT((*cluster)->NetworkBytes(), 0u);
+}
+
+TEST(SimClusterTest, SendIndexBackupsConsistentAfterYcsb) {
+  auto cluster = SimCluster::Create(SmallSimOptions(ReplicationMode::kSendIndex));
+  ASSERT_TRUE(cluster.ok());
+  YcsbOptions options;
+  options.record_count = 4000;
+  YcsbWorkload workload(options);
+  ASSERT_TRUE(workload.RunLoad((*cluster)->Hooks()).ok());
+  std::vector<std::string> keys;
+  for (uint64_t i = 0; i < 4000; i += 97) {
+    keys.push_back(YcsbKey(i));
+  }
+  Status s = (*cluster)->VerifyBackupsConsistent(keys);
+  EXPECT_TRUE(s.ok()) << s.ToString();
+}
+
+TEST(SimClusterTest, SendIndexSavesBackupMemoryAndIo) {
+  auto send = SimCluster::Create(SmallSimOptions(ReplicationMode::kSendIndex));
+  auto build = SimCluster::Create(SmallSimOptions(ReplicationMode::kBuildIndex));
+  ASSERT_TRUE(send.ok() && build.ok());
+  YcsbOptions options;
+  options.record_count = 6000;
+  for (auto* cluster : {send->get(), build->get()}) {
+    YcsbWorkload workload(options);
+    ASSERT_TRUE(workload.RunLoad(cluster->Hooks()).ok());
+  }
+  // Memory: Build-Index keeps 2x the L0s (rf=2).
+  EXPECT_GT((*build)->TotalL0MemoryBytes(), (*send)->TotalL0MemoryBytes());
+  // I/O: Build-Index pays compaction reads on backups too.
+  EXPECT_GT((*build)->DeviceBytes(IoClass::kCompactionRead, true),
+            (*send)->DeviceBytes(IoClass::kCompactionRead, true));
+  // Network: Send-Index ships indexes.
+  EXPECT_GT((*send)->NetworkBytes(), (*build)->NetworkBytes());
+  // CPU: Build-Index burns more compaction time overall.
+  EXPECT_GT((*build)->CpuBreakdown().backup_compaction_ns, 0u);
+  EXPECT_EQ((*send)->CpuBreakdown().backup_compaction_ns, 0u);
+  EXPECT_GT((*send)->CpuBreakdown().rewrite_index_ns, 0u);
+}
+
+TEST(SimClusterTest, NoReplicationHasNoNetworkTraffic) {
+  auto cluster = SimCluster::Create(SmallSimOptions(ReplicationMode::kNoReplication, /*rf=*/1));
+  ASSERT_TRUE(cluster.ok());
+  YcsbOptions options;
+  options.record_count = 2000;
+  YcsbWorkload workload(options);
+  ASSERT_TRUE(workload.RunLoad((*cluster)->Hooks()).ok());
+  EXPECT_EQ((*cluster)->NetworkBytes(), 0u);
+  EXPECT_EQ((*cluster)->CpuBreakdown().log_replication_ns, 0u);
+}
+
+TEST(SimClusterTest, ThreeWayReplication) {
+  auto cluster = SimCluster::Create(SmallSimOptions(ReplicationMode::kSendIndex, /*rf=*/3));
+  ASSERT_TRUE(cluster.ok());
+  YcsbOptions options;
+  options.record_count = 3000;
+  YcsbWorkload workload(options);
+  ASSERT_TRUE(workload.RunLoad((*cluster)->Hooks()).ok());
+  std::vector<std::string> keys;
+  for (uint64_t i = 0; i < 3000; i += 131) {
+    keys.push_back(YcsbKey(i));
+  }
+  Status s = (*cluster)->VerifyBackupsConsistent(keys);
+  EXPECT_TRUE(s.ok()) << s.ToString();
+}
+
+TEST(SimClusterTest, TrafficCountersReset) {
+  auto cluster = SimCluster::Create(SmallSimOptions(ReplicationMode::kSendIndex));
+  ASSERT_TRUE(cluster.ok());
+  ASSERT_TRUE((*cluster)->Put(YcsbKey(1), "x").ok());
+  ASSERT_GT((*cluster)->NetworkBytes(), 0u);
+  (*cluster)->ResetTrafficCounters();
+  EXPECT_EQ((*cluster)->NetworkBytes(), 0u);
+  EXPECT_EQ((*cluster)->TotalDeviceBytes(), 0u);
+}
+
+}  // namespace
+}  // namespace tebis
