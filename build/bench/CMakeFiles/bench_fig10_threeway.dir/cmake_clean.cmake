@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig10_threeway.dir/bench_fig10_threeway.cc.o"
+  "CMakeFiles/bench_fig10_threeway.dir/bench_fig10_threeway.cc.o.d"
+  "bench_fig10_threeway"
+  "bench_fig10_threeway.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig10_threeway.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig7_kv_mixes.dir/bench_fig7_kv_mixes.cc.o"
+  "CMakeFiles/bench_fig7_kv_mixes.dir/bench_fig7_kv_mixes.cc.o.d"
+  "bench_fig7_kv_mixes"
+  "bench_fig7_kv_mixes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig7_kv_mixes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

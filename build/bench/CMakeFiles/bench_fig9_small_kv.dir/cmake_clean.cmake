@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig9_small_kv.dir/bench_fig9_small_kv.cc.o"
+  "CMakeFiles/bench_fig9_small_kv.dir/bench_fig9_small_kv.cc.o.d"
+  "bench_fig9_small_kv"
+  "bench_fig9_small_kv.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig9_small_kv.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

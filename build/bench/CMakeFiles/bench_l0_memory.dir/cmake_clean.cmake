@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_l0_memory.dir/bench_l0_memory.cc.o"
+  "CMakeFiles/bench_l0_memory.dir/bench_l0_memory.cc.o.d"
+  "bench_l0_memory"
+  "bench_l0_memory.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_l0_memory.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tebis_bench_common.dir/bench_common.cc.o"
+  "CMakeFiles/tebis_bench_common.dir/bench_common.cc.o.d"
+  "libtebis_bench_common.a"
+  "libtebis_bench_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tebis_bench_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

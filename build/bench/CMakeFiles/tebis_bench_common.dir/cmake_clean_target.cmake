@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libtebis_bench_common.a"
+)

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/index_shipping_tour.cpp" "examples/CMakeFiles/index_shipping_tour.dir/index_shipping_tour.cpp.o" "gcc" "examples/CMakeFiles/index_shipping_tour.dir/index_shipping_tour.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/cluster/CMakeFiles/tebis_cluster.dir/DependInfo.cmake"
+  "/root/repo/build/src/replication/CMakeFiles/tebis_replication.dir/DependInfo.cmake"
+  "/root/repo/build/src/lsm/CMakeFiles/tebis_lsm.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/tebis_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/tebis_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/tebis_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

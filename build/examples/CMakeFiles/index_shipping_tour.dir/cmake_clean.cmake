@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/index_shipping_tour.dir/index_shipping_tour.cpp.o"
+  "CMakeFiles/index_shipping_tour.dir/index_shipping_tour.cpp.o.d"
+  "index_shipping_tour"
+  "index_shipping_tour.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/index_shipping_tour.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for index_shipping_tour.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tebis_shell.dir/tebis_shell.cpp.o"
+  "CMakeFiles/tebis_shell.dir/tebis_shell.cpp.o.d"
+  "tebis_shell"
+  "tebis_shell.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tebis_shell.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

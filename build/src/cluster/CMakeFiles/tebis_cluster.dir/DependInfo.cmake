@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/cluster/client.cc" "src/cluster/CMakeFiles/tebis_cluster.dir/client.cc.o" "gcc" "src/cluster/CMakeFiles/tebis_cluster.dir/client.cc.o.d"
+  "/root/repo/src/cluster/coordinator.cc" "src/cluster/CMakeFiles/tebis_cluster.dir/coordinator.cc.o" "gcc" "src/cluster/CMakeFiles/tebis_cluster.dir/coordinator.cc.o.d"
+  "/root/repo/src/cluster/kv_wire.cc" "src/cluster/CMakeFiles/tebis_cluster.dir/kv_wire.cc.o" "gcc" "src/cluster/CMakeFiles/tebis_cluster.dir/kv_wire.cc.o.d"
+  "/root/repo/src/cluster/master.cc" "src/cluster/CMakeFiles/tebis_cluster.dir/master.cc.o" "gcc" "src/cluster/CMakeFiles/tebis_cluster.dir/master.cc.o.d"
+  "/root/repo/src/cluster/region_map.cc" "src/cluster/CMakeFiles/tebis_cluster.dir/region_map.cc.o" "gcc" "src/cluster/CMakeFiles/tebis_cluster.dir/region_map.cc.o.d"
+  "/root/repo/src/cluster/region_server.cc" "src/cluster/CMakeFiles/tebis_cluster.dir/region_server.cc.o" "gcc" "src/cluster/CMakeFiles/tebis_cluster.dir/region_server.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/replication/CMakeFiles/tebis_replication.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/tebis_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/lsm/CMakeFiles/tebis_lsm.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/tebis_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/tebis_storage.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tebis_cluster.dir/client.cc.o"
+  "CMakeFiles/tebis_cluster.dir/client.cc.o.d"
+  "CMakeFiles/tebis_cluster.dir/coordinator.cc.o"
+  "CMakeFiles/tebis_cluster.dir/coordinator.cc.o.d"
+  "CMakeFiles/tebis_cluster.dir/kv_wire.cc.o"
+  "CMakeFiles/tebis_cluster.dir/kv_wire.cc.o.d"
+  "CMakeFiles/tebis_cluster.dir/master.cc.o"
+  "CMakeFiles/tebis_cluster.dir/master.cc.o.d"
+  "CMakeFiles/tebis_cluster.dir/region_map.cc.o"
+  "CMakeFiles/tebis_cluster.dir/region_map.cc.o.d"
+  "CMakeFiles/tebis_cluster.dir/region_server.cc.o"
+  "CMakeFiles/tebis_cluster.dir/region_server.cc.o.d"
+  "libtebis_cluster.a"
+  "libtebis_cluster.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tebis_cluster.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

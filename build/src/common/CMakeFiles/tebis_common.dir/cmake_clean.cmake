@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tebis_common.dir/clock.cc.o"
+  "CMakeFiles/tebis_common.dir/clock.cc.o.d"
+  "CMakeFiles/tebis_common.dir/crc32.cc.o"
+  "CMakeFiles/tebis_common.dir/crc32.cc.o.d"
+  "CMakeFiles/tebis_common.dir/histogram.cc.o"
+  "CMakeFiles/tebis_common.dir/histogram.cc.o.d"
+  "CMakeFiles/tebis_common.dir/logging.cc.o"
+  "CMakeFiles/tebis_common.dir/logging.cc.o.d"
+  "CMakeFiles/tebis_common.dir/random.cc.o"
+  "CMakeFiles/tebis_common.dir/random.cc.o.d"
+  "CMakeFiles/tebis_common.dir/status.cc.o"
+  "CMakeFiles/tebis_common.dir/status.cc.o.d"
+  "libtebis_common.a"
+  "libtebis_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tebis_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

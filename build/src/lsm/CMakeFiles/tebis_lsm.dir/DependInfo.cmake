@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/lsm/btree_builder.cc" "src/lsm/CMakeFiles/tebis_lsm.dir/btree_builder.cc.o" "gcc" "src/lsm/CMakeFiles/tebis_lsm.dir/btree_builder.cc.o.d"
+  "/root/repo/src/lsm/btree_node.cc" "src/lsm/CMakeFiles/tebis_lsm.dir/btree_node.cc.o" "gcc" "src/lsm/CMakeFiles/tebis_lsm.dir/btree_node.cc.o.d"
+  "/root/repo/src/lsm/btree_reader.cc" "src/lsm/CMakeFiles/tebis_lsm.dir/btree_reader.cc.o" "gcc" "src/lsm/CMakeFiles/tebis_lsm.dir/btree_reader.cc.o.d"
+  "/root/repo/src/lsm/compaction.cc" "src/lsm/CMakeFiles/tebis_lsm.dir/compaction.cc.o" "gcc" "src/lsm/CMakeFiles/tebis_lsm.dir/compaction.cc.o.d"
+  "/root/repo/src/lsm/kv_store.cc" "src/lsm/CMakeFiles/tebis_lsm.dir/kv_store.cc.o" "gcc" "src/lsm/CMakeFiles/tebis_lsm.dir/kv_store.cc.o.d"
+  "/root/repo/src/lsm/manifest.cc" "src/lsm/CMakeFiles/tebis_lsm.dir/manifest.cc.o" "gcc" "src/lsm/CMakeFiles/tebis_lsm.dir/manifest.cc.o.d"
+  "/root/repo/src/lsm/memtable.cc" "src/lsm/CMakeFiles/tebis_lsm.dir/memtable.cc.o" "gcc" "src/lsm/CMakeFiles/tebis_lsm.dir/memtable.cc.o.d"
+  "/root/repo/src/lsm/page_cache.cc" "src/lsm/CMakeFiles/tebis_lsm.dir/page_cache.cc.o" "gcc" "src/lsm/CMakeFiles/tebis_lsm.dir/page_cache.cc.o.d"
+  "/root/repo/src/lsm/value_log.cc" "src/lsm/CMakeFiles/tebis_lsm.dir/value_log.cc.o" "gcc" "src/lsm/CMakeFiles/tebis_lsm.dir/value_log.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/storage/CMakeFiles/tebis_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/tebis_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tebis_lsm.dir/btree_builder.cc.o"
+  "CMakeFiles/tebis_lsm.dir/btree_builder.cc.o.d"
+  "CMakeFiles/tebis_lsm.dir/btree_node.cc.o"
+  "CMakeFiles/tebis_lsm.dir/btree_node.cc.o.d"
+  "CMakeFiles/tebis_lsm.dir/btree_reader.cc.o"
+  "CMakeFiles/tebis_lsm.dir/btree_reader.cc.o.d"
+  "CMakeFiles/tebis_lsm.dir/compaction.cc.o"
+  "CMakeFiles/tebis_lsm.dir/compaction.cc.o.d"
+  "CMakeFiles/tebis_lsm.dir/kv_store.cc.o"
+  "CMakeFiles/tebis_lsm.dir/kv_store.cc.o.d"
+  "CMakeFiles/tebis_lsm.dir/manifest.cc.o"
+  "CMakeFiles/tebis_lsm.dir/manifest.cc.o.d"
+  "CMakeFiles/tebis_lsm.dir/memtable.cc.o"
+  "CMakeFiles/tebis_lsm.dir/memtable.cc.o.d"
+  "CMakeFiles/tebis_lsm.dir/page_cache.cc.o"
+  "CMakeFiles/tebis_lsm.dir/page_cache.cc.o.d"
+  "CMakeFiles/tebis_lsm.dir/value_log.cc.o"
+  "CMakeFiles/tebis_lsm.dir/value_log.cc.o.d"
+  "libtebis_lsm.a"
+  "libtebis_lsm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tebis_lsm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

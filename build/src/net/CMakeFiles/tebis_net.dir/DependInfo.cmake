@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/net/fabric.cc" "src/net/CMakeFiles/tebis_net.dir/fabric.cc.o" "gcc" "src/net/CMakeFiles/tebis_net.dir/fabric.cc.o.d"
+  "/root/repo/src/net/message.cc" "src/net/CMakeFiles/tebis_net.dir/message.cc.o" "gcc" "src/net/CMakeFiles/tebis_net.dir/message.cc.o.d"
+  "/root/repo/src/net/ring_allocator.cc" "src/net/CMakeFiles/tebis_net.dir/ring_allocator.cc.o" "gcc" "src/net/CMakeFiles/tebis_net.dir/ring_allocator.cc.o.d"
+  "/root/repo/src/net/rpc_client.cc" "src/net/CMakeFiles/tebis_net.dir/rpc_client.cc.o" "gcc" "src/net/CMakeFiles/tebis_net.dir/rpc_client.cc.o.d"
+  "/root/repo/src/net/server_endpoint.cc" "src/net/CMakeFiles/tebis_net.dir/server_endpoint.cc.o" "gcc" "src/net/CMakeFiles/tebis_net.dir/server_endpoint.cc.o.d"
+  "/root/repo/src/net/worker_pool.cc" "src/net/CMakeFiles/tebis_net.dir/worker_pool.cc.o" "gcc" "src/net/CMakeFiles/tebis_net.dir/worker_pool.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/tebis_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tebis_net.dir/fabric.cc.o"
+  "CMakeFiles/tebis_net.dir/fabric.cc.o.d"
+  "CMakeFiles/tebis_net.dir/message.cc.o"
+  "CMakeFiles/tebis_net.dir/message.cc.o.d"
+  "CMakeFiles/tebis_net.dir/ring_allocator.cc.o"
+  "CMakeFiles/tebis_net.dir/ring_allocator.cc.o.d"
+  "CMakeFiles/tebis_net.dir/rpc_client.cc.o"
+  "CMakeFiles/tebis_net.dir/rpc_client.cc.o.d"
+  "CMakeFiles/tebis_net.dir/server_endpoint.cc.o"
+  "CMakeFiles/tebis_net.dir/server_endpoint.cc.o.d"
+  "CMakeFiles/tebis_net.dir/worker_pool.cc.o"
+  "CMakeFiles/tebis_net.dir/worker_pool.cc.o.d"
+  "libtebis_net.a"
+  "libtebis_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tebis_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/replication/build_index_backup.cc" "src/replication/CMakeFiles/tebis_replication.dir/build_index_backup.cc.o" "gcc" "src/replication/CMakeFiles/tebis_replication.dir/build_index_backup.cc.o.d"
+  "/root/repo/src/replication/primary_region.cc" "src/replication/CMakeFiles/tebis_replication.dir/primary_region.cc.o" "gcc" "src/replication/CMakeFiles/tebis_replication.dir/primary_region.cc.o.d"
+  "/root/repo/src/replication/replication_wire.cc" "src/replication/CMakeFiles/tebis_replication.dir/replication_wire.cc.o" "gcc" "src/replication/CMakeFiles/tebis_replication.dir/replication_wire.cc.o.d"
+  "/root/repo/src/replication/rpc_backup_channel.cc" "src/replication/CMakeFiles/tebis_replication.dir/rpc_backup_channel.cc.o" "gcc" "src/replication/CMakeFiles/tebis_replication.dir/rpc_backup_channel.cc.o.d"
+  "/root/repo/src/replication/segment_map.cc" "src/replication/CMakeFiles/tebis_replication.dir/segment_map.cc.o" "gcc" "src/replication/CMakeFiles/tebis_replication.dir/segment_map.cc.o.d"
+  "/root/repo/src/replication/send_index_backup.cc" "src/replication/CMakeFiles/tebis_replication.dir/send_index_backup.cc.o" "gcc" "src/replication/CMakeFiles/tebis_replication.dir/send_index_backup.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/lsm/CMakeFiles/tebis_lsm.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/tebis_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/tebis_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/tebis_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

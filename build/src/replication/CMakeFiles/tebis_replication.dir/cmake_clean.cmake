@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tebis_replication.dir/build_index_backup.cc.o"
+  "CMakeFiles/tebis_replication.dir/build_index_backup.cc.o.d"
+  "CMakeFiles/tebis_replication.dir/primary_region.cc.o"
+  "CMakeFiles/tebis_replication.dir/primary_region.cc.o.d"
+  "CMakeFiles/tebis_replication.dir/replication_wire.cc.o"
+  "CMakeFiles/tebis_replication.dir/replication_wire.cc.o.d"
+  "CMakeFiles/tebis_replication.dir/rpc_backup_channel.cc.o"
+  "CMakeFiles/tebis_replication.dir/rpc_backup_channel.cc.o.d"
+  "CMakeFiles/tebis_replication.dir/segment_map.cc.o"
+  "CMakeFiles/tebis_replication.dir/segment_map.cc.o.d"
+  "CMakeFiles/tebis_replication.dir/send_index_backup.cc.o"
+  "CMakeFiles/tebis_replication.dir/send_index_backup.cc.o.d"
+  "libtebis_replication.a"
+  "libtebis_replication.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tebis_replication.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

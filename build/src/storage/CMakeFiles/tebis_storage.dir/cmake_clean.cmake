@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tebis_storage.dir/block_device.cc.o"
+  "CMakeFiles/tebis_storage.dir/block_device.cc.o.d"
+  "CMakeFiles/tebis_storage.dir/io_stats.cc.o"
+  "CMakeFiles/tebis_storage.dir/io_stats.cc.o.d"
+  "libtebis_storage.a"
+  "libtebis_storage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tebis_storage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ycsb/generator.cc" "src/ycsb/CMakeFiles/tebis_ycsb.dir/generator.cc.o" "gcc" "src/ycsb/CMakeFiles/tebis_ycsb.dir/generator.cc.o.d"
+  "/root/repo/src/ycsb/sim_cluster.cc" "src/ycsb/CMakeFiles/tebis_ycsb.dir/sim_cluster.cc.o" "gcc" "src/ycsb/CMakeFiles/tebis_ycsb.dir/sim_cluster.cc.o.d"
+  "/root/repo/src/ycsb/workload.cc" "src/ycsb/CMakeFiles/tebis_ycsb.dir/workload.cc.o" "gcc" "src/ycsb/CMakeFiles/tebis_ycsb.dir/workload.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/replication/CMakeFiles/tebis_replication.dir/DependInfo.cmake"
+  "/root/repo/build/src/cluster/CMakeFiles/tebis_cluster.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/tebis_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/lsm/CMakeFiles/tebis_lsm.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/tebis_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/tebis_net.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tebis_ycsb.dir/generator.cc.o"
+  "CMakeFiles/tebis_ycsb.dir/generator.cc.o.d"
+  "CMakeFiles/tebis_ycsb.dir/sim_cluster.cc.o"
+  "CMakeFiles/tebis_ycsb.dir/sim_cluster.cc.o.d"
+  "CMakeFiles/tebis_ycsb.dir/workload.cc.o"
+  "CMakeFiles/tebis_ycsb.dir/workload.cc.o.d"
+  "libtebis_ycsb.a"
+  "libtebis_ycsb.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tebis_ycsb.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

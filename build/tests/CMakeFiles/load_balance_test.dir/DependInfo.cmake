@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/load_balance_test.cc" "tests/CMakeFiles/load_balance_test.dir/load_balance_test.cc.o" "gcc" "tests/CMakeFiles/load_balance_test.dir/load_balance_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/cluster/CMakeFiles/tebis_cluster.dir/DependInfo.cmake"
+  "/root/repo/build/src/replication/CMakeFiles/tebis_replication.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/tebis_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/lsm/CMakeFiles/tebis_lsm.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/tebis_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/tebis_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

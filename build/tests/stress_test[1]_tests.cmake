@@ -1,0 +1,3 @@
+add_test([=[StressTest.ConcurrentClientsMixedWorkload]=]  /root/repo/build/tests/stress_test [==[--gtest_filter=StressTest.ConcurrentClientsMixedWorkload]==] --gtest_also_run_disabled_tests)
+set_tests_properties([=[StressTest.ConcurrentClientsMixedWorkload]=]  PROPERTIES WORKING_DIRECTORY /root/repo/build/tests SKIP_REGULAR_EXPRESSION [==[\[  SKIPPED \]]==])
+set(  stress_test_TESTS StressTest.ConcurrentClientsMixedWorkload)
