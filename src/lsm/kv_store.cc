@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "src/common/clock.h"
+#include "src/common/crc32.h"
 #include "src/common/logging.h"
 #include "src/lsm/btree_reader.h"
 #include "src/lsm/compaction.h"
@@ -428,6 +429,21 @@ StatusOr<SegmentId> KvStore::Checkpoint() {
   manifest.levels = levels_;
   manifest.log_flushed_segments = log_->flushed_segments();
   manifest.l0_replay_from = l0_replay_from_;
+  // Chained CRC over each level's on-device segments, so recovery can tell a
+  // torn/lost index write from an intact level.
+  manifest.level_crcs.assign(levels_.size(), 0);
+  {
+    std::string seg_buf(device_->segment_size(), 0);
+    for (size_t i = 1; i < levels_.size(); ++i) {
+      uint32_t crc = 0;
+      for (SegmentId seg : levels_[i].segments) {
+        TEBIS_RETURN_IF_ERROR(device_->Read(device_->geometry().BaseOffset(seg), seg_buf.size(),
+                                            seg_buf.data(), IoClass::kOther));
+        crc = Crc32c(seg_buf.data(), seg_buf.size(), crc);
+      }
+      manifest.level_crcs[i] = crc;
+    }
+  }
   const std::string body = manifest.Encode();
   // Layout in the checkpoint segment: [u32 length][manifest bytes].
   if (body.size() + 4 > device_->segment_size()) {
@@ -471,6 +487,37 @@ StatusOr<std::unique_ptr<KvStore>> KvStore::Recover(BlockDevice* device,
   }
   TEBIS_RETURN_IF_ERROR(device->AdoptAllocated(owned));
 
+  // Verify the level CRCs against the device. A mismatch means an index write
+  // was torn or lost after the checkpoint: drop every level and rebuild the
+  // whole index by replaying the (authoritative, per-record-CRC'd) value log.
+  bool levels_intact = true;
+  {
+    std::string seg_buf(device->segment_size(), 0);
+    for (size_t i = 1; i < manifest.levels.size() && levels_intact; ++i) {
+      const BuiltTree& tree = manifest.levels[i];
+      uint32_t crc = 0;
+      for (SegmentId seg : tree.segments) {
+        TEBIS_RETURN_IF_ERROR(device->Read(device->geometry().BaseOffset(seg), seg_buf.size(),
+                                           seg_buf.data(), IoClass::kRecovery));
+        crc = Crc32c(seg_buf.data(), seg_buf.size(), crc);
+      }
+      if (i < manifest.level_crcs.size() && crc != manifest.level_crcs[i]) {
+        TEBIS_LOG(kWarn) << "level " << i
+                            << " crc mismatch on recovery; rebuilding index from the value log";
+        levels_intact = false;
+      }
+    }
+  }
+  if (!levels_intact) {
+    for (BuiltTree& tree : manifest.levels) {
+      for (SegmentId seg : tree.segments) {
+        TEBIS_RETURN_IF_ERROR(device->FreeSegment(seg));
+      }
+      tree = BuiltTree{};
+    }
+    manifest.l0_replay_from = 0;
+  }
+
   TEBIS_ASSIGN_OR_RETURN(std::unique_ptr<ValueLog> log,
                          ValueLog::Recover(device, manifest.log_flushed_segments));
   TEBIS_ASSIGN_OR_RETURN(std::unique_ptr<KvStore> store,
@@ -487,10 +534,19 @@ StatusOr<std::unique_ptr<KvStore>> KvStore::Recover(BlockDevice* device,
     const uint64_t base = device->geometry().BaseOffset(flushed[i]);
     TEBIS_RETURN_IF_ERROR(
         device->Read(base, segment.size(), segment.data(), IoClass::kRecovery));
-    TEBIS_RETURN_IF_ERROR(ValueLog::ForEachRecord(
+    Status replay = ValueLog::ForEachRecord(
         Slice(segment.data(), segment.size()), base, [&](const LogRecord& rec) {
           return store->ReplayRecord(rec.key, rec.offset, rec.tombstone);
-        }));
+        });
+    if (replay.IsCorruption() && i + 1 == flushed.size()) {
+      // A torn record in the *last* flushed segment is a crashed flush: the
+      // prefix up to it is valid, everything after died with the primary and
+      // comes back via promotion, not local recovery.
+      TEBIS_LOG(kWarn) << "torn tail record in last flushed segment; truncating replay: "
+                          << replay.ToString();
+      break;
+    }
+    TEBIS_RETURN_IF_ERROR(replay);
   }
   return store;
 }

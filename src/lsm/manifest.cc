@@ -9,12 +9,14 @@ std::string Manifest::Encode() const {
   WireWriter w;
   w.U32(kManifestMagic).U32(kManifestVersion);
   w.U32(static_cast<uint32_t>(levels.size()));
-  for (const BuiltTree& tree : levels) {
+  for (size_t i = 0; i < levels.size(); ++i) {
+    const BuiltTree& tree = levels[i];
     w.U64(tree.root_offset).U16(tree.height).U64(tree.num_entries).U64(tree.bytes_written);
     w.U32(static_cast<uint32_t>(tree.segments.size()));
     for (SegmentId seg : tree.segments) {
       w.U64(seg);
     }
+    w.U32(i < level_crcs.size() ? level_crcs[i] : 0);
   }
   w.U32(static_cast<uint32_t>(log_flushed_segments.size()));
   for (SegmentId seg : log_flushed_segments) {
@@ -65,6 +67,9 @@ StatusOr<Manifest> Manifest::Decode(Slice data) {
       TEBIS_RETURN_IF_ERROR(r.U64(&seg));
       tree.segments.push_back(seg);
     }
+    uint32_t level_crc;
+    TEBIS_RETURN_IF_ERROR(r.U32(&level_crc));
+    manifest.level_crcs.push_back(level_crc);
     manifest.levels.push_back(std::move(tree));
   }
   uint32_t num_log_segments;

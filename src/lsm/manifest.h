@@ -17,11 +17,16 @@
 namespace tebis {
 
 inline constexpr uint32_t kManifestMagic = 0x5442'4D46;  // "TBMF"
-inline constexpr uint32_t kManifestVersion = 1;
+// v2: per-level content CRCs (torn index-segment detection on recovery).
+inline constexpr uint32_t kManifestVersion = 2;
 
 struct Manifest {
   // levels[0] unused, mirroring KvStore.
   std::vector<BuiltTree> levels;
+  // Chained CRC32C over each level's segments in order (0 for empty levels).
+  // Recovery re-reads the segments and compares: a mismatch means a torn or
+  // lost index write, and the level must be rebuilt from the value log.
+  std::vector<uint32_t> level_crcs;
   std::vector<SegmentId> log_flushed_segments;
   // Index into log_flushed_segments: records from here on are not yet in the
   // levels and must be replayed into L0.

@@ -3,6 +3,7 @@
 #include <cstring>
 
 #include "src/net/message.h"
+#include "src/testing/fault_injector.h"
 
 namespace tebis {
 
@@ -13,6 +14,9 @@ RegisteredBuffer::RegisteredBuffer(Fabric* fabric, std::string owner, std::strin
 Status RegisteredBuffer::RdmaWrite(uint64_t offset, Slice bytes) {
   if (offset + bytes.size() > data_.size()) {
     return Status::OutOfRange("RDMA write past registered region");
+  }
+  if (FaultInjector* injector = fabric_->fault_injector()) {
+    TEBIS_RETURN_IF_ERROR(injector->OnFabricWrite(writer_, owner_));
   }
   // The payload body first; callers that need ordered visibility (the message
   // protocol) place their own release-store rendezvous words.
@@ -27,8 +31,24 @@ Status RegisteredBuffer::RdmaWriteMessage(uint64_t offset, const MessageHeader& 
   if (offset + wire > data_.size()) {
     return Status::OutOfRange("RDMA message write past registered region");
   }
+  if (FaultInjector* injector = fabric_->fault_injector()) {
+    TEBIS_RETURN_IF_ERROR(injector->OnFabricWrite(writer_, owner_));
+  }
   EncodeMessage(data_.data() + offset, header, payload);
   fabric_->AccountWrite(writer_, owner_, wire + kWireOverheadPerWrite);
+  return Status::Ok();
+}
+
+Status RegisteredBuffer::RdmaWriteMessageResync(uint64_t offset, const MessageHeader& header,
+                                                Slice payload) {
+  const size_t wire = MessageWireSize(header.padded_payload_size);
+  if (offset + wire > data_.size()) {
+    return Status::OutOfRange("RDMA message write past registered region");
+  }
+  // Deliberately skips the fault injector: this models the transport-level
+  // ring resync a QP re-establishment performs after a completion error, not
+  // fresh application traffic. Not accounted as traffic either.
+  EncodeMessage(data_.data() + offset, header, payload);
   return Status::Ok();
 }
 

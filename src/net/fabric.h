@@ -23,6 +23,8 @@
 
 namespace tebis {
 
+class FaultInjector;
+
 // Approximate per-RDMA-write wire overhead (Ethernet + IP + UDP + RoCE BTH).
 inline constexpr uint64_t kWireOverheadPerWrite = 66;
 
@@ -51,6 +53,13 @@ class RegisteredBuffer {
   // rendezvous magics with release ordering, so a concurrently polling reader
   // never observes a torn message (models RDMA write last-byte ordering).
   Status RdmaWriteMessage(uint64_t offset, const struct MessageHeader& header, Slice payload);
+
+  // Same encoding, but bypasses fault injection and traffic accounting. Used
+  // only to patch a ring hole after a *failed* message write (the server's
+  // rendezvous scan would otherwise stall on the dead slot forever) — the
+  // moral equivalent of the ring resync a QP reconnect performs.
+  Status RdmaWriteMessageResync(uint64_t offset, const struct MessageHeader& header,
+                                Slice payload);
 
   // Owner-side access (polling / persisting the buffer).
   const char* data() const { return data_.data(); }
@@ -86,12 +95,22 @@ class Fabric {
   uint64_t TotalBytes() const;
   void ResetTraffic();
 
+  // Attaches (nullptr detaches) a fault injector; every subsequent one-sided
+  // write consults it before touching the destination buffer.
+  void set_fault_injector(FaultInjector* injector) {
+    fault_injector_.store(injector, std::memory_order_release);
+  }
+  FaultInjector* fault_injector() const {
+    return fault_injector_.load(std::memory_order_acquire);
+  }
+
  private:
   NodeTraffic& TrafficFor(const std::string& node);
 
   mutable std::mutex mutex_;
   std::map<std::string, std::unique_ptr<NodeTraffic>> traffic_;
   std::atomic<uint64_t> total_bytes_{0};
+  std::atomic<FaultInjector*> fault_injector_{nullptr};
 };
 
 }  // namespace tebis

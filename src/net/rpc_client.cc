@@ -1,8 +1,11 @@
 #include "src/net/rpc_client.h"
 
+#include <algorithm>
+#include <chrono>
 #include <thread>
 
 #include "src/common/clock.h"
+#include "src/testing/fault_injector.h"
 
 namespace tebis {
 
@@ -59,8 +62,13 @@ Status RpcClient::SendNoopFiller(size_t wire_size) {
   header.reply_alloc_size = static_cast<uint32_t>(reply_wire);
   // The padded area of a filler carries no payload, so write the payload
   // rendezvous only if there is a padded area.
-  TEBIS_RETURN_IF_ERROR(
-      request_buffer_->RdmaWriteMessage(send_alloc.offset, header, Slice()));
+  Status sent = request_buffer_->RdmaWriteMessage(send_alloc.offset, header, Slice());
+  if (!sent.ok()) {
+    // A dropped filler still must fill the gap, or the server's sequential
+    // rendezvous scan stalls on it forever (see SendRequest's hole patch).
+    TEBIS_RETURN_IF_ERROR(
+        request_buffer_->RdmaWriteMessageResync(send_alloc.offset, header, Slice()));
+  }
   pending_.emplace(header.request_id,
                    Pending{send_alloc.offset, reply_offset, reply_wire, /*discard=*/true});
   return Status::Ok();
@@ -107,6 +115,10 @@ StatusOr<uint64_t> RpcClient::SendRequest(MessageType type, uint32_t region_id, 
   if (wire > send_ring_.capacity() || reply_wire > reply_ring_.capacity()) {
     return Status::InvalidArgument("message larger than connection buffers");
   }
+  if (FaultInjector* injector = fabric_->fault_injector()) {
+    TEBIS_RETURN_IF_ERROR(
+        injector->OnSite(FaultSite::kRpcSend, name_, request_buffer_->owner()));
+  }
   TEBIS_ASSIGN_OR_RETURN(size_t reply_offset,
                          AllocateWithWrap(&reply_ring_, reply_wire, /*is_send_ring=*/false));
   TEBIS_ASSIGN_OR_RETURN(size_t request_offset,
@@ -121,7 +133,30 @@ StatusOr<uint64_t> RpcClient::SendRequest(MessageType type, uint32_t region_id, 
   header.reply_offset = reply_offset;
   header.reply_alloc_size = static_cast<uint32_t>(reply_wire);
   header.map_version = map_version;
-  TEBIS_RETURN_IF_ERROR(request_buffer_->RdmaWriteMessage(request_offset, header, payload));
+  Status sent = request_buffer_->RdmaWriteMessage(request_offset, header, payload);
+  if (!sent.ok()) {
+    // The write never reached the server, but the server's rendezvous scan is
+    // strictly sequential: a dead slot would stall it forever. Patch the hole
+    // with a NOOP of the same wire size (transport-level resync, not subject
+    // to fault injection); the server's NOOP reply then drains both slots
+    // like any other filler.
+    MessageHeader noop{};
+    noop.payload_size = 0;
+    noop.padded_payload_size = header.padded_payload_size;
+    noop.type = static_cast<uint16_t>(MessageType::kNoop);
+    noop.request_id = header.request_id;
+    noop.reply_offset = reply_offset;
+    noop.reply_alloc_size = static_cast<uint32_t>(reply_wire);
+    Status patched = request_buffer_->RdmaWriteMessageResync(request_offset, noop, Slice());
+    if (patched.ok()) {
+      pending_.emplace(noop.request_id,
+                       Pending{request_offset, reply_offset, reply_wire, /*discard=*/true});
+    } else {
+      send_ring_.Free(request_offset);
+      reply_ring_.Free(reply_offset);
+    }
+    return sent;
+  }
   pending_.emplace(header.request_id,
                    Pending{request_offset, reply_offset, reply_wire, /*discard=*/false});
   return header.request_id;
@@ -153,9 +188,42 @@ StatusOr<RpcReply> RpcClient::WaitReply(uint64_t request_id, uint64_t timeout_ns
 StatusOr<RpcReply> RpcClient::Call(MessageType type, uint32_t region_id, Slice payload,
                                    size_t reply_payload_alloc, uint32_t map_version,
                                    uint64_t timeout_ns) {
-  TEBIS_ASSIGN_OR_RETURN(uint64_t id,
-                         SendRequest(type, region_id, payload, reply_payload_alloc, map_version));
-  return WaitReply(id, timeout_ns);
+  stats_.calls++;
+  uint64_t backoff_ns = retry_policy_.initial_backoff_ns;
+  const int max_attempts = std::max(1, retry_policy_.max_attempts);
+  Status last = Status::Ok();
+  for (int attempt = 0; attempt < max_attempts; ++attempt) {
+    if (attempt > 0 && backoff_ns > 0) {
+      std::this_thread::sleep_for(std::chrono::nanoseconds(backoff_ns));
+      backoff_ns = std::min<uint64_t>(
+          static_cast<uint64_t>(backoff_ns * retry_policy_.backoff_multiplier),
+          retry_policy_.max_backoff_ns);
+    }
+    stats_.attempts++;
+    StatusOr<uint64_t> id = SendRequest(type, region_id, payload, reply_payload_alloc, map_version);
+    if (!id.ok()) {
+      stats_.send_failures++;
+      last = id.status();
+      // Dropped sends (injected fault, partition) and full rings are
+      // transient; anything else (oversized message, internal error) is not.
+      if (last.IsUnavailable() || last.code() == StatusCode::kResourceExhausted) {
+        continue;
+      }
+      return last;
+    }
+    StatusOr<RpcReply> reply = WaitReply(id.value(), timeout_ns);
+    if (reply.ok()) {
+      return reply;
+    }
+    last = reply.status();
+    if (last.IsUnavailable()) {
+      stats_.reply_timeouts++;
+      continue;
+    }
+    return last;
+  }
+  stats_.exhausted++;
+  return last;
 }
 
 }  // namespace tebis

@@ -22,6 +22,24 @@ struct RpcReply {
   std::string payload;
 };
 
+// Retry/backoff policy for Call(). The default (one attempt) preserves the
+// historical fail-fast behavior; tests running under fault injection raise
+// max_attempts so transient fabric faults are survivable.
+struct RpcRetryPolicy {
+  int max_attempts = 1;
+  uint64_t initial_backoff_ns = 200'000;  // 200us
+  double backoff_multiplier = 2.0;
+  uint64_t max_backoff_ns = 50'000'000;  // 50ms
+};
+
+struct RpcClientStats {
+  uint64_t calls = 0;           // Call() invocations
+  uint64_t attempts = 0;        // send attempts across all calls
+  uint64_t send_failures = 0;   // SendRequest errors (any attempt)
+  uint64_t reply_timeouts = 0;  // WaitReply timeouts (any attempt)
+  uint64_t exhausted = 0;       // calls that failed after the last attempt
+};
+
 class RpcClient {
  public:
   // Establishes a connection to `server` under the client's `name`.
@@ -58,6 +76,10 @@ class RpcClient {
   size_t default_reply_alloc() const { return default_reply_alloc_; }
   void set_default_reply_alloc(size_t n) { default_reply_alloc_ = n; }
 
+  const RpcRetryPolicy& retry_policy() const { return retry_policy_; }
+  void set_retry_policy(const RpcRetryPolicy& policy) { retry_policy_ = policy; }
+  const RpcClientStats& stats() const { return stats_; }
+
  private:
   struct Pending {
     size_t request_offset;
@@ -81,6 +103,8 @@ class RpcClient {
 
   uint64_t next_request_id_ = 1;
   size_t default_reply_alloc_ = 1024;
+  RpcRetryPolicy retry_policy_;
+  RpcClientStats stats_;
   std::map<uint64_t, Pending> pending_;
   std::map<uint64_t, RpcReply> completed_;
 };

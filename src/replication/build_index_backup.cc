@@ -36,6 +36,9 @@ BuildIndexBackupRegion::BuildIndexBackupRegion(BlockDevice* device, const KvStor
     : device_(device), options_(options), rdma_buffer_(std::move(rdma_buffer)) {}
 
 Status BuildIndexBackupRegion::HandleLogFlush(SegmentId primary_segment) {
+  if (log_map_.Contains(primary_segment)) {
+    return Status::Ok();  // duplicate delivery (the ack was lost, not the flush)
+  }
   const uint64_t seg_size = device_->segment_size();
   Slice image(rdma_buffer_->data(), seg_size);
   TEBIS_ASSIGN_OR_RETURN(SegmentId local, store_->value_log()->AppendRawSegment(image));

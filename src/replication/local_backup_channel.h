@@ -3,9 +3,17 @@
 // network traffic is accounted identically; control messages are modelled as
 // one accounted message each. Used by unit tests and by single-process
 // benchmark setups where the full RPC path is not under test.
+//
+// Every control message is bracketed with fault-injection sites: the send site
+// fires before the backup handler runs (a lost request — the backup never saw
+// it), the ack site fires after (a lost acknowledgment — the backup DID apply
+// the message but the primary doesn't know). With `max_attempts` > 1 the
+// channel retries Unavailable outcomes, which is why the backup handlers are
+// idempotent: an ack-lost retry re-delivers an already-applied message.
 #ifndef TEBIS_REPLICATION_LOCAL_BACKUP_CHANNEL_H_
 #define TEBIS_REPLICATION_LOCAL_BACKUP_CHANNEL_H_
 
+#include <algorithm>
 #include <memory>
 #include <string>
 
@@ -15,6 +23,7 @@
 #include "src/replication/build_index_backup.h"
 #include "src/replication/replication_wire.h"
 #include "src/replication/send_index_backup.h"
+#include "src/testing/fault_injector.h"
 
 namespace tebis {
 
@@ -25,35 +34,42 @@ class LocalBackupChannel : public BackupChannel {
   // `primary_name` is used only for traffic accounting of control messages.
   LocalBackupChannel(Fabric* fabric, std::string primary_name,
                      std::shared_ptr<RegisteredBuffer> buffer, SendIndexBackupRegion* send_backup,
-                     BuildIndexBackupRegion* build_backup)
+                     BuildIndexBackupRegion* build_backup, int max_attempts = 1)
       : fabric_(fabric),
         primary_name_(std::move(primary_name)),
         buffer_(std::move(buffer)),
         send_backup_(send_backup),
         build_backup_(build_backup),
-        backup_name_(buffer_->owner()) {}
+        backup_name_(buffer_->owner()),
+        max_attempts_(std::max(1, max_attempts)) {}
 
   Status RdmaWriteLog(uint64_t offset_in_segment, Slice record_bytes) override {
     return buffer_->RdmaWrite(offset_in_segment, record_bytes);
   }
 
   Status FlushLog(SegmentId primary_segment) override {
-    AccountControlMessage(EncodeFlushLog({primary_segment}).size());
-    if (send_backup_ != nullptr) {
-      return send_backup_->HandleLogFlush(primary_segment);
-    }
-    return build_backup_->HandleLogFlush(primary_segment);
+    return WithRetry(FaultSite::kReplFlushSend, FaultSite::kReplFlushAck, /*has_ack=*/true,
+                     EncodeFlushLog({primary_segment}).size(), [&] {
+                       if (send_backup_ != nullptr) {
+                         return send_backup_->HandleLogFlush(primary_segment);
+                       }
+                       return build_backup_->HandleLogFlush(primary_segment);
+                     });
   }
 
   Status CompactionBegin(uint64_t compaction_id, int src_level, int dst_level) override {
     if (send_backup_ == nullptr) {
       return Status::Ok();
     }
-    AccountControlMessage(EncodeCompactionBegin({compaction_id,
-                                                 static_cast<uint32_t>(src_level),
-                                                 static_cast<uint32_t>(dst_level)})
-                              .size());
-    return send_backup_->HandleCompactionBegin(compaction_id, src_level, dst_level);
+    return WithRetry(FaultSite::kReplCompactionBeginSend, FaultSite::kNumSites,
+                     /*has_ack=*/false,
+                     EncodeCompactionBegin({compaction_id, static_cast<uint32_t>(src_level),
+                                            static_cast<uint32_t>(dst_level)})
+                         .size(),
+                     [&] {
+                       return send_backup_->HandleCompactionBegin(compaction_id, src_level,
+                                                                  dst_level);
+                     });
   }
 
   Status ShipIndexSegment(uint64_t compaction_id, int dst_level, int tree_level,
@@ -62,9 +78,11 @@ class LocalBackupChannel : public BackupChannel {
       return Status::Ok();
     }
     // The segment body is the dominant network cost of Send-Index.
-    AccountControlMessage(bytes.size() + 28);
-    return send_backup_->HandleIndexSegment(compaction_id, dst_level, tree_level,
-                                            primary_segment, bytes);
+    return WithRetry(FaultSite::kReplIndexSegmentSend, FaultSite::kReplIndexSegmentAck,
+                     /*has_ack=*/true, bytes.size() + 28, [&] {
+                       return send_backup_->HandleIndexSegment(compaction_id, dst_level,
+                                                               tree_level, primary_segment, bytes);
+                     });
   }
 
   Status CompactionEnd(uint64_t compaction_id, int src_level, int dst_level,
@@ -74,16 +92,21 @@ class LocalBackupChannel : public BackupChannel {
     }
     CompactionEndMsg msg{compaction_id, static_cast<uint32_t>(src_level),
                          static_cast<uint32_t>(dst_level), primary_tree};
-    AccountControlMessage(EncodeCompactionEnd(msg).size());
-    return send_backup_->HandleCompactionEnd(compaction_id, src_level, dst_level, primary_tree);
+    return WithRetry(FaultSite::kReplCompactionEndSend, FaultSite::kReplCompactionEndAck,
+                     /*has_ack=*/true, EncodeCompactionEnd(msg).size(), [&] {
+                       return send_backup_->HandleCompactionEnd(compaction_id, src_level,
+                                                                dst_level, primary_tree);
+                     });
   }
 
   Status TrimLog(size_t segments) override {
-    AccountControlMessage(EncodeTrimLog({static_cast<uint32_t>(segments)}).size());
-    if (send_backup_ != nullptr) {
-      return send_backup_->HandleTrimLog(segments);
-    }
-    return build_backup_->HandleTrimLog(segments);
+    return WithRetry(FaultSite::kReplTrimSend, FaultSite::kNumSites, /*has_ack=*/false,
+                     EncodeTrimLog({static_cast<uint32_t>(segments)}).size(), [&] {
+                       if (send_backup_ != nullptr) {
+                         return send_backup_->HandleTrimLog(segments);
+                       }
+                       return build_backup_->HandleTrimLog(segments);
+                     });
   }
 
   Status SetLogReplayStart(size_t flushed_segment_index) override {
@@ -96,7 +119,44 @@ class LocalBackupChannel : public BackupChannel {
 
   const std::string& backup_name() const override { return backup_name_; }
 
+  // Control messages re-sent after an Unavailable outcome.
+  uint64_t retries() const { return retries_; }
+
  private:
+  template <typename Handler>
+  Status DeliverOnce(FaultSite send_site, FaultSite ack_site, bool has_ack, size_t payload_size,
+                     Handler&& handler) {
+    FaultInjector* injector = fabric_->fault_injector();
+    if (injector != nullptr) {
+      // Request lost in flight: the backup never sees the message.
+      TEBIS_RETURN_IF_ERROR(injector->OnSite(send_site, primary_name_, backup_name_));
+    }
+    AccountControlMessage(payload_size);
+    TEBIS_RETURN_IF_ERROR(handler());
+    if (has_ack && injector != nullptr) {
+      // Ack lost in flight: the backup applied the message but the primary
+      // cannot tell — a retry re-delivers it.
+      TEBIS_RETURN_IF_ERROR(injector->OnSite(ack_site, backup_name_, primary_name_));
+    }
+    return Status::Ok();
+  }
+
+  template <typename Handler>
+  Status WithRetry(FaultSite send_site, FaultSite ack_site, bool has_ack, size_t payload_size,
+                   Handler&& handler) {
+    Status status = Status::Ok();
+    for (int attempt = 0; attempt < max_attempts_; ++attempt) {
+      if (attempt > 0) {
+        retries_++;
+      }
+      status = DeliverOnce(send_site, ack_site, has_ack, payload_size, handler);
+      if (!status.IsUnavailable()) {
+        return status;
+      }
+    }
+    return status;
+  }
+
   void AccountControlMessage(size_t payload_size) {
     // One request + one fixed-size ack, padded like the real protocol.
     const size_t request =
@@ -112,6 +172,8 @@ class LocalBackupChannel : public BackupChannel {
   SendIndexBackupRegion* const send_backup_;
   BuildIndexBackupRegion* const build_backup_;
   const std::string backup_name_;
+  const int max_attempts_;
+  uint64_t retries_ = 0;
 };
 
 }  // namespace tebis

@@ -165,8 +165,16 @@ void PrimaryRegion::OnAppend(SegmentId tail_segment, uint64_t offset_in_segment,
   // the backup's RDMA buffer, so promotion never replays stale bytes from a
   // previous tail image.
   Slice with_terminator(record_bytes.data(), record_bytes.size() + 4);
+  constexpr int kAppendRetryLimit = 8;
   for (auto& backup : backups_) {
-    Park(backup->RdmaWriteLog(offset_in_segment, with_terminator));
+    Status status = backup->RdmaWriteLog(offset_in_segment, with_terminator);
+    // One-sided writes dropped by a transient fabric fault are simply
+    // re-posted; a halted/partitioned peer keeps failing and the error parks.
+    for (int retry = 0; retry < kAppendRetryLimit && status.IsUnavailable(); ++retry) {
+      replication_stats_.append_retries++;
+      status = backup->RdmaWriteLog(offset_in_segment, with_terminator);
+    }
+    Park(status);
   }
   replication_stats_.log_records_replicated++;
 }

@@ -33,6 +33,7 @@ struct ReplicationStats {
   uint64_t send_index_cpu_ns = 0;       // Table 3 "Send index"
   uint64_t log_records_replicated = 0;
   uint64_t log_flushes = 0;
+  uint64_t append_retries = 0;  // transient data-plane write failures retried
   uint64_t index_segments_shipped = 0;
   uint64_t index_bytes_shipped = 0;
 };

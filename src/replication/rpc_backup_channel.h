@@ -31,6 +31,10 @@ class RpcBackupChannel : public BackupChannel {
 
   const std::string& backup_name() const override { return backup_name_; }
 
+  // The underlying connection (e.g. to set an RpcRetryPolicy for fault
+  // tolerance, or read its stats).
+  RpcClient* client() { return client_.get(); }
+
  private:
   Status CallChecked(MessageType type, Slice payload, size_t reply_alloc = 16);
 

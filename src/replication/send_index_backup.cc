@@ -50,6 +50,9 @@ SendIndexBackupRegion::SendIndexBackupRegion(BlockDevice* device, const KvStoreO
       levels_(options.max_levels + 1) {}
 
 Status SendIndexBackupRegion::HandleLogFlush(SegmentId primary_segment) {
+  if (log_map_.Contains(primary_segment)) {
+    return Status::Ok();  // duplicate delivery (the ack was lost, not the flush)
+  }
   // Persist the replicated tail (one large write, like the primary's flush).
   TEBIS_ASSIGN_OR_RETURN(
       SegmentId local,
@@ -63,6 +66,9 @@ Status SendIndexBackupRegion::HandleLogFlush(SegmentId primary_segment) {
 Status SendIndexBackupRegion::HandleCompactionBegin(uint64_t compaction_id, int src_level,
                                                     int dst_level) {
   if (pending_.has_value()) {
+    if (pending_->id == compaction_id) {
+      return Status::Ok();  // duplicate delivery
+    }
     return Status::FailedPrecondition("compaction already in progress on backup");
   }
   pending_.emplace();
@@ -146,6 +152,9 @@ Status SendIndexBackupRegion::FreeTree(const BuiltTree& tree) {
 
 Status SendIndexBackupRegion::HandleCompactionEnd(uint64_t compaction_id, int src_level,
                                                   int dst_level, const BuiltTree& primary_tree) {
+  if (!pending_.has_value() && last_completed_ == compaction_id) {
+    return Status::Ok();  // duplicate delivery: already installed
+  }
   if (!pending_.has_value() || pending_->id != compaction_id) {
     return Status::FailedPrecondition("compaction end for unknown compaction");
   }
@@ -180,6 +189,7 @@ Status SendIndexBackupRegion::HandleCompactionEnd(uint64_t compaction_id, int sr
   TEBIS_RETURN_IF_ERROR(FreeTree(levels_[dst_level]));
   levels_[dst_level] = local_tree;
   pending_.reset();  // the index map is only valid during the compaction
+  last_completed_ = compaction_id;
   return Status::Ok();
 }
 

@@ -121,6 +121,7 @@ class SendIndexBackupRegion {
   SegmentMap log_map_;
   std::vector<BuiltTree> levels_;  // [0] unused
   std::optional<PendingCompaction> pending_;
+  uint64_t last_completed_ = 0;  // last installed compaction (dedups retries)
 
   // First flushed-segment index that is NOT yet reflected in the levels; L0
   // replay starts here on promotion.

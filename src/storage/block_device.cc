@@ -3,6 +3,7 @@
 #include <fcntl.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cerrno>
 #include <cstring>
 #include <thread>
@@ -58,6 +59,8 @@ Status BlockDevice::AdoptAllocated(const std::vector<SegmentId>& segments) {
   for (SegmentId segment : segments) {
     if (segment >= allocated_.size()) {
       allocated_.resize(segment + 1, false);
+    }
+    if (segment >= segments_.size()) {
       segments_.resize(segment + 1);
     }
     allocated_[segment] = true;
@@ -89,6 +92,8 @@ StatusOr<SegmentId> BlockDevice::AllocateSegment() {
   }
   if (id >= allocated_.size()) {
     allocated_.resize(id + 1, false);
+  }
+  if (id >= segments_.size()) {
     segments_.resize(id + 1);
   }
   allocated_[id] = true;
@@ -188,23 +193,45 @@ uint64_t BlockDevice::AccountedBytes(size_t n) const {
 
 Status BlockDevice::Write(uint64_t device_offset, Slice data, IoClass io_class) {
   TEBIS_RETURN_IF_ERROR(CheckRange(device_offset, data.size()));
+  size_t apply = data.size();
+  if (fault_hook_ != nullptr) {
+    const uint64_t seq = write_seq_.fetch_add(1, std::memory_order_relaxed);
+    BlockDeviceFaultHook::WriteDecision decision = fault_hook_->OnDeviceWrite(options_.name, seq);
+    if (decision.take_snapshot) {
+      TEBIS_ASSIGN_OR_RETURN(crash_snapshot_, CloneContents());
+    }
+    if (!decision.status.ok()) {
+      return decision.status;
+    }
+    apply = std::min(apply, decision.keep_bytes);
+  }
   const SegmentId segment = geometry_.SegmentOf(device_offset);
   char* buf = SegmentBuffer(segment);
-  memcpy(buf + geometry_.OffsetInSegment(device_offset), data.data(), data.size());
-  if (fd_ >= 0) {
-    ssize_t w = pwrite(fd_, data.data(), data.size(), static_cast<off_t>(device_offset));
-    if (w != static_cast<ssize_t>(data.size())) {
+  memcpy(buf + geometry_.OffsetInSegment(device_offset), data.data(), apply);
+  if (fd_ >= 0 && apply > 0) {
+    ssize_t w = pwrite(fd_, data.data(), apply, static_cast<off_t>(device_offset));
+    if (w != static_cast<ssize_t>(apply)) {
       return Status::IoError("pwrite: " + std::string(strerror(errno)));
     }
   }
-  const uint64_t accounted = AccountedBytes(data.size());
-  stats_.AddWrite(io_class, accounted);
-  Throttle(/*is_write=*/true, accounted);
+  const uint64_t accounted = AccountedBytes(apply);
+  if (accounted > 0) {
+    stats_.AddWrite(io_class, accounted);
+    Throttle(/*is_write=*/true, accounted);
+  }
+  if (apply < data.size()) {
+    return Status::IoError("torn write injected: " + std::to_string(apply) + " of " +
+                           std::to_string(data.size()) + " bytes reached device " + options_.name);
+  }
   return Status::Ok();
 }
 
 Status BlockDevice::Read(uint64_t device_offset, size_t n, char* out, IoClass io_class) const {
   TEBIS_RETURN_IF_ERROR(CheckRange(device_offset, n));
+  if (fault_hook_ != nullptr) {
+    const uint64_t seq = read_seq_.fetch_add(1, std::memory_order_relaxed);
+    TEBIS_RETURN_IF_ERROR(fault_hook_->OnDeviceRead(options_.name, seq));
+  }
   const SegmentId segment = geometry_.SegmentOf(device_offset);
   const char* buf = SegmentBuffer(segment);
   memcpy(out, buf + geometry_.OffsetInSegment(device_offset), n);
@@ -212,6 +239,41 @@ Status BlockDevice::Read(uint64_t device_offset, size_t n, char* out, IoClass io
   stats_.AddRead(io_class, accounted);
   Throttle(/*is_write=*/false, accounted);
   return Status::Ok();
+}
+
+StatusOr<std::unique_ptr<BlockDevice>> BlockDevice::CloneContents() const {
+  BlockDeviceOptions clone_options = options_;
+  clone_options.backing_file.clear();
+  clone_options.reopen_existing = false;
+  if (!clone_options.name.empty()) {
+    clone_options.name += ".snapshot";
+  }
+  std::unique_ptr<BlockDevice> clone(new BlockDevice(clone_options));
+  TEBIS_RETURN_IF_ERROR(clone->Init());
+  std::lock_guard<std::mutex> lock(mutex_);
+  clone->segments_.resize(segments_.size());
+  for (size_t i = 0; i < segments_.size(); ++i) {
+    const char* src = segments_[i] != nullptr ? segments_[i].get() : nullptr;
+    std::unique_ptr<char[]> faulted;
+    if (src == nullptr && i < allocated_.size() && allocated_[i] && fd_ >= 0 &&
+        options_.reopen_existing) {
+      // File-backed segment not yet resident: fault it in for the clone.
+      faulted = std::make_unique<char[]>(geometry_.segment_size());
+      memset(faulted.get(), 0, geometry_.segment_size());
+      ssize_t r = pread(fd_, faulted.get(), geometry_.segment_size(),
+                        static_cast<off_t>(geometry_.BaseOffset(i)));
+      (void)r;
+      src = faulted.get();
+    }
+    if (src != nullptr) {
+      clone->segments_[i] = std::make_unique<char[]>(geometry_.segment_size());
+      memcpy(clone->segments_[i].get(), src, geometry_.segment_size());
+    }
+  }
+  // Allocation state deliberately left clean (nothing allocated, next id 0):
+  // the clone behaves like a freshly reopened device whose owners must adopt
+  // their segments before use — KvStore::Recover runs on it unchanged.
+  return clone;
 }
 
 }  // namespace tebis

@@ -9,6 +9,7 @@
 #ifndef TEBIS_STORAGE_BLOCK_DEVICE_H_
 #define TEBIS_STORAGE_BLOCK_DEVICE_H_
 
+#include <atomic>
 #include <memory>
 #include <mutex>
 #include <string>
@@ -20,6 +21,32 @@
 #include "src/storage/segment.h"
 
 namespace tebis {
+
+class BlockDevice;
+
+// Test hook consulted on every device transfer (see src/testing/fault_injector
+// for the deterministic implementation). The device stays ignorant of fault
+// scheduling: it only asks "what happens to this I/O?" and carries out the
+// answer — fail it, apply a torn prefix, or snapshot the device image first
+// (modelling the on-flash state at a crash point).
+class BlockDeviceFaultHook {
+ public:
+  virtual ~BlockDeviceFaultHook() = default;
+
+  struct WriteDecision {
+    Status status;  // non-ok: the write fails with this status (nothing written)
+    // < data size: torn write — only this prefix reaches the device, then the
+    // write fails with IoError. SIZE_MAX = intact.
+    size_t keep_bytes = SIZE_MAX;
+    // Clone the device image *before* this write lands (crash-point snapshot,
+    // retrievable via BlockDevice::TakeCrashSnapshot).
+    bool take_snapshot = false;
+  };
+
+  // `write_seq` / `read_seq` are per-device 0-based transfer counters.
+  virtual WriteDecision OnDeviceWrite(const std::string& device, uint64_t write_seq) = 0;
+  virtual Status OnDeviceRead(const std::string& device, uint64_t read_seq) = 0;
+};
 
 // Bandwidth/latency model. Zero bandwidth disables throttling for that
 // direction. The throttle accumulates debt and sleeps in >=100us chunks so
@@ -50,6 +77,8 @@ struct BlockDeviceOptions {
   // Recovery: open the backing file without truncating and fault segment
   // contents from it on first access.
   bool reopen_existing = false;
+  // Identifies this device to the fault hook (e.g. "server0").
+  std::string name;
 };
 
 class BlockDevice {
@@ -84,6 +113,22 @@ class BlockDevice {
   IoStats& stats() { return stats_; }
   const IoStats& stats() const { return stats_; }
 
+  const std::string& name() const { return options_.name; }
+
+  // Attaches (nullptr detaches) the fault hook; every subsequent transfer
+  // consults it.
+  void set_fault_hook(BlockDeviceFaultHook* hook) { fault_hook_ = hook; }
+
+  // Deep-copies the current memory image into a fresh memory-backed device
+  // with a *clean* allocation state — exactly what a reopened backing file
+  // looks like: the contents exist but nothing is adopted yet, so
+  // KvStore::Recover works on the clone unchanged.
+  StatusOr<std::unique_ptr<BlockDevice>> CloneContents() const;
+
+  // Retrieves (and clears) the crash-point snapshot taken when the fault hook
+  // requested one (WriteDecision::take_snapshot). Null if none was taken.
+  std::unique_ptr<BlockDevice> TakeCrashSnapshot() { return std::move(crash_snapshot_); }
+
  private:
   explicit BlockDevice(const BlockDeviceOptions& options);
   Status Init();
@@ -106,6 +151,11 @@ class BlockDevice {
   std::vector<SegmentId> free_list_;
   SegmentId next_segment_ = 0;
   int fd_ = -1;
+
+  BlockDeviceFaultHook* fault_hook_ = nullptr;
+  mutable std::atomic<uint64_t> write_seq_{0};
+  mutable std::atomic<uint64_t> read_seq_{0};
+  std::unique_ptr<BlockDevice> crash_snapshot_;
 
   mutable IoStats stats_;
 

@@ -1,0 +1,353 @@
+#include "src/testing/fault_injector.h"
+
+#include <algorithm>
+#include <chrono>
+#include <thread>
+
+namespace tebis {
+
+const char* FaultSiteName(FaultSite site) {
+  switch (site) {
+    case FaultSite::kFabricWrite:
+      return "fabric-write";
+    case FaultSite::kRpcSend:
+      return "rpc-send";
+    case FaultSite::kDeviceWrite:
+      return "device-write";
+    case FaultSite::kDeviceRead:
+      return "device-read";
+    case FaultSite::kReplFlushSend:
+      return "repl-flush-send";
+    case FaultSite::kReplFlushAck:
+      return "repl-flush-ack";
+    case FaultSite::kReplCompactionBeginSend:
+      return "repl-compaction-begin-send";
+    case FaultSite::kReplIndexSegmentSend:
+      return "repl-index-segment-send";
+    case FaultSite::kReplIndexSegmentAck:
+      return "repl-index-segment-ack";
+    case FaultSite::kReplCompactionEndSend:
+      return "repl-compaction-end-send";
+    case FaultSite::kReplCompactionEndAck:
+      return "repl-compaction-end-ack";
+    case FaultSite::kReplTrimSend:
+      return "repl-trim-send";
+    case FaultSite::kNumSites:
+      break;
+  }
+  return "?";
+}
+
+uint64_t FaultInjectorStats::TotalInjected() const {
+  uint64_t total = 0;
+  for (int i = 0; i < kNumFaultSites; ++i) {
+    total += injected[i];
+  }
+  return total + partition_drops + halted_drops + qp_drops + torn_writes;
+}
+
+FaultInjector::FaultInjector(uint64_t seed) : seed_(seed), rng_(seed) {}
+
+std::pair<std::string, std::string> FaultInjector::PairKey(const std::string& a,
+                                                           const std::string& b) {
+  return a < b ? std::make_pair(a, b) : std::make_pair(b, a);
+}
+
+void FaultInjector::RecordFired(FaultSite site, uint64_t event_index, std::string detail) {
+  history_.push_back(FiredFault{site, event_index, std::move(detail)});
+}
+
+// --- rule installation --------------------------------------------------------
+
+void FaultInjector::FailNth(FaultSite site, uint64_t n, StatusCode code) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  SiteRule rule;
+  rule.kind = SiteRule::Kind::kFailNth;
+  rule.n = n;
+  rule.code = code;
+  site_rules_[static_cast<int>(site)].push_back(std::move(rule));
+}
+
+void FaultInjector::FailWithProbability(FaultSite site, double p, StatusCode code) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  SiteRule rule;
+  rule.kind = SiteRule::Kind::kFailProb;
+  rule.p = p;
+  rule.code = code;
+  site_rules_[static_cast<int>(site)].push_back(std::move(rule));
+}
+
+void FaultInjector::DelayWithProbability(FaultSite site, double p, uint64_t delay_micros) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  SiteRule rule;
+  rule.kind = SiteRule::Kind::kDelayProb;
+  rule.p = p;
+  rule.delay_micros = delay_micros;
+  site_rules_[static_cast<int>(site)].push_back(std::move(rule));
+}
+
+void FaultInjector::CrashAtNth(FaultSite site, uint64_t n, const std::string& node) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  SiteRule rule;
+  rule.kind = SiteRule::Kind::kCrashNth;
+  rule.n = n;
+  rule.node = node;
+  site_rules_[static_cast<int>(site)].push_back(std::move(rule));
+}
+
+void FaultInjector::HaltAfterNth(FaultSite site, uint64_t n, const std::string& node) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  SiteRule rule;
+  rule.kind = SiteRule::Kind::kHaltAfterNth;
+  rule.n = n;
+  rule.node = node;
+  site_rules_[static_cast<int>(site)].push_back(std::move(rule));
+}
+
+void FaultInjector::HaltNode(const std::string& node) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  halted_.insert(node);
+}
+
+void FaultInjector::ReviveNode(const std::string& node) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  halted_.erase(node);
+}
+
+bool FaultInjector::IsHalted(const std::string& node) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return halted_.count(node) > 0;
+}
+
+void FaultInjector::Partition(const std::string& a, const std::string& b) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  partitions_.insert(PairKey(a, b));
+}
+
+void FaultInjector::Heal(const std::string& a, const std::string& b) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  partitions_.erase(PairKey(a, b));
+}
+
+void FaultInjector::FailQueuePair(const std::string& owner, const std::string& writer) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  failed_qps_.insert({owner, writer});
+}
+
+void FaultInjector::RestoreQueuePair(const std::string& owner, const std::string& writer) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  failed_qps_.erase({owner, writer});
+}
+
+void FaultInjector::FailNthDeviceWrite(const std::string& device, uint64_t n, StatusCode code) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  DeviceRule rule;
+  rule.kind = DeviceRule::Kind::kFailWrite;
+  rule.device = device;
+  rule.n = n;
+  rule.code = code;
+  device_rules_.push_back(std::move(rule));
+}
+
+void FaultInjector::FailNthDeviceRead(const std::string& device, uint64_t n, StatusCode code) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  DeviceRule rule;
+  rule.kind = DeviceRule::Kind::kFailRead;
+  rule.device = device;
+  rule.n = n;
+  rule.code = code;
+  device_rules_.push_back(std::move(rule));
+}
+
+void FaultInjector::TearNthDeviceWrite(const std::string& device, uint64_t n, size_t keep_bytes) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  DeviceRule rule;
+  rule.kind = DeviceRule::Kind::kTearWrite;
+  rule.device = device;
+  rule.n = n;
+  rule.keep_bytes = keep_bytes;
+  device_rules_.push_back(std::move(rule));
+}
+
+void FaultInjector::ArmCrashSnapshot(const std::string& device, uint64_t n) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  DeviceRule rule;
+  rule.kind = DeviceRule::Kind::kSnapshot;
+  rule.device = device;
+  rule.n = n;
+  device_rules_.push_back(std::move(rule));
+}
+
+void FaultInjector::ClearRules() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (auto& rules : site_rules_) {
+    rules.clear();
+  }
+  device_rules_.clear();
+  halted_.clear();
+  partitions_.clear();
+  failed_qps_.clear();
+}
+
+// --- hook entry points --------------------------------------------------------
+
+Status FaultInjector::OnSite(FaultSite site, const std::string& from, const std::string& to) {
+  uint64_t delay_micros = 0;
+  Status result = Status::Ok();
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    const int s = static_cast<int>(site);
+    const uint64_t idx = stats_.seen[s]++;
+    if (halted_.count(from) > 0 || halted_.count(to) > 0) {
+      stats_.halted_drops++;
+      return Status::Unavailable("node halted (" + (halted_.count(from) ? from : to) + ")");
+    }
+    if (partitions_.count(PairKey(from, to)) > 0) {
+      stats_.partition_drops++;
+      return Status::Unavailable("partitioned: " + from + " <-> " + to);
+    }
+    for (SiteRule& rule : site_rules_[s]) {
+      switch (rule.kind) {
+        case SiteRule::Kind::kFailNth:
+        case SiteRule::Kind::kCrashNth:
+          if (!rule.consumed && idx == rule.n) {
+            rule.consumed = true;
+            if (rule.kind == SiteRule::Kind::kCrashNth) {
+              halted_.insert(rule.node);
+              crash_fired_ = true;
+            }
+            if (result.ok()) {
+              result = Status(rule.code, std::string("injected fault at ") +
+                                             FaultSiteName(site) + " #" + std::to_string(idx));
+            }
+          }
+          break;
+        case SiteRule::Kind::kHaltAfterNth:
+          if (!rule.consumed && idx == rule.n) {
+            rule.consumed = true;
+            halted_.insert(rule.node);
+            crash_fired_ = true;
+            RecordFired(site, idx, "halt " + rule.node + " after event");
+          }
+          break;
+        case SiteRule::Kind::kFailProb: {
+          // Always roll so the RNG stream depends only on the event sequence.
+          const bool fire = rng_.NextDouble() < rule.p;
+          if (fire && result.ok()) {
+            result = Status(rule.code, std::string("injected random fault at ") +
+                                           FaultSiteName(site) + " #" + std::to_string(idx));
+          }
+          break;
+        }
+        case SiteRule::Kind::kDelayProb: {
+          const bool fire = rng_.NextDouble() < rule.p;
+          if (fire) {
+            delay_micros = std::max(delay_micros, rule.delay_micros);
+          }
+          break;
+        }
+      }
+    }
+    if (!result.ok()) {
+      stats_.injected[s]++;
+      RecordFired(site, idx, result.message());
+    }
+    if (delay_micros > 0) {
+      stats_.delays_injected++;
+      RecordFired(site, idx, "delay " + std::to_string(delay_micros) + "us");
+    }
+  }
+  if (delay_micros > 0) {
+    std::this_thread::sleep_for(std::chrono::microseconds(delay_micros));
+  }
+  return result;
+}
+
+Status FaultInjector::OnFabricWrite(const std::string& writer, const std::string& owner) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (failed_qps_.count({owner, writer}) > 0) {
+      stats_.seen[static_cast<int>(FaultSite::kFabricWrite)]++;
+      stats_.qp_drops++;
+      return Status::Unavailable("queue pair failed: " + writer + " -> " + owner);
+    }
+  }
+  return OnSite(FaultSite::kFabricWrite, writer, owner);
+}
+
+BlockDeviceFaultHook::WriteDecision FaultInjector::OnDeviceWrite(const std::string& device,
+                                                                 uint64_t write_seq) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const int s = static_cast<int>(FaultSite::kDeviceWrite);
+  stats_.seen[s]++;
+  WriteDecision decision;
+  for (DeviceRule& rule : device_rules_) {
+    if (rule.consumed || rule.device != device || rule.n != write_seq) {
+      continue;
+    }
+    switch (rule.kind) {
+      case DeviceRule::Kind::kSnapshot:
+        rule.consumed = true;
+        decision.take_snapshot = true;
+        stats_.crash_snapshots++;
+        RecordFired(FaultSite::kDeviceWrite, write_seq, "snapshot " + device);
+        break;
+      case DeviceRule::Kind::kFailWrite:
+        rule.consumed = true;
+        if (decision.status.ok()) {
+          decision.status = Status(rule.code, "injected write failure on " + device + " #" +
+                                                  std::to_string(write_seq));
+        }
+        stats_.injected[s]++;
+        RecordFired(FaultSite::kDeviceWrite, write_seq, "fail write " + device);
+        break;
+      case DeviceRule::Kind::kTearWrite:
+        rule.consumed = true;
+        decision.keep_bytes = std::min(decision.keep_bytes, rule.keep_bytes);
+        stats_.torn_writes++;
+        RecordFired(FaultSite::kDeviceWrite, write_seq,
+                    "tear write " + device + " keep=" + std::to_string(rule.keep_bytes));
+        break;
+      case DeviceRule::Kind::kFailRead:
+        break;
+    }
+  }
+  return decision;
+}
+
+Status FaultInjector::OnDeviceRead(const std::string& device, uint64_t read_seq) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const int s = static_cast<int>(FaultSite::kDeviceRead);
+  stats_.seen[s]++;
+  for (DeviceRule& rule : device_rules_) {
+    if (rule.consumed || rule.kind != DeviceRule::Kind::kFailRead || rule.device != device ||
+        rule.n != read_seq) {
+      continue;
+    }
+    rule.consumed = true;
+    stats_.injected[s]++;
+    RecordFired(FaultSite::kDeviceRead, read_seq, "fail read " + device);
+    return Status(rule.code,
+                  "injected read failure on " + device + " #" + std::to_string(read_seq));
+  }
+  return Status::Ok();
+}
+
+// --- observability ------------------------------------------------------------
+
+bool FaultInjector::crash_fired() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return crash_fired_;
+}
+
+FaultInjectorStats FaultInjector::stats() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return stats_;
+}
+
+std::vector<FiredFault> FaultInjector::history() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return history_;
+}
+
+}  // namespace tebis

@@ -14,7 +14,9 @@ StatusOr<std::unique_ptr<SimCluster>> SimCluster::Create(const SimClusterOptions
   std::unique_ptr<SimCluster> cluster(new SimCluster(options));
   for (int i = 0; i < options.num_servers; ++i) {
     cluster->server_names_.push_back("server" + std::to_string(i));
-    TEBIS_ASSIGN_OR_RETURN(auto device, BlockDevice::Create(options.device_options));
+    BlockDeviceOptions device_options = options.device_options;
+    device_options.name = cluster->server_names_.back();
+    TEBIS_ASSIGN_OR_RETURN(auto device, BlockDevice::Create(device_options));
     cluster->devices_.push_back(std::move(device));
   }
   TEBIS_ASSIGN_OR_RETURN(
@@ -42,7 +44,8 @@ StatusOr<std::unique_ptr<SimCluster>> SimCluster::Create(const SimClusterOptions
                                    cluster->devices_[backup_server].get(), options.kv_options,
                                    buffer));
         region.primary->AddBackup(std::make_unique<LocalBackupChannel>(
-            cluster->fabric_.get(), info.primary, buffer, nullptr, backup.get()));
+            cluster->fabric_.get(), info.primary, buffer, nullptr, backup.get(),
+            options.channel_max_attempts));
         region.build_backups.push_back(std::move(backup));
       } else {
         TEBIS_ASSIGN_OR_RETURN(auto backup,
@@ -50,7 +53,8 @@ StatusOr<std::unique_ptr<SimCluster>> SimCluster::Create(const SimClusterOptions
                                    cluster->devices_[backup_server].get(), options.kv_options,
                                    buffer));
         region.primary->AddBackup(std::make_unique<LocalBackupChannel>(
-            cluster->fabric_.get(), info.primary, buffer, backup.get(), nullptr));
+            cluster->fabric_.get(), info.primary, buffer, backup.get(), nullptr,
+            options.channel_max_attempts));
         region.send_backups.push_back(std::move(backup));
       }
     }
@@ -177,6 +181,13 @@ uint64_t SimCluster::TotalCompactions() const {
   return total;
 }
 
+void SimCluster::AttachFaultInjector(FaultInjector* injector) {
+  fabric_->set_fault_injector(injector);
+  for (auto& device : devices_) {
+    device->set_fault_hook(injector);
+  }
+}
+
 void SimCluster::ResetTrafficCounters() {
   for (auto& device : devices_) {
     device->stats().Reset();
@@ -196,6 +207,15 @@ Status SimCluster::VerifyBackupsConsistent(const std::vector<std::string>& keys)
       }
       if (primary_value.ok() && *primary_value != *backup_value) {
         return Status::Internal("backup value mismatch on " + key);
+      }
+    }
+    for (auto& backup : region->build_backups) {
+      auto backup_value = backup->store()->Get(key);
+      if (primary_value.ok() != backup_value.ok()) {
+        return Status::Internal("build backup divergence on " + key);
+      }
+      if (primary_value.ok() && *primary_value != *backup_value) {
+        return Status::Internal("build backup value mismatch on " + key);
       }
     }
   }

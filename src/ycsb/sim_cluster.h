@@ -36,6 +36,9 @@ struct SimClusterOptions {
   BlockDeviceOptions device_options;
   // Key space for region boundaries; must cover every key the workload uses.
   uint64_t key_space = 1ull << 32;
+  // Retry budget per control message on the backup channels (>1 makes
+  // injected transient faults survivable; see src/testing/fault_injector.h).
+  int channel_max_attempts = 1;
 };
 
 // Aggregated *inclusive* CPU timings across all servers. Calls nest (see
@@ -85,6 +88,11 @@ class SimCluster {
   const SimClusterOptions& options() const { return options_; }
   int num_regions() const { return static_cast<int>(regions_.size()); }
   PrimaryRegion* region(int i) { return regions_[i].primary.get(); }
+  Fabric* fabric() { return fabric_.get(); }
+
+  // Wires `injector` (nullptr detaches) into the fabric and every server
+  // device, so one injector schedules faults across the whole cluster.
+  void AttachFaultInjector(FaultInjector* injector);
 
   // Consistency check used by examples/tests: every key readable from the
   // primary must be readable (same value) from each Send-Index backup's
