@@ -126,6 +126,11 @@ PhaseMetrics Experiment::Capture(const YcsbResult& result, uint64_t cpu_ns,
   metrics.cpu.backup_compaction_ns =
       after.backup_compaction_ns - cpu_before.backup_compaction_ns;
   metrics.cpu.get_ns = after.get_ns - cpu_before.get_ns;
+  metrics.cpu.compaction_queue_wait_ns =
+      after.compaction_queue_wait_ns - cpu_before.compaction_queue_wait_ns;
+  metrics.cpu.compaction_merge_ns = after.compaction_merge_ns - cpu_before.compaction_merge_ns;
+  metrics.cpu.compaction_build_ns = after.compaction_build_ns - cpu_before.compaction_build_ns;
+  metrics.cpu.compaction_ship_ns = after.compaction_ship_ns - cpu_before.compaction_ship_ns;
   metrics.l0_memory_bytes = cluster_->TotalL0MemoryBytes();
   return metrics;
 }
@@ -146,6 +151,47 @@ StatusOr<PhaseMetrics> Experiment::RunPhase(const WorkloadSpec& spec) {
   TEBIS_ASSIGN_OR_RETURN(YcsbResult result, workload_->RunPhase(spec, cluster_->Hooks()));
   const uint64_t cpu_ns = ThreadCpuNanos() - cpu_start;
   return Capture(result, cpu_ns, before);
+}
+
+void BenchJson::Set(const std::string& section, const std::string& key, double value) {
+  for (auto& entry : sections_) {
+    if (entry.first == section) {
+      entry.second.emplace_back(key, value);
+      return;
+    }
+  }
+  sections_.push_back({section, {{key, value}}});
+}
+
+std::string BenchJson::Write(const std::string& dir) const {
+  const std::string path = dir + "/BENCH_" + name_ + ".json";
+  FILE* f = fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    fprintf(stderr, "BenchJson: cannot write %s\n", path.c_str());
+    return "";
+  }
+  fprintf(f, "{\n");
+  for (size_t s = 0; s < sections_.size(); ++s) {
+    fprintf(f, "  \"%s\": {\n", sections_[s].first.c_str());
+    const auto& kvs = sections_[s].second;
+    for (size_t k = 0; k < kvs.size(); ++k) {
+      fprintf(f, "    \"%s\": %.6g%s\n", kvs[k].first.c_str(), kvs[k].second,
+              k + 1 < kvs.size() ? "," : "");
+    }
+    fprintf(f, "  }%s\n", s + 1 < sections_.size() ? "," : "");
+  }
+  fprintf(f, "}\n");
+  fclose(f);
+  return path;
+}
+
+void SetLatencyPercentiles(BenchJson* json, const std::string& section,
+                           const std::string& prefix, const Histogram& histogram) {
+  if (histogram.count() == 0) {
+    return;
+  }
+  json->Set(section, prefix + "_p50_us", static_cast<double>(histogram.Percentile(50)) / 1000.0);
+  json->Set(section, prefix + "_p99_us", static_cast<double>(histogram.Percentile(99)) / 1000.0);
 }
 
 void PrintHeader(const std::string& title) {

@@ -86,6 +86,30 @@ class Experiment {
   std::unique_ptr<YcsbWorkload> workload_;
 };
 
+// --- machine-readable results ---------------------------------------------------
+
+// Accumulates nested {section: {key: number}} results and writes them as
+// BENCH_<name>.json (pretty-printed, insertion order preserved) so runs can
+// be diffed across commits. Sections and keys must not contain '"'.
+class BenchJson {
+ public:
+  explicit BenchJson(std::string bench_name) : name_(std::move(bench_name)) {}
+
+  void Set(const std::string& section, const std::string& key, double value);
+
+  // Writes BENCH_<name>.json into `dir` (default: current directory) and
+  // returns the path, or an empty string on I/O failure.
+  std::string Write(const std::string& dir = ".") const;
+
+ private:
+  std::string name_;
+  std::vector<std::pair<std::string, std::vector<std::pair<std::string, double>>>> sections_;
+};
+
+// Convenience: p50/p99 of a histogram in microseconds into `section`.
+void SetLatencyPercentiles(BenchJson* json, const std::string& section,
+                           const std::string& prefix, const Histogram& histogram);
+
 // --- table printing ------------------------------------------------------------
 
 void PrintHeader(const std::string& title);

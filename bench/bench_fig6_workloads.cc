@@ -59,6 +59,23 @@ int Main() {
   PrintMetricTable("Throughput (Kops/s)", rows, cols, throughput, 1);
   PrintMetricTable("Efficiency (Kcycles/op)", rows, cols, efficiency, 1);
 
+  BenchJson json("fig6_workloads");
+  for (size_t c = 0; c < configs.size(); ++c) {
+    for (size_t r = 0; r < rows.size(); ++r) {
+      const PhaseMetrics& m = results[c][r];
+      const std::string section = configs[c].name + " " + rows[r];
+      json.Set(section, "kops_per_sec", m.kops_per_sec);
+      json.Set(section, "kcycles_per_op", m.kcycles_per_op);
+      SetLatencyPercentiles(&json, section, "insert", m.insert_latency);
+      SetLatencyPercentiles(&json, section, "read", m.read_latency);
+      SetLatencyPercentiles(&json, section, "update", m.update_latency);
+    }
+  }
+  const std::string json_path = json.Write();
+  if (!json_path.empty()) {
+    printf("\nwrote %s\n", json_path.c_str());
+  }
+
   printf("\nShape check: Send-Index/Build-Index throughput: Load A %.2fx, Run A %.2fx,\n"
          "read-dominated Run B %.2fx / Run C %.2fx / Run D %.2fx (expected ~1.0).\n",
          throughput[0][1] / throughput[0][0], throughput[1][1] / throughput[1][0],

@@ -108,6 +108,21 @@ int Main() {
   row("Other", build_buckets.other, send_buckets.other);
   row("Total", build.cpu_ns, send.cpu_ns);
 
+  // PR 2: the primary compaction pipeline by stage (wall time inside the
+  // compaction bucket — merge, B+ tree build, and the observer/ship
+  // callbacks; queue wait is the seal-to-pickup latency, zero when
+  // synchronous). These don't peel — they break the compaction row open.
+  printf("\n%-22s %16s %16s\n", "pipeline stage", "Build-Index", "Send-Index");
+  auto stage_row = [&](const char* name, uint64_t b_ns, uint64_t s_ns) {
+    printf("%-22s %16.2f %16.2f\n", name, KcyclesPerOp(b_ns, build.ops),
+           KcyclesPerOp(s_ns, send.ops));
+  };
+  stage_row("  queue wait", build.cpu.compaction_queue_wait_ns,
+            send.cpu.compaction_queue_wait_ns);
+  stage_row("  merge", build.cpu.compaction_merge_ns, send.cpu.compaction_merge_ns);
+  stage_row("  tree build", build.cpu.compaction_build_ns, send.cpu.compaction_build_ns);
+  stage_row("  observer/ship", build.cpu.compaction_ship_ns, send.cpu.compaction_ship_ns);
+
   const double compaction_total_build = KcyclesPerOp(build_buckets.compaction, build.ops);
   const double compaction_total_send = KcyclesPerOp(
       send_buckets.compaction + send_buckets.send_index + send_buckets.rewrite, send.ops);

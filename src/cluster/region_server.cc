@@ -30,6 +30,10 @@ Status RegionServer::Start() {
     return Status::FailedPrecondition("server already started");
   }
   TEBIS_ASSIGN_OR_RETURN(device_, BlockDevice::Create(options_.device_options));
+  if (options_.compaction_workers > 0) {
+    compaction_pool_ = std::make_unique<WorkerPool>(options_.compaction_workers);
+    compaction_pool_->Start();
+  }
   client_endpoint_ = std::make_unique<ServerEndpoint>(fabric_, name_, options_.num_spinners,
                                                       options_.num_workers);
   replication_endpoint_ = std::make_unique<ServerEndpoint>(
@@ -84,9 +88,11 @@ Status RegionServer::OpenPrimaryRegion(uint32_t region_id) {
   }
   auto handle = std::make_unique<RegionHandle>();
   handle->is_primary = true;
+  KvStoreOptions kv_options = options_.kv_options;
+  kv_options.compaction_pool = compaction_pool_.get();  // null = synchronous
   TEBIS_ASSIGN_OR_RETURN(
       handle->primary,
-      PrimaryRegion::Create(device_.get(), options_.kv_options, options_.replication_mode));
+      PrimaryRegion::Create(device_.get(), kv_options, options_.replication_mode));
   regions_[region_id] = std::move(handle);
   return Status::Ok();
 }

@@ -17,6 +17,7 @@
 #include "src/cluster/coordinator.h"
 #include "src/cluster/region_map.h"
 #include "src/net/server_endpoint.h"
+#include "src/net/worker_pool.h"
 #include "src/replication/build_index_backup.h"
 #include "src/replication/primary_region.h"
 #include "src/replication/send_index_backup.h"
@@ -27,6 +28,10 @@ namespace tebis {
 struct RegionServerOptions {
   int num_spinners = 2;  // paper §4
   int num_workers = 8;   // paper §4
+  // Background compaction workers shared by this server's *primary* stores
+  // (PR 2). 0 = synchronous compactions (the seed behavior). Regions promoted
+  // from a backup role keep compacting synchronously until reopened.
+  int compaction_workers = 0;
   BlockDeviceOptions device_options;
   KvStoreOptions kv_options;
   ReplicationMode replication_mode = ReplicationMode::kSendIndex;
@@ -142,6 +147,9 @@ class RegionServer {
   RegionServerOptions options_;
 
   std::unique_ptr<BlockDevice> device_;
+  // Declared before regions_: stores must be destroyed while the pool still
+  // runs, so queued background compactions can finish.
+  std::unique_ptr<WorkerPool> compaction_pool_;
   std::unique_ptr<ServerEndpoint> client_endpoint_;
   std::unique_ptr<ServerEndpoint> replication_endpoint_;
   Coordinator::SessionId session_ = Coordinator::kNoSession;

@@ -1,5 +1,7 @@
 #include "src/lsm/compaction.h"
 
+#include "src/common/clock.h"
+
 namespace tebis {
 
 // --- MemtableMergeSource -----------------------------------------------------
@@ -75,9 +77,11 @@ Status LevelMergeSource::Next() {
 // --- MergeSources ---------------------------------------------------------------
 
 StatusOr<uint64_t> MergeSources(std::vector<MergeSource*> sources, bool drop_tombstones,
-                                BTreeBuilder* builder) {
+                                BTreeBuilder* builder, MergeStageTiming* timing) {
   uint64_t written = 0;
+  MergeStageTiming local;
   while (true) {
+    uint64_t stage_start = NowNanos();
     // Pick the smallest key; on ties the lowest source index (newest) wins.
     int best = -1;
     for (size_t i = 0; i < sources.size(); ++i) {
@@ -90,6 +94,7 @@ StatusOr<uint64_t> MergeSources(std::vector<MergeSource*> sources, bool drop_tom
       }
     }
     if (best < 0) {
+      local.merge_ns += NowNanos() - stage_start;
       break;
     }
     const MergeEntry winner = sources[best]->entry();
@@ -99,11 +104,18 @@ StatusOr<uint64_t> MergeSources(std::vector<MergeSource*> sources, bool drop_tom
         TEBIS_RETURN_IF_ERROR(src->Next());
       }
     }
+    local.merge_ns += NowNanos() - stage_start;
     if (winner.tombstone && drop_tombstones) {
       continue;
     }
+    stage_start = NowNanos();
     TEBIS_RETURN_IF_ERROR(builder->Add(winner.key, winner.log_offset));
+    local.build_ns += NowNanos() - stage_start;
     written++;
+  }
+  if (timing != nullptr) {
+    timing->merge_ns += local.merge_ns;
+    timing->build_ns += local.build_ns;
   }
   return written;
 }

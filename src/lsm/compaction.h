@@ -73,11 +73,20 @@ class LevelMergeSource : public MergeSource {
   bool valid_ = false;
 };
 
+// Per-stage wall-clock split of one merge pass, for the compaction pipeline
+// breakdown (PR 2): `merge_ns` covers picking winners and advancing sources
+// (including their log/level reads); `build_ns` covers feeding the builder.
+struct MergeStageTiming {
+  uint64_t merge_ns = 0;
+  uint64_t build_ns = 0;
+};
+
 // Merges `sources` (newest first) into `builder`. Returns the number of
 // entries written. Duplicate keys keep only the newest version; when
-// `drop_tombstones` is set, surviving tombstones are not written out.
+// `drop_tombstones` is set, surviving tombstones are not written out. When
+// `timing` is non-null, stage times are accumulated into it.
 StatusOr<uint64_t> MergeSources(std::vector<MergeSource*> sources, bool drop_tombstones,
-                                BTreeBuilder* builder);
+                                BTreeBuilder* builder, MergeStageTiming* timing = nullptr);
 
 }  // namespace tebis
 

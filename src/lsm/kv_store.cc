@@ -1,6 +1,8 @@
 #include "src/lsm/kv_store.h"
 
 #include <algorithm>
+#include <chrono>
+#include <thread>
 
 #include "src/common/clock.h"
 #include "src/common/crc32.h"
@@ -8,18 +10,21 @@
 #include "src/lsm/btree_reader.h"
 #include "src/lsm/compaction.h"
 #include "src/lsm/manifest.h"
+#include "src/net/worker_pool.h"
 
 namespace tebis {
 namespace {
 
-// Adapts a CompactionObserver to the builder's SegmentSink.
+// Adapts a CompactionObserver to the builder's SegmentSink, accounting the
+// wall time spent inside the observer (index-shipping cost, PR 2).
 class ObserverSink : public SegmentSink {
  public:
-  ObserverSink(CompactionObserver* observer, const CompactionInfo& info)
-      : observer_(observer), info_(info) {}
+  ObserverSink(CompactionObserver* observer, const CompactionInfo& info, uint64_t* ship_ns)
+      : observer_(observer), info_(info), ship_ns_(ship_ns) {}
 
   void OnSegmentComplete(int tree_level, SegmentId segment, Slice bytes) override {
     if (observer_ != nullptr) {
+      ScopedTimer t(ship_ns_);
       observer_->OnIndexSegment(info_, tree_level, segment, bytes);
     }
   }
@@ -27,9 +32,25 @@ class ObserverSink : public SegmentSink {
  private:
   CompactionObserver* observer_;
   CompactionInfo info_;
+  uint64_t* ship_ns_;
 };
 
 }  // namespace
+
+KvStore::TreeHandle::~TreeHandle() {
+  if (!retire.load(std::memory_order_acquire)) {
+    return;
+  }
+  for (SegmentId seg : tree.segments) {
+    if (cache != nullptr) {
+      cache->InvalidateSegment(seg);
+    }
+    Status freed = device->FreeSegment(seg);
+    if (!freed.ok()) {
+      TEBIS_LOG(kError) << "failed to free retired level segment: " << freed.ToString();
+    }
+  }
+}
 
 StatusOr<std::unique_ptr<KvStore>> KvStore::Create(BlockDevice* device,
                                                    const KvStoreOptions& options) {
@@ -54,18 +75,35 @@ StatusOr<std::unique_ptr<KvStore>> KvStore::CreateFromParts(BlockDevice* device,
   }
   std::unique_ptr<KvStore> store(new KvStore(device, options));
   store->log_ = std::move(log);
-  store->levels_ = std::move(levels);
+  for (size_t i = 0; i < levels.size(); ++i) {
+    store->levels_[i] = store->MakeHandle(std::move(levels[i]));
+  }
   return store;
 }
 
 KvStore::KvStore(BlockDevice* device, const KvStoreOptions& options)
     : device_(device),
       options_(options),
-      memtable_(std::make_unique<Memtable>()),
-      levels_(options.max_levels + 1) {
+      l0_slowdown_entries_(options.l0_slowdown_entries != 0
+                               ? options.l0_slowdown_entries
+                               : options.l0_max_entries + options.l0_max_entries / 2),
+      l0_stop_entries_(options.l0_stop_entries != 0 ? options.l0_stop_entries
+                                                    : 2 * options.l0_max_entries),
+      pool_(options.compaction_pool),
+      active_(std::make_shared<Memtable>()) {
   if (options.cache_bytes > 0) {
-    cache_ = std::make_unique<PageCache>(device, options.cache_bytes, options.node_size);
+    cache_ = std::make_unique<PageCache>(device, options.cache_bytes, options.node_size,
+                                         options.cache_shards);
   }
+  levels_.reserve(options.max_levels + 1);
+  for (uint32_t i = 0; i <= options.max_levels; ++i) {
+    levels_.push_back(MakeHandle(BuiltTree{}));
+  }
+}
+
+KvStore::~KvStore() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  bg_cv_.wait(lock, [&] { return !bg_scheduled_; });
 }
 
 uint64_t KvStore::LevelCapacity(uint32_t level) const {
@@ -76,6 +114,57 @@ uint64_t KvStore::LevelCapacity(uint32_t level) const {
   return cap;
 }
 
+uint64_t KvStore::l0_entries() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  uint64_t n = active_->entries();
+  if (imm_ != nullptr) {
+    n += imm_->entries();
+  }
+  return n;
+}
+
+uint64_t KvStore::l0_memory_bytes() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  uint64_t n = active_->ApproximateMemoryBytes();
+  if (imm_ != nullptr) {
+    n += imm_->ApproximateMemoryBytes();
+  }
+  return n;
+}
+
+KvStoreStats KvStore::stats() const {
+  KvStoreStats s;
+  const auto ld = [](const std::atomic<uint64_t>& a) {
+    return a.load(std::memory_order_relaxed);
+  };
+  s.puts = ld(counters_.puts);
+  s.gets = ld(counters_.gets);
+  s.deletes = ld(counters_.deletes);
+  s.scans = ld(counters_.scans);
+  s.compactions = ld(counters_.compactions);
+  s.background_compactions = ld(counters_.background_compactions);
+  s.insert_l0_cpu_ns = ld(counters_.insert_l0_cpu_ns);
+  s.compaction_cpu_ns = ld(counters_.compaction_cpu_ns);
+  s.get_cpu_ns = ld(counters_.get_cpu_ns);
+  s.write_slowdowns = ld(counters_.write_slowdowns);
+  s.write_stalls = ld(counters_.write_stalls);
+  s.write_stall_ns = ld(counters_.write_stall_ns);
+  s.compaction_queue_wait_ns = ld(counters_.compaction_queue_wait_ns);
+  s.compaction_merge_ns = ld(counters_.compaction_merge_ns);
+  s.compaction_build_ns = ld(counters_.compaction_build_ns);
+  s.compaction_ship_ns = ld(counters_.compaction_ship_ns);
+  return s;
+}
+
+KvStore::ReadSnapshot KvStore::TakeReadSnapshot() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  ReadSnapshot snap;
+  snap.active = active_;
+  snap.imm = imm_;
+  snap.levels = levels_;
+  return snap;
+}
+
 FullKeyLoader KvStore::LookupKeyLoader() {
   return [this](uint64_t off) -> StatusOr<std::string> {
     std::string key;
@@ -84,52 +173,397 @@ FullKeyLoader KvStore::LookupKeyLoader() {
   };
 }
 
-Status KvStore::Put(Slice key, Slice value) {
+// --- write path ----------------------------------------------------------------
+
+Status KvStore::Put(Slice key, Slice value) { return WriteImpl(key, value, false); }
+
+Status KvStore::Delete(Slice key) { return WriteImpl(key, Slice(), true); }
+
+Status KvStore::WriteImpl(Slice key, Slice value, bool tombstone) {
+  std::lock_guard<std::mutex> wl(write_mutex_);
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (!bg_error_.ok()) {
+      return bg_error_;
+    }
+  }
   bool flushed;
   {
-    ScopedCpuTimer t(&stats_.insert_l0_cpu_ns);
-    TEBIS_ASSIGN_OR_RETURN(ValueLog::AppendResult res, log_->Append(key, value, false));
-    memtable_->Put(key, ValueLocation{res.offset, false});
-    stats_.puts++;
-    flushed = res.flushed_segment;
+    uint64_t cpu_ns = 0;
+    {
+      ScopedCpuTimer t(&cpu_ns);
+      TEBIS_ASSIGN_OR_RETURN(ValueLog::AppendResult res, log_->Append(key, value, tombstone));
+      active_->Put(key, ValueLocation{res.offset, tombstone});
+      flushed = res.flushed_segment;
+    }
+    counters_.insert_l0_cpu_ns.fetch_add(cpu_ns, std::memory_order_relaxed);
+    (tombstone ? counters_.deletes : counters_.puts).fetch_add(1, std::memory_order_relaxed);
   }
   if (flushed && options_.auto_checkpoint) {
     TEBIS_RETURN_IF_ERROR(Checkpoint().status());
   }
-  return MaybeCompact();
+  if (pool_ == nullptr) {
+    return MaybeCompactLocked();
+  }
+  return MaybeScheduleL0();
 }
 
-Status KvStore::Delete(Slice key) {
-  bool flushed;
+Status KvStore::PutLocked(Slice key, Slice value, bool tombstone) {
+  uint64_t cpu_ns = 0;
   {
-    ScopedCpuTimer t(&stats_.insert_l0_cpu_ns);
-    TEBIS_ASSIGN_OR_RETURN(ValueLog::AppendResult res, log_->Append(key, Slice(), true));
-    memtable_->Put(key, ValueLocation{res.offset, true});
-    stats_.deletes++;
-    flushed = res.flushed_segment;
+    ScopedCpuTimer t(&cpu_ns);
+    TEBIS_ASSIGN_OR_RETURN(ValueLog::AppendResult res, log_->Append(key, value, tombstone));
+    active_->Put(key, ValueLocation{res.offset, tombstone});
   }
-  if (flushed && options_.auto_checkpoint) {
-    TEBIS_RETURN_IF_ERROR(Checkpoint().status());
-  }
-  return MaybeCompact();
-}
-
-Status KvStore::ReplayRecord(Slice key, uint64_t log_offset, bool tombstone) {
-  memtable_->Put(key, ValueLocation{log_offset, tombstone});
+  counters_.insert_l0_cpu_ns.fetch_add(cpu_ns, std::memory_order_relaxed);
+  (tombstone ? counters_.deletes : counters_.puts).fetch_add(1, std::memory_order_relaxed);
   return Status::Ok();
 }
 
-StatusOr<ValueLocation> KvStore::FindLocation(Slice key) {
+Status KvStore::ReplayRecord(Slice key, uint64_t log_offset, bool tombstone) {
+  std::lock_guard<std::mutex> wl(write_mutex_);
+  active_->Put(key, ValueLocation{log_offset, tombstone});
+  return Status::Ok();
+}
+
+Status KvStore::MaybeScheduleL0() {
+  const uint64_t entries = active_->entries();
+  if (entries < options_.l0_max_entries) {
+    return Status::Ok();
+  }
+  bool flush_in_flight;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    flush_in_flight = (imm_ != nullptr);
+  }
+  if (flush_in_flight) {
+    if (entries >= l0_stop_entries_) {
+      // Hard stall: wait for the in-flight flush, then seal immediately.
+      counters_.write_stalls.fetch_add(1, std::memory_order_relaxed);
+      const uint64_t start = NowNanos();
+      {
+        std::unique_lock<std::mutex> lock(mutex_);
+        stall_cv_.wait(lock, [&] { return imm_ == nullptr || !bg_error_.ok(); });
+        if (!bg_error_.ok()) {
+          counters_.write_stall_ns.fetch_add(NowNanos() - start, std::memory_order_relaxed);
+          return bg_error_;
+        }
+      }
+      counters_.write_stall_ns.fetch_add(NowNanos() - start, std::memory_order_relaxed);
+    } else if (entries >= l0_slowdown_entries_) {
+      // Slowdown band: pace the writer, let the flush catch up.
+      counters_.write_slowdowns.fetch_add(1, std::memory_order_relaxed);
+      std::this_thread::sleep_for(std::chrono::microseconds(options_.slowdown_sleep_us));
+      return Status::Ok();
+    } else {
+      return Status::Ok();  // over l0_max but the double buffer absorbs it
+    }
+  }
+  return SealL0Locked();
+}
+
+Status KvStore::SealL0Locked() {
+  CompactionInfo info;
+  info.compaction_id = next_compaction_id_.fetch_add(1, std::memory_order_relaxed);
+  info.src_level = 0;
+  info.dst_level = 1;
+  info.tail_sealed = true;
+  // The tail seal stays on the writer thread: the data-plane observer mirrors
+  // the flush to the backups and must never run off it. The compaction
+  // observer's begin fires later on the background job, keeping the index
+  // control messages strictly serialized (begin -> segments -> end) even when
+  // the writer seals the next memtable mid-shipment.
+  TEBIS_RETURN_IF_ERROR(log_->FlushTail());
+  info.l0_boundary = log_->flushed_segment_count();
+  bool dispatch = false;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    imm_ = std::move(active_);
+    active_ = std::make_shared<Memtable>();
+    imm_info_ = info;
+    imm_boundary_ = info.l0_boundary;
+    imm_queued_at_ns_ = NowNanos();
+    if (!bg_scheduled_) {
+      bg_scheduled_ = true;
+      dispatch = true;
+    }
+  }
+  if (dispatch) {
+    pool_->DispatchLongRunning([this] { BackgroundWork(); });
+  }
+  return Status::Ok();
+}
+
+void KvStore::BackgroundWork() {
+  while (true) {
+    CompactionJob job;
+    int cascade_src = -1;
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      if (!bg_error_.ok()) {
+        bg_scheduled_ = false;
+        bg_cv_.notify_all();
+        stall_cv_.notify_all();
+        return;
+      }
+      if (imm_ != nullptr) {
+        job.imm = imm_;
+        job.info = imm_info_;
+        job.boundary = imm_boundary_;
+        job.queued_at_ns = imm_queued_at_ns_;
+      } else {
+        for (uint32_t i = 1; i < options_.max_levels; ++i) {
+          if (levels_[i]->tree.num_entries > LevelCapacity(i)) {
+            cascade_src = static_cast<int>(i);
+            break;
+          }
+        }
+        if (cascade_src < 0) {
+          bg_scheduled_ = false;
+          bg_cv_.notify_all();
+          return;
+        }
+      }
+    }
+    if (job.imm == nullptr) {
+      // Cascade: the tail was sealed by the L0 spill that triggered this
+      // chain, and every offset in device levels is already flushed — the
+      // observer must not (and, off the writer thread, could not) flush it.
+      job.info.compaction_id = next_compaction_id_.fetch_add(1, std::memory_order_relaxed);
+      job.info.src_level = cascade_src;
+      job.info.dst_level = cascade_src + 1;
+      job.info.tail_sealed = true;
+    }
+    if (observer_ != nullptr) {
+      uint64_t begin_ns = 0;
+      {
+        ScopedTimer t(&begin_ns);
+        observer_->OnCompactionBegin(job.info);
+      }
+      counters_.compaction_ship_ns.fetch_add(begin_ns, std::memory_order_relaxed);
+    }
+    Status done = RunCompaction(job);
+    if (!done.ok()) {
+      std::lock_guard<std::mutex> lock(mutex_);
+      bg_error_ = done;
+      bg_scheduled_ = false;
+      bg_cv_.notify_all();
+      stall_cv_.notify_all();
+      return;
+    }
+    counters_.background_compactions.fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
+Status KvStore::RunCompaction(const CompactionJob& job) {
+  const uint64_t cpu_start = ThreadCpuNanos();
+  if (job.queued_at_ns != 0) {
+    counters_.compaction_queue_wait_ns.fetch_add(NowNanos() - job.queued_at_ns,
+                                                 std::memory_order_relaxed);
+  }
+  const int src_level = job.info.src_level;
+  const int dst_level = job.info.dst_level;
+  if (dst_level > static_cast<int>(options_.max_levels)) {
+    return Status::FailedPrecondition("cannot compact past the last level");
+  }
+
+  TreeRef src_ref, dst_ref;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (src_level > 0) {
+      src_ref = levels_[src_level];
+    }
+    dst_ref = levels_[dst_level];
+  }
+
+  uint64_t ship_ns = 0;
+  ObserverSink sink(observer_, job.info, &ship_ns);
+  BTreeBuilder builder(device_, options_.node_size, IoClass::kCompactionWrite, &sink);
+
+  std::unique_ptr<MemtableMergeSource> mem_src;
+  std::unique_ptr<LevelMergeSource> src_src;
+  std::unique_ptr<LevelMergeSource> dst_src;
+  std::vector<MergeSource*> sources;
+
+  if (job.imm != nullptr) {
+    mem_src = std::make_unique<MemtableMergeSource>(job.imm.get());
+    sources.push_back(mem_src.get());
+  } else if (src_ref != nullptr && !src_ref->tree.empty()) {
+    src_src = std::make_unique<LevelMergeSource>(device_, options_.node_size, src_ref->tree,
+                                                 log_.get());
+    TEBIS_RETURN_IF_ERROR(src_src->Init());
+    sources.push_back(src_src.get());
+  }
+  if (!dst_ref->tree.empty()) {
+    dst_src = std::make_unique<LevelMergeSource>(device_, options_.node_size, dst_ref->tree,
+                                                 log_.get());
+    TEBIS_RETURN_IF_ERROR(dst_src->Init());
+    sources.push_back(dst_src.get());
+  }
+
+  const bool drop_tombstones = dst_level == static_cast<int>(options_.max_levels);
+  MergeStageTiming timing;
+  TEBIS_ASSIGN_OR_RETURN(uint64_t written,
+                         MergeSources(sources, drop_tombstones, &builder, &timing));
+  (void)written;
+  TEBIS_ASSIGN_OR_RETURN(BuiltTree new_tree, builder.Finish());
+
+  // Publish atomically: swap the level handles and retire the inputs. Readers
+  // holding the old trees keep them alive until their snapshot drops.
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (src_level == 0) {
+      imm_.reset();
+      l0_replay_from_ = job.boundary;
+      stall_cv_.notify_all();
+    } else {
+      levels_[src_level]->retire.store(true, std::memory_order_release);
+      levels_[src_level] = MakeHandle(BuiltTree{});
+    }
+    levels_[dst_level]->retire.store(true, std::memory_order_release);
+    levels_[dst_level] = MakeHandle(new_tree);
+  }
+  // Drop our references: with no concurrent readers this frees the retired
+  // segments right here — the same point the synchronous engine freed them.
+  src_ref.reset();
+  dst_ref.reset();
+
+  counters_.compactions.fetch_add(1, std::memory_order_relaxed);
+  counters_.compaction_merge_ns.fetch_add(timing.merge_ns, std::memory_order_relaxed);
+  counters_.compaction_build_ns.fetch_add(timing.build_ns, std::memory_order_relaxed);
+
+  if (observer_ != nullptr) {
+    ScopedTimer t(&ship_ns);
+    observer_->OnCompactionEnd(job.info, new_tree);
+  }
+  counters_.compaction_ship_ns.fetch_add(ship_ns, std::memory_order_relaxed);
+  if (options_.auto_checkpoint) {
+    TEBIS_RETURN_IF_ERROR(Checkpoint().status());
+  }
+  counters_.compaction_cpu_ns.fetch_add(ThreadCpuNanos() - cpu_start, std::memory_order_relaxed);
+  return Status::Ok();
+}
+
+// --- synchronous compaction paths (write_mutex_ held, background drained) ------
+
+Status KvStore::MaybeCompactLocked() {
+  bool progressed = true;
+  while (progressed) {
+    progressed = false;
+    if (active_->entries() >= options_.l0_max_entries) {
+      TEBIS_RETURN_IF_ERROR(CompactIntoNextLocked(0));
+      progressed = true;
+    }
+    for (uint32_t i = 1; i < options_.max_levels; ++i) {
+      bool over;
+      {
+        std::lock_guard<std::mutex> lock(mutex_);
+        over = levels_[i]->tree.num_entries > LevelCapacity(i);
+      }
+      if (over) {
+        TEBIS_RETURN_IF_ERROR(CompactIntoNextLocked(static_cast<int>(i)));
+        progressed = true;
+      }
+    }
+  }
+  return Status::Ok();
+}
+
+Status KvStore::CompactIntoNextLocked(int src_level) {
+  CompactionJob job;
+  job.info.src_level = src_level;
+  job.info.dst_level = src_level + 1;
+  if (job.info.dst_level > static_cast<int>(options_.max_levels)) {
+    return Status::FailedPrecondition("cannot compact past the last level");
+  }
+  job.info.compaction_id = next_compaction_id_.fetch_add(1, std::memory_order_relaxed);
+  if (observer_ != nullptr) {
+    observer_->OnCompactionBegin(job.info);
+  }
+  if (src_level == 0) {
+    // Seal the tail so the new level references only flushed log segments —
+    // required both by backup pointer rewriting (§3.3) and by local recovery
+    // (the replay boundary below). The replicated observer usually flushed
+    // already, making this a no-op.
+    TEBIS_RETURN_IF_ERROR(log_->FlushTail());
+    job.boundary = log_->flushed_segment_count();
+    std::lock_guard<std::mutex> lock(mutex_);
+    imm_ = std::move(active_);
+    active_ = std::make_shared<Memtable>();
+    job.imm = imm_;
+  }
+  return RunCompaction(job);
+}
+
+Status KvStore::DrainBackgroundLocked() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  bg_cv_.wait(lock, [&] { return !bg_scheduled_; });
+  return bg_error_;
+}
+
+Status KvStore::WaitForBackgroundWork() {
+  std::lock_guard<std::mutex> wl(write_mutex_);
+  return DrainBackgroundLocked();
+}
+
+Status KvStore::MaybeCompact() {
+  std::lock_guard<std::mutex> wl(write_mutex_);
+  TEBIS_RETURN_IF_ERROR(DrainBackgroundLocked());
+  return MaybeCompactLocked();
+}
+
+Status KvStore::FlushL0() {
+  std::lock_guard<std::mutex> wl(write_mutex_);
+  TEBIS_RETURN_IF_ERROR(DrainBackgroundLocked());
+  return FlushL0Locked();
+}
+
+Status KvStore::FlushL0Locked() {
+  if (active_->entries() == 0) {
+    return Status::Ok();
+  }
+  TEBIS_RETURN_IF_ERROR(CompactIntoNextLocked(0));
+  return MaybeCompactLocked();
+}
+
+Status KvStore::ForceFullCompaction() {
+  std::lock_guard<std::mutex> wl(write_mutex_);
+  TEBIS_RETURN_IF_ERROR(DrainBackgroundLocked());
+  return ForceFullCompactionLocked();
+}
+
+Status KvStore::ForceFullCompactionLocked() {
+  TEBIS_RETURN_IF_ERROR(FlushL0Locked());
+  for (uint32_t i = 1; i < options_.max_levels; ++i) {
+    bool nonempty;
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      nonempty = !levels_[i]->tree.empty();
+    }
+    if (nonempty) {
+      TEBIS_RETURN_IF_ERROR(CompactIntoNextLocked(static_cast<int>(i)));
+    }
+  }
+  return Status::Ok();
+}
+
+// --- read path -----------------------------------------------------------------
+
+StatusOr<ValueLocation> KvStore::FindLocation(Slice key, const ReadSnapshot& snap) {
   ValueLocation loc;
-  if (memtable_->Get(key, &loc)) {
+  if (snap.active->Get(key, &loc)) {
+    return loc;
+  }
+  if (snap.imm != nullptr && snap.imm->Get(key, &loc)) {
     return loc;
   }
   FullKeyLoader loader = LookupKeyLoader();
   for (uint32_t i = 1; i <= options_.max_levels; ++i) {
-    if (levels_[i].empty()) {
+    const BuiltTree& tree = snap.levels[i]->tree;
+    if (tree.empty()) {
       continue;
     }
-    BTreeReader reader(device_, cache_.get(), options_.node_size, levels_[i], IoClass::kLookup);
+    BTreeReader reader(device_, cache_.get(), options_.node_size, tree, IoClass::kLookup);
     auto found = reader.Find(key, loader);
     if (found.ok()) {
       // The tombstone flag lives in the log record; the caller reads it.
@@ -143,32 +577,46 @@ StatusOr<ValueLocation> KvStore::FindLocation(Slice key) {
 }
 
 StatusOr<std::string> KvStore::Get(Slice key) {
-  ScopedCpuTimer t(&stats_.get_cpu_ns);
-  stats_.gets++;
-  TEBIS_ASSIGN_OR_RETURN(ValueLocation loc, FindLocation(key));
-  if (loc.tombstone) {
-    return Status::NotFound();
+  const uint64_t cpu_start = ThreadCpuNanos();
+  counters_.gets.fetch_add(1, std::memory_order_relaxed);
+  auto finish = [&](StatusOr<std::string> result) {
+    counters_.get_cpu_ns.fetch_add(ThreadCpuNanos() - cpu_start, std::memory_order_relaxed);
+    return result;
+  };
+  ReadSnapshot snap = TakeReadSnapshot();
+  auto loc = FindLocation(key, snap);
+  if (!loc.ok()) {
+    return finish(loc.status());
+  }
+  if (loc->tombstone) {
+    return finish(Status::NotFound());
   }
   LogRecord rec;
-  TEBIS_RETURN_IF_ERROR(log_->ReadRecord(loc.log_offset, &rec, cache_.get(), IoClass::kLookup));
-  if (rec.tombstone) {
-    return Status::NotFound();
+  Status read = log_->ReadRecord(loc->log_offset, &rec, cache_.get(), IoClass::kLookup);
+  if (!read.ok()) {
+    return finish(read);
   }
-  return std::move(rec.value);
+  if (rec.tombstone) {
+    return finish(Status::NotFound());
+  }
+  return finish(std::move(rec.value));
 }
 
 StatusOr<std::vector<KvPair>> KvStore::Scan(Slice start, size_t limit) {
-  stats_.scans++;
-  FullKeyLoader loader = LookupKeyLoader();
+  counters_.scans.fetch_add(1, std::memory_order_relaxed);
+  ReadSnapshot snap = TakeReadSnapshot();
 
   std::vector<std::unique_ptr<MergeSource>> owned;
-  owned.push_back(std::make_unique<MemtableMergeSource>(memtable_.get(), start));
+  owned.push_back(std::make_unique<MemtableMergeSource>(snap.active.get(), start));
+  if (snap.imm != nullptr) {
+    owned.push_back(std::make_unique<MemtableMergeSource>(snap.imm.get(), start));
+  }
   for (uint32_t i = 1; i <= options_.max_levels; ++i) {
-    if (levels_[i].empty()) {
+    const BuiltTree& tree = snap.levels[i]->tree;
+    if (tree.empty()) {
       continue;
     }
-    auto src = std::make_unique<LevelMergeSource>(device_, options_.node_size, levels_[i],
-                                                  log_.get());
+    auto src = std::make_unique<LevelMergeSource>(device_, options_.node_size, tree, log_.get());
     TEBIS_RETURN_IF_ERROR(src->Init(start));
     owned.push_back(std::move(src));
   }
@@ -205,126 +653,20 @@ StatusOr<std::vector<KvPair>> KvStore::Scan(Slice start, size_t limit) {
   return out;
 }
 
-Status KvStore::MaybeCompact() {
-  bool progressed = true;
-  while (progressed) {
-    progressed = false;
-    if (memtable_->entries() >= options_.l0_max_entries) {
-      TEBIS_RETURN_IF_ERROR(CompactIntoNext(0));
-      progressed = true;
-    }
-    for (uint32_t i = 1; i < options_.max_levels; ++i) {
-      if (levels_[i].num_entries > LevelCapacity(i)) {
-        TEBIS_RETURN_IF_ERROR(CompactIntoNext(static_cast<int>(i)));
-        progressed = true;
-      }
-    }
-  }
-  return Status::Ok();
-}
-
-Status KvStore::ForceFullCompaction() {
-  TEBIS_RETURN_IF_ERROR(FlushL0());
-  for (uint32_t i = 1; i < options_.max_levels; ++i) {
-    if (!levels_[i].empty()) {
-      TEBIS_RETURN_IF_ERROR(CompactIntoNext(static_cast<int>(i)));
-    }
-  }
-  return Status::Ok();
-}
-
-Status KvStore::FlushL0() {
-  if (memtable_->entries() == 0) {
-    return Status::Ok();
-  }
-  TEBIS_RETURN_IF_ERROR(CompactIntoNext(0));
-  return MaybeCompact();
-}
-
-Status KvStore::FreeTreeSegments(const BuiltTree& tree) {
-  for (SegmentId seg : tree.segments) {
-    if (cache_ != nullptr) {
-      cache_->InvalidateSegment(seg);
-    }
-    TEBIS_RETURN_IF_ERROR(device_->FreeSegment(seg));
-  }
-  return Status::Ok();
-}
-
-Status KvStore::CompactIntoNext(int src_level) {
-  ScopedCpuTimer t(&stats_.compaction_cpu_ns);
-  const int dst_level = src_level + 1;
-  if (dst_level > static_cast<int>(options_.max_levels)) {
-    return Status::FailedPrecondition("cannot compact past the last level");
-  }
-  CompactionInfo info{next_compaction_id_++, src_level, dst_level};
-  if (observer_ != nullptr) {
-    observer_->OnCompactionBegin(info);
-  }
-  if (src_level == 0) {
-    // Seal the tail so the new level references only flushed log segments —
-    // required both by backup pointer rewriting (§3.3) and by local recovery
-    // (the replay boundary below). The replicated observer usually flushed
-    // already, making this a no-op.
-    TEBIS_RETURN_IF_ERROR(log_->FlushTail());
-    l0_replay_from_ = log_->flushed_segments().size();
-  }
-
-  ObserverSink sink(observer_, info);
-  BTreeBuilder builder(device_, options_.node_size, IoClass::kCompactionWrite, &sink);
-
-  std::unique_ptr<MemtableMergeSource> mem_src;
-  std::unique_ptr<LevelMergeSource> src_src;
-  std::unique_ptr<LevelMergeSource> dst_src;
-  std::vector<MergeSource*> sources;
-
-  if (src_level == 0) {
-    mem_src = std::make_unique<MemtableMergeSource>(memtable_.get());
-    sources.push_back(mem_src.get());
-  } else if (!levels_[src_level].empty()) {
-    src_src = std::make_unique<LevelMergeSource>(device_, options_.node_size, levels_[src_level],
-                                                 log_.get());
-    TEBIS_RETURN_IF_ERROR(src_src->Init());
-    sources.push_back(src_src.get());
-  }
-  if (!levels_[dst_level].empty()) {
-    dst_src = std::make_unique<LevelMergeSource>(device_, options_.node_size, levels_[dst_level],
-                                                 log_.get());
-    TEBIS_RETURN_IF_ERROR(dst_src->Init());
-    sources.push_back(dst_src.get());
-  }
-
-  const bool drop_tombstones = dst_level == static_cast<int>(options_.max_levels);
-  TEBIS_ASSIGN_OR_RETURN(uint64_t written, MergeSources(sources, drop_tombstones, &builder));
-  (void)written;
-  TEBIS_ASSIGN_OR_RETURN(BuiltTree new_tree, builder.Finish());
-
-  // Retire the inputs.
-  if (src_level == 0) {
-    memtable_ = std::make_unique<Memtable>();
-  } else {
-    TEBIS_RETURN_IF_ERROR(FreeTreeSegments(levels_[src_level]));
-    levels_[src_level] = BuiltTree{};
-  }
-  TEBIS_RETURN_IF_ERROR(FreeTreeSegments(levels_[dst_level]));
-  levels_[dst_level] = new_tree;
-
-  stats_.compactions++;
-  if (observer_ != nullptr) {
-    observer_->OnCompactionEnd(info, new_tree);
-  }
-  if (options_.auto_checkpoint) {
-    TEBIS_RETURN_IF_ERROR(Checkpoint().status());
-  }
-  return Status::Ok();
-}
+// --- maintenance ----------------------------------------------------------------
 
 StatusOr<size_t> KvStore::GarbageCollectHead(size_t max_segments) {
-  const auto& flushed = log_->flushed_segments();
+  std::lock_guard<std::mutex> wl(write_mutex_);
+  TEBIS_RETURN_IF_ERROR(DrainBackgroundLocked());
+  const std::vector<SegmentId> flushed = log_->FlushedSegmentsSnapshot();
   const size_t n = std::min(max_segments, flushed.size());
   if (n == 0) {
     return size_t{0};
   }
+  // Levels are stable for the whole GC (background drained, we are the only
+  // writer) and PutLocked only grows the active memtable, so one snapshot
+  // serves every liveness check.
+  ReadSnapshot snap = TakeReadSnapshot();
   const uint64_t seg_size = device_->segment_size();
   std::string buf;
   buf.resize(seg_size);
@@ -338,7 +680,7 @@ StatusOr<size_t> KvStore::GarbageCollectHead(size_t max_segments) {
             return Status::Ok();  // tombstones live in the index, not the log head
           }
           // Live iff this offset is still the newest version of the key.
-          auto loc = FindLocation(rec.key);
+          auto loc = FindLocation(rec.key, snap);
           if (!loc.ok()) {
             if (loc.status().IsNotFound()) {
               return Status::Ok();
@@ -348,21 +690,24 @@ StatusOr<size_t> KvStore::GarbageCollectHead(size_t max_segments) {
           if (loc->tombstone || loc->log_offset != rec.offset) {
             return Status::Ok();  // superseded
           }
-          return Put(rec.key, rec.value);  // move to the tail
+          return PutLocked(rec.key, rec.value, false);  // move to the tail
         }));
   }
   // The moved records are duplicated at the tail, but leaf entries in device
   // levels may still reference the head segments. Run a full cascade so the
   // newest (tail) versions replace every stale reference, then trim.
-  TEBIS_RETURN_IF_ERROR(ForceFullCompaction());
-  const auto& still_flushed = log_->flushed_segments();
+  TEBIS_RETURN_IF_ERROR(ForceFullCompactionLocked());
+  const std::vector<SegmentId> still_flushed = log_->FlushedSegmentsSnapshot();
   if (cache_ != nullptr) {
     for (size_t s = 0; s < n && s < still_flushed.size(); ++s) {
       cache_->InvalidateSegment(still_flushed[s]);
     }
   }
   TEBIS_RETURN_IF_ERROR(log_->TrimHead(n));
-  l0_replay_from_ -= std::min(l0_replay_from_, n);
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    l0_replay_from_ -= std::min(l0_replay_from_, n);
+  }
   if (options_.auto_checkpoint) {
     TEBIS_RETURN_IF_ERROR(Checkpoint().status());
   }
@@ -370,13 +715,16 @@ StatusOr<size_t> KvStore::GarbageCollectHead(size_t max_segments) {
 }
 
 StatusOr<KvStore::IntegrityReport> KvStore::CheckIntegrity() {
+  std::lock_guard<std::mutex> wl(write_mutex_);
+  TEBIS_RETURN_IF_ERROR(DrainBackgroundLocked());
   IntegrityReport report;
   // Levels: in-order iteration with every entry's record readable.
   for (uint32_t level = 1; level <= options_.max_levels; ++level) {
-    if (levels_[level].empty()) {
+    const BuiltTree& tree = levels_[level]->tree;
+    if (tree.empty()) {
       continue;
     }
-    BTreeReader reader(device_, nullptr, options_.node_size, levels_[level], IoClass::kOther);
+    BTreeReader reader(device_, nullptr, options_.node_size, tree, IoClass::kOther);
     BTreeIterator it(&reader);
     TEBIS_RETURN_IF_ERROR(it.SeekToFirst());
     std::string prev;
@@ -400,17 +748,17 @@ StatusOr<KvStore::IntegrityReport> KvStore::CheckIntegrity() {
       entries++;
       TEBIS_RETURN_IF_ERROR(it.Next());
     }
-    if (entries != levels_[level].num_entries) {
+    if (entries != tree.num_entries) {
       return Status::Corruption("L" + std::to_string(level) + " entry count mismatch: " +
                                 std::to_string(entries) + " vs " +
-                                std::to_string(levels_[level].num_entries));
+                                std::to_string(tree.num_entries));
     }
     report.level_entries_checked += entries;
   }
   // Value log: every flushed segment parses with valid CRCs.
   const uint64_t seg_size = device_->segment_size();
   std::string buf(seg_size, 0);
-  for (SegmentId seg : log_->flushed_segments()) {
+  for (SegmentId seg : log_->FlushedSegmentsSnapshot()) {
     const uint64_t base = device_->geometry().BaseOffset(seg);
     TEBIS_RETURN_IF_ERROR(device_->Read(base, seg_size, buf.data(), IoClass::kOther));
     TEBIS_RETURN_IF_ERROR(ValueLog::ForEachRecord(Slice(buf.data(), buf.size()), base,
@@ -425,18 +773,30 @@ StatusOr<KvStore::IntegrityReport> KvStore::CheckIntegrity() {
 // --- checkpoint / local recovery ---------------------------------------------
 
 StatusOr<SegmentId> KvStore::Checkpoint() {
+  std::lock_guard<std::mutex> cp(checkpoint_mutex_);
   Manifest manifest;
-  manifest.levels = levels_;
-  manifest.log_flushed_segments = log_->flushed_segments();
-  manifest.l0_replay_from = l0_replay_from_;
+  // Capture a consistent {levels, replay boundary} pair; the log snapshot
+  // taken after may contain newer flushed segments, which recovery simply
+  // replays into L0 (they are not in any level yet).
+  std::vector<TreeRef> held;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    held = levels_;
+    manifest.l0_replay_from = l0_replay_from_;
+  }
+  manifest.levels.reserve(held.size());
+  for (const TreeRef& h : held) {
+    manifest.levels.push_back(h->tree);
+  }
+  manifest.log_flushed_segments = log_->FlushedSegmentsSnapshot();
   // Chained CRC over each level's on-device segments, so recovery can tell a
   // torn/lost index write from an intact level.
-  manifest.level_crcs.assign(levels_.size(), 0);
+  manifest.level_crcs.assign(manifest.levels.size(), 0);
   {
     std::string seg_buf(device_->segment_size(), 0);
-    for (size_t i = 1; i < levels_.size(); ++i) {
+    for (size_t i = 1; i < manifest.levels.size(); ++i) {
       uint32_t crc = 0;
-      for (SegmentId seg : levels_[i].segments) {
+      for (SegmentId seg : manifest.levels[i].segments) {
         TEBIS_RETURN_IF_ERROR(device_->Read(device_->geometry().BaseOffset(seg), seg_buf.size(),
                                             seg_buf.data(), IoClass::kOther));
         crc = Crc32c(seg_buf.data(), seg_buf.size(), crc);
@@ -528,7 +888,7 @@ StatusOr<std::unique_ptr<KvStore>> KvStore::Recover(BlockDevice* device,
 
   // Rebuild L0 from the flushed-but-unindexed log suffix (same mechanism as
   // backup promotion).
-  const auto& flushed = store->log_->flushed_segments();
+  const std::vector<SegmentId> flushed = store->log_->FlushedSegmentsSnapshot();
   std::string segment(device->segment_size(), 0);
   for (size_t i = manifest.l0_replay_from; i < flushed.size(); ++i) {
     const uint64_t base = device->geometry().BaseOffset(flushed[i]);
@@ -549,6 +909,23 @@ StatusOr<std::unique_ptr<KvStore>> KvStore::Recover(BlockDevice* device,
     TEBIS_RETURN_IF_ERROR(replay);
   }
   return store;
+}
+
+KvStore::Parts KvStore::Decompose(std::unique_ptr<KvStore> store) {
+  (void)store->WaitForBackgroundWork();
+  Parts parts;
+  parts.log = std::move(store->log_);
+  parts.levels.reserve(store->levels_.size());
+  for (const TreeRef& h : store->levels_) {
+    parts.levels.push_back(h->tree);
+  }
+  parts.l0_replay_from = store->l0_replay_from_;
+  return parts;
+}
+
+Status KvStore::BackgroundErrorLocked() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return bg_error_;
 }
 
 }  // namespace tebis

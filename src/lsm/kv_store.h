@@ -9,10 +9,31 @@
 //                               plus compaction begin/end (Send-Index, §3.3)
 //  * ReplayRecord/CreateFromParts — rebuilds L0 / adopts shipped levels when a
 //                               backup is promoted to primary (§3.5)
+//
+// Threading model (PR 2) — see DESIGN.md "Threading model":
+//  * One logical writer at a time (Put/Delete/ReplayRecord and every
+//    maintenance operation serialize on an internal writer lock).
+//  * Any number of concurrent Get/Scan threads. Readers take a snapshot of
+//    {active memtable, immutable memtable, level trees} under a short state
+//    lock; level trees are refcounted so a compaction can retire them while a
+//    reader is still walking them — segments are freed only when the last
+//    reference drops.
+//  * With KvStoreOptions::compaction_pool set, L0 spills are double-buffered:
+//    the full memtable is sealed (tail flush + swap on the writer thread, so
+//    replication's data plane stays single-threaded) and merged into L1 by a
+//    background job, which also runs any L1→L2→… cascade. Writers slow down
+//    when the fresh L0 grows past l0_slowdown_entries and hard-stall at
+//    l0_stop_entries until the background flush catches up.
+//  * With a null pool the engine is fully synchronous and byte-for-byte
+//    equivalent to the pre-pipeline behavior (fault-injection crash points
+//    stay deterministic).
 #ifndef TEBIS_LSM_KV_STORE_H_
 #define TEBIS_LSM_KV_STORE_H_
 
+#include <atomic>
+#include <condition_variable>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -25,6 +46,8 @@
 #include "src/storage/block_device.h"
 
 namespace tebis {
+
+class WorkerPool;
 
 struct KvStoreOptions {
   // L0 spills into L1 when it reaches this many keys (paper: 96K; the
@@ -39,19 +62,48 @@ struct KvStoreOptions {
   // Page-cache capacity for lookups/scans; 0 disables caching (the paper caps
   // the cache at 25% of the dataset via cgroups).
   uint64_t cache_bytes = 0;
+  // Mutex stripes for the page cache (clamped down for tiny caches).
+  uint32_t cache_shards = PageCache::kDefaultShards;
   // Persist a checkpoint manifest after every compaction and tail flush, so
   // Recover() restores everything up to the last flushed log segment.
   bool auto_checkpoint = false;
+
+  // Background compaction (PR 2). When set, L0 spills and level cascades run
+  // as a long-running job on this pool and writes overlap compaction. The
+  // pool must be Start()ed and must outlive the store. Null = synchronous.
+  WorkerPool* compaction_pool = nullptr;
+  // Writers sleep briefly per operation once the active L0 exceeds this while
+  // a flush is already in flight (0 = 3/2 × l0_max_entries).
+  uint64_t l0_slowdown_entries = 0;
+  // Writers block until the in-flight flush finishes once the active L0
+  // reaches this (0 = 2 × l0_max_entries).
+  uint64_t l0_stop_entries = 0;
+  // Per-operation delay applied in the slowdown band.
+  uint64_t slowdown_sleep_us = 200;
 };
 
 struct CompactionInfo {
   uint64_t compaction_id = 0;
   int src_level = 0;  // 0 == L0
   int dst_level = 1;
+  // True when the engine already sealed the value-log tail for this
+  // compaction (background jobs: the seal ran on the writer thread when the
+  // memtable was swapped): observers must not flush the tail themselves —
+  // they are running off the writer thread where a flush would race appends.
+  bool tail_sealed = false;
+  // Valid when tail_sealed && src_level == 0: number of flushed log segments
+  // at seal time — the L0 replay boundary this compaction covers. (With
+  // tail_sealed unset the observer derives it from the log after flushing.)
+  size_t l0_boundary = 0;
 };
 
 // Observer of the compaction lifecycle; the Send-Index primary attaches one
 // to stream index segments to its backups while the compaction runs.
+// Synchronous mode: every callback runs on the writer thread. With a
+// compaction pool, all three callbacks run on the background worker, strictly
+// serialized per store (begin -> segments -> end, one compaction at a time) —
+// implementations must be thread-safe against the data-plane (value log)
+// callbacks, which keep arriving on the writer thread.
 class CompactionObserver {
  public:
   virtual ~CompactionObserver() = default;
@@ -70,10 +122,21 @@ struct KvStoreStats {
   uint64_t deletes = 0;
   uint64_t scans = 0;
   uint64_t compactions = 0;
+  // Compactions that ran on the background pool (subset of `compactions`).
+  uint64_t background_compactions = 0;
   // Per-thread CPU time per component (Table 3 breakdown).
   uint64_t insert_l0_cpu_ns = 0;   // Put path excluding compaction work
   uint64_t compaction_cpu_ns = 0;  // merge + build + I/O issue (incl. observer time)
   uint64_t get_cpu_ns = 0;
+  // Write backpressure (PR 2).
+  uint64_t write_slowdowns = 0;  // puts delayed in the slowdown band
+  uint64_t write_stalls = 0;     // puts that hard-stalled on the L0 flush
+  uint64_t write_stall_ns = 0;   // wall time spent hard-stalled
+  // Compaction pipeline stages, wall time (PR 2).
+  uint64_t compaction_queue_wait_ns = 0;  // seal → background job start
+  uint64_t compaction_merge_ns = 0;       // k-way merge incl. source reads
+  uint64_t compaction_build_ns = 0;       // feeding the B+ tree builder
+  uint64_t compaction_ship_ns = 0;        // observer callbacks (index shipping)
 };
 
 struct KvPair {
@@ -94,6 +157,8 @@ class KvStore {
                                                             std::unique_ptr<ValueLog> log,
                                                             std::vector<BuiltTree> levels);
 
+  ~KvStore();
+
   KvStore(const KvStore&) = delete;
   KvStore& operator=(const KvStore&) = delete;
 
@@ -110,15 +175,21 @@ class KvStore {
   Status ReplayRecord(Slice key, uint64_t log_offset, bool tombstone);
 
   // Forces an L0 -> L1 compaction (plus any cascade) even if L0 is not full.
+  // Drains any in-flight background work first and runs synchronously.
   Status FlushL0();
 
-  // Runs compactions until every level is within capacity.
+  // Runs compactions until every level is within capacity (synchronously;
+  // drains background work first).
   Status MaybeCompact();
 
   // Flushes L0 and then compacts every non-empty level downwards, leaving all
   // data in the deepest reachable level. Used before value-log trims so that
   // no surviving leaf entry references superseded record offsets.
   Status ForceFullCompaction();
+
+  // Blocks until no background compaction is queued or running; returns (and
+  // clears nothing — the error is sticky) any background compaction failure.
+  Status WaitForBackgroundWork();
 
   // Value-log GC: scans up to `max_segments` of the oldest flushed log
   // segments, re-appends live records, and trims the head. Returns the number
@@ -140,7 +211,8 @@ class KvStore {
   // Persists a manifest (levels, flushed log segments, L0 replay boundary)
   // into a dedicated segment and returns its id; the previous checkpoint
   // segment is freed. The id is the store's "superblock" handle — keep it
-  // somewhere durable (Recover needs it).
+  // somewhere durable (Recover needs it). Safe to call from the writer thread
+  // or the background job concurrently with readers.
   StatusOr<SegmentId> Checkpoint();
 
   // Rebuilds a store from `checkpoint_segment` on a device whose backing file
@@ -152,61 +224,159 @@ class KvStore {
                                                     SegmentId checkpoint_segment);
 
   // Dismantles a store into its durable parts (graceful primary handover:
-  // the demoted primary re-wraps them as a backup region). The L0 content is
-  // dropped — the caller must have flushed the tail, which makes every L0
-  // record recoverable from the flushed segments past l0_replay_from.
+  // the demoted primary re-wraps them as a backup region). Drains background
+  // work first. The L0 content is dropped — the caller must have flushed the
+  // tail, which makes every L0 record recoverable from the flushed segments
+  // past l0_replay_from.
   struct Parts {
     std::unique_ptr<ValueLog> log;
     std::vector<BuiltTree> levels;
     size_t l0_replay_from;
   };
-  static Parts Decompose(std::unique_ptr<KvStore> store) {
-    Parts parts;
-    parts.log = std::move(store->log_);
-    parts.levels = std::move(store->levels_);
-    parts.l0_replay_from = store->l0_replay_from_;
-    return parts;
-  }
+  static Parts Decompose(std::unique_ptr<KvStore> store);
 
   void set_compaction_observer(CompactionObserver* observer) { observer_ = observer; }
 
   ValueLog* value_log() { return log_.get(); }
   PageCache* cache() { return cache_.get(); }
   const KvStoreOptions& options() const { return options_; }
-  uint64_t l0_entries() const { return memtable_->entries(); }
-  uint64_t l0_memory_bytes() const { return memtable_->ApproximateMemoryBytes(); }
-  const BuiltTree& level(uint32_t i) const { return levels_[i]; }
+  // Active + sealed-but-unflushed L0 entries.
+  uint64_t l0_entries() const;
+  uint64_t l0_memory_bytes() const;
+  // Only valid while no compaction can run concurrently (quiesced store or
+  // after WaitForBackgroundWork with no writers).
+  const BuiltTree& level(uint32_t i) const { return levels_[i]->tree; }
   uint32_t max_levels() const { return options_.max_levels; }
-  const KvStoreStats& stats() const { return stats_; }
+  KvStoreStats stats() const;
 
   uint64_t LevelCapacity(uint32_t level) const;
 
  private:
+  // A published level tree. Readers hold shared_ptr copies; when a compaction
+  // replaces the level it marks the old handle retired, and the destructor —
+  // running when the last reader drops its reference — frees the segments and
+  // invalidates their cache pages. Unretired handles (live levels at store
+  // teardown, Decompose) never free anything.
+  struct TreeHandle {
+    BlockDevice* device = nullptr;
+    PageCache* cache = nullptr;
+    BuiltTree tree;
+    std::atomic<bool> retire{false};
+
+    TreeHandle(BlockDevice* d, PageCache* c, BuiltTree t)
+        : device(d), cache(c), tree(std::move(t)) {}
+    ~TreeHandle();
+  };
+  using TreeRef = std::shared_ptr<TreeHandle>;
+
+  // What a reader sees: consistent pointers, contents safe to read
+  // concurrently with one writer.
+  struct ReadSnapshot {
+    std::shared_ptr<Memtable> active;
+    std::shared_ptr<Memtable> imm;  // may be null
+    std::vector<TreeRef> levels;
+  };
+
+  // One unit of compaction work.
+  struct CompactionJob {
+    CompactionInfo info;
+    std::shared_ptr<Memtable> imm;  // non-null for L0 spills
+    size_t boundary = 0;            // L0 replay boundary captured at seal
+    uint64_t queued_at_ns = 0;      // 0 = ran inline (no queue wait)
+  };
+
+  // Mirrors KvStoreStats with atomics (concurrent readers + background job).
+  struct StatsCounters {
+    std::atomic<uint64_t> puts{0}, gets{0}, deletes{0}, scans{0};
+    std::atomic<uint64_t> compactions{0}, background_compactions{0};
+    std::atomic<uint64_t> insert_l0_cpu_ns{0}, compaction_cpu_ns{0}, get_cpu_ns{0};
+    std::atomic<uint64_t> write_slowdowns{0}, write_stalls{0}, write_stall_ns{0};
+    std::atomic<uint64_t> compaction_queue_wait_ns{0};
+    std::atomic<uint64_t> compaction_merge_ns{0}, compaction_build_ns{0};
+    std::atomic<uint64_t> compaction_ship_ns{0};
+  };
+
   KvStore(BlockDevice* device, const KvStoreOptions& options);
 
-  Status CompactIntoNext(int src_level);
-  Status FreeTreeSegments(const BuiltTree& tree);
-  // Resolves the newest location of `key`, searching L0 then L1..Lmax.
-  StatusOr<ValueLocation> FindLocation(Slice key);
+  TreeRef MakeHandle(BuiltTree tree) {
+    return std::make_shared<TreeHandle>(device_, cache_.get(), std::move(tree));
+  }
+
+  ReadSnapshot TakeReadSnapshot() const;
+
+  Status WriteImpl(Slice key, Slice value, bool tombstone);
+  // Append + L0 insert without backpressure/seals; requires write_mutex_.
+  Status PutLocked(Slice key, Slice value, bool tombstone);
+
+  // Backpressure + seal/dispatch once the active L0 is full; write_mutex_.
+  Status MaybeScheduleL0();
+  // Seals the active memtable: tail flush on this (writer) thread — the
+  // data-plane observer mirrors it — then the swap; dispatches the background
+  // job unless one is already running. The compaction observer's begin fires
+  // later, on the background thread, with tail_sealed set. write_mutex_ held,
+  // imm_ must be empty.
+  Status SealL0Locked();
+
+  // Background job: drains the immutable memtable, then any over-capacity
+  // level cascade; exits when there is nothing left.
+  void BackgroundWork();
+
+  // Synchronous paths (write_mutex_ held, background drained).
+  Status MaybeCompactLocked();
+  Status FlushL0Locked();
+  Status ForceFullCompactionLocked();
+  Status CompactIntoNextLocked(int src_level);
+
+  // Merge + publish + observer end + auto-checkpoint for one job. Runs on the
+  // writer thread (sync) or the background worker (async).
+  Status RunCompaction(const CompactionJob& job);
+
+  // Waits until the background job is idle; returns the sticky error.
+  // write_mutex_ must be held (blocks new seals).
+  Status DrainBackgroundLocked();
+  Status BackgroundErrorLocked() const;
+
+  StatusOr<ValueLocation> FindLocation(Slice key, const ReadSnapshot& snap);
   FullKeyLoader LookupKeyLoader();
 
   BlockDevice* const device_;
   const KvStoreOptions options_;
+  const uint64_t l0_slowdown_entries_;
+  const uint64_t l0_stop_entries_;
+  WorkerPool* const pool_;
 
   std::unique_ptr<ValueLog> log_;
-  std::unique_ptr<Memtable> memtable_;
   std::unique_ptr<PageCache> cache_;
+
+  // Lock hierarchy: write_mutex_ > mutex_ > (tail lock inside ValueLog).
+  // checkpoint_mutex_ is a leaf taken after write_mutex_ or alone (background
+  // job). Neither mutex_ nor write_mutex_ is ever held across merge I/O or
+  // observer callbacks.
+  std::mutex write_mutex_;               // serializes writers + maintenance
+  mutable std::mutex mutex_;             // state below
+  std::condition_variable stall_cv_;     // signaled when imm_ drains
+  std::condition_variable bg_cv_;        // signaled when the bg job goes idle
+
+  // --- guarded by mutex_ ---
+  std::shared_ptr<Memtable> active_;
+  std::shared_ptr<Memtable> imm_;        // sealed memtable being flushed
+  CompactionInfo imm_info_;
+  size_t imm_boundary_ = 0;
+  uint64_t imm_queued_at_ns_ = 0;
   // levels_[0] unused (L0 is the memtable); levels_[1..max_levels] on device.
-  std::vector<BuiltTree> levels_;
+  // Entries are never null. Only the background job (or the writer thread in
+  // sync paths, with the background drained) replaces them.
+  std::vector<TreeRef> levels_;
+  bool bg_scheduled_ = false;
+  Status bg_error_;                      // sticky
+  size_t l0_replay_from_ = 0;            // first flushed segment not in levels
 
   CompactionObserver* observer_ = nullptr;
-  uint64_t next_compaction_id_ = 1;
-  KvStoreStats stats_;
+  std::atomic<uint64_t> next_compaction_id_{1};
+  mutable StatsCounters counters_;
 
-  // First flushed log segment not yet reflected in the levels (recovery
-  // replays from here), plus the current checkpoint segment.
-  size_t l0_replay_from_ = 0;
-  SegmentId checkpoint_segment_ = kInvalidSegment;
+  std::mutex checkpoint_mutex_;          // serializes Checkpoint()
+  SegmentId checkpoint_segment_ = kInvalidSegment;  // guarded by checkpoint_mutex_
 };
 
 }  // namespace tebis

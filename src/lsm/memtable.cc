@@ -3,18 +3,46 @@
 #include <cstring>
 
 namespace tebis {
+namespace {
+
+// ValueLocation packed into one atomic word so in-place updates are visible
+// to concurrent readers without tearing. Device offsets never use bit 63
+// (capacity = max_segments * segment_size << 2^63), which leaves it free for
+// the tombstone flag; kInvalidOffset (all ones) packs/unpacks unchanged.
+constexpr uint64_t kTombstoneBit = 1ull << 63;
+
+uint64_t PackLocation(ValueLocation loc) {
+  if (loc.log_offset == kInvalidOffset) {
+    return kInvalidOffset;
+  }
+  return loc.log_offset | (loc.tombstone ? kTombstoneBit : 0);
+}
+
+ValueLocation UnpackLocation(uint64_t packed) {
+  if (packed == kInvalidOffset) {
+    return ValueLocation{};
+  }
+  return ValueLocation{packed & ~kTombstoneBit, (packed & kTombstoneBit) != 0};
+}
+
+}  // namespace
 
 struct Memtable::Node {
-  std::string key;
-  ValueLocation location;
+  std::string key;                // immutable after construction
+  std::atomic<uint64_t> packed;   // ValueLocation, updated in place
   int height;
-  Node* next[1];  // flexible: height pointers allocated inline
+  std::atomic<Node*> next[1];  // flexible: height pointers allocated inline
+
+  Node* Next(int level) const { return next[level].load(std::memory_order_acquire); }
+  void SetNext(int level, Node* n) { next[level].store(n, std::memory_order_release); }
+  // Pre-publication init: no reader can see this node yet.
+  void NoBarrierSetNext(int level, Node* n) { next[level].store(n, std::memory_order_relaxed); }
 };
 
 Memtable::Memtable() : max_height_(1), rng_(0xdecafbadull), entries_(0), memory_bytes_(0) {
   head_ = NewNode(Slice(), ValueLocation{}, kMaxHeight);
   for (int i = 0; i < kMaxHeight; ++i) {
-    head_->next[i] = nullptr;
+    head_->SetNext(i, nullptr);
   }
 }
 
@@ -26,17 +54,18 @@ Memtable::~Memtable() {
 }
 
 Memtable::Node* Memtable::NewNode(Slice key, ValueLocation location, int height) {
-  const size_t bytes = sizeof(Node) + sizeof(Node*) * (static_cast<size_t>(height) - 1);
+  const size_t bytes =
+      sizeof(Node) + sizeof(std::atomic<Node*>) * (static_cast<size_t>(height) - 1);
   void* mem = ::operator new(bytes);
   Node* node = new (mem) Node();
   node->key = key.ToString();
-  node->location = location;
+  node->packed.store(PackLocation(location), std::memory_order_relaxed);
   node->height = height;
   for (int i = 0; i < height; ++i) {
-    node->next[i] = nullptr;
+    node->NoBarrierSetNext(i, nullptr);
   }
   all_nodes_.push_back(node);
-  memory_bytes_ += bytes + key.size();
+  memory_bytes_.fetch_add(bytes + key.size(), std::memory_order_relaxed);
   return node;
 }
 
@@ -50,9 +79,9 @@ int Memtable::RandomHeight() {
 
 Memtable::Node* Memtable::FindGreaterOrEqual(Slice key, Node** prev) const {
   Node* x = head_;
-  int level = max_height_ - 1;
+  int level = max_height_.load(std::memory_order_acquire) - 1;
   while (true) {
-    Node* next = x->next[level];
+    Node* next = x->Next(level);
     if (next != nullptr && Slice(next->key).Compare(key) < 0) {
       x = next;
     } else {
@@ -71,28 +100,31 @@ void Memtable::Put(Slice key, ValueLocation location) {
   Node* prev[kMaxHeight];
   Node* node = FindGreaterOrEqual(key, prev);
   if (node != nullptr && Slice(node->key) == key) {
-    node->location = location;  // newest version wins in place
+    // Newest version wins in place; one atomic word so readers never tear.
+    node->packed.store(PackLocation(location), std::memory_order_release);
     return;
   }
   const int height = RandomHeight();
-  if (height > max_height_) {
-    for (int i = max_height_; i < height; ++i) {
+  if (height > max_height_.load(std::memory_order_relaxed)) {
+    for (int i = max_height_.load(std::memory_order_relaxed); i < height; ++i) {
       prev[i] = head_;
     }
-    max_height_ = height;
+    // Readers racing with this see either the old or new height; with the old
+    // height they simply skip the taller levels of the new node.
+    max_height_.store(height, std::memory_order_release);
   }
   Node* fresh = NewNode(key, location, height);
   for (int i = 0; i < height; ++i) {
-    fresh->next[i] = prev[i]->next[i];
-    prev[i]->next[i] = fresh;
+    fresh->NoBarrierSetNext(i, prev[i]->Next(i));
+    prev[i]->SetNext(i, fresh);  // publication: release-stores the fully built node
   }
-  entries_++;
+  entries_.fetch_add(1, std::memory_order_release);
 }
 
 bool Memtable::Get(Slice key, ValueLocation* out) const {
   Node* node = FindGreaterOrEqual(key, nullptr);
   if (node != nullptr && Slice(node->key) == key) {
-    *out = node->location;
+    *out = UnpackLocation(node->packed.load(std::memory_order_acquire));
     return true;
   }
   return false;
@@ -101,15 +133,16 @@ bool Memtable::Get(Slice key, ValueLocation* out) const {
 Slice Memtable::Iterator::key() const { return Slice(static_cast<const Node*>(node_)->key); }
 
 ValueLocation Memtable::Iterator::location() const {
-  return static_cast<const Node*>(node_)->location;
+  return UnpackLocation(
+      static_cast<const Node*>(node_)->packed.load(std::memory_order_acquire));
 }
 
-void Memtable::Iterator::Next() { node_ = static_cast<const Node*>(node_)->next[0]; }
+void Memtable::Iterator::Next() { node_ = static_cast<const Node*>(node_)->Next(0); }
 
 void Memtable::Iterator::Seek(Slice target) {
   node_ = table_->FindGreaterOrEqual(target, nullptr);
 }
 
-void Memtable::Iterator::SeekToFirst() { node_ = table_->head_->next[0]; }
+void Memtable::Iterator::SeekToFirst() { node_ = table_->head_->Next(0); }
 
 }  // namespace tebis

@@ -2,9 +2,18 @@
 // L0 fully in memory to amortize I/O during the L0->L1 compaction; Tebis
 // Send-Index backups do NOT keep one (paper §3.3), which is where the memory
 // savings come from.
+//
+// Concurrency contract (PR 2 threading model, see DESIGN.md): at most one
+// writer at a time (the engine serializes Puts), any number of concurrent
+// readers without locks. Nodes are published with release stores and read
+// with acquire loads; node keys are immutable and locations are updated in
+// place through one packed atomic word. Once a memtable is sealed (swapped
+// behind a fresh active table) it is immutable and may be read freely by the
+// background compaction.
 #ifndef TEBIS_LSM_MEMTABLE_H_
 #define TEBIS_LSM_MEMTABLE_H_
 
+#include <atomic>
 #include <memory>
 #include <string>
 #include <vector>
@@ -29,17 +38,20 @@ class Memtable {
   Memtable(const Memtable&) = delete;
   Memtable& operator=(const Memtable&) = delete;
 
-  // Inserts or overwrites the location of `key`.
+  // Inserts or overwrites the location of `key`. Single writer only.
   void Put(Slice key, ValueLocation location);
 
   // Returns true and fills `out` if the key is present (tombstones count as
-  // present — the caller must check).
+  // present — the caller must check). Safe concurrently with one writer.
   bool Get(Slice key, ValueLocation* out) const;
 
-  size_t entries() const { return entries_; }
-  size_t ApproximateMemoryBytes() const { return memory_bytes_; }
+  size_t entries() const { return entries_.load(std::memory_order_acquire); }
+  size_t ApproximateMemoryBytes() const {
+    return memory_bytes_.load(std::memory_order_relaxed);
+  }
 
-  // Sorted forward iterator.
+  // Sorted forward iterator. Safe concurrently with one writer: it observes
+  // some consistent prefix-closed subset of the inserted keys.
   class Iterator {
    public:
     bool Valid() const { return node_ != nullptr; }
@@ -69,11 +81,11 @@ class Memtable {
   Node* FindGreaterOrEqual(Slice key, Node** prev) const;
 
   Node* head_;
-  int max_height_;
+  std::atomic<int> max_height_;
   Random rng_;
-  size_t entries_;
-  size_t memory_bytes_;
-  std::vector<Node*> all_nodes_;  // owned; freed in destructor
+  std::atomic<size_t> entries_;
+  std::atomic<size_t> memory_bytes_;
+  std::vector<Node*> all_nodes_;  // owned; touched only by the writer / dtor
 };
 
 }  // namespace tebis

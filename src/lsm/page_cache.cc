@@ -5,59 +5,75 @@
 
 namespace tebis {
 
-PageCache::PageCache(BlockDevice* device, uint64_t capacity_bytes, uint64_t page_size)
-    : device_(device),
-      page_size_(page_size),
-      capacity_pages_(std::max<uint64_t>(1, capacity_bytes / page_size)) {}
+PageCache::PageCache(BlockDevice* device, uint64_t capacity_bytes, uint64_t page_size,
+                     uint32_t shards)
+    : device_(device), page_size_(page_size) {
+  const uint64_t capacity_pages = std::max<uint64_t>(1, capacity_bytes / page_size);
+  uint32_t num_shards = std::max<uint32_t>(1, shards);
+  num_shards = static_cast<uint32_t>(std::min<uint64_t>(
+      num_shards, std::max<uint64_t>(1, capacity_pages / kMinPagesPerShard)));
+  capacity_pages_per_shard_ = std::max<uint64_t>(1, capacity_pages / num_shards);
+  shards_.reserve(num_shards);
+  for (uint32_t i = 0; i < num_shards; ++i) {
+    shards_.push_back(std::make_unique<Shard>());
+  }
+}
 
-Status PageCache::FaultPage(uint64_t page_offset, IoClass io_class, const char** data) {
-  auto it = pages_.find(page_offset);
-  if (it != pages_.end()) {
-    hits_++;
-    lru_.splice(lru_.begin(), lru_, it->second);
+Status PageCache::FaultPage(Shard& shard, uint64_t page_offset, IoClass io_class,
+                            const char** data) {
+  auto it = shard.pages.find(page_offset);
+  if (it != shard.pages.end()) {
+    hits_.fetch_add(1, std::memory_order_relaxed);
+    device_->stats().AddCacheHit();
+    shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
     *data = it->second->data.get();
     return Status::Ok();
   }
-  misses_++;
+  misses_.fetch_add(1, std::memory_order_relaxed);
+  device_->stats().AddCacheMiss();
   Page page;
   page.page_offset = page_offset;
   page.data = std::make_unique<char[]>(page_size_);
   TEBIS_RETURN_IF_ERROR(device_->Read(page_offset, page_size_, page.data.get(), io_class));
-  lru_.push_front(std::move(page));
-  pages_[page_offset] = lru_.begin();
-  while (pages_.size() > capacity_pages_) {
-    pages_.erase(lru_.back().page_offset);
-    lru_.pop_back();
+  shard.lru.push_front(std::move(page));
+  shard.pages[page_offset] = shard.lru.begin();
+  while (shard.pages.size() > capacity_pages_per_shard_) {
+    shard.pages.erase(shard.lru.back().page_offset);
+    shard.lru.pop_back();
   }
-  *data = lru_.front().data.get();
+  *data = shard.lru.front().data.get();
   return Status::Ok();
 }
 
 Status PageCache::Read(uint64_t offset, size_t n, char* out, IoClass io_class) {
-  std::lock_guard<std::mutex> lock(mutex_);
   size_t done = 0;
   while (done < n) {
     const uint64_t cur = offset + done;
     const uint64_t page_offset = cur & ~(page_size_ - 1);
     const uint64_t in_page = cur - page_offset;
     const size_t chunk = std::min<uint64_t>(n - done, page_size_ - in_page);
-    const char* data = nullptr;
-    TEBIS_RETURN_IF_ERROR(FaultPage(page_offset, io_class, &data));
-    memcpy(out + done, data + in_page, chunk);
+    Shard& shard = ShardFor(page_offset);
+    {
+      std::lock_guard<std::mutex> lock(shard.mutex);
+      const char* data = nullptr;
+      TEBIS_RETURN_IF_ERROR(FaultPage(shard, page_offset, io_class, &data));
+      memcpy(out + done, data + in_page, chunk);
+    }
     done += chunk;
   }
   return Status::Ok();
 }
 
 void PageCache::InvalidateSegment(SegmentId segment) {
-  std::lock_guard<std::mutex> lock(mutex_);
   const SegmentGeometry& geometry = device_->geometry();
   const uint64_t base = geometry.BaseOffset(segment);
   for (uint64_t off = base; off < base + geometry.segment_size(); off += page_size_) {
-    auto it = pages_.find(off);
-    if (it != pages_.end()) {
-      lru_.erase(it->second);
-      pages_.erase(it);
+    Shard& shard = ShardFor(off);
+    std::lock_guard<std::mutex> lock(shard.mutex);
+    auto it = shard.pages.find(off);
+    if (it != shard.pages.end()) {
+      shard.lru.erase(it->second);
+      shard.pages.erase(it);
     }
   }
 }

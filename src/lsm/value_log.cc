@@ -34,11 +34,16 @@ StatusOr<std::unique_ptr<ValueLog>> ValueLog::Recover(BlockDevice* device,
 ValueLog::ValueLog(BlockDevice* device) : device_(device) {}
 
 Status ValueLog::OpenNewTail() {
-  TEBIS_ASSIGN_OR_RETURN(tail_segment_, device_->AllocateSegment());
+  TEBIS_ASSIGN_OR_RETURN(SegmentId fresh, device_->AllocateSegment());
   if (tail_buffer_ == nullptr) {
     tail_buffer_ = std::make_unique<char[]>(device_->segment_size());
   }
+  // The buffer reset and the tail identity swap must be atomic with respect to
+  // tail-path readers: once tail_segment_ changes, in-flight reads of the old
+  // segment fall through to the device (the seal already persisted it).
+  std::lock_guard<std::mutex> lock(tail_mutex_);
   memset(tail_buffer_.get(), 0, device_->segment_size());
+  tail_segment_ = fresh;
   tail_used_ = 0;
   return Status::Ok();
 }
@@ -46,7 +51,8 @@ Status ValueLog::OpenNewTail() {
 Status ValueLog::SealTail() {
   const uint64_t seg_size = device_->segment_size();
   if (tail_used_ < seg_size) {
-    // Pad the remainder so readers stop at the marker.
+    // Pad the remainder so readers stop at the marker. The pad bytes sit past
+    // the published tail_used_, which no reader touches.
     EncodeU32(tail_buffer_.get() + tail_used_, kPadMarker);
   }
   const uint64_t base = device_->geometry().BaseOffset(tail_segment_);
@@ -55,6 +61,7 @@ Status ValueLog::SealTail() {
   if (observer_ != nullptr) {
     observer_->OnTailFlush(tail_segment_, Slice(tail_buffer_.get(), seg_size));
   }
+  std::lock_guard<std::mutex> lock(tail_mutex_);
   flushed_segments_.push_back(tail_segment_);
   return Status::Ok();
 }
@@ -89,8 +96,13 @@ StatusOr<ValueLog::AppendResult> ValueLog::Append(Slice key, Slice value, bool t
   const uint64_t offset_in_segment = tail_used_;
   result.offset = device_->geometry().BaseOffset(tail_segment_) | offset_in_segment;
   result.encoded_size = need;
-  tail_used_ += need;
-  total_appended_bytes_ += need;
+  {
+    // Publish the record: readers acquire tail_mutex_ before reading up to
+    // tail_used_, so the byte writes above happen-before any reader's copy.
+    std::lock_guard<std::mutex> lock(tail_mutex_);
+    tail_used_ += need;
+  }
+  total_appended_bytes_.fetch_add(need, std::memory_order_relaxed);
 
   if (observer_ != nullptr) {
     observer_->OnAppend(tail_segment_, offset_in_segment, Slice(p, need));
@@ -142,13 +154,16 @@ Status ValueLog::ReadRecord(uint64_t offset, LogRecord* out, PageCache* cache,
   const SegmentId segment = geometry.SegmentOf(offset);
   const uint64_t in_segment = geometry.OffsetInSegment(offset);
 
-  if (segment == tail_segment_) {
-    if (in_segment >= tail_used_) {
-      return Status::OutOfRange("offset past log tail");
+  {
+    std::lock_guard<std::mutex> lock(tail_mutex_);
+    if (segment == tail_segment_) {
+      if (in_segment >= tail_used_) {
+        return Status::OutOfRange("offset past log tail");
+      }
+      TEBIS_ASSIGN_OR_RETURN(
+          *out, Decode(tail_buffer_.get() + in_segment, tail_used_ - in_segment, offset));
+      return Status::Ok();
     }
-    TEBIS_ASSIGN_OR_RETURN(*out,
-                           Decode(tail_buffer_.get() + in_segment, tail_used_ - in_segment, offset));
-    return Status::Ok();
   }
 
   // Flushed segment: read header first, then the body.
@@ -184,20 +199,23 @@ Status ValueLog::ReadKey(uint64_t offset, std::string* key, bool* tombstone, Pag
   const SegmentId segment = geometry.SegmentOf(offset);
   const uint64_t in_segment = geometry.OffsetInSegment(offset);
 
-  if (segment == tail_segment_) {
-    if (in_segment >= tail_used_) {
-      return Status::OutOfRange("offset past log tail");
+  {
+    std::lock_guard<std::mutex> lock(tail_mutex_);
+    if (segment == tail_segment_) {
+      if (in_segment >= tail_used_) {
+        return Status::OutOfRange("offset past log tail");
+      }
+      const char* p = tail_buffer_.get() + in_segment;
+      const uint32_t key_size = DecodeU32(p);
+      if (key_size == 0 || key_size > kMaxKeySize) {
+        return Status::Corruption("bad key size in tail record");
+      }
+      key->assign(p + kLogRecordHeaderSize, key_size);
+      if (tombstone != nullptr) {
+        *tombstone = (p[8] & kRecordFlagTombstone) != 0;
+      }
+      return Status::Ok();
     }
-    const char* p = tail_buffer_.get() + in_segment;
-    const uint32_t key_size = DecodeU32(p);
-    if (key_size == 0 || key_size > kMaxKeySize) {
-      return Status::Corruption("bad key size in tail record");
-    }
-    key->assign(p + kLogRecordHeaderSize, key_size);
-    if (tombstone != nullptr) {
-      *tombstone = (p[8] & kRecordFlagTombstone) != 0;
-    }
-    return Status::Ok();
   }
 
   auto read = [&](uint64_t off, size_t n, char* dst) -> Status {
@@ -220,6 +238,7 @@ Status ValueLog::ReadKey(uint64_t offset, std::string* key, bool* tombstone, Pag
 }
 
 Status ValueLog::TrimHead(size_t n) {
+  std::lock_guard<std::mutex> lock(tail_mutex_);
   if (n > flushed_segments_.size()) {
     return Status::InvalidArgument("trim beyond flushed log");
   }
@@ -237,6 +256,7 @@ StatusOr<SegmentId> ValueLog::AppendRawSegment(Slice segment_bytes) {
   TEBIS_ASSIGN_OR_RETURN(SegmentId seg, device_->AllocateSegment());
   const uint64_t base = device_->geometry().BaseOffset(seg);
   TEBIS_RETURN_IF_ERROR(device_->Write(base, segment_bytes, IoClass::kLogFlush));
+  std::lock_guard<std::mutex> lock(tail_mutex_);
   flushed_segments_.push_back(seg);
   return seg;
 }

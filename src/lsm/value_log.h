@@ -2,11 +2,20 @@
 // lives in memory; when it fills, it is flushed to the device with one large
 // write and observers are notified — that is the hook the replication layer
 // uses to mirror the log to backups (paper §3.2).
+//
+// Concurrency contract (PR 2): all mutating calls (Append, FlushTail,
+// AppendRawSegment, TrimHead) come from ONE thread at a time — the engine's
+// writer path or a quiesced maintenance operation. ReadRecord/ReadKey are safe
+// from any number of concurrent threads: they take a short internal lock only
+// when the offset may live in the in-memory tail, and read flushed segments
+// straight from the device/cache.
 #ifndef TEBIS_LSM_VALUE_LOG_H_
 #define TEBIS_LSM_VALUE_LOG_H_
 
+#include <atomic>
 #include <functional>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -82,10 +91,29 @@ class ValueLog {
   Status ReadKey(uint64_t offset, std::string* key, bool* tombstone, PageCache* cache,
                  IoClass io_class) const;
 
-  SegmentId tail_segment() const { return tail_segment_; }
-  uint64_t tail_used() const { return tail_used_; }
+  SegmentId tail_segment() const {
+    std::lock_guard<std::mutex> lock(tail_mutex_);
+    return tail_segment_;
+  }
+  uint64_t tail_used() const {
+    std::lock_guard<std::mutex> lock(tail_mutex_);
+    return tail_used_;
+  }
+  // Direct reference — only valid while no mutating call runs concurrently
+  // (checkpoint, recovery, integrity checks). Concurrent readers use the
+  // snapshot below.
   const std::vector<SegmentId>& flushed_segments() const { return flushed_segments_; }
-  uint64_t total_appended_bytes() const { return total_appended_bytes_; }
+  std::vector<SegmentId> FlushedSegmentsSnapshot() const {
+    std::lock_guard<std::mutex> lock(tail_mutex_);
+    return flushed_segments_;
+  }
+  size_t flushed_segment_count() const {
+    std::lock_guard<std::mutex> lock(tail_mutex_);
+    return flushed_segments_.size();
+  }
+  uint64_t total_appended_bytes() const {
+    return total_appended_bytes_.load(std::memory_order_relaxed);
+  }
 
   // Frees the oldest `n` flushed segments (value-log trim after GC).
   Status TrimHead(size_t n);
@@ -113,12 +141,18 @@ class ValueLog {
   BlockDevice* const device_;
   ValueLogObserver* observer_ = nullptr;
 
+  // Orders tail-state publication (tail_segment_, tail_used_, buffer resets,
+  // flushed_segments_) against concurrent tail-path readers. Never held across
+  // device I/O or observer callbacks. Record bytes past tail_used_ are written
+  // outside the lock: readers never look beyond the published tail_used_.
+  mutable std::mutex tail_mutex_;
+
   SegmentId tail_segment_ = kInvalidSegment;
   std::unique_ptr<char[]> tail_buffer_;
   uint64_t tail_used_ = 0;
 
   std::vector<SegmentId> flushed_segments_;
-  uint64_t total_appended_bytes_ = 0;
+  std::atomic<uint64_t> total_appended_bytes_{0};
 };
 
 }  // namespace tebis

@@ -56,6 +56,9 @@ void WorkerPool::Dispatch(Task task) {
     const int candidate = (last_worker_ + probe) % n;
     Worker& w = *workers_[candidate];
     const bool sleeping = w.sleeping.load(std::memory_order_acquire);
+    if (w.long_pending.load(std::memory_order_acquire) > 0) {
+      continue;  // occupied by a compaction-sized task; short tasks go elsewhere
+    }
     std::lock_guard<std::mutex> lock(w.mutex);
     if (!sleeping && w.queue.size() < kWorkerQueueThreshold) {
       chosen = candidate;
@@ -79,6 +82,46 @@ void WorkerPool::Dispatch(Task task) {
   {
     std::lock_guard<std::mutex> lock(w.mutex);
     w.queue.push_back(std::move(task));
+  }
+  if (w.sleeping.load(std::memory_order_acquire)) {
+    w.cv.notify_one();
+  }
+}
+
+void WorkerPool::DispatchLongRunning(Task task) {
+  std::lock_guard<std::mutex> dispatch_lock(dispatch_mutex_);
+  const int n = num_workers();
+  // Best worker: no long task already on it, then shallowest queue. Ties keep
+  // the lowest index (deterministic for tests).
+  int chosen = 0;
+  int best_long = workers_[0]->long_pending.load(std::memory_order_acquire);
+  size_t best_depth;
+  {
+    std::lock_guard<std::mutex> lock(workers_[0]->mutex);
+    best_depth = workers_[0]->queue.size();
+  }
+  for (int i = 1; i < n; ++i) {
+    Worker& w = *workers_[i];
+    const int pending = w.long_pending.load(std::memory_order_acquire);
+    size_t depth;
+    {
+      std::lock_guard<std::mutex> lock(w.mutex);
+      depth = w.queue.size();
+    }
+    if (pending < best_long || (pending == best_long && depth < best_depth)) {
+      chosen = i;
+      best_long = pending;
+      best_depth = depth;
+    }
+  }
+  Worker& w = *workers_[chosen];
+  w.long_pending.fetch_add(1, std::memory_order_acq_rel);
+  {
+    std::lock_guard<std::mutex> lock(w.mutex);
+    w.queue.push_back([&w, task = std::move(task)] {
+      task();
+      w.long_pending.fetch_sub(1, std::memory_order_acq_rel);
+    });
   }
   if (w.sleeping.load(std::memory_order_acquire)) {
     w.cv.notify_one();

@@ -38,6 +38,12 @@ class WorkerPool {
   // threads).
   void Dispatch(Task task);
 
+  // Dispatches a long-running task (e.g. a background compaction, PR 2).
+  // Prefers an idle worker with no other long task queued, so compactions do
+  // not serialize behind each other; short Dispatch() traffic in turn avoids
+  // workers occupied by a long task while any other running worker has room.
+  void DispatchLongRunning(Task task);
+
   int num_workers() const { return static_cast<int>(workers_.size()); }
   size_t QueueDepth(int worker) const;
   bool IsSleeping(int worker) const;
@@ -54,6 +60,8 @@ class WorkerPool {
     std::thread thread;
     std::atomic<bool> sleeping{false};
     std::atomic<bool> busy{false};
+    // Long-running tasks queued or executing on this worker.
+    std::atomic<int> long_pending{0};
   };
 
   void WorkerLoop(Worker* worker);

@@ -43,10 +43,12 @@ PrimaryRegion::PrimaryRegion(BlockDevice* device, ReplicationMode mode)
     : device_(device), mode_(mode) {}
 
 void PrimaryRegion::AddBackup(std::unique_ptr<BackupChannel> channel) {
+  std::lock_guard<std::recursive_mutex> lock(region_mutex_);
   backups_.push_back(std::move(channel));
 }
 
 bool PrimaryRegion::RemoveBackup(const std::string& backup_name) {
+  std::lock_guard<std::recursive_mutex> lock(region_mutex_);
   for (auto it = backups_.begin(); it != backups_.end(); ++it) {
     if ((*it)->backup_name() == backup_name) {
       backups_.erase(it);
@@ -57,6 +59,7 @@ bool PrimaryRegion::RemoveBackup(const std::string& backup_name) {
 }
 
 void PrimaryRegion::Park(const Status& status) {
+  std::lock_guard<std::recursive_mutex> lock(region_mutex_);
   if (!status.ok() && parked_error_.ok()) {
     TEBIS_LOG(kError) << "replication error parked: " << status.ToString();
     parked_error_ = status;
@@ -64,6 +67,7 @@ void PrimaryRegion::Park(const Status& status) {
 }
 
 Status PrimaryRegion::TakeParkedError() {
+  std::lock_guard<std::recursive_mutex> lock(region_mutex_);
   Status s = parked_error_;
   parked_error_ = Status::Ok();
   return s;
@@ -109,7 +113,7 @@ Status PrimaryRegion::FullSync(BackupChannel* channel) {
   std::string buf(seg_size, 0);
   // 1) The value log, oldest first, through the normal §3.2 path: buffer
   //    write + flush message builds the backup's log and log map.
-  for (SegmentId seg : store_->value_log()->flushed_segments()) {
+  for (SegmentId seg : store_->value_log()->FlushedSegmentsSnapshot()) {
     TEBIS_RETURN_IF_ERROR(device_->Read(device_->geometry().BaseOffset(seg), seg_size, buf.data(),
                                         IoClass::kRecovery));
     TEBIS_RETURN_IF_ERROR(channel->RdmaWriteLog(0, Slice(buf)));
@@ -156,6 +160,7 @@ Status PrimaryRegion::ReplayBufferImage(Slice image) {
 
 void PrimaryRegion::OnAppend(SegmentId tail_segment, uint64_t offset_in_segment,
                              Slice record_bytes) {
+  std::lock_guard<std::recursive_mutex> lock(region_mutex_);
   if (backups_.empty()) {
     return;
   }
@@ -180,6 +185,7 @@ void PrimaryRegion::OnAppend(SegmentId tail_segment, uint64_t offset_in_segment,
 }
 
 void PrimaryRegion::OnTailFlush(SegmentId tail_segment, Slice segment_bytes) {
+  std::lock_guard<std::recursive_mutex> lock(region_mutex_);
   if (backups_.empty()) {
     return;
   }
@@ -197,14 +203,24 @@ void PrimaryRegion::OnTailFlush(SegmentId tail_segment, Slice segment_bytes) {
 // --- index shipping (§3.3) -------------------------------------------------------
 
 void PrimaryRegion::OnCompactionBegin(const CompactionInfo& info) {
+  std::lock_guard<std::recursive_mutex> lock(region_mutex_);
   // Every log offset the compaction will emit must already be flushed (and
   // therefore mapped on the backups): seal the tail first. Done even without
-  // backups so the L0 boundary stays exact for later FullSyncs.
-  in_compaction_begin_ = true;
-  Park(store_->value_log()->FlushTail());
-  in_compaction_begin_ = false;
+  // backups so the L0 boundary stays exact for later FullSyncs. Background
+  // cascades arrive with tail_sealed set — the engine already sealed the tail
+  // at the L0 spill that started the chain, and this callback may be off the
+  // writer thread where flushing would race live appends.
+  if (!info.tail_sealed) {
+    in_compaction_begin_ = true;
+    Park(store_->value_log()->FlushTail());
+    in_compaction_begin_ = false;
+  }
   if (info.src_level == 0) {
-    l0_boundary_ = store_->value_log()->flushed_segments().size();
+    // With a pre-sealed tail the writer may have flushed more segments since
+    // the seal; those records live in the *new* memtable, so the boundary is
+    // the seal-time count the engine captured, not the current one.
+    l0_boundary_ =
+        info.tail_sealed ? info.l0_boundary : store_->value_log()->flushed_segment_count();
   }
   if (backups_.empty() || mode_ != ReplicationMode::kSendIndex) {
     return;
@@ -217,6 +233,7 @@ void PrimaryRegion::OnCompactionBegin(const CompactionInfo& info) {
 
 void PrimaryRegion::OnIndexSegment(const CompactionInfo& info, int tree_level, SegmentId segment,
                                    Slice bytes) {
+  std::lock_guard<std::recursive_mutex> lock(region_mutex_);
   if (mode_ != ReplicationMode::kSendIndex || backups_.empty()) {
     return;
   }
@@ -230,6 +247,7 @@ void PrimaryRegion::OnIndexSegment(const CompactionInfo& info, int tree_level, S
 }
 
 void PrimaryRegion::OnCompactionEnd(const CompactionInfo& info, const BuiltTree& new_tree) {
+  std::lock_guard<std::recursive_mutex> lock(region_mutex_);
   if (mode_ != ReplicationMode::kSendIndex || backups_.empty()) {
     return;
   }

@@ -8,6 +8,7 @@
 #define TEBIS_REPLICATION_PRIMARY_REGION_H_
 
 #include <memory>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -81,7 +82,10 @@ class PrimaryRegion : public ValueLogObserver, public CompactionObserver {
   Status ReplayBufferImage(Slice image);
 
   // Index of the first flushed log segment not yet covered by the levels.
-  size_t l0_boundary() const { return l0_boundary_; }
+  size_t l0_boundary() const {
+    std::lock_guard<std::recursive_mutex> lock(region_mutex_);
+    return l0_boundary_;
+  }
 
   KvStore* store() { return store_.get(); }
   // Graceful demotion: detaches observers and hands the engine to the caller.
@@ -116,6 +120,14 @@ class PrimaryRegion : public ValueLogObserver, public CompactionObserver {
   BlockDevice* const device_;
   const ReplicationMode mode_;
   std::unique_ptr<KvStore> store_;
+
+  // With a background compaction pool, index-shipping callbacks arrive on the
+  // worker thread while data-plane callbacks keep arriving on the writer
+  // thread. One recursive lock serializes every callback plus the backup set
+  // and parked-error state (recursive because an L0 compaction begin flushes
+  // the tail, which re-enters through OnTailFlush). Never held across a call
+  // back into the engine.
+  mutable std::recursive_mutex region_mutex_;
   std::vector<std::unique_ptr<BackupChannel>> backups_;
   Status parked_error_;
   ReplicationStats replication_stats_;

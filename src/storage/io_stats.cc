@@ -51,15 +51,25 @@ void IoStats::Reset() {
   }
   read_ops_.store(0, std::memory_order_relaxed);
   write_ops_.store(0, std::memory_order_relaxed);
+  cache_hits_.store(0, std::memory_order_relaxed);
+  cache_misses_.store(0, std::memory_order_relaxed);
 }
 
 std::string IoStats::Summary() const {
   char buf[256];
-  snprintf(buf, sizeof(buf), "read=%llu MB (%llu ops) write=%llu MB (%llu ops)",
+  const uint64_t hits = CacheHits();
+  const uint64_t misses = CacheMisses();
+  const double hit_rate =
+      hits + misses == 0 ? 0.0 : 100.0 * static_cast<double>(hits) /
+                                     static_cast<double>(hits + misses);
+  snprintf(buf, sizeof(buf),
+           "read=%llu MB (%llu ops) write=%llu MB (%llu ops) cache_hit=%.1f%% (%llu/%llu)",
            static_cast<unsigned long long>(TotalReadBytes() >> 20),
            static_cast<unsigned long long>(ReadOps()),
            static_cast<unsigned long long>(TotalWriteBytes() >> 20),
-           static_cast<unsigned long long>(WriteOps()));
+           static_cast<unsigned long long>(WriteOps()), hit_rate,
+           static_cast<unsigned long long>(hits),
+           static_cast<unsigned long long>(hits + misses));
   return buf;
 }
 

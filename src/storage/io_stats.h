@@ -53,6 +53,14 @@ class IoStats {
   uint64_t ReadOps() const { return read_ops_.load(std::memory_order_relaxed); }
   uint64_t WriteOps() const { return write_ops_.load(std::memory_order_relaxed); }
 
+  // Page-cache accounting in front of this device (PR 2: the cache is shared
+  // by concurrent readers, so the counters are atomics and live next to the
+  // traffic they avoid).
+  void AddCacheHit() { cache_hits_.fetch_add(1, std::memory_order_relaxed); }
+  void AddCacheMiss() { cache_misses_.fetch_add(1, std::memory_order_relaxed); }
+  uint64_t CacheHits() const { return cache_hits_.load(std::memory_order_relaxed); }
+  uint64_t CacheMisses() const { return cache_misses_.load(std::memory_order_relaxed); }
+
   void Reset();
   std::string Summary() const;
 
@@ -61,6 +69,8 @@ class IoStats {
   std::array<std::atomic<uint64_t>, kNumIoClasses> write_bytes_{};
   std::atomic<uint64_t> read_ops_{0};
   std::atomic<uint64_t> write_ops_{0};
+  std::atomic<uint64_t> cache_hits_{0};
+  std::atomic<uint64_t> cache_misses_{0};
 };
 
 }  // namespace tebis

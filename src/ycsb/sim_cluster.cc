@@ -12,6 +12,10 @@ StatusOr<std::unique_ptr<SimCluster>> SimCluster::Create(const SimClusterOptions
     return Status::InvalidArgument("replication factor must be in [1, num_servers]");
   }
   std::unique_ptr<SimCluster> cluster(new SimCluster(options));
+  if (options.compaction_workers > 0) {
+    cluster->compaction_pool_ = std::make_unique<WorkerPool>(options.compaction_workers);
+    cluster->compaction_pool_->Start();
+  }
   for (int i = 0; i < options.num_servers; ++i) {
     cluster->server_names_.push_back("server" + std::to_string(i));
     BlockDeviceOptions device_options = options.device_options;
@@ -28,9 +32,11 @@ StatusOr<std::unique_ptr<SimCluster>> SimCluster::Create(const SimClusterOptions
     Region region;
     region.id = info.region_id;
     const int primary_server = static_cast<int>(info.region_id) % options.num_servers;
+    KvStoreOptions primary_kv = options.kv_options;
+    primary_kv.compaction_pool = cluster->compaction_pool_.get();  // null = synchronous
     TEBIS_ASSIGN_OR_RETURN(region.primary,
                            PrimaryRegion::Create(cluster->devices_[primary_server].get(),
-                                                 options.kv_options, options.mode));
+                                                 primary_kv, options.mode));
     for (const std::string& backup_name : info.backups) {
       const int backup_server =
           static_cast<int>(std::find(cluster->server_names_.begin(),
@@ -122,10 +128,14 @@ uint64_t SimCluster::DeviceBytes(IoClass io_class, bool reads) const {
 ClusterCpuBreakdown SimCluster::CpuBreakdown() const {
   ClusterCpuBreakdown out;
   for (const auto& region : regions_) {
-    const KvStoreStats& kv = region.primary->store()->stats();
+    const KvStoreStats kv = region.primary->store()->stats();
     out.insert_l0_ns += kv.insert_l0_cpu_ns;
     out.compaction_ns += kv.compaction_cpu_ns;
     out.get_ns += kv.get_cpu_ns;
+    out.compaction_queue_wait_ns += kv.compaction_queue_wait_ns;
+    out.compaction_merge_ns += kv.compaction_merge_ns;
+    out.compaction_build_ns += kv.compaction_build_ns;
+    out.compaction_ship_ns += kv.compaction_ship_ns;
     const ReplicationStats& rs = region.primary->replication_stats();
     out.log_replication_ns += rs.log_replication_cpu_ns;
     out.log_flush_in_compaction_ns += rs.log_flush_in_compaction_cpu_ns;

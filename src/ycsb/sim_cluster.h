@@ -18,6 +18,7 @@
 
 #include "src/cluster/region_map.h"
 #include "src/net/fabric.h"
+#include "src/net/worker_pool.h"
 #include "src/replication/build_index_backup.h"
 #include "src/replication/local_backup_channel.h"
 #include "src/replication/primary_region.h"
@@ -32,6 +33,10 @@ struct SimClusterOptions {
   uint32_t num_regions = 8;   // paper: 32; scaled with the dataset
   int replication_factor = 2; // 1 => No-Replication
   ReplicationMode mode = ReplicationMode::kSendIndex;
+  // Background compaction workers shared by every primary store (PR 2).
+  // 0 = synchronous compactions (the seed behavior). Backup stores always
+  // compact synchronously (their work is driven by replication messages).
+  int compaction_workers = 0;
   KvStoreOptions kv_options;
   BlockDeviceOptions device_options;
   // Key space for region boundaries; must cover every key the workload uses.
@@ -54,6 +59,13 @@ struct ClusterCpuBreakdown {
   uint64_t backup_insert_ns = 0;      // Build-Index backup flush replay (incl. its compactions)
   uint64_t backup_compaction_ns = 0;  // Build-Index backup compactions only
   uint64_t get_ns = 0;
+  // Primary compaction pipeline stages, wall time (PR 2): queue wait between
+  // memtable seal and the background job picking it up, k-way merge, B+ tree
+  // build, and observer/shipping callbacks.
+  uint64_t compaction_queue_wait_ns = 0;
+  uint64_t compaction_merge_ns = 0;
+  uint64_t compaction_build_ns = 0;
+  uint64_t compaction_ship_ns = 0;
 };
 
 class SimCluster {
@@ -112,6 +124,9 @@ class SimCluster {
 
   SimClusterOptions options_;
   std::unique_ptr<Fabric> fabric_;
+  // Declared before regions_: primaries must be destroyed while the pool
+  // still runs, so queued background compactions can finish.
+  std::unique_ptr<WorkerPool> compaction_pool_;
   std::vector<std::unique_ptr<BlockDevice>> devices_;  // one per server
   std::vector<std::string> server_names_;
   RegionMap map_;

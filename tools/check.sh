@@ -1,0 +1,41 @@
+#!/usr/bin/env bash
+# Tier-1 gate: the fast test label, run twice — once plain, once under
+# ThreadSanitizer. The background compaction pipeline (PR 2) moves compactions
+# off the writer thread, so a plain pass alone no longer proves the absence of
+# data races; TSan over the same suite does. Run this before every merge:
+#
+#   tools/check.sh            # both passes
+#   tools/check.sh --plain    # plain pass only (quick inner loop)
+#   tools/check.sh --tsan     # TSan pass only
+#
+# Build trees: build/ (plain) and build-tsan/ (TEBIS_SANITIZE=thread). The
+# slow label (soak/fuzz/stress) is tier-2: `ctest --test-dir build -L slow`.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+jobs=$(nproc 2>/dev/null || echo 4)
+run_plain=1
+run_tsan=1
+case "${1:-}" in
+  --plain) run_tsan=0 ;;
+  --tsan) run_plain=0 ;;
+  "") ;;
+  *) echo "usage: tools/check.sh [--plain|--tsan]" >&2; exit 2 ;;
+esac
+
+if [[ $run_plain -eq 1 ]]; then
+  echo "== tier-1 pass 1/2: plain build, fast label =="
+  cmake -B build -S . >/dev/null
+  cmake --build build -j "$jobs"
+  ctest --test-dir build -L fast --output-on-failure -j "$jobs"
+fi
+
+if [[ $run_tsan -eq 1 ]]; then
+  echo "== tier-1 pass 2/2: ThreadSanitizer build, fast label =="
+  cmake -B build-tsan -S . -DTEBIS_SANITIZE=thread >/dev/null
+  cmake --build build-tsan -j "$jobs"
+  TSAN_OPTIONS="halt_on_error=1 ${TSAN_OPTIONS:-}" \
+    ctest --test-dir build-tsan -L fast --output-on-failure -j "$jobs"
+fi
+
+echo "== tier-1 gate: OK =="
