@@ -224,6 +224,24 @@ TebisClient::OpResult TebisClient::Complete(OpHandle handle) {
     if (reply->header.flags & kFlagError) {
       // The payload carries the status string; map NotFound back.
       const std::string& message = reply->payload;
+      if (message.rfind("FailedPrecondition", 0) == 0) {
+        // A fenced (deposed) primary, §3.5: it still answers, but its epoch
+        // is stale and the write was not replicated. Re-route like a failover.
+        stats_.failover_retries++;
+        if (op.attempts >= kMaxAttempts) {
+          pending_.erase(it);
+          return OpResult{Status::Unavailable(message), ""};
+        }
+        Status s = RefreshMap();
+        if (s.ok()) {
+          s = Issue(&op);
+        }
+        if (!s.ok()) {
+          pending_.erase(it);
+          return OpResult{s, ""};
+        }
+        continue;
+      }
       Status status = message.rfind("NotFound", 0) == 0 ? Status::NotFound(message)
                                                         : Status::Internal(message);
       pending_.erase(it);

@@ -106,7 +106,7 @@ class TebisClient {
   std::map<OpHandle, PendingOp> pending_;
   OpHandle next_handle_ = 1;
   size_t default_value_alloc_ = 1024;
-  uint64_t rpc_timeout_ns_ = 2'000'000'000ull;
+  uint64_t rpc_timeout_ns_ = kDefaultRpcCallTimeoutNs;
   ClientStats stats_;
 };
 

@@ -5,13 +5,21 @@
 //   primary failure -> promote a backup (log-map re-keying, L0 replay),
 //                      update the map, then treat as a backup failure
 // Multiple Master instances race in a leader election; only the leader acts.
+//
+// Recovery is crash-safe: every reconfiguration bumps the region's epoch and
+// is journaled as a recovery-intent znode *before* the master acts, so a
+// standby that wins the election mid-failover rolls the intent forward
+// (idempotently — promotion, re-keying and re-attach all tolerate repeats)
+// instead of leaving the region half-recovered.
 #ifndef TEBIS_CLUSTER_MASTER_H_
 #define TEBIS_CLUSTER_MASTER_H_
 
+#include <functional>
 #include <map>
 #include <memory>
 #include <mutex>
 #include <string>
+#include <vector>
 
 #include "src/cluster/coordinator.h"
 #include "src/cluster/region_map.h"
@@ -40,10 +48,10 @@ class Master {
 
   // Leader-only load balancing (§3.1): gracefully moves a region's primary
   // role to one of its current backups. The old primary flushes its tail, the
-  // backup is promoted, and the old primary is demoted to a backup — no data
-  // loss and no full region transfer. The handover window is not quiesced:
-  // a write racing the move may fail and must be retried by the client
-  // (reads/writes before and after are unaffected).
+  // backup is promoted under a bumped epoch (fencing the old primary), and
+  // the old primary is demoted to a backup — no data loss. The handover
+  // window is not quiesced: a write racing the move fails un-acked (fenced)
+  // and is retried by the client against the refreshed map.
   Status MovePrimary(uint32_t region_id, const std::string& new_primary);
 
   // Simulates master death: expires the session (standbys take over).
@@ -53,17 +61,54 @@ class Master {
 
   const std::string& name() const { return name_; }
 
+  // Test support: invoked at named recovery failpoints (e.g.
+  // "failover-promoted:<region>", "move-promoted:<region>"). Returning false
+  // aborts the recovery at that point, simulating the leader dying with the
+  // intent journaled but the reconfiguration unfinished.
+  using StepHook = std::function<bool(const std::string&)>;
+  void set_step_hook(StepHook hook);
+
  private:
+  // Journaled reconfiguration, persisted under /recovery/r<region_id> before
+  // the first mutating step. `epoch` is the generation the new configuration
+  // runs at; equal-epoch repeats are accepted by every server-side step, so a
+  // resumed intent converges without double-applying destructive work.
+  struct RecoveryIntent {
+    enum class Kind : uint8_t { kPrimaryFailover = 1, kMovePrimary = 2 };
+    Kind kind = Kind::kPrimaryFailover;
+    uint32_t region_id = 0;
+    std::string old_primary;  // failed (failover) or demoting (move)
+    std::string new_primary;  // the server being promoted
+    uint64_t epoch = 0;
+  };
+
   void OnBecameLeader();
   void RecheckLeadership();
   void ArmServerWatch();
+  void ArmDetachWatch();
   void HandleMembershipChange();
   Status HandleServerFailure(const std::string& failed);
   Status HandlePrimaryFailure(RegionMap* map, uint32_t region_id, const std::string& failed);
   Status HandleBackupFailure(RegionMap* map, uint32_t region_id, const std::string& failed);
-  StatusOr<std::string> PickReplacement(const RegionInfo& region) const;
+  // The promote/re-key/re-attach/replay sequence, written to be idempotent so
+  // both the original leader and a resuming standby can run it.
+  Status ExecutePrimaryFailover(RegionMap* map, uint32_t region_id, const std::string& failed,
+                                const std::string& promoted, uint64_t epoch);
+  Status ExecuteMovePrimary(RegionMap* map, uint32_t region_id, const std::string& old_primary,
+                            const std::string& new_primary, uint64_t epoch);
+  // Rolls forward (or abandons) intents left by a dead leader. Called on
+  // leadership acquisition, before membership reconciliation.
+  void ResumeRecoveryIntents();
+  // Replaces replicas that a primary unilaterally detached (health policy),
+  // consuming the /detached records the region servers publish.
+  void ReconcileDetachRecords();
+  StatusOr<std::string> PickReplacement(const RegionInfo& region,
+                                        const std::vector<std::string>& exclude) const;
+  Status WriteIntent(const RecoveryIntent& intent);
+  void DeleteIntent(uint32_t region_id);
   Status PushMap(const RegionMap& map);
   bool ServerAlive(const std::string& name) const;
+  bool Step(const std::string& point);
 
   Coordinator* const coordinator_;
   const std::string name_;
@@ -77,6 +122,7 @@ class Master {
   bool failed_ = false;
   std::shared_ptr<const RegionMap> map_;
   std::function<void()> recheck_;
+  StepHook step_hook_;
 };
 
 }  // namespace tebis

@@ -100,6 +100,7 @@ std::string RegionMap::Serialize() const {
     for (const auto& backup : region.backups) {
       w.Bytes(backup);
     }
+    w.U64(region.epoch);
   }
   return w.str();
 }
@@ -123,6 +124,7 @@ StatusOr<RegionMap> RegionMap::Deserialize(Slice data) {
       TEBIS_RETURN_IF_ERROR(r.Bytes(&backup));
       region.backups.push_back(std::move(backup));
     }
+    TEBIS_RETURN_IF_ERROR(r.U64(&region.epoch));
     map.regions_.push_back(std::move(region));
   }
   return map;

@@ -22,6 +22,10 @@ struct RegionInfo {
   std::string end_key;
   std::string primary;
   std::vector<std::string> backups;
+  // Replication epoch (configuration generation, §3.5): bumped on every
+  // promotion/attach/detach; stamped into replication traffic so stale
+  // primaries are fenced.
+  uint64_t epoch = 1;
 
   bool Contains(Slice key) const {
     if (Slice(start_key).Compare(key) > 0) {

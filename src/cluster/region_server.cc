@@ -9,6 +9,8 @@
 namespace tebis {
 namespace {
 
+constexpr char kDetachedPath[] = "/detached";
+
 MessageType ReplyTypeFor(MessageType request) {
   return static_cast<MessageType>(static_cast<uint16_t>(request) + 1);
 }
@@ -61,9 +63,53 @@ void RegionServer::Stop() {
   if (!started_) {
     return;
   }
-  started_ = false;
+  std::vector<std::thread> detachers;
+  {
+    std::lock_guard<std::mutex> lock(detach_mutex_);
+    started_ = false;  // under detach_mutex_: RecordDetach checks it there
+    detachers.swap(detach_threads_);
+  }
+  for (auto& t : detachers) {
+    t.join();
+  }
   client_endpoint_->Stop();
   replication_endpoint_->Stop();
+}
+
+void RegionServer::DropCoordinatorSession() { coordinator_->ExpireSession(session_); }
+
+void RegionServer::InstallPrimaryPolicy(uint32_t region_id, PrimaryRegion* primary) {
+  primary->set_replication_policy(options_.replication_policy);
+  if (options_.replication_policy.max_consecutive_failures > 0) {
+    primary->set_detach_listener([this, region_id](const std::string& backup, uint64_t epoch) {
+      RecordDetach(region_id, backup, epoch);
+    });
+  }
+}
+
+void RegionServer::RecordDetach(uint32_t region_id, const std::string& backup_name,
+                                uint64_t epoch) {
+  std::lock_guard<std::mutex> lock(detach_mutex_);
+  if (!started_) {
+    return;
+  }
+  // Off-thread: the detach listener fires under region locks, and creating
+  // the znode runs the master's watch synchronously on the creating thread —
+  // reconciliation re-enters this server and must not self-deadlock.
+  detach_threads_.emplace_back([this, region_id, backup_name, epoch] {
+    if (!coordinator_->Exists(kDetachedPath)) {
+      (void)coordinator_->Create(Coordinator::kNoSession, kDetachedPath, "", {});
+    }
+    WireWriter w;
+    w.U32(region_id).Bytes(backup_name).U64(epoch).Bytes(name_);
+    // One record per (region, backup, epoch): retries collapse.
+    const std::string path = std::string(kDetachedPath) + "/r" + std::to_string(region_id) +
+                             "-" + backup_name + "-e" + std::to_string(epoch);
+    Status s = coordinator_->Create(Coordinator::kNoSession, path, w.str(), {});
+    if (!s.ok() && !s.IsAlreadyExists()) {
+      TEBIS_LOG(kError) << "recording detach of " << backup_name << ": " << s.ToString();
+    }
+  });
 }
 
 void RegionServer::Crash() {
@@ -81,7 +127,7 @@ void RegionServer::Crash() {
 
 // --- admin API ------------------------------------------------------------
 
-Status RegionServer::OpenPrimaryRegion(uint32_t region_id) {
+Status RegionServer::OpenPrimaryRegion(uint32_t region_id, uint64_t epoch) {
   std::lock_guard<std::mutex> lock(regions_mutex_);
   if (regions_.contains(region_id)) {
     return Status::AlreadyExists("region " + std::to_string(region_id));
@@ -93,11 +139,13 @@ Status RegionServer::OpenPrimaryRegion(uint32_t region_id) {
   TEBIS_ASSIGN_OR_RETURN(
       handle->primary,
       PrimaryRegion::Create(device_.get(), kv_options, options_.replication_mode));
+  handle->primary->set_epoch(epoch);
+  InstallPrimaryPolicy(region_id, handle->primary.get());
   regions_[region_id] = std::move(handle);
   return Status::Ok();
 }
 
-Status RegionServer::OpenBackupRegion(uint32_t region_id) {
+Status RegionServer::OpenBackupRegion(uint32_t region_id, uint64_t epoch) {
   std::lock_guard<std::mutex> lock(regions_mutex_);
   if (regions_.contains(region_id)) {
     return Status::AlreadyExists("region " + std::to_string(region_id));
@@ -112,10 +160,12 @@ Status RegionServer::OpenBackupRegion(uint32_t region_id) {
     TEBIS_ASSIGN_OR_RETURN(handle->send_backup,
                            SendIndexBackupRegion::Create(device_.get(), options_.kv_options,
                                                          handle->replication_buffer));
+    handle->send_backup->set_region_epoch(epoch);
   } else {
     TEBIS_ASSIGN_OR_RETURN(handle->build_backup,
                            BuildIndexBackupRegion::Create(device_.get(), options_.kv_options,
                                                           handle->replication_buffer));
+    handle->build_backup->set_region_epoch(epoch);
   }
   regions_[region_id] = std::move(handle);
   return Status::Ok();
@@ -145,7 +195,8 @@ RegionServer::RegionHandle* RegionServer::FindRegion(uint32_t region_id) const {
   return it == regions_.end() ? nullptr : it->second.get();
 }
 
-Status RegionServer::AttachBackup(uint32_t region_id, RegionServer* backup_server) {
+Status RegionServer::AttachBackup(uint32_t region_id, RegionServer* backup_server,
+                                  uint64_t epoch) {
   RegionHandle* handle = FindRegion(region_id);
   if (handle == nullptr || !handle->is_primary) {
     return Status::FailedPrecondition("not primary for region " + std::to_string(region_id));
@@ -156,12 +207,17 @@ Status RegionServer::AttachBackup(uint32_t region_id, RegionServer* backup_serve
       fabric_, name_ + ">r" + std::to_string(region_id) + ">" + backup_server->name(),
       backup_server->replication_endpoint(), options_.replication_connection_buffer);
   std::lock_guard<std::mutex> lock(handle->mutex);
-  handle->primary->AddBackup(
-      std::make_unique<RpcBackupChannel>(std::move(client), region_id, std::move(buffer)));
+  if (epoch != 0) {
+    handle->primary->set_epoch(epoch);
+  }
+  handle->primary->AddBackup(std::make_unique<RpcBackupChannel>(
+      std::move(client), region_id, std::move(buffer),
+      options_.replication_policy.call_deadline_ns));
   return Status::Ok();
 }
 
-Status RegionServer::AttachBackupWithFullSync(uint32_t region_id, RegionServer* backup_server) {
+Status RegionServer::AttachBackupWithFullSync(uint32_t region_id, RegionServer* backup_server,
+                                              uint64_t epoch) {
   RegionHandle* handle = FindRegion(region_id);
   if (handle == nullptr || !handle->is_primary) {
     return Status::FailedPrecondition("not primary for region " + std::to_string(region_id));
@@ -171,53 +227,97 @@ Status RegionServer::AttachBackupWithFullSync(uint32_t region_id, RegionServer* 
   auto client = std::make_unique<RpcClient>(
       fabric_, name_ + ">r" + std::to_string(region_id) + ">" + backup_server->name(),
       backup_server->replication_endpoint(), options_.replication_connection_buffer);
-  auto channel =
-      std::make_unique<RpcBackupChannel>(std::move(client), region_id, std::move(buffer));
+  auto channel = std::make_unique<RpcBackupChannel>(
+      std::move(client), region_id, std::move(buffer),
+      options_.replication_policy.call_deadline_ns);
   std::lock_guard<std::mutex> lock(handle->mutex);
+  if (epoch != 0) {
+    handle->primary->set_epoch(epoch);
+  }
   TEBIS_RETURN_IF_ERROR(handle->primary->FullSync(channel.get()));
   handle->primary->AddBackup(std::move(channel));
   return Status::Ok();
 }
 
-Status RegionServer::DetachBackup(uint32_t region_id, const std::string& backup_name) {
+Status RegionServer::DetachBackup(uint32_t region_id, const std::string& backup_name,
+                                  uint64_t epoch) {
   RegionHandle* handle = FindRegion(region_id);
   if (handle == nullptr || !handle->is_primary) {
     return Status::FailedPrecondition("not primary for region " + std::to_string(region_id));
   }
   std::lock_guard<std::mutex> lock(handle->mutex);
+  if (epoch != 0) {
+    handle->primary->set_epoch(epoch);
+  }
   handle->primary->RemoveBackup(backup_name);
   return Status::Ok();
 }
 
-Status RegionServer::PromoteRegion(uint32_t region_id, SegmentMap* log_map_out) {
+Status RegionServer::PromoteRegion(uint32_t region_id, SegmentMap* log_map_out,
+                                   uint64_t epoch) {
   RegionHandle* handle = FindRegion(region_id);
   if (handle == nullptr || handle->is_primary) {
     return Status::FailedPrecondition("no backup region " + std::to_string(region_id));
   }
   std::lock_guard<std::mutex> lock(handle->mutex);
-  // Preserve the unflushed buffer image: it is replayed once the remaining
-  // backups are re-attached (so the re-appends replicate).
-  handle->promotion_buffer_image.assign(handle->replication_buffer->data(),
-                                        handle->replication_buffer->size());
+  // New configuration generation: coordinator-authoritative when given,
+  // locally monotonic otherwise.
+  const uint64_t backup_epoch = handle->send_backup != nullptr
+                                    ? handle->send_backup->region_epoch()
+                                    : handle->build_backup->region_epoch();
+  const uint64_t new_epoch = epoch != 0 ? epoch : backup_epoch + 1;
+  // Fence our own buffer *before* reading it, so the deposed primary's
+  // one-sided writes can no longer land; the snapshot is atomic with the
+  // fence, so an in-flight write either completed before it or was rejected.
+  // The image is replayed once the remaining backups are re-attached (so the
+  // re-appends replicate).
+  if (handle->replication_buffer != nullptr) {
+    handle->promotion_buffer_image = handle->replication_buffer->FenceAndSnapshot(new_epoch);
+  }
   std::unique_ptr<KvStore> store;
+  SegmentMap log_map;
   if (handle->send_backup != nullptr) {
-    if (log_map_out != nullptr) {
-      *log_map_out = handle->send_backup->log_map();
-    }
+    log_map = handle->send_backup->log_map();
     TEBIS_ASSIGN_OR_RETURN(store, handle->send_backup->Promote(/*replay_rdma_buffer=*/false));
     handle->send_backup.reset();
   } else {
-    if (log_map_out != nullptr) {
-      *log_map_out = handle->build_backup->log_map();
-    }
+    log_map = handle->build_backup->log_map();
     TEBIS_ASSIGN_OR_RETURN(store, handle->build_backup->Promote(/*replay_rdma_buffer=*/false));
     handle->build_backup.reset();
   }
+  if (log_map_out != nullptr) {
+    *log_map_out = log_map;
+  }
+  // Kept for a standby master resuming a half-finished failover: re-keying
+  // needs this map, and the backup object that produced it is gone.
+  WireWriter w;
+  log_map.Serialize(&w);
+  handle->promotion_log_map = w.str();
   TEBIS_ASSIGN_OR_RETURN(
       handle->primary,
       PrimaryRegion::CreateFromStore(device_.get(), options_.replication_mode, std::move(store)));
+  handle->primary->set_epoch(new_epoch);
+  InstallPrimaryPolicy(region_id, handle->primary.get());
+  // A promoted region keeps background compactions: adopt the server pool the
+  // backup engine never needed (ROADMAP follow-on from the pipeline work).
+  if (compaction_pool_ != nullptr) {
+    TEBIS_RETURN_IF_ERROR(handle->primary->store()->AdoptCompactionPool(compaction_pool_.get()));
+  }
   handle->is_primary = true;
   return Status::Ok();
+}
+
+StatusOr<SegmentMap> RegionServer::GetPromotionLogMap(uint32_t region_id) const {
+  RegionHandle* handle = FindRegion(region_id);
+  if (handle == nullptr) {
+    return Status::NotFound("region " + std::to_string(region_id));
+  }
+  std::lock_guard<std::mutex> lock(handle->mutex);
+  if (handle->promotion_log_map.empty()) {
+    return Status::NotFound("region " + std::to_string(region_id) + " was never promoted");
+  }
+  WireReader r(Slice(handle->promotion_log_map));
+  return SegmentMap::Deserialize(&r);
 }
 
 Status RegionServer::FlushRegionTail(uint32_t region_id) {
@@ -229,12 +329,14 @@ Status RegionServer::FlushRegionTail(uint32_t region_id) {
   return handle->primary->store()->value_log()->FlushTail();
 }
 
-Status RegionServer::DemoteRegion(uint32_t region_id, const SegmentMap& new_primary_log_map) {
+Status RegionServer::DemoteRegion(uint32_t region_id, const SegmentMap& new_primary_log_map,
+                                  uint64_t epoch) {
   RegionHandle* handle = FindRegion(region_id);
   if (handle == nullptr || !handle->is_primary) {
     return Status::FailedPrecondition("region not primary: " + std::to_string(region_id));
   }
   std::lock_guard<std::mutex> lock(handle->mutex);
+  const uint64_t backup_epoch = epoch != 0 ? epoch : handle->primary->epoch();
   std::unique_ptr<KvStore> store = handle->primary->ReleaseStore();
   if (store->value_log()->tail_used() != 0) {
     return Status::FailedPrecondition("tail not flushed before demotion");
@@ -258,26 +360,32 @@ Status RegionServer::DemoteRegion(uint32_t region_id, const SegmentMap& new_prim
                                                handle->replication_buffer, std::move(parts.log),
                                                std::move(parts.levels), std::move(inverted),
                                                std::move(flush_order), parts.l0_replay_from));
+    handle->send_backup->set_region_epoch(backup_epoch);
   } else {
     TEBIS_ASSIGN_OR_RETURN(
         handle->build_backup,
         BuildIndexBackupRegion::CreateFromStore(device_.get(), options_.kv_options,
                                                 handle->replication_buffer, std::move(store),
                                                 std::move(inverted), std::move(flush_order)));
+    handle->build_backup->set_region_epoch(backup_epoch);
   }
   handle->primary.reset();
   handle->is_primary = false;
   return Status::Ok();
 }
 
-Status RegionServer::AdoptNewPrimaryLogMap(uint32_t region_id, const SegmentMap& map) {
+Status RegionServer::AdoptNewPrimaryLogMap(uint32_t region_id, const SegmentMap& map,
+                                           uint64_t epoch) {
   RegionHandle* handle = FindRegion(region_id);
   if (handle == nullptr || handle->is_primary) {
     return Status::FailedPrecondition("no backup region " + std::to_string(region_id));
   }
   std::lock_guard<std::mutex> lock(handle->mutex);
   if (handle->send_backup != nullptr) {
-    return handle->send_backup->AdoptNewPrimaryLogMap(map);
+    return handle->send_backup->AdoptNewPrimaryLogMap(map, epoch);
+  }
+  if (handle->build_backup != nullptr && epoch != 0) {
+    handle->build_backup->set_region_epoch(epoch);
   }
   return Status::Ok();  // Build-Index backups key nothing on primary segments
 }
@@ -306,6 +414,30 @@ std::shared_ptr<const RegionMap> RegionServer::region_map() const {
 bool RegionServer::IsPrimaryFor(uint32_t region_id) const {
   RegionHandle* handle = FindRegion(region_id);
   return handle != nullptr && handle->is_primary;
+}
+
+StatusOr<uint64_t> RegionServer::BackupEpochRejected(uint32_t region_id) const {
+  RegionHandle* handle = FindRegion(region_id);
+  if (handle == nullptr) {
+    return Status::NotFound("region " + std::to_string(region_id));
+  }
+  std::lock_guard<std::mutex> lock(handle->mutex);
+  if (handle->send_backup != nullptr) {
+    return handle->send_backup->stats().epoch_rejected;
+  }
+  if (handle->build_backup != nullptr) {
+    return handle->build_backup->stats().epoch_rejected;
+  }
+  return Status::FailedPrecondition("region " + std::to_string(region_id) + " is not a backup");
+}
+
+StatusOr<ReplicationStats> RegionServer::PrimaryReplicationStats(uint32_t region_id) const {
+  RegionHandle* handle = FindRegion(region_id);
+  if (handle == nullptr || !handle->is_primary) {
+    return Status::NotFound("no primary region " + std::to_string(region_id));
+  }
+  std::lock_guard<std::mutex> lock(handle->mutex);
+  return handle->primary->replication_stats();
 }
 
 // --- request handling --------------------------------------------------------
@@ -461,11 +593,19 @@ void RegionServer::HandleReplicationOp(RegionHandle* region, const MessageHeader
   }
   SendIndexBackupRegion* send = region->send_backup.get();
   BuildIndexBackupRegion* build = region->build_backup.get();
+  // Fencing (§3.5): every replication message carries the sender's epoch;
+  // traffic from a deposed primary is rejected before the handler runs.
+  auto check_epoch = [&](uint64_t msg_epoch) {
+    return send != nullptr ? send->CheckEpoch(msg_epoch) : build->CheckEpoch(msg_epoch);
+  };
   Status status;
   switch (type) {
     case MessageType::kFlushLog: {
       FlushLogMsg msg{};
       status = DecodeFlushLog(payload, &msg);
+      if (status.ok()) {
+        status = check_epoch(msg.epoch);
+      }
       if (status.ok()) {
         status = send != nullptr ? send->HandleLogFlush(msg.primary_segment)
                                  : build->HandleLogFlush(msg.primary_segment);
@@ -475,6 +615,9 @@ void RegionServer::HandleReplicationOp(RegionHandle* region, const MessageHeader
     case MessageType::kCompactionBegin: {
       CompactionBeginMsg msg{};
       status = DecodeCompactionBegin(payload, &msg);
+      if (status.ok()) {
+        status = check_epoch(msg.epoch);
+      }
       if (status.ok() && send != nullptr) {
         status = send->HandleCompactionBegin(msg.compaction_id, static_cast<int>(msg.src_level),
                                              static_cast<int>(msg.dst_level));
@@ -484,6 +627,9 @@ void RegionServer::HandleReplicationOp(RegionHandle* region, const MessageHeader
     case MessageType::kIndexSegment: {
       IndexSegmentMsg msg{};
       status = DecodeIndexSegment(payload, &msg);
+      if (status.ok()) {
+        status = check_epoch(msg.epoch);
+      }
       if (status.ok() && send != nullptr) {
         status = send->HandleIndexSegment(msg.compaction_id, static_cast<int>(msg.dst_level),
                                           static_cast<int>(msg.tree_level), msg.primary_segment,
@@ -494,6 +640,9 @@ void RegionServer::HandleReplicationOp(RegionHandle* region, const MessageHeader
     case MessageType::kCompactionEnd: {
       CompactionEndMsg msg{};
       status = DecodeCompactionEnd(payload, &msg);
+      if (status.ok()) {
+        status = check_epoch(msg.epoch);
+      }
       if (status.ok() && send != nullptr) {
         status = send->HandleCompactionEnd(msg.compaction_id, static_cast<int>(msg.src_level),
                                            static_cast<int>(msg.dst_level), msg.tree);
@@ -504,6 +653,9 @@ void RegionServer::HandleReplicationOp(RegionHandle* region, const MessageHeader
       TrimLogMsg msg{};
       status = DecodeTrimLog(payload, &msg);
       if (status.ok()) {
+        status = check_epoch(msg.epoch);
+      }
+      if (status.ok()) {
         status = send != nullptr ? send->HandleTrimLog(msg.segments)
                                  : build->HandleTrimLog(msg.segments);
       }
@@ -511,8 +663,15 @@ void RegionServer::HandleReplicationOp(RegionHandle* region, const MessageHeader
     }
     case MessageType::kSetReplayStart: {
       WireReader r(payload);
+      uint64_t msg_epoch = 0;
       uint64_t index = 0;
-      status = r.U64(&index);
+      status = r.U64(&msg_epoch);
+      if (status.ok()) {
+        status = r.U64(&index);
+      }
+      if (status.ok()) {
+        status = check_epoch(msg_epoch);
+      }
       if (status.ok() && send != nullptr) {
         send->set_replay_from(index);
       }

@@ -12,6 +12,7 @@
 #include <memory>
 #include <mutex>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "src/cluster/coordinator.h"
@@ -38,6 +39,11 @@ struct RegionServerOptions {
   // Connection buffer for server-to-server replication channels; index
   // segments must fit, so default to 8 segments.
   size_t replication_connection_buffer = 0;
+  // Per-replica health policy for this server's primary regions (§3.5
+  // slow-not-dead). call_deadline_ns also bounds every replication control
+  // call; max_consecutive_failures > 0 enables unilateral detach into
+  // degraded mode, recorded under /detached for the master to reconcile.
+  ReplicationPolicy replication_policy;
 };
 
 // Aggregate counters for the experiment harness.
@@ -75,6 +81,11 @@ class RegionServer {
   // master's failure detector fires), regions are dropped.
   void Crash();
   bool crashed() const { return crashed_; }
+  // Test support (deposed primary, §3.5): expires the coordinator session —
+  // the failure detector declares this server dead — while it keeps serving
+  // its stale configuration. The master will promote a backup elsewhere and
+  // this server's subsequent replication traffic must be fenced by epoch.
+  void DropCoordinatorSession();
 
   const std::string& name() const { return name_; }
   BlockDevice* device() { return device_.get(); }
@@ -84,8 +95,11 @@ class RegionServer {
 
   // --- admin API (driven by the master; models open/close region commands) ---
 
-  Status OpenPrimaryRegion(uint32_t region_id);
-  Status OpenBackupRegion(uint32_t region_id);
+  // `epoch` arguments carry the coordinator-authoritative configuration
+  // generation. Defaults keep direct (master-less) test setups working:
+  // opens start at generation 1; 0 elsewhere means "derive locally".
+  Status OpenPrimaryRegion(uint32_t region_id, uint64_t epoch = 1);
+  Status OpenBackupRegion(uint32_t region_id, uint64_t epoch = 1);
   Status CloseRegion(uint32_t region_id);
 
   // Backup-side registered log buffer for a region (handed to the primary at
@@ -93,23 +107,32 @@ class RegionServer {
   StatusOr<std::shared_ptr<RegisteredBuffer>> GetReplicationBuffer(uint32_t region_id);
 
   // Wires a local *primary* region to a backup hosted on `backup_server`.
-  Status AttachBackup(uint32_t region_id, RegionServer* backup_server);
+  Status AttachBackup(uint32_t region_id, RegionServer* backup_server, uint64_t epoch = 0);
   // Same, but first streams the full region state (recovery path).
-  Status AttachBackupWithFullSync(uint32_t region_id, RegionServer* backup_server);
+  Status AttachBackupWithFullSync(uint32_t region_id, RegionServer* backup_server,
+                                  uint64_t epoch = 0);
 
   // Drops the replication channel to a failed backup.
-  Status DetachBackup(uint32_t region_id, const std::string& backup_name);
+  Status DetachBackup(uint32_t region_id, const std::string& backup_name, uint64_t epoch = 0);
 
   // §3.5: converts a local backup region into the primary. Returns the log
   // map the other backups need for re-keying (Send-Index; empty otherwise).
-  Status PromoteRegion(uint32_t region_id, SegmentMap* log_map_out);
+  // `epoch` = 0 derives the next generation from the backup's own (locally
+  // monotonic); the master passes the coordinator-bumped value instead. The
+  // log map is also retained so a standby master resuming a half-finished
+  // failover can re-fetch it (GetPromotionLogMap).
+  Status PromoteRegion(uint32_t region_id, SegmentMap* log_map_out, uint64_t epoch = 0);
+  // Reentrant-recovery support: the log map produced by the last
+  // PromoteRegion on this region (NotFound if never promoted).
+  StatusOr<SegmentMap> GetPromotionLogMap(uint32_t region_id) const;
 
   // Graceful primary handover (load balancing, §3.1). FlushRegionTail seals
   // the log so the chosen backup is fully caught up; DemoteRegion then turns
   // the local primary into a backup of `new_primary_log_map`'s owner.
   Status FlushRegionTail(uint32_t region_id);
-  Status DemoteRegion(uint32_t region_id, const SegmentMap& new_primary_log_map);
-  Status AdoptNewPrimaryLogMap(uint32_t region_id, const SegmentMap& map);
+  Status DemoteRegion(uint32_t region_id, const SegmentMap& new_primary_log_map,
+                      uint64_t epoch = 0);
+  Status AdoptNewPrimaryLogMap(uint32_t region_id, const SegmentMap& map, uint64_t epoch = 0);
   // After backups are re-attached: replays the unflushed RDMA buffer kept
   // from promotion through the new primary (replicated).
   Status ReplayPromotionBuffer(uint32_t region_id);
@@ -122,6 +145,12 @@ class RegionServer {
 
   RegionServerStats Aggregate() const;
 
+  // Observability for fencing/health tests: control messages this server's
+  // backup engine rejected as stale-epoch, and the primary-side replication
+  // stats (detaches, strikes, fence errors).
+  StatusOr<uint64_t> BackupEpochRejected(uint32_t region_id) const;
+  StatusOr<ReplicationStats> PrimaryReplicationStats(uint32_t region_id) const;
+
  private:
   struct RegionHandle {
     mutable std::mutex mutex;
@@ -131,6 +160,7 @@ class RegionServer {
     std::unique_ptr<BuildIndexBackupRegion> build_backup;
     std::shared_ptr<RegisteredBuffer> replication_buffer;  // backup role
     std::string promotion_buffer_image;                    // kept across promotion
+    std::string promotion_log_map;                         // serialized, for resume
   };
 
   void HandleRequest(const MessageHeader& header, std::string payload, ReplyContext ctx);
@@ -140,6 +170,12 @@ class RegionServer {
                            const ReplyContext& ctx);
   RegionHandle* FindRegion(uint32_t region_id) const;
   static void ReplyError(const ReplyContext& ctx, MessageType reply_type, const Status& status);
+  // Wires the health policy + detach listener into a primary region object.
+  void InstallPrimaryPolicy(uint32_t region_id, PrimaryRegion* primary);
+  // Records a unilateral detach as a persistent coordinator znode, off-thread
+  // (the listener runs under region locks; the master's watch fires on the
+  // creating thread and re-enters this server).
+  void RecordDetach(uint32_t region_id, const std::string& backup_name, uint64_t epoch);
 
   Fabric* const fabric_;
   Coordinator* const coordinator_;
@@ -161,6 +197,9 @@ class RegionServer {
 
   mutable std::mutex map_mutex_;
   std::shared_ptr<const RegionMap> map_;
+
+  std::mutex detach_mutex_;
+  std::vector<std::thread> detach_threads_;  // joined in Stop()
 };
 
 }  // namespace tebis

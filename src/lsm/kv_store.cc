@@ -106,6 +106,19 @@ KvStore::~KvStore() {
   bg_cv_.wait(lock, [&] { return !bg_scheduled_; });
 }
 
+Status KvStore::AdoptCompactionPool(WorkerPool* pool) {
+  std::lock_guard<std::mutex> write_lock(write_mutex_);
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (pool_ != nullptr) {
+    return Status::FailedPrecondition("store already has a compaction pool");
+  }
+  if (bg_scheduled_ || imm_ != nullptr) {
+    return Status::FailedPrecondition("store has in-flight compaction work");
+  }
+  pool_ = pool;
+  return Status::Ok();
+}
+
 uint64_t KvStore::LevelCapacity(uint32_t level) const {
   uint64_t cap = options_.l0_max_entries;
   for (uint32_t i = 0; i < level; ++i) {

@@ -237,6 +237,13 @@ class KvStore {
 
   void set_compaction_observer(CompactionObserver* observer) { observer_ = observer; }
 
+  // Late-binds a background compaction pool onto a store opened without one
+  // (a promoted backup's engine: backups never compact, so their stores are
+  // built synchronous). Only legal while no pool is attached and no
+  // background job is scheduled; callers promote under the region lock before
+  // any write reaches the new primary.
+  Status AdoptCompactionPool(WorkerPool* pool);
+
   ValueLog* value_log() { return log_.get(); }
   PageCache* cache() { return cache_.get(); }
   const KvStoreOptions& options() const { return options_; }
@@ -343,7 +350,7 @@ class KvStore {
   const KvStoreOptions options_;
   const uint64_t l0_slowdown_entries_;
   const uint64_t l0_stop_entries_;
-  WorkerPool* const pool_;
+  WorkerPool* pool_;  // non-const only for AdoptCompactionPool (promotion)
 
   std::unique_ptr<ValueLog> log_;
   std::unique_ptr<PageCache> cache_;

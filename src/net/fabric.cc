@@ -25,6 +25,39 @@ Status RegisteredBuffer::RdmaWrite(uint64_t offset, Slice bytes) {
   return Status::Ok();
 }
 
+Status RegisteredBuffer::RdmaWriteTagged(uint64_t epoch, uint64_t offset, Slice bytes) {
+  // Fence check and memcpy form one critical section with FenceAndSnapshot():
+  // a write that passed the fence check must fully land before a snapshot
+  // taken under the raised fence may read the buffer.
+  std::lock_guard<std::mutex> lock(write_mutex_);
+  // The fence check happens before the memcpy: a deposed primary's write must
+  // never land, not land-then-be-noticed.
+  if (epoch < fence_epoch_.load(std::memory_order_acquire)) {
+    stale_write_rejects_.fetch_add(1, std::memory_order_relaxed);
+    return Status::FailedPrecondition("stale replication epoch fenced by " + owner_);
+  }
+  TEBIS_RETURN_IF_ERROR(RdmaWrite(offset, bytes));
+  // Track the newest epoch observed; monotonic under concurrent writers.
+  uint64_t seen = last_writer_epoch_.load(std::memory_order_relaxed);
+  while (seen < epoch &&
+         !last_writer_epoch_.compare_exchange_weak(seen, epoch, std::memory_order_release)) {
+  }
+  return Status::Ok();
+}
+
+void RegisteredBuffer::Fence(uint64_t min_epoch) {
+  uint64_t cur = fence_epoch_.load(std::memory_order_relaxed);
+  while (cur < min_epoch &&
+         !fence_epoch_.compare_exchange_weak(cur, min_epoch, std::memory_order_release)) {
+  }
+}
+
+std::string RegisteredBuffer::FenceAndSnapshot(uint64_t min_epoch) {
+  std::lock_guard<std::mutex> lock(write_mutex_);
+  Fence(min_epoch);
+  return std::string(data_.data(), data_.size());
+}
+
 Status RegisteredBuffer::RdmaWriteMessage(uint64_t offset, const MessageHeader& header,
                                           Slice payload) {
   const size_t wire = MessageWireSize(header.padded_payload_size);

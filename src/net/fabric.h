@@ -49,6 +49,34 @@ class RegisteredBuffer {
   // owner's CPU is not involved.
   Status RdmaWrite(uint64_t offset, Slice bytes);
 
+  // One-sided write carrying the writer's replication epoch as an out-of-line
+  // header word. Writes below the owner's fence epoch are rejected before the
+  // memcpy — the simulation analogue of revoking a deposed primary's memory
+  // registration so its in-flight RDMA writes complete with an error.
+  Status RdmaWriteTagged(uint64_t epoch, uint64_t offset, Slice bytes);
+
+  // Raises the fence: tagged writes with epoch < `min_epoch` fail from now
+  // on. The owner calls this when it learns of a configuration change.
+  void Fence(uint64_t min_epoch);
+
+  // Atomically raises the fence and copies the buffer contents. Tagged writes
+  // serialize with this, so the returned image can never contain a torn
+  // record from a write that straddled the fence — the simulation analogue of
+  // de-registering the memory region before reading it (in-flight DMA either
+  // completed before the revoke or faults). Promotion uses this to capture
+  // the deposed primary's replication buffer.
+  std::string FenceAndSnapshot(uint64_t min_epoch);
+
+  uint64_t fence_epoch() const { return fence_epoch_.load(std::memory_order_acquire); }
+  // Epoch carried by the most recent accepted tagged write (0 if none).
+  uint64_t last_writer_epoch() const {
+    return last_writer_epoch_.load(std::memory_order_acquire);
+  }
+  // Number of tagged writes rejected by the fence.
+  uint64_t stale_write_rejects() const {
+    return stale_write_rejects_.load(std::memory_order_relaxed);
+  }
+
   // One-sided write of a protocol message: the body is stored first, then the
   // rendezvous magics with release ordering, so a concurrently polling reader
   // never observes a torn message (models RDMA write last-byte ordering).
@@ -73,6 +101,13 @@ class RegisteredBuffer {
   const std::string owner_;
   const std::string writer_;
   std::vector<char> data_;
+  // Serializes tagged writes against FenceAndSnapshot(). Plain RdmaWrite and
+  // the message protocol stay lock-free: rings are single-writer and order
+  // visibility through the rendezvous words instead.
+  std::mutex write_mutex_;
+  std::atomic<uint64_t> fence_epoch_{0};
+  std::atomic<uint64_t> last_writer_epoch_{0};
+  std::atomic<uint64_t> stale_write_rejects_{0};
 };
 
 // Simulated RDMA network connecting named nodes.

@@ -75,7 +75,7 @@ Status RpcClient::SendNoopFiller(size_t wire_size) {
 }
 
 StatusOr<size_t> RpcClient::AllocateWithWrap(RingAllocator* ring, size_t n, bool is_send_ring) {
-  const uint64_t deadline = NowNanos() + 5'000'000'000ull;
+  const uint64_t deadline = NowNanos() + kDefaultRpcCallTimeoutNs;
   while (true) {
     auto alloc = ring->Allocate(n);
     switch (alloc.status) {

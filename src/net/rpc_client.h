@@ -22,6 +22,12 @@ struct RpcReply {
   std::string payload;
 };
 
+// The single RPC deadline used across the codebase: WaitReply/Call defaults,
+// the KV client's per-operation timeout, and the replication channels' control
+// calls all derive from this constant (override per call site when a test
+// needs a tighter or looser budget).
+inline constexpr uint64_t kDefaultRpcCallTimeoutNs = 2'000'000'000ull;  // 2 s
+
 // Retry/backoff policy for Call(). The default (one attempt) preserves the
 // historical fail-fast behavior; tests running under fault injection raise
 // max_attempts so transient fabric faults are survivable.
@@ -61,12 +67,13 @@ class RpcClient {
   bool TryGetReply(uint64_t request_id, RpcReply* out);
 
   // Blocks (polling) until the reply arrives or `timeout_ns` elapses.
-  StatusOr<RpcReply> WaitReply(uint64_t request_id, uint64_t timeout_ns = 5'000'000'000ull);
+  StatusOr<RpcReply> WaitReply(uint64_t request_id,
+                               uint64_t timeout_ns = kDefaultRpcCallTimeoutNs);
 
   // Convenience: send and wait.
   StatusOr<RpcReply> Call(MessageType type, uint32_t region_id, Slice payload,
                           size_t reply_payload_alloc, uint32_t map_version = 0,
-                          uint64_t timeout_ns = 5'000'000'000ull);
+                          uint64_t timeout_ns = kDefaultRpcCallTimeoutNs);
 
   size_t pending_requests() const { return pending_.size(); }
   const std::string& name() const { return name_; }

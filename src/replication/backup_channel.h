@@ -8,6 +8,8 @@
 #ifndef TEBIS_REPLICATION_BACKUP_CHANNEL_H_
 #define TEBIS_REPLICATION_BACKUP_CHANNEL_H_
 
+#include <atomic>
+#include <cstdint>
 #include <string>
 
 #include "src/common/slice.h"
@@ -46,6 +48,16 @@ class BackupChannel {
   virtual Status SetLogReplayStart(size_t flushed_segment_index) = 0;
 
   virtual const std::string& backup_name() const = 0;
+
+  // Replication epoch stamped into every message this channel sends. The
+  // primary raises it when the coordinator reconfigures the region; backups
+  // reject older epochs (fencing, §3.5). Atomic because the primary's writer
+  // thread and the background compaction worker both read it.
+  void set_epoch(uint64_t epoch) { epoch_.store(epoch, std::memory_order_release); }
+  uint64_t epoch() const { return epoch_.load(std::memory_order_acquire); }
+
+ private:
+  std::atomic<uint64_t> epoch_{0};
 };
 
 }  // namespace tebis

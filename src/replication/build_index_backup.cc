@@ -35,6 +35,25 @@ BuildIndexBackupRegion::BuildIndexBackupRegion(BlockDevice* device, const KvStor
                                                std::shared_ptr<RegisteredBuffer> rdma_buffer)
     : device_(device), options_(options), rdma_buffer_(std::move(rdma_buffer)) {}
 
+Status BuildIndexBackupRegion::CheckEpoch(uint64_t msg_epoch) {
+  if (msg_epoch < region_epoch_) {
+    stats_.epoch_rejected++;
+    return Status::FailedPrecondition("stale replication epoch " + std::to_string(msg_epoch) +
+                                      " < " + std::to_string(region_epoch_));
+  }
+  if (msg_epoch > region_epoch_) {
+    set_region_epoch(msg_epoch);
+  }
+  return Status::Ok();
+}
+
+void BuildIndexBackupRegion::set_region_epoch(uint64_t epoch) {
+  if (epoch > region_epoch_) {
+    region_epoch_ = epoch;
+    rdma_buffer_->Fence(epoch);
+  }
+}
+
 Status BuildIndexBackupRegion::HandleLogFlush(SegmentId primary_segment) {
   if (log_map_.Contains(primary_segment)) {
     return Status::Ok();  // duplicate delivery (the ack was lost, not the flush)

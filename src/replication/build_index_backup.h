@@ -19,6 +19,7 @@ struct BuildIndexBackupStats {
   uint64_t insert_cpu_ns = 0;  // re-inserting flushed records into L0
   uint64_t records_inserted = 0;
   uint64_t log_flushes = 0;
+  uint64_t epoch_rejected = 0;  // control messages fenced as stale (§3.5)
 };
 
 class BuildIndexBackupRegion {
@@ -56,6 +57,11 @@ class BuildIndexBackupRegion {
   const BuildIndexBackupStats& stats() const { return stats_; }
   uint64_t l0_memory_bytes() const { return store_->l0_memory_bytes(); }
 
+  // --- epoch fencing (§3.5), mirrors SendIndexBackupRegion ---
+  Status CheckEpoch(uint64_t msg_epoch);
+  void set_region_epoch(uint64_t epoch);
+  uint64_t region_epoch() const { return region_epoch_; }
+
  private:
   BuildIndexBackupRegion(BlockDevice* device, const KvStoreOptions& options,
                          std::shared_ptr<RegisteredBuffer> rdma_buffer);
@@ -67,6 +73,7 @@ class BuildIndexBackupRegion {
   SegmentMap log_map_;
   std::vector<SegmentId> primary_flush_order_;
   BuildIndexBackupStats stats_;
+  uint64_t region_epoch_ = 0;
 };
 
 }  // namespace tebis

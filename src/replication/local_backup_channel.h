@@ -44,12 +44,13 @@ class LocalBackupChannel : public BackupChannel {
         max_attempts_(std::max(1, max_attempts)) {}
 
   Status RdmaWriteLog(uint64_t offset_in_segment, Slice record_bytes) override {
-    return buffer_->RdmaWrite(offset_in_segment, record_bytes);
+    return buffer_->RdmaWriteTagged(epoch(), offset_in_segment, record_bytes);
   }
 
   Status FlushLog(SegmentId primary_segment) override {
     return WithRetry(FaultSite::kReplFlushSend, FaultSite::kReplFlushAck, /*has_ack=*/true,
-                     EncodeFlushLog({primary_segment}).size(), [&] {
+                     EncodeFlushLog({epoch(), primary_segment}).size(), [&] {
+                       TEBIS_RETURN_IF_ERROR(CheckBackupEpoch());
                        if (send_backup_ != nullptr) {
                          return send_backup_->HandleLogFlush(primary_segment);
                        }
@@ -63,10 +64,12 @@ class LocalBackupChannel : public BackupChannel {
     }
     return WithRetry(FaultSite::kReplCompactionBeginSend, FaultSite::kNumSites,
                      /*has_ack=*/false,
-                     EncodeCompactionBegin({compaction_id, static_cast<uint32_t>(src_level),
+                     EncodeCompactionBegin({epoch(), compaction_id,
+                                            static_cast<uint32_t>(src_level),
                                             static_cast<uint32_t>(dst_level)})
                          .size(),
                      [&] {
+                       TEBIS_RETURN_IF_ERROR(CheckBackupEpoch());
                        return send_backup_->HandleCompactionBegin(compaction_id, src_level,
                                                                   dst_level);
                      });
@@ -79,7 +82,8 @@ class LocalBackupChannel : public BackupChannel {
     }
     // The segment body is the dominant network cost of Send-Index.
     return WithRetry(FaultSite::kReplIndexSegmentSend, FaultSite::kReplIndexSegmentAck,
-                     /*has_ack=*/true, bytes.size() + 28, [&] {
+                     /*has_ack=*/true, bytes.size() + 36, [&] {
+                       TEBIS_RETURN_IF_ERROR(CheckBackupEpoch());
                        return send_backup_->HandleIndexSegment(compaction_id, dst_level,
                                                                tree_level, primary_segment, bytes);
                      });
@@ -90,10 +94,11 @@ class LocalBackupChannel : public BackupChannel {
     if (send_backup_ == nullptr) {
       return Status::Ok();
     }
-    CompactionEndMsg msg{compaction_id, static_cast<uint32_t>(src_level),
+    CompactionEndMsg msg{epoch(), compaction_id, static_cast<uint32_t>(src_level),
                          static_cast<uint32_t>(dst_level), primary_tree};
     return WithRetry(FaultSite::kReplCompactionEndSend, FaultSite::kReplCompactionEndAck,
                      /*has_ack=*/true, EncodeCompactionEnd(msg).size(), [&] {
+                       TEBIS_RETURN_IF_ERROR(CheckBackupEpoch());
                        return send_backup_->HandleCompactionEnd(compaction_id, src_level,
                                                                 dst_level, primary_tree);
                      });
@@ -101,7 +106,8 @@ class LocalBackupChannel : public BackupChannel {
 
   Status TrimLog(size_t segments) override {
     return WithRetry(FaultSite::kReplTrimSend, FaultSite::kNumSites, /*has_ack=*/false,
-                     EncodeTrimLog({static_cast<uint32_t>(segments)}).size(), [&] {
+                     EncodeTrimLog({epoch(), static_cast<uint32_t>(segments)}).size(), [&] {
+                       TEBIS_RETURN_IF_ERROR(CheckBackupEpoch());
                        if (send_backup_ != nullptr) {
                          return send_backup_->HandleTrimLog(segments);
                        }
@@ -110,7 +116,8 @@ class LocalBackupChannel : public BackupChannel {
   }
 
   Status SetLogReplayStart(size_t flushed_segment_index) override {
-    AccountControlMessage(8);
+    AccountControlMessage(16);
+    TEBIS_RETURN_IF_ERROR(CheckBackupEpoch());
     if (send_backup_ != nullptr) {
       send_backup_->set_replay_from(flushed_segment_index);
     }
@@ -155,6 +162,15 @@ class LocalBackupChannel : public BackupChannel {
       }
     }
     return status;
+  }
+
+  // Fencing check the real protocol performs on the backup's server: reject
+  // messages stamped with an epoch older than the backup's configuration.
+  Status CheckBackupEpoch() {
+    if (send_backup_ != nullptr) {
+      return send_backup_->CheckEpoch(epoch());
+    }
+    return build_backup_->CheckEpoch(epoch());
   }
 
   void AccountControlMessage(size_t payload_size) {

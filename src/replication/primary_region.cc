@@ -44,18 +44,79 @@ PrimaryRegion::PrimaryRegion(BlockDevice* device, ReplicationMode mode)
 
 void PrimaryRegion::AddBackup(std::unique_ptr<BackupChannel> channel) {
   std::lock_guard<std::recursive_mutex> lock(region_mutex_);
-  backups_.push_back(std::move(channel));
+  channel->set_epoch(epoch_);
+  // Re-attach replaces: a recovery retry must not leave two channels fanning
+  // out to the same replica.
+  RemoveBackup(channel->backup_name());
+  backups_.push_back(BackupSlot{std::move(channel), 0});
 }
 
 bool PrimaryRegion::RemoveBackup(const std::string& backup_name) {
   std::lock_guard<std::recursive_mutex> lock(region_mutex_);
   for (auto it = backups_.begin(); it != backups_.end(); ++it) {
-    if ((*it)->backup_name() == backup_name) {
+    if (it->channel->backup_name() == backup_name) {
       backups_.erase(it);
       return true;
     }
   }
   return false;
+}
+
+void PrimaryRegion::set_epoch(uint64_t epoch) {
+  std::lock_guard<std::recursive_mutex> lock(region_mutex_);
+  epoch_ = epoch;
+  for (auto& slot : backups_) {
+    slot.channel->set_epoch(epoch);
+  }
+}
+
+Status PrimaryRegion::GuardedCall(BackupSlot* slot, const std::function<Status()>& call) {
+  const uint64_t start = NowNanos();
+  Status status = call();
+  if (status.IsFailedPrecondition()) {
+    // Epoch fence: this primary has been deposed. Not a replica-health event.
+    replication_stats_.fence_errors++;
+    return status;
+  }
+  const bool overdue =
+      policy_.call_deadline_ns > 0 && NowNanos() - start > policy_.call_deadline_ns;
+  if (status.ok() && !overdue) {
+    slot->strikes = 0;
+    return status;
+  }
+  if (overdue) {
+    replication_stats_.slow_call_strikes++;
+  }
+  slot->strikes++;
+  return status;
+}
+
+bool PrimaryRegion::StruckOutLocked(const BackupSlot& slot) const {
+  return policy_.max_consecutive_failures > 0 &&
+         slot.strikes >= policy_.max_consecutive_failures;
+}
+
+void PrimaryRegion::DetachStruckBackupsLocked() {
+  if (policy_.max_consecutive_failures <= 0) {
+    return;
+  }
+  for (auto it = backups_.begin(); it != backups_.end();) {
+    if (!StruckOutLocked(*it)) {
+      ++it;
+      continue;
+    }
+    const std::string name = it->channel->backup_name();
+    TEBIS_LOG(kWarn) << "detaching backup " << name << " after " << it->strikes
+                     << " consecutive failed/overdue calls (degraded mode)";
+    it = backups_.erase(it);
+    replication_stats_.backups_detached++;
+    // Whatever the struck replica parked must not fail client operations —
+    // the region now runs degraded on the survivors.
+    parked_error_ = Status::Ok();
+    if (detach_listener_) {
+      detach_listener_(name, epoch_);
+    }
+  }
 }
 
 void PrimaryRegion::Park(const Status& status) {
@@ -97,13 +158,19 @@ Status PrimaryRegion::FlushL0() {
 StatusOr<size_t> PrimaryRegion::GarbageCollect(size_t max_segments) {
   TEBIS_ASSIGN_OR_RETURN(size_t freed, store_->GarbageCollectHead(max_segments));
   TEBIS_RETURN_IF_ERROR(TakeParkedError());
-  for (auto& backup : backups_) {
-    TEBIS_RETURN_IF_ERROR(backup->TrimLog(freed));
+  {
+    std::lock_guard<std::recursive_mutex> lock(region_mutex_);
+    for (auto& slot : backups_) {
+      TEBIS_RETURN_IF_ERROR(slot.channel->TrimLog(freed));
+    }
   }
   return freed;
 }
 
 Status PrimaryRegion::FullSync(BackupChannel* channel) {
+  // The fresh backup must adopt this configuration's generation before any
+  // message reaches it.
+  channel->set_epoch(epoch());
   // Seal the tail so the entire dataset is in flushed segments + L0, and the
   // levels reference only flushed offsets.
   TEBIS_RETURN_IF_ERROR(store_->value_log()->FlushTail());
@@ -171,16 +238,22 @@ void PrimaryRegion::OnAppend(SegmentId tail_segment, uint64_t offset_in_segment,
   // previous tail image.
   Slice with_terminator(record_bytes.data(), record_bytes.size() + 4);
   constexpr int kAppendRetryLimit = 8;
-  for (auto& backup : backups_) {
-    Status status = backup->RdmaWriteLog(offset_in_segment, with_terminator);
-    // One-sided writes dropped by a transient fabric fault are simply
-    // re-posted; a halted/partitioned peer keeps failing and the error parks.
-    for (int retry = 0; retry < kAppendRetryLimit && status.IsUnavailable(); ++retry) {
-      replication_stats_.append_retries++;
-      status = backup->RdmaWriteLog(offset_in_segment, with_terminator);
+  for (auto& slot : backups_) {
+    Status status = GuardedCall(&slot, [&] {
+      Status s = slot.channel->RdmaWriteLog(offset_in_segment, with_terminator);
+      // One-sided writes dropped by a transient fabric fault are simply
+      // re-posted; a halted/partitioned peer keeps failing and the error parks.
+      for (int retry = 0; retry < kAppendRetryLimit && s.IsUnavailable(); ++retry) {
+        replication_stats_.append_retries++;
+        s = slot.channel->RdmaWriteLog(offset_in_segment, with_terminator);
+      }
+      return s;
+    });
+    if (!StruckOutLocked(slot)) {
+      Park(status);
     }
-    Park(status);
   }
+  DetachStruckBackupsLocked();
   replication_stats_.log_records_replicated++;
 }
 
@@ -191,9 +264,13 @@ void PrimaryRegion::OnTailFlush(SegmentId tail_segment, Slice segment_bytes) {
   }
   ScopedCpuTimer timer(&replication_stats_.log_replication_cpu_ns);
   const uint64_t start = ThreadCpuNanos();
-  for (auto& backup : backups_) {
-    Park(backup->FlushLog(tail_segment));
+  for (auto& slot : backups_) {
+    Status status = GuardedCall(&slot, [&] { return slot.channel->FlushLog(tail_segment); });
+    if (!StruckOutLocked(slot)) {
+      Park(status);
+    }
   }
+  DetachStruckBackupsLocked();
   if (in_compaction_begin_) {
     replication_stats_.log_flush_in_compaction_cpu_ns += ThreadCpuNanos() - start;
   }
@@ -226,9 +303,15 @@ void PrimaryRegion::OnCompactionBegin(const CompactionInfo& info) {
     return;
   }
   ScopedCpuTimer timer(&replication_stats_.send_index_cpu_ns);
-  for (auto& backup : backups_) {
-    Park(backup->CompactionBegin(info.compaction_id, info.src_level, info.dst_level));
+  for (auto& slot : backups_) {
+    Status status = GuardedCall(&slot, [&] {
+      return slot.channel->CompactionBegin(info.compaction_id, info.src_level, info.dst_level);
+    });
+    if (!StruckOutLocked(slot)) {
+      Park(status);
+    }
   }
+  DetachStruckBackupsLocked();
 }
 
 void PrimaryRegion::OnIndexSegment(const CompactionInfo& info, int tree_level, SegmentId segment,
@@ -238,10 +321,16 @@ void PrimaryRegion::OnIndexSegment(const CompactionInfo& info, int tree_level, S
     return;
   }
   ScopedCpuTimer timer(&replication_stats_.send_index_cpu_ns);
-  for (auto& backup : backups_) {
-    Park(backup->ShipIndexSegment(info.compaction_id, info.dst_level, tree_level, segment,
-                                  bytes));
+  for (auto& slot : backups_) {
+    Status status = GuardedCall(&slot, [&] {
+      return slot.channel->ShipIndexSegment(info.compaction_id, info.dst_level, tree_level,
+                                            segment, bytes);
+    });
+    if (!StruckOutLocked(slot)) {
+      Park(status);
+    }
   }
+  DetachStruckBackupsLocked();
   replication_stats_.index_segments_shipped++;
   replication_stats_.index_bytes_shipped += bytes.size();
 }
@@ -252,9 +341,16 @@ void PrimaryRegion::OnCompactionEnd(const CompactionInfo& info, const BuiltTree&
     return;
   }
   ScopedCpuTimer timer(&replication_stats_.send_index_cpu_ns);
-  for (auto& backup : backups_) {
-    Park(backup->CompactionEnd(info.compaction_id, info.src_level, info.dst_level, new_tree));
+  for (auto& slot : backups_) {
+    Status status = GuardedCall(&slot, [&] {
+      return slot.channel->CompactionEnd(info.compaction_id, info.src_level, info.dst_level,
+                                         new_tree);
+    });
+    if (!StruckOutLocked(slot)) {
+      Park(status);
+    }
   }
+  DetachStruckBackupsLocked();
 }
 
 }  // namespace tebis

@@ -7,6 +7,7 @@
 #ifndef TEBIS_REPLICATION_PRIMARY_REGION_H_
 #define TEBIS_REPLICATION_PRIMARY_REGION_H_
 
+#include <functional>
 #include <memory>
 #include <mutex>
 #include <string>
@@ -37,6 +38,20 @@ struct ReplicationStats {
   uint64_t append_retries = 0;  // transient data-plane write failures retried
   uint64_t index_segments_shipped = 0;
   uint64_t index_bytes_shipped = 0;
+  uint64_t backups_detached = 0;   // replicas dropped by the health policy
+  uint64_t slow_call_strikes = 0;  // calls that blew the per-call deadline
+  uint64_t fence_errors = 0;       // calls rejected as stale-epoch (deposed)
+};
+
+// Per-replica health policy (§3.5 "slow-not-dead"). A control/data call that
+// fails or overruns `call_deadline_ns` is a strike; `max_consecutive_failures`
+// strikes in a row detach the replica unilaterally — writes keep flowing to
+// the survivors and the detach is reported through the listener so the master
+// can reconcile with a replacement. The default (0) disables detaching, which
+// preserves the historical park-and-surface behavior.
+struct ReplicationPolicy {
+  int max_consecutive_failures = 0;
+  uint64_t call_deadline_ns = 2'000'000'000ull;  // kDefaultRpcCallTimeoutNs
 };
 
 class PrimaryRegion : public ValueLogObserver, public CompactionObserver {
@@ -52,7 +67,9 @@ class PrimaryRegion : public ValueLogObserver, public CompactionObserver {
   PrimaryRegion(const PrimaryRegion&) = delete;
   PrimaryRegion& operator=(const PrimaryRegion&) = delete;
 
-  // Attaches a backup. The channel's RDMA buffer must already be registered.
+  // Attaches a backup (replacing any existing channel to the same backup —
+  // recovery retries re-attach idempotently). The channel's RDMA buffer must
+  // already be registered. The channel is stamped with this region's epoch.
   void AddBackup(std::unique_ptr<BackupChannel> channel);
 
   // Detaches a failed backup (the master removes it from the replica set
@@ -96,11 +113,47 @@ class PrimaryRegion : public ValueLogObserver, public CompactionObserver {
     return std::move(store_);
   }
   ReplicationMode mode() const { return mode_; }
-  const ReplicationStats& replication_stats() const { return replication_stats_; }
-  size_t num_backups() const { return backups_.size(); }
+  // By value, under the region lock: callers may poll while fan-outs run.
+  ReplicationStats replication_stats() const {
+    std::lock_guard<std::recursive_mutex> lock(region_mutex_);
+    return replication_stats_;
+  }
+  size_t num_backups() const {
+    std::lock_guard<std::recursive_mutex> lock(region_mutex_);
+    return backups_.size();
+  }
+
+  // --- replication epoch (§3.5 fencing) ---
+
+  // Sets this primary's configuration generation and stamps it into every
+  // attached channel; subsequent messages carry it.
+  void set_epoch(uint64_t epoch);
+  uint64_t epoch() const {
+    std::lock_guard<std::recursive_mutex> lock(region_mutex_);
+    return epoch_;
+  }
+
+  // --- health policy / degraded mode ---
+
+  void set_replication_policy(const ReplicationPolicy& policy) {
+    std::lock_guard<std::recursive_mutex> lock(region_mutex_);
+    policy_ = policy;
+  }
+  // Invoked (with region_mutex_ held — do not call back into the region) when
+  // the health policy detaches a replica; args: backup name, current epoch.
+  using DetachListener = std::function<void(const std::string&, uint64_t)>;
+  void set_detach_listener(DetachListener listener) {
+    std::lock_guard<std::recursive_mutex> lock(region_mutex_);
+    detach_listener_ = std::move(listener);
+  }
 
  private:
   PrimaryRegion(BlockDevice* device, ReplicationMode mode);
+
+  struct BackupSlot {
+    std::unique_ptr<BackupChannel> channel;
+    int strikes = 0;  // consecutive failed/overdue calls
+  };
 
   // ValueLogObserver (data plane).
   void OnAppend(SegmentId tail_segment, uint64_t offset_in_segment, Slice record_bytes) override;
@@ -117,6 +170,18 @@ class PrimaryRegion : public ValueLogObserver, public CompactionObserver {
   void Park(const Status& status);
   Status TakeParkedError();
 
+  // Runs one call against a backup under the health policy: failures and
+  // deadline overruns are strikes, a clean on-time call resets them. Epoch
+  // fencing errors (FailedPrecondition) bypass the strike counter — they mean
+  // THIS primary is deposed, not that the backup is sick.
+  Status GuardedCall(BackupSlot* slot, const std::function<Status()>& call);
+  // True once the slot has struck out — its errors stop parking (the replica
+  // is about to be dropped, so it must not fail client operations).
+  bool StruckOutLocked(const BackupSlot& slot) const;
+  // Detaches every struck-out replica, clears the parked error they left
+  // behind, and notifies the listener. Call after each fan-out.
+  void DetachStruckBackupsLocked();
+
   BlockDevice* const device_;
   const ReplicationMode mode_;
   std::unique_ptr<KvStore> store_;
@@ -128,9 +193,12 @@ class PrimaryRegion : public ValueLogObserver, public CompactionObserver {
   // the tail, which re-enters through OnTailFlush). Never held across a call
   // back into the engine.
   mutable std::recursive_mutex region_mutex_;
-  std::vector<std::unique_ptr<BackupChannel>> backups_;
+  std::vector<BackupSlot> backups_;
   Status parked_error_;
   ReplicationStats replication_stats_;
+  ReplicationPolicy policy_;
+  DetachListener detach_listener_;
+  uint64_t epoch_ = 0;
   size_t l0_boundary_ = 0;
   uint64_t next_sync_id_ = 1ull << 62;  // synthetic compaction ids for FullSync
   bool in_compaction_begin_ = false;    // attributes nested tail flushes

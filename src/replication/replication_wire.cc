@@ -4,23 +4,25 @@ namespace tebis {
 
 std::string EncodeFlushLog(const FlushLogMsg& msg) {
   WireWriter w;
-  w.U64(msg.primary_segment);
+  w.U64(msg.epoch).U64(msg.primary_segment);
   return w.str();
 }
 
 Status DecodeFlushLog(Slice payload, FlushLogMsg* out) {
   WireReader r(payload);
+  TEBIS_RETURN_IF_ERROR(r.U64(&out->epoch));
   return r.U64(&out->primary_segment);
 }
 
 std::string EncodeCompactionBegin(const CompactionBeginMsg& msg) {
   WireWriter w;
-  w.U64(msg.compaction_id).U32(msg.src_level).U32(msg.dst_level);
+  w.U64(msg.epoch).U64(msg.compaction_id).U32(msg.src_level).U32(msg.dst_level);
   return w.str();
 }
 
 Status DecodeCompactionBegin(Slice payload, CompactionBeginMsg* out) {
   WireReader r(payload);
+  TEBIS_RETURN_IF_ERROR(r.U64(&out->epoch));
   TEBIS_RETURN_IF_ERROR(r.U64(&out->compaction_id));
   TEBIS_RETURN_IF_ERROR(r.U32(&out->src_level));
   return r.U32(&out->dst_level);
@@ -28,7 +30,8 @@ Status DecodeCompactionBegin(Slice payload, CompactionBeginMsg* out) {
 
 std::string EncodeIndexSegment(const IndexSegmentMsg& msg) {
   WireWriter w;
-  w.U64(msg.compaction_id)
+  w.U64(msg.epoch)
+      .U64(msg.compaction_id)
       .U32(msg.dst_level)
       .U32(msg.tree_level)
       .U64(msg.primary_segment)
@@ -38,6 +41,7 @@ std::string EncodeIndexSegment(const IndexSegmentMsg& msg) {
 
 Status DecodeIndexSegment(Slice payload, IndexSegmentMsg* out) {
   WireReader r(payload);
+  TEBIS_RETURN_IF_ERROR(r.U64(&out->epoch));
   TEBIS_RETURN_IF_ERROR(r.U64(&out->compaction_id));
   TEBIS_RETURN_IF_ERROR(r.U32(&out->dst_level));
   TEBIS_RETURN_IF_ERROR(r.U32(&out->tree_level));
@@ -47,7 +51,7 @@ Status DecodeIndexSegment(Slice payload, IndexSegmentMsg* out) {
 
 std::string EncodeCompactionEnd(const CompactionEndMsg& msg) {
   WireWriter w;
-  w.U64(msg.compaction_id).U32(msg.src_level).U32(msg.dst_level);
+  w.U64(msg.epoch).U64(msg.compaction_id).U32(msg.src_level).U32(msg.dst_level);
   w.U64(msg.tree.root_offset).U16(msg.tree.height).U64(msg.tree.num_entries);
   w.U64(msg.tree.bytes_written);
   w.U32(static_cast<uint32_t>(msg.tree.segments.size()));
@@ -59,6 +63,7 @@ std::string EncodeCompactionEnd(const CompactionEndMsg& msg) {
 
 Status DecodeCompactionEnd(Slice payload, CompactionEndMsg* out) {
   WireReader r(payload);
+  TEBIS_RETURN_IF_ERROR(r.U64(&out->epoch));
   TEBIS_RETURN_IF_ERROR(r.U64(&out->compaction_id));
   TEBIS_RETURN_IF_ERROR(r.U32(&out->src_level));
   TEBIS_RETURN_IF_ERROR(r.U32(&out->dst_level));
@@ -79,12 +84,13 @@ Status DecodeCompactionEnd(Slice payload, CompactionEndMsg* out) {
 
 std::string EncodeTrimLog(const TrimLogMsg& msg) {
   WireWriter w;
-  w.U32(msg.segments);
+  w.U64(msg.epoch).U32(msg.segments);
   return w.str();
 }
 
 Status DecodeTrimLog(Slice payload, TrimLogMsg* out) {
   WireReader r(payload);
+  TEBIS_RETURN_IF_ERROR(r.U64(&out->epoch));
   return r.U32(&out->segments);
 }
 

@@ -12,17 +12,23 @@
 
 namespace tebis {
 
+// Every control message carries the replication epoch (configuration
+// generation) of the sending primary. Backups reject messages whose epoch is
+// older than their own, fencing traffic from a deposed primary (§3.5).
 struct FlushLogMsg {
+  uint64_t epoch = 0;
   SegmentId primary_segment;
 };
 
 struct CompactionBeginMsg {
+  uint64_t epoch = 0;
   uint64_t compaction_id;
   uint32_t src_level;
   uint32_t dst_level;
 };
 
 struct IndexSegmentMsg {
+  uint64_t epoch = 0;
   uint64_t compaction_id;
   uint32_t dst_level;
   uint32_t tree_level;
@@ -31,6 +37,7 @@ struct IndexSegmentMsg {
 };
 
 struct CompactionEndMsg {
+  uint64_t epoch = 0;
   uint64_t compaction_id;
   uint32_t src_level;
   uint32_t dst_level;
@@ -38,6 +45,7 @@ struct CompactionEndMsg {
 };
 
 struct TrimLogMsg {
+  uint64_t epoch = 0;
   uint32_t segments;
 };
 

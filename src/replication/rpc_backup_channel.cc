@@ -5,56 +5,69 @@
 namespace tebis {
 
 RpcBackupChannel::RpcBackupChannel(std::unique_ptr<RpcClient> client, uint32_t region_id,
-                                   std::shared_ptr<RegisteredBuffer> buffer)
+                                   std::shared_ptr<RegisteredBuffer> buffer,
+                                   uint64_t call_timeout_ns)
     : client_(std::move(client)),
       region_id_(region_id),
       buffer_(std::move(buffer)),
-      backup_name_(buffer_->owner()) {}
+      backup_name_(buffer_->owner()),
+      call_timeout_ns_(call_timeout_ns) {}
 
 Status RpcBackupChannel::RdmaWriteLog(uint64_t offset_in_segment, Slice record_bytes) {
-  return buffer_->RdmaWrite(offset_in_segment, record_bytes);
+  return buffer_->RdmaWriteTagged(epoch(), offset_in_segment, record_bytes);
 }
 
 Status RpcBackupChannel::CallChecked(MessageType type, Slice payload, size_t reply_alloc) {
-  TEBIS_ASSIGN_OR_RETURN(RpcReply reply, client_->Call(type, region_id_, payload, reply_alloc));
+  TEBIS_ASSIGN_OR_RETURN(RpcReply reply, client_->Call(type, region_id_, payload, reply_alloc,
+                                                       /*map_version=*/0, call_timeout_ns_));
   if (reply.header.flags & kFlagError) {
-    return Status::Internal("backup " + backup_name_ + " rejected " + MessageTypeName(type) +
-                            ": " + reply.payload);
+    const std::string detail = "backup " + backup_name_ + " rejected " + MessageTypeName(type) +
+                               ": " + reply.payload;
+    // Epoch fencing (§3.5) must keep its code across the wire: the primary
+    // treats FailedPrecondition as "I am deposed", never as replica sickness,
+    // and never retries it. Error replies carry Status::ToString(), which
+    // leads with the code name.
+    if (reply.payload.rfind("FailedPrecondition", 0) == 0) {
+      return Status::FailedPrecondition(detail);
+    }
+    return Status::Internal(detail);
   }
   return Status::Ok();
 }
 
 Status RpcBackupChannel::FlushLog(SegmentId primary_segment) {
-  return CallChecked(MessageType::kFlushLog, EncodeFlushLog({primary_segment}));
+  return CallChecked(MessageType::kFlushLog, EncodeFlushLog({epoch(), primary_segment}));
 }
 
 Status RpcBackupChannel::CompactionBegin(uint64_t compaction_id, int src_level, int dst_level) {
   return CallChecked(MessageType::kCompactionBegin,
-                     EncodeCompactionBegin({compaction_id, static_cast<uint32_t>(src_level),
+                     EncodeCompactionBegin({epoch(), compaction_id,
+                                            static_cast<uint32_t>(src_level),
                                             static_cast<uint32_t>(dst_level)}));
 }
 
 Status RpcBackupChannel::ShipIndexSegment(uint64_t compaction_id, int dst_level, int tree_level,
                                           SegmentId primary_segment, Slice bytes) {
-  IndexSegmentMsg msg{compaction_id, static_cast<uint32_t>(dst_level),
+  IndexSegmentMsg msg{epoch(), compaction_id, static_cast<uint32_t>(dst_level),
                       static_cast<uint32_t>(tree_level), primary_segment, bytes};
   return CallChecked(MessageType::kIndexSegment, EncodeIndexSegment(msg));
 }
 
 Status RpcBackupChannel::CompactionEnd(uint64_t compaction_id, int src_level, int dst_level,
                                        const BuiltTree& primary_tree) {
-  CompactionEndMsg msg{compaction_id, static_cast<uint32_t>(src_level),
+  CompactionEndMsg msg{epoch(), compaction_id, static_cast<uint32_t>(src_level),
                        static_cast<uint32_t>(dst_level), primary_tree};
   return CallChecked(MessageType::kCompactionEnd, EncodeCompactionEnd(msg));
 }
 
 Status RpcBackupChannel::TrimLog(size_t segments) {
-  return CallChecked(MessageType::kLogTrim, EncodeTrimLog({static_cast<uint32_t>(segments)}));
+  return CallChecked(MessageType::kLogTrim,
+                     EncodeTrimLog({epoch(), static_cast<uint32_t>(segments)}));
 }
 
 Status RpcBackupChannel::SetLogReplayStart(size_t flushed_segment_index) {
   WireWriter w;
-  w.U64(flushed_segment_index);
+  w.U64(epoch()).U64(flushed_segment_index);
   return CallChecked(MessageType::kSetReplayStart, w.slice());
 }
 

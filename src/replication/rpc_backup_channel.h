@@ -16,8 +16,12 @@ class RpcBackupChannel : public BackupChannel {
  public:
   // `client` is a dedicated connection from the primary server to the backup
   // server (owned by this channel); `region_id` routes to the backup region.
+  // `call_timeout_ns` bounds every control call: a backup that does not
+  // acknowledge within the deadline surfaces Unavailable to the primary
+  // instead of wedging the calling thread.
   RpcBackupChannel(std::unique_ptr<RpcClient> client, uint32_t region_id,
-                   std::shared_ptr<RegisteredBuffer> buffer);
+                   std::shared_ptr<RegisteredBuffer> buffer,
+                   uint64_t call_timeout_ns = kDefaultRpcCallTimeoutNs);
 
   Status RdmaWriteLog(uint64_t offset_in_segment, Slice record_bytes) override;
   Status FlushLog(SegmentId primary_segment) override;
@@ -42,6 +46,7 @@ class RpcBackupChannel : public BackupChannel {
   const uint32_t region_id_;
   std::shared_ptr<RegisteredBuffer> buffer_;
   const std::string backup_name_;
+  const uint64_t call_timeout_ns_;
 };
 
 }  // namespace tebis

@@ -267,7 +267,34 @@ StatusOr<std::unique_ptr<KvStore>> SendIndexBackupRegion::Promote(bool replay_rd
   return store;
 }
 
-Status SendIndexBackupRegion::AdoptNewPrimaryLogMap(const SegmentMap& new_primary_log_map) {
+Status SendIndexBackupRegion::CheckEpoch(uint64_t msg_epoch) {
+  if (msg_epoch < region_epoch_) {
+    stats_.epoch_rejected++;
+    return Status::FailedPrecondition("stale replication epoch " + std::to_string(msg_epoch) +
+                                      " < " + std::to_string(region_epoch_));
+  }
+  if (msg_epoch > region_epoch_) {
+    set_region_epoch(msg_epoch);
+  }
+  return Status::Ok();
+}
+
+void SendIndexBackupRegion::set_region_epoch(uint64_t epoch) {
+  if (epoch > region_epoch_) {
+    region_epoch_ = epoch;
+    rdma_buffer_->Fence(epoch);
+  }
+}
+
+Status SendIndexBackupRegion::AdoptNewPrimaryLogMap(const SegmentMap& new_primary_log_map,
+                                                    uint64_t epoch) {
+  if (epoch != 0) {
+    if (epoch <= log_map_epoch_) {
+      return Status::Ok();  // retry of an adoption this node already performed
+    }
+    set_region_epoch(epoch);
+    log_map_epoch_ = epoch;
+  }
   TEBIS_ASSIGN_OR_RETURN(SegmentMap rekeyed, log_map_.RekeyForNewPrimary(new_primary_log_map));
   log_map_ = std::move(rekeyed);
   // The flush-order list must be re-keyed too.

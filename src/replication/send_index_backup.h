@@ -23,6 +23,7 @@ struct SendIndexBackupStats {
   uint64_t segments_rewritten = 0;
   uint64_t offsets_rewritten = 0;
   uint64_t log_flushes = 0;
+  uint64_t epoch_rejected = 0;  // control messages fenced as stale (§3.5)
 };
 
 class SendIndexBackupRegion {
@@ -79,7 +80,20 @@ class SendIndexBackupRegion {
 
   // A *different* backup was promoted: re-key this node's log map from
   // old-primary segment numbers to the new primary's (§3.2, in-memory only).
-  Status AdoptNewPrimaryLogMap(const SegmentMap& new_primary_log_map);
+  // `epoch`, when non-zero, is the configuration generation of the promotion;
+  // re-keying is destructive if repeated, so a retry carrying an epoch this
+  // node already adopted is a no-op (reentrant recovery).
+  Status AdoptNewPrimaryLogMap(const SegmentMap& new_primary_log_map, uint64_t epoch = 0);
+
+  // --- epoch fencing (§3.5) ---
+
+  // Rejects control traffic stamped with an epoch older than this region's
+  // configuration generation; adopts newer epochs (and raises the RDMA-buffer
+  // fence so the deposed primary's one-sided writes stop landing too).
+  Status CheckEpoch(uint64_t msg_epoch);
+  // Raise-to-at-least; also fences the RDMA buffer at the new epoch.
+  void set_region_epoch(uint64_t epoch);
+  uint64_t region_epoch() const { return region_epoch_; }
 
   // --- introspection ---
 
@@ -126,6 +140,11 @@ class SendIndexBackupRegion {
   // First flushed-segment index that is NOT yet reflected in the levels; L0
   // replay starts here on promotion.
   size_t replay_from_ = 0;
+
+  // Configuration generation this replica believes it is in, and the epoch
+  // whose primary keying the log map reflects (guards double re-keying).
+  uint64_t region_epoch_ = 0;
+  uint64_t log_map_epoch_ = 0;
 
   SendIndexBackupStats stats_;
 };

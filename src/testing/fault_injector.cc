@@ -119,6 +119,44 @@ bool FaultInjector::IsHalted(const std::string& node) const {
   return halted_.count(node) > 0;
 }
 
+void FaultInjector::StallNode(const std::string& node, uint64_t delay_micros) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  stalled_[node] = delay_micros;
+}
+
+void FaultInjector::UnstallNode(const std::string& node) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  stalled_.erase(node);
+}
+
+bool FaultInjector::IsStalled(const std::string& node) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return stalled_.count(node) > 0;
+}
+
+uint64_t FaultInjector::StallDelayForLocked(const std::string& name) const {
+  // Endpoint and connection names derive from the server name with ':' / '>'
+  // separators ("s3:repl", "s1>r0>s3"), so a stalled server matches any
+  // component-delimited occurrence of its name.
+  uint64_t delay = 0;
+  for (const auto& [node, d] : stalled_) {
+    bool match = name == node;
+    if (!match && name.size() > node.size()) {
+      if (name.compare(0, node.size(), node) == 0 &&
+          (name[node.size()] == ':' || name[node.size()] == '>')) {
+        match = true;
+      } else if (name.compare(name.size() - node.size(), node.size(), node) == 0 &&
+                 name[name.size() - node.size() - 1] == '>') {
+        match = true;
+      }
+    }
+    if (match) {
+      delay = std::max(delay, d);
+    }
+  }
+  return delay;
+}
+
 void FaultInjector::Partition(const std::string& a, const std::string& b) {
   std::lock_guard<std::mutex> lock(mutex_);
   partitions_.insert(PairKey(a, b));
@@ -185,6 +223,7 @@ void FaultInjector::ClearRules() {
   }
   device_rules_.clear();
   halted_.clear();
+  stalled_.clear();
   partitions_.clear();
   failed_qps_.clear();
 }
@@ -247,6 +286,13 @@ Status FaultInjector::OnSite(FaultSite site, const std::string& from, const std:
           break;
         }
       }
+    }
+    // Stalled nodes: control-plane traffic touching the node crawls, but
+    // one-sided fabric writes (kFabricWrite) bypass the remote CPU entirely —
+    // the NIC is healthy, so the data plane stays fast.
+    if (site != FaultSite::kFabricWrite) {
+      delay_micros = std::max(delay_micros, StallDelayForLocked(from));
+      delay_micros = std::max(delay_micros, StallDelayForLocked(to));
     }
     if (!result.ok()) {
       stats_.injected[s]++;

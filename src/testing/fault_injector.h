@@ -23,6 +23,7 @@
 #define TEBIS_TESTING_FAULT_INJECTOR_H_
 
 #include <cstdint>
+#include <map>
 #include <mutex>
 #include <set>
 #include <string>
@@ -118,6 +119,15 @@ class FaultInjector : public BlockDeviceFaultHook {
   void ReviveNode(const std::string& node);
   bool IsHalted(const std::string& node) const;
 
+  // Slow-not-dead (§3.5): every control-plane event touching `node` is
+  // delayed by `delay_micros`, but one-sided fabric writes stay fast — a
+  // stalled CPU with a healthy NIC. The node's heartbeat survives while its
+  // replication control calls blow their deadlines, which is exactly the case
+  // the primary's per-replica health policy must catch.
+  void StallNode(const std::string& node, uint64_t delay_micros);
+  void UnstallNode(const std::string& node);
+  bool IsStalled(const std::string& node) const;
+
   // Symmetric network partition between two nodes (until Heal).
   void Partition(const std::string& a, const std::string& b);
   void Heal(const std::string& a, const std::string& b);
@@ -186,6 +196,9 @@ class FaultInjector : public BlockDeviceFaultHook {
 
   static std::pair<std::string, std::string> PairKey(const std::string& a, const std::string& b);
   void RecordFired(FaultSite site, uint64_t event_index, std::string detail);
+  // Delay owed to stall rules for an endpoint/connection name (must hold
+  // mutex_). Matches the stalled server name at component boundaries.
+  uint64_t StallDelayForLocked(const std::string& name) const;
 
   const uint64_t seed_;
 
@@ -194,6 +207,7 @@ class FaultInjector : public BlockDeviceFaultHook {
   std::vector<SiteRule> site_rules_[kNumFaultSites];
   std::vector<DeviceRule> device_rules_;
   std::set<std::string> halted_;
+  std::map<std::string, uint64_t> stalled_;  // node -> control-plane delay us
   std::set<std::pair<std::string, std::string>> partitions_;  // normalized pairs
   std::set<std::pair<std::string, std::string>> failed_qps_;  // (owner, writer)
   bool crash_fired_ = false;

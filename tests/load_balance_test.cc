@@ -3,8 +3,11 @@
 // primary becomes a backup and keeps replicating.
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <chrono>
 #include <map>
 #include <memory>
+#include <thread>
 #include <vector>
 
 #include "src/cluster/client.h"
@@ -156,6 +159,106 @@ TEST(HandoverTest, DemotedPrimarySurvivesNextFailover) {
     ASSERT_TRUE(v.ok()) << key << " " << v.status().ToString();
     EXPECT_EQ(*v, value) << key;
   }
+}
+
+TEST(HandoverTest, WriterRacingMovePrimarySeesOnlyRetriableFailures) {
+  // A writer hammers region 0 while the master bounces its primary role back
+  // and forth. Every failure the writer observes must be retriable
+  // (Unavailable — a fenced or mid-handover primary), never a data error, and
+  // every key must end at its last acknowledged value or at a value whose Put
+  // failed *after* that ack (a timed-out op may still have landed).
+  HandoverCluster cluster(ReplicationMode::kSendIndex);
+  const RegionInfo* region0 = cluster.master->current_map()->FindById(0);
+  ASSERT_NE(region0, nullptr);
+  const std::string node_a = region0->primary;
+  const std::string node_b = region0->backups[0];
+
+  // The writer owns its client: TebisClient is single-threaded.
+  auto writer_client = std::make_unique<TebisClient>(
+      &cluster.fabric, "racer",
+      [&cluster](const std::string& name) -> ServerEndpoint* {
+        auto it = cluster.directory.find(name);
+        return (it == cluster.directory.end() || it->second->crashed())
+                   ? nullptr
+                   : it->second->client_endpoint();
+      },
+      std::vector<std::string>{node_a, node_b});
+  writer_client->set_rpc_timeout_ns(1'000'000'000ull);
+  ASSERT_TRUE(writer_client->Connect().ok());
+
+  // Region 0 covers the low half of the 4000-key space; slot*67 stays inside.
+  constexpr int kSlots = 29;
+  std::vector<std::string> last_acked(kSlots);
+  std::vector<std::vector<std::string>> failed_after_ack(kSlots);
+  std::vector<std::string> bad_failures;  // writer-thread only until join
+  std::atomic<uint64_t> acked{0};
+  std::atomic<bool> stop{false};
+  std::thread writer([&] {
+    uint64_t seq = 0;
+    while (!stop.load(std::memory_order_relaxed)) {
+      const int slot = static_cast<int>(seq % kSlots);
+      const std::string value = "race-" + std::to_string(seq++);
+      Status s = writer_client->Put(HandoverCluster::Key(slot * 67), value);
+      if (s.ok()) {
+        last_acked[slot] = value;
+        failed_after_ack[slot].clear();
+        acked.fetch_add(1, std::memory_order_relaxed);
+      } else {
+        if (!s.IsUnavailable()) {
+          bad_failures.push_back(s.ToString());
+        }
+        failed_after_ack[slot].push_back(value);
+      }
+    }
+  });
+
+  // Four handovers; after each one the writer must prove liveness by landing
+  // at least one more acked write under the new configuration (which forces a
+  // map refresh through the retry path — its cached map is now stale).
+  for (int round = 0; round < 4; ++round) {
+    const std::string& target = (round % 2 == 0) ? node_b : node_a;
+    const uint64_t before = acked.load(std::memory_order_relaxed);
+    Status moved = cluster.master->MovePrimary(0, target);
+    ASSERT_TRUE(moved.ok()) << round << " " << moved.ToString();
+    const auto deadline = std::chrono::steady_clock::now() + std::chrono::seconds(10);
+    while (acked.load(std::memory_order_relaxed) <= before &&
+           std::chrono::steady_clock::now() < deadline) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+    ASSERT_GT(acked.load(std::memory_order_relaxed), before)
+        << "writer made no progress after handover " << round;
+  }
+  stop.store(true, std::memory_order_relaxed);
+  writer.join();
+
+  EXPECT_TRUE(bad_failures.empty()) << bad_failures.front();
+  const ClientStats stats = writer_client->stats();
+  EXPECT_GT(stats.wrong_region_retries + stats.failover_retries, 0u);
+
+  // Converged state: every slot holds its last ack, or a post-ack failed
+  // attempt that landed without its acknowledgment.
+  for (int slot = 0; slot < kSlots; ++slot) {
+    if (last_acked[slot].empty() && failed_after_ack[slot].empty()) {
+      continue;
+    }
+    auto v = cluster.client->Get(HandoverCluster::Key(slot * 67));
+    if (!v.ok()) {
+      // Only possible if the slot was never acked at all.
+      EXPECT_TRUE(last_acked[slot].empty()) << slot << " " << v.status().ToString();
+      continue;
+    }
+    const bool is_last_ack = !last_acked[slot].empty() && *v == last_acked[slot];
+    const bool is_post_ack_failure =
+        std::find(failed_after_ack[slot].begin(), failed_after_ack[slot].end(), *v) !=
+        failed_after_ack[slot].end();
+    EXPECT_TRUE(is_last_ack || is_post_ack_failure)
+        << "slot " << slot << " holds " << *v << ", last ack " << last_acked[slot];
+  }
+  // The region still takes writes after the dust settles.
+  ASSERT_TRUE(cluster.client->Put(HandoverCluster::Key(1), "settled").ok());
+  auto settled = cluster.client->Get(HandoverCluster::Key(1));
+  ASSERT_TRUE(settled.ok());
+  EXPECT_EQ(*settled, "settled");
 }
 
 TEST(HandoverTest, MovePrimaryValidation) {

@@ -124,7 +124,7 @@ TEST(ReplicationWireTest, CompactionEndRoundTrip) {
 
 TEST(ReplicationWireTest, IndexSegmentRoundTrip) {
   std::string data(1000, 'n');
-  IndexSegmentMsg msg{4, 2, 0, 77, Slice(data)};
+  IndexSegmentMsg msg{/*epoch=*/1, 4, 2, 0, 77, Slice(data)};
   std::string encoded = EncodeIndexSegment(msg);
   IndexSegmentMsg out{};
   ASSERT_TRUE(DecodeIndexSegment(encoded, &out).ok());

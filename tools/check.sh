@@ -1,41 +1,61 @@
 #!/usr/bin/env bash
 # Tier-1 gate: the fast test label, run twice — once plain, once under
-# ThreadSanitizer. The background compaction pipeline (PR 2) moves compactions
-# off the writer thread, so a plain pass alone no longer proves the absence of
-# data races; TSan over the same suite does. Run this before every merge:
+# ThreadSanitizer — plus the chaos label under AddressSanitizer. The
+# background compaction pipeline (PR 2) moves compactions off the writer
+# thread, so a plain pass alone no longer proves the absence of data races;
+# TSan over the same suite does. The chaos label replays the deterministic
+# fault-injection matrix (crash, partition, stall, deposed-primary) where
+# use-after-free bugs in teardown/failover paths hide; ASan catches those.
+# Run this before every merge:
 #
-#   tools/check.sh            # both passes
+#   tools/check.sh            # all three passes
 #   tools/check.sh --plain    # plain pass only (quick inner loop)
 #   tools/check.sh --tsan     # TSan pass only
+#   tools/check.sh --chaos    # ASan chaos pass only
 #
-# Build trees: build/ (plain) and build-tsan/ (TEBIS_SANITIZE=thread). The
-# slow label (soak/fuzz/stress) is tier-2: `ctest --test-dir build -L slow`.
+# Build trees: build/ (plain), build-tsan/ (TEBIS_SANITIZE=thread) and
+# build-asan/ (TEBIS_SANITIZE=address). The slow label (soak/fuzz/stress) is
+# tier-2: `ctest --test-dir build -L slow`.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 jobs=$(nproc 2>/dev/null || echo 4)
 run_plain=1
 run_tsan=1
+run_chaos=1
 case "${1:-}" in
-  --plain) run_tsan=0 ;;
-  --tsan) run_plain=0 ;;
+  --plain) run_tsan=0; run_chaos=0 ;;
+  --tsan) run_plain=0; run_chaos=0 ;;
+  --chaos) run_plain=0; run_tsan=0 ;;
   "") ;;
-  *) echo "usage: tools/check.sh [--plain|--tsan]" >&2; exit 2 ;;
+  *) echo "usage: tools/check.sh [--plain|--tsan|--chaos]" >&2; exit 2 ;;
 esac
 
 if [[ $run_plain -eq 1 ]]; then
-  echo "== tier-1 pass 1/2: plain build, fast label =="
+  echo "== tier-1 pass 1/3: plain build, fast label =="
   cmake -B build -S . >/dev/null
   cmake --build build -j "$jobs"
-  ctest --test-dir build -L fast --output-on-failure -j "$jobs"
+  ctest --test-dir build -L fast --no-tests=error --output-on-failure -j "$jobs"
 fi
 
 if [[ $run_tsan -eq 1 ]]; then
-  echo "== tier-1 pass 2/2: ThreadSanitizer build, fast label =="
+  echo "== tier-1 pass 2/3: ThreadSanitizer build, fast label =="
   cmake -B build-tsan -S . -DTEBIS_SANITIZE=thread >/dev/null
   cmake --build build-tsan -j "$jobs"
   TSAN_OPTIONS="halt_on_error=1 ${TSAN_OPTIONS:-}" \
-    ctest --test-dir build-tsan -L fast --output-on-failure -j "$jobs"
+    ctest --test-dir build-tsan -L fast --no-tests=error --output-on-failure -j "$jobs"
+fi
+
+if [[ $run_chaos -eq 1 ]]; then
+  echo "== tier-1 pass 3/3: AddressSanitizer build, chaos label =="
+  cmake -B build-asan -S . -DTEBIS_SANITIZE=address >/dev/null
+  cmake --build build-asan -j "$jobs"
+  if ! ctest --test-dir build-asan -L chaos --no-tests=error --output-on-failure -j "$jobs"; then
+    echo "chaos pass failed; replay a seeded suite deterministically with" >&2
+    echo "  TEBIS_CHAOS_SEED=<seed from the failing test's trace> \\" >&2
+    echo "    ctest --test-dir build-asan -L chaos -R <failing test> --output-on-failure" >&2
+    exit 1
+  fi
 fi
 
 echo "== tier-1 gate: OK =="
