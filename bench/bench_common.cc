@@ -55,6 +55,7 @@ Experiment::Experiment(const ExperimentConfig& config, const KvSizeMix& mix,
   options.num_regions = 8;
   options.replication_factor = config.replication_factor;
   options.mode = config.mode;
+  options.compaction_workers = config.compaction_workers;
   options.kv_options.l0_max_entries = scale.l0_entries;
   if (config.l0_entries_override == 1) {
     // Build-IndexRL: same total L0 budget as Send-Index across replicas.

@@ -39,6 +39,10 @@ struct ExperimentConfig {
   int replication_factor = 2;
   // 0 = use the scale default; Build-IndexRL (§5.5) divides it.
   uint64_t l0_entries_override = 0;
+  // Background compaction workers per cluster (PR 4): 0 = synchronous
+  // compactions (the seed pipeline); >= 1 enables the background scheduler
+  // and multiplexed shipping streams.
+  int compaction_workers = 0;
 };
 
 // The standard three (paper §4) plus the reduced-L0 baseline (§5.5).

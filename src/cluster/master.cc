@@ -456,8 +456,9 @@ void Master::ReconcileDetachRecords() {
     std::string backup_name;
     uint64_t detach_epoch = 0;
     std::string primary_name;
+    uint32_t stream = 0;  // shipping stream that struck out (PR 4)
     if (!r.U32(&region_id).ok() || !r.Bytes(&backup_name).ok() || !r.U64(&detach_epoch).ok() ||
-        !r.Bytes(&primary_name).ok()) {
+        !r.Bytes(&primary_name).ok() || !r.U32(&stream).ok()) {
       (void)coordinator_->Delete(Coordinator::kNoSession, path);
       continue;
     }
@@ -471,7 +472,8 @@ void Master::ReconcileDetachRecords() {
       continue;
     }
     TEBIS_LOG(kInfo) << "master " << name_ << " reconciling unilateral detach of "
-                     << backup_name << " from region " << region_id;
+                     << backup_name << " from region " << region_id << " (stream "
+                     << stream << ")";
     // The primary already dropped the replica; replace it like a failed
     // backup (the stalled server is excluded as its own replacement).
     Status s = HandleBackupFailure(&updated, region_id, backup_name);

@@ -32,6 +32,11 @@ Status RegionServer::Start() {
     return Status::FailedPrecondition("server already started");
   }
   TEBIS_ASSIGN_OR_RETURN(device_, BlockDevice::Create(options_.device_options));
+  if (options_.expected_regions > 0) {
+    // Split the server's shard-lock budget across the stores it will host
+    // (PR 4); a standalone store keeps the configured default.
+    options_.kv_options.cache_shards = PageCache::ShardsForStores(options_.expected_regions);
+  }
   if (options_.compaction_workers > 0) {
     compaction_pool_ = std::make_unique<WorkerPool>(options_.compaction_workers);
     compaction_pool_->Start();
@@ -80,15 +85,20 @@ void RegionServer::DropCoordinatorSession() { coordinator_->ExpireSession(sessio
 
 void RegionServer::InstallPrimaryPolicy(uint32_t region_id, PrimaryRegion* primary) {
   primary->set_replication_policy(options_.replication_policy);
+  // Per-stream shipping credit (PR 4): each backup's in-flight index bytes
+  // are bounded by its shared replication connection buffer, split across the
+  // concurrent streams so one stalled stream cannot occupy the whole buffer.
+  primary->set_stream_flow_pool(options_.replication_connection_buffer);
   if (options_.replication_policy.max_consecutive_failures > 0) {
-    primary->set_detach_listener([this, region_id](const std::string& backup, uint64_t epoch) {
-      RecordDetach(region_id, backup, epoch);
-    });
+    primary->set_detach_listener(
+        [this, region_id](const std::string& backup, uint64_t epoch, StreamId stream) {
+          RecordDetach(region_id, backup, epoch, stream);
+        });
   }
 }
 
 void RegionServer::RecordDetach(uint32_t region_id, const std::string& backup_name,
-                                uint64_t epoch) {
+                                uint64_t epoch, StreamId stream) {
   std::lock_guard<std::mutex> lock(detach_mutex_);
   if (!started_) {
     return;
@@ -96,12 +106,12 @@ void RegionServer::RecordDetach(uint32_t region_id, const std::string& backup_na
   // Off-thread: the detach listener fires under region locks, and creating
   // the znode runs the master's watch synchronously on the creating thread —
   // reconciliation re-enters this server and must not self-deadlock.
-  detach_threads_.emplace_back([this, region_id, backup_name, epoch] {
+  detach_threads_.emplace_back([this, region_id, backup_name, epoch, stream] {
     if (!coordinator_->Exists(kDetachedPath)) {
       (void)coordinator_->Create(Coordinator::kNoSession, kDetachedPath, "", {});
     }
     WireWriter w;
-    w.U32(region_id).Bytes(backup_name).U64(epoch).Bytes(name_);
+    w.U32(region_id).Bytes(backup_name).U64(epoch).Bytes(name_).U32(stream);
     // One record per (region, backup, epoch): retries collapse.
     const std::string path = std::string(kDetachedPath) + "/r" + std::to_string(region_id) +
                              "-" + backup_name + "-e" + std::to_string(epoch);
@@ -620,7 +630,7 @@ void RegionServer::HandleReplicationOp(RegionHandle* region, const MessageHeader
       }
       if (status.ok() && send != nullptr) {
         status = send->HandleCompactionBegin(msg.compaction_id, static_cast<int>(msg.src_level),
-                                             static_cast<int>(msg.dst_level));
+                                             static_cast<int>(msg.dst_level), msg.stream_id);
       }
       break;
     }
@@ -633,7 +643,7 @@ void RegionServer::HandleReplicationOp(RegionHandle* region, const MessageHeader
       if (status.ok() && send != nullptr) {
         status = send->HandleIndexSegment(msg.compaction_id, static_cast<int>(msg.dst_level),
                                           static_cast<int>(msg.tree_level), msg.primary_segment,
-                                          msg.data);
+                                          msg.data, msg.stream_id);
       }
       break;
     }
@@ -645,7 +655,8 @@ void RegionServer::HandleReplicationOp(RegionHandle* region, const MessageHeader
       }
       if (status.ok() && send != nullptr) {
         status = send->HandleCompactionEnd(msg.compaction_id, static_cast<int>(msg.src_level),
-                                           static_cast<int>(msg.dst_level), msg.tree);
+                                           static_cast<int>(msg.dst_level), msg.tree,
+                                           msg.stream_id);
       }
       break;
     }

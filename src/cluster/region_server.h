@@ -44,6 +44,11 @@ struct RegionServerOptions {
   // call; max_consecutive_failures > 0 enables unilateral detach into
   // degraded mode, recorded under /detached for the master to reconcile.
   ReplicationPolicy replication_policy;
+  // Regions this server expects to host (primary or backup). When > 0 the
+  // page-cache shard count of every store is sized with
+  // PageCache::ShardsForStores at Start(); 0 keeps kv_options.cache_shards
+  // as configured (the standalone default).
+  size_t expected_regions = 0;
 };
 
 // Aggregate counters for the experiment harness.
@@ -174,8 +179,10 @@ class RegionServer {
   void InstallPrimaryPolicy(uint32_t region_id, PrimaryRegion* primary);
   // Records a unilateral detach as a persistent coordinator znode, off-thread
   // (the listener runs under region locks; the master's watch fires on the
-  // creating thread and re-enters this server).
-  void RecordDetach(uint32_t region_id, const std::string& backup_name, uint64_t epoch);
+  // creating thread and re-enters this server). `stream` is the shipping
+  // stream whose strikes triggered the detach (kNoStream = data plane).
+  void RecordDetach(uint32_t region_id, const std::string& backup_name, uint64_t epoch,
+                    StreamId stream);
 
   Fabric* const fabric_;
   Coordinator* const coordinator_;

@@ -99,11 +99,12 @@ KvStore::KvStore(BlockDevice* device, const KvStoreOptions& options)
   for (uint32_t i = 0; i <= options.max_levels; ++i) {
     levels_.push_back(MakeHandle(BuiltTree{}));
   }
+  level_busy_.assign(options.max_levels + 1, false);
 }
 
 KvStore::~KvStore() {
   std::unique_lock<std::mutex> lock(mutex_);
-  bg_cv_.wait(lock, [&] { return !bg_scheduled_; });
+  bg_cv_.wait(lock, [&] { return bg_jobs_ == 0; });
 }
 
 Status KvStore::AdoptCompactionPool(WorkerPool* pool) {
@@ -112,7 +113,7 @@ Status KvStore::AdoptCompactionPool(WorkerPool* pool) {
   if (pool_ != nullptr) {
     return Status::FailedPrecondition("store already has a compaction pool");
   }
-  if (bg_scheduled_ || imm_ != nullptr) {
+  if (bg_jobs_ > 0 || imm_ != nullptr) {
     return Status::FailedPrecondition("store has in-flight compaction work");
   }
   pool_ = pool;
@@ -160,8 +161,10 @@ KvStoreStats KvStore::stats() const {
   s.compaction_cpu_ns = ld(counters_.compaction_cpu_ns);
   s.get_cpu_ns = ld(counters_.get_cpu_ns);
   s.write_slowdowns = ld(counters_.write_slowdowns);
+  s.write_slowdown_ns = ld(counters_.write_slowdown_ns);
   s.write_stalls = ld(counters_.write_stalls);
   s.write_stall_ns = ld(counters_.write_stall_ns);
+  s.concurrent_compaction_peak = ld(counters_.concurrent_compaction_peak);
   s.compaction_queue_wait_ns = ld(counters_.compaction_queue_wait_ns);
   s.compaction_merge_ns = ld(counters_.compaction_merge_ns);
   s.compaction_build_ns = ld(counters_.compaction_build_ns);
@@ -212,13 +215,15 @@ Status KvStore::WriteImpl(Slice key, Slice value, bool tombstone) {
     counters_.insert_l0_cpu_ns.fetch_add(cpu_ns, std::memory_order_relaxed);
     (tombstone ? counters_.deletes : counters_.puts).fetch_add(1, std::memory_order_relaxed);
   }
+  const size_t record_bytes = key.size() + value.size();
+  active_appended_bytes_ += record_bytes;
   if (flushed && options_.auto_checkpoint) {
     TEBIS_RETURN_IF_ERROR(Checkpoint().status());
   }
   if (pool_ == nullptr) {
     return MaybeCompactLocked();
   }
-  return MaybeScheduleL0();
+  return MaybeScheduleL0(record_bytes);
 }
 
 Status KvStore::PutLocked(Slice key, Slice value, bool tombstone) {
@@ -239,7 +244,7 @@ Status KvStore::ReplayRecord(Slice key, uint64_t log_offset, bool tombstone) {
   return Status::Ok();
 }
 
-Status KvStore::MaybeScheduleL0() {
+Status KvStore::MaybeScheduleL0(size_t record_bytes) {
   const uint64_t entries = active_->entries();
   if (entries < options_.l0_max_entries) {
     return Status::Ok();
@@ -266,13 +271,54 @@ Status KvStore::MaybeScheduleL0() {
     } else if (entries >= l0_slowdown_entries_) {
       // Slowdown band: pace the writer, let the flush catch up.
       counters_.write_slowdowns.fetch_add(1, std::memory_order_relaxed);
-      std::this_thread::sleep_for(std::chrono::microseconds(options_.slowdown_sleep_us));
+      SlowdownDelay(record_bytes);
       return Status::Ok();
     } else {
       return Status::Ok();  // over l0_max but the double buffer absorbs it
     }
   }
   return SealL0Locked();
+}
+
+void KvStore::SlowdownDelay(size_t record_bytes) {
+  const uint64_t rate = drain_bytes_per_sec_.load(std::memory_order_relaxed);
+  uint64_t sleep_ns = 0;
+  if (rate == 0) {
+    // No drain measurement yet: fall back to the fixed per-operation pace.
+    sleep_ns = options_.slowdown_sleep_us * 1000;
+  } else {
+    // Token bucket: refill at the measured drain rate, burst capped at one
+    // log segment, one token per appended log byte. Large values drain the
+    // bucket faster and sleep proportionally longer; small values mostly ride
+    // the refill for free.
+    const uint64_t now = NowNanos();
+    if (slowdown_refill_ns_ != 0 && now > slowdown_refill_ns_) {
+      slowdown_tokens_ += static_cast<double>(now - slowdown_refill_ns_) *
+                          static_cast<double>(rate) / 1e9;
+    }
+    slowdown_refill_ns_ = now;
+    const double burst = static_cast<double>(device_->segment_size());
+    if (slowdown_tokens_ > burst) {
+      slowdown_tokens_ = burst;
+    }
+    slowdown_tokens_ -= static_cast<double>(record_bytes);
+    if (slowdown_tokens_ >= 0) {
+      return;  // the bucket absorbs this record, no sleep
+    }
+    sleep_ns = static_cast<uint64_t>(-slowdown_tokens_ * 1e9 / static_cast<double>(rate));
+    // The hard stall at l0_stop_entries bounds total debt; cap a single
+    // sleep so one huge value cannot freeze the writer.
+    const uint64_t cap_ns = 5'000'000;
+    if (sleep_ns > cap_ns) {
+      sleep_ns = cap_ns;
+    }
+    slowdown_tokens_ = 0;  // the sleep pays the debt off
+  }
+  if (sleep_ns == 0) {
+    return;
+  }
+  std::this_thread::sleep_for(std::chrono::nanoseconds(sleep_ns));
+  counters_.write_slowdown_ns.fetch_add(sleep_ns, std::memory_order_relaxed);
 }
 
 Status KvStore::SealL0Locked() {
@@ -288,7 +334,7 @@ Status KvStore::SealL0Locked() {
   // the writer seals the next memtable mid-shipment.
   TEBIS_RETURN_IF_ERROR(log_->FlushTail());
   info.l0_boundary = log_->flushed_segment_count();
-  bool dispatch = false;
+  std::vector<CompactionJob> jobs;
   {
     std::lock_guard<std::mutex> lock(mutex_);
     imm_ = std::move(active_);
@@ -296,76 +342,115 @@ Status KvStore::SealL0Locked() {
     imm_info_ = info;
     imm_boundary_ = info.l0_boundary;
     imm_queued_at_ns_ = NowNanos();
-    if (!bg_scheduled_) {
-      bg_scheduled_ = true;
-      dispatch = true;
-    }
+    imm_bytes_ = active_appended_bytes_;
+    jobs = ClaimBackgroundJobsLocked();
   }
-  if (dispatch) {
-    pool_->DispatchLongRunning([this] { BackgroundWork(); });
-  }
+  active_appended_bytes_ = 0;
+  DispatchBackgroundJobs(std::move(jobs));
   return Status::Ok();
 }
 
-void KvStore::BackgroundWork() {
-  while (true) {
-    CompactionJob job;
-    int cascade_src = -1;
-    {
-      std::lock_guard<std::mutex> lock(mutex_);
-      if (!bg_error_.ok()) {
-        bg_scheduled_ = false;
-        bg_cv_.notify_all();
-        stall_cv_.notify_all();
-        return;
-      }
-      if (imm_ != nullptr) {
-        job.imm = imm_;
-        job.info = imm_info_;
-        job.boundary = imm_boundary_;
-        job.queued_at_ns = imm_queued_at_ns_;
-      } else {
-        for (uint32_t i = 1; i < options_.max_levels; ++i) {
-          if (levels_[i]->tree.num_entries > LevelCapacity(i)) {
-            cascade_src = static_cast<int>(i);
-            break;
-          }
-        }
-        if (cascade_src < 0) {
-          bg_scheduled_ = false;
-          bg_cv_.notify_all();
-          return;
-        }
-      }
-    }
-    if (job.imm == nullptr) {
-      // Cascade: the tail was sealed by the L0 spill that triggered this
-      // chain, and every offset in device levels is already flushed — the
-      // observer must not (and, off the writer thread, could not) flush it.
-      job.info.compaction_id = next_compaction_id_.fetch_add(1, std::memory_order_relaxed);
-      job.info.src_level = cascade_src;
-      job.info.dst_level = cascade_src + 1;
-      job.info.tail_sealed = true;
-    }
-    if (observer_ != nullptr) {
-      uint64_t begin_ns = 0;
-      {
-        ScopedTimer t(&begin_ns);
-        observer_->OnCompactionBegin(job.info);
-      }
-      counters_.compaction_ship_ns.fetch_add(begin_ns, std::memory_order_relaxed);
-    }
-    Status done = RunCompaction(job);
-    if (!done.ok()) {
-      std::lock_guard<std::mutex> lock(mutex_);
-      bg_error_ = done;
-      bg_scheduled_ = false;
-      bg_cv_.notify_all();
-      stall_cv_.notify_all();
-      return;
-    }
-    counters_.background_compactions.fetch_add(1, std::memory_order_relaxed);
+std::vector<KvStore::CompactionJob> KvStore::ClaimBackgroundJobsLocked() {
+  std::vector<CompactionJob> jobs;
+  if (!bg_error_.ok()) {
+    return jobs;
   }
+  const uint32_t cap = options_.max_background_compactions;
+  bool progressed = true;
+  while (progressed && (cap == 0 || bg_jobs_ + jobs.size() < cap)) {
+    progressed = false;
+    // The sealed memtable owns {0, 1}. level_busy_[0] doubles as its claim
+    // marker: imm_ stays set until the job publishes L1.
+    if (imm_ != nullptr && !level_busy_[0] && !level_busy_[1]) {
+      CompactionJob job;
+      job.imm = imm_;
+      job.info = imm_info_;
+      job.boundary = imm_boundary_;
+      job.queued_at_ns = imm_queued_at_ns_;
+      job.imm_bytes = imm_bytes_;
+      level_busy_[0] = level_busy_[1] = true;
+      jobs.push_back(std::move(job));
+      progressed = true;
+      continue;
+    }
+    // Cascades: any over-capacity device level whose {src, dst} pair is free.
+    // The tail was sealed by the L0 spill that started the chain, and every
+    // offset in device levels is already flushed — the observer must not
+    // (and, off the writer thread, could not) flush it.
+    for (uint32_t i = 1; i < options_.max_levels; ++i) {
+      if (level_busy_[i] || level_busy_[i + 1]) {
+        continue;
+      }
+      if (levels_[i]->tree.num_entries <= LevelCapacity(i)) {
+        continue;
+      }
+      CompactionJob job;
+      job.info.compaction_id = next_compaction_id_.fetch_add(1, std::memory_order_relaxed);
+      job.info.src_level = static_cast<int>(i);
+      job.info.dst_level = static_cast<int>(i) + 1;
+      job.info.tail_sealed = true;
+      level_busy_[i] = level_busy_[i + 1] = true;
+      jobs.push_back(std::move(job));
+      progressed = true;
+      break;
+    }
+  }
+  bg_jobs_ += static_cast<int>(jobs.size());
+  const uint64_t in_flight = static_cast<uint64_t>(bg_jobs_);
+  uint64_t peak = counters_.concurrent_compaction_peak.load(std::memory_order_relaxed);
+  while (in_flight > peak &&
+         !counters_.concurrent_compaction_peak.compare_exchange_weak(
+             peak, in_flight, std::memory_order_relaxed)) {
+  }
+  return jobs;
+}
+
+void KvStore::DispatchBackgroundJobs(std::vector<CompactionJob> jobs) {
+  for (CompactionJob& job : jobs) {
+    pool_->DispatchLongRunning(
+        [this, job = std::move(job)]() mutable { BackgroundJob(std::move(job)); });
+  }
+}
+
+void KvStore::BackgroundJob(CompactionJob job) {
+  if (observer_ != nullptr) {
+    uint64_t begin_ns = 0;
+    {
+      ScopedTimer t(&begin_ns);
+      observer_->OnCompactionBegin(job.info);
+    }
+    counters_.compaction_ship_ns.fetch_add(begin_ns, std::memory_order_relaxed);
+  }
+  Status done = RunCompaction(job);
+  if (done.ok() && job.info.src_level == 0 && job.imm_bytes > 0 && job.queued_at_ns != 0) {
+    // Update the slowdown bucket's drain-rate estimate: bytes the spill
+    // absorbed over its seal-to-publish wall time, smoothed 3:1.
+    const uint64_t elapsed = NowNanos() - job.queued_at_ns;
+    if (elapsed > 0) {
+      const uint64_t rate = job.imm_bytes * 1'000'000'000ull / elapsed;
+      const uint64_t prev = drain_bytes_per_sec_.load(std::memory_order_relaxed);
+      drain_bytes_per_sec_.store(prev == 0 ? rate : (3 * prev + rate) / 4,
+                                 std::memory_order_relaxed);
+    }
+  }
+  std::vector<CompactionJob> next;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    level_busy_[job.info.src_level] = false;
+    level_busy_[job.info.dst_level] = false;
+    bg_jobs_--;
+    if (!done.ok()) {
+      bg_error_ = done;
+    } else {
+      counters_.background_compactions.fetch_add(1, std::memory_order_relaxed);
+      // Reclaim: this job may have filled dst past capacity, or freed the
+      // levels an already-sealed memtable was waiting for.
+      next = ClaimBackgroundJobsLocked();
+    }
+    bg_cv_.notify_all();
+    stall_cv_.notify_all();
+  }
+  DispatchBackgroundJobs(std::move(next));
 }
 
 Status KvStore::RunCompaction(const CompactionJob& job) {
@@ -500,6 +585,7 @@ Status KvStore::CompactIntoNextLocked(int src_level) {
     // already, making this a no-op.
     TEBIS_RETURN_IF_ERROR(log_->FlushTail());
     job.boundary = log_->flushed_segment_count();
+    active_appended_bytes_ = 0;
     std::lock_guard<std::mutex> lock(mutex_);
     imm_ = std::move(active_);
     active_ = std::make_shared<Memtable>();
@@ -510,7 +596,7 @@ Status KvStore::CompactIntoNextLocked(int src_level) {
 
 Status KvStore::DrainBackgroundLocked() {
   std::unique_lock<std::mutex> lock(mutex_);
-  bg_cv_.wait(lock, [&] { return !bg_scheduled_; });
+  bg_cv_.wait(lock, [&] { return bg_jobs_ == 0; });
   return bg_error_;
 }
 

@@ -21,9 +21,13 @@
 //  * With KvStoreOptions::compaction_pool set, L0 spills are double-buffered:
 //    the full memtable is sealed (tail flush + swap on the writer thread, so
 //    replication's data plane stays single-threaded) and merged into L1 by a
-//    background job, which also runs any L1→L2→… cascade. Writers slow down
-//    when the fresh L0 grows past l0_slowdown_entries and hard-stall at
-//    l0_stop_entries until the background flush catches up.
+//    background job. Compactions of *disjoint* level pairs run concurrently
+//    (PR 4): a scheduler claims {src, dst} level ownership under the state
+//    lock and dispatches each claimed job to the pool, so L0→L1 can overlap
+//    L2→L3 while L1→L2 waits for L1. Writers slow down when the fresh L0
+//    grows past l0_slowdown_entries (token-bucket paced against the measured
+//    L0 drain rate) and hard-stall at l0_stop_entries until the background
+//    flush catches up.
 //  * With a null pool the engine is fully synchronous and byte-for-byte
 //    equivalent to the pre-pipeline behavior (fault-injection crash points
 //    stay deterministic).
@@ -78,8 +82,16 @@ struct KvStoreOptions {
   // Writers block until the in-flight flush finishes once the active L0
   // reaches this (0 = 2 × l0_max_entries).
   uint64_t l0_stop_entries = 0;
-  // Per-operation delay applied in the slowdown band.
+  // Slowdown-band pacing (PR 4): writers are paced by a token bucket charged
+  // per record byte and refilled at the measured L0 drain rate, so the delay
+  // adapts to the value-size mix. Until a drain measurement exists (and as
+  // the floor unit of pacing) this per-operation sleep applies.
   uint64_t slowdown_sleep_us = 200;
+  // Cap on concurrently running background compactions for this store
+  // (0 = unlimited; level ownership already bounds it at (max_levels+1)/2).
+  // 1 reproduces the PR 2 serialized pipeline — the A/B baseline in
+  // bench_micro's shipping comparison.
+  uint32_t max_background_compactions = 0;
 };
 
 struct CompactionInfo {
@@ -99,10 +111,13 @@ struct CompactionInfo {
 
 // Observer of the compaction lifecycle; the Send-Index primary attaches one
 // to stream index segments to its backups while the compaction runs.
-// Synchronous mode: every callback runs on the writer thread. With a
-// compaction pool, all three callbacks run on the background worker, strictly
-// serialized per store (begin -> segments -> end, one compaction at a time) —
-// implementations must be thread-safe against the data-plane (value log)
+// Synchronous mode: every callback runs on the writer thread, one compaction
+// at a time. With a compaction pool (PR 4), compactions of disjoint level
+// pairs run concurrently: each compaction's callbacks stay ordered
+// (begin -> segments -> end on that compaction's worker), but callbacks from
+// *different* compactions interleave across threads — implementations must be
+// thread-safe both across compactions (key callbacks by
+// CompactionInfo::compaction_id) and against the data-plane (value log)
 // callbacks, which keep arriving on the writer thread.
 class CompactionObserver {
  public:
@@ -128,10 +143,14 @@ struct KvStoreStats {
   uint64_t insert_l0_cpu_ns = 0;   // Put path excluding compaction work
   uint64_t compaction_cpu_ns = 0;  // merge + build + I/O issue (incl. observer time)
   uint64_t get_cpu_ns = 0;
-  // Write backpressure (PR 2).
-  uint64_t write_slowdowns = 0;  // puts delayed in the slowdown band
-  uint64_t write_stalls = 0;     // puts that hard-stalled on the L0 flush
-  uint64_t write_stall_ns = 0;   // wall time spent hard-stalled
+  // Write backpressure (PR 2; token bucket PR 4).
+  uint64_t write_slowdowns = 0;    // puts that entered the slowdown band
+  uint64_t write_slowdown_ns = 0;  // wall time slept by the token bucket
+  uint64_t write_stalls = 0;       // puts that hard-stalled on the L0 flush
+  uint64_t write_stall_ns = 0;     // wall time spent hard-stalled
+  // High-water mark of background compactions in flight at once (PR 4); >= 2
+  // proves disjoint level pairs really ran concurrently.
+  uint64_t concurrent_compaction_peak = 0;
   // Compaction pipeline stages, wall time (PR 2).
   uint64_t compaction_queue_wait_ns = 0;  // seal → background job start
   uint64_t compaction_merge_ns = 0;       // k-way merge incl. source reads
@@ -290,6 +309,9 @@ class KvStore {
     std::shared_ptr<Memtable> imm;  // non-null for L0 spills
     size_t boundary = 0;            // L0 replay boundary captured at seal
     uint64_t queued_at_ns = 0;      // 0 = ran inline (no queue wait)
+    // Log bytes appended while this memtable was active (L0 spills); feeds
+    // the slowdown token bucket's drain-rate estimate.
+    uint64_t imm_bytes = 0;
   };
 
   // Mirrors KvStoreStats with atomics (concurrent readers + background job).
@@ -297,7 +319,9 @@ class KvStore {
     std::atomic<uint64_t> puts{0}, gets{0}, deletes{0}, scans{0};
     std::atomic<uint64_t> compactions{0}, background_compactions{0};
     std::atomic<uint64_t> insert_l0_cpu_ns{0}, compaction_cpu_ns{0}, get_cpu_ns{0};
-    std::atomic<uint64_t> write_slowdowns{0}, write_stalls{0}, write_stall_ns{0};
+    std::atomic<uint64_t> write_slowdowns{0}, write_slowdown_ns{0};
+    std::atomic<uint64_t> write_stalls{0}, write_stall_ns{0};
+    std::atomic<uint64_t> concurrent_compaction_peak{0};
     std::atomic<uint64_t> compaction_queue_wait_ns{0};
     std::atomic<uint64_t> compaction_merge_ns{0}, compaction_build_ns{0};
     std::atomic<uint64_t> compaction_ship_ns{0};
@@ -316,17 +340,31 @@ class KvStore {
   Status PutLocked(Slice key, Slice value, bool tombstone);
 
   // Backpressure + seal/dispatch once the active L0 is full; write_mutex_.
-  Status MaybeScheduleL0();
+  // `record_bytes` is the log footprint of the record just written (token
+  // bucket charge).
+  Status MaybeScheduleL0(size_t record_bytes);
+  // Token-bucket pacing in the slowdown band: sleeps just long enough for the
+  // measured L0 drain rate to absorb `record_bytes`. Writer thread only.
+  void SlowdownDelay(size_t record_bytes);
   // Seals the active memtable: tail flush on this (writer) thread — the
-  // data-plane observer mirrors it — then the swap; dispatches the background
-  // job unless one is already running. The compaction observer's begin fires
-  // later, on the background thread, with tail_sealed set. write_mutex_ held,
-  // imm_ must be empty.
+  // data-plane observer mirrors it — then the swap; dispatches any claimable
+  // background jobs. The compaction observer's begin fires later, on the
+  // background worker, with tail_sealed set. write_mutex_ held, imm_ must be
+  // empty.
   Status SealL0Locked();
 
-  // Background job: drains the immutable memtable, then any over-capacity
-  // level cascade; exits when there is nothing left.
-  void BackgroundWork();
+  // Compaction scheduler (PR 4). Claims every runnable unit of background
+  // work whose {src, dst} levels are free: the sealed memtable (owns levels
+  // {0, 1}) and any over-capacity device level i (owns {i, i+1}). Marks the
+  // levels busy and bumps bg_jobs_ for each claim. mutex_ must be held.
+  std::vector<CompactionJob> ClaimBackgroundJobsLocked();
+  // Hands each claimed job to the pool. Must be called WITHOUT mutex_ (the
+  // pool enqueue takes its own locks).
+  void DispatchBackgroundJobs(std::vector<CompactionJob> jobs);
+  // Runs one claimed job on a pool worker: observer begin, the compaction
+  // itself, then completion bookkeeping (release level ownership, update the
+  // drain-rate estimate, reclaim any newly runnable work).
+  void BackgroundJob(CompactionJob job);
 
   // Synchronous paths (write_mutex_ held, background drained).
   Status MaybeCompactLocked();
@@ -338,7 +376,7 @@ class KvStore {
   // writer thread (sync) or the background worker (async).
   Status RunCompaction(const CompactionJob& job);
 
-  // Waits until the background job is idle; returns the sticky error.
+  // Waits until every background job is idle; returns the sticky error.
   // write_mutex_ must be held (blocks new seals).
   Status DrainBackgroundLocked();
   Status BackgroundErrorLocked() const;
@@ -362,7 +400,7 @@ class KvStore {
   std::mutex write_mutex_;               // serializes writers + maintenance
   mutable std::mutex mutex_;             // state below
   std::condition_variable stall_cv_;     // signaled when imm_ drains
-  std::condition_variable bg_cv_;        // signaled when the bg job goes idle
+  std::condition_variable bg_cv_;        // signaled when a bg job finishes
 
   // --- guarded by mutex_ ---
   std::shared_ptr<Memtable> active_;
@@ -370,13 +408,26 @@ class KvStore {
   CompactionInfo imm_info_;
   size_t imm_boundary_ = 0;
   uint64_t imm_queued_at_ns_ = 0;
+  uint64_t imm_bytes_ = 0;               // log bytes appended into imm_
   // levels_[0] unused (L0 is the memtable); levels_[1..max_levels] on device.
-  // Entries are never null. Only the background job (or the writer thread in
-  // sync paths, with the background drained) replaces them.
+  // Entries are never null. Only the job owning a level (or the writer thread
+  // in sync paths, with the background drained) replaces it.
   std::vector<TreeRef> levels_;
-  bool bg_scheduled_ = false;
+  // Level-ownership guard (PR 4): level_busy_[i] is set while a claimed job
+  // owns level i. Index 0 doubles as the claim marker for the sealed memtable
+  // (imm_ stays non-null until its job publishes, so "imm_ && !level_busy_[0]"
+  // means an unclaimed spill).
+  std::vector<bool> level_busy_;
+  int bg_jobs_ = 0;                      // claimed-but-unfinished background jobs
   Status bg_error_;                      // sticky
   size_t l0_replay_from_ = 0;            // first flushed segment not in levels
+
+  // Slowdown token bucket (PR 4). tokens/refill are writer-thread state
+  // (write_mutex_); the drain-rate estimate is published by background jobs.
+  double slowdown_tokens_ = 0;
+  uint64_t slowdown_refill_ns_ = 0;
+  uint64_t active_appended_bytes_ = 0;   // log bytes into active_; write_mutex_
+  std::atomic<uint64_t> drain_bytes_per_sec_{0};  // EWMA of L0 drain rate
 
   CompactionObserver* observer_ = nullptr;
   std::atomic<uint64_t> next_compaction_id_{1};

@@ -19,6 +19,14 @@ PageCache::PageCache(BlockDevice* device, uint64_t capacity_bytes, uint64_t page
   }
 }
 
+uint32_t PageCache::ShardsForStores(size_t stores) {
+  // 64 shard locks per server, split evenly; [2, 32] keeps a many-region
+  // server striped and a dedicated server bounded.
+  constexpr uint64_t kServerShardBudget = 8ull * kDefaultShards;
+  const uint64_t per_store = kServerShardBudget / std::max<size_t>(1, stores);
+  return static_cast<uint32_t>(std::clamp<uint64_t>(per_store, 2, 32));
+}
+
 Status PageCache::FaultPage(Shard& shard, uint64_t page_offset, IoClass io_class,
                             const char** data) {
   auto it = shard.pages.find(page_offset);

@@ -52,6 +52,14 @@ class PageCache {
   static constexpr uint32_t kDefaultShards = 8;
   static constexpr uint64_t kMinPagesPerShard = 8;
 
+  // Shard-count request for a server hosting `stores` engines on one device
+  // (PR 4): a fixed budget of shard locks is split across the stores — a
+  // dedicated server gives its single store more stripes than the standalone
+  // default, while a many-region server backs off so the total lock count
+  // (and per-shard LRU granularity) stays bounded. Standalone KvStores keep
+  // kDefaultShards.
+  static uint32_t ShardsForStores(size_t stores);
+
  private:
   struct Page {
     uint64_t page_offset;

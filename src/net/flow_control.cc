@@ -1,0 +1,67 @@
+#include "src/net/flow_control.h"
+
+#include <chrono>
+
+#include "src/common/clock.h"
+
+namespace tebis {
+
+StreamFlowController::StreamFlowController(uint64_t pool_bytes,
+                                           uint32_t max_streams)
+    : pool_(pool_bytes == 0 ? 1 : pool_bytes),
+      cap_([&] {
+        uint64_t streams = max_streams == 0 ? 1 : max_streams;
+        uint64_t cap = (pool_bytes == 0 ? 1 : pool_bytes) / streams;
+        return cap == 0 ? uint64_t{1} : cap;
+      }()) {}
+
+Status StreamFlowController::Acquire(StreamId stream, uint64_t bytes,
+                                     uint64_t timeout_ns, uint64_t* waited_ns) {
+  const uint64_t charge = Charge(bytes);
+  const uint64_t start_ns = NowNanos();
+  std::unique_lock<std::mutex> lock(mutex_);
+  auto fits = [&] {
+    return in_use_[stream] + charge <= cap_ && total_ + charge <= pool_;
+  };
+  bool ok = true;
+  if (!fits()) {
+    if (timeout_ns == 0) {
+      cv_.wait(lock, fits);
+    } else {
+      ok = cv_.wait_for(lock, std::chrono::nanoseconds(timeout_ns), fits);
+    }
+  }
+  if (waited_ns != nullptr) {
+    const uint64_t now_ns = NowNanos();
+    *waited_ns = now_ns > start_ns ? now_ns - start_ns : 0;
+  }
+  if (!ok) {
+    return Status::Unavailable("stream credit exhausted");
+  }
+  in_use_[stream] += charge;
+  total_ += charge;
+  return Status::Ok();
+}
+
+void StreamFlowController::Release(StreamId stream, uint64_t bytes) {
+  const uint64_t charge = Charge(bytes);
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = in_use_.find(stream);
+    if (it != in_use_.end()) {
+      it->second = it->second > charge ? it->second - charge : 0;
+      if (it->second == 0) {
+        in_use_.erase(it);
+      }
+    }
+    total_ = total_ > charge ? total_ - charge : 0;
+  }
+  cv_.notify_all();
+}
+
+uint64_t StreamFlowController::in_flight() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return total_;
+}
+
+}  // namespace tebis

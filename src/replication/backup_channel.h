@@ -5,6 +5,13 @@
 //
 // Two implementations: RpcBackupChannel runs the real protocol over the
 // simulated fabric; tests may implement the interface directly.
+//
+// Thread safety (PR 4): with multiplexed shipping streams the primary calls
+// the compaction-plane methods from several background workers concurrently
+// (one per stream) while the writer thread keeps driving RdmaWriteLog /
+// FlushLog. Implementations must tolerate that interleaving; per-stream
+// ordering (begin -> segments -> end with one stream id) is still guaranteed
+// by the caller.
 #ifndef TEBIS_REPLICATION_BACKUP_CHANNEL_H_
 #define TEBIS_REPLICATION_BACKUP_CHANNEL_H_
 
@@ -15,6 +22,7 @@
 #include "src/common/slice.h"
 #include "src/common/status.h"
 #include "src/lsm/btree_builder.h"
+#include "src/replication/compaction_stream.h"
 #include "src/storage/segment.h"
 
 namespace tebis {
@@ -29,15 +37,21 @@ class BackupChannel {
 
   // Control plane (§3.2): the tail segment `primary_segment` is full and
   // persisted on the primary; the backup must persist its RDMA buffer and add
-  // the log-map entry. Blocks until the backup acknowledges.
-  virtual Status FlushLog(SegmentId primary_segment) = 0;
+  // the log-map entry. Blocks until the backup acknowledges. `stream` is
+  // kNoStream for data-plane flushes; a flush issued inside a sync-mode
+  // compaction begin carries that compaction's stream.
+  virtual Status FlushLog(SegmentId primary_segment, StreamId stream = kNoStream) = 0;
 
-  // Control plane (§3.3): compaction lifecycle for Send-Index shipping.
-  virtual Status CompactionBegin(uint64_t compaction_id, int src_level, int dst_level) = 0;
+  // Control plane (§3.3): compaction lifecycle for Send-Index shipping. Every
+  // message is tagged with the compaction's shipping stream (PR 4) so the
+  // backup can run one rewrite state machine per stream.
+  virtual Status CompactionBegin(uint64_t compaction_id, int src_level, int dst_level,
+                                 StreamId stream = 0) = 0;
   virtual Status ShipIndexSegment(uint64_t compaction_id, int dst_level, int tree_level,
-                                  SegmentId primary_segment, Slice bytes) = 0;
+                                  SegmentId primary_segment, Slice bytes,
+                                  StreamId stream = 0) = 0;
   virtual Status CompactionEnd(uint64_t compaction_id, int src_level, int dst_level,
-                               const BuiltTree& primary_tree) = 0;
+                               const BuiltTree& primary_tree, StreamId stream = 0) = 0;
 
   // GC coordination (paper §4: backups "only perform the trim").
   virtual Status TrimLog(size_t segments) = 0;

@@ -14,6 +14,7 @@
 #define TEBIS_REPLICATION_LOCAL_BACKUP_CHANNEL_H_
 
 #include <algorithm>
+#include <atomic>
 #include <memory>
 #include <string>
 
@@ -47,9 +48,9 @@ class LocalBackupChannel : public BackupChannel {
     return buffer_->RdmaWriteTagged(epoch(), offset_in_segment, record_bytes);
   }
 
-  Status FlushLog(SegmentId primary_segment) override {
+  Status FlushLog(SegmentId primary_segment, StreamId stream = kNoStream) override {
     return WithRetry(FaultSite::kReplFlushSend, FaultSite::kReplFlushAck, /*has_ack=*/true,
-                     EncodeFlushLog({epoch(), primary_segment}).size(), [&] {
+                     EncodeFlushLog({epoch(), primary_segment, stream}).size(), [&] {
                        TEBIS_RETURN_IF_ERROR(CheckBackupEpoch());
                        if (send_backup_ != nullptr) {
                          return send_backup_->HandleLogFlush(primary_segment);
@@ -58,7 +59,8 @@ class LocalBackupChannel : public BackupChannel {
                      });
   }
 
-  Status CompactionBegin(uint64_t compaction_id, int src_level, int dst_level) override {
+  Status CompactionBegin(uint64_t compaction_id, int src_level, int dst_level,
+                         StreamId stream = 0) override {
     if (send_backup_ == nullptr) {
       return Status::Ok();
     }
@@ -66,41 +68,43 @@ class LocalBackupChannel : public BackupChannel {
                      /*has_ack=*/false,
                      EncodeCompactionBegin({epoch(), compaction_id,
                                             static_cast<uint32_t>(src_level),
-                                            static_cast<uint32_t>(dst_level)})
+                                            static_cast<uint32_t>(dst_level), stream})
                          .size(),
                      [&] {
                        TEBIS_RETURN_IF_ERROR(CheckBackupEpoch());
                        return send_backup_->HandleCompactionBegin(compaction_id, src_level,
-                                                                  dst_level);
+                                                                  dst_level, stream);
                      });
   }
 
   Status ShipIndexSegment(uint64_t compaction_id, int dst_level, int tree_level,
-                          SegmentId primary_segment, Slice bytes) override {
+                          SegmentId primary_segment, Slice bytes,
+                          StreamId stream = 0) override {
     if (send_backup_ == nullptr) {
       return Status::Ok();
     }
     // The segment body is the dominant network cost of Send-Index.
     return WithRetry(FaultSite::kReplIndexSegmentSend, FaultSite::kReplIndexSegmentAck,
-                     /*has_ack=*/true, bytes.size() + 36, [&] {
+                     /*has_ack=*/true, bytes.size() + 40, [&] {
                        TEBIS_RETURN_IF_ERROR(CheckBackupEpoch());
                        return send_backup_->HandleIndexSegment(compaction_id, dst_level,
-                                                               tree_level, primary_segment, bytes);
+                                                               tree_level, primary_segment, bytes,
+                                                               stream);
                      });
   }
 
   Status CompactionEnd(uint64_t compaction_id, int src_level, int dst_level,
-                       const BuiltTree& primary_tree) override {
+                       const BuiltTree& primary_tree, StreamId stream = 0) override {
     if (send_backup_ == nullptr) {
       return Status::Ok();
     }
     CompactionEndMsg msg{epoch(), compaction_id, static_cast<uint32_t>(src_level),
-                         static_cast<uint32_t>(dst_level), primary_tree};
+                         static_cast<uint32_t>(dst_level), primary_tree, stream};
     return WithRetry(FaultSite::kReplCompactionEndSend, FaultSite::kReplCompactionEndAck,
                      /*has_ack=*/true, EncodeCompactionEnd(msg).size(), [&] {
                        TEBIS_RETURN_IF_ERROR(CheckBackupEpoch());
                        return send_backup_->HandleCompactionEnd(compaction_id, src_level,
-                                                                dst_level, primary_tree);
+                                                                dst_level, primary_tree, stream);
                      });
   }
 
@@ -127,7 +131,7 @@ class LocalBackupChannel : public BackupChannel {
   const std::string& backup_name() const override { return backup_name_; }
 
   // Control messages re-sent after an Unavailable outcome.
-  uint64_t retries() const { return retries_; }
+  uint64_t retries() const { return retries_.load(std::memory_order_relaxed); }
 
  private:
   template <typename Handler>
@@ -154,7 +158,7 @@ class LocalBackupChannel : public BackupChannel {
     Status status = Status::Ok();
     for (int attempt = 0; attempt < max_attempts_; ++attempt) {
       if (attempt > 0) {
-        retries_++;
+        retries_.fetch_add(1, std::memory_order_relaxed);
       }
       status = DeliverOnce(send_site, ack_site, has_ack, payload_size, handler);
       if (!status.IsUnavailable()) {
@@ -189,7 +193,8 @@ class LocalBackupChannel : public BackupChannel {
   BuildIndexBackupRegion* const build_backup_;
   const std::string backup_name_;
   const int max_attempts_;
-  uint64_t retries_ = 0;
+  // Concurrent streams retry independently (PR 4).
+  std::atomic<uint64_t> retries_{0};
 };
 
 }  // namespace tebis

@@ -48,13 +48,18 @@ void PrimaryRegion::AddBackup(std::unique_ptr<BackupChannel> channel) {
   // Re-attach replaces: a recovery retry must not leave two channels fanning
   // out to the same replica.
   RemoveBackup(channel->backup_name());
-  backups_.push_back(BackupSlot{std::move(channel), 0});
+  auto slot = std::make_shared<BackupSlot>();
+  slot->channel = std::move(channel);
+  if (stream_flow_pool_ > 0) {
+    slot->flow = std::make_unique<StreamFlowController>(stream_flow_pool_, kMaxShippingStreams);
+  }
+  backups_.push_back(std::move(slot));
 }
 
 bool PrimaryRegion::RemoveBackup(const std::string& backup_name) {
   std::lock_guard<std::recursive_mutex> lock(region_mutex_);
   for (auto it = backups_.begin(); it != backups_.end(); ++it) {
-    if (it->channel->backup_name() == backup_name) {
+    if ((*it)->channel->backup_name() == backup_name) {
       backups_.erase(it);
       return true;
     }
@@ -66,34 +71,95 @@ void PrimaryRegion::set_epoch(uint64_t epoch) {
   std::lock_guard<std::recursive_mutex> lock(region_mutex_);
   epoch_ = epoch;
   for (auto& slot : backups_) {
-    slot.channel->set_epoch(epoch);
+    slot->channel->set_epoch(epoch);
   }
 }
 
-Status PrimaryRegion::GuardedCall(BackupSlot* slot, const std::function<Status()>& call) {
+void PrimaryRegion::set_stream_flow_pool(uint64_t pool_bytes) {
+  std::lock_guard<std::recursive_mutex> lock(region_mutex_);
+  stream_flow_pool_ = pool_bytes;
+  for (auto& slot : backups_) {
+    slot->flow = pool_bytes > 0 ? std::make_unique<StreamFlowController>(pool_bytes,
+                                                                         kMaxShippingStreams)
+                                : nullptr;
+  }
+}
+
+// --- shipping-stream table (PR 4) -------------------------------------------------
+
+StreamId PrimaryRegion::AcquireStreamLocked(uint64_t compaction_id) {
+  auto it = compaction_streams_.find(compaction_id);
+  if (it != compaction_streams_.end()) {
+    return it->second.first;  // retry of a begin: reuse
+  }
+  StreamId stream = stream_ids_.Acquire();
+  bool owned = stream != kNoStream;
+  if (!owned) {
+    // More concurrent compactions than stream ids — impossible with the
+    // engine's disjoint-level-pair cap on any realistic max_levels, but stay
+    // defensive: alias onto a fixed stream (loses per-stream isolation for
+    // the overflow, never correctness — the backup keys state machines by
+    // stream AND compaction id).
+    stream = static_cast<StreamId>(compaction_id % kMaxShippingStreams);
+  }
+  compaction_streams_[compaction_id] = {stream, owned};
+  replication_stats_.streams_opened++;
+  return stream;
+}
+
+StreamId PrimaryRegion::LookupStreamLocked(uint64_t compaction_id) {
+  auto it = compaction_streams_.find(compaction_id);
+  if (it != compaction_streams_.end()) {
+    return it->second.first;
+  }
+  // Segment arriving without a begin on record (backup set changed
+  // mid-compaction): allocate so the tagging stays consistent.
+  return AcquireStreamLocked(compaction_id);
+}
+
+void PrimaryRegion::ReleaseStreamLocked(uint64_t compaction_id) {
+  auto it = compaction_streams_.find(compaction_id);
+  if (it == compaction_streams_.end()) {
+    return;
+  }
+  if (it->second.second) {
+    stream_ids_.Release(it->second.first);
+  }
+  compaction_streams_.erase(it);
+}
+
+// --- health policy ----------------------------------------------------------------
+
+Status PrimaryRegion::GuardedCall(const std::shared_ptr<BackupSlot>& slot, StreamId stream,
+                                  const std::function<Status()>& call) {
   const uint64_t start = NowNanos();
   Status status = call();
+  const uint64_t elapsed = NowNanos() - start;
+  std::lock_guard<std::recursive_mutex> lock(region_mutex_);
   if (status.IsFailedPrecondition()) {
     // Epoch fence: this primary has been deposed. Not a replica-health event.
     replication_stats_.fence_errors++;
     return status;
   }
-  const bool overdue =
-      policy_.call_deadline_ns > 0 && NowNanos() - start > policy_.call_deadline_ns;
+  const bool overdue = policy_.call_deadline_ns > 0 && elapsed > policy_.call_deadline_ns;
+  int& strikes = slot->strikes[stream];
   if (status.ok() && !overdue) {
-    slot->strikes = 0;
+    strikes = 0;
     return status;
   }
   if (overdue) {
     replication_stats_.slow_call_strikes++;
   }
-  slot->strikes++;
+  strikes++;
   return status;
 }
 
-bool PrimaryRegion::StruckOutLocked(const BackupSlot& slot) const {
-  return policy_.max_consecutive_failures > 0 &&
-         slot.strikes >= policy_.max_consecutive_failures;
+bool PrimaryRegion::StruckOutLocked(const BackupSlot& slot, StreamId stream) const {
+  if (policy_.max_consecutive_failures <= 0) {
+    return false;
+  }
+  auto it = slot.strikes.find(stream);
+  return it != slot.strikes.end() && it->second >= policy_.max_consecutive_failures;
 }
 
 void PrimaryRegion::DetachStruckBackupsLocked() {
@@ -101,22 +167,68 @@ void PrimaryRegion::DetachStruckBackupsLocked() {
     return;
   }
   for (auto it = backups_.begin(); it != backups_.end();) {
-    if (!StruckOutLocked(*it)) {
+    StreamId struck = kNoStream;
+    bool out = false;
+    for (const auto& [stream, strikes] : (*it)->strikes) {
+      if (strikes >= policy_.max_consecutive_failures) {
+        struck = stream;
+        out = true;
+        break;
+      }
+    }
+    if (!out) {
       ++it;
       continue;
     }
-    const std::string name = it->channel->backup_name();
-    TEBIS_LOG(kWarn) << "detaching backup " << name << " after " << it->strikes
-                     << " consecutive failed/overdue calls (degraded mode)";
+    const std::string name = (*it)->channel->backup_name();
+    TEBIS_LOG(kWarn) << "detaching backup " << name << " after "
+                     << policy_.max_consecutive_failures
+                     << " consecutive failed/overdue calls on stream " << struck
+                     << " (degraded mode)";
     it = backups_.erase(it);
     replication_stats_.backups_detached++;
     // Whatever the struck replica parked must not fail client operations —
     // the region now runs degraded on the survivors.
     parked_error_ = Status::Ok();
     if (detach_listener_) {
-      detach_listener_(name, epoch_);
+      detach_listener_(name, epoch_, struck);
     }
   }
+}
+
+void PrimaryRegion::FanOut(StreamId stream, uint64_t flow_bytes,
+                           const std::function<Status(BackupChannel*)>& call) {
+  std::vector<std::shared_ptr<BackupSlot>> snapshot;
+  uint64_t deadline_ns;
+  {
+    std::lock_guard<std::recursive_mutex> lock(region_mutex_);
+    snapshot = backups_;
+    deadline_ns = policy_.call_deadline_ns;
+  }
+  for (auto& slot : snapshot) {
+    uint64_t credit_wait_ns = 0;
+    Status status = GuardedCall(slot, stream, [&]() -> Status {
+      // Per-stream shipping credit: blocks while this stream's in-flight
+      // bytes on this backup are at its cap (or the shared pool is full); a
+      // timeout surfaces as Unavailable and strikes like any failed call.
+      if (flow_bytes > 0 && slot->flow != nullptr) {
+        TEBIS_RETURN_IF_ERROR(
+            slot->flow->Acquire(stream, flow_bytes, deadline_ns, &credit_wait_ns));
+      }
+      Status s = call(slot->channel.get());
+      if (flow_bytes > 0 && slot->flow != nullptr) {
+        slot->flow->Release(stream, flow_bytes);
+      }
+      return s;
+    });
+    std::lock_guard<std::recursive_mutex> lock(region_mutex_);
+    replication_stats_.flow_wait_ns += credit_wait_ns;
+    if (!StruckOutLocked(*slot, stream)) {
+      Park(status);
+    }
+  }
+  std::lock_guard<std::recursive_mutex> lock(region_mutex_);
+  DetachStruckBackupsLocked();
 }
 
 void PrimaryRegion::Park(const Status& status) {
@@ -161,7 +273,7 @@ StatusOr<size_t> PrimaryRegion::GarbageCollect(size_t max_segments) {
   {
     std::lock_guard<std::recursive_mutex> lock(region_mutex_);
     for (auto& slot : backups_) {
-      TEBIS_RETURN_IF_ERROR(slot.channel->TrimLog(freed));
+      TEBIS_RETURN_IF_ERROR(slot->channel->TrimLog(freed));
     }
   }
   return freed;
@@ -186,23 +298,37 @@ Status PrimaryRegion::FullSync(BackupChannel* channel) {
     TEBIS_RETURN_IF_ERROR(channel->RdmaWriteLog(0, Slice(buf)));
     TEBIS_RETURN_IF_ERROR(channel->FlushLog(seg));
   }
-  // 2) (Send-Index) every device level via synthetic compactions; the backup
-  //    rewrites them exactly like live shipments.
+  // 2) (Send-Index) every device level via synthetic compactions, each on its
+  //    own shipping stream; the backup rewrites them exactly like live
+  //    shipments.
   if (mode_ == ReplicationMode::kSendIndex) {
     for (uint32_t i = 1; i <= store_->max_levels(); ++i) {
       const BuiltTree& tree = store_->level(i);
       if (tree.empty()) {
         continue;
       }
-      const uint64_t sync_id = next_sync_id_++;
-      TEBIS_RETURN_IF_ERROR(channel->CompactionBegin(sync_id, 0, static_cast<int>(i)));
-      for (SegmentId seg : tree.segments) {
-        TEBIS_RETURN_IF_ERROR(device_->Read(device_->geometry().BaseOffset(seg), seg_size,
-                                            buf.data(), IoClass::kRecovery));
-        TEBIS_RETURN_IF_ERROR(
-            channel->ShipIndexSegment(sync_id, static_cast<int>(i), 0, seg, Slice(buf)));
+      uint64_t sync_id;
+      StreamId stream;
+      {
+        std::lock_guard<std::recursive_mutex> lock(region_mutex_);
+        sync_id = next_sync_id_++;
+        stream = AcquireStreamLocked(sync_id);
       }
-      TEBIS_RETURN_IF_ERROR(channel->CompactionEnd(sync_id, 0, static_cast<int>(i), tree));
+      Status status = [&]() -> Status {
+        TEBIS_RETURN_IF_ERROR(channel->CompactionBegin(sync_id, 0, static_cast<int>(i), stream));
+        for (SegmentId seg : tree.segments) {
+          TEBIS_RETURN_IF_ERROR(device_->Read(device_->geometry().BaseOffset(seg), seg_size,
+                                              buf.data(), IoClass::kRecovery));
+          TEBIS_RETURN_IF_ERROR(
+              channel->ShipIndexSegment(sync_id, static_cast<int>(i), 0, seg, Slice(buf), stream));
+        }
+        return channel->CompactionEnd(sync_id, 0, static_cast<int>(i), tree, stream);
+      }();
+      {
+        std::lock_guard<std::recursive_mutex> lock(region_mutex_);
+        ReleaseStreamLocked(sync_id);
+      }
+      TEBIS_RETURN_IF_ERROR(status);
     }
   }
   // 3) Where L0 replay starts if this backup is ever promoted.
@@ -239,17 +365,17 @@ void PrimaryRegion::OnAppend(SegmentId tail_segment, uint64_t offset_in_segment,
   Slice with_terminator(record_bytes.data(), record_bytes.size() + 4);
   constexpr int kAppendRetryLimit = 8;
   for (auto& slot : backups_) {
-    Status status = GuardedCall(&slot, [&] {
-      Status s = slot.channel->RdmaWriteLog(offset_in_segment, with_terminator);
+    Status status = GuardedCall(slot, kNoStream, [&] {
+      Status s = slot->channel->RdmaWriteLog(offset_in_segment, with_terminator);
       // One-sided writes dropped by a transient fabric fault are simply
       // re-posted; a halted/partitioned peer keeps failing and the error parks.
       for (int retry = 0; retry < kAppendRetryLimit && s.IsUnavailable(); ++retry) {
         replication_stats_.append_retries++;
-        s = slot.channel->RdmaWriteLog(offset_in_segment, with_terminator);
+        s = slot->channel->RdmaWriteLog(offset_in_segment, with_terminator);
       }
       return s;
     });
-    if (!StruckOutLocked(slot)) {
+    if (!StruckOutLocked(*slot, kNoStream)) {
       Park(status);
     }
   }
@@ -264,9 +390,13 @@ void PrimaryRegion::OnTailFlush(SegmentId tail_segment, Slice segment_bytes) {
   }
   ScopedCpuTimer timer(&replication_stats_.log_replication_cpu_ns);
   const uint64_t start = ThreadCpuNanos();
+  // A flush forced by a sync-mode compaction begin is part of that
+  // compaction's stream; ordinary data-plane flushes are stream-less.
+  const StreamId stream = in_compaction_begin_ ? in_begin_stream_ : kNoStream;
   for (auto& slot : backups_) {
-    Status status = GuardedCall(&slot, [&] { return slot.channel->FlushLog(tail_segment); });
-    if (!StruckOutLocked(slot)) {
+    Status status =
+        GuardedCall(slot, kNoStream, [&] { return slot->channel->FlushLog(tail_segment, stream); });
+    if (!StruckOutLocked(*slot, kNoStream)) {
       Park(status);
     }
   }
@@ -280,77 +410,93 @@ void PrimaryRegion::OnTailFlush(SegmentId tail_segment, Slice segment_bytes) {
 // --- index shipping (§3.3) -------------------------------------------------------
 
 void PrimaryRegion::OnCompactionBegin(const CompactionInfo& info) {
-  std::lock_guard<std::recursive_mutex> lock(region_mutex_);
-  // Every log offset the compaction will emit must already be flushed (and
-  // therefore mapped on the backups): seal the tail first. Done even without
-  // backups so the L0 boundary stays exact for later FullSyncs. Background
-  // cascades arrive with tail_sealed set — the engine already sealed the tail
-  // at the L0 spill that started the chain, and this callback may be off the
-  // writer thread where flushing would race live appends.
-  if (!info.tail_sealed) {
-    in_compaction_begin_ = true;
-    Park(store_->value_log()->FlushTail());
-    in_compaction_begin_ = false;
-  }
-  if (info.src_level == 0) {
-    // With a pre-sealed tail the writer may have flushed more segments since
-    // the seal; those records live in the *new* memtable, so the boundary is
-    // the seal-time count the engine captured, not the current one.
-    l0_boundary_ =
-        info.tail_sealed ? info.l0_boundary : store_->value_log()->flushed_segment_count();
-  }
-  if (backups_.empty() || mode_ != ReplicationMode::kSendIndex) {
-    return;
-  }
-  ScopedCpuTimer timer(&replication_stats_.send_index_cpu_ns);
-  for (auto& slot : backups_) {
-    Status status = GuardedCall(&slot, [&] {
-      return slot.channel->CompactionBegin(info.compaction_id, info.src_level, info.dst_level);
-    });
-    if (!StruckOutLocked(slot)) {
-      Park(status);
+  StreamId stream;
+  bool ship;
+  {
+    std::lock_guard<std::recursive_mutex> lock(region_mutex_);
+    stream = AcquireStreamLocked(info.compaction_id);
+    // Every log offset the compaction will emit must already be flushed (and
+    // therefore mapped on the backups): seal the tail first. Done even
+    // without backups so the L0 boundary stays exact for later FullSyncs.
+    // Background jobs arrive with tail_sealed set — the engine already sealed
+    // the tail at the L0 spill that started the chain, and this callback runs
+    // off the writer thread where flushing would race live appends.
+    if (!info.tail_sealed) {
+      in_compaction_begin_ = true;
+      in_begin_stream_ = stream;
+      Park(store_->value_log()->FlushTail());
+      in_begin_stream_ = kNoStream;
+      in_compaction_begin_ = false;
     }
+    if (info.src_level == 0) {
+      // With a pre-sealed tail the writer may have flushed more segments
+      // since the seal; those records live in the *new* memtable, so the
+      // boundary is the seal-time count the engine captured, not the current
+      // one.
+      l0_boundary_ =
+          info.tail_sealed ? info.l0_boundary : store_->value_log()->flushed_segment_count();
+    }
+    ship = !backups_.empty() && mode_ == ReplicationMode::kSendIndex;
   }
-  DetachStruckBackupsLocked();
+  if (!ship) {
+    return;  // the stream stays allocated until OnCompactionEnd releases it
+  }
+  uint64_t cpu_ns = 0;
+  {
+    ScopedCpuTimer timer(&cpu_ns);
+    FanOut(stream, /*flow_bytes=*/0, [&](BackupChannel* channel) {
+      return channel->CompactionBegin(info.compaction_id, info.src_level, info.dst_level, stream);
+    });
+  }
+  std::lock_guard<std::recursive_mutex> lock(region_mutex_);
+  replication_stats_.send_index_cpu_ns += cpu_ns;
 }
 
 void PrimaryRegion::OnIndexSegment(const CompactionInfo& info, int tree_level, SegmentId segment,
                                    Slice bytes) {
-  std::lock_guard<std::recursive_mutex> lock(region_mutex_);
-  if (mode_ != ReplicationMode::kSendIndex || backups_.empty()) {
-    return;
-  }
-  ScopedCpuTimer timer(&replication_stats_.send_index_cpu_ns);
-  for (auto& slot : backups_) {
-    Status status = GuardedCall(&slot, [&] {
-      return slot.channel->ShipIndexSegment(info.compaction_id, info.dst_level, tree_level,
-                                            segment, bytes);
-    });
-    if (!StruckOutLocked(slot)) {
-      Park(status);
+  StreamId stream;
+  {
+    std::lock_guard<std::recursive_mutex> lock(region_mutex_);
+    if (mode_ != ReplicationMode::kSendIndex || backups_.empty()) {
+      return;
     }
+    stream = LookupStreamLocked(info.compaction_id);
   }
-  DetachStruckBackupsLocked();
+  uint64_t cpu_ns = 0;
+  {
+    ScopedCpuTimer timer(&cpu_ns);
+    FanOut(stream, /*flow_bytes=*/bytes.size(), [&](BackupChannel* channel) {
+      return channel->ShipIndexSegment(info.compaction_id, info.dst_level, tree_level, segment,
+                                       bytes, stream);
+    });
+  }
+  std::lock_guard<std::recursive_mutex> lock(region_mutex_);
+  replication_stats_.send_index_cpu_ns += cpu_ns;
   replication_stats_.index_segments_shipped++;
   replication_stats_.index_bytes_shipped += bytes.size();
 }
 
 void PrimaryRegion::OnCompactionEnd(const CompactionInfo& info, const BuiltTree& new_tree) {
-  std::lock_guard<std::recursive_mutex> lock(region_mutex_);
-  if (mode_ != ReplicationMode::kSendIndex || backups_.empty()) {
-    return;
-  }
-  ScopedCpuTimer timer(&replication_stats_.send_index_cpu_ns);
-  for (auto& slot : backups_) {
-    Status status = GuardedCall(&slot, [&] {
-      return slot.channel->CompactionEnd(info.compaction_id, info.src_level, info.dst_level,
-                                         new_tree);
-    });
-    if (!StruckOutLocked(slot)) {
-      Park(status);
+  StreamId stream;
+  {
+    std::lock_guard<std::recursive_mutex> lock(region_mutex_);
+    if (mode_ != ReplicationMode::kSendIndex || backups_.empty()) {
+      ReleaseStreamLocked(info.compaction_id);
+      return;
     }
+    stream = LookupStreamLocked(info.compaction_id);
   }
-  DetachStruckBackupsLocked();
+  uint64_t cpu_ns = 0;
+  {
+    ScopedCpuTimer timer(&cpu_ns);
+    FanOut(stream, /*flow_bytes=*/0, [&](BackupChannel* channel) {
+      return channel->CompactionEnd(info.compaction_id, info.src_level, info.dst_level, new_tree,
+                                    stream);
+    });
+  }
+  std::lock_guard<std::recursive_mutex> lock(region_mutex_);
+  ReleaseStreamLocked(info.compaction_id);
+  replication_stats_.send_index_cpu_ns += cpu_ns;
 }
 
 }  // namespace tebis

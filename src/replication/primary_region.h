@@ -4,17 +4,32 @@
 // depending on the mode — compactions either ship their pre-built index
 // (Send-Index, §3.3) or leave the backups to compact on their own
 // (Build-Index baseline).
+//
+// Multiplexed shipping streams (PR 4): with a background compaction pool the
+// engine runs compactions of disjoint level pairs concurrently, and each one
+// ships on its own stream. This region allocates a stream id per compaction,
+// tags every shipped message with it, and fans compaction-plane calls out
+// WITHOUT holding the region lock — N streams ship to the backups at once
+// while the writer thread keeps replicating the log. Per-stream credit-based
+// flow control (StreamFlowController) bounds what any one stream can keep in
+// flight on a backup's shared replication buffer, and the PR 3 health policy
+// counts strikes per (backup, stream) so one stalled stream detaches the
+// replica without the other streams' clean calls masking it.
 #ifndef TEBIS_REPLICATION_PRIMARY_REGION_H_
 #define TEBIS_REPLICATION_PRIMARY_REGION_H_
 
 #include <functional>
+#include <map>
 #include <memory>
 #include <mutex>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "src/lsm/kv_store.h"
+#include "src/net/flow_control.h"
 #include "src/replication/backup_channel.h"
+#include "src/replication/compaction_stream.h"
 
 namespace tebis {
 
@@ -41,14 +56,18 @@ struct ReplicationStats {
   uint64_t backups_detached = 0;   // replicas dropped by the health policy
   uint64_t slow_call_strikes = 0;  // calls that blew the per-call deadline
   uint64_t fence_errors = 0;       // calls rejected as stale-epoch (deposed)
+  uint64_t streams_opened = 0;     // shipping streams allocated (PR 4)
+  uint64_t flow_wait_ns = 0;       // time streams waited for shipping credit
 };
 
 // Per-replica health policy (§3.5 "slow-not-dead"). A control/data call that
 // fails or overruns `call_deadline_ns` is a strike; `max_consecutive_failures`
-// strikes in a row detach the replica unilaterally — writes keep flowing to
-// the survivors and the detach is reported through the listener so the master
-// can reconcile with a replacement. The default (0) disables detaching, which
-// preserves the historical park-and-surface behavior.
+// strikes in a row — counted per shipping stream, so a stalled stream cannot
+// hide behind another stream's clean calls — detach the replica unilaterally:
+// writes keep flowing to the survivors and the detach is reported through the
+// listener so the master can reconcile with a replacement. The default (0)
+// disables detaching, which preserves the historical park-and-surface
+// behavior.
 struct ReplicationPolicy {
   int max_consecutive_failures = 0;
   uint64_t call_deadline_ns = 2'000'000'000ull;  // kDefaultRpcCallTimeoutNs
@@ -73,7 +92,9 @@ class PrimaryRegion : public ValueLogObserver, public CompactionObserver {
   void AddBackup(std::unique_ptr<BackupChannel> channel);
 
   // Detaches a failed backup (the master removes it from the replica set
-  // before wiring a replacement, §3.5). Returns false if unknown.
+  // before wiring a replacement, §3.5). Returns false if unknown. A fan-out
+  // already in flight to the removed replica finishes against the detached
+  // channel (it stays alive until the last in-flight call drops it).
   bool RemoveBackup(const std::string& backup_name);
 
   // Client operations. A put/delete returns only after the record is in the
@@ -140,26 +161,41 @@ class PrimaryRegion : public ValueLogObserver, public CompactionObserver {
     policy_ = policy;
   }
   // Invoked (with region_mutex_ held — do not call back into the region) when
-  // the health policy detaches a replica; args: backup name, current epoch.
-  using DetachListener = std::function<void(const std::string&, uint64_t)>;
+  // the health policy detaches a replica; args: backup name, current epoch,
+  // and the shipping stream whose strikes triggered the detach (kNoStream for
+  // the data plane).
+  using DetachListener = std::function<void(const std::string&, uint64_t, StreamId)>;
   void set_detach_listener(DetachListener listener) {
     std::lock_guard<std::recursive_mutex> lock(region_mutex_);
     detach_listener_ = std::move(listener);
   }
+
+  // Per-stream flow control (PR 4): bounds the index bytes each backup can
+  // have in flight across all shipping streams to `pool_bytes` (one shared
+  // replication buffer per backup), with a per-stream cap of pool/kMax so a
+  // stalled stream cannot starve the others. 0 disables (the default).
+  // Applies to already-attached and future backups.
+  void set_stream_flow_pool(uint64_t pool_bytes);
 
  private:
   PrimaryRegion(BlockDevice* device, ReplicationMode mode);
 
   struct BackupSlot {
     std::unique_ptr<BackupChannel> channel;
-    int strikes = 0;  // consecutive failed/overdue calls
+    // Consecutive failed/overdue calls, per shipping stream (kNoStream = the
+    // data plane). Guarded by region_mutex_.
+    std::map<StreamId, int> strikes;
+    // Internally synchronized; null when flow control is disabled.
+    std::unique_ptr<StreamFlowController> flow;
   };
 
   // ValueLogObserver (data plane).
   void OnAppend(SegmentId tail_segment, uint64_t offset_in_segment, Slice record_bytes) override;
   void OnTailFlush(SegmentId tail_segment, Slice segment_bytes) override;
 
-  // CompactionObserver (index shipping).
+  // CompactionObserver (index shipping). May run on several compaction
+  // workers concurrently — one stream each; fan-outs drop region_mutex_
+  // around the channel calls.
   void OnCompactionBegin(const CompactionInfo& info) override;
   void OnIndexSegment(const CompactionInfo& info, int tree_level, SegmentId segment,
                       Slice bytes) override;
@@ -170,15 +206,30 @@ class PrimaryRegion : public ValueLogObserver, public CompactionObserver {
   void Park(const Status& status);
   Status TakeParkedError();
 
+  // Stream-id bookkeeping for one compaction. Acquire is idempotent per
+  // compaction id (retries reuse the stream); Release frees the id.
+  StreamId AcquireStreamLocked(uint64_t compaction_id);
+  StreamId LookupStreamLocked(uint64_t compaction_id);
+  void ReleaseStreamLocked(uint64_t compaction_id);
+
   // Runs one call against a backup under the health policy: failures and
-  // deadline overruns are strikes, a clean on-time call resets them. Epoch
-  // fencing errors (FailedPrecondition) bypass the strike counter — they mean
-  // THIS primary is deposed, not that the backup is sick.
-  Status GuardedCall(BackupSlot* slot, const std::function<Status()>& call);
-  // True once the slot has struck out — its errors stop parking (the replica
-  // is about to be dropped, so it must not fail client operations).
-  bool StruckOutLocked(const BackupSlot& slot) const;
-  // Detaches every struck-out replica, clears the parked error they left
+  // deadline overruns are strikes on (backup, stream), a clean on-time call
+  // resets that stream's counter. Epoch fencing errors (FailedPrecondition)
+  // bypass the strike counter — they mean THIS primary is deposed, not that
+  // the backup is sick. The call itself runs without region_mutex_ (the
+  // bookkeeping re-takes it), so concurrent streams overlap their calls.
+  Status GuardedCall(const std::shared_ptr<BackupSlot>& slot, StreamId stream,
+                     const std::function<Status()>& call);
+  // Fans `call` out to every attached backup on `stream`, charging
+  // `flow_bytes` of per-stream shipping credit around each call (0 = no
+  // charge), parking errors and detaching struck-out replicas.
+  void FanOut(StreamId stream, uint64_t flow_bytes,
+              const std::function<Status(BackupChannel*)>& call);
+  // True once the slot's `stream` has struck out — its errors stop parking
+  // (the replica is about to be dropped, so it must not fail client
+  // operations).
+  bool StruckOutLocked(const BackupSlot& slot, StreamId stream) const;
+  // Detaches every struck-out replica, clears the parked error it left
   // behind, and notifies the listener. Call after each fan-out.
   void DetachStruckBackupsLocked();
 
@@ -186,14 +237,15 @@ class PrimaryRegion : public ValueLogObserver, public CompactionObserver {
   const ReplicationMode mode_;
   std::unique_ptr<KvStore> store_;
 
-  // With a background compaction pool, index-shipping callbacks arrive on the
-  // worker thread while data-plane callbacks keep arriving on the writer
-  // thread. One recursive lock serializes every callback plus the backup set
-  // and parked-error state (recursive because an L0 compaction begin flushes
-  // the tail, which re-enters through OnTailFlush). Never held across a call
-  // back into the engine.
+  // Serializes region state: the backup set, stream table, parked error and
+  // stats (recursive because an L0 compaction begin flushes the tail, which
+  // re-enters through OnTailFlush). NOT held across compaction-plane channel
+  // calls — that is what lets N streams ship concurrently. Never held across
+  // a call back into the engine.
   mutable std::recursive_mutex region_mutex_;
-  std::vector<BackupSlot> backups_;
+  // shared_ptr: a fan-out snapshots the set and keeps its slots alive even if
+  // RemoveBackup/detach runs mid-flight.
+  std::vector<std::shared_ptr<BackupSlot>> backups_;
   Status parked_error_;
   ReplicationStats replication_stats_;
   ReplicationPolicy policy_;
@@ -202,6 +254,13 @@ class PrimaryRegion : public ValueLogObserver, public CompactionObserver {
   size_t l0_boundary_ = 0;
   uint64_t next_sync_id_ = 1ull << 62;  // synthetic compaction ids for FullSync
   bool in_compaction_begin_ = false;    // attributes nested tail flushes
+  // Stream the in-progress sync-mode compaction begin runs on; a tail flush
+  // nested inside it is tagged with this stream.
+  StreamId in_begin_stream_ = kNoStream;
+  // Shipping-stream table: compaction id -> (stream, allocator-owned).
+  StreamIdAllocator stream_ids_;
+  std::map<uint64_t, std::pair<StreamId, bool>> compaction_streams_;
+  uint64_t stream_flow_pool_ = 0;
 };
 
 }  // namespace tebis

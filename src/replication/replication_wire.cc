@@ -4,19 +4,21 @@ namespace tebis {
 
 std::string EncodeFlushLog(const FlushLogMsg& msg) {
   WireWriter w;
-  w.U64(msg.epoch).U64(msg.primary_segment);
+  w.U64(msg.epoch).U64(msg.primary_segment).U32(msg.stream_id);
   return w.str();
 }
 
 Status DecodeFlushLog(Slice payload, FlushLogMsg* out) {
   WireReader r(payload);
   TEBIS_RETURN_IF_ERROR(r.U64(&out->epoch));
-  return r.U64(&out->primary_segment);
+  TEBIS_RETURN_IF_ERROR(r.U64(&out->primary_segment));
+  return r.U32(&out->stream_id);
 }
 
 std::string EncodeCompactionBegin(const CompactionBeginMsg& msg) {
   WireWriter w;
   w.U64(msg.epoch).U64(msg.compaction_id).U32(msg.src_level).U32(msg.dst_level);
+  w.U32(msg.stream_id);
   return w.str();
 }
 
@@ -25,7 +27,8 @@ Status DecodeCompactionBegin(Slice payload, CompactionBeginMsg* out) {
   TEBIS_RETURN_IF_ERROR(r.U64(&out->epoch));
   TEBIS_RETURN_IF_ERROR(r.U64(&out->compaction_id));
   TEBIS_RETURN_IF_ERROR(r.U32(&out->src_level));
-  return r.U32(&out->dst_level);
+  TEBIS_RETURN_IF_ERROR(r.U32(&out->dst_level));
+  return r.U32(&out->stream_id);
 }
 
 std::string EncodeIndexSegment(const IndexSegmentMsg& msg) {
@@ -35,7 +38,8 @@ std::string EncodeIndexSegment(const IndexSegmentMsg& msg) {
       .U32(msg.dst_level)
       .U32(msg.tree_level)
       .U64(msg.primary_segment)
-      .Bytes(msg.data);
+      .Bytes(msg.data)
+      .U32(msg.stream_id);
   return w.str();
 }
 
@@ -46,7 +50,8 @@ Status DecodeIndexSegment(Slice payload, IndexSegmentMsg* out) {
   TEBIS_RETURN_IF_ERROR(r.U32(&out->dst_level));
   TEBIS_RETURN_IF_ERROR(r.U32(&out->tree_level));
   TEBIS_RETURN_IF_ERROR(r.U64(&out->primary_segment));
-  return r.BytesView(&out->data);
+  TEBIS_RETURN_IF_ERROR(r.BytesView(&out->data));
+  return r.U32(&out->stream_id);
 }
 
 std::string EncodeCompactionEnd(const CompactionEndMsg& msg) {
@@ -58,6 +63,7 @@ std::string EncodeCompactionEnd(const CompactionEndMsg& msg) {
   for (SegmentId seg : msg.tree.segments) {
     w.U64(seg);
   }
+  w.U32(msg.stream_id);
   return w.str();
 }
 
@@ -79,7 +85,7 @@ Status DecodeCompactionEnd(Slice payload, CompactionEndMsg* out) {
     TEBIS_RETURN_IF_ERROR(r.U64(&seg));
     out->tree.segments.push_back(seg);
   }
-  return Status::Ok();
+  return r.U32(&out->stream_id);
 }
 
 std::string EncodeTrimLog(const TrimLogMsg& msg) {

@@ -8,6 +8,7 @@
 #include "src/common/status.h"
 #include "src/lsm/btree_builder.h"
 #include "src/net/wire.h"
+#include "src/replication/compaction_stream.h"
 #include "src/storage/segment.h"
 
 namespace tebis {
@@ -15,9 +16,15 @@ namespace tebis {
 // Every control message carries the replication epoch (configuration
 // generation) of the sending primary. Backups reject messages whose epoch is
 // older than their own, fencing traffic from a deposed primary (§3.5).
+// Compaction-plane messages additionally carry their shipping stream id
+// (PR 4), encoded last so older encodings decode as a truncation error rather
+// than misparse.
 struct FlushLogMsg {
   uint64_t epoch = 0;
   SegmentId primary_segment;
+  // Data-plane flushes use kNoStream; a flush nested inside a sync-mode
+  // compaction begin carries that compaction's stream.
+  StreamId stream_id = kNoStream;
 };
 
 struct CompactionBeginMsg {
@@ -25,6 +32,7 @@ struct CompactionBeginMsg {
   uint64_t compaction_id;
   uint32_t src_level;
   uint32_t dst_level;
+  StreamId stream_id = 0;
 };
 
 struct IndexSegmentMsg {
@@ -34,6 +42,7 @@ struct IndexSegmentMsg {
   uint32_t tree_level;
   SegmentId primary_segment;
   Slice data;  // view into the payload
+  StreamId stream_id = 0;
 };
 
 struct CompactionEndMsg {
@@ -42,6 +51,7 @@ struct CompactionEndMsg {
   uint32_t src_level;
   uint32_t dst_level;
   BuiltTree tree;  // the primary's tree description (root, height, segments)
+  StreamId stream_id = 0;
 };
 
 struct TrimLogMsg {

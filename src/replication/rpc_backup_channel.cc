@@ -18,6 +18,7 @@ Status RpcBackupChannel::RdmaWriteLog(uint64_t offset_in_segment, Slice record_b
 }
 
 Status RpcBackupChannel::CallChecked(MessageType type, Slice payload, size_t reply_alloc) {
+  std::lock_guard<std::mutex> lock(call_mutex_);
   TEBIS_ASSIGN_OR_RETURN(RpcReply reply, client_->Call(type, region_id_, payload, reply_alloc,
                                                        /*map_version=*/0, call_timeout_ns_));
   if (reply.header.flags & kFlagError) {
@@ -35,28 +36,31 @@ Status RpcBackupChannel::CallChecked(MessageType type, Slice payload, size_t rep
   return Status::Ok();
 }
 
-Status RpcBackupChannel::FlushLog(SegmentId primary_segment) {
-  return CallChecked(MessageType::kFlushLog, EncodeFlushLog({epoch(), primary_segment}));
+Status RpcBackupChannel::FlushLog(SegmentId primary_segment, StreamId stream) {
+  return CallChecked(MessageType::kFlushLog,
+                     EncodeFlushLog({epoch(), primary_segment, stream}));
 }
 
-Status RpcBackupChannel::CompactionBegin(uint64_t compaction_id, int src_level, int dst_level) {
+Status RpcBackupChannel::CompactionBegin(uint64_t compaction_id, int src_level, int dst_level,
+                                         StreamId stream) {
   return CallChecked(MessageType::kCompactionBegin,
                      EncodeCompactionBegin({epoch(), compaction_id,
                                             static_cast<uint32_t>(src_level),
-                                            static_cast<uint32_t>(dst_level)}));
+                                            static_cast<uint32_t>(dst_level), stream}));
 }
 
 Status RpcBackupChannel::ShipIndexSegment(uint64_t compaction_id, int dst_level, int tree_level,
-                                          SegmentId primary_segment, Slice bytes) {
+                                          SegmentId primary_segment, Slice bytes,
+                                          StreamId stream) {
   IndexSegmentMsg msg{epoch(), compaction_id, static_cast<uint32_t>(dst_level),
-                      static_cast<uint32_t>(tree_level), primary_segment, bytes};
+                      static_cast<uint32_t>(tree_level), primary_segment, bytes, stream};
   return CallChecked(MessageType::kIndexSegment, EncodeIndexSegment(msg));
 }
 
 Status RpcBackupChannel::CompactionEnd(uint64_t compaction_id, int src_level, int dst_level,
-                                       const BuiltTree& primary_tree) {
+                                       const BuiltTree& primary_tree, StreamId stream) {
   CompactionEndMsg msg{epoch(), compaction_id, static_cast<uint32_t>(src_level),
-                       static_cast<uint32_t>(dst_level), primary_tree};
+                       static_cast<uint32_t>(dst_level), primary_tree, stream};
   return CallChecked(MessageType::kCompactionEnd, EncodeCompactionEnd(msg));
 }
 

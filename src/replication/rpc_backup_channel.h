@@ -5,6 +5,7 @@
 #define TEBIS_REPLICATION_RPC_BACKUP_CHANNEL_H_
 
 #include <memory>
+#include <mutex>
 #include <string>
 
 #include "src/net/rpc_client.h"
@@ -24,12 +25,13 @@ class RpcBackupChannel : public BackupChannel {
                    uint64_t call_timeout_ns = kDefaultRpcCallTimeoutNs);
 
   Status RdmaWriteLog(uint64_t offset_in_segment, Slice record_bytes) override;
-  Status FlushLog(SegmentId primary_segment) override;
-  Status CompactionBegin(uint64_t compaction_id, int src_level, int dst_level) override;
+  Status FlushLog(SegmentId primary_segment, StreamId stream = kNoStream) override;
+  Status CompactionBegin(uint64_t compaction_id, int src_level, int dst_level,
+                         StreamId stream = 0) override;
   Status ShipIndexSegment(uint64_t compaction_id, int dst_level, int tree_level,
-                          SegmentId primary_segment, Slice bytes) override;
+                          SegmentId primary_segment, Slice bytes, StreamId stream = 0) override;
   Status CompactionEnd(uint64_t compaction_id, int src_level, int dst_level,
-                       const BuiltTree& primary_tree) override;
+                       const BuiltTree& primary_tree, StreamId stream = 0) override;
   Status TrimLog(size_t segments) override;
   Status SetLogReplayStart(size_t flushed_segment_index) override;
 
@@ -47,6 +49,10 @@ class RpcBackupChannel : public BackupChannel {
   std::shared_ptr<RegisteredBuffer> buffer_;
   const std::string backup_name_;
   const uint64_t call_timeout_ns_;
+  // RpcClient is not thread-safe; concurrent shipping streams (PR 4) share
+  // this one connection, so calls serialize here — the software model of one
+  // RDMA queue pair per backup.
+  std::mutex call_mutex_;
 };
 
 }  // namespace tebis

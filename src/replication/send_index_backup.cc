@@ -49,7 +49,38 @@ SendIndexBackupRegion::SendIndexBackupRegion(BlockDevice* device, const KvStoreO
       rdma_buffer_(std::move(rdma_buffer)),
       levels_(options.max_levels + 1) {}
 
+SendIndexBackupStats SendIndexBackupRegion::stats() const {
+  SendIndexBackupStats s;
+  const auto ld = [](const std::atomic<uint64_t>& a) {
+    return a.load(std::memory_order_relaxed);
+  };
+  s.rewrite_cpu_ns = ld(counters_.rewrite_cpu_ns);
+  s.segments_rewritten = ld(counters_.segments_rewritten);
+  s.offsets_rewritten = ld(counters_.offsets_rewritten);
+  s.log_flushes = ld(counters_.log_flushes);
+  s.epoch_rejected = ld(counters_.epoch_rejected);
+  s.streams_opened = ld(counters_.streams_opened);
+  s.streams_aborted = ld(counters_.streams_aborted);
+  return s;
+}
+
+size_t SendIndexBackupRegion::active_streams() const {
+  std::lock_guard<std::mutex> lock(state_mutex_);
+  return streams_.size();
+}
+
+void SendIndexBackupRegion::set_replay_from(size_t flushed_segment_index) {
+  std::lock_guard<std::mutex> lock(state_mutex_);
+  replay_from_ = flushed_segment_index;
+}
+
+size_t SendIndexBackupRegion::replay_from() const {
+  std::lock_guard<std::mutex> lock(state_mutex_);
+  return replay_from_;
+}
+
 Status SendIndexBackupRegion::HandleLogFlush(SegmentId primary_segment) {
+  std::lock_guard<std::mutex> lock(state_mutex_);
   if (log_map_.Contains(primary_segment)) {
     return Status::Ok();  // duplicate delivery (the ack was lost, not the flush)
   }
@@ -59,49 +90,68 @@ Status SendIndexBackupRegion::HandleLogFlush(SegmentId primary_segment) {
       log_->AppendRawSegment(Slice(rdma_buffer_->data(), device_->segment_size())));
   TEBIS_RETURN_IF_ERROR(log_map_.Insert(primary_segment, local));
   primary_flush_order_.push_back(primary_segment);
-  stats_.log_flushes++;
+  counters_.log_flushes.fetch_add(1, std::memory_order_relaxed);
   return Status::Ok();
 }
 
 Status SendIndexBackupRegion::HandleCompactionBegin(uint64_t compaction_id, int src_level,
-                                                    int dst_level) {
-  if (pending_.has_value()) {
-    if (pending_->id == compaction_id) {
+                                                    int dst_level, StreamId stream) {
+  std::lock_guard<std::mutex> lock(state_mutex_);
+  auto it = streams_.find(stream);
+  if (it != streams_.end()) {
+    if (it->second->id == compaction_id) {
       return Status::Ok();  // duplicate delivery
     }
-    return Status::FailedPrecondition("compaction already in progress on backup");
+    return Status::FailedPrecondition("stream busy with another compaction on backup");
   }
-  pending_.emplace();
-  pending_->id = compaction_id;
-  pending_->src_level = src_level;
-  pending_->dst_level = dst_level;
-  pending_->replay_from_snapshot = log_->flushed_segments().size();
+  auto done = last_completed_.find(stream);
+  if (done != last_completed_.end() && done->second == compaction_id) {
+    return Status::Ok();  // retry of an already-completed compaction
+  }
+  // Level-ownership guard, backup side: the primary's scheduler only ships
+  // disjoint level pairs concurrently; a violation here means corrupted or
+  // misrouted control traffic.
+  for (const auto& [sid, active] : streams_) {
+    if (active->src_level == src_level || active->src_level == dst_level ||
+        active->dst_level == src_level || active->dst_level == dst_level) {
+      return Status::FailedPrecondition("stream levels overlap an active stream");
+    }
+  }
+  auto fresh = std::make_shared<CompactionStream>();
+  fresh->id = compaction_id;
+  fresh->src_level = src_level;
+  fresh->dst_level = dst_level;
+  fresh->replay_from_snapshot = log_->flushed_segments().size();
+  fresh->log_map = log_map_;
+  streams_[stream] = std::move(fresh);
+  counters_.streams_opened.fetch_add(1, std::memory_order_relaxed);
   return Status::Ok();
 }
 
-Status SendIndexBackupRegion::RewriteSegment(PendingCompaction* pending, char* bytes,
+Status SendIndexBackupRegion::RewriteSegment(CompactionStream* stream, char* bytes,
                                              size_t size) {
   const size_t node_size = options_.node_size;
   if (size % node_size != 0) {
     return Status::InvalidArgument("index segment is not node aligned");
   }
-  // Leaf entries point into the value log: translate through the log map
-  // (strict — the referenced segment must have been flushed already, which
-  // the primary guarantees by flushing the tail before compacting). Index
-  // children point into other index segments: translate through the index
-  // map, reserving a local segment on first sight (forward references).
-  OffsetTranslator log_translate = [this](uint64_t offset) -> StatusOr<uint64_t> {
+  // Leaf entries point into the value log: translate through the stream's
+  // log-map snapshot (strict — the referenced segment must have been flushed
+  // before the compaction began, which the primary guarantees by flushing the
+  // tail before compacting). Index children point into other index segments:
+  // translate through the stream's index map, reserving a local segment on
+  // first sight (forward references).
+  OffsetTranslator log_translate = [this, stream](uint64_t offset) -> StatusOr<uint64_t> {
     TEBIS_ASSIGN_OR_RETURN(SegmentId local,
-                           log_map_.Lookup(device_->geometry().SegmentOf(offset)));
-    stats_.offsets_rewritten++;
+                           stream->log_map.Lookup(device_->geometry().SegmentOf(offset)));
+    counters_.offsets_rewritten.fetch_add(1, std::memory_order_relaxed);
     return device_->geometry().Translate(offset, local);
   };
-  OffsetTranslator index_translate = [this, pending](uint64_t offset) -> StatusOr<uint64_t> {
+  OffsetTranslator index_translate = [this, stream](uint64_t offset) -> StatusOr<uint64_t> {
     TEBIS_ASSIGN_OR_RETURN(
         SegmentId local,
-        pending->index_map.GetOrReserve(device_->geometry().SegmentOf(offset),
-                                        [this] { return device_->AllocateSegment(); }));
-    stats_.offsets_rewritten++;
+        stream->index_map.GetOrReserve(device_->geometry().SegmentOf(offset),
+                                       [this] { return device_->AllocateSegment(); }));
+    counters_.offsets_rewritten.fetch_add(1, std::memory_order_relaxed);
     return device_->geometry().Translate(offset, local);
   };
 
@@ -124,23 +174,42 @@ Status SendIndexBackupRegion::RewriteSegment(PendingCompaction* pending, char* b
 
 Status SendIndexBackupRegion::HandleIndexSegment(uint64_t compaction_id, int dst_level,
                                                  int tree_level, SegmentId primary_segment,
-                                                 Slice bytes) {
-  if (!pending_.has_value() || pending_->id != compaction_id) {
-    return Status::FailedPrecondition("index segment for unknown compaction");
+                                                 Slice bytes, StreamId stream) {
+  std::shared_ptr<CompactionStream> s;
+  {
+    std::lock_guard<std::mutex> lock(state_mutex_);
+    auto it = streams_.find(stream);
+    if (it == streams_.end() || it->second->id != compaction_id) {
+      return Status::FailedPrecondition("index segment for unknown compaction");
+    }
+    s = it->second;
   }
-  ScopedCpuTimer timer(&stats_.rewrite_cpu_ns);
-  // Allocate (or claim the reserved) local segment for this primary segment.
-  TEBIS_ASSIGN_OR_RETURN(
-      SegmentId local,
-      pending_->index_map.GetOrReserve(primary_segment,
-                                       [this] { return device_->AllocateSegment(); }));
-  // Rewrite in a scratch copy, then one large local write.
-  std::string scratch(bytes.data(), bytes.size());
-  TEBIS_RETURN_IF_ERROR(RewriteSegment(&*pending_, scratch.data(), scratch.size()));
-  TEBIS_RETURN_IF_ERROR(device_->Write(device_->geometry().BaseOffset(local), Slice(scratch),
-                                       IoClass::kIndexRewrite));
-  stats_.segments_rewritten++;
-  return Status::Ok();
+  // The rewrite — the CPU-heavy part — runs under the stream's own lock only,
+  // so concurrent streams rewrite in parallel.
+  std::lock_guard<std::mutex> work(s->mutex);
+  if (s->aborted) {
+    return Status::FailedPrecondition("stream aborted by promotion");
+  }
+  uint64_t cpu_ns = 0;
+  Status status = [&]() -> Status {
+    ScopedCpuTimer timer(&cpu_ns);
+    // Allocate (or claim the reserved) local segment for this primary segment.
+    TEBIS_ASSIGN_OR_RETURN(
+        SegmentId local,
+        s->index_map.GetOrReserve(primary_segment,
+                                  [this] { return device_->AllocateSegment(); }));
+    // Rewrite in a scratch copy, then one large local write.
+    std::string scratch(bytes.data(), bytes.size());
+    TEBIS_RETURN_IF_ERROR(RewriteSegment(s.get(), scratch.data(), scratch.size()));
+    TEBIS_RETURN_IF_ERROR(device_->Write(device_->geometry().BaseOffset(local), Slice(scratch),
+                                         IoClass::kIndexRewrite));
+    return Status::Ok();
+  }();
+  counters_.rewrite_cpu_ns.fetch_add(cpu_ns, std::memory_order_relaxed);
+  if (status.ok()) {
+    counters_.segments_rewritten.fetch_add(1, std::memory_order_relaxed);
+  }
+  return status;
 }
 
 Status SendIndexBackupRegion::FreeTree(const BuiltTree& tree) {
@@ -151,49 +220,73 @@ Status SendIndexBackupRegion::FreeTree(const BuiltTree& tree) {
 }
 
 Status SendIndexBackupRegion::HandleCompactionEnd(uint64_t compaction_id, int src_level,
-                                                  int dst_level, const BuiltTree& primary_tree) {
-  if (!pending_.has_value() && last_completed_ == compaction_id) {
-    return Status::Ok();  // duplicate delivery: already installed
-  }
-  if (!pending_.has_value() || pending_->id != compaction_id) {
+                                                  int dst_level, const BuiltTree& primary_tree,
+                                                  StreamId stream) {
+  std::lock_guard<std::mutex> lock(state_mutex_);
+  auto it = streams_.find(stream);
+  if (it == streams_.end()) {
+    auto done = last_completed_.find(stream);
+    if (done != last_completed_.end() && done->second == compaction_id) {
+      return Status::Ok();  // duplicate delivery: already installed
+    }
     return Status::FailedPrecondition("compaction end for unknown compaction");
   }
-  ScopedCpuTimer timer(&stats_.rewrite_cpu_ns);
-  BuiltTree local_tree;
-  local_tree.height = primary_tree.height;
-  local_tree.num_entries = primary_tree.num_entries;
-  local_tree.bytes_written = primary_tree.bytes_written;
-  if (!primary_tree.empty()) {
-    // Translate the root (§3.3: "each backup translates to the root offset of
-    // its storage space using its index map") and the segment list.
-    TEBIS_ASSIGN_OR_RETURN(
-        SegmentId root_seg,
-        pending_->index_map.Lookup(device_->geometry().SegmentOf(primary_tree.root_offset)));
-    local_tree.root_offset = device_->geometry().Translate(primary_tree.root_offset, root_seg);
-    for (SegmentId seg : primary_tree.segments) {
-      TEBIS_ASSIGN_OR_RETURN(SegmentId local, pending_->index_map.Lookup(seg));
-      local_tree.segments.push_back(local);
-    }
-    if (primary_tree.segments.size() != pending_->index_map.size()) {
-      return Status::Corruption("reserved index segments never shipped");
-    }
+  if (it->second->id != compaction_id) {
+    return Status::FailedPrecondition("compaction end for unknown compaction");
   }
-  // Retire inputs exactly like the primary did.
-  if (src_level >= 1) {
-    TEBIS_RETURN_IF_ERROR(FreeTree(levels_[src_level]));
-    levels_[src_level] = BuiltTree{};
-  } else {
-    // L0 -> L1 finished: everything up to the begin snapshot is indexed.
-    replay_from_ = pending_->replay_from_snapshot;
+  std::shared_ptr<CompactionStream> s = it->second;
+  // Lock order state_mutex_ -> stream mutex; serializes against a straggling
+  // in-flight rewrite on the same stream.
+  std::lock_guard<std::mutex> work(s->mutex);
+  uint64_t cpu_ns = 0;
+  Status status = [&]() -> Status {
+    ScopedCpuTimer timer(&cpu_ns);
+    BuiltTree local_tree;
+    local_tree.height = primary_tree.height;
+    local_tree.num_entries = primary_tree.num_entries;
+    local_tree.bytes_written = primary_tree.bytes_written;
+    if (!primary_tree.empty()) {
+      // Translate the root (§3.3: "each backup translates to the root offset
+      // of its storage space using its index map") and the segment list.
+      TEBIS_ASSIGN_OR_RETURN(
+          SegmentId root_seg,
+          s->index_map.Lookup(device_->geometry().SegmentOf(primary_tree.root_offset)));
+      local_tree.root_offset = device_->geometry().Translate(primary_tree.root_offset, root_seg);
+      for (SegmentId seg : primary_tree.segments) {
+        TEBIS_ASSIGN_OR_RETURN(SegmentId local, s->index_map.Lookup(seg));
+        local_tree.segments.push_back(local);
+      }
+      if (primary_tree.segments.size() != s->index_map.size()) {
+        return Status::Corruption("reserved index segments never shipped");
+      }
+    }
+    // Retire inputs exactly like the primary did.
+    if (src_level >= 1) {
+      TEBIS_RETURN_IF_ERROR(FreeTree(levels_[src_level]));
+      levels_[src_level] = BuiltTree{};
+    } else {
+      // L0 -> L1 finished: everything up to the begin snapshot is indexed.
+      replay_from_ = s->replay_from_snapshot;
+    }
+    TEBIS_RETURN_IF_ERROR(FreeTree(levels_[dst_level]));
+    levels_[dst_level] = local_tree;
+    return Status::Ok();
+  }();
+  counters_.rewrite_cpu_ns.fetch_add(cpu_ns, std::memory_order_relaxed);
+  if (status.ok()) {
+    streams_.erase(stream);  // the index map is only valid during the compaction
+    last_completed_[stream] = compaction_id;
   }
-  TEBIS_RETURN_IF_ERROR(FreeTree(levels_[dst_level]));
-  levels_[dst_level] = local_tree;
-  pending_.reset();  // the index map is only valid during the compaction
-  last_completed_ = compaction_id;
-  return Status::Ok();
+  return status;
 }
 
 Status SendIndexBackupRegion::HandleTrimLog(size_t segments) {
+  std::lock_guard<std::mutex> lock(state_mutex_);
+  if (!streams_.empty()) {
+    // The primary drains compactions before GC; a trim racing an active
+    // stream would invalidate its log-map snapshot.
+    return Status::FailedPrecondition("trim during active shipping streams");
+  }
   if (segments > primary_flush_order_.size()) {
     return Status::InvalidArgument("trim beyond replicated log");
   }
@@ -216,16 +309,25 @@ Status SendIndexBackupRegion::HandleTrimLog(size_t segments) {
 }
 
 StatusOr<std::unique_ptr<KvStore>> SendIndexBackupRegion::Promote(bool replay_rdma_buffer) {
-  // Abort any half-shipped compaction: free the local segments it allocated
-  // and keep the previous (consistent) levels.
-  if (pending_.has_value()) {
-    for (const auto& [primary, local] : pending_->index_map.entries()) {
-      TEBIS_RETURN_IF_ERROR(device_->FreeSegment(local));
+  // Abort every half-shipped stream: free the local segments it allocated and
+  // keep the previous (consistent) levels. A rewrite handler still in flight
+  // holds its stream's mutex; taking it here makes the abort wait for the
+  // rewrite to drain, and the aborted flag fails any later traffic cleanly.
+  size_t replay_from;
+  {
+    std::lock_guard<std::mutex> lock(state_mutex_);
+    for (auto& [sid, s] : streams_) {
+      std::lock_guard<std::mutex> work(s->mutex);
+      s->aborted = true;
+      for (const auto& [primary, local] : s->index_map.entries()) {
+        TEBIS_RETURN_IF_ERROR(device_->FreeSegment(local));
+      }
+      counters_.streams_aborted.fetch_add(1, std::memory_order_relaxed);
     }
-    pending_.reset();
+    streams_.clear();
+    replay_from = replay_from_;
   }
 
-  const size_t replay_from = replay_from_;
   std::vector<SegmentId> replay_segments(log_->flushed_segments().begin() +
                                              static_cast<long>(replay_from),
                                          log_->flushed_segments().end());
@@ -268,26 +370,32 @@ StatusOr<std::unique_ptr<KvStore>> SendIndexBackupRegion::Promote(bool replay_rd
 }
 
 Status SendIndexBackupRegion::CheckEpoch(uint64_t msg_epoch) {
-  if (msg_epoch < region_epoch_) {
-    stats_.epoch_rejected++;
+  const uint64_t cur = region_epoch_.load(std::memory_order_acquire);
+  if (msg_epoch < cur) {
+    counters_.epoch_rejected.fetch_add(1, std::memory_order_relaxed);
     return Status::FailedPrecondition("stale replication epoch " + std::to_string(msg_epoch) +
-                                      " < " + std::to_string(region_epoch_));
+                                      " < " + std::to_string(cur));
   }
-  if (msg_epoch > region_epoch_) {
+  if (msg_epoch > cur) {
     set_region_epoch(msg_epoch);
   }
   return Status::Ok();
 }
 
 void SendIndexBackupRegion::set_region_epoch(uint64_t epoch) {
-  if (epoch > region_epoch_) {
-    region_epoch_ = epoch;
-    rdma_buffer_->Fence(epoch);
+  uint64_t cur = region_epoch_.load(std::memory_order_acquire);
+  while (epoch > cur) {
+    if (region_epoch_.compare_exchange_weak(cur, epoch, std::memory_order_acq_rel,
+                                            std::memory_order_acquire)) {
+      rdma_buffer_->Fence(epoch);  // raise-to-at-least, thread-safe
+      return;
+    }
   }
 }
 
 Status SendIndexBackupRegion::AdoptNewPrimaryLogMap(const SegmentMap& new_primary_log_map,
                                                     uint64_t epoch) {
+  std::lock_guard<std::mutex> lock(state_mutex_);
   if (epoch != 0) {
     if (epoch <= log_map_epoch_) {
       return Status::Ok();  // retry of an adoption this node already performed
@@ -315,11 +423,18 @@ StatusOr<std::string> SendIndexBackupRegion::DebugGet(Slice key) {
     TEBIS_RETURN_IF_ERROR(log_->ReadKey(off, &k, nullptr, nullptr, IoClass::kLookup));
     return k;
   };
+  // Snapshot the level descriptors; flushed log data is immutable so the
+  // reads below are safe without the lock.
+  std::vector<BuiltTree> levels;
+  {
+    std::lock_guard<std::mutex> lock(state_mutex_);
+    levels = levels_;
+  }
   for (uint32_t i = 1; i <= options_.max_levels; ++i) {
-    if (levels_[i].empty()) {
+    if (levels[i].empty()) {
       continue;
     }
-    BTreeReader reader(device_, nullptr, options_.node_size, levels_[i], IoClass::kLookup);
+    BTreeReader reader(device_, nullptr, options_.node_size, levels[i], IoClass::kLookup);
     auto found = reader.Find(key, loader);
     if (found.ok()) {
       LogRecord rec;

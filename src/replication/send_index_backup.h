@@ -3,16 +3,26 @@
 // are *rewritten* — every device offset gets its high-order bits replaced
 // through the log map (leaf entries) or the index map (index-node children) —
 // and written locally.
+//
+// Multiplexed shipping streams (PR 4): the primary runs compactions of
+// disjoint level pairs concurrently, so this backup keeps one rewrite state
+// machine per stream id — N compactions can be mid-ship at once. Handlers are
+// thread-safe: shared region state (log map, levels, stream table) is guarded
+// by a short state lock, while the CPU-heavy segment rewrite runs under the
+// owning stream's lock only, so streams rewrite in parallel.
 #ifndef TEBIS_REPLICATION_SEND_INDEX_BACKUP_H_
 #define TEBIS_REPLICATION_SEND_INDEX_BACKUP_H_
 
+#include <atomic>
+#include <map>
 #include <memory>
-#include <optional>
+#include <mutex>
 #include <vector>
 
 #include "src/lsm/kv_store.h"
 #include "src/lsm/value_log.h"
 #include "src/net/fabric.h"
+#include "src/replication/compaction_stream.h"
 #include "src/replication/segment_map.h"
 #include "src/storage/block_device.h"
 
@@ -23,7 +33,9 @@ struct SendIndexBackupStats {
   uint64_t segments_rewritten = 0;
   uint64_t offsets_rewritten = 0;
   uint64_t log_flushes = 0;
-  uint64_t epoch_rejected = 0;  // control messages fenced as stale (§3.5)
+  uint64_t epoch_rejected = 0;   // control messages fenced as stale (§3.5)
+  uint64_t streams_opened = 0;   // compaction streams begun (PR 4)
+  uint64_t streams_aborted = 0;  // streams abandoned by promotion (PR 4)
 };
 
 class SendIndexBackupRegion {
@@ -48,18 +60,20 @@ class SendIndexBackupRegion {
   SendIndexBackupRegion(const SendIndexBackupRegion&) = delete;
   SendIndexBackupRegion& operator=(const SendIndexBackupRegion&) = delete;
 
-  // --- control-plane handlers (run on the backup's worker threads) ---
+  // --- control-plane handlers (run on the backup's worker threads; safe to
+  // call concurrently from different streams, PR 4) ---
 
   // §3.2 step 2c/2d: persist the RDMA buffer as a local log segment and add
   // the <primary segment, backup segment> log-map entry.
   Status HandleLogFlush(SegmentId primary_segment);
 
-  // §3.3: compaction lifecycle.
-  Status HandleCompactionBegin(uint64_t compaction_id, int src_level, int dst_level);
+  // §3.3: compaction lifecycle, one state machine per `stream`.
+  Status HandleCompactionBegin(uint64_t compaction_id, int src_level, int dst_level,
+                               StreamId stream = 0);
   Status HandleIndexSegment(uint64_t compaction_id, int dst_level, int tree_level,
-                            SegmentId primary_segment, Slice bytes);
+                            SegmentId primary_segment, Slice bytes, StreamId stream = 0);
   Status HandleCompactionEnd(uint64_t compaction_id, int src_level, int dst_level,
-                             const BuiltTree& primary_tree);
+                             const BuiltTree& primary_tree, StreamId stream = 0);
 
   // GC: trim the oldest `segments` local log segments (the primary moved all
   // live data to the tail already).
@@ -69,7 +83,7 @@ class SendIndexBackupRegion {
 
   // Converts this backup into a primary engine: adopts the levels and value
   // log, replays the log tail (segments after the last L0 compaction) to
-  // rebuild L0, and aborts any half-shipped compaction. When
+  // rebuild L0, and aborts every half-shipped compaction stream. When
   // `replay_rdma_buffer` is set the unflushed RDMA buffer is re-applied too;
   // pass false when the caller replays it through the wrapped PrimaryRegion
   // instead (so the re-appends replicate to the remaining backups). The
@@ -93,60 +107,88 @@ class SendIndexBackupRegion {
   Status CheckEpoch(uint64_t msg_epoch);
   // Raise-to-at-least; also fences the RDMA buffer at the new epoch.
   void set_region_epoch(uint64_t epoch);
-  uint64_t region_epoch() const { return region_epoch_; }
+  uint64_t region_epoch() const { return region_epoch_.load(std::memory_order_acquire); }
 
   // --- introspection ---
 
+  // Only valid while no control traffic can arrive concurrently (quiesced
+  // region — the same contract as KvStore::level()).
   const SegmentMap& log_map() const { return log_map_; }
   const BuiltTree& level(uint32_t i) const { return levels_[i]; }
   ValueLog* value_log() { return log_.get(); }
-  const SendIndexBackupStats& stats() const { return stats_; }
+  SendIndexBackupStats stats() const;
   uint64_t l0_memory_bytes() const { return 0; }  // the headline saving
+  // Compaction streams currently mid-ship.
+  size_t active_streams() const;
 
   // Test/verification read path: lookup through the local device levels only
   // (backups have no L0).
   StatusOr<std::string> DebugGet(Slice key);
 
   // Recovery/full-sync (§3.5): overrides the L0-replay start point.
-  void set_replay_from(size_t flushed_segment_index) { replay_from_ = flushed_segment_index; }
-  size_t replay_from() const { return replay_from_; }
+  void set_replay_from(size_t flushed_segment_index);
+  size_t replay_from() const;
 
  private:
   SendIndexBackupRegion(BlockDevice* device, const KvStoreOptions& options,
                         std::shared_ptr<RegisteredBuffer> rdma_buffer);
 
-  struct PendingCompaction {
-    uint64_t id;
-    int src_level;
-    int dst_level;
+  // One in-flight shipping stream's rewrite state machine (PR 4). `log_map`
+  // is a snapshot taken at compaction begin: the primary seals its tail
+  // before compacting, so every leaf offset the stream ships references an
+  // already-mapped log segment — rewrites never need to see flushes that land
+  // mid-stream, and can run without the region state lock.
+  struct CompactionStream {
+    uint64_t id = 0;
+    int src_level = 0;
+    int dst_level = 1;
     SegmentMap index_map;
+    SegmentMap log_map;           // snapshot at begin
     size_t replay_from_snapshot;  // log segments flushed when it began
+    std::mutex mutex;             // serializes rewrites within the stream
+    bool aborted = false;         // set by Promote; rejects further traffic
   };
 
-  Status RewriteSegment(PendingCompaction* pending, char* bytes, size_t size);
+  // Mirrors SendIndexBackupStats with atomics (concurrent streams).
+  struct StatsCounters {
+    std::atomic<uint64_t> rewrite_cpu_ns{0};
+    std::atomic<uint64_t> segments_rewritten{0}, offsets_rewritten{0};
+    std::atomic<uint64_t> log_flushes{0}, epoch_rejected{0};
+    std::atomic<uint64_t> streams_opened{0}, streams_aborted{0};
+  };
+
+  Status RewriteSegment(CompactionStream* stream, char* bytes, size_t size);
   Status FreeTree(const BuiltTree& tree);
 
   BlockDevice* const device_;
   const KvStoreOptions options_;
   std::shared_ptr<RegisteredBuffer> rdma_buffer_;
 
+  // Lock order: state_mutex_ before any CompactionStream::mutex. The rewrite
+  // path takes only the stream mutex (never state_mutex_ while holding it).
+  mutable std::mutex state_mutex_;
+
+  // --- guarded by state_mutex_ ---
   std::unique_ptr<ValueLog> log_;
   std::vector<SegmentId> primary_flush_order_;  // primary segs in flush order
   SegmentMap log_map_;
   std::vector<BuiltTree> levels_;  // [0] unused
-  std::optional<PendingCompaction> pending_;
-  uint64_t last_completed_ = 0;  // last installed compaction (dedups retries)
-
+  // In-flight streams; shared_ptr so a handler can keep working on a stream
+  // after dropping state_mutex_.
+  std::map<StreamId, std::shared_ptr<CompactionStream>> streams_;
+  // Last installed compaction per stream (dedups ack-lost retries).
+  std::map<StreamId, uint64_t> last_completed_;
   // First flushed-segment index that is NOT yet reflected in the levels; L0
   // replay starts here on promotion.
   size_t replay_from_ = 0;
-
-  // Configuration generation this replica believes it is in, and the epoch
-  // whose primary keying the log map reflects (guards double re-keying).
-  uint64_t region_epoch_ = 0;
+  // Epoch whose primary keying the log map reflects (guards double re-keying).
   uint64_t log_map_epoch_ = 0;
 
-  SendIndexBackupStats stats_;
+  // Configuration generation this replica believes it is in. Atomic: every
+  // concurrent stream checks it on every message.
+  std::atomic<uint64_t> region_epoch_{0};
+
+  mutable StatsCounters counters_;
 };
 
 }  // namespace tebis

@@ -28,11 +28,19 @@ StatusOr<std::unique_ptr<SimCluster>> SimCluster::Create(const SimClusterOptions
       RegionMap::CreateUniform(options.num_regions, "user", 10, options.key_space,
                                cluster->server_names_, options.replication_factor));
 
+  // Size every store's page-cache stripes to the number of store instances a
+  // server hosts (PR 4), like a real region server does at start.
+  const size_t stores_per_server =
+      (static_cast<size_t>(options.num_regions) * options.replication_factor +
+       options.num_servers - 1) /
+      options.num_servers;
+  cluster->options_.kv_options.cache_shards = PageCache::ShardsForStores(stores_per_server);
+
   for (const RegionInfo& info : cluster->map_.regions()) {
     Region region;
     region.id = info.region_id;
     const int primary_server = static_cast<int>(info.region_id) % options.num_servers;
-    KvStoreOptions primary_kv = options.kv_options;
+    KvStoreOptions primary_kv = cluster->options_.kv_options;
     primary_kv.compaction_pool = cluster->compaction_pool_.get();  // null = synchronous
     TEBIS_ASSIGN_OR_RETURN(region.primary,
                            PrimaryRegion::Create(cluster->devices_[primary_server].get(),
@@ -47,8 +55,8 @@ StatusOr<std::unique_ptr<SimCluster>> SimCluster::Create(const SimClusterOptions
       if (options.mode == ReplicationMode::kBuildIndex) {
         TEBIS_ASSIGN_OR_RETURN(auto backup,
                                BuildIndexBackupRegion::Create(
-                                   cluster->devices_[backup_server].get(), options.kv_options,
-                                   buffer));
+                                   cluster->devices_[backup_server].get(),
+                                   cluster->options_.kv_options, buffer));
         region.primary->AddBackup(std::make_unique<LocalBackupChannel>(
             cluster->fabric_.get(), info.primary, buffer, nullptr, backup.get(),
             options.channel_max_attempts));
@@ -56,8 +64,8 @@ StatusOr<std::unique_ptr<SimCluster>> SimCluster::Create(const SimClusterOptions
       } else {
         TEBIS_ASSIGN_OR_RETURN(auto backup,
                                SendIndexBackupRegion::Create(
-                                   cluster->devices_[backup_server].get(), options.kv_options,
-                                   buffer));
+                                   cluster->devices_[backup_server].get(),
+                                   cluster->options_.kv_options, buffer));
         region.primary->AddBackup(std::make_unique<LocalBackupChannel>(
             cluster->fabric_.get(), info.primary, buffer, backup.get(), nullptr,
             options.channel_max_attempts));

@@ -102,6 +102,14 @@ class SimCluster {
   PrimaryRegion* region(int i) { return regions_[i].primary.get(); }
   Fabric* fabric() { return fabric_.get(); }
 
+  // Test access to individual replicas (the RegisteredBuffer owner names the
+  // hosting server): tests that detach a backup mid-run verify the survivors
+  // directly instead of through VerifyBackupsConsistent.
+  size_t num_send_backups(int i) const { return regions_[i].send_backups.size(); }
+  SendIndexBackupRegion* send_backup(int i, size_t b) {
+    return regions_[i].send_backups[b].get();
+  }
+
   // Wires `injector` (nullptr detaches) into the fabric and every server
   // device, so one injector schedules faults across the whole cluster.
   void AttachFaultInjector(FaultInjector* injector);

@@ -275,8 +275,14 @@ TEST(WorkerPoolTest, ExecutesDispatchedTasks) {
 TEST(WorkerPoolTest, WorkersSleepWhenIdle) {
   WorkerPool pool(2);
   pool.Start();
-  // After well over the idle threshold, workers should be asleep.
-  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  // Workers go to sleep once they have been idle past the threshold. A fixed
+  // sleep races worker scheduling on a loaded host (flaky under sanitizers),
+  // so poll with a generous deadline instead.
+  const auto deadline = std::chrono::steady_clock::now() + std::chrono::seconds(10);
+  while ((!pool.IsSleeping(0) || !pool.IsSleeping(1)) &&
+         std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
   EXPECT_TRUE(pool.IsSleeping(0));
   EXPECT_TRUE(pool.IsSleeping(1));
   // A dispatch wakes one up and the task runs.

@@ -1,0 +1,481 @@
+// Multiplexed shipping streams (PR 4): compactions of disjoint level pairs
+// run concurrently on the background pool and each ships on its own stream.
+// This suite proves the concurrency (a gated observer holds one compaction
+// mid-ship until a second one begins), checks cross-stream consistency on the
+// full replication plane, and exercises the failure matrix: transient
+// per-stream faults retried through idempotent handlers, a halted backup
+// detached by per-stream strikes while the survivors commit, and promotion
+// aborting every half-shipped stream.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdio>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "src/lsm/kv_store.h"
+#include "src/net/worker_pool.h"
+#include "src/replication/local_backup_channel.h"
+#include "src/replication/primary_region.h"
+#include "src/replication/send_index_backup.h"
+#include "src/storage/block_device.h"
+#include "src/testing/fault_injector.h"
+#include "src/ycsb/sim_cluster.h"
+
+namespace tebis {
+namespace {
+
+constexpr uint64_t kSegmentSize = 1 << 16;
+
+std::string Key(int i) {
+  char buf[32];
+  snprintf(buf, sizeof(buf), "k-%07d", i);
+  return buf;
+}
+
+std::string Value(int i) { return "value-" + std::to_string(i) + std::string(48, 'v'); }
+
+// Keys in the SimCluster's range-partitioned "user" space.
+std::string UserKey(uint64_t i) {
+  char buf[32];
+  snprintf(buf, sizeof(buf), "user%010llu", static_cast<unsigned long long>(i));
+  return buf;
+}
+
+std::unique_ptr<BlockDevice> MakeDevice() {
+  BlockDeviceOptions opts;
+  opts.segment_size = kSegmentSize;
+  opts.max_segments = 1 << 16;
+  auto dev = BlockDevice::Create(opts);
+  EXPECT_TRUE(dev.ok());
+  return std::move(*dev);
+}
+
+KvStoreOptions DeepOptions() {
+  KvStoreOptions opts;
+  opts.l0_max_entries = 128;
+  opts.growth_factor = 2;
+  opts.max_levels = 4;
+  return opts;
+}
+
+// --- the concurrency proof --------------------------------------------------
+//
+// Holds the first deep (src >= 2) compaction hostage in the middle of its
+// shipping callbacks until an L0 spill *begins*. The deep job owns levels
+// {2, 3} (or {3, 4}); an L0 spill owns {0, 1} — disjoint, so a scheduler that
+// claims per-level ownership dispatches the spill while the deep job is still
+// blocked in here, and the begin arrives before the timeout. A serialized
+// pipeline can never overlap them and times out.
+class GateObserver : public CompactionObserver {
+ public:
+  void OnCompactionBegin(const CompactionInfo& info) override {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (info.src_level == 0) {
+      ++l0_begins_;
+      cv_.notify_all();
+    }
+  }
+
+  void OnIndexSegment(const CompactionInfo& info, int /*tree_level*/, SegmentId /*segment*/,
+                      Slice /*bytes*/) override {
+    if (info.src_level < 2) {
+      return;
+    }
+    std::unique_lock<std::mutex> lock(mu_);
+    if (done_) {
+      return;
+    }
+    const uint64_t seen = l0_begins_;
+    overlapped_ =
+        cv_.wait_for(lock, std::chrono::seconds(30), [&] { return l0_begins_ > seen; });
+    done_ = true;
+  }
+
+  bool done() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return done_;
+  }
+  bool overlapped() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return overlapped_;
+  }
+
+ private:
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  uint64_t l0_begins_ = 0;
+  bool done_ = false;
+  bool overlapped_ = false;
+};
+
+TEST(ShippingStreamsTest, DisjointLevelPairsCompactConcurrently) {
+  auto device = MakeDevice();
+  WorkerPool pool(3);
+  pool.Start();
+  KvStoreOptions opts = DeepOptions();
+  opts.compaction_pool = &pool;
+  auto store_or = KvStore::Create(device.get(), opts);
+  ASSERT_TRUE(store_or.ok());
+  std::unique_ptr<KvStore> store = std::move(*store_or);
+
+  GateObserver gate;
+  store->set_compaction_observer(&gate);
+
+  // Distinct keys so every level keeps growing and deep compactions recur;
+  // stop as soon as the gate has resolved (plus a little settling room).
+  for (int i = 0; i < 12000 && !gate.done(); ++i) {
+    ASSERT_TRUE(store->Put(Key(i), Value(i)).ok());
+  }
+  ASSERT_TRUE(store->WaitForBackgroundWork().ok());
+  store->set_compaction_observer(nullptr);
+
+  ASSERT_TRUE(gate.done()) << "no deep (src >= 2) compaction ever ran";
+  EXPECT_TRUE(gate.overlapped())
+      << "an L0 spill never began while a deep compaction was mid-ship";
+  EXPECT_GE(store->stats().concurrent_compaction_peak, 2u);
+
+  // The interleaved compactions must not have corrupted anything.
+  auto report = store->CheckIntegrity();
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  for (int i : {0, 17, 5000, 11000}) {
+    auto value = store->Get(Key(i));
+    if (value.ok()) {
+      EXPECT_EQ(*value, Value(i));
+    } else {
+      EXPECT_TRUE(value.status().IsNotFound());  // loop may have ended early
+    }
+  }
+  pool.Stop();
+}
+
+// --- full-plane consistency under multiplexed streams -----------------------
+
+TEST(ShippingStreamsTest, MultiplexedShippingKeepsBackupsConsistent) {
+  SimClusterOptions options;
+  options.num_servers = 3;
+  options.num_regions = 4;
+  options.replication_factor = 2;
+  options.mode = ReplicationMode::kSendIndex;
+  options.compaction_workers = 3;
+  options.kv_options.l0_max_entries = 128;
+  options.kv_options.growth_factor = 2;
+  options.kv_options.max_levels = 3;
+  options.device_options.segment_size = kSegmentSize;
+  options.device_options.max_segments = 1 << 16;
+  options.key_space = 8192;
+  auto cluster_or = SimCluster::Create(options);
+  ASSERT_TRUE(cluster_or.ok());
+  auto cluster = std::move(*cluster_or);
+  for (int r = 0; r < cluster->num_regions(); ++r) {
+    cluster->region(r)->set_stream_flow_pool(4 * kSegmentSize);
+  }
+
+  std::vector<std::string> keys;
+  for (uint64_t i = 0; i < 6000; ++i) {
+    keys.push_back(UserKey(i));
+    ASSERT_TRUE(cluster->Put(keys.back(), Value(static_cast<int>(i))).ok());
+  }
+  Status consistent = cluster->VerifyBackupsConsistent(keys);
+  EXPECT_TRUE(consistent.ok()) << consistent.ToString();
+
+  uint64_t streams_opened = 0, background = 0;
+  for (int r = 0; r < cluster->num_regions(); ++r) {
+    streams_opened += cluster->region(r)->replication_stats().streams_opened;
+    background += cluster->region(r)->store()->stats().background_compactions;
+  }
+  EXPECT_GE(streams_opened, 8u);
+  EXPECT_GE(background, 1u);
+}
+
+// --- transient per-stream faults are absorbed by retries --------------------
+
+TEST(ShippingStreamsTest, TransientStreamFaultsAreRetried) {
+  SimClusterOptions options;
+  options.num_servers = 3;
+  options.num_regions = 2;
+  options.replication_factor = 2;
+  options.mode = ReplicationMode::kSendIndex;
+  options.compaction_workers = 2;
+  options.kv_options.l0_max_entries = 128;
+  options.kv_options.growth_factor = 2;
+  options.kv_options.max_levels = 3;
+  options.device_options.segment_size = kSegmentSize;
+  options.device_options.max_segments = 1 << 16;
+  options.key_space = 8192;
+  options.channel_max_attempts = 3;
+  // Declared before the cluster so its destructor runs after the cluster has
+  // joined its compaction workers — they call into the injector on every op.
+  FaultInjector injector(/*seed=*/4242);
+  auto cluster_or = SimCluster::Create(options);
+  ASSERT_TRUE(cluster_or.ok());
+  auto cluster = std::move(*cluster_or);
+
+  // One lost request and one lost acknowledgment on each half of a stream's
+  // lifecycle. Ack-lost retries re-deliver an already-applied message, so
+  // this doubles as the handler-idempotency check (begin dedup by stream,
+  // end dedup through last_completed_).
+  injector.FailNth(FaultSite::kReplCompactionBeginSend, 0);
+  injector.FailNth(FaultSite::kReplIndexSegmentSend, 1);
+  injector.FailNth(FaultSite::kReplIndexSegmentAck, 2);
+  injector.FailNth(FaultSite::kReplCompactionEndAck, 0);
+  cluster->AttachFaultInjector(&injector);
+
+  std::vector<std::string> keys;
+  for (uint64_t i = 0; i < 4000; ++i) {
+    keys.push_back(UserKey(i));
+    ASSERT_TRUE(cluster->Put(keys.back(), Value(static_cast<int>(i))).ok());
+  }
+  Status consistent = cluster->VerifyBackupsConsistent(keys);
+  EXPECT_TRUE(consistent.ok()) << consistent.ToString();
+  EXPECT_EQ(injector.stats().TotalInjected(), 4u);  // every rule fired once
+  cluster->AttachFaultInjector(nullptr);
+}
+
+// --- a killed backup detaches; the surviving replica keeps committing -------
+
+TEST(ShippingStreamsTest, HaltedBackupDetachesWhileSurvivorCommits) {
+  SimClusterOptions options;
+  options.num_servers = 3;
+  options.num_regions = 1;  // primary on server0, backups on server1/server2
+  options.replication_factor = 3;
+  options.mode = ReplicationMode::kSendIndex;
+  options.compaction_workers = 2;
+  options.kv_options.l0_max_entries = 128;
+  options.kv_options.growth_factor = 2;
+  options.kv_options.max_levels = 3;
+  options.device_options.segment_size = kSegmentSize;
+  options.device_options.max_segments = 1 << 16;
+  options.key_space = 8192;
+  // Declared before the cluster so its destructor runs after the cluster has
+  // joined its compaction workers — they call into the injector on every op.
+  FaultInjector injector(/*seed=*/7);
+  auto cluster_or = SimCluster::Create(options);
+  ASSERT_TRUE(cluster_or.ok());
+  auto cluster = std::move(*cluster_or);
+
+  ReplicationPolicy policy;
+  policy.max_consecutive_failures = 2;
+  cluster->region(0)->set_replication_policy(policy);
+  ASSERT_EQ(cluster->region(0)->num_backups(), 2u);
+
+  cluster->AttachFaultInjector(&injector);
+
+  std::vector<std::string> keys;
+  for (uint64_t i = 0; i < 500; ++i) {
+    keys.push_back(UserKey(i));
+    ASSERT_TRUE(cluster->Put(keys.back(), Value(static_cast<int>(i))).ok());
+  }
+
+  // Kill one backup mid-run: every fabric write and control message touching
+  // it now fails, striking out whatever stream (or the data plane) hits it.
+  injector.HaltNode("server1");
+  uint64_t i = 500;
+  for (; i < 4000; ++i) {
+    // Tolerated: the parked replication error surfaces on writes until the
+    // health policy drops the dead replica. Only keys whose Put succeeded
+    // are checked against the survivor below.
+    if (cluster->Put(UserKey(i), Value(static_cast<int>(i))).ok()) {
+      keys.push_back(UserKey(i));
+    }
+    if (cluster->region(0)->replication_stats().backups_detached >= 1) {
+      break;
+    }
+  }
+  ASSERT_GE(cluster->region(0)->replication_stats().backups_detached, 1u)
+      << "halted backup was never detached";
+  EXPECT_EQ(cluster->region(0)->num_backups(), 1u);
+
+  // Degraded mode: compactions that raced the detach may each surface one
+  // parked error on a later write, so tolerate Puts until the plane drains
+  // (a streak of clean writes), then demand that every write succeeds.
+  int consecutive_ok = 0;
+  for (int spin = 0; spin < 2000 && consecutive_ok < 50; ++spin) {
+    ++i;
+    if (cluster->Put(UserKey(i), Value(static_cast<int>(i))).ok()) {
+      keys.push_back(UserKey(i));
+      ++consecutive_ok;
+    } else {
+      consecutive_ok = 0;
+    }
+  }
+  ASSERT_GE(consecutive_ok, 50) << "writes never stabilized after the detach";
+  for (uint64_t j = i + 1; j < i + 301; ++j) {
+    keys.push_back(UserKey(j));
+    ASSERT_TRUE(cluster->Put(keys.back(), Value(static_cast<int>(j))).ok());
+  }
+  ASSERT_TRUE(cluster->FlushAll().ok());
+
+  // The survivor must hold every key the primary holds — the dead replica's
+  // stream failures never blocked or corrupted the healthy stream.
+  size_t survivors = 0;
+  for (size_t b = 0; b < cluster->num_send_backups(0); ++b) {
+    SendIndexBackupRegion* backup = cluster->send_backup(0, b);
+    if (backup->rdma_buffer()->owner() == "server1") {
+      continue;  // the halted replica is stale by design
+    }
+    survivors++;
+    for (const std::string& key : keys) {
+      auto primary_value = cluster->region(0)->Get(key);
+      ASSERT_TRUE(primary_value.ok()) << key;
+      auto backup_value = backup->DebugGet(key);
+      ASSERT_TRUE(backup_value.ok()) << key << ": " << backup_value.status().ToString();
+      EXPECT_EQ(*primary_value, *backup_value) << key;
+    }
+  }
+  EXPECT_EQ(survivors, 1u);
+  cluster->AttachFaultInjector(nullptr);
+}
+
+// --- per-stream strikes: a mid-ship failure detaches only that replica ------
+
+// Counters live outside the channel: detaching the replica destroys the
+// channel (the region owns it), but the test still wants the totals after.
+class MidShipFailChannel : public BackupChannel {
+ public:
+  MidShipFailChannel(std::atomic<uint64_t>* ship_calls, std::atomic<StreamId>* last_stream)
+      : ship_calls_(ship_calls), last_stream_(last_stream) {}
+
+  Status RdmaWriteLog(uint64_t, Slice) override { return Status::Ok(); }
+  Status FlushLog(SegmentId, StreamId) override { return Status::Ok(); }
+  Status CompactionBegin(uint64_t, int, int, StreamId) override { return Status::Ok(); }
+  Status ShipIndexSegment(uint64_t, int, int, SegmentId, Slice, StreamId stream) override {
+    last_stream_->store(stream, std::memory_order_relaxed);
+    ship_calls_->fetch_add(1, std::memory_order_relaxed);
+    return Status::Unavailable("injected mid-ship drop");
+  }
+  Status CompactionEnd(uint64_t, int, int, const BuiltTree&, StreamId) override {
+    return Status::Ok();
+  }
+  Status TrimLog(size_t) override { return Status::Ok(); }
+  Status SetLogReplayStart(size_t) override { return Status::Ok(); }
+  const std::string& backup_name() const override { return name_; }
+
+ private:
+  const std::string name_ = "flaky-backup";
+  std::atomic<uint64_t>* ship_calls_;
+  std::atomic<StreamId>* last_stream_;
+};
+
+TEST(ShippingStreamsTest, MidShipFailureDetachesOnlyThatReplica) {
+  Fabric fabric;
+  auto primary_device = MakeDevice();
+  auto backup_device = MakeDevice();
+  KvStoreOptions opts;
+  opts.l0_max_entries = 128;
+  opts.growth_factor = 2;
+  opts.max_levels = 3;
+  auto primary_or = PrimaryRegion::Create(primary_device.get(), opts, ReplicationMode::kSendIndex);
+  ASSERT_TRUE(primary_or.ok());
+  auto primary = std::move(*primary_or);
+  auto buffer = fabric.RegisterBuffer("good-backup", "primary0", kSegmentSize);
+  auto backup_or = SendIndexBackupRegion::Create(backup_device.get(), opts, buffer);
+  ASSERT_TRUE(backup_or.ok());
+  auto backup = std::move(*backup_or);
+  primary->AddBackup(std::make_unique<LocalBackupChannel>(&fabric, "primary0", buffer,
+                                                          backup.get(), nullptr));
+  std::atomic<uint64_t> ship_calls{0};
+  std::atomic<StreamId> last_stream{kNoStream};
+  primary->AddBackup(std::make_unique<MidShipFailChannel>(&ship_calls, &last_stream));
+
+  ReplicationPolicy policy;
+  policy.max_consecutive_failures = 1;
+  primary->set_replication_policy(policy);
+
+  std::mutex mu;
+  std::string detached_name;
+  StreamId detached_stream = kNoStream;
+  primary->set_detach_listener([&](const std::string& name, uint64_t, StreamId stream) {
+    std::lock_guard<std::mutex> lock(mu);
+    detached_name = name;
+    detached_stream = stream;
+  });
+
+  // With max_consecutive_failures = 1 the flaky replica strikes out on its
+  // first dropped segment, so no client write ever surfaces the error.
+  for (int i = 0; i < 1500; ++i) {
+    ASSERT_TRUE(primary->Put(Key(i), Value(i)).ok());
+  }
+  ASSERT_TRUE(primary->FlushL0().ok());
+
+  EXPECT_GE(ship_calls.load(), 1u);
+  EXPECT_EQ(primary->replication_stats().backups_detached, 1u);
+  EXPECT_EQ(primary->num_backups(), 1u);
+  {
+    std::lock_guard<std::mutex> lock(mu);
+    EXPECT_EQ(detached_name, "flaky-backup");
+    // The strike that triggered the detach was on a shipping stream, not the
+    // data plane — the whole point of per-stream accounting.
+    EXPECT_LT(detached_stream, kMaxShippingStreams);
+    EXPECT_EQ(last_stream.load(), detached_stream);
+  }
+
+  // The healthy replica committed every stream the flaky one dropped.
+  for (int i = 0; i < 1500; ++i) {
+    auto primary_value = primary->Get(Key(i));
+    ASSERT_TRUE(primary_value.ok());
+    auto backup_value = backup->DebugGet(Key(i));
+    ASSERT_TRUE(backup_value.ok()) << Key(i) << ": " << backup_value.status().ToString();
+    EXPECT_EQ(*primary_value, *backup_value);
+  }
+}
+
+// --- promotion aborts every half-shipped stream -----------------------------
+
+TEST(ShippingStreamsTest, PromoteAbortsActiveStreams) {
+  Fabric fabric;
+  auto primary_device = MakeDevice();
+  auto backup_device = MakeDevice();
+  KvStoreOptions opts = DeepOptions();
+  auto primary_or = PrimaryRegion::Create(primary_device.get(), opts, ReplicationMode::kSendIndex);
+  ASSERT_TRUE(primary_or.ok());
+  auto primary = std::move(*primary_or);
+  auto buffer = fabric.RegisterBuffer("backup0", "primary0", kSegmentSize);
+  auto backup_or = SendIndexBackupRegion::Create(backup_device.get(), opts, buffer);
+  ASSERT_TRUE(backup_or.ok());
+  auto backup = std::move(*backup_or);
+  primary->AddBackup(std::make_unique<LocalBackupChannel>(&fabric, "primary0", buffer,
+                                                          backup.get(), nullptr));
+
+  for (int i = 0; i < 700; ++i) {
+    ASSERT_TRUE(primary->Put(Key(i), Value(i)).ok());
+  }
+  ASSERT_TRUE(primary->FlushL0().ok());
+
+  // Open two concurrent rewrite state machines by hand, as if two compactions
+  // were mid-ship when the primary died.
+  ASSERT_TRUE(backup->HandleCompactionBegin(801, 1, 2, /*stream=*/5).ok());
+  // One stream carries one compaction at a time.
+  EXPECT_TRUE(backup->HandleCompactionBegin(802, 3, 4, 5).IsFailedPrecondition());
+  // Streams may not own overlapping level pairs.
+  EXPECT_TRUE(backup->HandleCompactionBegin(803, 2, 3, 6).IsFailedPrecondition());
+  ASSERT_TRUE(backup->HandleCompactionBegin(804, 3, 4, 6).ok());
+  EXPECT_EQ(backup->active_streams(), 2u);
+  // A begin retry (lost ack) is idempotent.
+  ASSERT_TRUE(backup->HandleCompactionBegin(801, 1, 2, 5).ok());
+  EXPECT_EQ(backup->active_streams(), 2u);
+  // A segment tagged with a stream that carries a different compaction is
+  // rejected before any rewrite work.
+  std::string junk(256, 'x');
+  EXPECT_TRUE(backup->HandleIndexSegment(999, 2, 0, 77, Slice(junk), 5).IsFailedPrecondition());
+
+  auto promoted_or = backup->Promote();
+  ASSERT_TRUE(promoted_or.ok()) << promoted_or.status().ToString();
+  EXPECT_EQ(backup->stats().streams_aborted, 2u);
+  EXPECT_EQ(backup->active_streams(), 0u);
+
+  // The promoted engine serves the full replicated dataset.
+  std::unique_ptr<KvStore> promoted = std::move(*promoted_or);
+  for (int i = 0; i < 700; ++i) {
+    auto value = promoted->Get(Key(i));
+    ASSERT_TRUE(value.ok()) << Key(i) << ": " << value.status().ToString();
+    EXPECT_EQ(*value, Value(i));
+  }
+}
+
+}  // namespace
+}  // namespace tebis

@@ -44,6 +44,11 @@ if [[ $run_tsan -eq 1 ]]; then
   cmake --build build-tsan -j "$jobs"
   TSAN_OPTIONS="halt_on_error=1 ${TSAN_OPTIONS:-}" \
     ctest --test-dir build-tsan -L fast --no-tests=error --output-on-failure -j "$jobs"
+  # Multiplexed shipping streams (PR 4): the concurrent-compaction suite must
+  # be race-free — rerun just the streams label so a regression names itself.
+  echo "== tier-1 pass 2/3 (addendum): ThreadSanitizer build, streams label =="
+  TSAN_OPTIONS="halt_on_error=1 ${TSAN_OPTIONS:-}" \
+    ctest --test-dir build-tsan -L streams --no-tests=error --output-on-failure -j "$jobs"
 fi
 
 if [[ $run_chaos -eq 1 ]]; then
@@ -56,6 +61,8 @@ if [[ $run_chaos -eq 1 ]]; then
     echo "    ctest --test-dir build-asan -L chaos -R <failing test> --output-on-failure" >&2
     exit 1
   fi
+  echo "== tier-1 pass 3/3 (addendum): AddressSanitizer build, streams label =="
+  ctest --test-dir build-asan -L streams --no-tests=error --output-on-failure -j "$jobs"
 fi
 
 echo "== tier-1 gate: OK =="
