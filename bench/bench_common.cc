@@ -2,6 +2,7 @@
 
 #include <cstdio>
 #include <cstdlib>
+#include <map>
 
 #include "src/common/clock.h"
 #include "src/common/logging.h"
@@ -95,7 +96,7 @@ Experiment::Experiment(const ExperimentConfig& config, const KvSizeMix& mix,
 }
 
 PhaseMetrics Experiment::Capture(const YcsbResult& result, uint64_t cpu_ns,
-                                 const ClusterCpuBreakdown& cpu_before) {
+                                 const MetricsSnapshot& registry_before) {
   PhaseMetrics metrics;
   metrics.workload = result.workload;
   metrics.ops = result.ops;
@@ -115,30 +116,19 @@ PhaseMetrics Experiment::Capture(const YcsbResult& result, uint64_t cpu_ns,
   metrics.insert_latency = result.insert_latency;
   metrics.read_latency = result.read_latency;
   metrics.update_latency = result.update_latency;
-  ClusterCpuBreakdown after = cluster_->CpuBreakdown();
-  metrics.cpu.insert_l0_ns = after.insert_l0_ns - cpu_before.insert_l0_ns;
-  metrics.cpu.log_replication_ns = after.log_replication_ns - cpu_before.log_replication_ns;
-  metrics.cpu.log_flush_in_compaction_ns =
-      after.log_flush_in_compaction_ns - cpu_before.log_flush_in_compaction_ns;
-  metrics.cpu.compaction_ns = after.compaction_ns - cpu_before.compaction_ns;
-  metrics.cpu.send_index_ns = after.send_index_ns - cpu_before.send_index_ns;
-  metrics.cpu.rewrite_index_ns = after.rewrite_index_ns - cpu_before.rewrite_index_ns;
-  metrics.cpu.backup_insert_ns = after.backup_insert_ns - cpu_before.backup_insert_ns;
-  metrics.cpu.backup_compaction_ns =
-      after.backup_compaction_ns - cpu_before.backup_compaction_ns;
-  metrics.cpu.get_ns = after.get_ns - cpu_before.get_ns;
-  metrics.cpu.compaction_queue_wait_ns =
-      after.compaction_queue_wait_ns - cpu_before.compaction_queue_wait_ns;
-  metrics.cpu.compaction_merge_ns = after.compaction_merge_ns - cpu_before.compaction_merge_ns;
-  metrics.cpu.compaction_build_ns = after.compaction_build_ns - cpu_before.compaction_build_ns;
-  metrics.cpu.compaction_ship_ns = after.compaction_ship_ns - cpu_before.compaction_ship_ns;
+  // One registry walk; every per-phase CPU bucket (and anything a bench wants
+  // to emit via SetPhaseRegistry) derives from this delta, so the numbers are
+  // mutually consistent instead of hand-plucked reads at slightly different
+  // instants.
+  metrics.registry = DiffSnapshots(registry_before, cluster_->MetricsNow());
+  metrics.cpu = SimCluster::CpuBreakdownFrom(metrics.registry);
   metrics.l0_memory_bytes = cluster_->TotalL0MemoryBytes();
   return metrics;
 }
 
 StatusOr<PhaseMetrics> Experiment::RunLoad() {
   cluster_->ResetTrafficCounters();
-  ClusterCpuBreakdown before = cluster_->CpuBreakdown();
+  MetricsSnapshot before = cluster_->MetricsNow();
   const uint64_t cpu_start = ThreadCpuNanos();
   TEBIS_ASSIGN_OR_RETURN(YcsbResult result, workload_->RunLoad(cluster_->Hooks()));
   const uint64_t cpu_ns = ThreadCpuNanos() - cpu_start;
@@ -147,7 +137,7 @@ StatusOr<PhaseMetrics> Experiment::RunLoad() {
 
 StatusOr<PhaseMetrics> Experiment::RunPhase(const WorkloadSpec& spec) {
   cluster_->ResetTrafficCounters();
-  ClusterCpuBreakdown before = cluster_->CpuBreakdown();
+  MetricsSnapshot before = cluster_->MetricsNow();
   const uint64_t cpu_start = ThreadCpuNanos();
   TEBIS_ASSIGN_OR_RETURN(YcsbResult result, workload_->RunPhase(spec, cluster_->Hooks()));
   const uint64_t cpu_ns = ThreadCpuNanos() - cpu_start;
@@ -193,6 +183,94 @@ void SetLatencyPercentiles(BenchJson* json, const std::string& section,
   }
   json->Set(section, prefix + "_p50_us", static_cast<double>(histogram.Percentile(50)) / 1000.0);
   json->Set(section, prefix + "_p99_us", static_cast<double>(histogram.Percentile(99)) / 1000.0);
+}
+
+namespace {
+
+std::string LabelsKey(const MetricLabels& labels) {
+  std::string key;
+  for (const auto& [k, v] : labels) {
+    key += k;
+    key += '=';
+    key += v;
+    key += ',';
+  }
+  return key;
+}
+
+}  // namespace
+
+MetricsSnapshot DiffSnapshots(const MetricsSnapshot& before, const MetricsSnapshot& after) {
+  // Registry walks emit labels in canonical (sorted) form, so name + label
+  // string identifies the instrument across both snapshots.
+  std::map<std::string, int64_t> counters_before;
+  for (const MetricSample& sample : before.samples()) {
+    if (sample.kind == InstrumentKind::kCounter) {
+      counters_before[sample.name + "|" + LabelsKey(sample.labels)] = sample.value;
+    }
+  }
+  MetricsSnapshot delta;
+  for (const MetricSample& sample : after.samples()) {
+    MetricSample out = sample;
+    if (sample.kind == InstrumentKind::kCounter) {
+      auto it = counters_before.find(sample.name + "|" + LabelsKey(sample.labels));
+      if (it != counters_before.end()) {
+        out.value -= it->second;
+      }
+    }
+    delta.Add(std::move(out));
+  }
+  return delta;
+}
+
+void SetFromSnapshot(BenchJson* json, const std::string& section,
+                     const MetricsSnapshot& snapshot,
+                     const std::vector<std::string>& prefixes) {
+  struct Agg {
+    InstrumentKind kind = InstrumentKind::kCounter;
+    int64_t value = 0;
+    Histogram histogram;
+  };
+  std::map<std::string, Agg> by_name;  // sorted: stable key order across runs
+  for (const MetricSample& sample : snapshot.samples()) {
+    if (!prefixes.empty()) {
+      bool matched = false;
+      for (const std::string& prefix : prefixes) {
+        if (sample.name.rfind(prefix, 0) == 0) {
+          matched = true;
+          break;
+        }
+      }
+      if (!matched) {
+        continue;
+      }
+    }
+    Agg& agg = by_name[sample.name];
+    agg.kind = sample.kind;
+    if (sample.kind == InstrumentKind::kHistogram) {
+      agg.histogram.Merge(sample.histogram);
+    } else {
+      agg.value += sample.value;
+    }
+  }
+  for (const auto& [name, agg] : by_name) {
+    if (agg.kind == InstrumentKind::kHistogram) {
+      if (agg.histogram.count() == 0) {
+        continue;
+      }
+      json->Set(section, name + "_count", static_cast<double>(agg.histogram.count()));
+      json->Set(section, name + "_p50_us",
+                static_cast<double>(agg.histogram.Percentile(50)) / 1000.0);
+      json->Set(section, name + "_p99_us",
+                static_cast<double>(agg.histogram.Percentile(99)) / 1000.0);
+    } else {
+      json->Set(section, name, static_cast<double>(agg.value));
+    }
+  }
+}
+
+void SetPhaseRegistry(BenchJson* json, const std::string& section, const PhaseMetrics& metrics) {
+  SetFromSnapshot(json, section, metrics.registry, {"kv.", "repl.", "backup.", "net."});
 }
 
 void PrintHeader(const std::string& title) {

@@ -15,6 +15,7 @@
 #include <vector>
 
 #include "src/common/histogram.h"
+#include "src/telemetry/metrics.h"
 #include "src/ycsb/sim_cluster.h"
 #include "src/ycsb/workload.h"
 
@@ -60,6 +61,10 @@ struct PhaseMetrics {
   Histogram insert_latency;
   Histogram read_latency;
   Histogram update_latency;
+  // Per-phase delta of the cluster's metrics registry (PR 5): counters are
+  // subtracted across the phase, gauges and histograms carry the end-of-phase
+  // value. `cpu` below is derived from this snapshot, not hand-plucked.
+  MetricsSnapshot registry;
   ClusterCpuBreakdown cpu;   // inclusive timings during this phase
   uint64_t cpu_ns = 0;       // total CPU during this phase
   uint64_t ops = 0;
@@ -82,7 +87,7 @@ class Experiment {
 
  private:
   PhaseMetrics Capture(const YcsbResult& result, uint64_t cpu_ns,
-                       const ClusterCpuBreakdown& cpu_before);
+                       const MetricsSnapshot& registry_before);
 
   ExperimentConfig config_;
   BenchScale scale_;
@@ -113,6 +118,25 @@ class BenchJson {
 // Convenience: p50/p99 of a histogram in microseconds into `section`.
 void SetLatencyPercentiles(BenchJson* json, const std::string& section,
                            const std::string& prefix, const Histogram& histogram);
+
+// --- registry-snapshot emission (PR 5) ------------------------------------------
+
+// Per-instrument delta: counters subtract (after - before, matched by
+// name+labels; instruments born during the window keep their full value);
+// gauges and histograms are point-in-time and carry the `after` value.
+MetricsSnapshot DiffSnapshots(const MetricsSnapshot& before, const MetricsSnapshot& after);
+
+// Emits `snapshot` into `section`, aggregated by instrument name across label
+// sets (counters/gauges sum; histograms merge and expand to _count/_p50_us/
+// _p99_us). `prefixes` restricts to names starting with any prefix (empty =
+// everything). Keys come out sorted, so runs diff cleanly across commits.
+void SetFromSnapshot(BenchJson* json, const std::string& section,
+                     const MetricsSnapshot& snapshot,
+                     const std::vector<std::string>& prefixes = {});
+
+// The standard per-phase registry section: the phase's kv./repl./backup./net.
+// deltas from PhaseMetrics::registry.
+void SetPhaseRegistry(BenchJson* json, const std::string& section, const PhaseMetrics& metrics);
 
 // --- table printing ------------------------------------------------------------
 

@@ -69,6 +69,9 @@ int Main() {
       SetLatencyPercentiles(&json, section, "insert", m.insert_latency);
       SetLatencyPercentiles(&json, section, "read", m.read_latency);
       SetLatencyPercentiles(&json, section, "update", m.update_latency);
+      // The phase's full registry delta, so every subsystem counter (not just
+      // the headline numbers) is diffable across commits.
+      SetPhaseRegistry(&json, section + " registry", m);
     }
   }
   const std::string json_path = json.Write();

@@ -29,6 +29,7 @@
 #include "src/net/worker_pool.h"
 #include "src/replication/segment_map.h"
 #include "src/storage/block_device.h"
+#include "src/telemetry/telemetry.h"
 
 namespace tebis {
 namespace {
@@ -537,6 +538,121 @@ void RunShippingComparison() {
   }
 }
 
+// --- telemetry overhead (PR 5) --------------------------------------------------
+//
+// The acceptance A/B for the unified telemetry plane: the same single-store
+// put loop once against a fully enabled shared plane (labelled instruments +
+// span ring, the RegionServer/SimCluster configuration) and once against the
+// default no-op arm (private unlabelled plane, tracing disabled). Counters
+// are registry-backed in both arms — the delta isolates label resolution,
+// shared-plane contention, and span recording, which must cost <= 2% put
+// throughput.
+
+struct TelemetryRunResult {
+  double put_kops_per_sec = 0;
+  uint64_t spans_recorded = 0;
+};
+
+TelemetryRunResult RunTelemetryArm(Telemetry* plane, uint64_t records, uint64_t l0_entries,
+                                   uint64_t bandwidth_mb) {
+  BlockDeviceOptions dev_opts;
+  dev_opts.segment_size = 1 << 18;
+  dev_opts.max_segments = 1 << 17;
+  if (bandwidth_mb > 0) {
+    dev_opts.cost_model.read_bandwidth_bytes_per_sec = bandwidth_mb * 1024 * 1024;
+    dev_opts.cost_model.write_bandwidth_bytes_per_sec = bandwidth_mb * 1024 * 1024;
+  }
+  auto device_or = BlockDevice::Create(dev_opts);
+  auto device = std::move(*device_or);
+
+  KvStoreOptions opts;
+  opts.l0_max_entries = l0_entries;
+  opts.cache_bytes = 4 << 20;
+  opts.telemetry = plane;  // null = the no-op arm (private plane, no tracing)
+  if (plane != nullptr) {
+    opts.telemetry_labels = {{"node", "bench"}, {"region", "0"}, {"role", "primary"}};
+  }
+  auto store_or = KvStore::Create(device.get(), opts);
+  auto store = std::move(*store_or);
+
+  const std::string value(120, 'v');
+  const uint64_t start_ns = NowNanos();
+  for (uint64_t i = 0; i < records; ++i) {
+    Status status = store->Put(Key(i), value);
+    if (!status.ok()) {
+      fprintf(stderr, "telemetry bench: put failed: %s\n", status.ToString().c_str());
+      abort();
+    }
+  }
+  const uint64_t wall_ns = NowNanos() - start_ns;
+
+  TelemetryRunResult result;
+  result.put_kops_per_sec = static_cast<double>(records) / 1e3 /
+                            (static_cast<double>(wall_ns) / 1e9);
+  if (plane != nullptr) {
+    result.spans_recorded = plane->traces()->Snapshot().size() + plane->traces()->dropped();
+  }
+  return result;
+}
+
+double MedianKops(std::vector<TelemetryRunResult> runs) {
+  std::sort(runs.begin(), runs.end(),
+            [](const TelemetryRunResult& a, const TelemetryRunResult& b) {
+              return a.put_kops_per_sec < b.put_kops_per_sec;
+            });
+  return runs[runs.size() / 2].put_kops_per_sec;
+}
+
+void RunTelemetryOverheadComparison() {
+  const bench::BenchScale scale = bench::BenchScale::FromEnv();
+  constexpr int kRunsPerArm = 5;
+  printf("\n-- telemetry overhead: shared plane + tracing vs no-op, %llu records, L0=%llu "
+         "(median of %d, interleaved) --\n",
+         static_cast<unsigned long long>(scale.records),
+         static_cast<unsigned long long>(scale.l0_entries), kRunsPerArm);
+
+  // Interleave the arms so machine drift (thermal, page cache, scheduler)
+  // lands on both equally instead of biasing whichever arm runs last.
+  std::vector<TelemetryRunResult> off_runs, on_runs;
+  uint64_t spans = 0;
+  for (int i = 0; i < kRunsPerArm; ++i) {
+    off_runs.push_back(
+        RunTelemetryArm(nullptr, scale.records, scale.l0_entries, scale.bandwidth_mb));
+    // A fresh plane per run so instrument counts don't accumulate across runs.
+    Telemetry plane(/*trace_capacity=*/4096);
+    on_runs.push_back(
+        RunTelemetryArm(&plane, scale.records, scale.l0_entries, scale.bandwidth_mb));
+    spans = on_runs.back().spans_recorded;
+  }
+  const double off_kops = MedianKops(off_runs);
+  const double on_kops = MedianKops(on_runs);
+  const double overhead_pct = (1.0 - on_kops / off_kops) * 100.0;
+  printf("  no-op   %8.1f put kops/s\n", off_kops);
+  printf("  enabled %8.1f put kops/s   (%llu spans recorded)\n", on_kops,
+         static_cast<unsigned long long>(spans));
+  printf("  put-throughput overhead: %.2f%% (budget: 2%%)\n", overhead_pct);
+
+  bench::BenchJson json("pr5");
+  json.Set("telemetry_overhead", "records", static_cast<double>(scale.records));
+  json.Set("telemetry_overhead", "l0_entries", static_cast<double>(scale.l0_entries));
+  json.Set("telemetry_overhead", "noop_put_kops_per_sec", off_kops);
+  json.Set("telemetry_overhead", "enabled_put_kops_per_sec", on_kops);
+  json.Set("telemetry_overhead", "spans_recorded", static_cast<double>(spans));
+  json.Set("telemetry_overhead", "overhead_pct", overhead_pct);
+  json.Set("telemetry_overhead", "budget_pct", 2.0);
+  // The enabled arm's registry, emitted through the snapshot path so the
+  // A/B's own instrument totals are part of the record.
+  Telemetry plane(/*trace_capacity=*/4096);
+  const TelemetryRunResult sample =
+      RunTelemetryArm(&plane, scale.records, scale.l0_entries, scale.bandwidth_mb);
+  (void)sample;
+  bench::SetFromSnapshot(&json, "telemetry_enabled_registry", plane.Snapshot(), {"kv."});
+  const std::string path = json.Write();
+  if (!path.empty()) {
+    printf("  wrote %s\n", path.c_str());
+  }
+}
+
 }  // namespace
 }  // namespace tebis
 
@@ -548,5 +664,6 @@ int main(int argc, char** argv) {
   benchmark::RunSpecifiedBenchmarks();
   tebis::RunPipelineComparison();
   tebis::RunShippingComparison();
+  tebis::RunTelemetryOverheadComparison();
   return 0;
 }

@@ -49,6 +49,10 @@ class TebisClient {
   // initialization, §3.1).
   Status Connect();
 
+  // Admin scrape (PR 5): fetch `server`'s telemetry payload — metrics
+  // snapshot + recent pipeline spans — as JSON.
+  StatusOr<std::string> ScrapeStats(const std::string& server);
+
   // --- synchronous API ---
   Status Put(Slice key, Slice value);
   StatusOr<std::string> Get(Slice key);

@@ -19,10 +19,23 @@ MessageType ReplyTypeFor(MessageType request) {
 
 RegionServer::RegionServer(Fabric* fabric, Coordinator* coordinator, std::string name,
                            RegionServerOptions options)
-    : fabric_(fabric), coordinator_(coordinator), name_(std::move(name)), options_(options) {
+    : fabric_(fabric),
+      coordinator_(coordinator),
+      name_(std::move(name)),
+      options_(options),
+      telemetry_(std::make_unique<Telemetry>(options.trace_capacity)) {
   if (options_.replication_connection_buffer == 0) {
     options_.replication_connection_buffer = 8 * options_.device_options.segment_size;
   }
+}
+
+KvStoreOptions RegionServer::RegionKvOptions(uint32_t region_id, const char* role) const {
+  KvStoreOptions kv_options = options_.kv_options;
+  kv_options.telemetry = telemetry_.get();
+  kv_options.telemetry_labels.emplace_back("node", name_);
+  kv_options.telemetry_labels.emplace_back("region", std::to_string(region_id));
+  kv_options.telemetry_labels.emplace_back("role", role);
+  return kv_options;
 }
 
 RegionServer::~RegionServer() { Stop(); }
@@ -144,7 +157,7 @@ Status RegionServer::OpenPrimaryRegion(uint32_t region_id, uint64_t epoch) {
   }
   auto handle = std::make_unique<RegionHandle>();
   handle->is_primary = true;
-  KvStoreOptions kv_options = options_.kv_options;
+  KvStoreOptions kv_options = RegionKvOptions(region_id, "primary");
   kv_options.compaction_pool = compaction_pool_.get();  // null = synchronous
   TEBIS_ASSIGN_OR_RETURN(
       handle->primary,
@@ -166,14 +179,15 @@ Status RegionServer::OpenBackupRegion(uint32_t region_id, uint64_t epoch) {
   handle->replication_buffer =
       fabric_->RegisterBuffer(/*owner=*/name_, /*writer=*/"primary-of-r" + std::to_string(region_id),
                               options_.device_options.segment_size);
+  const KvStoreOptions backup_kv = RegionKvOptions(region_id, "backup");
   if (options_.replication_mode == ReplicationMode::kSendIndex) {
     TEBIS_ASSIGN_OR_RETURN(handle->send_backup,
-                           SendIndexBackupRegion::Create(device_.get(), options_.kv_options,
+                           SendIndexBackupRegion::Create(device_.get(), backup_kv,
                                                          handle->replication_buffer));
     handle->send_backup->set_region_epoch(epoch);
   } else {
     TEBIS_ASSIGN_OR_RETURN(handle->build_backup,
-                           BuildIndexBackupRegion::Create(device_.get(), options_.kv_options,
+                           BuildIndexBackupRegion::Create(device_.get(), backup_kv,
                                                           handle->replication_buffer));
     handle->build_backup->set_region_epoch(epoch);
   }
@@ -215,7 +229,11 @@ Status RegionServer::AttachBackup(uint32_t region_id, RegionServer* backup_serve
                          backup_server->GetReplicationBuffer(region_id));
   auto client = std::make_unique<RpcClient>(
       fabric_, name_ + ">r" + std::to_string(region_id) + ">" + backup_server->name(),
-      backup_server->replication_endpoint(), options_.replication_connection_buffer);
+      backup_server->replication_endpoint(), options_.replication_connection_buffer,
+      telemetry_.get(),
+      MetricLabels{{"node", name_},
+                   {"region", std::to_string(region_id)},
+                   {"backup", backup_server->name()}});
   std::lock_guard<std::mutex> lock(handle->mutex);
   if (epoch != 0) {
     handle->primary->set_epoch(epoch);
@@ -236,7 +254,11 @@ Status RegionServer::AttachBackupWithFullSync(uint32_t region_id, RegionServer* 
                          backup_server->GetReplicationBuffer(region_id));
   auto client = std::make_unique<RpcClient>(
       fabric_, name_ + ">r" + std::to_string(region_id) + ">" + backup_server->name(),
-      backup_server->replication_endpoint(), options_.replication_connection_buffer);
+      backup_server->replication_endpoint(), options_.replication_connection_buffer,
+      telemetry_.get(),
+      MetricLabels{{"node", name_},
+                   {"region", std::to_string(region_id)},
+                   {"backup", backup_server->name()}});
   auto channel = std::make_unique<RpcBackupChannel>(
       std::move(client), region_id, std::move(buffer),
       options_.replication_policy.call_deadline_ns);
@@ -362,11 +384,12 @@ Status RegionServer::DemoteRegion(uint32_t region_id, const SegmentMap& new_prim
   handle->replication_buffer = fabric_->RegisterBuffer(
       /*owner=*/name_, /*writer=*/"primary-of-r" + std::to_string(region_id),
       options_.device_options.segment_size);
+  const KvStoreOptions backup_kv = RegionKvOptions(region_id, "backup");
   if (options_.replication_mode == ReplicationMode::kSendIndex) {
     KvStore::Parts parts = KvStore::Decompose(std::move(store));
     TEBIS_ASSIGN_OR_RETURN(
         handle->send_backup,
-        SendIndexBackupRegion::CreateFromParts(device_.get(), options_.kv_options,
+        SendIndexBackupRegion::CreateFromParts(device_.get(), backup_kv,
                                                handle->replication_buffer, std::move(parts.log),
                                                std::move(parts.levels), std::move(inverted),
                                                std::move(flush_order), parts.l0_replay_from));
@@ -374,7 +397,7 @@ Status RegionServer::DemoteRegion(uint32_t region_id, const SegmentMap& new_prim
   } else {
     TEBIS_ASSIGN_OR_RETURN(
         handle->build_backup,
-        BuildIndexBackupRegion::CreateFromStore(device_.get(), options_.kv_options,
+        BuildIndexBackupRegion::CreateFromStore(device_.get(), backup_kv,
                                                 handle->replication_buffer, std::move(store),
                                                 std::move(inverted), std::move(flush_order)));
     handle->build_backup->set_region_epoch(backup_epoch);
@@ -478,6 +501,18 @@ void RegionServer::HandleRequest(const MessageHeader& header, std::string payloa
       return;
     }
     (void)ctx.SendReply(reply_type, 0, serialized);
+    return;
+  }
+
+  if (type == MessageType::kStatsScrape) {
+    // Server-wide (region-independent), like the region map: one JSON payload
+    // with the metrics snapshot and recent pipeline spans.
+    std::string scrape = ScrapeJson();
+    if (!ctx.ReplyFits(scrape.size())) {
+      (void)ctx.SendReply(reply_type, kFlagTruncatedReply, EncodeTruncatedReply(scrape.size()));
+      return;
+    }
+    (void)ctx.SendReply(reply_type, 0, scrape);
     return;
   }
 

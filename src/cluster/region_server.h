@@ -49,6 +49,9 @@ struct RegionServerOptions {
   // PageCache::ShardsForStores at Start(); 0 keeps kv_options.cache_shards
   // as configured (the standalone default).
   size_t expected_regions = 0;
+  // Span ring capacity for this server's telemetry plane (PR 5); 0 disables
+  // pipeline tracing.
+  size_t trace_capacity = 4096;
 };
 
 // Aggregate counters for the experiment harness.
@@ -150,6 +153,13 @@ class RegionServer {
 
   RegionServerStats Aggregate() const;
 
+  // --- telemetry plane (PR 5) ---
+  // Shared by every region this server hosts; each store/region object is
+  // stamped with {node, region, role} labels at open/promote/demote time.
+  Telemetry* telemetry() { return telemetry_.get(); }
+  // The kStatsScrape reply payload: {"node", "metrics", "spans"} JSON.
+  std::string ScrapeJson() const { return telemetry_->ScrapeJson(name_); }
+
   // Observability for fencing/health tests: control messages this server's
   // backup engine rejected as stale-epoch, and the primary-side replication
   // stats (detaches, strikes, fence errors).
@@ -175,6 +185,9 @@ class RegionServer {
                            const ReplyContext& ctx);
   RegionHandle* FindRegion(uint32_t region_id) const;
   static void ReplyError(const ReplyContext& ctx, MessageType reply_type, const Status& status);
+  // kv_options with the server's telemetry plane and {node, region, role}
+  // labels stamped in, so every store's instruments are uniquely named.
+  KvStoreOptions RegionKvOptions(uint32_t region_id, const char* role) const;
   // Wires the health policy + detach listener into a primary region object.
   void InstallPrimaryPolicy(uint32_t region_id, PrimaryRegion* primary);
   // Records a unilateral detach as a persistent coordinator znode, off-thread
@@ -189,6 +202,9 @@ class RegionServer {
   const std::string name_;
   RegionServerOptions options_;
 
+  // Declared before regions_: instruments resolved against this plane must
+  // outlive the stores updating them.
+  std::unique_ptr<Telemetry> telemetry_;
   std::unique_ptr<BlockDevice> device_;
   // Declared before regions_: stores must be destroyed while the pool still
   // runs, so queued background compactions can finish.

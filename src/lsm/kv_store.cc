@@ -100,6 +100,60 @@ KvStore::KvStore(BlockDevice* device, const KvStoreOptions& options)
     levels_.push_back(MakeHandle(BuiltTree{}));
   }
   level_busy_.assign(options.max_levels + 1, false);
+
+  if (options.telemetry != nullptr) {
+    telemetry_ = options.telemetry;
+  } else {
+    owned_telemetry_ = std::make_unique<Telemetry>();
+    telemetry_ = owned_telemetry_.get();
+  }
+  node_name_ = NodeLabel(options.telemetry_labels);
+  MetricsRegistry* reg = telemetry_->metrics();
+  const MetricLabels& l = options.telemetry_labels;
+  counters_.puts = reg->GetCounter("kv.puts", l);
+  counters_.gets = reg->GetCounter("kv.gets", l);
+  counters_.deletes = reg->GetCounter("kv.deletes", l);
+  counters_.scans = reg->GetCounter("kv.scans", l);
+  counters_.compactions = reg->GetCounter("kv.compactions", l);
+  counters_.background_compactions = reg->GetCounter("kv.background_compactions", l);
+  counters_.insert_l0_cpu_ns = reg->GetCounter("kv.insert_l0_cpu_ns", l);
+  counters_.compaction_cpu_ns = reg->GetCounter("kv.compaction_cpu_ns", l);
+  counters_.get_cpu_ns = reg->GetCounter("kv.get_cpu_ns", l);
+  counters_.write_slowdowns = reg->GetCounter("kv.write_slowdowns", l);
+  counters_.write_slowdown_ns = reg->GetCounter("kv.write_slowdown_ns", l);
+  counters_.write_stalls = reg->GetCounter("kv.write_stalls", l);
+  counters_.write_stall_ns = reg->GetCounter("kv.write_stall_ns", l);
+  counters_.concurrent_compaction_peak = reg->GetGauge("kv.concurrent_compaction_peak", l);
+  counters_.compaction_queue_wait_ns = reg->GetCounter("kv.compaction_queue_wait_ns", l);
+  counters_.compaction_merge_ns = reg->GetCounter("kv.compaction_merge_ns", l);
+  counters_.compaction_build_ns = reg->GetCounter("kv.compaction_build_ns", l);
+  counters_.compaction_ship_ns = reg->GetCounter("kv.compaction_ship_ns", l);
+}
+
+void KvStore::AssignStreamLocked(CompactionInfo* info) {
+  info->stream = stream_ids_.Acquire();
+  if (info->stream != kNoStream) {
+    info->trace_id = MakeTraceId(trace_epoch_.load(std::memory_order_relaxed), info->stream);
+  }
+}
+
+void KvStore::RecordSpan(const CompactionInfo& info, const char* name, uint64_t start_ns,
+                         uint64_t end_ns, uint64_t bytes) const {
+  TraceBuffer* traces = telemetry_->traces();
+  if (info.trace_id == kNoTrace || !traces->enabled()) {
+    return;
+  }
+  SpanRecord span;
+  span.trace = info.trace_id;
+  span.compaction_id = info.compaction_id;
+  span.name = name;
+  span.node = node_name_;
+  span.start_ns = start_ns;
+  span.end_ns = end_ns;
+  span.src_level = info.src_level;
+  span.dst_level = info.dst_level;
+  span.bytes = bytes;
+  traces->Record(std::move(span));
 }
 
 KvStore::~KvStore() {
@@ -147,28 +201,28 @@ uint64_t KvStore::l0_memory_bytes() const {
 }
 
 KvStoreStats KvStore::stats() const {
+  // Thin view over the registry instruments: the same atomics a telemetry
+  // scrape samples, so the legacy struct and a snapshot can never disagree.
   KvStoreStats s;
-  const auto ld = [](const std::atomic<uint64_t>& a) {
-    return a.load(std::memory_order_relaxed);
-  };
-  s.puts = ld(counters_.puts);
-  s.gets = ld(counters_.gets);
-  s.deletes = ld(counters_.deletes);
-  s.scans = ld(counters_.scans);
-  s.compactions = ld(counters_.compactions);
-  s.background_compactions = ld(counters_.background_compactions);
-  s.insert_l0_cpu_ns = ld(counters_.insert_l0_cpu_ns);
-  s.compaction_cpu_ns = ld(counters_.compaction_cpu_ns);
-  s.get_cpu_ns = ld(counters_.get_cpu_ns);
-  s.write_slowdowns = ld(counters_.write_slowdowns);
-  s.write_slowdown_ns = ld(counters_.write_slowdown_ns);
-  s.write_stalls = ld(counters_.write_stalls);
-  s.write_stall_ns = ld(counters_.write_stall_ns);
-  s.concurrent_compaction_peak = ld(counters_.concurrent_compaction_peak);
-  s.compaction_queue_wait_ns = ld(counters_.compaction_queue_wait_ns);
-  s.compaction_merge_ns = ld(counters_.compaction_merge_ns);
-  s.compaction_build_ns = ld(counters_.compaction_build_ns);
-  s.compaction_ship_ns = ld(counters_.compaction_ship_ns);
+  s.puts = counters_.puts->Value();
+  s.gets = counters_.gets->Value();
+  s.deletes = counters_.deletes->Value();
+  s.scans = counters_.scans->Value();
+  s.compactions = counters_.compactions->Value();
+  s.background_compactions = counters_.background_compactions->Value();
+  s.insert_l0_cpu_ns = counters_.insert_l0_cpu_ns->Value();
+  s.compaction_cpu_ns = counters_.compaction_cpu_ns->Value();
+  s.get_cpu_ns = counters_.get_cpu_ns->Value();
+  s.write_slowdowns = counters_.write_slowdowns->Value();
+  s.write_slowdown_ns = counters_.write_slowdown_ns->Value();
+  s.write_stalls = counters_.write_stalls->Value();
+  s.write_stall_ns = counters_.write_stall_ns->Value();
+  s.concurrent_compaction_peak =
+      static_cast<uint64_t>(counters_.concurrent_compaction_peak->Value());
+  s.compaction_queue_wait_ns = counters_.compaction_queue_wait_ns->Value();
+  s.compaction_merge_ns = counters_.compaction_merge_ns->Value();
+  s.compaction_build_ns = counters_.compaction_build_ns->Value();
+  s.compaction_ship_ns = counters_.compaction_ship_ns->Value();
   return s;
 }
 
@@ -212,8 +266,8 @@ Status KvStore::WriteImpl(Slice key, Slice value, bool tombstone) {
       active_->Put(key, ValueLocation{res.offset, tombstone});
       flushed = res.flushed_segment;
     }
-    counters_.insert_l0_cpu_ns.fetch_add(cpu_ns, std::memory_order_relaxed);
-    (tombstone ? counters_.deletes : counters_.puts).fetch_add(1, std::memory_order_relaxed);
+    counters_.insert_l0_cpu_ns->Add(cpu_ns);
+    (tombstone ? counters_.deletes : counters_.puts)->Increment();
   }
   const size_t record_bytes = key.size() + value.size();
   active_appended_bytes_ += record_bytes;
@@ -233,8 +287,8 @@ Status KvStore::PutLocked(Slice key, Slice value, bool tombstone) {
     TEBIS_ASSIGN_OR_RETURN(ValueLog::AppendResult res, log_->Append(key, value, tombstone));
     active_->Put(key, ValueLocation{res.offset, tombstone});
   }
-  counters_.insert_l0_cpu_ns.fetch_add(cpu_ns, std::memory_order_relaxed);
-  (tombstone ? counters_.deletes : counters_.puts).fetch_add(1, std::memory_order_relaxed);
+  counters_.insert_l0_cpu_ns->Add(cpu_ns);
+  (tombstone ? counters_.deletes : counters_.puts)->Increment();
   return Status::Ok();
 }
 
@@ -257,20 +311,20 @@ Status KvStore::MaybeScheduleL0(size_t record_bytes) {
   if (flush_in_flight) {
     if (entries >= l0_stop_entries_) {
       // Hard stall: wait for the in-flight flush, then seal immediately.
-      counters_.write_stalls.fetch_add(1, std::memory_order_relaxed);
+      counters_.write_stalls->Increment();
       const uint64_t start = NowNanos();
       {
         std::unique_lock<std::mutex> lock(mutex_);
         stall_cv_.wait(lock, [&] { return imm_ == nullptr || !bg_error_.ok(); });
         if (!bg_error_.ok()) {
-          counters_.write_stall_ns.fetch_add(NowNanos() - start, std::memory_order_relaxed);
+          counters_.write_stall_ns->Add(NowNanos() - start);
           return bg_error_;
         }
       }
-      counters_.write_stall_ns.fetch_add(NowNanos() - start, std::memory_order_relaxed);
+      counters_.write_stall_ns->Add(NowNanos() - start);
     } else if (entries >= l0_slowdown_entries_) {
       // Slowdown band: pace the writer, let the flush catch up.
-      counters_.write_slowdowns.fetch_add(1, std::memory_order_relaxed);
+      counters_.write_slowdowns->Increment();
       SlowdownDelay(record_bytes);
       return Status::Ok();
     } else {
@@ -318,7 +372,7 @@ void KvStore::SlowdownDelay(size_t record_bytes) {
     return;
   }
   std::this_thread::sleep_for(std::chrono::nanoseconds(sleep_ns));
-  counters_.write_slowdown_ns.fetch_add(sleep_ns, std::memory_order_relaxed);
+  counters_.write_slowdown_ns->Add(sleep_ns);
 }
 
 Status KvStore::SealL0Locked() {
@@ -337,6 +391,9 @@ Status KvStore::SealL0Locked() {
   std::vector<CompactionJob> jobs;
   {
     std::lock_guard<std::mutex> lock(mutex_);
+    // Stream + trace assigned under the state lock so the id is fixed before
+    // the observer's begin fires on the background worker.
+    AssignStreamLocked(&info);
     imm_ = std::move(active_);
     active_ = std::make_shared<Memtable>();
     imm_info_ = info;
@@ -389,6 +446,7 @@ std::vector<KvStore::CompactionJob> KvStore::ClaimBackgroundJobsLocked() {
       job.info.src_level = static_cast<int>(i);
       job.info.dst_level = static_cast<int>(i) + 1;
       job.info.tail_sealed = true;
+      AssignStreamLocked(&job.info);
       level_busy_[i] = level_busy_[i + 1] = true;
       jobs.push_back(std::move(job));
       progressed = true;
@@ -396,12 +454,7 @@ std::vector<KvStore::CompactionJob> KvStore::ClaimBackgroundJobsLocked() {
     }
   }
   bg_jobs_ += static_cast<int>(jobs.size());
-  const uint64_t in_flight = static_cast<uint64_t>(bg_jobs_);
-  uint64_t peak = counters_.concurrent_compaction_peak.load(std::memory_order_relaxed);
-  while (in_flight > peak &&
-         !counters_.concurrent_compaction_peak.compare_exchange_weak(
-             peak, in_flight, std::memory_order_relaxed)) {
-  }
+  counters_.concurrent_compaction_peak->SetMax(bg_jobs_);
   return jobs;
 }
 
@@ -419,7 +472,7 @@ void KvStore::BackgroundJob(CompactionJob job) {
       ScopedTimer t(&begin_ns);
       observer_->OnCompactionBegin(job.info);
     }
-    counters_.compaction_ship_ns.fetch_add(begin_ns, std::memory_order_relaxed);
+    counters_.compaction_ship_ns->Add(begin_ns);
   }
   Status done = RunCompaction(job);
   if (done.ok() && job.info.src_level == 0 && job.imm_bytes > 0 && job.queued_at_ns != 0) {
@@ -442,7 +495,7 @@ void KvStore::BackgroundJob(CompactionJob job) {
     if (!done.ok()) {
       bg_error_ = done;
     } else {
-      counters_.background_compactions.fetch_add(1, std::memory_order_relaxed);
+      counters_.background_compactions->Increment();
       // Reclaim: this job may have filled dst past capacity, or freed the
       // levels an already-sealed memtable was waiting for.
       next = ClaimBackgroundJobsLocked();
@@ -455,9 +508,11 @@ void KvStore::BackgroundJob(CompactionJob job) {
 
 Status KvStore::RunCompaction(const CompactionJob& job) {
   const uint64_t cpu_start = ThreadCpuNanos();
+  const uint64_t run_start_ns = NowNanos();
   if (job.queued_at_ns != 0) {
-    counters_.compaction_queue_wait_ns.fetch_add(NowNanos() - job.queued_at_ns,
-                                                 std::memory_order_relaxed);
+    counters_.compaction_queue_wait_ns->Add(run_start_ns - job.queued_at_ns);
+    // Scheduler-claim span: seal (or claim) to the moment the job starts.
+    RecordSpan(job.info, "claim", job.queued_at_ns, run_start_ns);
   }
   const int src_level = job.info.src_level;
   const int dst_level = job.info.dst_level;
@@ -501,10 +556,12 @@ Status KvStore::RunCompaction(const CompactionJob& job) {
 
   const bool drop_tombstones = dst_level == static_cast<int>(options_.max_levels);
   MergeStageTiming timing;
+  const uint64_t merge_start_ns = NowNanos();
   TEBIS_ASSIGN_OR_RETURN(uint64_t written,
                          MergeSources(sources, drop_tombstones, &builder, &timing));
   (void)written;
   TEBIS_ASSIGN_OR_RETURN(BuiltTree new_tree, builder.Finish());
+  RecordSpan(job.info, "merge_build", merge_start_ns, NowNanos());
 
   // Publish atomically: swap the level handles and retire the inputs. Readers
   // holding the old trees keep them alive until their snapshot drops.
@@ -526,19 +583,36 @@ Status KvStore::RunCompaction(const CompactionJob& job) {
   src_ref.reset();
   dst_ref.reset();
 
-  counters_.compactions.fetch_add(1, std::memory_order_relaxed);
-  counters_.compaction_merge_ns.fetch_add(timing.merge_ns, std::memory_order_relaxed);
-  counters_.compaction_build_ns.fetch_add(timing.build_ns, std::memory_order_relaxed);
+  counters_.compactions->Increment();
+  counters_.compaction_merge_ns->Add(timing.merge_ns);
+  counters_.compaction_build_ns->Add(timing.build_ns);
 
   if (observer_ != nullptr) {
     ScopedTimer t(&ship_ns);
     observer_->OnCompactionEnd(job.info, new_tree);
   }
-  counters_.compaction_ship_ns.fetch_add(ship_ns, std::memory_order_relaxed);
+  counters_.compaction_ship_ns->Add(ship_ns);
   if (options_.auto_checkpoint) {
     TEBIS_RETURN_IF_ERROR(Checkpoint().status());
   }
-  counters_.compaction_cpu_ns.fetch_add(ThreadCpuNanos() - cpu_start, std::memory_order_relaxed);
+  counters_.compaction_cpu_ns->Add(ThreadCpuNanos() - cpu_start);
+  {
+    // Per-level compaction duration distribution. Resolved lazily: the level
+    // label set is bounded by max_levels, and a map lookup once per
+    // compaction is noise next to the merge itself.
+    MetricLabels labels = options_.telemetry_labels;
+    labels.emplace_back("level", "L" + std::to_string(src_level));
+    telemetry_->metrics()
+        ->GetHistogram("kv.compaction_duration_ns", labels)
+        ->Record(NowNanos() - run_start_ns);
+  }
+  if (job.info.stream != kNoStream) {
+    // Success: the stream id may be reused. On failure the id stays leaked on
+    // purpose — a reused id must never reach a backup that still holds the
+    // failed compaction's stream state.
+    std::lock_guard<std::mutex> lock(mutex_);
+    stream_ids_.Release(job.info.stream);
+  }
   return Status::Ok();
 }
 
@@ -575,6 +649,14 @@ Status KvStore::CompactIntoNextLocked(int src_level) {
     return Status::FailedPrecondition("cannot compact past the last level");
   }
   job.info.compaction_id = next_compaction_id_.fetch_add(1, std::memory_order_relaxed);
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    AssignStreamLocked(&job.info);
+  }
+  // Claimed right here: the span/queue-wait window only covers the observer's
+  // begin (stream-open control message), but stamping it keeps the trace tree
+  // shape identical between the synchronous and background engines.
+  job.queued_at_ns = NowNanos();
   if (observer_ != nullptr) {
     observer_->OnCompactionBegin(job.info);
   }
@@ -677,9 +759,9 @@ StatusOr<ValueLocation> KvStore::FindLocation(Slice key, const ReadSnapshot& sna
 
 StatusOr<std::string> KvStore::Get(Slice key) {
   const uint64_t cpu_start = ThreadCpuNanos();
-  counters_.gets.fetch_add(1, std::memory_order_relaxed);
+  counters_.gets->Increment();
   auto finish = [&](StatusOr<std::string> result) {
-    counters_.get_cpu_ns.fetch_add(ThreadCpuNanos() - cpu_start, std::memory_order_relaxed);
+    counters_.get_cpu_ns->Add(ThreadCpuNanos() - cpu_start);
     return result;
   };
   ReadSnapshot snap = TakeReadSnapshot();
@@ -702,7 +784,7 @@ StatusOr<std::string> KvStore::Get(Slice key) {
 }
 
 StatusOr<std::vector<KvPair>> KvStore::Scan(Slice start, size_t limit) {
-  counters_.scans.fetch_add(1, std::memory_order_relaxed);
+  counters_.scans->Increment();
   ReadSnapshot snap = TakeReadSnapshot();
 
   std::vector<std::unique_ptr<MergeSource>> owned;

@@ -47,7 +47,9 @@
 #include "src/lsm/memtable.h"
 #include "src/lsm/page_cache.h"
 #include "src/lsm/value_log.h"
+#include "src/replication/compaction_stream.h"  // header-only: StreamId
 #include "src/storage/block_device.h"
+#include "src/telemetry/telemetry.h"
 
 namespace tebis {
 
@@ -92,6 +94,14 @@ struct KvStoreOptions {
   // 1 reproduces the PR 2 serialized pipeline — the A/B baseline in
   // bench_micro's shipping comparison.
   uint32_t max_background_compactions = 0;
+
+  // Telemetry plane (PR 5). Null = the store owns a private Telemetry, so a
+  // standalone store's stats() view stays per-store. Node owners (SimCluster,
+  // RegionServer) pass their shared plane instead and MUST stamp each store
+  // with unique telemetry_labels ({node, region, role}), or instruments merge
+  // across stores.
+  Telemetry* telemetry = nullptr;
+  MetricLabels telemetry_labels;
 };
 
 struct CompactionInfo {
@@ -107,6 +117,14 @@ struct CompactionInfo {
   // at seal time — the L0 replay boundary this compaction covers. (With
   // tail_sealed unset the observer derives it from the log after flushing.)
   size_t l0_boundary = 0;
+  // Shipping stream the scheduler assigned to this compaction (PR 5): the
+  // engine owns the allocation so the stream id — and the trace id derived
+  // from (epoch, stream) — exists before the observer's begin fires and is
+  // identical in every span and wire message of the compaction. kNoStream
+  // when the per-region allocator is exhausted (the replication layer then
+  // falls back to its own hashed ids, untraced).
+  StreamId stream = kNoStream;
+  TraceId trace_id = kNoTrace;
 };
 
 // Observer of the compaction lifecycle; the Send-Index primary attaches one
@@ -275,6 +293,14 @@ class KvStore {
   uint32_t max_levels() const { return options_.max_levels; }
   KvStoreStats stats() const;
 
+  // The telemetry plane this store reports into (shared or privately owned).
+  Telemetry* telemetry() const { return telemetry_; }
+  // Replication epoch folded into new trace ids (PrimaryRegion::set_epoch
+  // forwards here). Compactions already in flight keep their old trace.
+  void set_trace_epoch(uint64_t epoch) {
+    trace_epoch_.store(epoch, std::memory_order_relaxed);
+  }
+
   uint64_t LevelCapacity(uint32_t level) const;
 
  private:
@@ -308,23 +334,38 @@ class KvStore {
     CompactionInfo info;
     std::shared_ptr<Memtable> imm;  // non-null for L0 spills
     size_t boundary = 0;            // L0 replay boundary captured at seal
-    uint64_t queued_at_ns = 0;      // 0 = ran inline (no queue wait)
+    // When the job was sealed/claimed; start of the "claim" trace span. The
+    // synchronous engine stamps it at claim too (queue wait ~0).
+    uint64_t queued_at_ns = 0;
     // Log bytes appended while this memtable was active (L0 spills); feeds
     // the slowdown token bucket's drain-rate estimate.
     uint64_t imm_bytes = 0;
   };
 
-  // Mirrors KvStoreStats with atomics (concurrent readers + background job).
-  struct StatsCounters {
-    std::atomic<uint64_t> puts{0}, gets{0}, deletes{0}, scans{0};
-    std::atomic<uint64_t> compactions{0}, background_compactions{0};
-    std::atomic<uint64_t> insert_l0_cpu_ns{0}, compaction_cpu_ns{0}, get_cpu_ns{0};
-    std::atomic<uint64_t> write_slowdowns{0}, write_slowdown_ns{0};
-    std::atomic<uint64_t> write_stalls{0}, write_stall_ns{0};
-    std::atomic<uint64_t> concurrent_compaction_peak{0};
-    std::atomic<uint64_t> compaction_queue_wait_ns{0};
-    std::atomic<uint64_t> compaction_merge_ns{0}, compaction_build_ns{0};
-    std::atomic<uint64_t> compaction_ship_ns{0};
+  // Registry instruments behind every KvStoreStats field (PR 5): resolved
+  // once at construction against the telemetry plane's MetricsRegistry (with
+  // this store's labels), updated lock-free. stats() is a thin view that
+  // reads these same instruments, so scrape totals and the legacy struct can
+  // never diverge.
+  struct Instruments {
+    Counter* puts = nullptr;
+    Counter* gets = nullptr;
+    Counter* deletes = nullptr;
+    Counter* scans = nullptr;
+    Counter* compactions = nullptr;
+    Counter* background_compactions = nullptr;
+    Counter* insert_l0_cpu_ns = nullptr;
+    Counter* compaction_cpu_ns = nullptr;
+    Counter* get_cpu_ns = nullptr;
+    Counter* write_slowdowns = nullptr;
+    Counter* write_slowdown_ns = nullptr;
+    Counter* write_stalls = nullptr;
+    Counter* write_stall_ns = nullptr;
+    Gauge* concurrent_compaction_peak = nullptr;  // SetMax high-water mark
+    Counter* compaction_queue_wait_ns = nullptr;
+    Counter* compaction_merge_ns = nullptr;
+    Counter* compaction_build_ns = nullptr;
+    Counter* compaction_ship_ns = nullptr;
   };
 
   KvStore(BlockDevice* device, const KvStoreOptions& options);
@@ -375,6 +416,14 @@ class KvStore {
   // Merge + publish + observer end + auto-checkpoint for one job. Runs on the
   // writer thread (sync) or the background worker (async).
   Status RunCompaction(const CompactionJob& job);
+
+  // Assigns a shipping stream + trace id to a just-claimed compaction.
+  // mutex_ must be held (stream_ids_ is guarded by it).
+  void AssignStreamLocked(CompactionInfo* info);
+  // Records one pipeline span into the plane's ring buffer. No-op when the
+  // compaction is untraced or the ring is disabled.
+  void RecordSpan(const CompactionInfo& info, const char* name, uint64_t start_ns,
+                  uint64_t end_ns, uint64_t bytes = 0) const;
 
   // Waits until every background job is idle; returns the sticky error.
   // write_mutex_ must be held (blocks new seals).
@@ -431,7 +480,22 @@ class KvStore {
 
   CompactionObserver* observer_ = nullptr;
   std::atomic<uint64_t> next_compaction_id_{1};
-  mutable StatsCounters counters_;
+
+  // Telemetry plane (PR 5). telemetry_ points at options_.telemetry or at
+  // owned_telemetry_ (standalone store). Instrument pointers are stable for
+  // the registry's lifetime, so hot paths update them without any lock.
+  std::unique_ptr<Telemetry> owned_telemetry_;
+  Telemetry* telemetry_ = nullptr;
+  std::string node_name_;  // span node label, from telemetry_labels
+  Instruments counters_;
+
+  // Shipping-stream allocator (PR 5): the scheduler assigns each compaction a
+  // stream id at claim time (guarded by mutex_), so the id — and the trace id
+  // derived from (trace_epoch_, stream) — is fixed before the observer begin.
+  // Released when RunCompaction succeeds; leaked on failure (a reused id must
+  // never reach a backup that still holds the failed compaction's state).
+  StreamIdAllocator stream_ids_;
+  std::atomic<uint64_t> trace_epoch_{0};
 
   std::mutex checkpoint_mutex_;          // serializes Checkpoint()
   SegmentId checkpoint_segment_ = kInvalidSegment;  // guarded by checkpoint_mutex_

@@ -71,6 +71,10 @@ const char* MessageTypeName(MessageType type) {
       return "SetReplayStart";
     case MessageType::kSetReplayStartReply:
       return "SetReplayStartReply";
+    case MessageType::kStatsScrape:
+      return "StatsScrape";
+    case MessageType::kStatsScrapeReply:
+      return "StatsScrapeReply";
   }
   return "?";
 }

@@ -50,6 +50,10 @@ enum class MessageType : uint16_t {
   // Recovery/full-sync: tells a backup where L0 replay starts (§3.5).
   kSetReplayStart,
   kSetReplayStartReply,
+  // Admin scrape (PR 5): server-wide telemetry (metrics snapshot + recent
+  // pipeline spans) as JSON. Region-independent, like kGetRegionMap.
+  kStatsScrape,
+  kStatsScrapeReply,
 };
 
 const char* MessageTypeName(MessageType type);

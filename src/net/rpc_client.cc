@@ -9,7 +9,8 @@
 
 namespace tebis {
 
-RpcClient::RpcClient(Fabric* fabric, std::string name, ServerEndpoint* server, size_t buffer_size)
+RpcClient::RpcClient(Fabric* fabric, std::string name, ServerEndpoint* server, size_t buffer_size,
+                     Telemetry* telemetry, MetricLabels labels)
     : fabric_(fabric),
       name_(std::move(name)),
       send_ring_(buffer_size),
@@ -17,6 +18,26 @@ RpcClient::RpcClient(Fabric* fabric, std::string name, ServerEndpoint* server, s
   ServerEndpoint::ConnectionHandles handles = server->Accept(name_, buffer_size);
   request_buffer_ = handles.request_buffer;
   reply_buffer_ = handles.reply_buffer;
+  if (telemetry == nullptr) {
+    owned_telemetry_ = std::make_unique<Telemetry>();
+    telemetry = owned_telemetry_.get();
+  }
+  MetricsRegistry* reg = telemetry->metrics();
+  stats_.calls = reg->GetCounter("net.rpc_calls", labels);
+  stats_.attempts = reg->GetCounter("net.rpc_attempts", labels);
+  stats_.send_failures = reg->GetCounter("net.rpc_send_failures", labels);
+  stats_.reply_timeouts = reg->GetCounter("net.rpc_reply_timeouts", labels);
+  stats_.exhausted = reg->GetCounter("net.rpc_exhausted", labels);
+}
+
+RpcClientStats RpcClient::stats() const {
+  RpcClientStats s;
+  s.calls = stats_.calls->Value();
+  s.attempts = stats_.attempts->Value();
+  s.send_failures = stats_.send_failures->Value();
+  s.reply_timeouts = stats_.reply_timeouts->Value();
+  s.exhausted = stats_.exhausted->Value();
+  return s;
 }
 
 void RpcClient::Poll() {
@@ -188,7 +209,7 @@ StatusOr<RpcReply> RpcClient::WaitReply(uint64_t request_id, uint64_t timeout_ns
 StatusOr<RpcReply> RpcClient::Call(MessageType type, uint32_t region_id, Slice payload,
                                    size_t reply_payload_alloc, uint32_t map_version,
                                    uint64_t timeout_ns) {
-  stats_.calls++;
+  stats_.calls->Increment();
   uint64_t backoff_ns = retry_policy_.initial_backoff_ns;
   const int max_attempts = std::max(1, retry_policy_.max_attempts);
   Status last = Status::Ok();
@@ -199,10 +220,10 @@ StatusOr<RpcReply> RpcClient::Call(MessageType type, uint32_t region_id, Slice p
           static_cast<uint64_t>(backoff_ns * retry_policy_.backoff_multiplier),
           retry_policy_.max_backoff_ns);
     }
-    stats_.attempts++;
+    stats_.attempts->Increment();
     StatusOr<uint64_t> id = SendRequest(type, region_id, payload, reply_payload_alloc, map_version);
     if (!id.ok()) {
-      stats_.send_failures++;
+      stats_.send_failures->Increment();
       last = id.status();
       // Dropped sends (injected fault, partition) and full rings are
       // transient; anything else (oversized message, internal error) is not.
@@ -217,12 +238,12 @@ StatusOr<RpcReply> RpcClient::Call(MessageType type, uint32_t region_id, Slice p
     }
     last = reply.status();
     if (last.IsUnavailable()) {
-      stats_.reply_timeouts++;
+      stats_.reply_timeouts->Increment();
       continue;
     }
     return last;
   }
-  stats_.exhausted++;
+  stats_.exhausted->Increment();
   return last;
 }
 

@@ -14,6 +14,7 @@
 #include "src/net/message.h"
 #include "src/net/ring_allocator.h"
 #include "src/net/server_endpoint.h"
+#include "src/telemetry/telemetry.h"
 
 namespace tebis {
 
@@ -38,6 +39,8 @@ struct RpcRetryPolicy {
   uint64_t max_backoff_ns = 50'000'000;  // 50ms
 };
 
+// View over the client's "net.rpc_*" registry instruments; returned by value
+// so a reader never races the caller thread mutating them (PR 5).
 struct RpcClientStats {
   uint64_t calls = 0;           // Call() invocations
   uint64_t attempts = 0;        // send attempts across all calls
@@ -49,8 +52,12 @@ struct RpcClientStats {
 class RpcClient {
  public:
   // Establishes a connection to `server` under the client's `name`.
+  // `telemetry` (optional) is the plane the client's "net.rpc_*" instruments
+  // register in, stamped with `labels`; null means a private plane, keeping
+  // stats() per-connection.
   RpcClient(Fabric* fabric, std::string name, ServerEndpoint* server,
-            size_t buffer_size = kDefaultConnectionBufferSize);
+            size_t buffer_size = kDefaultConnectionBufferSize,
+            Telemetry* telemetry = nullptr, MetricLabels labels = {});
 
   RpcClient(const RpcClient&) = delete;
   RpcClient& operator=(const RpcClient&) = delete;
@@ -85,9 +92,17 @@ class RpcClient {
 
   const RpcRetryPolicy& retry_policy() const { return retry_policy_; }
   void set_retry_policy(const RpcRetryPolicy& policy) { retry_policy_ = policy; }
-  const RpcClientStats& stats() const { return stats_; }
+  RpcClientStats stats() const;
 
  private:
+  struct Instruments {
+    Counter* calls = nullptr;
+    Counter* attempts = nullptr;
+    Counter* send_failures = nullptr;
+    Counter* reply_timeouts = nullptr;
+    Counter* exhausted = nullptr;
+  };
+
   struct Pending {
     size_t request_offset;
     size_t reply_offset;
@@ -111,7 +126,8 @@ class RpcClient {
   uint64_t next_request_id_ = 1;
   size_t default_reply_alloc_ = 1024;
   RpcRetryPolicy retry_policy_;
-  RpcClientStats stats_;
+  std::unique_ptr<Telemetry> owned_telemetry_;
+  Instruments stats_;
   std::map<uint64_t, Pending> pending_;
   std::map<uint64_t, RpcReply> completed_;
 };

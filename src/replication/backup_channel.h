@@ -17,7 +17,10 @@
 
 #include <atomic>
 #include <cstdint>
+#include <functional>
+#include <mutex>
 #include <string>
+#include <utility>
 
 #include "src/common/slice.h"
 #include "src/common/status.h"
@@ -70,8 +73,33 @@ class BackupChannel {
   void set_epoch(uint64_t epoch) { epoch_.store(epoch, std::memory_order_release); }
   uint64_t epoch() const { return epoch_.load(std::memory_order_acquire); }
 
+  // Reply-path flow control (PR 5): implementations invoke the listener after
+  // the backup acknowledged an index segment — i.e. completed its rewrite —
+  // so the primary returns the stream's shipping credit at the real RDMA
+  // window-update point instead of when the send call returns. Fired from
+  // inside compaction-plane calls, possibly on several streams concurrently.
+  using WindowUpdateListener = std::function<void(StreamId, uint64_t)>;
+  void set_window_update_listener(WindowUpdateListener listener) {
+    std::lock_guard<std::mutex> lock(listener_mutex_);
+    listener_ = std::move(listener);
+  }
+
+ protected:
+  void NotifyWindowUpdate(StreamId stream, uint64_t bytes) {
+    WindowUpdateListener listener;
+    {
+      std::lock_guard<std::mutex> lock(listener_mutex_);
+      listener = listener_;
+    }
+    if (listener) {
+      listener(stream, bytes);
+    }
+  }
+
  private:
   std::atomic<uint64_t> epoch_{0};
+  std::mutex listener_mutex_;
+  WindowUpdateListener listener_;
 };
 
 }  // namespace tebis

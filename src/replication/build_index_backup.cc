@@ -33,11 +33,36 @@ StatusOr<std::unique_ptr<BuildIndexBackupRegion>> BuildIndexBackupRegion::Create
 
 BuildIndexBackupRegion::BuildIndexBackupRegion(BlockDevice* device, const KvStoreOptions& options,
                                                std::shared_ptr<RegisteredBuffer> rdma_buffer)
-    : device_(device), options_(options), rdma_buffer_(std::move(rdma_buffer)) {}
+    : device_(device), options_(options), rdma_buffer_(std::move(rdma_buffer)) {
+  InitTelemetry();
+}
+
+void BuildIndexBackupRegion::InitTelemetry() {
+  telemetry_ = options_.telemetry;
+  if (telemetry_ == nullptr) {
+    owned_telemetry_ = std::make_unique<Telemetry>();
+    telemetry_ = owned_telemetry_.get();
+  }
+  MetricsRegistry* reg = telemetry_->metrics();
+  const MetricLabels& l = options_.telemetry_labels;
+  counters_.insert_cpu_ns = reg->GetCounter("backup.insert_cpu_ns", l);
+  counters_.records_inserted = reg->GetCounter("backup.records_inserted", l);
+  counters_.log_flushes = reg->GetCounter("backup.log_flushes", l);
+  counters_.epoch_rejected = reg->GetCounter("backup.epoch_rejected", l);
+}
+
+BuildIndexBackupStats BuildIndexBackupRegion::stats() const {
+  BuildIndexBackupStats s;
+  s.insert_cpu_ns = counters_.insert_cpu_ns->Value();
+  s.records_inserted = counters_.records_inserted->Value();
+  s.log_flushes = counters_.log_flushes->Value();
+  s.epoch_rejected = counters_.epoch_rejected->Value();
+  return s;
+}
 
 Status BuildIndexBackupRegion::CheckEpoch(uint64_t msg_epoch) {
   if (msg_epoch < region_epoch_) {
-    stats_.epoch_rejected++;
+    counters_.epoch_rejected->Increment();
     return Status::FailedPrecondition("stale replication epoch " + std::to_string(msg_epoch) +
                                       " < " + std::to_string(region_epoch_));
   }
@@ -63,21 +88,25 @@ Status BuildIndexBackupRegion::HandleLogFlush(SegmentId primary_segment) {
   TEBIS_ASSIGN_OR_RETURN(SegmentId local, store_->value_log()->AppendRawSegment(image));
   TEBIS_RETURN_IF_ERROR(log_map_.Insert(primary_segment, local));
   primary_flush_order_.push_back(primary_segment);
-  stats_.log_flushes++;
+  counters_.log_flushes->Increment();
 
   // The baseline's work: every record goes through the in-memory L0 index
   // ("in-memory sorting") and, when L0 fills, a full local compaction with
   // its read-merge-write I/O.
-  ScopedCpuTimer timer(&stats_.insert_cpu_ns);
-  const uint64_t base = device_->geometry().BaseOffset(local);
-  TEBIS_RETURN_IF_ERROR(ValueLog::ForEachRecord(
-      image, /*segment_base=*/0, [&](const LogRecord& rec) -> Status {
-        const uint64_t local_offset = base + rec.offset;  // same in-segment offset
-        TEBIS_RETURN_IF_ERROR(store_->ReplayRecord(rec.key, local_offset, rec.tombstone));
-        stats_.records_inserted++;
-        return store_->MaybeCompact();
-      }));
-  return Status::Ok();
+  uint64_t cpu_ns = 0;
+  Status status = [&]() -> Status {
+    ScopedCpuTimer timer(&cpu_ns);
+    const uint64_t base = device_->geometry().BaseOffset(local);
+    return ValueLog::ForEachRecord(
+        image, /*segment_base=*/0, [&](const LogRecord& rec) -> Status {
+          const uint64_t local_offset = base + rec.offset;  // same in-segment offset
+          TEBIS_RETURN_IF_ERROR(store_->ReplayRecord(rec.key, local_offset, rec.tombstone));
+          counters_.records_inserted->Increment();
+          return store_->MaybeCompact();
+        });
+  }();
+  counters_.insert_cpu_ns->Add(cpu_ns);
+  return status;
 }
 
 Status BuildIndexBackupRegion::HandleTrimLog(size_t segments) {

@@ -12,6 +12,7 @@
 #include "src/net/fabric.h"
 #include "src/replication/segment_map.h"
 #include "src/storage/block_device.h"
+#include "src/telemetry/telemetry.h"
 
 namespace tebis {
 
@@ -54,7 +55,10 @@ class BuildIndexBackupRegion {
 
   KvStore* store() { return store_.get(); }
   const SegmentMap& log_map() const { return log_map_; }
-  const BuildIndexBackupStats& stats() const { return stats_; }
+  // By value: each field is an atomic registry instrument, so the snapshot is
+  // safe to take while a flush handler is mutating the counters.
+  BuildIndexBackupStats stats() const;
+  Telemetry* telemetry() const { return telemetry_; }
   uint64_t l0_memory_bytes() const { return store_->l0_memory_bytes(); }
 
   // --- epoch fencing (§3.5), mirrors SendIndexBackupRegion ---
@@ -66,13 +70,25 @@ class BuildIndexBackupRegion {
   BuildIndexBackupRegion(BlockDevice* device, const KvStoreOptions& options,
                          std::shared_ptr<RegisteredBuffer> rdma_buffer);
 
+  // Mirrors BuildIndexBackupStats as registry instruments.
+  struct Instruments {
+    Counter* insert_cpu_ns = nullptr;
+    Counter* records_inserted = nullptr;
+    Counter* log_flushes = nullptr;
+    Counter* epoch_rejected = nullptr;
+  };
+
+  void InitTelemetry();
+
   BlockDevice* const device_;
   const KvStoreOptions options_;
   std::shared_ptr<RegisteredBuffer> rdma_buffer_;
   std::unique_ptr<KvStore> store_;
   SegmentMap log_map_;
   std::vector<SegmentId> primary_flush_order_;
-  BuildIndexBackupStats stats_;
+  std::unique_ptr<Telemetry> owned_telemetry_;
+  Telemetry* telemetry_ = nullptr;
+  Instruments counters_;
   uint64_t region_epoch_ = 0;
 };
 

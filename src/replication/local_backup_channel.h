@@ -84,13 +84,19 @@ class LocalBackupChannel : public BackupChannel {
       return Status::Ok();
     }
     // The segment body is the dominant network cost of Send-Index.
-    return WithRetry(FaultSite::kReplIndexSegmentSend, FaultSite::kReplIndexSegmentAck,
-                     /*has_ack=*/true, bytes.size() + 40, [&] {
-                       TEBIS_RETURN_IF_ERROR(CheckBackupEpoch());
-                       return send_backup_->HandleIndexSegment(compaction_id, dst_level,
-                                                               tree_level, primary_segment, bytes,
-                                                               stream);
-                     });
+    Status status =
+        WithRetry(FaultSite::kReplIndexSegmentSend, FaultSite::kReplIndexSegmentAck,
+                  /*has_ack=*/true, bytes.size() + 40, [&] {
+                    TEBIS_RETURN_IF_ERROR(CheckBackupEpoch());
+                    return send_backup_->HandleIndexSegment(compaction_id, dst_level, tree_level,
+                                                            primary_segment, bytes, stream);
+                  });
+    if (status.ok()) {
+      // The ack doubles as the window update: the backup has finished its
+      // rewrite, so its share of the replication buffer is free again.
+      NotifyWindowUpdate(stream, bytes.size());
+    }
+    return status;
   }
 
   Status CompactionEnd(uint64_t compaction_id, int src_level, int dst_level,

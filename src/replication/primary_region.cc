@@ -22,6 +22,7 @@ StatusOr<std::unique_ptr<PrimaryRegion>> PrimaryRegion::Create(BlockDevice* devi
                                                                ReplicationMode mode) {
   std::unique_ptr<PrimaryRegion> region(new PrimaryRegion(device, mode));
   TEBIS_ASSIGN_OR_RETURN(region->store_, KvStore::Create(device, options));
+  region->InitTelemetry();
   region->store_->value_log()->set_observer(region.get());
   region->store_->set_compaction_observer(region.get());
   return region;
@@ -31,6 +32,7 @@ StatusOr<std::unique_ptr<PrimaryRegion>> PrimaryRegion::CreateFromStore(
     BlockDevice* device, ReplicationMode mode, std::unique_ptr<KvStore> store) {
   std::unique_ptr<PrimaryRegion> region(new PrimaryRegion(device, mode));
   region->store_ = std::move(store);
+  region->InitTelemetry();
   region->store_->value_log()->set_observer(region.get());
   region->store_->set_compaction_observer(region.get());
   // Everything currently flushed is covered by the adopted levels' replay
@@ -41,6 +43,63 @@ StatusOr<std::unique_ptr<PrimaryRegion>> PrimaryRegion::CreateFromStore(
 
 PrimaryRegion::PrimaryRegion(BlockDevice* device, ReplicationMode mode)
     : device_(device), mode_(mode) {}
+
+void PrimaryRegion::InitTelemetry() {
+  MetricsRegistry* reg = store_->telemetry()->metrics();
+  const MetricLabels& l = store_->options().telemetry_labels;
+  node_name_ = NodeLabel(l);
+  repl_.log_replication_cpu_ns = reg->GetCounter("repl.log_replication_cpu_ns", l);
+  repl_.log_flush_in_compaction_cpu_ns =
+      reg->GetCounter("repl.log_flush_in_compaction_cpu_ns", l);
+  repl_.send_index_cpu_ns = reg->GetCounter("repl.send_index_cpu_ns", l);
+  repl_.log_records_replicated = reg->GetCounter("repl.log_records_replicated", l);
+  repl_.log_flushes = reg->GetCounter("repl.log_flushes", l);
+  repl_.append_retries = reg->GetCounter("repl.append_retries", l);
+  repl_.index_segments_shipped = reg->GetCounter("repl.index_segments_shipped", l);
+  repl_.index_bytes_shipped = reg->GetCounter("repl.index_bytes_shipped", l);
+  repl_.backups_detached = reg->GetCounter("repl.backups_detached", l);
+  repl_.slow_call_strikes = reg->GetCounter("repl.slow_call_strikes", l);
+  repl_.fence_errors = reg->GetCounter("repl.fence_errors", l);
+  repl_.streams_opened = reg->GetCounter("repl.streams_opened", l);
+  repl_.flow_wait_ns = reg->GetCounter("repl.flow_wait_ns", l);
+}
+
+ReplicationStats PrimaryRegion::replication_stats() const {
+  ReplicationStats s;
+  s.log_replication_cpu_ns = repl_.log_replication_cpu_ns->Value();
+  s.log_flush_in_compaction_cpu_ns = repl_.log_flush_in_compaction_cpu_ns->Value();
+  s.send_index_cpu_ns = repl_.send_index_cpu_ns->Value();
+  s.log_records_replicated = repl_.log_records_replicated->Value();
+  s.log_flushes = repl_.log_flushes->Value();
+  s.append_retries = repl_.append_retries->Value();
+  s.index_segments_shipped = repl_.index_segments_shipped->Value();
+  s.index_bytes_shipped = repl_.index_bytes_shipped->Value();
+  s.backups_detached = repl_.backups_detached->Value();
+  s.slow_call_strikes = repl_.slow_call_strikes->Value();
+  s.fence_errors = repl_.fence_errors->Value();
+  s.streams_opened = repl_.streams_opened->Value();
+  s.flow_wait_ns = repl_.flow_wait_ns->Value();
+  return s;
+}
+
+void PrimaryRegion::RecordSpan(const CompactionInfo& info, const char* name, uint64_t start_ns,
+                               uint64_t end_ns, uint64_t bytes) const {
+  TraceBuffer* traces = store_->telemetry()->traces();
+  if (info.trace_id == kNoTrace || !traces->enabled()) {
+    return;
+  }
+  SpanRecord span;
+  span.trace = info.trace_id;
+  span.compaction_id = info.compaction_id;
+  span.name = name;
+  span.node = node_name_;
+  span.start_ns = start_ns;
+  span.end_ns = end_ns;
+  span.src_level = info.src_level;
+  span.dst_level = info.dst_level;
+  span.bytes = bytes;
+  traces->Record(std::move(span));
+}
 
 void PrimaryRegion::AddBackup(std::unique_ptr<BackupChannel> channel) {
   std::lock_guard<std::recursive_mutex> lock(region_mutex_);
@@ -53,6 +112,38 @@ void PrimaryRegion::AddBackup(std::unique_ptr<BackupChannel> channel) {
   if (stream_flow_pool_ > 0) {
     slot->flow = std::make_unique<StreamFlowController>(stream_flow_pool_, kMaxShippingStreams);
   }
+  {
+    MetricLabels labels = store_->options().telemetry_labels;
+    labels.emplace_back("backup", slot->channel->backup_name());
+    slot->credits_in_flight =
+        store_->telemetry()->metrics()->GetGauge("repl.credits_in_flight", labels);
+  }
+  // Reply-path credit return (PR 5): when the backup acknowledges a segment —
+  // its rewrite is done — return the stream's whole pending grant in one
+  // piece. The weak_ptr covers a detach racing an in-flight call; the
+  // leftover release in FanOut covers channels that never notify.
+  std::weak_ptr<BackupSlot> weak = slot;
+  slot->channel->set_window_update_listener([weak](StreamId stream, uint64_t) {
+    std::shared_ptr<BackupSlot> s = weak.lock();
+    if (s == nullptr || s->flow == nullptr) {
+      return;
+    }
+    uint64_t pending = 0;
+    {
+      std::lock_guard<std::mutex> credit(s->credit_mutex);
+      auto it = s->pending_credit.find(stream);
+      if (it != s->pending_credit.end()) {
+        pending = it->second;
+        it->second = 0;
+      }
+    }
+    if (pending > 0) {
+      s->flow->Release(stream, pending);
+    }
+    if (s->credits_in_flight != nullptr) {
+      s->credits_in_flight->Set(static_cast<int64_t>(s->flow->in_flight()));
+    }
+  });
   backups_.push_back(std::move(slot));
 }
 
@@ -70,6 +161,9 @@ bool PrimaryRegion::RemoveBackup(const std::string& backup_name) {
 void PrimaryRegion::set_epoch(uint64_t epoch) {
   std::lock_guard<std::recursive_mutex> lock(region_mutex_);
   epoch_ = epoch;
+  // New compactions derive their trace ids from (epoch, stream); ones already
+  // in flight keep the trace they started with.
+  store_->set_trace_epoch(epoch);
   for (auto& slot : backups_) {
     slot->channel->set_epoch(epoch);
   }
@@ -103,18 +197,27 @@ StreamId PrimaryRegion::AcquireStreamLocked(uint64_t compaction_id) {
     stream = static_cast<StreamId>(compaction_id % kMaxShippingStreams);
   }
   compaction_streams_[compaction_id] = {stream, owned};
-  replication_stats_.streams_opened++;
+  repl_.streams_opened->Increment();
   return stream;
 }
 
-StreamId PrimaryRegion::LookupStreamLocked(uint64_t compaction_id) {
-  auto it = compaction_streams_.find(compaction_id);
+StreamId PrimaryRegion::RegisterStreamLocked(const CompactionInfo& info) {
+  auto it = compaction_streams_.find(info.compaction_id);
   if (it != compaction_streams_.end()) {
-    return it->second.first;
+    return it->second.first;  // begin (or earlier segment) already registered
   }
-  // Segment arriving without a begin on record (backup set changed
-  // mid-compaction): allocate so the tagging stays consistent.
-  return AcquireStreamLocked(compaction_id);
+  if (info.stream != kNoStream) {
+    // Engine-assigned stream (PR 5): the scheduler allocated it at claim
+    // time, so spans and wire messages all carry the same id. Not
+    // allocator-owned here — the engine releases it when the compaction
+    // succeeds.
+    compaction_streams_[info.compaction_id] = {info.stream, false};
+    repl_.streams_opened->Increment();
+    return info.stream;
+  }
+  // No engine assignment (hand-driven observers in tests, exhausted engine
+  // allocator): fall back to this region's own allocator.
+  return AcquireStreamLocked(info.compaction_id);
 }
 
 void PrimaryRegion::ReleaseStreamLocked(uint64_t compaction_id) {
@@ -138,7 +241,7 @@ Status PrimaryRegion::GuardedCall(const std::shared_ptr<BackupSlot>& slot, Strea
   std::lock_guard<std::recursive_mutex> lock(region_mutex_);
   if (status.IsFailedPrecondition()) {
     // Epoch fence: this primary has been deposed. Not a replica-health event.
-    replication_stats_.fence_errors++;
+    repl_.fence_errors->Increment();
     return status;
   }
   const bool overdue = policy_.call_deadline_ns > 0 && elapsed > policy_.call_deadline_ns;
@@ -148,7 +251,7 @@ Status PrimaryRegion::GuardedCall(const std::shared_ptr<BackupSlot>& slot, Strea
     return status;
   }
   if (overdue) {
-    replication_stats_.slow_call_strikes++;
+    repl_.slow_call_strikes->Increment();
   }
   strikes++;
   return status;
@@ -186,7 +289,7 @@ void PrimaryRegion::DetachStruckBackupsLocked() {
                      << " consecutive failed/overdue calls on stream " << struck
                      << " (degraded mode)";
     it = backups_.erase(it);
-    replication_stats_.backups_detached++;
+    repl_.backups_detached->Increment();
     // Whatever the struck replica parked must not fail client operations —
     // the region now runs degraded on the survivors.
     parked_error_ = Status::Ok();
@@ -211,18 +314,46 @@ void PrimaryRegion::FanOut(StreamId stream, uint64_t flow_bytes,
       // Per-stream shipping credit: blocks while this stream's in-flight
       // bytes on this backup are at its cap (or the shared pool is full); a
       // timeout surfaces as Unavailable and strikes like any failed call.
-      if (flow_bytes > 0 && slot->flow != nullptr) {
+      const bool charged = flow_bytes > 0 && slot->flow != nullptr;
+      if (charged) {
         TEBIS_RETURN_IF_ERROR(
             slot->flow->Acquire(stream, flow_bytes, deadline_ns, &credit_wait_ns));
+        {
+          std::lock_guard<std::mutex> credit(slot->credit_mutex);
+          slot->pending_credit[stream] += flow_bytes;
+        }
+        if (slot->credits_in_flight != nullptr) {
+          slot->credits_in_flight->Set(static_cast<int64_t>(slot->flow->in_flight()));
+        }
       }
       Status s = call(slot->channel.get());
-      if (flow_bytes > 0 && slot->flow != nullptr) {
-        slot->flow->Release(stream, flow_bytes);
+      if (charged) {
+        // Credit normally comes back on the reply path — the channel's window
+        // update fires when the backup completes its rewrite and zeroes the
+        // pending grant. Whatever was NOT granted back (failed calls,
+        // channels that never notify) is returned here, in one piece:
+        // Acquire clamps oversized charges to the per-stream cap, so split
+        // releases would over-release.
+        uint64_t leftover = 0;
+        {
+          std::lock_guard<std::mutex> credit(slot->credit_mutex);
+          auto it = slot->pending_credit.find(stream);
+          if (it != slot->pending_credit.end()) {
+            leftover = it->second;
+            it->second = 0;
+          }
+        }
+        if (leftover > 0) {
+          slot->flow->Release(stream, leftover);
+        }
+        if (slot->credits_in_flight != nullptr) {
+          slot->credits_in_flight->Set(static_cast<int64_t>(slot->flow->in_flight()));
+        }
       }
       return s;
     });
+    repl_.flow_wait_ns->Add(credit_wait_ns);
     std::lock_guard<std::recursive_mutex> lock(region_mutex_);
-    replication_stats_.flow_wait_ns += credit_wait_ns;
     if (!StruckOutLocked(*slot, stream)) {
       Park(status);
     }
@@ -357,30 +488,35 @@ void PrimaryRegion::OnAppend(SegmentId tail_segment, uint64_t offset_in_segment,
   if (backups_.empty()) {
     return;
   }
-  ScopedCpuTimer timer(&replication_stats_.log_replication_cpu_ns);
-  // Replicate the record plus the 4 zero bytes that follow it in the tail
-  // buffer (ValueLog reserves them). They act as an end-of-data terminator in
-  // the backup's RDMA buffer, so promotion never replays stale bytes from a
-  // previous tail image.
-  Slice with_terminator(record_bytes.data(), record_bytes.size() + 4);
-  constexpr int kAppendRetryLimit = 8;
-  for (auto& slot : backups_) {
-    Status status = GuardedCall(slot, kNoStream, [&] {
-      Status s = slot->channel->RdmaWriteLog(offset_in_segment, with_terminator);
-      // One-sided writes dropped by a transient fabric fault are simply
-      // re-posted; a halted/partitioned peer keeps failing and the error parks.
-      for (int retry = 0; retry < kAppendRetryLimit && s.IsUnavailable(); ++retry) {
-        replication_stats_.append_retries++;
-        s = slot->channel->RdmaWriteLog(offset_in_segment, with_terminator);
+  uint64_t cpu_ns = 0;
+  {
+    ScopedCpuTimer timer(&cpu_ns);
+    // Replicate the record plus the 4 zero bytes that follow it in the tail
+    // buffer (ValueLog reserves them). They act as an end-of-data terminator
+    // in the backup's RDMA buffer, so promotion never replays stale bytes
+    // from a previous tail image.
+    Slice with_terminator(record_bytes.data(), record_bytes.size() + 4);
+    constexpr int kAppendRetryLimit = 8;
+    for (auto& slot : backups_) {
+      Status status = GuardedCall(slot, kNoStream, [&] {
+        Status s = slot->channel->RdmaWriteLog(offset_in_segment, with_terminator);
+        // One-sided writes dropped by a transient fabric fault are simply
+        // re-posted; a halted/partitioned peer keeps failing and the error
+        // parks.
+        for (int retry = 0; retry < kAppendRetryLimit && s.IsUnavailable(); ++retry) {
+          repl_.append_retries->Increment();
+          s = slot->channel->RdmaWriteLog(offset_in_segment, with_terminator);
+        }
+        return s;
+      });
+      if (!StruckOutLocked(*slot, kNoStream)) {
+        Park(status);
       }
-      return s;
-    });
-    if (!StruckOutLocked(*slot, kNoStream)) {
-      Park(status);
     }
+    DetachStruckBackupsLocked();
   }
-  DetachStruckBackupsLocked();
-  replication_stats_.log_records_replicated++;
+  repl_.log_replication_cpu_ns->Add(cpu_ns);
+  repl_.log_records_replicated->Increment();
 }
 
 void PrimaryRegion::OnTailFlush(SegmentId tail_segment, Slice segment_bytes) {
@@ -388,23 +524,27 @@ void PrimaryRegion::OnTailFlush(SegmentId tail_segment, Slice segment_bytes) {
   if (backups_.empty()) {
     return;
   }
-  ScopedCpuTimer timer(&replication_stats_.log_replication_cpu_ns);
-  const uint64_t start = ThreadCpuNanos();
-  // A flush forced by a sync-mode compaction begin is part of that
-  // compaction's stream; ordinary data-plane flushes are stream-less.
-  const StreamId stream = in_compaction_begin_ ? in_begin_stream_ : kNoStream;
-  for (auto& slot : backups_) {
-    Status status =
-        GuardedCall(slot, kNoStream, [&] { return slot->channel->FlushLog(tail_segment, stream); });
-    if (!StruckOutLocked(*slot, kNoStream)) {
-      Park(status);
+  uint64_t cpu_ns = 0;
+  {
+    ScopedCpuTimer timer(&cpu_ns);
+    const uint64_t start = ThreadCpuNanos();
+    // A flush forced by a sync-mode compaction begin is part of that
+    // compaction's stream; ordinary data-plane flushes are stream-less.
+    const StreamId stream = in_compaction_begin_ ? in_begin_stream_ : kNoStream;
+    for (auto& slot : backups_) {
+      Status status = GuardedCall(
+          slot, kNoStream, [&] { return slot->channel->FlushLog(tail_segment, stream); });
+      if (!StruckOutLocked(*slot, kNoStream)) {
+        Park(status);
+      }
+    }
+    DetachStruckBackupsLocked();
+    if (in_compaction_begin_) {
+      repl_.log_flush_in_compaction_cpu_ns->Add(ThreadCpuNanos() - start);
     }
   }
-  DetachStruckBackupsLocked();
-  if (in_compaction_begin_) {
-    replication_stats_.log_flush_in_compaction_cpu_ns += ThreadCpuNanos() - start;
-  }
-  replication_stats_.log_flushes++;
+  repl_.log_replication_cpu_ns->Add(cpu_ns);
+  repl_.log_flushes->Increment();
 }
 
 // --- index shipping (§3.3) -------------------------------------------------------
@@ -414,7 +554,7 @@ void PrimaryRegion::OnCompactionBegin(const CompactionInfo& info) {
   bool ship;
   {
     std::lock_guard<std::recursive_mutex> lock(region_mutex_);
-    stream = AcquireStreamLocked(info.compaction_id);
+    stream = RegisterStreamLocked(info);
     // Every log offset the compaction will emit must already be flushed (and
     // therefore mapped on the backups): seal the tail first. Done even
     // without backups so the L0 boundary stays exact for later FullSyncs.
@@ -448,8 +588,7 @@ void PrimaryRegion::OnCompactionBegin(const CompactionInfo& info) {
       return channel->CompactionBegin(info.compaction_id, info.src_level, info.dst_level, stream);
     });
   }
-  std::lock_guard<std::recursive_mutex> lock(region_mutex_);
-  replication_stats_.send_index_cpu_ns += cpu_ns;
+  repl_.send_index_cpu_ns->Add(cpu_ns);
 }
 
 void PrimaryRegion::OnIndexSegment(const CompactionInfo& info, int tree_level, SegmentId segment,
@@ -460,9 +599,10 @@ void PrimaryRegion::OnIndexSegment(const CompactionInfo& info, int tree_level, S
     if (mode_ != ReplicationMode::kSendIndex || backups_.empty()) {
       return;
     }
-    stream = LookupStreamLocked(info.compaction_id);
+    stream = RegisterStreamLocked(info);
   }
   uint64_t cpu_ns = 0;
+  const uint64_t ship_start_ns = NowNanos();
   {
     ScopedCpuTimer timer(&cpu_ns);
     FanOut(stream, /*flow_bytes=*/bytes.size(), [&](BackupChannel* channel) {
@@ -470,10 +610,10 @@ void PrimaryRegion::OnIndexSegment(const CompactionInfo& info, int tree_level, S
                                        bytes, stream);
     });
   }
-  std::lock_guard<std::recursive_mutex> lock(region_mutex_);
-  replication_stats_.send_index_cpu_ns += cpu_ns;
-  replication_stats_.index_segments_shipped++;
-  replication_stats_.index_bytes_shipped += bytes.size();
+  RecordSpan(info, "ship_segment", ship_start_ns, NowNanos(), bytes.size());
+  repl_.send_index_cpu_ns->Add(cpu_ns);
+  repl_.index_segments_shipped->Increment();
+  repl_.index_bytes_shipped->Add(bytes.size());
 }
 
 void PrimaryRegion::OnCompactionEnd(const CompactionInfo& info, const BuiltTree& new_tree) {
@@ -484,7 +624,7 @@ void PrimaryRegion::OnCompactionEnd(const CompactionInfo& info, const BuiltTree&
       ReleaseStreamLocked(info.compaction_id);
       return;
     }
-    stream = LookupStreamLocked(info.compaction_id);
+    stream = RegisterStreamLocked(info);
   }
   uint64_t cpu_ns = 0;
   {
@@ -494,9 +634,11 @@ void PrimaryRegion::OnCompactionEnd(const CompactionInfo& info, const BuiltTree&
                                     stream);
     });
   }
-  std::lock_guard<std::recursive_mutex> lock(region_mutex_);
-  ReleaseStreamLocked(info.compaction_id);
-  replication_stats_.send_index_cpu_ns += cpu_ns;
+  {
+    std::lock_guard<std::recursive_mutex> lock(region_mutex_);
+    ReleaseStreamLocked(info.compaction_id);
+  }
+  repl_.send_index_cpu_ns->Add(cpu_ns);
 }
 
 }  // namespace tebis

@@ -41,6 +41,9 @@ enum class ReplicationMode {
 
 const char* ReplicationModeName(ReplicationMode mode);
 
+// Thin view over the region's "repl.*" registry instruments (PR 5): the same
+// atomics a telemetry scrape samples, kept as a struct so existing callers
+// and bench harnesses read one coherent copy.
 struct ReplicationStats {
   uint64_t log_replication_cpu_ns = 0;  // Table 3 "KV log replication"
   // Portion of log_replication_cpu_ns spent in the tail flush that a
@@ -134,11 +137,11 @@ class PrimaryRegion : public ValueLogObserver, public CompactionObserver {
     return std::move(store_);
   }
   ReplicationMode mode() const { return mode_; }
-  // By value, under the region lock: callers may poll while fan-outs run.
-  ReplicationStats replication_stats() const {
-    std::lock_guard<std::recursive_mutex> lock(region_mutex_);
-    return replication_stats_;
-  }
+  // By value; callers may poll while fan-outs run (each field is an atomic
+  // registry instrument, so no lock is needed).
+  ReplicationStats replication_stats() const;
+  // The telemetry plane this region reports into (the engine's).
+  Telemetry* telemetry() const { return store_->telemetry(); }
   size_t num_backups() const {
     std::lock_guard<std::recursive_mutex> lock(region_mutex_);
     return backups_.size();
@@ -187,6 +190,32 @@ class PrimaryRegion : public ValueLogObserver, public CompactionObserver {
     std::map<StreamId, int> strikes;
     // Internally synchronized; null when flow control is disabled.
     std::unique_ptr<StreamFlowController> flow;
+    // Credit granted to an in-flight segment ship, not yet returned by the
+    // backup's window update (PR 5: credit comes back on the reply path, when
+    // the backup completes its rewrite — not at send return). Guarded by
+    // credit_mutex, never region_mutex_: the window-update listener fires
+    // from inside channel calls, which run without the region lock.
+    std::mutex credit_mutex;
+    std::map<StreamId, uint64_t> pending_credit;
+    Gauge* credits_in_flight = nullptr;  // repl.credits_in_flight{backup}
+  };
+
+  // Counter instruments behind ReplicationStats, resolved once against the
+  // engine's telemetry plane (same labels as the store).
+  struct ReplInstruments {
+    Counter* log_replication_cpu_ns = nullptr;
+    Counter* log_flush_in_compaction_cpu_ns = nullptr;
+    Counter* send_index_cpu_ns = nullptr;
+    Counter* log_records_replicated = nullptr;
+    Counter* log_flushes = nullptr;
+    Counter* append_retries = nullptr;
+    Counter* index_segments_shipped = nullptr;
+    Counter* index_bytes_shipped = nullptr;
+    Counter* backups_detached = nullptr;
+    Counter* slow_call_strikes = nullptr;
+    Counter* fence_errors = nullptr;
+    Counter* streams_opened = nullptr;
+    Counter* flow_wait_ns = nullptr;
   };
 
   // ValueLogObserver (data plane).
@@ -209,8 +238,19 @@ class PrimaryRegion : public ValueLogObserver, public CompactionObserver {
   // Stream-id bookkeeping for one compaction. Acquire is idempotent per
   // compaction id (retries reuse the stream); Release frees the id.
   StreamId AcquireStreamLocked(uint64_t compaction_id);
-  StreamId LookupStreamLocked(uint64_t compaction_id);
   void ReleaseStreamLocked(uint64_t compaction_id);
+  // Prefers the engine-assigned stream carried in CompactionInfo (PR 5: the
+  // scheduler allocates it at claim time, so the id in every span and wire
+  // message is identical); falls back to this region's own allocator for
+  // observers called without one (tests, legacy paths).
+  StreamId RegisterStreamLocked(const CompactionInfo& info);
+
+  // Resolves the "repl.*" instruments against the engine's telemetry plane.
+  // Must run after store_ is set, before any observer can fire.
+  void InitTelemetry();
+  // Records one shipping-plane span (no-op when untraced or disabled).
+  void RecordSpan(const CompactionInfo& info, const char* name, uint64_t start_ns,
+                  uint64_t end_ns, uint64_t bytes = 0) const;
 
   // Runs one call against a backup under the health policy: failures and
   // deadline overruns are strikes on (backup, stream), a clean on-time call
@@ -247,7 +287,8 @@ class PrimaryRegion : public ValueLogObserver, public CompactionObserver {
   // RemoveBackup/detach runs mid-flight.
   std::vector<std::shared_ptr<BackupSlot>> backups_;
   Status parked_error_;
-  ReplicationStats replication_stats_;
+  ReplInstruments repl_;    // stable pointers; updated without region_mutex_
+  std::string node_name_;   // span node label
   ReplicationPolicy policy_;
   DetachListener detach_listener_;
   uint64_t epoch_ = 0;

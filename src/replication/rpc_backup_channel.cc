@@ -54,7 +54,13 @@ Status RpcBackupChannel::ShipIndexSegment(uint64_t compaction_id, int dst_level,
                                           StreamId stream) {
   IndexSegmentMsg msg{epoch(), compaction_id, static_cast<uint32_t>(dst_level),
                       static_cast<uint32_t>(tree_level), primary_segment, bytes, stream};
-  return CallChecked(MessageType::kIndexSegment, EncodeIndexSegment(msg));
+  Status status = CallChecked(MessageType::kIndexSegment, EncodeIndexSegment(msg));
+  if (status.ok()) {
+    // The reply arrives after the backup's rewrite handler ran: it is the
+    // window update returning this stream's share of the replication buffer.
+    NotifyWindowUpdate(stream, bytes.size());
+  }
+  return status;
 }
 
 Status RpcBackupChannel::CompactionEnd(uint64_t compaction_id, int src_level, int dst_level,

@@ -47,20 +47,57 @@ SendIndexBackupRegion::SendIndexBackupRegion(BlockDevice* device, const KvStoreO
     : device_(device),
       options_(options),
       rdma_buffer_(std::move(rdma_buffer)),
-      levels_(options.max_levels + 1) {}
+      levels_(options.max_levels + 1) {
+  InitTelemetry();
+}
+
+void SendIndexBackupRegion::InitTelemetry() {
+  telemetry_ = options_.telemetry;
+  if (telemetry_ == nullptr) {
+    owned_telemetry_ = std::make_unique<Telemetry>();
+    telemetry_ = owned_telemetry_.get();
+  }
+  node_name_ = NodeLabel(options_.telemetry_labels);
+  MetricsRegistry* reg = telemetry_->metrics();
+  const MetricLabels& l = options_.telemetry_labels;
+  counters_.rewrite_cpu_ns = reg->GetCounter("backup.rewrite_cpu_ns", l);
+  counters_.segments_rewritten = reg->GetCounter("backup.segments_rewritten", l);
+  counters_.offsets_rewritten = reg->GetCounter("backup.offsets_rewritten", l);
+  counters_.log_flushes = reg->GetCounter("backup.log_flushes", l);
+  counters_.epoch_rejected = reg->GetCounter("backup.epoch_rejected", l);
+  counters_.streams_opened = reg->GetCounter("backup.streams_opened", l);
+  counters_.streams_aborted = reg->GetCounter("backup.streams_aborted", l);
+}
+
+void SendIndexBackupRegion::RecordSpan(const CompactionStream& stream, const char* name,
+                                       uint64_t start_ns, uint64_t end_ns,
+                                       uint64_t bytes) const {
+  TraceBuffer* traces = telemetry_->traces();
+  if (stream.trace == kNoTrace || !traces->enabled()) {
+    return;
+  }
+  SpanRecord span;
+  span.trace = stream.trace;
+  span.compaction_id = stream.id;
+  span.name = name;
+  span.node = node_name_;
+  span.start_ns = start_ns;
+  span.end_ns = end_ns;
+  span.src_level = stream.src_level;
+  span.dst_level = stream.dst_level;
+  span.bytes = bytes;
+  traces->Record(std::move(span));
+}
 
 SendIndexBackupStats SendIndexBackupRegion::stats() const {
   SendIndexBackupStats s;
-  const auto ld = [](const std::atomic<uint64_t>& a) {
-    return a.load(std::memory_order_relaxed);
-  };
-  s.rewrite_cpu_ns = ld(counters_.rewrite_cpu_ns);
-  s.segments_rewritten = ld(counters_.segments_rewritten);
-  s.offsets_rewritten = ld(counters_.offsets_rewritten);
-  s.log_flushes = ld(counters_.log_flushes);
-  s.epoch_rejected = ld(counters_.epoch_rejected);
-  s.streams_opened = ld(counters_.streams_opened);
-  s.streams_aborted = ld(counters_.streams_aborted);
+  s.rewrite_cpu_ns = counters_.rewrite_cpu_ns->Value();
+  s.segments_rewritten = counters_.segments_rewritten->Value();
+  s.offsets_rewritten = counters_.offsets_rewritten->Value();
+  s.log_flushes = counters_.log_flushes->Value();
+  s.epoch_rejected = counters_.epoch_rejected->Value();
+  s.streams_opened = counters_.streams_opened->Value();
+  s.streams_aborted = counters_.streams_aborted->Value();
   return s;
 }
 
@@ -90,7 +127,7 @@ Status SendIndexBackupRegion::HandleLogFlush(SegmentId primary_segment) {
       log_->AppendRawSegment(Slice(rdma_buffer_->data(), device_->segment_size())));
   TEBIS_RETURN_IF_ERROR(log_map_.Insert(primary_segment, local));
   primary_flush_order_.push_back(primary_segment);
-  counters_.log_flushes.fetch_add(1, std::memory_order_relaxed);
+  counters_.log_flushes->Increment();
   return Status::Ok();
 }
 
@@ -123,8 +160,11 @@ Status SendIndexBackupRegion::HandleCompactionBegin(uint64_t compaction_id, int 
   fresh->dst_level = dst_level;
   fresh->replay_from_snapshot = log_->flushed_segments().size();
   fresh->log_map = log_map_;
+  // Same trace id the primary derived for this compaction: epoch and stream
+  // ride on every shipped message, so both ends compute it independently.
+  fresh->trace = MakeTraceId(region_epoch(), stream);
   streams_[stream] = std::move(fresh);
-  counters_.streams_opened.fetch_add(1, std::memory_order_relaxed);
+  counters_.streams_opened->Increment();
   return Status::Ok();
 }
 
@@ -143,7 +183,7 @@ Status SendIndexBackupRegion::RewriteSegment(CompactionStream* stream, char* byt
   OffsetTranslator log_translate = [this, stream](uint64_t offset) -> StatusOr<uint64_t> {
     TEBIS_ASSIGN_OR_RETURN(SegmentId local,
                            stream->log_map.Lookup(device_->geometry().SegmentOf(offset)));
-    counters_.offsets_rewritten.fetch_add(1, std::memory_order_relaxed);
+    counters_.offsets_rewritten->Increment();
     return device_->geometry().Translate(offset, local);
   };
   OffsetTranslator index_translate = [this, stream](uint64_t offset) -> StatusOr<uint64_t> {
@@ -151,7 +191,7 @@ Status SendIndexBackupRegion::RewriteSegment(CompactionStream* stream, char* byt
         SegmentId local,
         stream->index_map.GetOrReserve(device_->geometry().SegmentOf(offset),
                                        [this] { return device_->AllocateSegment(); }));
-    counters_.offsets_rewritten.fetch_add(1, std::memory_order_relaxed);
+    counters_.offsets_rewritten->Increment();
     return device_->geometry().Translate(offset, local);
   };
 
@@ -191,6 +231,7 @@ Status SendIndexBackupRegion::HandleIndexSegment(uint64_t compaction_id, int dst
     return Status::FailedPrecondition("stream aborted by promotion");
   }
   uint64_t cpu_ns = 0;
+  const uint64_t rewrite_start_ns = NowNanos();
   Status status = [&]() -> Status {
     ScopedCpuTimer timer(&cpu_ns);
     // Allocate (or claim the reserved) local segment for this primary segment.
@@ -205,9 +246,10 @@ Status SendIndexBackupRegion::HandleIndexSegment(uint64_t compaction_id, int dst
                                          IoClass::kIndexRewrite));
     return Status::Ok();
   }();
-  counters_.rewrite_cpu_ns.fetch_add(cpu_ns, std::memory_order_relaxed);
+  counters_.rewrite_cpu_ns->Add(cpu_ns);
   if (status.ok()) {
-    counters_.segments_rewritten.fetch_add(1, std::memory_order_relaxed);
+    counters_.segments_rewritten->Increment();
+    RecordSpan(*s, "rewrite_segment", rewrite_start_ns, NowNanos(), bytes.size());
   }
   return status;
 }
@@ -239,6 +281,7 @@ Status SendIndexBackupRegion::HandleCompactionEnd(uint64_t compaction_id, int sr
   // in-flight rewrite on the same stream.
   std::lock_guard<std::mutex> work(s->mutex);
   uint64_t cpu_ns = 0;
+  const uint64_t commit_start_ns = NowNanos();
   Status status = [&]() -> Status {
     ScopedCpuTimer timer(&cpu_ns);
     BuiltTree local_tree;
@@ -272,8 +315,9 @@ Status SendIndexBackupRegion::HandleCompactionEnd(uint64_t compaction_id, int sr
     levels_[dst_level] = local_tree;
     return Status::Ok();
   }();
-  counters_.rewrite_cpu_ns.fetch_add(cpu_ns, std::memory_order_relaxed);
+  counters_.rewrite_cpu_ns->Add(cpu_ns);
   if (status.ok()) {
+    RecordSpan(*s, "commit", commit_start_ns, NowNanos());
     streams_.erase(stream);  // the index map is only valid during the compaction
     last_completed_[stream] = compaction_id;
   }
@@ -322,7 +366,7 @@ StatusOr<std::unique_ptr<KvStore>> SendIndexBackupRegion::Promote(bool replay_rd
       for (const auto& [primary, local] : s->index_map.entries()) {
         TEBIS_RETURN_IF_ERROR(device_->FreeSegment(local));
       }
-      counters_.streams_aborted.fetch_add(1, std::memory_order_relaxed);
+      counters_.streams_aborted->Increment();
     }
     streams_.clear();
     replay_from = replay_from_;
@@ -372,7 +416,7 @@ StatusOr<std::unique_ptr<KvStore>> SendIndexBackupRegion::Promote(bool replay_rd
 Status SendIndexBackupRegion::CheckEpoch(uint64_t msg_epoch) {
   const uint64_t cur = region_epoch_.load(std::memory_order_acquire);
   if (msg_epoch < cur) {
-    counters_.epoch_rejected.fetch_add(1, std::memory_order_relaxed);
+    counters_.epoch_rejected->Increment();
     return Status::FailedPrecondition("stale replication epoch " + std::to_string(msg_epoch) +
                                       " < " + std::to_string(cur));
   }

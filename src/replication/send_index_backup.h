@@ -17,6 +17,7 @@
 #include <map>
 #include <memory>
 #include <mutex>
+#include <string>
 #include <vector>
 
 #include "src/lsm/kv_store.h"
@@ -25,6 +26,7 @@
 #include "src/replication/compaction_stream.h"
 #include "src/replication/segment_map.h"
 #include "src/storage/block_device.h"
+#include "src/telemetry/telemetry.h"
 
 namespace tebis {
 
@@ -117,6 +119,9 @@ class SendIndexBackupRegion {
   const BuiltTree& level(uint32_t i) const { return levels_[i]; }
   ValueLog* value_log() { return log_.get(); }
   SendIndexBackupStats stats() const;
+  // Telemetry plane the region's instruments live in: the shared plane from
+  // KvStoreOptions::telemetry, else a private one owned by this region.
+  Telemetry* telemetry() const { return telemetry_; }
   uint64_t l0_memory_bytes() const { return 0; }  // the headline saving
   // Compaction streams currently mid-ship.
   size_t active_streams() const;
@@ -147,16 +152,26 @@ class SendIndexBackupRegion {
     size_t replay_from_snapshot;  // log segments flushed when it began
     std::mutex mutex;             // serializes rewrites within the stream
     bool aborted = false;         // set by Promote; rejects further traffic
+    // Reconstructed from (region epoch, stream id) at begin; rewrite/commit
+    // spans attach to the primary's trace without any wire-format change.
+    TraceId trace = kNoTrace;
   };
 
-  // Mirrors SendIndexBackupStats with atomics (concurrent streams).
-  struct StatsCounters {
-    std::atomic<uint64_t> rewrite_cpu_ns{0};
-    std::atomic<uint64_t> segments_rewritten{0}, offsets_rewritten{0};
-    std::atomic<uint64_t> log_flushes{0}, epoch_rejected{0};
-    std::atomic<uint64_t> streams_opened{0}, streams_aborted{0};
+  // Mirrors SendIndexBackupStats as registry instruments ("backup.*" names);
+  // the struct view in stats() reads their values.
+  struct Instruments {
+    Counter* rewrite_cpu_ns = nullptr;
+    Counter* segments_rewritten = nullptr;
+    Counter* offsets_rewritten = nullptr;
+    Counter* log_flushes = nullptr;
+    Counter* epoch_rejected = nullptr;
+    Counter* streams_opened = nullptr;
+    Counter* streams_aborted = nullptr;
   };
 
+  void InitTelemetry();
+  void RecordSpan(const CompactionStream& stream, const char* name, uint64_t start_ns,
+                  uint64_t end_ns, uint64_t bytes = 0) const;
   Status RewriteSegment(CompactionStream* stream, char* bytes, size_t size);
   Status FreeTree(const BuiltTree& tree);
 
@@ -188,7 +203,10 @@ class SendIndexBackupRegion {
   // concurrent stream checks it on every message.
   std::atomic<uint64_t> region_epoch_{0};
 
-  mutable StatsCounters counters_;
+  std::unique_ptr<Telemetry> owned_telemetry_;
+  Telemetry* telemetry_ = nullptr;
+  std::string node_name_;
+  Instruments counters_;
 };
 
 }  // namespace tebis

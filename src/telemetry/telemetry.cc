@@ -1,0 +1,28 @@
+#include "src/telemetry/telemetry.h"
+
+namespace tebis {
+
+void Telemetry::AddCollector(std::function<void(MetricsSnapshot*)> collector) {
+  std::lock_guard<std::mutex> lock(collectors_mutex_);
+  collectors_.push_back(std::move(collector));
+}
+
+MetricsSnapshot Telemetry::Snapshot() const {
+  MetricsSnapshot snapshot = metrics_.Snapshot();
+  std::lock_guard<std::mutex> lock(collectors_mutex_);
+  for (const auto& collector : collectors_) {
+    collector(&snapshot);
+  }
+  return snapshot;
+}
+
+std::string Telemetry::ScrapeJson(const std::string& node) const {
+  std::string out = "{\n\"node\": \"" + node + "\",\n\"metrics\": ";
+  out += Snapshot().Json();
+  out += ",\n\"spans\": ";
+  out += ChromeTraceJson(traces_.Snapshot());
+  out += "\n}";
+  return out;
+}
+
+}  // namespace tebis

@@ -1,0 +1,73 @@
+#include "src/telemetry/trace.h"
+
+#include <cinttypes>
+#include <cstdio>
+#include <map>
+
+namespace tebis {
+
+void TraceBuffer::Record(SpanRecord span) {
+  if (!enabled()) {
+    return;
+  }
+  std::lock_guard<std::mutex> lock(mutex_);
+  total_++;
+  if (ring_.size() < capacity_) {
+    ring_.push_back(std::move(span));
+    return;
+  }
+  ring_[next_] = std::move(span);
+  next_ = (next_ + 1) % capacity_;
+}
+
+std::vector<SpanRecord> TraceBuffer::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<SpanRecord> out;
+  out.reserve(ring_.size());
+  // Once full, next_ points at the oldest slot.
+  for (size_t i = 0; i < ring_.size(); ++i) {
+    out.push_back(ring_[(next_ + i) % ring_.size()]);
+  }
+  return out;
+}
+
+uint64_t TraceBuffer::dropped() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return total_ > ring_.size() ? total_ - ring_.size() : 0;
+}
+
+std::string ChromeTraceJson(const std::vector<SpanRecord>& spans) {
+  std::map<std::string, int> pids;
+  for (const SpanRecord& span : spans) {
+    pids.emplace(span.node, static_cast<int>(pids.size()) + 1);
+  }
+  std::string out = "{\"traceEvents\":[\n";
+  char buf[512];
+  bool first = true;
+  for (const auto& [node, pid] : pids) {
+    snprintf(buf, sizeof(buf),
+             "%s{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":%d,\"tid\":0,"
+             "\"args\":{\"name\":\"%s\"}}",
+             first ? "" : ",\n", pid, node.c_str());
+    out += buf;
+    first = false;
+  }
+  for (const SpanRecord& span : spans) {
+    const double ts_us = static_cast<double>(span.start_ns) / 1000.0;
+    const double dur_us =
+        static_cast<double>(span.end_ns > span.start_ns ? span.end_ns - span.start_ns : 0) /
+        1000.0;
+    snprintf(buf, sizeof(buf),
+             "%s{\"name\":\"%s\",\"ph\":\"X\",\"pid\":%d,\"tid\":1,\"ts\":%.3f,"
+             "\"dur\":%.3f,\"args\":{\"trace\":\"0x%" PRIx64 "\",\"compaction\":%" PRIu64
+             ",\"src_level\":%d,\"dst_level\":%d,\"bytes\":%" PRIu64 "}}",
+             first ? "" : ",\n", span.name, pids[span.node], ts_us, dur_us, span.trace,
+             span.compaction_id, span.src_level, span.dst_level, span.bytes);
+    out += buf;
+    first = false;
+  }
+  out += "\n]}";
+  return out;
+}
+
+}  // namespace tebis

@@ -1,0 +1,77 @@
+// Pipeline span tracing (PR 5): every compaction the KvStore scheduler claims
+// gets a trace id derived from (replication epoch, shipping stream id) — the
+// two values already stamped on every shipped wire message (flush/begin/
+// segment/end), so the backup reconstructs the primary's trace id without any
+// wire-format change and attaches its rewrite/commit spans to the same trace.
+//
+// Spans land in a bounded per-node ring buffer (oldest overwritten) and dump
+// as chrome://tracing "complete" events. A stream id is reused across
+// compactions, so within one epoch a trace id recurs over time; spans carry
+// the compaction id to disambiguate when a capture window spans reuse.
+#ifndef TEBIS_TELEMETRY_TRACE_H_
+#define TEBIS_TELEMETRY_TRACE_H_
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace tebis {
+
+using TraceId = uint64_t;
+inline constexpr TraceId kNoTrace = 0;
+
+// (epoch+1) << 32 | stream: nonzero for every valid stream (epoch 0 is the
+// standalone/SimCluster configuration), identical on both ends of the wire.
+inline TraceId MakeTraceId(uint64_t epoch, uint32_t stream) {
+  return ((epoch + 1) << 32) | stream;
+}
+
+struct SpanRecord {
+  TraceId trace = kNoTrace;
+  uint64_t compaction_id = 0;
+  const char* name = "";  // static string ("claim", "merge_build", ...)
+  std::string node;       // emitting node (NodeLabel of the owner's labels)
+  uint64_t start_ns = 0;
+  uint64_t end_ns = 0;
+  int src_level = -1;
+  int dst_level = -1;
+  uint64_t bytes = 0;  // payload size for ship/rewrite spans
+};
+
+// Bounded mutex-guarded ring. Capacity 0 disables recording entirely — the
+// telemetry-overhead A/B's "off" arm and the default for standalone stores;
+// callers branch on enabled() so a disabled buffer costs one load per span.
+class TraceBuffer {
+ public:
+  explicit TraceBuffer(size_t capacity) : capacity_(capacity) {}
+  TraceBuffer(const TraceBuffer&) = delete;
+  TraceBuffer& operator=(const TraceBuffer&) = delete;
+
+  bool enabled() const { return capacity_ != 0; }
+  size_t capacity() const { return capacity_; }
+
+  void Record(SpanRecord span);
+
+  // Recorded spans, oldest first. Empty when disabled.
+  std::vector<SpanRecord> Snapshot() const;
+
+  // Spans overwritten because the ring was full.
+  uint64_t dropped() const;
+
+ private:
+  const size_t capacity_;
+  mutable std::mutex mutex_;
+  std::vector<SpanRecord> ring_;
+  size_t next_ = 0;       // slot the next span lands in once the ring is full
+  uint64_t total_ = 0;    // spans ever recorded
+};
+
+// chrome://tracing JSON ("X" complete events, ts/dur in microseconds). Each
+// distinct node becomes a pid with a process_name metadata record; span args
+// carry trace id, compaction id, levels, and bytes.
+std::string ChromeTraceJson(const std::vector<SpanRecord>& spans);
+
+}  // namespace tebis
+
+#endif  // TEBIS_TELEMETRY_TRACE_H_

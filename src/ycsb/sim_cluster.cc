@@ -5,7 +5,22 @@
 namespace tebis {
 
 SimCluster::SimCluster(const SimClusterOptions& options)
-    : options_(options), fabric_(std::make_unique<Fabric>()) {}
+    : options_(options),
+      telemetry_(std::make_unique<Telemetry>(options.trace_capacity)),
+      fabric_(std::make_unique<Fabric>()) {}
+
+namespace {
+
+MetricLabels StoreLabels(const MetricLabels& base, const std::string& node, uint32_t region,
+                         const char* role) {
+  MetricLabels labels = base;
+  labels.emplace_back("node", node);
+  labels.emplace_back("region", std::to_string(region));
+  labels.emplace_back("role", role);
+  return labels;
+}
+
+}  // namespace
 
 StatusOr<std::unique_ptr<SimCluster>> SimCluster::Create(const SimClusterOptions& options) {
   if (options.replication_factor < 1 || options.replication_factor > options.num_servers) {
@@ -42,6 +57,9 @@ StatusOr<std::unique_ptr<SimCluster>> SimCluster::Create(const SimClusterOptions
     const int primary_server = static_cast<int>(info.region_id) % options.num_servers;
     KvStoreOptions primary_kv = cluster->options_.kv_options;
     primary_kv.compaction_pool = cluster->compaction_pool_.get();  // null = synchronous
+    primary_kv.telemetry = cluster->telemetry_.get();
+    primary_kv.telemetry_labels = StoreLabels(cluster->options_.kv_options.telemetry_labels,
+                                              info.primary, info.region_id, "primary");
     TEBIS_ASSIGN_OR_RETURN(region.primary,
                            PrimaryRegion::Create(cluster->devices_[primary_server].get(),
                                                  primary_kv, options.mode));
@@ -52,11 +70,14 @@ StatusOr<std::unique_ptr<SimCluster>> SimCluster::Create(const SimClusterOptions
                            cluster->server_names_.begin());
       auto buffer = cluster->fabric_->RegisterBuffer(backup_name, info.primary,
                                                      options.device_options.segment_size);
+      KvStoreOptions backup_kv = cluster->options_.kv_options;
+      backup_kv.telemetry = cluster->telemetry_.get();
+      backup_kv.telemetry_labels = StoreLabels(cluster->options_.kv_options.telemetry_labels,
+                                               backup_name, info.region_id, "backup");
       if (options.mode == ReplicationMode::kBuildIndex) {
         TEBIS_ASSIGN_OR_RETURN(auto backup,
                                BuildIndexBackupRegion::Create(
-                                   cluster->devices_[backup_server].get(),
-                                   cluster->options_.kv_options, buffer));
+                                   cluster->devices_[backup_server].get(), backup_kv, buffer));
         region.primary->AddBackup(std::make_unique<LocalBackupChannel>(
             cluster->fabric_.get(), info.primary, buffer, nullptr, backup.get(),
             options.channel_max_attempts));
@@ -64,8 +85,7 @@ StatusOr<std::unique_ptr<SimCluster>> SimCluster::Create(const SimClusterOptions
       } else {
         TEBIS_ASSIGN_OR_RETURN(auto backup,
                                SendIndexBackupRegion::Create(
-                                   cluster->devices_[backup_server].get(),
-                                   cluster->options_.kv_options, buffer));
+                                   cluster->devices_[backup_server].get(), backup_kv, buffer));
         region.primary->AddBackup(std::make_unique<LocalBackupChannel>(
             cluster->fabric_.get(), info.primary, buffer, backup.get(), nullptr,
             options.channel_max_attempts));
@@ -74,6 +94,24 @@ StatusOr<std::unique_ptr<SimCluster>> SimCluster::Create(const SimClusterOptions
     }
     cluster->regions_.push_back(std::move(region));
   }
+  // Device and fabric byte counts stay native (per-IoClass atomics on the hot
+  // path); sample them live at scrape time instead of migrating them.
+  SimCluster* raw = cluster.get();
+  cluster->telemetry_->AddCollector([raw](MetricsSnapshot* snapshot) {
+    for (size_t i = 0; i < raw->devices_.size(); ++i) {
+      MetricSample sample;
+      sample.name = "storage.device_bytes_total";
+      sample.labels.emplace_back("node", raw->server_names_[i]);
+      sample.kind = InstrumentKind::kGauge;
+      sample.value = static_cast<int64_t>(raw->devices_[i]->stats().TotalBytes());
+      snapshot->Add(std::move(sample));
+    }
+    MetricSample net;
+    net.name = "net.fabric_bytes_total";
+    net.kind = InstrumentKind::kGauge;
+    net.value = static_cast<int64_t>(raw->fabric_->TotalBytes());
+    snapshot->Add(std::move(net));
+  });
   return cluster;
 }
 
@@ -134,28 +172,26 @@ uint64_t SimCluster::DeviceBytes(IoClass io_class, bool reads) const {
 }
 
 ClusterCpuBreakdown SimCluster::CpuBreakdown() const {
+  // One consistent registry walk; the {role} label separates primary engines
+  // from Build-Index backup engines sharing the same "kv.*" instrument names.
+  return CpuBreakdownFrom(telemetry_->Snapshot());
+}
+
+ClusterCpuBreakdown SimCluster::CpuBreakdownFrom(const MetricsSnapshot& snap) {
   ClusterCpuBreakdown out;
-  for (const auto& region : regions_) {
-    const KvStoreStats kv = region.primary->store()->stats();
-    out.insert_l0_ns += kv.insert_l0_cpu_ns;
-    out.compaction_ns += kv.compaction_cpu_ns;
-    out.get_ns += kv.get_cpu_ns;
-    out.compaction_queue_wait_ns += kv.compaction_queue_wait_ns;
-    out.compaction_merge_ns += kv.compaction_merge_ns;
-    out.compaction_build_ns += kv.compaction_build_ns;
-    out.compaction_ship_ns += kv.compaction_ship_ns;
-    const ReplicationStats& rs = region.primary->replication_stats();
-    out.log_replication_ns += rs.log_replication_cpu_ns;
-    out.log_flush_in_compaction_ns += rs.log_flush_in_compaction_cpu_ns;
-    out.send_index_ns += rs.send_index_cpu_ns;
-    for (const auto& backup : region.send_backups) {
-      out.rewrite_index_ns += backup->stats().rewrite_cpu_ns;
-    }
-    for (const auto& backup : region.build_backups) {
-      out.backup_insert_ns += backup->stats().insert_cpu_ns;
-      out.backup_compaction_ns += backup->store()->stats().compaction_cpu_ns;
-    }
-  }
+  out.insert_l0_ns = snap.Sum("kv.insert_l0_cpu_ns", "role", "primary");
+  out.compaction_ns = snap.Sum("kv.compaction_cpu_ns", "role", "primary");
+  out.get_ns = snap.Sum("kv.get_cpu_ns", "role", "primary");
+  out.compaction_queue_wait_ns = snap.Sum("kv.compaction_queue_wait_ns", "role", "primary");
+  out.compaction_merge_ns = snap.Sum("kv.compaction_merge_ns", "role", "primary");
+  out.compaction_build_ns = snap.Sum("kv.compaction_build_ns", "role", "primary");
+  out.compaction_ship_ns = snap.Sum("kv.compaction_ship_ns", "role", "primary");
+  out.log_replication_ns = snap.Sum("repl.log_replication_cpu_ns");
+  out.log_flush_in_compaction_ns = snap.Sum("repl.log_flush_in_compaction_cpu_ns");
+  out.send_index_ns = snap.Sum("repl.send_index_cpu_ns");
+  out.rewrite_index_ns = snap.Sum("backup.rewrite_cpu_ns");
+  out.backup_insert_ns = snap.Sum("backup.insert_cpu_ns");
+  out.backup_compaction_ns = snap.Sum("kv.compaction_cpu_ns", "role", "backup");
   // Values are RAW (inclusive) timings; with direct channels the calls nest:
   //   put timer        ⊃ log replication (appends + most flushes)
   //   log replication  ⊃ backup flush handling (Build-Index: L0 insert ⊃ its

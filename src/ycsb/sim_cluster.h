@@ -24,6 +24,7 @@
 #include "src/replication/primary_region.h"
 #include "src/replication/send_index_backup.h"
 #include "src/storage/block_device.h"
+#include "src/telemetry/telemetry.h"
 #include "src/ycsb/workload.h"
 
 namespace tebis {
@@ -44,6 +45,9 @@ struct SimClusterOptions {
   // Retry budget per control message on the backup channels (>1 makes
   // injected transient faults survivable; see src/testing/fault_injector.h).
   int channel_max_attempts = 1;
+  // Span ring capacity for the cluster's shared trace buffer (PR 5);
+  // 0 disables pipeline tracing entirely.
+  size_t trace_capacity = 4096;
 };
 
 // Aggregated *inclusive* CPU timings across all servers. Calls nest (see
@@ -90,6 +94,9 @@ class SimCluster {
   uint64_t DeviceBytes(IoClass io_class, bool reads) const;
   uint64_t NetworkBytes() const { return fabric_->TotalBytes(); }
   ClusterCpuBreakdown CpuBreakdown() const;
+  // The same name->bucket mapping applied to an arbitrary snapshot (e.g. a
+  // per-phase delta computed by the bench harness).
+  static ClusterCpuBreakdown CpuBreakdownFrom(const MetricsSnapshot& snapshot);
   uint64_t TotalL0MemoryBytes() const;  // primaries + Build-Index backups
   // Configured L0 budget in keys across every replica that keeps an L0 —
   // the §5.5 comparison axis (Send-Index backups keep none).
@@ -101,6 +108,17 @@ class SimCluster {
   int num_regions() const { return static_cast<int>(regions_.size()); }
   PrimaryRegion* region(int i) { return regions_[i].primary.get(); }
   Fabric* fabric() { return fabric_.get(); }
+
+  // --- telemetry plane (PR 5) ---
+  // Shared by every store/region the cluster hosts; each is stamped with
+  // {node, region, role} labels, so snapshot sums can slice per node or role.
+  Telemetry* telemetry() { return telemetry_.get(); }
+  // Consistent registry walk + live collectors (device/fabric byte counts).
+  MetricsSnapshot MetricsNow() const { return telemetry_->Snapshot(); }
+  // Recorded pipeline spans, oldest first.
+  std::vector<SpanRecord> Traces() const { return telemetry_->traces()->Snapshot(); }
+  // Full scrape payload: metrics JSON + spans as chrome://tracing events.
+  std::string ScrapeJson() const { return telemetry_->ScrapeJson("sim-cluster"); }
 
   // Test access to individual replicas (the RegisteredBuffer owner names the
   // hosting server): tests that detach a backup mid-run verify the survivors
@@ -131,6 +149,9 @@ class SimCluster {
   StatusOr<Region*> Route(Slice key);
 
   SimClusterOptions options_;
+  // Declared before every store/region member: instruments resolved against
+  // this plane must outlive the objects updating them.
+  std::unique_ptr<Telemetry> telemetry_;
   std::unique_ptr<Fabric> fabric_;
   // Declared before regions_: primaries must be destroyed while the pool
   // still runs, so queued background compactions can finish.

@@ -1,0 +1,384 @@
+// Unified telemetry plane (PR 5): registry snapshot consistency under
+// concurrent shipping streams, trace-id propagation primary -> backup across
+// a SimCluster compaction, span ring-buffer eviction order, the scrape RPC,
+// and the chaos case — a fenced stale primary shows up in scrapes as
+// repl.fence_errors / backup.epoch_rejected.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <map>
+#include <memory>
+#include <set>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "src/cluster/client.h"
+#include "src/cluster/coordinator.h"
+#include "src/cluster/master.h"
+#include "src/cluster/region_server.h"
+#include "src/replication/local_backup_channel.h"
+#include "src/replication/primary_region.h"
+#include "src/replication/send_index_backup.h"
+#include "src/storage/block_device.h"
+#include "src/telemetry/telemetry.h"
+#include "src/ycsb/sim_cluster.h"
+
+namespace tebis {
+namespace {
+
+std::string Key(int i) {
+  char buf[32];
+  snprintf(buf, sizeof(buf), "user%010d", i);
+  return buf;
+}
+
+// --- registry ------------------------------------------------------------------
+
+TEST(MetricsRegistryTest, SameNameAndLabelsResolveToOneInstrument) {
+  MetricsRegistry registry;
+  Counter* a = registry.GetCounter("kv.puts", {{"node", "s0"}, {"role", "primary"}});
+  // Label order must not matter: the registry canonicalizes.
+  Counter* b = registry.GetCounter("kv.puts", {{"role", "primary"}, {"node", "s0"}});
+  EXPECT_EQ(a, b);
+  // A different label set is a different instrument.
+  Counter* c = registry.GetCounter("kv.puts", {{"node", "s1"}, {"role", "primary"}});
+  EXPECT_NE(a, c);
+  a->Add(3);
+  c->Add(4);
+  MetricsSnapshot snap = registry.Snapshot();
+  EXPECT_EQ(snap.Sum("kv.puts"), 7u);
+  EXPECT_EQ(snap.Sum("kv.puts", "node", "s0"), 3u);
+  EXPECT_EQ(snap.Sum("kv.puts", "node", "s1"), 4u);
+}
+
+TEST(MetricsRegistryTest, GaugeAndHistogramInstruments) {
+  MetricsRegistry registry;
+  Gauge* gauge = registry.GetGauge("repl.credits_in_flight", {{"backup", "b0"}});
+  gauge->Set(10);
+  gauge->Add(-3);
+  gauge->SetMax(5);  // below current: no-op
+  EXPECT_EQ(gauge->Value(), 7);
+  gauge->SetMax(20);
+  EXPECT_EQ(gauge->Value(), 20);
+
+  HistogramInstrument* hist = registry.GetHistogram("kv.compaction_duration_ns");
+  for (int i = 1; i <= 100; ++i) {
+    hist->Record(static_cast<uint64_t>(i) * 1000);
+  }
+  MetricsSnapshot snap = registry.Snapshot();
+  const MetricSample* sample = snap.Find("kv.compaction_duration_ns");
+  ASSERT_NE(sample, nullptr);
+  EXPECT_EQ(sample->kind, InstrumentKind::kHistogram);
+  EXPECT_EQ(sample->histogram.count(), 100u);
+  const MetricSample* g = snap.Find("repl.credits_in_flight", "backup", "b0");
+  ASSERT_NE(g, nullptr);
+  EXPECT_EQ(g->value, 20);
+}
+
+TEST(MetricsRegistryTest, SnapshotConsistentUnderConcurrentWriters) {
+  // Writers hammer instruments while a reader snapshots: every snapshot value
+  // must be monotonically non-decreasing (counters never go backwards or tear)
+  // and the final walk must account for every increment exactly once.
+  MetricsRegistry registry;
+  constexpr int kWriters = 4;
+  constexpr uint64_t kPerWriter = 50000;
+  std::atomic<bool> stop{false};
+  std::vector<std::thread> writers;
+  for (int w = 0; w < kWriters; ++w) {
+    writers.emplace_back([&registry, w] {
+      Counter* mine = registry.GetCounter("test.ops", {{"writer", std::to_string(w)}});
+      Counter* shared = registry.GetCounter("test.shared_ops");
+      for (uint64_t i = 0; i < kPerWriter; ++i) {
+        mine->Increment();
+        shared->Increment();
+      }
+    });
+  }
+  uint64_t last_total = 0;
+  while (!stop.load(std::memory_order_acquire)) {
+    MetricsSnapshot snap = registry.Snapshot();
+    const uint64_t total = snap.Sum("test.ops");
+    EXPECT_GE(total, last_total);
+    EXPECT_LE(total, kWriters * kPerWriter);
+    // Per-instrument atomicity: the shared counter obeys the same bounds.
+    EXPECT_LE(snap.Sum("test.shared_ops"), kWriters * kPerWriter);
+    last_total = total;
+    if (total == kWriters * kPerWriter) {
+      stop.store(true, std::memory_order_release);
+    }
+  }
+  for (auto& writer : writers) {
+    writer.join();
+  }
+  MetricsSnapshot final_snap = registry.Snapshot();
+  EXPECT_EQ(final_snap.Sum("test.ops"), kWriters * kPerWriter);
+  EXPECT_EQ(final_snap.Sum("test.shared_ops"), kWriters * kPerWriter);
+  for (int w = 0; w < kWriters; ++w) {
+    EXPECT_EQ(final_snap.Sum("test.ops", "writer", std::to_string(w)), kPerWriter);
+  }
+}
+
+// --- span ring buffer ----------------------------------------------------------
+
+SpanRecord MakeSpan(uint64_t i) {
+  SpanRecord span;
+  span.trace = MakeTraceId(0, static_cast<uint32_t>(i));
+  span.compaction_id = i;
+  span.name = "claim";
+  span.node = "n";
+  span.start_ns = i * 100;
+  span.end_ns = i * 100 + 10;
+  return span;
+}
+
+TEST(TraceBufferTest, EvictsOldestFirst) {
+  TraceBuffer buffer(4);
+  ASSERT_TRUE(buffer.enabled());
+  for (uint64_t i = 0; i < 10; ++i) {
+    buffer.Record(MakeSpan(i));
+  }
+  std::vector<SpanRecord> spans = buffer.Snapshot();
+  ASSERT_EQ(spans.size(), 4u);
+  // The oldest six were overwritten; survivors come out oldest-first.
+  for (size_t i = 0; i < spans.size(); ++i) {
+    EXPECT_EQ(spans[i].compaction_id, 6 + i);
+  }
+  EXPECT_EQ(buffer.dropped(), 6u);
+}
+
+TEST(TraceBufferTest, ZeroCapacityDisablesRecording) {
+  TraceBuffer buffer(0);
+  EXPECT_FALSE(buffer.enabled());
+  buffer.Record(MakeSpan(1));
+  EXPECT_TRUE(buffer.Snapshot().empty());
+  EXPECT_EQ(buffer.dropped(), 0u);
+}
+
+// --- SimCluster: snapshot vs legacy structs, trace propagation -----------------
+
+SimClusterOptions SmallClusterOptions(int regions, int workers) {
+  SimClusterOptions options;
+  options.num_servers = 3;
+  options.num_regions = regions;
+  options.replication_factor = 3;
+  options.mode = ReplicationMode::kSendIndex;
+  options.compaction_workers = workers;
+  options.kv_options.l0_max_entries = 128;
+  options.kv_options.growth_factor = 4;
+  options.kv_options.max_levels = 3;
+  options.device_options.segment_size = 1 << 16;
+  options.device_options.max_segments = 1 << 14;
+  options.key_space = 1ull << 32;
+  return options;
+}
+
+TEST(SimClusterTelemetryTest, RegistryTotalsMatchLegacyStructsUnderConcurrentStreams) {
+  // Multiple regions + background workers = concurrent shipping streams all
+  // updating the shared plane. After the run drains, the registry totals must
+  // equal the legacy per-object struct views exactly: no counter lost to the
+  // migration, none double-counted.
+  auto cluster_or = SimCluster::Create(SmallClusterOptions(/*regions=*/4, /*workers=*/2));
+  ASSERT_TRUE(cluster_or.ok()) << cluster_or.status().ToString();
+  auto cluster = std::move(*cluster_or);
+  constexpr int kPuts = 2000;
+  for (int i = 0; i < kPuts; ++i) {
+    ASSERT_TRUE(cluster->Put(Key(i * 7919 % 100000), "value-" + std::to_string(i)).ok());
+  }
+  ASSERT_TRUE(cluster->FlushAll().ok());
+
+  MetricsSnapshot snap = cluster->MetricsNow();
+  uint64_t struct_segments = 0, struct_bytes = 0, struct_streams = 0, struct_log_flushes = 0;
+  uint64_t struct_rewritten = 0, struct_backup_streams = 0;
+  for (int r = 0; r < cluster->num_regions(); ++r) {
+    const ReplicationStats rs = cluster->region(r)->replication_stats();
+    struct_segments += rs.index_segments_shipped;
+    struct_bytes += rs.index_bytes_shipped;
+    struct_streams += rs.streams_opened;
+    struct_log_flushes += rs.log_flushes;
+    for (size_t b = 0; b < cluster->num_send_backups(r); ++b) {
+      const SendIndexBackupStats bs = cluster->send_backup(r, b)->stats();
+      struct_rewritten += bs.segments_rewritten;
+      struct_backup_streams += bs.streams_opened;
+    }
+  }
+  EXPECT_GT(struct_segments, 0u);
+  EXPECT_EQ(snap.Sum("repl.index_segments_shipped"), struct_segments);
+  EXPECT_EQ(snap.Sum("repl.index_bytes_shipped"), struct_bytes);
+  EXPECT_EQ(snap.Sum("repl.streams_opened"), struct_streams);
+  EXPECT_EQ(snap.Sum("repl.log_flushes"), struct_log_flushes);
+  EXPECT_EQ(snap.Sum("backup.segments_rewritten"), struct_rewritten);
+  EXPECT_EQ(snap.Sum("backup.streams_opened"), struct_backup_streams);
+  // The primary engines' put counters carry the whole workload, once.
+  EXPECT_EQ(snap.Sum("kv.puts", "role", "primary"), static_cast<uint64_t>(kPuts));
+}
+
+TEST(SimClusterTelemetryTest, TraceIdPropagatesFromPrimaryToBothBackups) {
+  auto cluster_or = SimCluster::Create(SmallClusterOptions(/*regions=*/1, /*workers=*/0));
+  ASSERT_TRUE(cluster_or.ok()) << cluster_or.status().ToString();
+  auto cluster = std::move(*cluster_or);
+  for (int i = 0; i < 400; ++i) {
+    ASSERT_TRUE(cluster->Put(Key(i), "value-" + std::to_string(i)).ok());
+  }
+  ASSERT_TRUE(cluster->FlushAll().ok());
+
+  // Group spans by (trace, compaction): one group per pipeline run.
+  std::map<std::pair<TraceId, uint64_t>, std::vector<SpanRecord>> runs;
+  for (const SpanRecord& span : cluster->Traces()) {
+    EXPECT_NE(span.trace, kNoTrace);
+    runs[{span.trace, span.compaction_id}].push_back(span);
+  }
+  ASSERT_FALSE(runs.empty());
+
+  // At least one run must carry the full tree: scheduler claim -> merge/build
+  // -> per-segment ship on the primary, plus rewrite + commit attached to the
+  // SAME trace id by BOTH backups (each a distinct node).
+  bool full_tree_found = false;
+  for (const auto& [key, spans] : runs) {
+    std::map<std::string, std::set<std::string>> nodes_by_name;
+    for (const SpanRecord& span : spans) {
+      nodes_by_name[span.name].insert(span.node);
+    }
+    if (nodes_by_name["claim"].size() == 1 && nodes_by_name["merge_build"].size() == 1 &&
+        !nodes_by_name["ship_segment"].empty() && nodes_by_name["rewrite_segment"].size() == 2 &&
+        nodes_by_name["commit"].size() == 2) {
+      // Backups are different nodes than the primary.
+      const std::string primary_node = *nodes_by_name["claim"].begin();
+      EXPECT_EQ(nodes_by_name["rewrite_segment"].count(primary_node), 0u);
+      full_tree_found = true;
+    }
+  }
+  std::string dump;
+  for (const auto& [key, spans] : runs) {
+    dump += "trace " + std::to_string(key.first) + " compaction " + std::to_string(key.second) + ":";
+    for (const SpanRecord& span : spans) {
+      dump += " " + std::string(span.name) + "@" + span.node;
+    }
+    dump += "\n";
+  }
+  EXPECT_TRUE(full_tree_found)
+      << "no compaction produced the full claim/merge_build/ship/rewrite/commit span tree\n"
+      << dump;
+
+  // The whole capture renders as chrome://tracing JSON, and the scrape
+  // payload embeds it alongside the metrics snapshot.
+  const std::string chrome = ChromeTraceJson(cluster->Traces());
+  EXPECT_NE(chrome.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(chrome.find("\"ship_segment\""), std::string::npos);
+  EXPECT_NE(chrome.find("\"rewrite_segment\""), std::string::npos);
+  const std::string scrape = cluster->ScrapeJson();
+  EXPECT_NE(scrape.find("\"node\": \"sim-cluster\""), std::string::npos);
+  EXPECT_NE(scrape.find("repl.index_segments_shipped"), std::string::npos);
+  EXPECT_NE(scrape.find("\"commit\""), std::string::npos);
+}
+
+// --- scrape RPC ----------------------------------------------------------------
+
+TEST(ScrapeRpcTest, ClientFetchesNodeScrapeOverWire) {
+  Fabric fabric;
+  Coordinator zk;
+  std::map<std::string, RegionServer*> directory;
+  RegionServerOptions server_options;
+  server_options.device_options.segment_size = 1 << 16;
+  server_options.device_options.max_segments = 1 << 14;
+  server_options.kv_options.l0_max_entries = 128;
+  RegionServer s0(&fabric, &zk, "s0", server_options);
+  RegionServer s1(&fabric, &zk, "s1", server_options);
+  ASSERT_TRUE(s0.Start().ok());
+  ASSERT_TRUE(s1.Start().ok());
+  directory["s0"] = &s0;
+  directory["s1"] = &s1;
+  Master master(&zk, "m", directory);
+  ASSERT_TRUE(master.Campaign().ok());
+  auto map = RegionMap::CreateUniform(1, "user", 10, 1000, {"s0", "s1"}, 2);
+  ASSERT_TRUE(master.Bootstrap(*map).ok());
+
+  TebisClient client(
+      &fabric, "c",
+      [&](const std::string& name) -> ServerEndpoint* {
+        return directory.contains(name) ? directory[name]->client_endpoint() : nullptr;
+      },
+      {"s0", "s1"});
+  ASSERT_TRUE(client.Connect().ok());
+  // Enough writes to trip compactions so the scrape carries spans too.
+  for (int i = 0; i < 400; ++i) {
+    ASSERT_TRUE(client.Put(Key(i), "value-" + std::to_string(i)).ok());
+  }
+
+  auto scrape = client.ScrapeStats("s0");
+  ASSERT_TRUE(scrape.ok()) << scrape.status().ToString();
+  EXPECT_NE(scrape->find("\"node\": \"s0\""), std::string::npos);
+  EXPECT_NE(scrape->find("kv.puts"), std::string::npos);
+  EXPECT_NE(scrape->find("\"traceEvents\""), std::string::npos);
+  // The direct accessor and the wire reply come from the same plane.
+  EXPECT_EQ(*scrape, s0.ScrapeJson());
+  // The other server answers independently with its own node stamp.
+  auto other = client.ScrapeStats("s1");
+  ASSERT_TRUE(other.ok()) << other.status().ToString();
+  EXPECT_NE(other->find("\"node\": \"s1\""), std::string::npos);
+  s0.Stop();
+  s1.Stop();
+}
+
+// --- chaos: a fenced stale primary is visible in scrapes -----------------------
+
+TEST(ChaosScrapeTest, StalePrimaryFencingShowsInScrape) {
+  // One shared plane across both ends, as a RegionServer would wire it.
+  Telemetry plane(/*trace_capacity=*/256);
+  BlockDeviceOptions dev_opts;
+  dev_opts.segment_size = 1 << 16;
+  dev_opts.max_segments = 1 << 14;
+  auto primary_device_or = BlockDevice::Create(dev_opts);
+  auto primary_device = std::move(*primary_device_or);
+  auto backup_device_or = BlockDevice::Create(dev_opts);
+  auto backup_device = std::move(*backup_device_or);
+  Fabric fabric;
+
+  KvStoreOptions primary_options;
+  primary_options.l0_max_entries = 256;
+  primary_options.telemetry = &plane;
+  primary_options.telemetry_labels = {{"node", "p0"}, {"role", "primary"}};
+  auto primary_or =
+      PrimaryRegion::Create(primary_device.get(), primary_options, ReplicationMode::kSendIndex);
+  ASSERT_TRUE(primary_or.ok()) << primary_or.status().ToString();
+  auto primary = std::move(*primary_or);
+
+  KvStoreOptions backup_options;
+  backup_options.l0_max_entries = 256;
+  backup_options.telemetry = &plane;
+  backup_options.telemetry_labels = {{"node", "b0"}, {"role", "backup"}};
+  auto buffer = fabric.RegisterBuffer("b0", "p0", 1 << 16);
+  auto backup_or = SendIndexBackupRegion::Create(backup_device.get(), backup_options, buffer);
+  ASSERT_TRUE(backup_or.ok()) << backup_or.status().ToString();
+  auto backup = std::move(*backup_or);
+  primary->AddBackup(
+      std::make_unique<LocalBackupChannel>(&fabric, "p0", buffer, backup.get(), nullptr));
+
+  primary->set_epoch(1);
+  for (int i = 0; i < 50; ++i) {
+    ASSERT_TRUE(primary->Put(Key(i), "v" + std::to_string(i)).ok());
+  }
+  // The backup learns of epoch 2: this primary is now deposed. Its writes and
+  // stale control traffic must be fenced — and the fencing must be visible in
+  // the scrape, not just in per-object structs.
+  backup->set_region_epoch(2);
+  Status fenced = primary->Put("stale-key", "stale-value");
+  EXPECT_TRUE(fenced.IsFailedPrecondition()) << fenced.ToString();
+  LocalBackupChannel stale_channel(&fabric, "p0", buffer, backup.get(), nullptr);
+  stale_channel.set_epoch(1);
+  EXPECT_TRUE(stale_channel.FlushLog(0).IsFailedPrecondition());
+
+  MetricsSnapshot snap = plane.Snapshot();
+  EXPECT_GT(snap.Sum("repl.fence_errors"), 0u);
+  EXPECT_GT(snap.Sum("backup.epoch_rejected"), 0u);
+  EXPECT_EQ(snap.Sum("repl.fence_errors", "node", "p0"), snap.Sum("repl.fence_errors"));
+  // Registry view == legacy struct view, even mid-chaos.
+  EXPECT_EQ(snap.Sum("repl.fence_errors"), primary->replication_stats().fence_errors);
+  EXPECT_EQ(snap.Sum("backup.epoch_rejected"), backup->stats().epoch_rejected);
+  const std::string scrape = plane.ScrapeJson("p0");
+  EXPECT_NE(scrape.find("repl.fence_errors"), std::string::npos);
+  EXPECT_NE(scrape.find("backup.epoch_rejected"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace tebis

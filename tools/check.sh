@@ -36,6 +36,22 @@ if [[ $run_plain -eq 1 ]]; then
   cmake -B build -S . >/dev/null
   cmake --build build -j "$jobs"
   ctest --test-dir build -L fast --no-tests=error --output-on-failure -j "$jobs"
+  # Unified telemetry plane (PR 5): the metrics/trace/scrape suite by itself,
+  # so a telemetry regression names itself instead of hiding in the fast run.
+  echo "== tier-1 pass 1/3 (addendum): plain build, telemetry label =="
+  ctest --test-dir build -L telemetry --no-tests=error --output-on-failure -j "$jobs"
+  # Emission gate: the bench harness must write BENCH_*.json sections from
+  # registry snapshots (not hand-plucked struct fields) and the overhead A/B
+  # must exist — cheap greps that catch an accidental revert.
+  echo "== tier-1 pass 1/3 (addendum): BENCH emission gate =="
+  grep -q "SetFromSnapshot" bench/bench_common.cc || {
+    echo "BENCH gate: bench_common.cc lost the registry-snapshot emission path" >&2; exit 1; }
+  grep -q "DiffSnapshots" bench/bench_common.cc || {
+    echo "BENCH gate: bench_common.cc lost the per-phase snapshot delta" >&2; exit 1; }
+  grep -q "BENCH_" bench/bench_common.cc || {
+    echo "BENCH gate: bench_common.cc no longer writes BENCH_*.json" >&2; exit 1; }
+  grep -q "RunTelemetryOverheadComparison" bench/bench_micro.cc || {
+    echo "BENCH gate: bench_micro.cc lost the telemetry-overhead A/B (BENCH_pr5.json)" >&2; exit 1; }
 fi
 
 if [[ $run_tsan -eq 1 ]]; then
@@ -49,6 +65,11 @@ if [[ $run_tsan -eq 1 ]]; then
   echo "== tier-1 pass 2/3 (addendum): ThreadSanitizer build, streams label =="
   TSAN_OPTIONS="halt_on_error=1 ${TSAN_OPTIONS:-}" \
     ctest --test-dir build-tsan -L streams --no-tests=error --output-on-failure -j "$jobs"
+  # Telemetry plane (PR 5): shared registry + span ring are touched from every
+  # worker/replication thread — the suite must be race-free under TSan too.
+  echo "== tier-1 pass 2/3 (addendum): ThreadSanitizer build, telemetry label =="
+  TSAN_OPTIONS="halt_on_error=1 ${TSAN_OPTIONS:-}" \
+    ctest --test-dir build-tsan -L telemetry --no-tests=error --output-on-failure -j "$jobs"
 fi
 
 if [[ $run_chaos -eq 1 ]]; then

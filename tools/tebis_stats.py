@@ -1,0 +1,161 @@
+#!/usr/bin/env python3
+"""Pretty-printer for Tebis telemetry scrapes (PR 5).
+
+Reads the JSON payload produced by the kStatsScrape admin RPC
+(TebisClient::ScrapeStats), RegionServer::ScrapeJson(), or
+SimCluster::ScrapeJson() -- shape:
+
+    {"node": "...", "metrics": {"name{k=v,...}": value, ...},
+     "spans": {"traceEvents": [...]}}
+
+and renders:
+  * metrics grouped by subsystem prefix (kv., repl., backup., net., ...),
+    label sets aligned, values humanized (ns -> ms, bytes -> MiB);
+  * per-trace span trees reconstructed from the chrome trace events,
+    ordered by start time, with durations.
+
+Usage:
+    tebis_stats.py [scrape.json]          # read file (default: stdin)
+    tebis_stats.py --traces-out out.json  # also write chrome://tracing JSON
+    tebis_stats.py --raw                  # no humanization of values
+"""
+
+import argparse
+import json
+import re
+import sys
+from collections import defaultdict
+
+METRIC_RE = re.compile(r"^(?P<name>[^{]+)(?:\{(?P<labels>.*)\})?$")
+
+# Order spans appear in the shipping pipeline, for stable tree rendering.
+SPAN_ORDER = {"claim": 0, "merge_build": 1, "ship_segment": 2,
+              "rewrite_segment": 3, "commit": 4}
+
+
+def parse_metric_key(key):
+    """Split 'name{k=v,k2=v2}' into (name, {k: v})."""
+    m = METRIC_RE.match(key)
+    if m is None:
+        return key, {}
+    labels = {}
+    raw = m.group("labels")
+    if raw:
+        for pair in raw.split(","):
+            k, _, v = pair.partition("=")
+            labels[k] = v
+    return m.group("name"), labels
+
+
+def humanize(name, value):
+    if not isinstance(value, (int, float)):
+        return str(value)
+    if name.endswith("_ns") or "_ns_" in name:
+        if value >= 1e9:
+            return f"{value / 1e9:.3f} s"
+        if value >= 1e6:
+            return f"{value / 1e6:.3f} ms"
+        if value >= 1e3:
+            return f"{value / 1e3:.3f} us"
+        return f"{value:.0f} ns"
+    if "bytes" in name:
+        if value >= 1 << 30:
+            return f"{value / (1 << 30):.2f} GiB"
+        if value >= 1 << 20:
+            return f"{value / (1 << 20):.2f} MiB"
+        if value >= 1 << 10:
+            return f"{value / (1 << 10):.2f} KiB"
+        return f"{value:.0f} B"
+    if isinstance(value, float):
+        return f"{value:g}"
+    return f"{value}"
+
+
+def print_metrics(metrics, raw):
+    # subsystem -> [(name, labels-str, value)]
+    groups = defaultdict(list)
+    for key, value in metrics.items():
+        name, labels = parse_metric_key(key)
+        subsystem = name.split(".", 1)[0] if "." in name else "(other)"
+        label_str = ",".join(f"{k}={v}" for k, v in sorted(labels.items()))
+        groups[subsystem].append((name, label_str, value))
+
+    for subsystem in sorted(groups):
+        rows = sorted(groups[subsystem])
+        print(f"\n== {subsystem} ==")
+        name_w = max(len(r[0]) for r in rows)
+        label_w = max(len(r[1]) for r in rows)
+        for name, label_str, value in rows:
+            shown = str(value) if raw else humanize(name, value)
+            print(f"  {name:<{name_w}}  {label_str:<{label_w}}  {shown}")
+
+
+def print_traces(spans):
+    events = spans.get("traceEvents", []) if isinstance(spans, dict) else spans
+    pid_names = {}
+    complete = []
+    for ev in events:
+        if ev.get("ph") == "M" and ev.get("name") == "process_name":
+            pid_names[ev.get("pid")] = ev.get("args", {}).get("name", "?")
+        elif ev.get("ph") == "X":
+            complete.append(ev)
+    if not complete:
+        print("\n(no spans recorded)")
+        return
+
+    # (trace id, compaction id) identifies one pipeline run even when a
+    # stream id is reused across compactions within an epoch.
+    traces = defaultdict(list)
+    for ev in complete:
+        args = ev.get("args", {})
+        traces[(args.get("trace", "?"), args.get("compaction", "?"))].append(ev)
+
+    print(f"\n== traces ({len(traces)} pipeline runs, {len(complete)} spans) ==")
+    for (trace_id, compaction), evs in sorted(
+            traces.items(), key=lambda item: min(e["ts"] for e in item[1])):
+        evs.sort(key=lambda e: (SPAN_ORDER.get(e["name"], 99), e["ts"]))
+        base_ts = min(e["ts"] for e in evs)
+        print(f"\n  trace {trace_id} (compaction #{compaction})")
+        for ev in evs:
+            node = pid_names.get(ev.get("pid"), "?")
+            args = ev.get("args", {})
+            depth = 1 if SPAN_ORDER.get(ev["name"], 99) < 2 else 2
+            extra = ""
+            if args.get("bytes"):
+                extra += f"  {humanize('bytes', args['bytes'])}"
+            src, dst = args.get("src_level", -1), args.get("dst_level", -1)
+            if src >= 0 or dst >= 0:
+                extra += f"  L{src}->L{dst}"
+            print(f"  {'  ' * depth}{ev['name']:<16} [{node}]"
+                  f"  +{(ev['ts'] - base_ts) / 1000.0:9.3f} ms"
+                  f"  dur {ev.get('dur', 0) / 1000.0:9.3f} ms{extra}")
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("scrape", nargs="?", help="scrape JSON file (default: stdin)")
+    parser.add_argument("--traces-out", metavar="FILE",
+                        help="write the embedded chrome://tracing JSON to FILE")
+    parser.add_argument("--raw", action="store_true",
+                        help="print raw numbers (no ns/bytes humanization)")
+    args = parser.parse_args()
+
+    if args.scrape:
+        with open(args.scrape) as f:
+            doc = json.load(f)
+    else:
+        doc = json.load(sys.stdin)
+
+    print(f"node: {doc.get('node', '?')}")
+    print_metrics(doc.get("metrics", {}), args.raw)
+    print_traces(doc.get("spans", {}))
+
+    if args.traces_out:
+        with open(args.traces_out, "w") as f:
+            json.dump(doc.get("spans", {}), f)
+        print(f"\nwrote chrome://tracing JSON to {args.traces_out}"
+              " (load via chrome://tracing or ui.perfetto.dev)")
+
+
+if __name__ == "__main__":
+    main()
