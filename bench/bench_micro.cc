@@ -653,6 +653,139 @@ void RunTelemetryOverheadComparison() {
   }
 }
 
+// --- replica-read fan-out A/B (PR 6) --------------------------------------------
+//
+// One region at replication factor 3 on three servers (three devices), reads
+// throttled by the hard-cap device cost model so the run is read-I/O-bound —
+// the paper's motivating case for replica serving: a hot region whose primary
+// device saturates under concurrent clients. Three client threads run Run C
+// (read-only zipfian) once with seed routing (every read queues on the
+// primary's device) and once fanned out over the replica set via
+// SimCluster::ReplicaGet (reads rotate across all three devices).
+
+double MedianOf(std::vector<double> values) {
+  std::sort(values.begin(), values.end());
+  return values[values.size() / 2];
+}
+
+void RunReplicaReadComparison() {
+  const bench::BenchScale scale = bench::BenchScale::FromEnv();
+  constexpr int kRunsPerArm = 3;
+  // Per-device read throttle. Low enough that device time — not the CPU cost
+  // of the read path — dominates an arm, so spreading reads over three
+  // devices is visible in wall clock (each arm moves ~16 KB/read; at this
+  // bandwidth the primary-only arm is device-bound by 2-3x over CPU).
+  constexpr uint64_t kReadBandwidthMb = 12;
+  // Enough client concurrency that an arm is limited by device service rate,
+  // not by any one client's request latency (CPU + one device wait per read).
+  constexpr int kClientThreads = 6;
+  const uint64_t records = std::min<uint64_t>(scale.records, 20000);
+  const uint64_t read_ops = std::min<uint64_t>(scale.ops, 2000);  // per client thread
+  printf("\n-- replica read fan-out: Run C primary-only vs fanned over RF=3, %llu records, "
+         "%d clients x %llu reads/arm, %llu MB/s per device hard cap (median of %d, "
+         "interleaved) --\n",
+         static_cast<unsigned long long>(records), kClientThreads,
+         static_cast<unsigned long long>(read_ops),
+         static_cast<unsigned long long>(kReadBandwidthMb), kRunsPerArm);
+
+  SimClusterOptions options;
+  options.num_servers = 3;
+  options.num_regions = 1;  // one hot region: its primary device is the bottleneck
+  options.replication_factor = 3;
+  options.mode = ReplicationMode::kSendIndex;
+  options.kv_options.l0_max_entries = scale.l0_entries;
+  options.device_options.segment_size = 1 << 18;
+  options.device_options.max_segments = 1 << 17;
+  options.device_options.accounting_granularity = 512;
+  options.device_options.cost_model.read_bandwidth_bytes_per_sec =
+      kReadBandwidthMb * 1024 * 1024;
+  // Hard cap: the device is a single-queue resource, so piling all three
+  // clients onto the primary's device cannot exceed its bandwidth — the
+  // contrast under test is which devices absorb the reads, not how many
+  // threads sleep in parallel.
+  options.device_options.cost_model.hard_cap = true;
+  auto cluster_or = SimCluster::Create(options);
+  if (!cluster_or.ok()) {
+    fprintf(stderr, "replica bench: cluster: %s\n", cluster_or.status().ToString().c_str());
+    abort();
+  }
+  auto cluster = std::move(*cluster_or);
+
+  YcsbOptions ycsb;
+  ycsb.record_count = records;
+  ycsb.op_count = read_ops;
+  YcsbWorkload workload(ycsb);
+  if (auto load = workload.RunLoad(cluster->Hooks()); !load.ok()) {
+    fprintf(stderr, "replica bench: load: %s\n", load.status().ToString().c_str());
+    abort();
+  }
+  // Push everything to the indexed levels: both arms then read through the
+  // B+-tree / value log on the device, not the in-memory L0.
+  if (Status status = cluster->FlushAll(); !status.ok()) {
+    fprintf(stderr, "replica bench: flush: %s\n", status.ToString().c_str());
+    abort();
+  }
+
+  // Run C mutates nothing, so both arms interleave over the same settled
+  // cluster and machine drift lands on both equally. Each client thread runs
+  // its own independently-seeded Run C key stream.
+  auto run_arm = [&](bool fan_out) {
+    std::atomic<uint64_t> total_ops{0};
+    const uint64_t start_ns = NowNanos();
+    std::vector<std::thread> clients;
+    for (int t = 0; t < kClientThreads; ++t) {
+      clients.emplace_back([&, t] {
+        YcsbOptions per_client = ycsb;
+        per_client.seed = ycsb.seed + 1000 * (t + 1);
+        YcsbWorkload client_workload(per_client);
+        auto result = client_workload.RunPhase(kRunC, cluster->Hooks(fan_out));
+        if (!result.ok()) {
+          fprintf(stderr, "replica bench: run C: %s\n", result.status().ToString().c_str());
+          abort();
+        }
+        total_ops.fetch_add(result->ops, std::memory_order_relaxed);
+      });
+    }
+    for (auto& c : clients) {
+      c.join();
+    }
+    const double seconds = static_cast<double>(NowNanos() - start_ns) / 1e9;
+    return static_cast<double>(total_ops.load()) / seconds / 1000.0;
+  };
+  std::vector<double> primary_kops, fanout_kops;
+  const MetricsSnapshot before = cluster->MetricsNow();
+  for (int i = 0; i < kRunsPerArm; ++i) {
+    primary_kops.push_back(run_arm(/*fan_out=*/false));
+    fanout_kops.push_back(run_arm(/*fan_out=*/true));
+  }
+  const MetricsSnapshot after = cluster->MetricsNow();
+  const double primary_only = MedianOf(primary_kops);
+  const double fanned = MedianOf(fanout_kops);
+  const double speedup = fanned / primary_only;
+  printf("  primary-only %8.1f read kops/s\n", primary_only);
+  printf("  fanned (RF3) %8.1f read kops/s\n", fanned);
+  printf("  speedup: %.2fx (target: >= 1.5x)\n", speedup);
+
+  bench::BenchJson json("pr6");
+  json.Set("replica_read_fanout", "records", static_cast<double>(records));
+  json.Set("replica_read_fanout", "read_ops_per_arm", static_cast<double>(read_ops));
+  json.Set("replica_read_fanout", "replication_factor", 3.0);
+  json.Set("replica_read_fanout", "read_bandwidth_mb_per_device",
+           static_cast<double>(kReadBandwidthMb));
+  json.Set("replica_read_fanout", "primary_only_read_kops_per_sec", primary_only);
+  json.Set("replica_read_fanout", "fanout_read_kops_per_sec", fanned);
+  json.Set("replica_read_fanout", "speedup", speedup);
+  json.Set("replica_read_fanout", "target_speedup", 1.5);
+  // Both arms' registry deltas through the snapshot path: the replica-get
+  // counters prove the fanned arm's reads were served by the backup engines.
+  bench::SetFromSnapshot(&json, "replica_read_registry", bench::DiffSnapshots(before, after),
+                         {"backup.", "kv.gets", "storage."});
+  const std::string path = json.Write();
+  if (!path.empty()) {
+    printf("  wrote %s\n", path.c_str());
+  }
+}
+
 }  // namespace
 }  // namespace tebis
 
@@ -665,5 +798,6 @@ int main(int argc, char** argv) {
   tebis::RunPipelineComparison();
   tebis::RunShippingComparison();
   tebis::RunTelemetryOverheadComparison();
+  tebis::RunReplicaReadComparison();
   return 0;
 }

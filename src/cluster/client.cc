@@ -100,12 +100,34 @@ Status TebisClient::Issue(PendingOp* op) {
   // map routes to an unreachable server, refresh and re-route (§3.1).
   const RegionInfo* region = nullptr;
   RpcClient* client = nullptr;
+  std::string target;
+  const bool replica_eligible =
+      read_mode_ != ReadMode::kPrimaryOnly && !op->force_primary &&
+      (op->type == MessageType::kGet || op->type == MessageType::kScan);
   for (int attempt = 0; attempt < 3; ++attempt) {
     region = map_->FindRegion(op->key);
     if (region == nullptr) {
       return Status::Internal("no region owns key " + op->key);
     }
-    auto resolved = ClientFor(region->primary);
+    target = region->primary;
+    op->replica = false;
+    if (replica_eligible && !region->read_leases.empty()) {
+      // Rotate across the backups the master currently leases for reads;
+      // an unresolvable (failed) lease falls through to the next, then to
+      // the primary. The master revokes leases of detached/degraded
+      // replicas, so a leased backup is expected to satisfy the fence.
+      const auto& leases = region->read_leases;
+      for (size_t i = 0; i < leases.size(); ++i) {
+        const std::string& candidate = leases[(replica_rr_ + i) % leases.size()];
+        if (resolver_(candidate) != nullptr) {
+          target = candidate;
+          op->replica = true;
+          break;
+        }
+      }
+      replica_rr_++;
+    }
+    auto resolved = ClientFor(target);
     if (resolved.ok()) {
       client = *resolved;
       break;
@@ -116,26 +138,50 @@ Status TebisClient::Issue(PendingOp* op) {
   if (client == nullptr) {
     return Status::Unavailable("primary for " + op->key + " unreachable after retries");
   }
+  op->region_id = region->region_id;
+  MessageType wire_type = op->type;
   std::string payload;
-  switch (op->type) {
-    case MessageType::kPut:
-      payload = EncodePutRequest(op->key, op->value);
-      break;
-    case MessageType::kGet:
-    case MessageType::kDelete:
-      payload = EncodeKeyRequest(op->key);
-      break;
-    case MessageType::kScan:
-      payload = EncodeScanRequest(op->key, op->limit);
-      break;
-    default:
-      return Status::Internal("bad op type");
+  if (op->replica) {
+    // Read fence (PR 6): the replica must have committed at least
+    // {min_epoch, min_seq} or reject with FailedPrecondition.
+    const RegionReadState& st = read_state_[region->region_id];
+    uint64_t min_epoch;
+    uint64_t min_seq = st.observed_seq;  // monotonic reads across replicas
+    if (read_mode_ == ReadMode::kReadYourWrites) {
+      min_epoch = st.token_epoch;
+      min_seq = std::max(min_seq, st.token_seq);
+    } else {
+      min_epoch = region->epoch > staleness_bound_ ? region->epoch - staleness_bound_ : 0;
+    }
+    if (op->type == MessageType::kGet) {
+      wire_type = MessageType::kReplicaGet;
+      payload = EncodeReplicaGetRequest(op->key, min_epoch, min_seq);
+    } else {
+      wire_type = MessageType::kReplicaScan;
+      payload = EncodeReplicaScanRequest(op->key, op->limit, min_epoch, min_seq);
+    }
+    stats_.replica_reads++;
+  } else {
+    switch (op->type) {
+      case MessageType::kPut:
+        payload = EncodePutRequest(op->key, op->value);
+        break;
+      case MessageType::kGet:
+      case MessageType::kDelete:
+        payload = EncodeKeyRequest(op->key);
+        break;
+      case MessageType::kScan:
+        payload = EncodeScanRequest(op->key, op->limit);
+        break;
+      default:
+        return Status::Internal("bad op type");
+    }
   }
   TEBIS_ASSIGN_OR_RETURN(
       op->request_id,
-      client->SendRequest(op->type, region->region_id, payload, op->reply_alloc,
+      client->SendRequest(wire_type, region->region_id, payload, op->reply_alloc,
                           static_cast<uint32_t>(map_->version())));
-  op->server = region->primary;
+  op->server = target;
   op->attempts++;
   return Status::Ok();
 }
@@ -245,6 +291,22 @@ TebisClient::OpResult TebisClient::Complete(OpHandle handle) {
     if (reply->header.flags & kFlagError) {
       // The payload carries the status string; map NotFound back.
       const std::string& message = reply->payload;
+      if (op.replica && message.rfind("FailedPrecondition", 0) == 0) {
+        // The replica rejected the read fence (it has not committed up to
+        // the client's epoch/sequence yet). Retry against the primary,
+        // which by definition satisfies any fence this client could hold.
+        stats_.replica_fallbacks++;
+        if (op.attempts >= kMaxAttempts) {
+          pending_.erase(it);
+          return OpResult{Status::Unavailable(message), ""};
+        }
+        op.force_primary = true;
+        if (Status s = Issue(&op); !s.ok()) {
+          pending_.erase(it);
+          return OpResult{s, ""};
+        }
+        continue;
+      }
       if (message.rfind("FailedPrecondition", 0) == 0) {
         // A fenced (deposed) primary, §3.5: it still answers, but its epoch
         // is stale and the write was not replicated. Re-route like a failover.
@@ -269,6 +331,43 @@ TebisClient::OpResult TebisClient::Complete(OpHandle handle) {
       return OpResult{status, ""};
     }
     OpResult result{Status::Ok(), std::move(reply->payload)};
+    if (op.replica) {
+      // Unwrap the replica reply and fold the replica's visible sequence
+      // into the monotonic-reads fence.
+      RegionReadState& st = read_state_[op.region_id];
+      uint64_t visible_seq = 0;
+      if (op.type == MessageType::kGet) {
+        Slice value;
+        if (Status s = DecodeReplicaGetReply(result.value, &value, &visible_seq); !s.ok()) {
+          pending_.erase(it);
+          return OpResult{s, ""};
+        }
+        result.value = value.ToString();
+      } else {
+        std::vector<KvPair> pairs;
+        if (Status s = DecodeReplicaScanReply(result.value, &pairs, &visible_seq); !s.ok()) {
+          pending_.erase(it);
+          return OpResult{s, ""};
+        }
+        // Re-encode in the primary scan-reply shape so Scan() decodes
+        // uniformly regardless of which replica served.
+        result.value = EncodeScanReply(pairs);
+      }
+      st.observed_seq = std::max(st.observed_seq, visible_seq);
+    } else if (op.type == MessageType::kPut || op.type == MessageType::kDelete) {
+      // Write replies carry the commit token (PR 6); keep the per-region
+      // high-water mark for read-your-writes fences. Absent/short payloads
+      // (a pre-token server) leave the state untouched.
+      uint64_t token_epoch = 0, token_seq = 0;
+      if (DecodeCommitToken(result.value, &token_epoch, &token_seq).ok()) {
+        RegionReadState& st = read_state_[op.region_id];
+        if (token_epoch > st.token_epoch ||
+            (token_epoch == st.token_epoch && token_seq > st.token_seq)) {
+          st.token_epoch = token_epoch;
+          st.token_seq = token_seq;
+        }
+      }
+    }
     pending_.erase(it);
     return result;
   }

@@ -34,6 +34,24 @@ struct ClientStats {
   uint64_t truncated_retries = 0;
   uint64_t failover_retries = 0;
   uint64_t map_refreshes = 0;
+  uint64_t replica_reads = 0;      // reads issued to a leased backup (PR 6)
+  uint64_t replica_fallbacks = 0;  // replica rejected the fence -> primary
+};
+
+// Where reads are routed (PR 6). Writes always go to the primary.
+enum class ReadMode {
+  // Seed behavior: every read is served by the region's primary.
+  kPrimaryOnly,
+  // Reads rotate across leased backups; a replica may serve as long as its
+  // committed epoch is within `staleness_bound` epochs of the map's. Reads
+  // are still monotonic per client (the read fence carries the largest
+  // visible sequence this client has observed).
+  kBoundedStaleness,
+  // Like bounded staleness, but the read fence additionally carries the
+  // client's commit token high-water mark, so a replica that has not yet
+  // applied this client's own writes rejects the read (FailedPrecondition)
+  // and the client falls back to the primary.
+  kReadYourWrites,
 };
 
 class TebisClient {
@@ -80,6 +98,15 @@ class TebisClient {
   // re-routes via a fresh map.
   void set_rpc_timeout_ns(uint64_t ns) { rpc_timeout_ns_ = ns; }
 
+  // Read routing (PR 6). `staleness_bound` (kBoundedStaleness only) is the
+  // number of epochs a serving replica may lag the cached map; 0 requires the
+  // replica to be at the map's epoch.
+  void set_read_mode(ReadMode mode, uint64_t staleness_bound = 0) {
+    read_mode_ = mode;
+    staleness_bound_ = staleness_bound;
+  }
+  ReadMode read_mode() const { return read_mode_; }
+
  private:
   struct PendingOp {
     MessageType type;
@@ -90,6 +117,20 @@ class TebisClient {
     std::string server;    // where it was sent
     uint64_t request_id;
     int attempts = 0;
+    // Replica-read routing (PR 6).
+    bool replica = false;        // currently issued to a backup
+    bool force_primary = false;  // a replica rejected the fence: stay on primary
+    uint32_t region_id = 0;      // region it routed to (read-state key)
+  };
+
+  // Per-region read-consistency state (PR 6).
+  struct RegionReadState {
+    // Commit token of this client's latest write (read-your-writes fence).
+    uint64_t token_epoch = 0;
+    uint64_t token_seq = 0;
+    // Largest visible sequence any replica reported to this client
+    // (monotonic-reads fence, folded into every replica read).
+    uint64_t observed_seq = 0;
   };
 
   Status RefreshMap();
@@ -112,6 +153,10 @@ class TebisClient {
   size_t default_value_alloc_ = 1024;
   uint64_t rpc_timeout_ns_ = kDefaultRpcCallTimeoutNs;
   ClientStats stats_;
+  ReadMode read_mode_ = ReadMode::kPrimaryOnly;
+  uint64_t staleness_bound_ = 0;
+  uint64_t replica_rr_ = 0;  // round-robin cursor over a region's leases
+  std::map<uint32_t, RegionReadState> read_state_;
 };
 
 }  // namespace tebis

@@ -71,4 +71,83 @@ Status DecodeTruncatedReply(Slice payload, uint64_t* needed_payload_bytes) {
   return r.U64(needed_payload_bytes);
 }
 
+std::string EncodeReplicaGetRequest(Slice key, uint64_t min_epoch, uint64_t min_seq) {
+  WireWriter w;
+  w.Bytes(key).U64(min_epoch).U64(min_seq);
+  return w.str();
+}
+
+Status DecodeReplicaGetRequest(Slice payload, Slice* key, uint64_t* min_epoch,
+                               uint64_t* min_seq) {
+  WireReader r(payload);
+  TEBIS_RETURN_IF_ERROR(r.BytesView(key));
+  TEBIS_RETURN_IF_ERROR(r.U64(min_epoch));
+  return r.U64(min_seq);
+}
+
+std::string EncodeReplicaScanRequest(Slice start, uint32_t limit, uint64_t min_epoch,
+                                     uint64_t min_seq) {
+  WireWriter w;
+  w.Bytes(start).U32(limit).U64(min_epoch).U64(min_seq);
+  return w.str();
+}
+
+Status DecodeReplicaScanRequest(Slice payload, Slice* start, uint32_t* limit,
+                                uint64_t* min_epoch, uint64_t* min_seq) {
+  WireReader r(payload);
+  TEBIS_RETURN_IF_ERROR(r.BytesView(start));
+  TEBIS_RETURN_IF_ERROR(r.U32(limit));
+  TEBIS_RETURN_IF_ERROR(r.U64(min_epoch));
+  return r.U64(min_seq);
+}
+
+std::string EncodeReplicaGetReply(Slice value, uint64_t visible_seq) {
+  WireWriter w;
+  w.Bytes(value).U64(visible_seq);
+  return w.str();
+}
+
+Status DecodeReplicaGetReply(Slice payload, Slice* value, uint64_t* visible_seq) {
+  WireReader r(payload);
+  TEBIS_RETURN_IF_ERROR(r.BytesView(value));
+  return r.U64(visible_seq);
+}
+
+std::string EncodeReplicaScanReply(const std::vector<KvPair>& pairs, uint64_t visible_seq) {
+  WireWriter w;
+  w.U32(static_cast<uint32_t>(pairs.size()));
+  for (const auto& kv : pairs) {
+    w.Bytes(kv.key).Bytes(kv.value);
+  }
+  w.U64(visible_seq);
+  return w.str();
+}
+
+Status DecodeReplicaScanReply(Slice payload, std::vector<KvPair>* pairs,
+                              uint64_t* visible_seq) {
+  WireReader r(payload);
+  uint32_t n;
+  TEBIS_RETURN_IF_ERROR(r.U32(&n));
+  pairs->clear();
+  for (uint32_t i = 0; i < n; ++i) {
+    KvPair kv;
+    TEBIS_RETURN_IF_ERROR(r.Bytes(&kv.key));
+    TEBIS_RETURN_IF_ERROR(r.Bytes(&kv.value));
+    pairs->push_back(std::move(kv));
+  }
+  return r.U64(visible_seq);
+}
+
+std::string EncodeCommitToken(uint64_t epoch, uint64_t seq) {
+  WireWriter w;
+  w.U64(epoch).U64(seq);
+  return w.str();
+}
+
+Status DecodeCommitToken(Slice payload, uint64_t* epoch, uint64_t* seq) {
+  WireReader r(payload);
+  TEBIS_RETURN_IF_ERROR(r.U64(epoch));
+  return r.U64(seq);
+}
+
 }  // namespace tebis

@@ -27,6 +27,32 @@ Status DecodeScanReply(Slice payload, std::vector<KvPair>* pairs);
 std::string EncodeTruncatedReply(uint64_t needed_payload_bytes);
 Status DecodeTruncatedReply(Slice payload, uint64_t* needed_payload_bytes);
 
+// Read-replica requests (PR 6) carry a read fence: the serving replica must
+// have committed at least {min_epoch, min_seq} or reject the read with
+// FailedPrecondition — the read-path twin of stale-write fencing.
+std::string EncodeReplicaGetRequest(Slice key, uint64_t min_epoch, uint64_t min_seq);
+Status DecodeReplicaGetRequest(Slice payload, Slice* key, uint64_t* min_epoch,
+                               uint64_t* min_seq);
+
+std::string EncodeReplicaScanRequest(Slice start, uint32_t limit, uint64_t min_epoch,
+                                     uint64_t min_seq);
+Status DecodeReplicaScanRequest(Slice payload, Slice* start, uint32_t* limit,
+                                uint64_t* min_epoch, uint64_t* min_seq);
+
+// Replica replies carry the serving replica's visible sequence so the client
+// can maintain monotonic reads while rotating across replicas.
+std::string EncodeReplicaGetReply(Slice value, uint64_t visible_seq);
+Status DecodeReplicaGetReply(Slice payload, Slice* value, uint64_t* visible_seq);
+
+std::string EncodeReplicaScanReply(const std::vector<KvPair>& pairs, uint64_t visible_seq);
+Status DecodeReplicaScanReply(Slice payload, std::vector<KvPair>* pairs,
+                              uint64_t* visible_seq);
+
+// Write replies carry the commit token (epoch, sequence) the write reached on
+// the primary; read-your-writes clients fold it into their read fence.
+std::string EncodeCommitToken(uint64_t epoch, uint64_t seq);
+Status DecodeCommitToken(Slice payload, uint64_t* epoch, uint64_t* seq);
+
 }  // namespace tebis
 
 #endif  // TEBIS_CLUSTER_KV_WIRE_H_

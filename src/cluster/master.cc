@@ -248,6 +248,9 @@ Status Master::HandleBackupFailure(RegionMap* map, uint32_t region_id,
   // it out should it come back with stale state.
   (void)primary->DetachBackup(region_id, failed, epoch);
   std::erase(region->backups, failed);
+  // Revoke the read lease (PR 6) with the detach: clients must stop routing
+  // reads to a replica the primary no longer replicates to.
+  std::erase(region->read_leases, failed);
   // Replace the failed backup with a fresh node and transfer the region data
   // (§3.5: "the master instructs the rest of the region servers in the group
   // to transfer their region data to the new backup"). A replacement that
@@ -279,6 +282,9 @@ Status Master::HandleBackupFailure(RegionMap* map, uint32_t region_id,
     }
     if (s.ok()) {
       region->backups.push_back(*replacement);
+      // The full sync completed, so the replacement is caught up: grant its
+      // read lease (PR 6) in the same map push that announces it.
+      region->read_leases.push_back(*replacement);
       region->epoch = epoch;
       return Status::Ok();
     }
@@ -359,6 +365,11 @@ Status Master::ExecutePrimaryFailover(RegionMap* map, uint32_t region_id,
       region->backups.end()) {
     region->backups.push_back(failed);  // now a (failed) backup slot: handled next
   }
+  // Leases (PR 6): the promoted server is the primary now, and the failed
+  // server must never serve reads again; surviving backups re-attached above
+  // kept their state and stay leased.
+  std::erase(region->read_leases, promoted);
+  std::erase(region->read_leases, failed);
   region->primary = promoted;
   region->epoch = epoch;
   return Status::Ok();
@@ -637,10 +648,14 @@ Status Master::ExecuteMovePrimary(RegionMap* map, uint32_t region_id,
   TEBIS_RETURN_IF_ERROR(new_server->ReplayPromotionBuffer(region_id));
 
   std::erase(region->backups, new_primary);
+  std::erase(region->read_leases, new_primary);
   if (ServerAlive(old_primary) &&
       std::find(region->backups.begin(), region->backups.end(), old_primary) ==
           region->backups.end()) {
     region->backups.push_back(old_primary);
+    // Leased immediately (PR 6): whether it demoted cleanly or was rebuilt
+    // with a full sync, the old primary holds the complete region state.
+    region->read_leases.push_back(old_primary);
   }
   region->primary = new_primary;
   region->epoch = epoch;

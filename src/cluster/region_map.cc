@@ -29,6 +29,8 @@ StatusOr<RegionMap> RegionMap::CreateUniform(uint32_t num_regions, const std::st
     for (int r = 1; r < replication_factor; ++r) {
       region.backups.push_back(servers[(i + r) % servers.size()]);
     }
+    // A fresh bootstrap attaches every backup in sync, so each starts leased.
+    region.read_leases = region.backups;
     map.regions_.push_back(std::move(region));
   }
   return map;
@@ -101,6 +103,10 @@ std::string RegionMap::Serialize() const {
       w.Bytes(backup);
     }
     w.U64(region.epoch);
+    w.U32(static_cast<uint32_t>(region.read_leases.size()));
+    for (const auto& lease : region.read_leases) {
+      w.Bytes(lease);
+    }
   }
   return w.str();
 }
@@ -125,6 +131,13 @@ StatusOr<RegionMap> RegionMap::Deserialize(Slice data) {
       region.backups.push_back(std::move(backup));
     }
     TEBIS_RETURN_IF_ERROR(r.U64(&region.epoch));
+    uint32_t num_leases;
+    TEBIS_RETURN_IF_ERROR(r.U32(&num_leases));
+    for (uint32_t b = 0; b < num_leases; ++b) {
+      std::string lease;
+      TEBIS_RETURN_IF_ERROR(r.Bytes(&lease));
+      region.read_leases.push_back(std::move(lease));
+    }
     map.regions_.push_back(std::move(region));
   }
   return map;

@@ -26,12 +26,26 @@ struct RegionInfo {
   // promotion/attach/detach; stamped into replication traffic so stale
   // primaries are fenced.
   uint64_t epoch = 1;
+  // Backups the master currently allows to serve reads (PR 6). A lease is
+  // revoked before a backup is detached or enters full-sync, and re-granted
+  // only once the replica is caught up, so clients never pick a degraded
+  // replica. Subset of `backups`.
+  std::vector<std::string> read_leases;
 
   bool Contains(Slice key) const {
     if (Slice(start_key).Compare(key) > 0) {
       return false;
     }
     return end_key.empty() || key.Compare(Slice(end_key)) < 0;
+  }
+
+  bool HasReadLease(const std::string& server) const {
+    for (const auto& lease : read_leases) {
+      if (lease == server) {
+        return true;
+      }
+    }
+    return false;
   }
 };
 

@@ -155,7 +155,7 @@ Status RegionServer::OpenPrimaryRegion(uint32_t region_id, uint64_t epoch) {
   if (regions_.contains(region_id)) {
     return Status::AlreadyExists("region " + std::to_string(region_id));
   }
-  auto handle = std::make_unique<RegionHandle>();
+  auto handle = std::make_shared<RegionHandle>();
   handle->is_primary = true;
   KvStoreOptions kv_options = RegionKvOptions(region_id, "primary");
   kv_options.compaction_pool = compaction_pool_.get();  // null = synchronous
@@ -173,7 +173,7 @@ Status RegionServer::OpenBackupRegion(uint32_t region_id, uint64_t epoch) {
   if (regions_.contains(region_id)) {
     return Status::AlreadyExists("region " + std::to_string(region_id));
   }
-  auto handle = std::make_unique<RegionHandle>();
+  auto handle = std::make_shared<RegionHandle>();
   handle->is_primary = false;
   // Register the log buffer this region's primary will write one-sided.
   handle->replication_buffer =
@@ -196,10 +196,23 @@ Status RegionServer::OpenBackupRegion(uint32_t region_id, uint64_t epoch) {
 }
 
 Status RegionServer::CloseRegion(uint32_t region_id) {
-  std::lock_guard<std::mutex> lock(regions_mutex_);
-  if (regions_.erase(region_id) == 0) {
-    return Status::NotFound("region " + std::to_string(region_id));
+  std::shared_ptr<RegionHandle> handle;
+  {
+    std::lock_guard<std::mutex> lock(regions_mutex_);
+    auto it = regions_.find(region_id);
+    if (it == regions_.end()) {
+      return Status::NotFound("region " + std::to_string(region_id));
+    }
+    handle = std::move(it->second);
+    regions_.erase(it);
   }
+  // Drain before teardown: an op that resolved the handle before the erase is
+  // either inside `handle->mutex` (we wait for it here) or has yet to take it
+  // (it will see `closed` and fail). Without this an in-flight put can be
+  // acked against an engine this close is about to discard — the handover
+  // dirty-tail path then silently loses the acked write.
+  std::lock_guard<std::mutex> lock(handle->mutex);
+  handle->closed = true;
   return Status::Ok();
 }
 
@@ -213,15 +226,15 @@ StatusOr<std::shared_ptr<RegisteredBuffer>> RegionServer::GetReplicationBuffer(
   return it->second->replication_buffer;
 }
 
-RegionServer::RegionHandle* RegionServer::FindRegion(uint32_t region_id) const {
+std::shared_ptr<RegionServer::RegionHandle> RegionServer::FindRegion(uint32_t region_id) const {
   std::lock_guard<std::mutex> lock(regions_mutex_);
   auto it = regions_.find(region_id);
-  return it == regions_.end() ? nullptr : it->second.get();
+  return it == regions_.end() ? nullptr : it->second;
 }
 
 Status RegionServer::AttachBackup(uint32_t region_id, RegionServer* backup_server,
                                   uint64_t epoch) {
-  RegionHandle* handle = FindRegion(region_id);
+  std::shared_ptr<RegionHandle> handle = FindRegion(region_id);
   if (handle == nullptr || !handle->is_primary) {
     return Status::FailedPrecondition("not primary for region " + std::to_string(region_id));
   }
@@ -235,6 +248,9 @@ Status RegionServer::AttachBackup(uint32_t region_id, RegionServer* backup_serve
                    {"region", std::to_string(region_id)},
                    {"backup", backup_server->name()}});
   std::lock_guard<std::mutex> lock(handle->mutex);
+  if (handle->closed) {
+    return Status::NotFound("region " + std::to_string(region_id) + " closed");
+  }
   if (epoch != 0) {
     handle->primary->set_epoch(epoch);
   }
@@ -246,7 +262,7 @@ Status RegionServer::AttachBackup(uint32_t region_id, RegionServer* backup_serve
 
 Status RegionServer::AttachBackupWithFullSync(uint32_t region_id, RegionServer* backup_server,
                                               uint64_t epoch) {
-  RegionHandle* handle = FindRegion(region_id);
+  std::shared_ptr<RegionHandle> handle = FindRegion(region_id);
   if (handle == nullptr || !handle->is_primary) {
     return Status::FailedPrecondition("not primary for region " + std::to_string(region_id));
   }
@@ -263,6 +279,9 @@ Status RegionServer::AttachBackupWithFullSync(uint32_t region_id, RegionServer* 
       std::move(client), region_id, std::move(buffer),
       options_.replication_policy.call_deadline_ns);
   std::lock_guard<std::mutex> lock(handle->mutex);
+  if (handle->closed) {
+    return Status::NotFound("region " + std::to_string(region_id) + " closed");
+  }
   if (epoch != 0) {
     handle->primary->set_epoch(epoch);
   }
@@ -273,11 +292,14 @@ Status RegionServer::AttachBackupWithFullSync(uint32_t region_id, RegionServer* 
 
 Status RegionServer::DetachBackup(uint32_t region_id, const std::string& backup_name,
                                   uint64_t epoch) {
-  RegionHandle* handle = FindRegion(region_id);
+  std::shared_ptr<RegionHandle> handle = FindRegion(region_id);
   if (handle == nullptr || !handle->is_primary) {
     return Status::FailedPrecondition("not primary for region " + std::to_string(region_id));
   }
   std::lock_guard<std::mutex> lock(handle->mutex);
+  if (handle->closed) {
+    return Status::NotFound("region " + std::to_string(region_id) + " closed");
+  }
   if (epoch != 0) {
     handle->primary->set_epoch(epoch);
   }
@@ -287,11 +309,14 @@ Status RegionServer::DetachBackup(uint32_t region_id, const std::string& backup_
 
 Status RegionServer::PromoteRegion(uint32_t region_id, SegmentMap* log_map_out,
                                    uint64_t epoch) {
-  RegionHandle* handle = FindRegion(region_id);
+  std::shared_ptr<RegionHandle> handle = FindRegion(region_id);
   if (handle == nullptr || handle->is_primary) {
     return Status::FailedPrecondition("no backup region " + std::to_string(region_id));
   }
   std::lock_guard<std::mutex> lock(handle->mutex);
+  if (handle->closed) {
+    return Status::NotFound("region " + std::to_string(region_id) + " closed");
+  }
   // New configuration generation: coordinator-authoritative when given,
   // locally monotonic otherwise.
   const uint64_t backup_epoch = handle->send_backup != nullptr
@@ -340,11 +365,14 @@ Status RegionServer::PromoteRegion(uint32_t region_id, SegmentMap* log_map_out,
 }
 
 StatusOr<SegmentMap> RegionServer::GetPromotionLogMap(uint32_t region_id) const {
-  RegionHandle* handle = FindRegion(region_id);
+  std::shared_ptr<RegionHandle> handle = FindRegion(region_id);
   if (handle == nullptr) {
     return Status::NotFound("region " + std::to_string(region_id));
   }
   std::lock_guard<std::mutex> lock(handle->mutex);
+  if (handle->closed) {
+    return Status::NotFound("region " + std::to_string(region_id) + " closed");
+  }
   if (handle->promotion_log_map.empty()) {
     return Status::NotFound("region " + std::to_string(region_id) + " was never promoted");
   }
@@ -353,26 +381,35 @@ StatusOr<SegmentMap> RegionServer::GetPromotionLogMap(uint32_t region_id) const 
 }
 
 Status RegionServer::FlushRegionTail(uint32_t region_id) {
-  RegionHandle* handle = FindRegion(region_id);
+  std::shared_ptr<RegionHandle> handle = FindRegion(region_id);
   if (handle == nullptr || !handle->is_primary) {
     return Status::FailedPrecondition("region not primary: " + std::to_string(region_id));
   }
   std::lock_guard<std::mutex> lock(handle->mutex);
+  if (handle->closed) {
+    return Status::NotFound("region " + std::to_string(region_id) + " closed");
+  }
   return handle->primary->store()->value_log()->FlushTail();
 }
 
 Status RegionServer::DemoteRegion(uint32_t region_id, const SegmentMap& new_primary_log_map,
                                   uint64_t epoch) {
-  RegionHandle* handle = FindRegion(region_id);
+  std::shared_ptr<RegionHandle> handle = FindRegion(region_id);
   if (handle == nullptr || !handle->is_primary) {
     return Status::FailedPrecondition("region not primary: " + std::to_string(region_id));
   }
   std::lock_guard<std::mutex> lock(handle->mutex);
+  if (handle->closed) {
+    return Status::NotFound("region " + std::to_string(region_id) + " closed");
+  }
   const uint64_t backup_epoch = epoch != 0 ? epoch : handle->primary->epoch();
-  std::unique_ptr<KvStore> store = handle->primary->ReleaseStore();
-  if (store->value_log()->tail_used() != 0) {
+  // Validate BEFORE gutting the primary: a put that raced in after the
+  // coordinator's tail flush must leave the region serving (the caller
+  // retries the move), not a husk whose engine was moved out and destroyed.
+  if (handle->primary->store()->value_log()->tail_used() != 0) {
     return Status::FailedPrecondition("tail not flushed before demotion");
   }
+  std::unique_ptr<KvStore> store = handle->primary->ReleaseStore();
   // The demoted node's log map is the inverse of the promoted node's
   // (new-primary segment -> local segment), ordered by the local flush order.
   TEBIS_ASSIGN_OR_RETURN(SegmentMap inverted, new_primary_log_map.Invert());
@@ -409,11 +446,14 @@ Status RegionServer::DemoteRegion(uint32_t region_id, const SegmentMap& new_prim
 
 Status RegionServer::AdoptNewPrimaryLogMap(uint32_t region_id, const SegmentMap& map,
                                            uint64_t epoch) {
-  RegionHandle* handle = FindRegion(region_id);
+  std::shared_ptr<RegionHandle> handle = FindRegion(region_id);
   if (handle == nullptr || handle->is_primary) {
     return Status::FailedPrecondition("no backup region " + std::to_string(region_id));
   }
   std::lock_guard<std::mutex> lock(handle->mutex);
+  if (handle->closed) {
+    return Status::NotFound("region " + std::to_string(region_id) + " closed");
+  }
   if (handle->send_backup != nullptr) {
     return handle->send_backup->AdoptNewPrimaryLogMap(map, epoch);
   }
@@ -424,19 +464,35 @@ Status RegionServer::AdoptNewPrimaryLogMap(uint32_t region_id, const SegmentMap&
 }
 
 Status RegionServer::ReplayPromotionBuffer(uint32_t region_id) {
-  RegionHandle* handle = FindRegion(region_id);
+  std::shared_ptr<RegionHandle> handle = FindRegion(region_id);
   if (handle == nullptr || !handle->is_primary) {
     return Status::FailedPrecondition("region not primary: " + std::to_string(region_id));
   }
   std::lock_guard<std::mutex> lock(handle->mutex);
+  if (handle->closed) {
+    return Status::NotFound("region " + std::to_string(region_id) + " closed");
+  }
   Status status = handle->primary->ReplayBufferImage(Slice(handle->promotion_buffer_image));
   handle->promotion_buffer_image.clear();
   return status;
 }
 
 void RegionServer::SetRegionMap(std::shared_ptr<const RegionMap> map) {
-  std::lock_guard<std::mutex> lock(map_mutex_);
-  map_ = std::move(map);
+  {
+    std::lock_guard<std::mutex> lock(map_mutex_);
+    map_ = map;
+  }
+  // Read leases this server currently holds (PR 6): tracked as a gauge so a
+  // stats scrape shows which replicas the master considers read-serving.
+  if (map != nullptr) {
+    int64_t leases = 0;
+    for (const auto& region : map->regions()) {
+      if (region.HasReadLease(name_)) {
+        leases++;
+      }
+    }
+    telemetry_->metrics()->GetGauge("server.read_leases", {{"node", name_}})->Set(leases);
+  }
 }
 
 std::shared_ptr<const RegionMap> RegionServer::region_map() const {
@@ -445,16 +501,19 @@ std::shared_ptr<const RegionMap> RegionServer::region_map() const {
 }
 
 bool RegionServer::IsPrimaryFor(uint32_t region_id) const {
-  RegionHandle* handle = FindRegion(region_id);
+  std::shared_ptr<RegionHandle> handle = FindRegion(region_id);
   return handle != nullptr && handle->is_primary;
 }
 
 StatusOr<uint64_t> RegionServer::BackupEpochRejected(uint32_t region_id) const {
-  RegionHandle* handle = FindRegion(region_id);
+  std::shared_ptr<RegionHandle> handle = FindRegion(region_id);
   if (handle == nullptr) {
     return Status::NotFound("region " + std::to_string(region_id));
   }
   std::lock_guard<std::mutex> lock(handle->mutex);
+  if (handle->closed) {
+    return Status::NotFound("region " + std::to_string(region_id) + " closed");
+  }
   if (handle->send_backup != nullptr) {
     return handle->send_backup->stats().epoch_rejected;
   }
@@ -465,11 +524,14 @@ StatusOr<uint64_t> RegionServer::BackupEpochRejected(uint32_t region_id) const {
 }
 
 StatusOr<ReplicationStats> RegionServer::PrimaryReplicationStats(uint32_t region_id) const {
-  RegionHandle* handle = FindRegion(region_id);
+  std::shared_ptr<RegionHandle> handle = FindRegion(region_id);
   if (handle == nullptr || !handle->is_primary) {
     return Status::NotFound("no primary region " + std::to_string(region_id));
   }
   std::lock_guard<std::mutex> lock(handle->mutex);
+  if (handle->closed) {
+    return Status::NotFound("region " + std::to_string(region_id) + " closed");
+  }
   return handle->primary->replication_stats();
 }
 
@@ -516,7 +578,10 @@ void RegionServer::HandleRequest(const MessageHeader& header, std::string payloa
     return;
   }
 
-  RegionHandle* region = FindRegion(header.region_id);
+  // The shared ref pins the handle for the duration of the op; CloseRegion
+  // may race this dispatch, in which case the handler observes `closed` under
+  // the region mutex and answers wrong-region (the client refreshes its map).
+  std::shared_ptr<RegionHandle> region = FindRegion(header.region_id);
   if (region == nullptr) {
     (void)ctx.SendReply(reply_type, kFlagWrongRegion, Slice());
     return;
@@ -527,7 +592,11 @@ void RegionServer::HandleRequest(const MessageHeader& header, std::string payloa
     case MessageType::kGet:
     case MessageType::kDelete:
     case MessageType::kScan:
-      HandleKvOp(region, header, payload, ctx);
+      HandleKvOp(region.get(), header, payload, ctx);
+      return;
+    case MessageType::kReplicaGet:
+    case MessageType::kReplicaScan:
+      HandleReplicaRead(region.get(), header, payload, ctx);
       return;
     case MessageType::kFlushLog:
     case MessageType::kCompactionBegin:
@@ -535,7 +604,7 @@ void RegionServer::HandleRequest(const MessageHeader& header, std::string payloa
     case MessageType::kCompactionEnd:
     case MessageType::kLogTrim:
     case MessageType::kSetReplayStart:
-      HandleReplicationOp(region, header, payload, ctx);
+      HandleReplicationOp(region.get(), header, payload, ctx);
       return;
     default:
       ReplyError(ctx, reply_type, Status::InvalidArgument("unexpected message type"));
@@ -547,6 +616,11 @@ void RegionServer::HandleKvOp(RegionHandle* region, const MessageHeader& header,
   const auto type = static_cast<MessageType>(header.type);
   const MessageType reply_type = ReplyTypeFor(type);
   std::lock_guard<std::mutex> lock(region->mutex);
+  if (region->closed) {
+    // Raced with CloseRegion: the engines are gone or about to be.
+    (void)ctx.SendReply(reply_type, kFlagWrongRegion, Slice());
+    return;
+  }
   if (!region->is_primary) {
     // The client's map is stale: this replica is a backup (§3.1).
     (void)ctx.SendReply(reply_type, kFlagWrongRegion, Slice());
@@ -564,7 +638,13 @@ void RegionServer::HandleKvOp(RegionHandle* region, const MessageHeader& header,
         ReplyError(ctx, reply_type, s);
         return;
       }
-      (void)ctx.SendReply(reply_type, 0, Slice());
+      // The reply carries the commit token the write reached (PR 6);
+      // read-your-writes clients fold it into their replica read fence.
+      uint64_t token_epoch, token_seq;
+      primary->CommitToken(&token_epoch, &token_seq);
+      const std::string token = EncodeCommitToken(token_epoch, token_seq);
+      (void)ctx.SendReply(reply_type, 0,
+                          ctx.ReplyFits(token.size()) ? Slice(token) : Slice());
       return;
     }
     case MessageType::kDelete: {
@@ -577,7 +657,11 @@ void RegionServer::HandleKvOp(RegionHandle* region, const MessageHeader& header,
         ReplyError(ctx, reply_type, s);
         return;
       }
-      (void)ctx.SendReply(reply_type, 0, Slice());
+      uint64_t token_epoch, token_seq;
+      primary->CommitToken(&token_epoch, &token_seq);
+      const std::string token = EncodeCommitToken(token_epoch, token_seq);
+      (void)ctx.SendReply(reply_type, 0,
+                          ctx.ReplyFits(token.size()) ? Slice(token) : Slice());
       return;
     }
     case MessageType::kGet: {
@@ -627,11 +711,96 @@ void RegionServer::HandleKvOp(RegionHandle* region, const MessageHeader& header,
   }
 }
 
+void RegionServer::HandleReplicaRead(RegionHandle* region, const MessageHeader& header,
+                                     Slice payload, const ReplyContext& ctx) {
+  const auto type = static_cast<MessageType>(header.type);
+  const MessageType reply_type = ReplyTypeFor(type);
+  std::lock_guard<std::mutex> lock(region->mutex);
+  if (region->closed) {
+    // Raced with CloseRegion: the engines are gone or about to be.
+    (void)ctx.SendReply(reply_type, kFlagWrongRegion, Slice());
+    return;
+  }
+  if (region->is_primary) {
+    // The client's map is stale: this server was promoted. Answering
+    // kFlagWrongRegion (instead of serving from the primary engine) keeps
+    // replica-read counters honest — a "replica read" is only ever counted
+    // when a backup engine actually served it.
+    (void)ctx.SendReply(reply_type, kFlagWrongRegion, Slice());
+    return;
+  }
+  SendIndexBackupRegion* send = region->send_backup.get();
+  BuildIndexBackupRegion* build = region->build_backup.get();
+  if (send == nullptr && build == nullptr) {
+    (void)ctx.SendReply(reply_type, kFlagWrongRegion, Slice());
+    return;
+  }
+  switch (type) {
+    case MessageType::kReplicaGet: {
+      Slice key;
+      uint64_t min_epoch, min_seq;
+      if (Status s = DecodeReplicaGetRequest(payload, &key, &min_epoch, &min_seq); !s.ok()) {
+        ReplyError(ctx, reply_type, s);
+        return;
+      }
+      uint64_t visible_seq = 0;
+      auto value = send != nullptr ? send->Get(key, min_epoch, min_seq, &visible_seq)
+                                   : build->Get(key, min_epoch, min_seq, &visible_seq);
+      if (!value.ok()) {
+        // FailedPrecondition (fenced read) and NotFound both travel as error
+        // replies; the client keys off the status-string prefix.
+        ReplyError(ctx, reply_type, value.status());
+        return;
+      }
+      std::string encoded = EncodeReplicaGetReply(*value, visible_seq);
+      if (!ctx.ReplyFits(encoded.size())) {
+        (void)ctx.SendReply(reply_type, kFlagTruncatedReply,
+                            EncodeTruncatedReply(encoded.size()));
+        return;
+      }
+      (void)ctx.SendReply(reply_type, 0, encoded);
+      return;
+    }
+    case MessageType::kReplicaScan: {
+      Slice start;
+      uint32_t limit;
+      uint64_t min_epoch, min_seq;
+      if (Status s = DecodeReplicaScanRequest(payload, &start, &limit, &min_epoch, &min_seq);
+          !s.ok()) {
+        ReplyError(ctx, reply_type, s);
+        return;
+      }
+      uint64_t visible_seq = 0;
+      auto pairs = send != nullptr ? send->Scan(start, limit, min_epoch, min_seq, &visible_seq)
+                                   : build->Scan(start, limit, min_epoch, min_seq, &visible_seq);
+      if (!pairs.ok()) {
+        ReplyError(ctx, reply_type, pairs.status());
+        return;
+      }
+      std::string encoded = EncodeReplicaScanReply(*pairs, visible_seq);
+      if (!ctx.ReplyFits(encoded.size())) {
+        (void)ctx.SendReply(reply_type, kFlagTruncatedReply,
+                            EncodeTruncatedReply(encoded.size()));
+        return;
+      }
+      (void)ctx.SendReply(reply_type, 0, encoded);
+      return;
+    }
+    default:
+      ReplyError(ctx, reply_type, Status::Internal("bad replica read op"));
+  }
+}
+
 void RegionServer::HandleReplicationOp(RegionHandle* region, const MessageHeader& header,
                                        Slice payload, const ReplyContext& ctx) {
   const auto type = static_cast<MessageType>(header.type);
   const MessageType reply_type = ReplyTypeFor(type);
   std::lock_guard<std::mutex> lock(region->mutex);
+  if (region->closed) {
+    // Raced with CloseRegion: the engines are gone or about to be.
+    (void)ctx.SendReply(reply_type, kFlagWrongRegion, Slice());
+    return;
+  }
   if (region->is_primary) {
     ReplyError(ctx, reply_type, Status::FailedPrecondition("replication op on primary"));
     return;
@@ -652,8 +821,8 @@ void RegionServer::HandleReplicationOp(RegionHandle* region, const MessageHeader
         status = check_epoch(msg.epoch);
       }
       if (status.ok()) {
-        status = send != nullptr ? send->HandleLogFlush(msg.primary_segment)
-                                 : build->HandleLogFlush(msg.primary_segment);
+        status = send != nullptr ? send->HandleLogFlush(msg.primary_segment, msg.commit_seq)
+                                 : build->HandleLogFlush(msg.primary_segment, msg.commit_seq);
       }
       break;
     }

@@ -169,6 +169,11 @@ class RegionServer {
  private:
   struct RegionHandle {
     mutable std::mutex mutex;
+    // Set by CloseRegion after draining in-flight operations. A thread that
+    // resolved this handle before the close finishes must re-check under
+    // `mutex` and fail the op — the engines below are about to be (or have
+    // been) torn down and anything written here is discarded.
+    bool closed = false;
     bool is_primary = false;
     std::unique_ptr<PrimaryRegion> primary;
     std::unique_ptr<SendIndexBackupRegion> send_backup;
@@ -181,9 +186,16 @@ class RegionServer {
   void HandleRequest(const MessageHeader& header, std::string payload, ReplyContext ctx);
   void HandleKvOp(RegionHandle* region, const MessageHeader& header, Slice payload,
                   const ReplyContext& ctx);
+  // Replica reads (PR 6): served from the local *backup* engine, fenced by
+  // the {min_epoch, min_seq} the request carries. A primary handle answers
+  // kFlagWrongRegion so replica traffic is never silently proxied.
+  void HandleReplicaRead(RegionHandle* region, const MessageHeader& header, Slice payload,
+                         const ReplyContext& ctx);
   void HandleReplicationOp(RegionHandle* region, const MessageHeader& header, Slice payload,
                            const ReplyContext& ctx);
-  RegionHandle* FindRegion(uint32_t region_id) const;
+  // Returns a shared ref so a concurrent CloseRegion (handover discard path)
+  // cannot free the handle out from under an op that already resolved it.
+  std::shared_ptr<RegionHandle> FindRegion(uint32_t region_id) const;
   static void ReplyError(const ReplyContext& ctx, MessageType reply_type, const Status& status);
   // kv_options with the server's telemetry plane and {node, region, role}
   // labels stamped in, so every store's instruments are uniquely named.
@@ -216,7 +228,7 @@ class RegionServer {
   bool crashed_ = false;
 
   mutable std::mutex regions_mutex_;
-  std::map<uint32_t, std::unique_ptr<RegionHandle>> regions_;
+  std::map<uint32_t, std::shared_ptr<RegionHandle>> regions_;
 
   mutable std::mutex map_mutex_;
   std::shared_ptr<const RegionMap> map_;

@@ -115,6 +115,21 @@ class ValueLog {
     return total_appended_bytes_.load(std::memory_order_relaxed);
   }
 
+  // Copy of the unflushed tail image ([0, tail_used_)) followed by a 4-byte
+  // zero terminator, or empty if there is no open tail / nothing appended.
+  // Used to seed a freshly attached backup's replication buffer so it mirrors
+  // the primary's tail exactly (bytes past tail_used_ are written outside the
+  // lock, so only the published prefix is copied).
+  std::string TailImageSnapshot() const {
+    std::lock_guard<std::mutex> lock(tail_mutex_);
+    if (tail_buffer_ == nullptr || tail_used_ == 0) {
+      return std::string();
+    }
+    std::string image(tail_buffer_.get(), tail_used_);
+    image.append(4, '\0');
+    return image;
+  }
+
   // Frees the oldest `n` flushed segments (value-log trim after GC).
   Status TrimHead(size_t n);
 

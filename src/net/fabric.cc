@@ -58,6 +58,22 @@ std::string RegisteredBuffer::FenceAndSnapshot(uint64_t min_epoch) {
   return std::string(data_.data(), data_.size());
 }
 
+std::string RegisteredBuffer::SnapshotBytes(size_t len) {
+  std::lock_guard<std::mutex> lock(write_mutex_);
+  if (len > data_.size()) {
+    len = data_.size();
+  }
+  return std::string(data_.data(), len);
+}
+
+void RegisteredBuffer::ZeroPrefix(size_t len) {
+  std::lock_guard<std::mutex> lock(write_mutex_);
+  if (len > data_.size()) {
+    len = data_.size();
+  }
+  memset(data_.data(), 0, len);
+}
+
 Status RegisteredBuffer::RdmaWriteMessage(uint64_t offset, const MessageHeader& header,
                                           Slice payload) {
   const size_t wire = MessageWireSize(header.padded_payload_size);

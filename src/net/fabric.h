@@ -93,6 +93,16 @@ class RegisteredBuffer {
   const char* data() const { return data_.data(); }
   char* mutable_data() { return data_.data(); }
 
+  // Owner-side consistent copy of the first `len` bytes. Serializes with
+  // tagged writes, so a replica read (PR 6) never parses a record a
+  // concurrent one-sided append is still landing.
+  std::string SnapshotBytes(size_t len);
+
+  // Owner-side scrub of the first `len` bytes (zeroes). After a log flush the
+  // backup clears the absorbed tail image so buffer parsing restarts from an
+  // empty prefix; a 4-byte zero key_size terminates record iteration.
+  void ZeroPrefix(size_t len);
+
   const std::string& owner() const { return owner_; }
   const std::string& writer() const { return writer_; }
 

@@ -75,6 +75,14 @@ const char* MessageTypeName(MessageType type) {
       return "StatsScrape";
     case MessageType::kStatsScrapeReply:
       return "StatsScrapeReply";
+    case MessageType::kReplicaGet:
+      return "ReplicaGet";
+    case MessageType::kReplicaGetReply:
+      return "ReplicaGetReply";
+    case MessageType::kReplicaScan:
+      return "ReplicaScan";
+    case MessageType::kReplicaScanReply:
+      return "ReplicaScanReply";
   }
   return "?";
 }

@@ -54,6 +54,12 @@ enum class MessageType : uint16_t {
   // pipeline spans) as JSON. Region-independent, like kGetRegionMap.
   kStatsScrape,
   kStatsScrapeReply,
+  // Read-replica serving (PR 6): gets/scans answered by a leased backup over
+  // its shipped (or rebuilt) index, fenced by the region's committed epoch.
+  kReplicaGet,
+  kReplicaGetReply,
+  kReplicaScan,
+  kReplicaScanReply,
 };
 
 const char* MessageTypeName(MessageType type);

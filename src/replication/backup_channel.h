@@ -42,8 +42,11 @@ class BackupChannel {
   // persisted on the primary; the backup must persist its RDMA buffer and add
   // the log-map entry. Blocks until the backup acknowledges. `stream` is
   // kNoStream for data-plane flushes; a flush issued inside a sync-mode
-  // compaction begin carries that compaction's stream.
-  virtual Status FlushLog(SegmentId primary_segment, StreamId stream = kNoStream) = 0;
+  // compaction begin carries that compaction's stream. `commit_seq` is the
+  // primary's commit sequence as of this flush (PR 6): the backup folds it
+  // into the visible sequence its read path reports.
+  virtual Status FlushLog(SegmentId primary_segment, StreamId stream = kNoStream,
+                          uint64_t commit_seq = 0) = 0;
 
   // Control plane (§3.3): compaction lifecycle for Send-Index shipping. Every
   // message is tagged with the compaction's shipping stream (PR 4) so the

@@ -49,6 +49,10 @@ void BuildIndexBackupRegion::InitTelemetry() {
   counters_.records_inserted = reg->GetCounter("backup.records_inserted", l);
   counters_.log_flushes = reg->GetCounter("backup.log_flushes", l);
   counters_.epoch_rejected = reg->GetCounter("backup.epoch_rejected", l);
+  counters_.replica_gets = reg->GetCounter("backup.replica_gets", l);
+  counters_.replica_scans = reg->GetCounter("backup.replica_scans", l);
+  counters_.read_rejects_epoch = reg->GetCounter("backup.read_rejects_epoch", l);
+  counters_.read_rejects_seq = reg->GetCounter("backup.read_rejects_seq", l);
 }
 
 BuildIndexBackupStats BuildIndexBackupRegion::stats() const {
@@ -57,31 +61,43 @@ BuildIndexBackupStats BuildIndexBackupRegion::stats() const {
   s.records_inserted = counters_.records_inserted->Value();
   s.log_flushes = counters_.log_flushes->Value();
   s.epoch_rejected = counters_.epoch_rejected->Value();
+  s.replica_gets = counters_.replica_gets->Value();
+  s.replica_scans = counters_.replica_scans->Value();
+  s.read_rejects_epoch = counters_.read_rejects_epoch->Value();
+  s.read_rejects_seq = counters_.read_rejects_seq->Value();
   return s;
 }
 
 Status BuildIndexBackupRegion::CheckEpoch(uint64_t msg_epoch) {
-  if (msg_epoch < region_epoch_) {
+  const uint64_t cur = region_epoch_.load(std::memory_order_acquire);
+  if (msg_epoch < cur) {
     counters_.epoch_rejected->Increment();
     return Status::FailedPrecondition("stale replication epoch " + std::to_string(msg_epoch) +
-                                      " < " + std::to_string(region_epoch_));
+                                      " < " + std::to_string(cur));
   }
-  if (msg_epoch > region_epoch_) {
+  if (msg_epoch > cur) {
     set_region_epoch(msg_epoch);
   }
   return Status::Ok();
 }
 
 void BuildIndexBackupRegion::set_region_epoch(uint64_t epoch) {
-  if (epoch > region_epoch_) {
-    region_epoch_ = epoch;
-    rdma_buffer_->Fence(epoch);
+  uint64_t cur = region_epoch_.load(std::memory_order_acquire);
+  while (epoch > cur) {
+    if (region_epoch_.compare_exchange_weak(cur, epoch, std::memory_order_acq_rel,
+                                            std::memory_order_acquire)) {
+      rdma_buffer_->Fence(epoch);  // raise-to-at-least, thread-safe
+      return;
+    }
   }
 }
 
-Status BuildIndexBackupRegion::HandleLogFlush(SegmentId primary_segment) {
+Status BuildIndexBackupRegion::HandleLogFlush(SegmentId primary_segment, uint64_t commit_seq) {
+  std::lock_guard<std::shared_mutex> lock(state_mutex_);
   if (log_map_.Contains(primary_segment)) {
-    return Status::Ok();  // duplicate delivery (the ack was lost, not the flush)
+    // Duplicate delivery (the ack was lost, not the flush). No buffer scrub
+    // here: the primary may already be appending the new tail into it.
+    return Status::Ok();
   }
   const uint64_t seg_size = device_->segment_size();
   Slice image(rdma_buffer_->data(), seg_size);
@@ -106,10 +122,125 @@ Status BuildIndexBackupRegion::HandleLogFlush(SegmentId primary_segment) {
         });
   }();
   counters_.insert_cpu_ns->Add(cpu_ns);
+  if (!status.ok()) {
+    return status;
+  }
+  if (commit_seq > flushed_commit_seq_) {
+    flushed_commit_seq_ = commit_seq;
+  }
+  // The absorbed tail image is in the engine now; scrub it so the replica
+  // read path does not double-count it toward the visible sequence. Safe:
+  // FlushLog is synchronous, the primary is blocked on this ack.
+  rdma_buffer_->ZeroPrefix(sizeof(uint32_t));
   return status;
 }
 
+// --- replica read path (PR 6) ----------------------------------------------------
+
+uint64_t BuildIndexBackupRegion::ParseBufferLocked(std::vector<LogRecord>* records) const {
+  const std::string image = rdma_buffer_->SnapshotBytes(device_->segment_size());
+  Status status = ValueLog::ForEachRecord(Slice(image), /*segment_base=*/0,
+                                          [records](const LogRecord& rec) {
+                                            records->push_back(rec);
+                                            return Status::Ok();
+                                          });
+  (void)status;  // a corruption marks the end of valid data
+  return flushed_commit_seq_ + records->size();
+}
+
+StatusOr<std::string> BuildIndexBackupRegion::Get(Slice key, uint64_t min_epoch,
+                                                  uint64_t min_seq, uint64_t* visible_seq) {
+  std::shared_lock<std::shared_mutex> lock(state_mutex_);
+  counters_.replica_gets->Increment();
+  const uint64_t epoch = region_epoch_.load(std::memory_order_acquire);
+  if (epoch < min_epoch) {
+    counters_.read_rejects_epoch->Increment();
+    return Status::FailedPrecondition("replica epoch " + std::to_string(epoch) +
+                                      " behind read fence " + std::to_string(min_epoch));
+  }
+  std::vector<LogRecord> buffered;
+  const uint64_t visible = ParseBufferLocked(&buffered);
+  if (visible < min_seq) {
+    counters_.read_rejects_seq->Increment();
+    return Status::FailedPrecondition("replica commit seq " + std::to_string(visible) +
+                                      " behind read fence " + std::to_string(min_seq));
+  }
+  if (visible_seq != nullptr) {
+    *visible_seq = visible;
+  }
+  // Newest wins: the buffer holds records flushed segments do not have yet.
+  for (auto rit = buffered.rbegin(); rit != buffered.rend(); ++rit) {
+    if (Slice(rit->key) == key) {
+      if (rit->tombstone) {
+        return Status::NotFound();
+      }
+      return rit->value;
+    }
+  }
+  return store_->Get(key);
+}
+
+StatusOr<std::vector<KvPair>> BuildIndexBackupRegion::Scan(Slice start, size_t limit,
+                                                           uint64_t min_epoch, uint64_t min_seq,
+                                                           uint64_t* visible_seq) {
+  std::shared_lock<std::shared_mutex> lock(state_mutex_);
+  counters_.replica_scans->Increment();
+  const uint64_t epoch = region_epoch_.load(std::memory_order_acquire);
+  if (epoch < min_epoch) {
+    counters_.read_rejects_epoch->Increment();
+    return Status::FailedPrecondition("replica epoch " + std::to_string(epoch) +
+                                      " behind read fence " + std::to_string(min_epoch));
+  }
+  std::vector<LogRecord> buffered;
+  const uint64_t visible = ParseBufferLocked(&buffered);
+  if (visible < min_seq) {
+    counters_.read_rejects_seq->Increment();
+    return Status::FailedPrecondition("replica commit seq " + std::to_string(visible) +
+                                      " behind read fence " + std::to_string(min_seq));
+  }
+  if (visible_seq != nullptr) {
+    *visible_seq = visible;
+  }
+  // Overlay (buffer records, newest wins) merged over the engine's scan.
+  std::map<std::string, LogRecord> overlay;
+  for (const LogRecord& rec : buffered) {
+    if (start.empty() || Slice(rec.key).Compare(start) >= 0) {
+      overlay[rec.key] = rec;
+    }
+  }
+  TEBIS_ASSIGN_OR_RETURN(std::vector<KvPair> engine,
+                         store_->Scan(start, limit + overlay.size()));
+  std::vector<KvPair> out;
+  auto oit = overlay.begin();
+  size_t ei = 0;
+  while (out.size() < limit && (oit != overlay.end() || ei < engine.size())) {
+    const bool overlay_wins =
+        oit != overlay.end() &&
+        (ei >= engine.size() || Slice(oit->first).Compare(Slice(engine[ei].key)) <= 0);
+    if (overlay_wins) {
+      if (ei < engine.size() && Slice(engine[ei].key) == Slice(oit->first)) {
+        ++ei;  // shadowed engine entry
+      }
+      if (!oit->second.tombstone) {
+        out.push_back(KvPair{oit->first, oit->second.value});
+      }
+      ++oit;
+    } else {
+      out.push_back(engine[ei]);
+      ++ei;
+    }
+  }
+  return out;
+}
+
+uint64_t BuildIndexBackupRegion::visible_seq() const {
+  std::shared_lock<std::shared_mutex> lock(state_mutex_);
+  std::vector<LogRecord> records;
+  return ParseBufferLocked(&records);
+}
+
 Status BuildIndexBackupRegion::HandleTrimLog(size_t segments) {
+  std::lock_guard<std::shared_mutex> lock(state_mutex_);
   if (segments > primary_flush_order_.size()) {
     return Status::InvalidArgument("trim beyond replicated log");
   }

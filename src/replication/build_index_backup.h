@@ -5,7 +5,10 @@
 #ifndef TEBIS_REPLICATION_BUILD_INDEX_BACKUP_H_
 #define TEBIS_REPLICATION_BUILD_INDEX_BACKUP_H_
 
+#include <atomic>
 #include <memory>
+#include <mutex>
+#include <shared_mutex>
 #include <vector>
 
 #include "src/lsm/kv_store.h"
@@ -21,6 +24,10 @@ struct BuildIndexBackupStats {
   uint64_t records_inserted = 0;
   uint64_t log_flushes = 0;
   uint64_t epoch_rejected = 0;  // control messages fenced as stale (§3.5)
+  uint64_t replica_gets = 0;    // gets served from this replica (PR 6)
+  uint64_t replica_scans = 0;   // scans served from this replica (PR 6)
+  uint64_t read_rejects_epoch = 0;  // reads fenced: replica epoch too old
+  uint64_t read_rejects_seq = 0;    // reads fenced: commit seq behind fence
 };
 
 class BuildIndexBackupRegion {
@@ -42,7 +49,20 @@ class BuildIndexBackupRegion {
 
   // Persists the RDMA buffer as a local log segment, then replays every
   // record into the local engine (L0 insert + any compactions it triggers).
-  Status HandleLogFlush(SegmentId primary_segment);
+  // `commit_seq` is the primary's commit sequence as of this flush (PR 6).
+  Status HandleLogFlush(SegmentId primary_segment, uint64_t commit_seq = 0);
+
+  // --- replica read path (PR 6), mirrors SendIndexBackupRegion ---
+
+  // Serves a get/scan fenced by {min_epoch, min_seq}; rejected reads return
+  // FailedPrecondition. Newest wins: RDMA buffer first, then the engine
+  // (which already holds every flushed record). On success `*visible_seq`
+  // (when non-null) is the replica's visible commit sequence.
+  StatusOr<std::string> Get(Slice key, uint64_t min_epoch, uint64_t min_seq,
+                            uint64_t* visible_seq);
+  StatusOr<std::vector<KvPair>> Scan(Slice start, size_t limit, uint64_t min_epoch,
+                                     uint64_t min_seq, uint64_t* visible_seq);
+  uint64_t visible_seq() const;
 
   Status HandleTrimLog(size_t segments);
 
@@ -64,7 +84,7 @@ class BuildIndexBackupRegion {
   // --- epoch fencing (§3.5), mirrors SendIndexBackupRegion ---
   Status CheckEpoch(uint64_t msg_epoch);
   void set_region_epoch(uint64_t epoch);
-  uint64_t region_epoch() const { return region_epoch_; }
+  uint64_t region_epoch() const { return region_epoch_.load(std::memory_order_acquire); }
 
  private:
   BuildIndexBackupRegion(BlockDevice* device, const KvStoreOptions& options,
@@ -76,20 +96,37 @@ class BuildIndexBackupRegion {
     Counter* records_inserted = nullptr;
     Counter* log_flushes = nullptr;
     Counter* epoch_rejected = nullptr;
+    Counter* replica_gets = nullptr;
+    Counter* replica_scans = nullptr;
+    Counter* read_rejects_epoch = nullptr;
+    Counter* read_rejects_seq = nullptr;
   };
 
   void InitTelemetry();
+  // Decodes a consistent RDMA-buffer snapshot; returns the visible sequence.
+  uint64_t ParseBufferLocked(std::vector<LogRecord>* records) const;
 
   BlockDevice* const device_;
   const KvStoreOptions options_;
   std::shared_ptr<RegisteredBuffer> rdma_buffer_;
   std::unique_ptr<KvStore> store_;
+  // Serializes flush handling against replica reads (PR 6): the visible
+  // sequence must move in lock-step with record visibility in the engine, or
+  // a reader could observe data newer than the sequence it reports. Control
+  // handlers were single-threaded before reads existed, so this lock is new
+  // contention only on the read path.
+  // Reader-writer lock: shipping mutations exclusive, replica reads shared
+  // (KvStore supports concurrent Get/Scan readers; the RDMA buffer carries
+  // its own lock).
+  mutable std::shared_mutex state_mutex_;
   SegmentMap log_map_;
   std::vector<SegmentId> primary_flush_order_;
+  uint64_t flushed_commit_seq_ = 0;  // guarded by state_mutex_
   std::unique_ptr<Telemetry> owned_telemetry_;
   Telemetry* telemetry_ = nullptr;
   Instruments counters_;
-  uint64_t region_epoch_ = 0;
+  // Atomic: replica readers check it without the state lock's writer side.
+  std::atomic<uint64_t> region_epoch_{0};
 };
 
 }  // namespace tebis

@@ -48,14 +48,15 @@ class LocalBackupChannel : public BackupChannel {
     return buffer_->RdmaWriteTagged(epoch(), offset_in_segment, record_bytes);
   }
 
-  Status FlushLog(SegmentId primary_segment, StreamId stream = kNoStream) override {
+  Status FlushLog(SegmentId primary_segment, StreamId stream = kNoStream,
+                  uint64_t commit_seq = 0) override {
     return WithRetry(FaultSite::kReplFlushSend, FaultSite::kReplFlushAck, /*has_ack=*/true,
-                     EncodeFlushLog({epoch(), primary_segment, stream}).size(), [&] {
+                     EncodeFlushLog({epoch(), primary_segment, commit_seq, stream}).size(), [&] {
                        TEBIS_RETURN_IF_ERROR(CheckBackupEpoch());
                        if (send_backup_ != nullptr) {
-                         return send_backup_->HandleLogFlush(primary_segment);
+                         return send_backup_->HandleLogFlush(primary_segment, commit_seq);
                        }
-                       return build_backup_->HandleLogFlush(primary_segment);
+                       return build_backup_->HandleLogFlush(primary_segment, commit_seq);
                      });
   }
 

@@ -144,6 +144,28 @@ void PrimaryRegion::AddBackup(std::unique_ptr<BackupChannel> channel) {
       s->credits_in_flight->Set(static_cast<int64_t>(s->flow->in_flight()));
     }
   });
+  // Mirror invariant: the backup's RDMA buffer must hold exactly the
+  // primary's unflushed tail, because a later FlushLog makes the backup
+  // persist that buffer as the tail's segment image. A backup attached
+  // mid-tail — the handover window where a freshly promoted primary serves
+  // (and acks) writes before its deposed peer re-attaches — starts with an
+  // empty buffer and would otherwise persist a hole in place of those acked
+  // records, silently losing them at the next promotion.
+  std::string tail_image = store_->value_log()->TailImageSnapshot();
+  if (!tail_image.empty()) {
+    Status s = slot->channel->RdmaWriteLog(0, Slice(tail_image));
+    constexpr int kSeedRetryLimit = 8;
+    for (int retry = 0; retry < kSeedRetryLimit && s.IsUnavailable(); ++retry) {
+      repl_.append_retries->Increment();
+      s = slot->channel->RdmaWriteLog(0, Slice(tail_image));
+    }
+    if (!s.ok() && !s.IsFailedPrecondition()) {
+      // An unseeded backup is worse than a parked region: it acks flushes it
+      // cannot honor. (Epoch fences mean *we* are deposed; the master will
+      // tear this attach down, so they don't park.)
+      Park(s);
+    }
+  }
   backups_.push_back(std::move(slot));
 }
 
@@ -427,7 +449,9 @@ Status PrimaryRegion::FullSync(BackupChannel* channel) {
     TEBIS_RETURN_IF_ERROR(device_->Read(device_->geometry().BaseOffset(seg), seg_size, buf.data(),
                                         IoClass::kRecovery));
     TEBIS_RETURN_IF_ERROR(channel->RdmaWriteLog(0, Slice(buf)));
-    TEBIS_RETURN_IF_ERROR(channel->FlushLog(seg));
+    // The backup is not read-leased during a sync, so stamping every flush
+    // with the current commit sequence (early for older segments) is safe.
+    TEBIS_RETURN_IF_ERROR(channel->FlushLog(seg, kNoStream, commit_seq()));
   }
   // 2) (Send-Index) every device level via synthetic compactions, each on its
   //    own shipping stream; the backup rewrites them exactly like live
@@ -485,6 +509,9 @@ Status PrimaryRegion::ReplayBufferImage(Slice image) {
 void PrimaryRegion::OnAppend(SegmentId tail_segment, uint64_t offset_in_segment,
                              Slice record_bytes) {
   std::lock_guard<std::recursive_mutex> lock(region_mutex_);
+  // Every append advances the commit sequence, replicated or not: the token a
+  // writer receives must cover degraded-mode writes too (PR 6).
+  ++commit_seq_;
   if (backups_.empty()) {
     return;
   }
@@ -531,9 +558,11 @@ void PrimaryRegion::OnTailFlush(SegmentId tail_segment, Slice segment_bytes) {
     // A flush forced by a sync-mode compaction begin is part of that
     // compaction's stream; ordinary data-plane flushes are stream-less.
     const StreamId stream = in_compaction_begin_ ? in_begin_stream_ : kNoStream;
+    const uint64_t commit_seq = commit_seq_;
     for (auto& slot : backups_) {
-      Status status = GuardedCall(
-          slot, kNoStream, [&] { return slot->channel->FlushLog(tail_segment, stream); });
+      Status status = GuardedCall(slot, kNoStream, [&] {
+        return slot->channel->FlushLog(tail_segment, stream, commit_seq);
+      });
       if (!StruckOutLocked(*slot, kNoStream)) {
         Park(status);
       }

@@ -157,6 +157,21 @@ class PrimaryRegion : public ValueLogObserver, public CompactionObserver {
     return epoch_;
   }
 
+  // --- commit token (PR 6 read-your-writes) ---
+
+  // Monotonic count of records this primary has appended; paired with the
+  // epoch it forms the commit token a writer folds into its read fence.
+  uint64_t commit_seq() const {
+    std::lock_guard<std::recursive_mutex> lock(region_mutex_);
+    return commit_seq_;
+  }
+  // One consistent (epoch, seq) pair.
+  void CommitToken(uint64_t* epoch, uint64_t* seq) const {
+    std::lock_guard<std::recursive_mutex> lock(region_mutex_);
+    *epoch = epoch_;
+    *seq = commit_seq_;
+  }
+
   // --- health policy / degraded mode ---
 
   void set_replication_policy(const ReplicationPolicy& policy) {
@@ -292,6 +307,7 @@ class PrimaryRegion : public ValueLogObserver, public CompactionObserver {
   ReplicationPolicy policy_;
   DetachListener detach_listener_;
   uint64_t epoch_ = 0;
+  uint64_t commit_seq_ = 0;
   size_t l0_boundary_ = 0;
   uint64_t next_sync_id_ = 1ull << 62;  // synthetic compaction ids for FullSync
   bool in_compaction_begin_ = false;    // attributes nested tail flushes

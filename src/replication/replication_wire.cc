@@ -4,7 +4,7 @@ namespace tebis {
 
 std::string EncodeFlushLog(const FlushLogMsg& msg) {
   WireWriter w;
-  w.U64(msg.epoch).U64(msg.primary_segment).U32(msg.stream_id);
+  w.U64(msg.epoch).U64(msg.primary_segment).U64(msg.commit_seq).U32(msg.stream_id);
   return w.str();
 }
 
@@ -12,6 +12,7 @@ Status DecodeFlushLog(Slice payload, FlushLogMsg* out) {
   WireReader r(payload);
   TEBIS_RETURN_IF_ERROR(r.U64(&out->epoch));
   TEBIS_RETURN_IF_ERROR(r.U64(&out->primary_segment));
+  TEBIS_RETURN_IF_ERROR(r.U64(&out->commit_seq));
   return r.U32(&out->stream_id);
 }
 

@@ -22,6 +22,9 @@ namespace tebis {
 struct FlushLogMsg {
   uint64_t epoch = 0;
   SegmentId primary_segment;
+  // Primary's commit sequence as of this flush (PR 6): the backup's read path
+  // derives its visible sequence from the highest commit_seq it has absorbed.
+  uint64_t commit_seq = 0;
   // Data-plane flushes use kNoStream; a flush nested inside a sync-mode
   // compaction begin carries that compaction's stream.
   StreamId stream_id = kNoStream;

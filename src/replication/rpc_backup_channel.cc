@@ -36,9 +36,10 @@ Status RpcBackupChannel::CallChecked(MessageType type, Slice payload, size_t rep
   return Status::Ok();
 }
 
-Status RpcBackupChannel::FlushLog(SegmentId primary_segment, StreamId stream) {
+Status RpcBackupChannel::FlushLog(SegmentId primary_segment, StreamId stream,
+                                  uint64_t commit_seq) {
   return CallChecked(MessageType::kFlushLog,
-                     EncodeFlushLog({epoch(), primary_segment, stream}));
+                     EncodeFlushLog({epoch(), primary_segment, commit_seq, stream}));
 }
 
 Status RpcBackupChannel::CompactionBegin(uint64_t compaction_id, int src_level, int dst_level,

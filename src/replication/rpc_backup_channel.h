@@ -25,7 +25,8 @@ class RpcBackupChannel : public BackupChannel {
                    uint64_t call_timeout_ns = kDefaultRpcCallTimeoutNs);
 
   Status RdmaWriteLog(uint64_t offset_in_segment, Slice record_bytes) override;
-  Status FlushLog(SegmentId primary_segment, StreamId stream = kNoStream) override;
+  Status FlushLog(SegmentId primary_segment, StreamId stream = kNoStream,
+                  uint64_t commit_seq = 0) override;
   Status CompactionBegin(uint64_t compaction_id, int src_level, int dst_level,
                          StreamId stream = 0) override;
   Status ShipIndexSegment(uint64_t compaction_id, int dst_level, int tree_level,

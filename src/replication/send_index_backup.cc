@@ -6,6 +6,7 @@
 #include "src/common/logging.h"
 #include "src/lsm/btree_node.h"
 #include "src/lsm/btree_reader.h"
+#include "src/lsm/compaction.h"
 
 namespace tebis {
 
@@ -67,6 +68,10 @@ void SendIndexBackupRegion::InitTelemetry() {
   counters_.epoch_rejected = reg->GetCounter("backup.epoch_rejected", l);
   counters_.streams_opened = reg->GetCounter("backup.streams_opened", l);
   counters_.streams_aborted = reg->GetCounter("backup.streams_aborted", l);
+  counters_.replica_gets = reg->GetCounter("backup.replica_gets", l);
+  counters_.replica_scans = reg->GetCounter("backup.replica_scans", l);
+  counters_.read_rejects_epoch = reg->GetCounter("backup.read_rejects_epoch", l);
+  counters_.read_rejects_seq = reg->GetCounter("backup.read_rejects_seq", l);
 }
 
 void SendIndexBackupRegion::RecordSpan(const CompactionStream& stream, const char* name,
@@ -98,28 +103,35 @@ SendIndexBackupStats SendIndexBackupRegion::stats() const {
   s.epoch_rejected = counters_.epoch_rejected->Value();
   s.streams_opened = counters_.streams_opened->Value();
   s.streams_aborted = counters_.streams_aborted->Value();
+  s.replica_gets = counters_.replica_gets->Value();
+  s.replica_scans = counters_.replica_scans->Value();
+  s.read_rejects_epoch = counters_.read_rejects_epoch->Value();
+  s.read_rejects_seq = counters_.read_rejects_seq->Value();
   return s;
 }
 
 size_t SendIndexBackupRegion::active_streams() const {
-  std::lock_guard<std::mutex> lock(state_mutex_);
+  std::shared_lock<std::shared_mutex> lock(state_mutex_);
   return streams_.size();
 }
 
 void SendIndexBackupRegion::set_replay_from(size_t flushed_segment_index) {
-  std::lock_guard<std::mutex> lock(state_mutex_);
+  std::lock_guard<std::shared_mutex> lock(state_mutex_);
   replay_from_ = flushed_segment_index;
 }
 
 size_t SendIndexBackupRegion::replay_from() const {
-  std::lock_guard<std::mutex> lock(state_mutex_);
+  std::shared_lock<std::shared_mutex> lock(state_mutex_);
   return replay_from_;
 }
 
-Status SendIndexBackupRegion::HandleLogFlush(SegmentId primary_segment) {
-  std::lock_guard<std::mutex> lock(state_mutex_);
+Status SendIndexBackupRegion::HandleLogFlush(SegmentId primary_segment, uint64_t commit_seq) {
+  std::lock_guard<std::shared_mutex> lock(state_mutex_);
   if (log_map_.Contains(primary_segment)) {
-    return Status::Ok();  // duplicate delivery (the ack was lost, not the flush)
+    // Duplicate delivery (the ack was lost, not the flush). Do NOT scrub the
+    // buffer here: the primary has already resumed appending the new tail
+    // into it, and those records are live.
+    return Status::Ok();
   }
   // Persist the replicated tail (one large write, like the primary's flush).
   TEBIS_ASSIGN_OR_RETURN(
@@ -127,13 +139,21 @@ Status SendIndexBackupRegion::HandleLogFlush(SegmentId primary_segment) {
       log_->AppendRawSegment(Slice(rdma_buffer_->data(), device_->segment_size())));
   TEBIS_RETURN_IF_ERROR(log_map_.Insert(primary_segment, local));
   primary_flush_order_.push_back(primary_segment);
+  if (commit_seq > flushed_commit_seq_) {
+    flushed_commit_seq_ = commit_seq;
+  }
+  // The absorbed tail image would otherwise double-count toward the visible
+  // sequence (its records are now in the flushed segment AND still in the
+  // buffer). Safe exactly here: FlushLog is synchronous, so the primary is
+  // blocked on this ack and cannot be appending the next tail yet.
+  rdma_buffer_->ZeroPrefix(sizeof(uint32_t));
   counters_.log_flushes->Increment();
   return Status::Ok();
 }
 
 Status SendIndexBackupRegion::HandleCompactionBegin(uint64_t compaction_id, int src_level,
                                                     int dst_level, StreamId stream) {
-  std::lock_guard<std::mutex> lock(state_mutex_);
+  std::lock_guard<std::shared_mutex> lock(state_mutex_);
   auto it = streams_.find(stream);
   if (it != streams_.end()) {
     if (it->second->id == compaction_id) {
@@ -217,7 +237,7 @@ Status SendIndexBackupRegion::HandleIndexSegment(uint64_t compaction_id, int dst
                                                  Slice bytes, StreamId stream) {
   std::shared_ptr<CompactionStream> s;
   {
-    std::lock_guard<std::mutex> lock(state_mutex_);
+    std::lock_guard<std::shared_mutex> lock(state_mutex_);
     auto it = streams_.find(stream);
     if (it == streams_.end() || it->second->id != compaction_id) {
       return Status::FailedPrecondition("index segment for unknown compaction");
@@ -264,7 +284,7 @@ Status SendIndexBackupRegion::FreeTree(const BuiltTree& tree) {
 Status SendIndexBackupRegion::HandleCompactionEnd(uint64_t compaction_id, int src_level,
                                                   int dst_level, const BuiltTree& primary_tree,
                                                   StreamId stream) {
-  std::lock_guard<std::mutex> lock(state_mutex_);
+  std::lock_guard<std::shared_mutex> lock(state_mutex_);
   auto it = streams_.find(stream);
   if (it == streams_.end()) {
     auto done = last_completed_.find(stream);
@@ -325,7 +345,7 @@ Status SendIndexBackupRegion::HandleCompactionEnd(uint64_t compaction_id, int sr
 }
 
 Status SendIndexBackupRegion::HandleTrimLog(size_t segments) {
-  std::lock_guard<std::mutex> lock(state_mutex_);
+  std::lock_guard<std::shared_mutex> lock(state_mutex_);
   if (!streams_.empty()) {
     // The primary drains compactions before GC; a trim racing an active
     // stream would invalidate its log-map snapshot.
@@ -359,7 +379,7 @@ StatusOr<std::unique_ptr<KvStore>> SendIndexBackupRegion::Promote(bool replay_rd
   // rewrite to drain, and the aborted flag fails any later traffic cleanly.
   size_t replay_from;
   {
-    std::lock_guard<std::mutex> lock(state_mutex_);
+    std::lock_guard<std::shared_mutex> lock(state_mutex_);
     for (auto& [sid, s] : streams_) {
       std::lock_guard<std::mutex> work(s->mutex);
       s->aborted = true;
@@ -439,7 +459,7 @@ void SendIndexBackupRegion::set_region_epoch(uint64_t epoch) {
 
 Status SendIndexBackupRegion::AdoptNewPrimaryLogMap(const SegmentMap& new_primary_log_map,
                                                     uint64_t epoch) {
-  std::lock_guard<std::mutex> lock(state_mutex_);
+  std::lock_guard<std::shared_mutex> lock(state_mutex_);
   if (epoch != 0) {
     if (epoch <= log_map_epoch_) {
       return Status::Ok();  // retry of an adoption this node already performed
@@ -461,6 +481,240 @@ Status SendIndexBackupRegion::AdoptNewPrimaryLogMap(const SegmentMap& new_primar
   return Status::Ok();
 }
 
+// --- replica read path (PR 6) ----------------------------------------------------
+
+uint64_t SendIndexBackupRegion::ParseBufferLocked(std::vector<LogRecord>* records) const {
+  // SnapshotBytes serializes with the primary's tagged one-sided writes, so
+  // the image never contains a half-landed record.
+  const std::string image = rdma_buffer_->SnapshotBytes(device_->segment_size());
+  Status status = ValueLog::ForEachRecord(Slice(image), /*segment_base=*/0,
+                                          [records](const LogRecord& rec) {
+                                            records->push_back(rec);
+                                            return Status::Ok();
+                                          });
+  // A corruption marks the end of valid data, same as promotion replay.
+  (void)status;
+  return flushed_commit_seq_ + records->size();
+}
+
+Status SendIndexBackupRegion::CheckReadFenceLocked(uint64_t min_epoch, uint64_t min_seq,
+                                                   std::vector<LogRecord>* records,
+                                                   uint64_t* visible) {
+  const uint64_t epoch = region_epoch_.load(std::memory_order_acquire);
+  if (epoch < min_epoch) {
+    counters_.read_rejects_epoch->Increment();
+    return Status::FailedPrecondition("replica epoch " + std::to_string(epoch) +
+                                      " behind read fence " + std::to_string(min_epoch));
+  }
+  *visible = ParseBufferLocked(records);
+  if (*visible < min_seq) {
+    counters_.read_rejects_seq->Increment();
+    return Status::FailedPrecondition("replica commit seq " + std::to_string(*visible) +
+                                      " behind read fence " + std::to_string(min_seq));
+  }
+  return Status::Ok();
+}
+
+StatusOr<LogRecord> SendIndexBackupRegion::FindUnindexedLocked(Slice key) {
+  const std::vector<SegmentId> flushed = log_->FlushedSegmentsSnapshot();
+  const uint64_t seg_size = device_->segment_size();
+  std::string buf(seg_size, 0);
+  for (size_t i = flushed.size(); i > replay_from_; --i) {
+    const SegmentId seg = flushed[i - 1];
+    TEBIS_RETURN_IF_ERROR(device_->Read(device_->geometry().BaseOffset(seg), seg_size,
+                                        buf.data(), IoClass::kLookup));
+    LogRecord newest;
+    bool found = false;
+    Status status = ValueLog::ForEachRecord(Slice(buf), device_->geometry().BaseOffset(seg),
+                                            [&](const LogRecord& rec) {
+                                              if (Slice(rec.key) == key) {
+                                                newest = rec;  // last match = newest
+                                                found = true;
+                                              }
+                                              return Status::Ok();
+                                            });
+    if (!status.ok() && !status.IsCorruption()) {
+      return status;
+    }
+    if (found) {
+      return newest;
+    }
+  }
+  return Status::NotFound();
+}
+
+StatusOr<std::string> SendIndexBackupRegion::GetFromLevelsLocked(Slice key) {
+  FullKeyLoader loader = [this](uint64_t off) -> StatusOr<std::string> {
+    std::string k;
+    TEBIS_RETURN_IF_ERROR(log_->ReadKey(off, &k, nullptr, nullptr, IoClass::kLookup));
+    return k;
+  };
+  for (uint32_t i = 1; i <= options_.max_levels; ++i) {
+    if (levels_[i].empty()) {
+      continue;
+    }
+    BTreeReader reader(device_, nullptr, options_.node_size, levels_[i], IoClass::kLookup);
+    auto found = reader.Find(key, loader);
+    if (found.ok()) {
+      LogRecord rec;
+      TEBIS_RETURN_IF_ERROR(log_->ReadRecord(*found, &rec, nullptr, IoClass::kLookup));
+      if (rec.tombstone) {
+        return Status::NotFound();
+      }
+      return std::move(rec.value);
+    }
+    if (!found.status().IsNotFound()) {
+      return found.status();
+    }
+  }
+  return Status::NotFound();
+}
+
+StatusOr<std::string> SendIndexBackupRegion::Get(Slice key, uint64_t min_epoch,
+                                                 uint64_t min_seq, uint64_t* visible_seq) {
+  // The whole read runs under the state lock (shared side): HandleCompactionEnd
+  // frees the segments of replaced level trees, so a lock-free snapshot
+  // (DebugGet's quiesced-region shortcut) is not safe against live shipping
+  // traffic. Reads only share the lock with each other — everything below is
+  // read-only against region state, and the device/log/buffer layers carry
+  // their own synchronization — so concurrent replica gets proceed in parallel
+  // and only exclude the (rare, exclusive) shipping mutations.
+  std::shared_lock<std::shared_mutex> lock(state_mutex_);
+  counters_.replica_gets->Increment();
+  std::vector<LogRecord> buffered;
+  uint64_t visible = 0;
+  TEBIS_RETURN_IF_ERROR(CheckReadFenceLocked(min_epoch, min_seq, &buffered, &visible));
+  if (visible_seq != nullptr) {
+    *visible_seq = visible;
+  }
+  // Newest wins: the RDMA buffer (append order, so scan backwards)...
+  for (auto rit = buffered.rbegin(); rit != buffered.rend(); ++rit) {
+    if (Slice(rit->key) == key) {
+      if (rit->tombstone) {
+        return Status::NotFound();
+      }
+      return rit->value;
+    }
+  }
+  // ...then the flushed-but-unindexed log suffix (newest segment first)...
+  auto unindexed = FindUnindexedLocked(key);
+  if (unindexed.ok()) {
+    if (unindexed->tombstone) {
+      return Status::NotFound();
+    }
+    return std::move(unindexed->value);
+  }
+  if (!unindexed.status().IsNotFound()) {
+    return unindexed.status();
+  }
+  // ...then the shipped index.
+  return GetFromLevelsLocked(key);
+}
+
+StatusOr<std::vector<KvPair>> SendIndexBackupRegion::Scan(Slice start, size_t limit,
+                                                          uint64_t min_epoch, uint64_t min_seq,
+                                                          uint64_t* visible_seq) {
+  std::shared_lock<std::shared_mutex> lock(state_mutex_);
+  counters_.replica_scans->Increment();
+  std::vector<LogRecord> buffered;
+  uint64_t visible = 0;
+  TEBIS_RETURN_IF_ERROR(CheckReadFenceLocked(min_epoch, min_seq, &buffered, &visible));
+  if (visible_seq != nullptr) {
+    *visible_seq = visible;
+  }
+  // Overlay of every record the levels do not cover yet: unindexed flushed
+  // segments oldest -> newest, then the buffer, so later writes win.
+  std::map<std::string, LogRecord> overlay;
+  const std::vector<SegmentId> flushed = log_->FlushedSegmentsSnapshot();
+  const uint64_t seg_size = device_->segment_size();
+  std::string buf(seg_size, 0);
+  for (size_t i = replay_from_; i < flushed.size(); ++i) {
+    TEBIS_RETURN_IF_ERROR(device_->Read(device_->geometry().BaseOffset(flushed[i]), seg_size,
+                                        buf.data(), IoClass::kLookup));
+    Status status = ValueLog::ForEachRecord(Slice(buf), device_->geometry().BaseOffset(flushed[i]),
+                                            [&overlay](const LogRecord& rec) {
+                                              overlay[rec.key] = rec;
+                                              return Status::Ok();
+                                            });
+    if (!status.ok() && !status.IsCorruption()) {
+      return status;
+    }
+  }
+  for (const LogRecord& rec : buffered) {
+    overlay[rec.key] = rec;
+  }
+
+  std::vector<std::unique_ptr<LevelMergeSource>> sources;
+  for (uint32_t i = 1; i <= options_.max_levels; ++i) {
+    if (levels_[i].empty()) {
+      continue;
+    }
+    auto src =
+        std::make_unique<LevelMergeSource>(device_, options_.node_size, levels_[i], log_.get());
+    TEBIS_RETURN_IF_ERROR(src->Init(start));
+    sources.push_back(std::move(src));
+  }
+
+  auto overlay_it = overlay.lower_bound(start.ToString());
+  std::vector<KvPair> out;
+  while (out.size() < limit) {
+    // Smallest key across the overlay and every level; the overlay is the
+    // newest source, so it wins ties.
+    int best = -1;
+    for (size_t i = 0; i < sources.size(); ++i) {
+      if (!sources[i]->Valid()) {
+        continue;
+      }
+      if (best < 0 ||
+          Slice(sources[i]->entry().key).Compare(Slice(sources[best]->entry().key)) < 0) {
+        best = static_cast<int>(i);
+      }
+    }
+    const bool overlay_wins =
+        overlay_it != overlay.end() &&
+        (best < 0 || Slice(overlay_it->first).Compare(Slice(sources[best]->entry().key)) <= 0);
+    if (!overlay_wins && best < 0) {
+      break;
+    }
+    const std::string winner_key =
+        overlay_wins ? overlay_it->first : sources[best]->entry().key;
+    bool tombstone;
+    std::string value;
+    if (overlay_wins) {
+      tombstone = overlay_it->second.tombstone;
+      value = overlay_it->second.value;
+      ++overlay_it;
+    } else {
+      tombstone = sources[best]->entry().tombstone;
+    }
+    uint64_t level_offset = kInvalidOffset;
+    for (auto& src : sources) {
+      while (src->Valid() && Slice(src->entry().key) == Slice(winner_key)) {
+        if (!overlay_wins && level_offset == kInvalidOffset) {
+          level_offset = src->entry().log_offset;
+        }
+        TEBIS_RETURN_IF_ERROR(src->Next());
+      }
+    }
+    if (tombstone) {
+      continue;
+    }
+    if (!overlay_wins) {
+      LogRecord rec;
+      TEBIS_RETURN_IF_ERROR(log_->ReadRecord(level_offset, &rec, nullptr, IoClass::kLookup));
+      value = std::move(rec.value);
+    }
+    out.push_back(KvPair{winner_key, std::move(value)});
+  }
+  return out;
+}
+
+uint64_t SendIndexBackupRegion::visible_seq() const {
+  std::shared_lock<std::shared_mutex> lock(state_mutex_);
+  std::vector<LogRecord> records;
+  return ParseBufferLocked(&records);
+}
+
 StatusOr<std::string> SendIndexBackupRegion::DebugGet(Slice key) {
   FullKeyLoader loader = [this](uint64_t off) -> StatusOr<std::string> {
     std::string k;
@@ -471,7 +725,7 @@ StatusOr<std::string> SendIndexBackupRegion::DebugGet(Slice key) {
   // reads below are safe without the lock.
   std::vector<BuiltTree> levels;
   {
-    std::lock_guard<std::mutex> lock(state_mutex_);
+    std::shared_lock<std::shared_mutex> lock(state_mutex_);
     levels = levels_;
   }
   for (uint32_t i = 1; i <= options_.max_levels; ++i) {

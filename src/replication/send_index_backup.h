@@ -17,6 +17,7 @@
 #include <map>
 #include <memory>
 #include <mutex>
+#include <shared_mutex>
 #include <string>
 #include <vector>
 
@@ -38,6 +39,10 @@ struct SendIndexBackupStats {
   uint64_t epoch_rejected = 0;   // control messages fenced as stale (§3.5)
   uint64_t streams_opened = 0;   // compaction streams begun (PR 4)
   uint64_t streams_aborted = 0;  // streams abandoned by promotion (PR 4)
+  uint64_t replica_gets = 0;     // gets served from this replica (PR 6)
+  uint64_t replica_scans = 0;    // scans served from this replica (PR 6)
+  uint64_t read_rejects_epoch = 0;  // reads fenced: replica epoch too old
+  uint64_t read_rejects_seq = 0;    // reads fenced: commit seq behind fence
 };
 
 class SendIndexBackupRegion {
@@ -66,8 +71,10 @@ class SendIndexBackupRegion {
   // call concurrently from different streams, PR 4) ---
 
   // §3.2 step 2c/2d: persist the RDMA buffer as a local log segment and add
-  // the <primary segment, backup segment> log-map entry.
-  Status HandleLogFlush(SegmentId primary_segment);
+  // the <primary segment, backup segment> log-map entry. `commit_seq` is the
+  // primary's commit sequence as of this flush (PR 6); the replica read path
+  // reports visible_seq = flushed high-water + records still in the buffer.
+  Status HandleLogFlush(SegmentId primary_segment, uint64_t commit_seq = 0);
 
   // §3.3: compaction lifecycle, one state machine per `stream`.
   Status HandleCompactionBegin(uint64_t compaction_id, int src_level, int dst_level,
@@ -126,6 +133,27 @@ class SendIndexBackupRegion {
   // Compaction streams currently mid-ship.
   size_t active_streams() const;
 
+  // --- replica read path (PR 6) ---
+
+  // Serves a get from the replicated log and the shipped index, fenced by the
+  // client's read fence {min_epoch, min_seq}: a read this replica cannot
+  // answer consistently yet is rejected with FailedPrecondition, exactly like
+  // a stale write. Newest wins: RDMA buffer, then unindexed flushed segments
+  // (newest first), then the device levels. On success `*visible_seq` (when
+  // non-null) is the replica's visible commit sequence, >= min_seq — the
+  // client folds it into its monotonic-read high-water mark.
+  StatusOr<std::string> Get(Slice key, uint64_t min_epoch, uint64_t min_seq,
+                            uint64_t* visible_seq);
+
+  // Replica scan under the same fence: an overlay of not-yet-indexed records
+  // merged with every device level.
+  StatusOr<std::vector<KvPair>> Scan(Slice start, size_t limit, uint64_t min_epoch,
+                                     uint64_t min_seq, uint64_t* visible_seq);
+
+  // Commit sequence this replica can currently serve (flushed high-water plus
+  // records sitting in the RDMA buffer).
+  uint64_t visible_seq() const;
+
   // Test/verification read path: lookup through the local device levels only
   // (backups have no L0).
   StatusOr<std::string> DebugGet(Slice key);
@@ -167,6 +195,10 @@ class SendIndexBackupRegion {
     Counter* epoch_rejected = nullptr;
     Counter* streams_opened = nullptr;
     Counter* streams_aborted = nullptr;
+    Counter* replica_gets = nullptr;
+    Counter* replica_scans = nullptr;
+    Counter* read_rejects_epoch = nullptr;
+    Counter* read_rejects_seq = nullptr;
   };
 
   void InitTelemetry();
@@ -175,13 +207,33 @@ class SendIndexBackupRegion {
   Status RewriteSegment(CompactionStream* stream, char* bytes, size_t size);
   Status FreeTree(const BuiltTree& tree);
 
+  // --- replica read helpers (PR 6; all require state_mutex_) ---
+
+  // Consistent snapshot of the RDMA buffer decoded into records (append
+  // order); returns the replica's visible commit sequence.
+  uint64_t ParseBufferLocked(std::vector<LogRecord>* records) const;
+  // Read-fence check shared by Get/Scan; fills `records`/`visible`.
+  Status CheckReadFenceLocked(uint64_t min_epoch, uint64_t min_seq,
+                              std::vector<LogRecord>* records, uint64_t* visible);
+  // Newest match for `key` in the flushed-but-unindexed log suffix
+  // [replay_from_, end), newest segment first. NotFound when absent.
+  StatusOr<LogRecord> FindUnindexedLocked(Slice key);
+  // Lookup through the local device levels (top = newest).
+  StatusOr<std::string> GetFromLevelsLocked(Slice key);
+
   BlockDevice* const device_;
   const KvStoreOptions options_;
   std::shared_ptr<RegisteredBuffer> rdma_buffer_;
 
-  // Lock order: state_mutex_ before any CompactionStream::mutex. The rewrite
-  // path takes only the stream mutex (never state_mutex_ while holding it).
-  mutable std::mutex state_mutex_;
+  // Reader-writer lock over region state. Shipping mutations (log flush,
+  // compaction begin/end, promotion, epoch moves) take it exclusive; the
+  // replica read path (Get/Scan/visible_seq) takes it shared so concurrent
+  // reads proceed in parallel — the read path touches only immutable flushed
+  // log data, the level descriptors, and layers with their own locks (device,
+  // value-log tail, RDMA buffer). Lock order: state_mutex_ before any
+  // CompactionStream::mutex. The rewrite path takes only the stream mutex
+  // (never state_mutex_ while holding it).
+  mutable std::shared_mutex state_mutex_;
 
   // --- guarded by state_mutex_ ---
   std::unique_ptr<ValueLog> log_;
@@ -196,6 +248,8 @@ class SendIndexBackupRegion {
   // First flushed-segment index that is NOT yet reflected in the levels; L0
   // replay starts here on promotion.
   size_t replay_from_ = 0;
+  // Highest primary commit sequence absorbed by a log flush (PR 6).
+  uint64_t flushed_commit_seq_ = 0;
   // Epoch whose primary keying the log map reflects (guards double re-keying).
   uint64_t log_map_epoch_ = 0;
 

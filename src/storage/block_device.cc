@@ -8,6 +8,7 @@
 #include <cstring>
 #include <thread>
 
+#include "src/common/clock.h"
 #include "src/common/logging.h"
 
 namespace tebis {
@@ -167,6 +168,22 @@ void BlockDevice::Throttle(bool is_write, size_t n) const {
   uint64_t cost_ns = lat;
   if (bw != 0) {
     cost_ns += static_cast<uint64_t>(n) * 1000000000ull / bw;
+  }
+  if (cm.hard_cap) {
+    // Single-queue device: reserve the next slot on this device's timeline
+    // and wait for it, so the aggregate rate stays capped under concurrency.
+    uint64_t wake_ns;
+    const uint64_t now_ns = NowNanos();
+    {
+      std::lock_guard<std::mutex> lock(throttle_mutex_);
+      uint64_t& available = is_write ? write_available_ns_ : read_available_ns_;
+      available = std::max(available, now_ns) + cost_ns;
+      wake_ns = available;
+    }
+    if (wake_ns > now_ns) {
+      std::this_thread::sleep_for(std::chrono::nanoseconds(wake_ns - now_ns));
+    }
+    return;
   }
   uint64_t to_sleep = 0;
   {

@@ -56,6 +56,15 @@ struct DeviceCostModel {
   uint64_t write_bandwidth_bytes_per_sec = 0;
   uint64_t read_latency_ns_per_op = 0;
   uint64_t write_latency_ns_per_op = 0;
+  // Debt mode (default): each transfer's cost is charged to the *calling*
+  // thread, which sleeps once enough accumulates — cheap, but concurrent
+  // callers sleep in parallel, so a device's aggregate rate scales with the
+  // number of threads hitting it. Hard-cap mode instead reserves a slot on a
+  // per-device timeline and every caller waits for its slot: the device is a
+  // single-queue resource whose aggregate bandwidth is capped no matter how
+  // many threads drive it. Use for experiments where the contrast is *which
+  // device* absorbs the I/O (e.g. replica read fan-out, PR 6).
+  bool hard_cap = false;
 
   bool Enabled() const {
     return read_bandwidth_bytes_per_sec != 0 || write_bandwidth_bytes_per_sec != 0 ||
@@ -159,10 +168,12 @@ class BlockDevice {
 
   mutable IoStats stats_;
 
-  // Cost-model debt, guarded by throttle_mutex_.
+  // Cost-model debt / hard-cap timelines, guarded by throttle_mutex_.
   mutable std::mutex throttle_mutex_;
   mutable uint64_t read_debt_ns_ = 0;
   mutable uint64_t write_debt_ns_ = 0;
+  mutable uint64_t read_available_ns_ = 0;
+  mutable uint64_t write_available_ns_ = 0;
 };
 
 }  // namespace tebis

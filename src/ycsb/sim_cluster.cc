@@ -138,6 +138,24 @@ Status SimCluster::Delete(Slice key) {
   return region->primary->Delete(key);
 }
 
+StatusOr<std::string> SimCluster::ReplicaGet(Slice key) {
+  TEBIS_ASSIGN_OR_RETURN(Region * region, Route(key));
+  const bool send_index = options_.mode == ReplicationMode::kSendIndex;
+  const size_t backups =
+      send_index ? region->send_backups.size() : region->build_backups.size();
+  const size_t pick = replica_rr_.fetch_add(1, std::memory_order_relaxed) % (1 + backups);
+  if (pick == 0) {
+    return region->primary->Get(key);
+  }
+  uint64_t visible_seq = 0;
+  if (send_index) {
+    return region->send_backups[pick - 1]->Get(key, /*min_epoch=*/0, /*min_seq=*/0,
+                                               &visible_seq);
+  }
+  return region->build_backups[pick - 1]->Get(key, /*min_epoch=*/0, /*min_seq=*/0,
+                                              &visible_seq);
+}
+
 Status SimCluster::FlushAll() {
   for (auto& region : regions_) {
     TEBIS_RETURN_IF_ERROR(region.primary->FlushL0());
@@ -145,13 +163,20 @@ Status SimCluster::FlushAll() {
   return Status::Ok();
 }
 
-KvHooks SimCluster::Hooks() {
+KvHooks SimCluster::Hooks(bool fan_out_reads) {
   KvHooks hooks;
   hooks.put = [this](Slice key, Slice value) { return Put(key, value); };
-  hooks.read = [this](Slice key) {
-    auto v = Get(key);
-    return v.ok() ? Status::Ok() : v.status();
-  };
+  if (fan_out_reads) {
+    hooks.read = [this](Slice key) {
+      auto v = ReplicaGet(key);
+      return v.ok() ? Status::Ok() : v.status();
+    };
+  } else {
+    hooks.read = [this](Slice key) {
+      auto v = Get(key);
+      return v.ok() ? Status::Ok() : v.status();
+    };
+  }
   return hooks;
 }
 

@@ -12,6 +12,7 @@
 #ifndef TEBIS_YCSB_SIM_CLUSTER_H_
 #define TEBIS_YCSB_SIM_CLUSTER_H_
 
+#include <atomic>
 #include <memory>
 #include <string>
 #include <vector>
@@ -83,11 +84,18 @@ class SimCluster {
   StatusOr<std::string> Get(Slice key);
   Status Delete(Slice key);
 
+  // Replica-read fan-out (PR 6): rotates each get across the region's
+  // replica set — the primary plus every backup — so read I/O spreads over
+  // all devices holding the region. The fence is zero (the harness measures
+  // committed, settled data), so no read is ever rejected.
+  StatusOr<std::string> ReplicaGet(Slice key);
+
   // Pushes all L0s down (end-of-phase flush, so backups are fully comparable).
   Status FlushAll();
 
-  // Adapters for the YCSB workload driver.
-  KvHooks Hooks();
+  // Adapters for the YCSB workload driver. `fan_out_reads` routes reads
+  // through ReplicaGet instead of the primary (PR 6 bench A/B).
+  KvHooks Hooks(bool fan_out_reads = false);
 
   // --- metrics ---
   uint64_t TotalDeviceBytes() const;
@@ -160,6 +168,7 @@ class SimCluster {
   std::vector<std::string> server_names_;
   RegionMap map_;
   std::vector<Region> regions_;
+  std::atomic<uint64_t> replica_rr_{0};  // ReplicaGet round-robin cursor
 };
 
 }  // namespace tebis

@@ -112,6 +112,64 @@ TEST(ClusterYcsbTest, RunDLatestDistributionOverTheWire) {
   EXPECT_GT(workload.inserted(), 1500u);  // D inserted new keys
 }
 
+// YCSB B/C/D with reads fanned out across replicas (PR 6). The per-replica
+// read counters live on the backup engines — a server that merely proxied a
+// replica read to its primary would answer kFlagWrongRegion instead — so
+// their scrape-visible sum equaling the client's replica-read count proves
+// the replicas actually served.
+TEST(ClusterYcsbTest, ReadFanOutAcrossReplicasBCD) {
+  NetCluster cluster;
+  cluster.client->set_read_mode(ReadMode::kBoundedStaleness, /*staleness_bound=*/0);
+  YcsbOptions options;
+  options.record_count = 3000;
+  options.op_count = 1200;
+  YcsbWorkload workload(options);
+  ASSERT_TRUE(workload.RunLoad(cluster.Hooks()).ok());
+  for (const WorkloadSpec& spec : {kRunB, kRunC, kRunD}) {
+    auto run = workload.RunPhase(spec, cluster.Hooks());
+    ASSERT_TRUE(run.ok()) << spec.name << ": " << run.status().ToString();
+  }
+  const ClientStats& stats = cluster.client->stats();
+  EXPECT_GT(stats.replica_reads, 0u);
+  // Every replica attempt (including fence rejects, which also increment the
+  // backup counters before rejecting) is visible in the servers' stats
+  // scrapes, and their sum matches the client's count exactly.
+  uint64_t replica_gets = 0;
+  int serving_backups = 0;
+  for (auto& server : cluster.servers) {
+    const uint64_t served = server->telemetry()->Snapshot().Sum("backup.replica_gets");
+    replica_gets += served;
+    serving_backups += served > 0 ? 1 : 0;
+    auto scrape = cluster.client->ScrapeStats(server->name());
+    ASSERT_TRUE(scrape.ok()) << scrape.status().ToString();
+    EXPECT_NE(scrape->find("backup.replica_gets"), std::string::npos) << server->name();
+  }
+  EXPECT_EQ(replica_gets, stats.replica_reads);
+  // The fan-out spread over more than one backup (every server hosts backup
+  // regions under the uniform map, so all of them should have served).
+  EXPECT_GE(serving_backups, 2);
+}
+
+// Read-your-writes mode over the wire: the run-D insert stream immediately
+// re-reads its own inserts through replicas; the commit-token fence makes
+// that safe, falling back to the primary when a replica is behind.
+TEST(ClusterYcsbTest, ReadYourWritesSurvivesRunD) {
+  NetCluster cluster(1500);
+  cluster.client->set_read_mode(ReadMode::kReadYourWrites);
+  YcsbOptions options;
+  options.record_count = 1500;
+  options.op_count = 1500;
+  YcsbWorkload workload(options);
+  ASSERT_TRUE(workload.RunLoad(cluster.Hooks()).ok());
+  auto run = workload.RunPhase(kRunD, cluster.Hooks());
+  ASSERT_TRUE(run.ok()) << run.status().ToString();
+  EXPECT_GT(workload.inserted(), 1500u);
+  const ClientStats& stats = cluster.client->stats();
+  EXPECT_GT(stats.replica_reads, 0u);
+  // Fallbacks are bounded by replica attempts; each one still completed.
+  EXPECT_LE(stats.replica_fallbacks, stats.replica_reads);
+}
+
 TEST(ClusterYcsbTest, WorkloadSurvivesMidRunCrash) {
   NetCluster cluster(2000);
   YcsbOptions options;

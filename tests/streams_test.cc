@@ -341,7 +341,7 @@ class MidShipFailChannel : public BackupChannel {
       : ship_calls_(ship_calls), last_stream_(last_stream) {}
 
   Status RdmaWriteLog(uint64_t, Slice) override { return Status::Ok(); }
-  Status FlushLog(SegmentId, StreamId) override { return Status::Ok(); }
+  Status FlushLog(SegmentId, StreamId, uint64_t) override { return Status::Ok(); }
   Status CompactionBegin(uint64_t, int, int, StreamId) override { return Status::Ok(); }
   Status ShipIndexSegment(uint64_t, int, int, SegmentId, Slice, StreamId stream) override {
     last_stream_->store(stream, std::memory_order_relaxed);

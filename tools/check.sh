@@ -8,10 +8,10 @@
 # use-after-free bugs in teardown/failover paths hide; ASan catches those.
 # Run this before every merge:
 #
-#   tools/check.sh            # all three passes
-#   tools/check.sh --plain    # plain pass only (quick inner loop)
-#   tools/check.sh --tsan     # TSan pass only
-#   tools/check.sh --chaos    # ASan chaos pass only
+#   tools/check.sh            # all three passes (with their addenda)
+#   tools/check.sh --plain    # plain pass: fast + telemetry labels, BENCH gate
+#   tools/check.sh --tsan     # TSan pass: fast + streams + telemetry + replica
+#   tools/check.sh --chaos    # ASan pass: chaos + streams + replica labels
 #
 # Build trees: build/ (plain), build-tsan/ (TEBIS_SANITIZE=thread) and
 # build-asan/ (TEBIS_SANITIZE=address). The slow label (soak/fuzz/stress) is
@@ -52,6 +52,8 @@ if [[ $run_plain -eq 1 ]]; then
     echo "BENCH gate: bench_common.cc no longer writes BENCH_*.json" >&2; exit 1; }
   grep -q "RunTelemetryOverheadComparison" bench/bench_micro.cc || {
     echo "BENCH gate: bench_micro.cc lost the telemetry-overhead A/B (BENCH_pr5.json)" >&2; exit 1; }
+  grep -q "RunReplicaReadComparison" bench/bench_micro.cc || {
+    echo "BENCH gate: bench_micro.cc lost the replica-read fan-out A/B (BENCH_pr6.json)" >&2; exit 1; }
 fi
 
 if [[ $run_tsan -eq 1 ]]; then
@@ -70,6 +72,12 @@ if [[ $run_tsan -eq 1 ]]; then
   echo "== tier-1 pass 2/3 (addendum): ThreadSanitizer build, telemetry label =="
   TSAN_OPTIONS="halt_on_error=1 ${TSAN_OPTIONS:-}" \
     ctest --test-dir build-tsan -L telemetry --no-tests=error --output-on-failure -j "$jobs"
+  # Read-replica serving (PR 6): the history checker runs concurrent writers
+  # and replica readers over the shared backup read path — race-freedom here
+  # is the whole point of the suite.
+  echo "== tier-1 pass 2/3 (addendum): ThreadSanitizer build, replica label =="
+  TSAN_OPTIONS="halt_on_error=1 ${TSAN_OPTIONS:-}" \
+    ctest --test-dir build-tsan -L replica --no-tests=error --output-on-failure -j "$jobs"
 fi
 
 if [[ $run_chaos -eq 1 ]]; then
@@ -84,6 +92,10 @@ if [[ $run_chaos -eq 1 ]]; then
   fi
   echo "== tier-1 pass 3/3 (addendum): AddressSanitizer build, streams label =="
   ctest --test-dir build-asan -L streams --no-tests=error --output-on-failure -j "$jobs"
+  # Replica reads under failover / half-shipped streams (PR 6): the chaos
+  # scenarios where a read could touch freed state or torn stream buffers.
+  echo "== tier-1 pass 3/3 (addendum): AddressSanitizer build, replica label =="
+  ctest --test-dir build-asan -L replica --no-tests=error --output-on-failure -j "$jobs"
 fi
 
 echo "== tier-1 gate: OK =="
