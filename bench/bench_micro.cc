@@ -786,6 +786,277 @@ void RunReplicaReadComparison() {
   }
 }
 
+// --- bloom-filter negative-lookup A/B (PR 7) ------------------------------------
+//
+// Point misses are the filter's headline case: without one, a Get for an
+// absent key descends every level's B+ tree before concluding NotFound — all
+// device reads under the cost model — while a filter answers from memory.
+// Two experiments, filters off vs on with identical data and settings:
+//   1. standalone primary store, uniform misses, uncached index, hard-capped
+//      read bandwidth (target: >= 2x miss throughput);
+//   2. the PR 6 fanned-replica cluster (RF=3, three devices), zipfian Run C
+//      plus a uniform-miss phase served by the backups' shipped filters.
+
+struct FilterArm {
+  std::unique_ptr<Telemetry> plane;
+  std::unique_ptr<BlockDevice> device;
+  std::unique_ptr<KvStore> store;
+};
+
+FilterArm MakeFilterArm(bool filters_on, uint64_t records, uint64_t l0_entries,
+                        uint64_t bandwidth_mb) {
+  FilterArm arm;
+  arm.plane = std::make_unique<Telemetry>(/*trace_capacity=*/0);
+  BlockDeviceOptions dev_opts;
+  dev_opts.segment_size = 1 << 18;
+  dev_opts.max_segments = 1 << 17;
+  dev_opts.accounting_granularity = 512;
+  dev_opts.cost_model.read_bandwidth_bytes_per_sec = bandwidth_mb * 1024 * 1024;
+  dev_opts.cost_model.hard_cap = true;
+  auto device = BlockDevice::Create(dev_opts);
+  if (!device.ok()) {
+    fprintf(stderr, "filter bench: device: %s\n", device.status().ToString().c_str());
+    abort();
+  }
+  arm.device = std::move(*device);
+  KvStoreOptions opts;
+  opts.l0_max_entries = l0_entries;
+  opts.enable_filters = filters_on;
+  opts.cache_bytes = 0;  // uncached: a filter-less miss pays device time every level
+  opts.telemetry = arm.plane.get();
+  auto store = KvStore::Create(arm.device.get(), opts);
+  if (!store.ok()) {
+    fprintf(stderr, "filter bench: store: %s\n", store.status().ToString().c_str());
+    abort();
+  }
+  arm.store = std::move(*store);
+  const std::string value(100, 'v');
+  for (uint64_t i = 0; i < records; ++i) {
+    if (Status status = arm.store->Put(YcsbKey(i), value); !status.ok()) {
+      fprintf(stderr, "filter bench: load: %s\n", status.ToString().c_str());
+      abort();
+    }
+  }
+  // Push everything into the indexed levels: misses then consult real
+  // on-device trees (and their filters), not the in-memory L0.
+  if (Status status = arm.store->FlushL0(); !status.ok()) {
+    fprintf(stderr, "filter bench: flush: %s\n", status.ToString().c_str());
+    abort();
+  }
+  return arm;
+}
+
+void RunFilterComparison() {
+  const bench::BenchScale scale = bench::BenchScale::FromEnv();
+  constexpr int kRunsPerArm = 3;
+  constexpr uint64_t kReadBandwidthMb = 12;  // same device model as the PR 6 A/B
+  constexpr int kClientThreads = 6;
+  const uint64_t records = std::min<uint64_t>(scale.records, 20000);
+  const uint64_t miss_ops = std::min<uint64_t>(scale.ops, 1500);
+  printf("\n-- bloom filters: uniform point misses, filters off vs on, %llu records, "
+         "%llu misses/arm, %llu MB/s read cap (median of %d, interleaved) --\n",
+         static_cast<unsigned long long>(records),
+         static_cast<unsigned long long>(miss_ops),
+         static_cast<unsigned long long>(kReadBandwidthMb), kRunsPerArm);
+
+  // Experiment 1: standalone primary store.
+  FilterArm off = MakeFilterArm(false, records, scale.l0_entries, kReadBandwidthMb);
+  FilterArm on = MakeFilterArm(true, records, scale.l0_entries, kReadBandwidthMb);
+  auto run_miss_arm = [&](KvStore* store, uint64_t seed) {
+    Random rng(seed);
+    const uint64_t start_ns = NowNanos();
+    for (uint64_t i = 0; i < miss_ops; ++i) {
+      auto got = store->Get(YcsbKey(records + rng.Uniform(records * 10)));
+      if (got.ok() || !got.status().IsNotFound()) {
+        fprintf(stderr, "filter bench: unexpected miss result\n");
+        abort();
+      }
+    }
+    const double seconds = static_cast<double>(NowNanos() - start_ns) / 1e9;
+    return static_cast<double>(miss_ops) / seconds / 1000.0;
+  };
+  std::vector<double> off_kops, on_kops;
+  const MetricsSnapshot primary_before = on.plane->Snapshot();
+  for (int i = 0; i < kRunsPerArm; ++i) {
+    off_kops.push_back(run_miss_arm(off.store.get(), 77 + i));
+    on_kops.push_back(run_miss_arm(on.store.get(), 77 + i));
+  }
+  const MetricsSnapshot primary_after = on.plane->Snapshot();
+  const double miss_off = MedianOf(off_kops);
+  const double miss_on = MedianOf(on_kops);
+  const double miss_speedup = miss_on / miss_off;
+  printf("  filters off  %8.1f miss kops/s\n", miss_off);
+  printf("  filters on   %8.1f miss kops/s\n", miss_on);
+  printf("  speedup: %.2fx (target: >= 2x)\n", miss_speedup);
+
+  // Experiment 2: fanned replica reads (PR 6 cluster), filters off vs on.
+  // Run C reads present keys — the win comes from skipping the shallower
+  // shipped levels for deep-resident keys — and the miss phase shows the
+  // backups' shipped filters screening absent keys without device reads.
+  const uint64_t read_ops = std::min<uint64_t>(scale.ops, 2000);  // per client thread
+  printf("\n-- bloom filters: fanned replica reads (RF=3), filters off vs on, "
+         "%d clients x %llu ops/arm --\n",
+         kClientThreads, static_cast<unsigned long long>(read_ops));
+  auto make_cluster = [&](bool filters_on) {
+    SimClusterOptions options;
+    options.num_servers = 3;
+    options.num_regions = 1;
+    options.replication_factor = 3;
+    options.mode = ReplicationMode::kSendIndex;
+    options.kv_options.l0_max_entries = scale.l0_entries;
+    options.kv_options.enable_filters = filters_on;
+    options.device_options.segment_size = 1 << 18;
+    options.device_options.max_segments = 1 << 17;
+    options.device_options.accounting_granularity = 512;
+    options.device_options.cost_model.read_bandwidth_bytes_per_sec =
+        kReadBandwidthMb * 1024 * 1024;
+    options.device_options.cost_model.hard_cap = true;
+    auto cluster_or = SimCluster::Create(options);
+    if (!cluster_or.ok()) {
+      fprintf(stderr, "filter bench: cluster: %s\n", cluster_or.status().ToString().c_str());
+      abort();
+    }
+    auto cluster = std::move(*cluster_or);
+    YcsbOptions ycsb;
+    ycsb.record_count = records;
+    ycsb.op_count = read_ops;
+    YcsbWorkload workload(ycsb);
+    if (auto load = workload.RunLoad(cluster->Hooks()); !load.ok()) {
+      fprintf(stderr, "filter bench: load: %s\n", load.status().ToString().c_str());
+      abort();
+    }
+    if (Status status = cluster->FlushAll(); !status.ok()) {
+      fprintf(stderr, "filter bench: flush: %s\n", status.ToString().c_str());
+      abort();
+    }
+    // The load's final cascade leaves a single populated device level, where
+    // a present-key read has nothing to skip. Re-write a small slice so L1
+    // holds it (small enough not to cascade again): reads for the ~92% of
+    // keys resident in the deep level then cross L1, which is exactly what
+    // the shipped filters screen out.
+    KvHooks put_hooks = cluster->Hooks();
+    const std::string value(100, 'v');
+    for (uint64_t i = 0; i < std::min<uint64_t>(records / 10, 1500); ++i) {
+      if (Status status = put_hooks.put(YcsbKey(i), value); !status.ok()) {
+        fprintf(stderr, "filter bench: top-up: %s\n", status.ToString().c_str());
+        abort();
+      }
+    }
+    if (Status status = cluster->FlushAll(); !status.ok()) {
+      fprintf(stderr, "filter bench: top-up flush: %s\n", status.ToString().c_str());
+      abort();
+    }
+    return cluster;
+  };
+  auto cluster_off = make_cluster(false);
+  auto cluster_on = make_cluster(true);
+  auto run_fanned_runc = [&](SimCluster* cluster) {
+    std::atomic<uint64_t> total_ops{0};
+    const uint64_t start_ns = NowNanos();
+    std::vector<std::thread> clients;
+    for (int t = 0; t < kClientThreads; ++t) {
+      clients.emplace_back([&, t] {
+        YcsbOptions per_client;
+        per_client.record_count = records;
+        per_client.op_count = read_ops;
+        per_client.seed = 42 + 1000 * (t + 1);
+        YcsbWorkload client_workload(per_client);
+        auto result = client_workload.RunPhase(kRunC, cluster->Hooks(/*fan_out_reads=*/true));
+        if (!result.ok()) {
+          fprintf(stderr, "filter bench: run C: %s\n", result.status().ToString().c_str());
+          abort();
+        }
+        total_ops.fetch_add(result->ops, std::memory_order_relaxed);
+      });
+    }
+    for (auto& c : clients) {
+      c.join();
+    }
+    const double seconds = static_cast<double>(NowNanos() - start_ns) / 1e9;
+    return static_cast<double>(total_ops.load()) / seconds / 1000.0;
+  };
+  auto run_fanned_misses = [&](SimCluster* cluster) {
+    std::atomic<uint64_t> total_ops{0};
+    const uint64_t start_ns = NowNanos();
+    std::vector<std::thread> clients;
+    for (int t = 0; t < kClientThreads; ++t) {
+      clients.emplace_back([&, t] {
+        KvHooks hooks = cluster->Hooks(/*fan_out_reads=*/true);
+        Random rng(177 + t);
+        for (uint64_t i = 0; i < read_ops; ++i) {
+          Status status = hooks.read(YcsbKey(records + rng.Uniform(records * 10)));
+          if (!status.ok() && !status.IsNotFound()) {
+            fprintf(stderr, "filter bench: fanned miss: %s\n", status.ToString().c_str());
+            abort();
+          }
+        }
+        total_ops.fetch_add(read_ops, std::memory_order_relaxed);
+      });
+    }
+    for (auto& c : clients) {
+      c.join();
+    }
+    const double seconds = static_cast<double>(NowNanos() - start_ns) / 1e9;
+    return static_cast<double>(total_ops.load()) / seconds / 1000.0;
+  };
+  // Run C rounds stay adjacent (and get two extra rounds): the filter-less
+  // miss arms are slow and would smear machine drift into the Run C medians
+  // if interleaved with them.
+  std::vector<double> runc_off, runc_on, fanmiss_off, fanmiss_on;
+  const MetricsSnapshot fanout_before = cluster_on->MetricsNow();
+  for (int i = 0; i < kRunsPerArm + 2; ++i) {
+    runc_off.push_back(run_fanned_runc(cluster_off.get()));
+    runc_on.push_back(run_fanned_runc(cluster_on.get()));
+  }
+  for (int i = 0; i < kRunsPerArm; ++i) {
+    fanmiss_off.push_back(run_fanned_misses(cluster_off.get()));
+    fanmiss_on.push_back(run_fanned_misses(cluster_on.get()));
+  }
+  const MetricsSnapshot fanout_after = cluster_on->MetricsNow();
+  const double fanned_runc_off = MedianOf(runc_off);
+  const double fanned_runc_on = MedianOf(runc_on);
+  const double fanned_miss_off = MedianOf(fanmiss_off);
+  const double fanned_miss_on = MedianOf(fanmiss_on);
+  printf("  Run C   filters off %8.1f  on %8.1f read kops/s  (%.2fx)\n",
+         fanned_runc_off, fanned_runc_on, fanned_runc_on / fanned_runc_off);
+  printf("  misses  filters off %8.1f  on %8.1f read kops/s  (%.2fx)\n",
+         fanned_miss_off, fanned_miss_on, fanned_miss_on / fanned_miss_off);
+
+  bench::BenchJson json("pr7");
+  json.Set("filter_negative_lookup", "records", static_cast<double>(records));
+  json.Set("filter_negative_lookup", "miss_ops_per_arm", static_cast<double>(miss_ops));
+  json.Set("filter_negative_lookup", "read_bandwidth_mb", static_cast<double>(kReadBandwidthMb));
+  json.Set("filter_negative_lookup", "filters_off_miss_kops_per_sec", miss_off);
+  json.Set("filter_negative_lookup", "filters_on_miss_kops_per_sec", miss_on);
+  json.Set("filter_negative_lookup", "speedup", miss_speedup);
+  json.Set("filter_negative_lookup", "target_speedup", 2.0);
+  json.Set("filter_fanout_runc", "replication_factor", 3.0);
+  json.Set("filter_fanout_runc", "filters_off_read_kops_per_sec", fanned_runc_off);
+  json.Set("filter_fanout_runc", "filters_on_read_kops_per_sec", fanned_runc_on);
+  json.Set("filter_fanout_runc", "speedup", fanned_runc_on / fanned_runc_off);
+  json.Set("filter_fanout_miss", "filters_off_read_kops_per_sec", fanned_miss_off);
+  json.Set("filter_fanout_miss", "filters_on_read_kops_per_sec", fanned_miss_on);
+  json.Set("filter_fanout_miss", "speedup", fanned_miss_on / fanned_miss_off);
+  // Registry deltas through the snapshot path: the primary's per-level
+  // kv.filter_* counters prove the standalone arm's misses were answered by
+  // filters, and the cluster's backup.filter_* counters prove the fanned
+  // reads were screened by the shipped blocks on the replicas.
+  bench::SetFromSnapshot(&json, "filter_primary_registry",
+                         bench::DiffSnapshots(primary_before, primary_after),
+                         {"kv.filter_", "kv.gets", "storage."});
+  bench::SetFromSnapshot(&json, "filter_fanout_registry",
+                         bench::DiffSnapshots(fanout_before, fanout_after),
+                         {"kv.filter_", "backup.filter_", "backup.replica_gets"});
+  // Lifetime (not windowed) totals: the installs and ships happen while the
+  // cluster loads, before the measurement window above opens.
+  bench::SetFromSnapshot(&json, "filter_fanout_shipping", fanout_after,
+                         {"backup.filter_blocks_installed", "repl.filter_"});
+  const std::string path = json.Write();
+  if (!path.empty()) {
+    printf("  wrote %s\n", path.c_str());
+  }
+}
+
 }  // namespace
 }  // namespace tebis
 
@@ -799,5 +1070,6 @@ int main(int argc, char** argv) {
   tebis::RunShippingComparison();
   tebis::RunTelemetryOverheadComparison();
   tebis::RunReplicaReadComparison();
+  tebis::RunFilterComparison();
   return 0;
 }

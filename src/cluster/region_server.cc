@@ -601,6 +601,7 @@ void RegionServer::HandleRequest(const MessageHeader& header, std::string payloa
     case MessageType::kFlushLog:
     case MessageType::kCompactionBegin:
     case MessageType::kIndexSegment:
+    case MessageType::kFilterBlock:
     case MessageType::kCompactionEnd:
     case MessageType::kLogTrim:
     case MessageType::kSetReplayStart:
@@ -848,6 +849,18 @@ void RegionServer::HandleReplicationOp(RegionHandle* region, const MessageHeader
         status = send->HandleIndexSegment(msg.compaction_id, static_cast<int>(msg.dst_level),
                                           static_cast<int>(msg.tree_level), msg.primary_segment,
                                           msg.data, msg.stream_id);
+      }
+      break;
+    }
+    case MessageType::kFilterBlock: {
+      FilterBlockMsg msg{};
+      status = DecodeFilterBlock(payload, &msg);
+      if (status.ok()) {
+        status = check_epoch(msg.epoch);
+      }
+      if (status.ok() && send != nullptr) {
+        status = send->HandleFilterBlock(msg.compaction_id, static_cast<int>(msg.dst_level),
+                                         msg.data, msg.stream_id);
       }
       break;
     }

@@ -3,6 +3,8 @@
 #include <cstring>
 #include <optional>
 
+#include "src/lsm/bloom_filter.h"
+
 namespace tebis {
 
 // Per-tree-level build state: one in-progress node and one in-progress
@@ -30,6 +32,10 @@ BTreeBuilder::BTreeBuilder(BlockDevice* device, size_t node_size, IoClass io_cla
     : device_(device), node_size_(node_size), io_class_(io_class), sink_(sink) {}
 
 BTreeBuilder::~BTreeBuilder() = default;
+
+void BTreeBuilder::EnableFilter(uint32_t bits_per_key) {
+  filter_builder_ = std::make_unique<BloomFilterBuilder>(bits_per_key);
+}
 
 BTreeBuilder::LevelState& BTreeBuilder::Level(size_t level) {
   while (levels_.size() <= level) {
@@ -59,6 +65,9 @@ Status BTreeBuilder::Add(Slice key, uint64_t log_offset) {
     leaves.first_key = key.ToString();
   }
   leaves.leaf->Add(key, log_offset);
+  if (filter_builder_ != nullptr) {
+    filter_builder_->AddKey(key);
+  }
   num_entries_++;
   last_key_ = key.ToString();
   if (leaves.leaf->Full()) {
@@ -184,6 +193,9 @@ StatusOr<BuiltTree> BTreeBuilder::Finish() {
   tree.num_entries = num_entries_;
   tree.segments = segments_;
   tree.bytes_written = bytes_written_;
+  if (filter_builder_ != nullptr && filter_builder_->num_keys() > 0) {
+    tree.filter = std::make_shared<const std::string>(filter_builder_->Finish());
+  }
   return tree;
 }
 

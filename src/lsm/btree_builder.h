@@ -26,6 +26,12 @@ struct BuiltTree {
   uint64_t num_entries = 0;
   std::vector<SegmentId> segments;
   uint64_t bytes_written = 0;
+  // Serialized bloom filter block (PR 7), or null for trees built without
+  // filters (pre-filter checkpoints, filter-less configurations, shipped
+  // trees whose filter message never arrived). Shared immutable bytes: the
+  // tree is copied by value through publication, checkpointing, shipping and
+  // promotion, and the filter must travel with every copy.
+  std::shared_ptr<const std::string> filter;
 
   bool empty() const { return root_offset == kInvalidOffset; }
 };
@@ -50,6 +56,10 @@ class BTreeBuilder {
   BTreeBuilder(const BTreeBuilder&) = delete;
   BTreeBuilder& operator=(const BTreeBuilder&) = delete;
 
+  // Accumulate key/prefix fingerprints alongside the index and attach the
+  // serialized filter block to the finished tree. Call before the first Add.
+  void EnableFilter(uint32_t bits_per_key);
+
   // Adds the next entry. Keys must arrive in strictly ascending order.
   Status Add(Slice key, uint64_t log_offset);
 
@@ -73,6 +83,7 @@ class BTreeBuilder {
   SegmentSink* const sink_;
 
   std::vector<std::unique_ptr<LevelState>> levels_;
+  std::unique_ptr<class BloomFilterBuilder> filter_builder_;
   std::string last_key_;  // for ascending-order enforcement
   uint64_t num_entries_ = 0;
   uint64_t bytes_written_ = 0;

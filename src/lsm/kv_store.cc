@@ -128,6 +128,21 @@ KvStore::KvStore(BlockDevice* device, const KvStoreOptions& options)
   counters_.compaction_merge_ns = reg->GetCounter("kv.compaction_merge_ns", l);
   counters_.compaction_build_ns = reg->GetCounter("kv.compaction_build_ns", l);
   counters_.compaction_ship_ns = reg->GetCounter("kv.compaction_ship_ns", l);
+  // Per-level filter instruments (PR 7): resolved up front, one label set per
+  // device level, so Get never pays a registry lookup. Entry 0 stays null
+  // (L0 is the memtable, no filter).
+  counters_.filter_checks.assign(options.max_levels + 1, nullptr);
+  counters_.filter_negatives.assign(options.max_levels + 1, nullptr);
+  counters_.filter_false_positives.assign(options.max_levels + 1, nullptr);
+  counters_.filter_bits_per_key.assign(options.max_levels + 1, nullptr);
+  for (uint32_t i = 1; i <= options.max_levels; ++i) {
+    MetricLabels labels = l;
+    labels.emplace_back("level", "L" + std::to_string(i));
+    counters_.filter_checks[i] = reg->GetCounter("kv.filter_checks", labels);
+    counters_.filter_negatives[i] = reg->GetCounter("kv.filter_negatives", labels);
+    counters_.filter_false_positives[i] = reg->GetCounter("kv.filter_false_positives", labels);
+    counters_.filter_bits_per_key[i] = reg->GetGauge("kv.filter_bits_per_key", labels);
+  }
 }
 
 void KvStore::AssignStreamLocked(CompactionInfo* info) {
@@ -223,6 +238,11 @@ KvStoreStats KvStore::stats() const {
   s.compaction_merge_ns = counters_.compaction_merge_ns->Value();
   s.compaction_build_ns = counters_.compaction_build_ns->Value();
   s.compaction_ship_ns = counters_.compaction_ship_ns->Value();
+  for (uint32_t i = 1; i <= options_.max_levels; ++i) {
+    s.filter_checks += counters_.filter_checks[i]->Value();
+    s.filter_negatives += counters_.filter_negatives[i]->Value();
+    s.filter_false_positives += counters_.filter_false_positives[i]->Value();
+  }
   return s;
 }
 
@@ -532,6 +552,9 @@ Status KvStore::RunCompaction(const CompactionJob& job) {
   uint64_t ship_ns = 0;
   ObserverSink sink(observer_, job.info, &ship_ns);
   BTreeBuilder builder(device_, options_.node_size, IoClass::kCompactionWrite, &sink);
+  if (options_.enable_filters) {
+    builder.EnableFilter(options_.filter_bits_per_key);
+  }
 
   std::unique_ptr<MemtableMergeSource> mem_src;
   std::unique_ptr<LevelMergeSource> src_src;
@@ -577,6 +600,10 @@ Status KvStore::RunCompaction(const CompactionJob& job) {
     }
     levels_[dst_level]->retire.store(true, std::memory_order_release);
     levels_[dst_level] = MakeHandle(new_tree);
+  }
+  if (new_tree.filter != nullptr && new_tree.num_entries > 0) {
+    counters_.filter_bits_per_key[dst_level]->Set(
+        static_cast<int64_t>(new_tree.filter->size() * 8 / new_tree.num_entries));
   }
   // Drop our references: with no concurrent readers this frees the retired
   // segments right here — the same point the synchronous engine freed them.
@@ -744,6 +771,21 @@ StatusOr<ValueLocation> KvStore::FindLocation(Slice key, const ReadSnapshot& sna
     if (tree.empty()) {
       continue;
     }
+    // Filter gate: skip the level's tree descent entirely on a definite
+    // negative. Presence-gated, not option-gated — a tree without a filter
+    // (pre-filter checkpoint, filters disabled at build time) just descends.
+    bool filter_said_maybe = false;
+    if (tree.filter != nullptr) {
+      BloomFilterView view;
+      if (BloomFilterView::Parse(Slice(*tree.filter), &view, /*verify_crc=*/false).ok()) {
+        counters_.filter_checks[i]->Increment();
+        if (!view.MayContain(key)) {
+          counters_.filter_negatives[i]->Increment();
+          continue;
+        }
+        filter_said_maybe = true;
+      }
+    }
     BTreeReader reader(device_, cache_.get(), options_.node_size, tree, IoClass::kLookup);
     auto found = reader.Find(key, loader);
     if (found.ok()) {
@@ -752,6 +794,9 @@ StatusOr<ValueLocation> KvStore::FindLocation(Slice key, const ReadSnapshot& sna
     }
     if (!found.status().IsNotFound()) {
       return found.status();
+    }
+    if (filter_said_maybe) {
+      counters_.filter_false_positives[i]->Increment();
     }
   }
   return Status::NotFound();
@@ -818,6 +863,78 @@ StatusOr<std::vector<KvPair>> KvStore::Scan(Slice start, size_t limit) {
       break;
     }
     const MergeEntry winner = owned[best]->entry();
+    for (auto& src : owned) {
+      while (src->Valid() && Slice(src->entry().key) == Slice(winner.key)) {
+        TEBIS_RETURN_IF_ERROR(src->Next());
+      }
+    }
+    if (winner.tombstone) {
+      continue;
+    }
+    LogRecord rec;
+    TEBIS_RETURN_IF_ERROR(
+        log_->ReadRecord(winner.log_offset, &rec, cache_.get(), IoClass::kLookup));
+    out.push_back(KvPair{std::move(rec.key), std::move(rec.value)});
+  }
+  return out;
+}
+
+StatusOr<std::vector<KvPair>> KvStore::ScanPrefix(Slice prefix, size_t limit) {
+  counters_.scans->Increment();
+  ReadSnapshot snap = TakeReadSnapshot();
+
+  // Level skipping via prefix fingerprints is only sound when the query pins
+  // at least kPrefixSize leading bytes: the filter stores zero-padded
+  // kPrefixSize fingerprints, so a shorter query prefix covers many stored
+  // prefixes and a single probe cannot rule the level out.
+  const bool can_skip = prefix.size() >= kPrefixSize;
+
+  std::vector<std::unique_ptr<MergeSource>> owned;
+  owned.push_back(std::make_unique<MemtableMergeSource>(snap.active.get(), prefix));
+  if (snap.imm != nullptr) {
+    owned.push_back(std::make_unique<MemtableMergeSource>(snap.imm.get(), prefix));
+  }
+  for (uint32_t i = 1; i <= options_.max_levels; ++i) {
+    const BuiltTree& tree = snap.levels[i]->tree;
+    if (tree.empty()) {
+      continue;
+    }
+    if (can_skip && tree.filter != nullptr) {
+      BloomFilterView view;
+      if (BloomFilterView::Parse(Slice(*tree.filter), &view, /*verify_crc=*/false).ok()) {
+        counters_.filter_checks[i]->Increment();
+        if (!view.MayContainPrefix(prefix)) {
+          counters_.filter_negatives[i]->Increment();
+          continue;
+        }
+      }
+    }
+    auto src = std::make_unique<LevelMergeSource>(device_, options_.node_size, tree, log_.get());
+    TEBIS_RETURN_IF_ERROR(src->Init(prefix));
+    owned.push_back(std::move(src));
+  }
+
+  std::vector<KvPair> out;
+  while (out.size() < limit) {
+    int best = -1;
+    for (size_t i = 0; i < owned.size(); ++i) {
+      if (!owned[i]->Valid()) {
+        continue;
+      }
+      if (best < 0 ||
+          Slice(owned[i]->entry().key).Compare(Slice(owned[best]->entry().key)) < 0) {
+        best = static_cast<int>(i);
+      }
+    }
+    if (best < 0) {
+      break;
+    }
+    const MergeEntry winner = owned[best]->entry();
+    if (Slice(winner.key).size() < prefix.size() ||
+        Slice(winner.key.data(), prefix.size()).Compare(prefix) != 0) {
+      // Sorted sources: the first key past the prefix range ends the scan.
+      break;
+    }
     for (auto& src : owned) {
       while (src->Valid() && Slice(src->entry().key) == Slice(winner.key)) {
         TEBIS_RETURN_IF_ERROR(src->Next());

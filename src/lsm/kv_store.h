@@ -42,6 +42,7 @@
 #include <vector>
 
 #include "src/common/status.h"
+#include "src/lsm/bloom_filter.h"
 #include "src/lsm/btree_builder.h"
 #include "src/lsm/btree_reader.h"
 #include "src/lsm/memtable.h"
@@ -73,6 +74,13 @@ struct KvStoreOptions {
   // Persist a checkpoint manifest after every compaction and tail flush, so
   // Recover() restores everything up to the last flushed log segment.
   bool auto_checkpoint = false;
+  // Per-level bloom filters (PR 7): compactions fingerprint every merged key
+  // (plus its kPrefixSize prefix) and attach a filter block to the built
+  // tree; point lookups and prefix scans consult it before descending the
+  // level. Send-Index primaries ship the block so backups answer membership
+  // probes from the primary's exact bytes.
+  bool enable_filters = true;
+  uint32_t filter_bits_per_key = kDefaultFilterBitsPerKey;
 
   // Background compaction (PR 2). When set, L0 spills and level cascades run
   // as a long-running job on this pool and writes overlap compaction. The
@@ -174,6 +182,10 @@ struct KvStoreStats {
   uint64_t compaction_merge_ns = 0;       // k-way merge incl. source reads
   uint64_t compaction_build_ns = 0;       // feeding the B+ tree builder
   uint64_t compaction_ship_ns = 0;        // observer callbacks (index shipping)
+  // Bloom filter effectiveness (PR 7), summed over levels.
+  uint64_t filter_checks = 0;           // level probes that consulted a filter
+  uint64_t filter_negatives = 0;        // probes the filter excluded (tree skipped)
+  uint64_t filter_false_positives = 0;  // filter said maybe, tree said NotFound
 };
 
 struct KvPair {
@@ -206,6 +218,13 @@ class KvStore {
   // Returns up to `limit` pairs with key >= start, ascending, skipping
   // tombstones.
   StatusOr<std::vector<KvPair>> Scan(Slice start, size_t limit);
+
+  // Prefix scan (PR 7): up to `limit` pairs whose keys start with `prefix`,
+  // ascending. When the prefix fixes at least the first kPrefixSize bytes,
+  // levels whose bloom filter excludes the prefix fingerprint are skipped
+  // without touching their on-device tree; shorter prefixes fall back to the
+  // plain merged scan (correct, just never skips).
+  StatusOr<std::vector<KvPair>> ScanPrefix(Slice prefix, size_t limit);
 
   // Inserts an existing log record into L0 without appending to the log
   // (promotion replay).
@@ -366,6 +385,12 @@ class KvStore {
     Counter* compaction_merge_ns = nullptr;
     Counter* compaction_build_ns = nullptr;
     Counter* compaction_ship_ns = nullptr;
+    // Per-level filter instruments (PR 7), indexed by level (entry 0 unused).
+    // Pre-resolved so the hot read path never takes a registry lookup.
+    std::vector<Counter*> filter_checks;
+    std::vector<Counter*> filter_negatives;
+    std::vector<Counter*> filter_false_positives;
+    std::vector<Gauge*> filter_bits_per_key;  // set when a level publishes
   };
 
   KvStore(BlockDevice* device, const KvStoreOptions& options);

@@ -5,9 +5,9 @@
 
 namespace tebis {
 
-std::string Manifest::Encode() const {
+std::string Manifest::Encode(uint32_t version) const {
   WireWriter w;
-  w.U32(kManifestMagic).U32(kManifestVersion);
+  w.U32(kManifestMagic).U32(version);
   w.U32(static_cast<uint32_t>(levels.size()));
   for (size_t i = 0; i < levels.size(); ++i) {
     const BuiltTree& tree = levels[i];
@@ -17,6 +17,10 @@ std::string Manifest::Encode() const {
       w.U64(seg);
     }
     w.U32(i < level_crcs.size() ? level_crcs[i] : 0);
+    if (version >= 3) {
+      // Per-level filter block, empty when the tree carries none.
+      w.Bytes(tree.filter != nullptr ? Slice(*tree.filter) : Slice());
+    }
   }
   w.U32(static_cast<uint32_t>(log_flushed_segments.size()));
   for (SegmentId seg : log_flushed_segments) {
@@ -48,7 +52,7 @@ StatusOr<Manifest> Manifest::Decode(Slice data) {
   if (magic != kManifestMagic) {
     return Status::Corruption("bad manifest magic");
   }
-  if (version != kManifestVersion) {
+  if (version < kMinManifestVersion || version > kManifestVersion) {
     return Status::InvalidArgument("unsupported manifest version " + std::to_string(version));
   }
   Manifest manifest;
@@ -70,6 +74,13 @@ StatusOr<Manifest> Manifest::Decode(Slice data) {
     uint32_t level_crc;
     TEBIS_RETURN_IF_ERROR(r.U32(&level_crc));
     manifest.level_crcs.push_back(level_crc);
+    if (version >= 3) {
+      std::string filter;
+      TEBIS_RETURN_IF_ERROR(r.Bytes(&filter));
+      if (!filter.empty()) {
+        tree.filter = std::make_shared<const std::string>(std::move(filter));
+      }
+    }
     manifest.levels.push_back(std::move(tree));
   }
   uint32_t num_log_segments;

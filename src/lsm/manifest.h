@@ -18,7 +18,10 @@ namespace tebis {
 
 inline constexpr uint32_t kManifestMagic = 0x5442'4D46;  // "TBMF"
 // v2: per-level content CRCs (torn index-segment detection on recovery).
-inline constexpr uint32_t kManifestVersion = 2;
+// v3: per-level bloom filter blocks (PR 7). Decode still accepts v2 — a
+// pre-filter store opens with null filters and reads simply never skip.
+inline constexpr uint32_t kManifestVersion = 3;
+inline constexpr uint32_t kMinManifestVersion = 2;
 
 struct Manifest {
   // levels[0] unused, mirroring KvStore.
@@ -32,7 +35,9 @@ struct Manifest {
   // levels and must be replayed into L0.
   uint64_t l0_replay_from = 0;
 
-  std::string Encode() const;
+  // `version` exists for backward-compat tests (encode the pre-filter v2
+  // layout); production callers always write the current version.
+  std::string Encode(uint32_t version = kManifestVersion) const;
   static StatusOr<Manifest> Decode(Slice data);
 };
 

@@ -83,6 +83,10 @@ const char* MessageTypeName(MessageType type) {
       return "ReplicaScan";
     case MessageType::kReplicaScanReply:
       return "ReplicaScanReply";
+    case MessageType::kFilterBlock:
+      return "FilterBlock";
+    case MessageType::kFilterBlockReply:
+      return "FilterBlockReply";
   }
   return "?";
 }

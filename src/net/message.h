@@ -60,6 +60,10 @@ enum class MessageType : uint16_t {
   kReplicaGetReply,
   kReplicaScan,
   kReplicaScanReply,
+  // Shipped bloom filters (PR 7): the level filter block a Send-Index
+  // primary ships between the last index segment and CompactionEnd.
+  kFilterBlock,
+  kFilterBlockReply,
 };
 
 const char* MessageTypeName(MessageType type);

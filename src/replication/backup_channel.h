@@ -59,6 +59,20 @@ class BackupChannel {
   virtual Status CompactionEnd(uint64_t compaction_id, int src_level, int dst_level,
                                const BuiltTree& primary_tree, StreamId stream = 0) = 0;
 
+  // Shipped bloom filters (PR 7): the serialized filter block for the level
+  // this compaction produces, sent between the last index segment and
+  // CompactionEnd so the backup installs the primary's exact bytes alongside
+  // the tree. Default no-op keeps the many test doubles (and filter-unaware
+  // channels) compiling; backups that never receive one simply don't skip.
+  virtual Status ShipFilterBlock(uint64_t compaction_id, int dst_level, Slice bytes,
+                                 StreamId stream = 0) {
+    (void)compaction_id;
+    (void)dst_level;
+    (void)bytes;
+    (void)stream;
+    return Status::Ok();
+  }
+
   // GC coordination (paper §4: backups "only perform the trim").
   virtual Status TrimLog(size_t segments) = 0;
 

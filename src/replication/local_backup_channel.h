@@ -115,6 +115,20 @@ class LocalBackupChannel : public BackupChannel {
                      });
   }
 
+  Status ShipFilterBlock(uint64_t compaction_id, int dst_level, Slice bytes,
+                         StreamId stream = 0) override {
+    if (send_backup_ == nullptr) {
+      return Status::Ok();
+    }
+    FilterBlockMsg msg{epoch(), compaction_id, static_cast<uint32_t>(dst_level), bytes, stream};
+    return WithRetry(FaultSite::kReplFilterBlockSend, FaultSite::kReplFilterBlockAck,
+                     /*has_ack=*/true, EncodeFilterBlock(msg).size(), [&] {
+                       TEBIS_RETURN_IF_ERROR(CheckBackupEpoch());
+                       return send_backup_->HandleFilterBlock(compaction_id, dst_level, bytes,
+                                                              stream);
+                     });
+  }
+
   Status TrimLog(size_t segments) override {
     return WithRetry(FaultSite::kReplTrimSend, FaultSite::kNumSites, /*has_ack=*/false,
                      EncodeTrimLog({epoch(), static_cast<uint32_t>(segments)}).size(), [&] {

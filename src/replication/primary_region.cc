@@ -57,6 +57,8 @@ void PrimaryRegion::InitTelemetry() {
   repl_.append_retries = reg->GetCounter("repl.append_retries", l);
   repl_.index_segments_shipped = reg->GetCounter("repl.index_segments_shipped", l);
   repl_.index_bytes_shipped = reg->GetCounter("repl.index_bytes_shipped", l);
+  repl_.filter_blocks_shipped = reg->GetCounter("repl.filter_blocks_shipped", l);
+  repl_.filter_bytes_shipped = reg->GetCounter("repl.filter_bytes_shipped", l);
   repl_.backups_detached = reg->GetCounter("repl.backups_detached", l);
   repl_.slow_call_strikes = reg->GetCounter("repl.slow_call_strikes", l);
   repl_.fence_errors = reg->GetCounter("repl.fence_errors", l);
@@ -74,6 +76,8 @@ ReplicationStats PrimaryRegion::replication_stats() const {
   s.append_retries = repl_.append_retries->Value();
   s.index_segments_shipped = repl_.index_segments_shipped->Value();
   s.index_bytes_shipped = repl_.index_bytes_shipped->Value();
+  s.filter_blocks_shipped = repl_.filter_blocks_shipped->Value();
+  s.filter_bytes_shipped = repl_.filter_bytes_shipped->Value();
   s.backups_detached = repl_.backups_detached->Value();
   s.slow_call_strikes = repl_.slow_call_strikes->Value();
   s.fence_errors = repl_.fence_errors->Value();
@@ -477,6 +481,10 @@ Status PrimaryRegion::FullSync(BackupChannel* channel) {
           TEBIS_RETURN_IF_ERROR(
               channel->ShipIndexSegment(sync_id, static_cast<int>(i), 0, seg, Slice(buf), stream));
         }
+        if (tree.filter != nullptr) {
+          TEBIS_RETURN_IF_ERROR(channel->ShipFilterBlock(sync_id, static_cast<int>(i),
+                                                         Slice(*tree.filter), stream));
+        }
         return channel->CompactionEnd(sync_id, 0, static_cast<int>(i), tree, stream);
       }();
       {
@@ -658,6 +666,17 @@ void PrimaryRegion::OnCompactionEnd(const CompactionInfo& info, const BuiltTree&
   uint64_t cpu_ns = 0;
   {
     ScopedCpuTimer timer(&cpu_ns);
+    if (new_tree.filter != nullptr) {
+      // Ship the level's filter block before the end message: when the end
+      // commits on the backup the filter installs atomically with the tree.
+      // Control-plane sized (a few KB of fingerprints), so no flow credit.
+      FanOut(stream, /*flow_bytes=*/0, [&](BackupChannel* channel) {
+        return channel->ShipFilterBlock(info.compaction_id, info.dst_level,
+                                        Slice(*new_tree.filter), stream);
+      });
+      repl_.filter_blocks_shipped->Increment();
+      repl_.filter_bytes_shipped->Add(new_tree.filter->size());
+    }
     FanOut(stream, /*flow_bytes=*/0, [&](BackupChannel* channel) {
       return channel->CompactionEnd(info.compaction_id, info.src_level, info.dst_level, new_tree,
                                     stream);

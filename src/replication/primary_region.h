@@ -56,6 +56,8 @@ struct ReplicationStats {
   uint64_t append_retries = 0;  // transient data-plane write failures retried
   uint64_t index_segments_shipped = 0;
   uint64_t index_bytes_shipped = 0;
+  uint64_t filter_blocks_shipped = 0;  // bloom filter blocks fanned out (PR 7)
+  uint64_t filter_bytes_shipped = 0;
   uint64_t backups_detached = 0;   // replicas dropped by the health policy
   uint64_t slow_call_strikes = 0;  // calls that blew the per-call deadline
   uint64_t fence_errors = 0;       // calls rejected as stale-epoch (deposed)
@@ -226,6 +228,8 @@ class PrimaryRegion : public ValueLogObserver, public CompactionObserver {
     Counter* append_retries = nullptr;
     Counter* index_segments_shipped = nullptr;
     Counter* index_bytes_shipped = nullptr;
+    Counter* filter_blocks_shipped = nullptr;
+    Counter* filter_bytes_shipped = nullptr;
     Counter* backups_detached = nullptr;
     Counter* slow_call_strikes = nullptr;
     Counter* fence_errors = nullptr;

@@ -89,6 +89,22 @@ Status DecodeCompactionEnd(Slice payload, CompactionEndMsg* out) {
   return r.U32(&out->stream_id);
 }
 
+std::string EncodeFilterBlock(const FilterBlockMsg& msg) {
+  WireWriter w;
+  w.U64(msg.epoch).U64(msg.compaction_id).U32(msg.dst_level).Bytes(msg.data);
+  w.U32(msg.stream_id);
+  return w.str();
+}
+
+Status DecodeFilterBlock(Slice payload, FilterBlockMsg* out) {
+  WireReader r(payload);
+  TEBIS_RETURN_IF_ERROR(r.U64(&out->epoch));
+  TEBIS_RETURN_IF_ERROR(r.U64(&out->compaction_id));
+  TEBIS_RETURN_IF_ERROR(r.U32(&out->dst_level));
+  TEBIS_RETURN_IF_ERROR(r.BytesView(&out->data));
+  return r.U32(&out->stream_id);
+}
+
 std::string EncodeTrimLog(const TrimLogMsg& msg) {
   WireWriter w;
   w.U64(msg.epoch).U32(msg.segments);

@@ -57,6 +57,17 @@ struct CompactionEndMsg {
   StreamId stream_id = 0;
 };
 
+// Bloom filter block for the level a compaction is producing (PR 7): the
+// primary's exact serialized bytes, shipped between the last index segment
+// and CompactionEnd so the backup installs them with the published tree.
+struct FilterBlockMsg {
+  uint64_t epoch = 0;
+  uint64_t compaction_id;
+  uint32_t dst_level;
+  Slice data;  // view into the payload (serialized filter block)
+  StreamId stream_id = 0;
+};
+
 struct TrimLogMsg {
   uint64_t epoch = 0;
   uint32_t segments;
@@ -73,6 +84,9 @@ Status DecodeIndexSegment(Slice payload, IndexSegmentMsg* out);
 
 std::string EncodeCompactionEnd(const CompactionEndMsg& msg);
 Status DecodeCompactionEnd(Slice payload, CompactionEndMsg* out);
+
+std::string EncodeFilterBlock(const FilterBlockMsg& msg);
+Status DecodeFilterBlock(Slice payload, FilterBlockMsg* out);
 
 std::string EncodeTrimLog(const TrimLogMsg& msg);
 Status DecodeTrimLog(Slice payload, TrimLogMsg* out);

@@ -1,5 +1,10 @@
 #include "src/replication/rpc_backup_channel.h"
 
+#include <algorithm>
+#include <chrono>
+#include <thread>
+
+#include "src/common/clock.h"
 #include "src/replication/replication_wire.h"
 
 namespace tebis {
@@ -17,10 +22,72 @@ Status RpcBackupChannel::RdmaWriteLog(uint64_t offset_in_segment, Slice record_b
   return buffer_->RdmaWriteTagged(epoch(), offset_in_segment, record_bytes);
 }
 
-Status RpcBackupChannel::CallChecked(MessageType type, Slice payload, size_t reply_alloc) {
-  std::lock_guard<std::mutex> lock(call_mutex_);
-  TEBIS_ASSIGN_OR_RETURN(RpcReply reply, client_->Call(type, region_id_, payload, reply_alloc,
-                                                       /*map_version=*/0, call_timeout_ns_));
+std::mutex* RpcBackupChannel::StreamMutex(StreamId stream) {
+  std::lock_guard<std::mutex> lock(table_mutex_);
+  std::unique_ptr<std::mutex>& slot = stream_mutexes_[stream];
+  if (slot == nullptr) {
+    slot = std::make_unique<std::mutex>();
+  }
+  return slot.get();
+}
+
+StatusOr<RpcReply> RpcBackupChannel::CallShared(MessageType type, Slice payload,
+                                                size_t reply_alloc) {
+  // Mirrors RpcClient::Call's retry loop, but holds `client_mutex_` only for
+  // the send and for each completion probe, so concurrent streams keep their
+  // own requests in flight on the shared connection.
+  RpcRetryPolicy policy;
+  {
+    std::lock_guard<std::mutex> lock(client_mutex_);
+    policy = client_->retry_policy();
+  }
+  uint64_t backoff_ns = policy.initial_backoff_ns;
+  const int max_attempts = std::max(1, policy.max_attempts);
+  Status last = Status::Ok();
+  for (int attempt = 0; attempt < max_attempts; ++attempt) {
+    if (attempt > 0 && backoff_ns > 0) {
+      std::this_thread::sleep_for(std::chrono::nanoseconds(backoff_ns));
+      backoff_ns = std::min<uint64_t>(static_cast<uint64_t>(backoff_ns * policy.backoff_multiplier),
+                                      policy.max_backoff_ns);
+    }
+    StatusOr<uint64_t> id = [&]() -> StatusOr<uint64_t> {
+      std::lock_guard<std::mutex> lock(client_mutex_);
+      return client_->SendRequest(type, region_id_, payload, reply_alloc);
+    }();
+    if (!id.ok()) {
+      last = id.status();
+      if (last.IsUnavailable() || last.code() == StatusCode::kResourceExhausted) {
+        continue;
+      }
+      return last;
+    }
+    const uint64_t deadline = NowNanos() + call_timeout_ns_;
+    RpcReply reply;
+    bool done = false;
+    while (!done) {
+      {
+        std::lock_guard<std::mutex> lock(client_mutex_);
+        done = client_->TryGetReply(id.value(), &reply);
+      }
+      if (done) {
+        return reply;
+      }
+      if (NowNanos() > deadline) {
+        break;
+      }
+      std::this_thread::yield();
+    }
+    last = Status::Unavailable("rpc timeout waiting for reply " + std::to_string(id.value()));
+  }
+  return last;
+}
+
+Status RpcBackupChannel::CallChecked(MessageType type, Slice payload, StreamId stream,
+                                     size_t reply_alloc) {
+  // Held across the whole call: messages of one stream stay strictly ordered
+  // (begin -> segments -> filter -> end) while other streams proceed.
+  std::lock_guard<std::mutex> stream_lock(*StreamMutex(stream));
+  TEBIS_ASSIGN_OR_RETURN(RpcReply reply, CallShared(type, payload, reply_alloc));
   if (reply.header.flags & kFlagError) {
     const std::string detail = "backup " + backup_name_ + " rejected " + MessageTypeName(type) +
                                ": " + reply.payload;
@@ -39,7 +106,7 @@ Status RpcBackupChannel::CallChecked(MessageType type, Slice payload, size_t rep
 Status RpcBackupChannel::FlushLog(SegmentId primary_segment, StreamId stream,
                                   uint64_t commit_seq) {
   return CallChecked(MessageType::kFlushLog,
-                     EncodeFlushLog({epoch(), primary_segment, commit_seq, stream}));
+                     EncodeFlushLog({epoch(), primary_segment, commit_seq, stream}), stream);
 }
 
 Status RpcBackupChannel::CompactionBegin(uint64_t compaction_id, int src_level, int dst_level,
@@ -47,7 +114,8 @@ Status RpcBackupChannel::CompactionBegin(uint64_t compaction_id, int src_level, 
   return CallChecked(MessageType::kCompactionBegin,
                      EncodeCompactionBegin({epoch(), compaction_id,
                                             static_cast<uint32_t>(src_level),
-                                            static_cast<uint32_t>(dst_level), stream}));
+                                            static_cast<uint32_t>(dst_level), stream}),
+                     stream);
 }
 
 Status RpcBackupChannel::ShipIndexSegment(uint64_t compaction_id, int dst_level, int tree_level,
@@ -55,7 +123,7 @@ Status RpcBackupChannel::ShipIndexSegment(uint64_t compaction_id, int dst_level,
                                           StreamId stream) {
   IndexSegmentMsg msg{epoch(), compaction_id, static_cast<uint32_t>(dst_level),
                       static_cast<uint32_t>(tree_level), primary_segment, bytes, stream};
-  Status status = CallChecked(MessageType::kIndexSegment, EncodeIndexSegment(msg));
+  Status status = CallChecked(MessageType::kIndexSegment, EncodeIndexSegment(msg), stream);
   if (status.ok()) {
     // The reply arrives after the backup's rewrite handler ran: it is the
     // window update returning this stream's share of the replication buffer.
@@ -68,18 +136,24 @@ Status RpcBackupChannel::CompactionEnd(uint64_t compaction_id, int src_level, in
                                        const BuiltTree& primary_tree, StreamId stream) {
   CompactionEndMsg msg{epoch(), compaction_id, static_cast<uint32_t>(src_level),
                        static_cast<uint32_t>(dst_level), primary_tree, stream};
-  return CallChecked(MessageType::kCompactionEnd, EncodeCompactionEnd(msg));
+  return CallChecked(MessageType::kCompactionEnd, EncodeCompactionEnd(msg), stream);
+}
+
+Status RpcBackupChannel::ShipFilterBlock(uint64_t compaction_id, int dst_level, Slice bytes,
+                                         StreamId stream) {
+  FilterBlockMsg msg{epoch(), compaction_id, static_cast<uint32_t>(dst_level), bytes, stream};
+  return CallChecked(MessageType::kFilterBlock, EncodeFilterBlock(msg), stream);
 }
 
 Status RpcBackupChannel::TrimLog(size_t segments) {
   return CallChecked(MessageType::kLogTrim,
-                     EncodeTrimLog({epoch(), static_cast<uint32_t>(segments)}));
+                     EncodeTrimLog({epoch(), static_cast<uint32_t>(segments)}), kNoStream);
 }
 
 Status RpcBackupChannel::SetLogReplayStart(size_t flushed_segment_index) {
   WireWriter w;
   w.U64(epoch()).U64(flushed_segment_index);
-  return CallChecked(MessageType::kSetReplayStart, w.slice());
+  return CallChecked(MessageType::kSetReplayStart, w.slice(), kNoStream);
 }
 
 }  // namespace tebis

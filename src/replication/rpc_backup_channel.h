@@ -4,6 +4,7 @@
 #ifndef TEBIS_REPLICATION_RPC_BACKUP_CHANNEL_H_
 #define TEBIS_REPLICATION_RPC_BACKUP_CHANNEL_H_
 
+#include <map>
 #include <memory>
 #include <mutex>
 #include <string>
@@ -33,6 +34,8 @@ class RpcBackupChannel : public BackupChannel {
                           SegmentId primary_segment, Slice bytes, StreamId stream = 0) override;
   Status CompactionEnd(uint64_t compaction_id, int src_level, int dst_level,
                        const BuiltTree& primary_tree, StreamId stream = 0) override;
+  Status ShipFilterBlock(uint64_t compaction_id, int dst_level, Slice bytes,
+                         StreamId stream = 0) override;
   Status TrimLog(size_t segments) override;
   Status SetLogReplayStart(size_t flushed_segment_index) override;
 
@@ -43,17 +46,26 @@ class RpcBackupChannel : public BackupChannel {
   RpcClient* client() { return client_.get(); }
 
  private:
-  Status CallChecked(MessageType type, Slice payload, size_t reply_alloc = 16);
+  Status CallChecked(MessageType type, Slice payload, StreamId stream, size_t reply_alloc = 16);
+  // Sends under the short client lock, then waits for the reply polling the
+  // shared client briefly per probe — the lock is never held across a wait.
+  StatusOr<RpcReply> CallShared(MessageType type, Slice payload, size_t reply_alloc);
+  std::mutex* StreamMutex(StreamId stream);
 
   std::unique_ptr<RpcClient> client_;
   const uint32_t region_id_;
   std::shared_ptr<RegisteredBuffer> buffer_;
   const std::string backup_name_;
   const uint64_t call_timeout_ns_;
-  // RpcClient is not thread-safe; concurrent shipping streams (PR 4) share
-  // this one connection, so calls serialize here — the software model of one
-  // RDMA queue pair per backup.
-  std::mutex call_mutex_;
+  // Per-stream call mutexes (PR 7): concurrent shipping streams (PR 4) share
+  // one connection, but requests complete out of order (§3.4.1), so only
+  // per-stream *ordering* needs a lock held across the whole call. The
+  // non-thread-safe RpcClient itself is guarded by `client_mutex_`, held only
+  // for the send and for each reply poll — never across the wait — so one
+  // stream's slow rewrite ack no longer blocks every other stream's sends.
+  std::mutex table_mutex_;
+  std::map<StreamId, std::unique_ptr<std::mutex>> stream_mutexes_;
+  std::mutex client_mutex_;
 };
 
 }  // namespace tebis

@@ -4,6 +4,7 @@
 
 #include "src/common/clock.h"
 #include "src/common/logging.h"
+#include "src/lsm/bloom_filter.h"
 #include "src/lsm/btree_node.h"
 #include "src/lsm/btree_reader.h"
 #include "src/lsm/compaction.h"
@@ -72,6 +73,10 @@ void SendIndexBackupRegion::InitTelemetry() {
   counters_.replica_scans = reg->GetCounter("backup.replica_scans", l);
   counters_.read_rejects_epoch = reg->GetCounter("backup.read_rejects_epoch", l);
   counters_.read_rejects_seq = reg->GetCounter("backup.read_rejects_seq", l);
+  counters_.filter_blocks_installed = reg->GetCounter("backup.filter_blocks_installed", l);
+  counters_.filter_checks = reg->GetCounter("backup.filter_checks", l);
+  counters_.filter_negatives = reg->GetCounter("backup.filter_negatives", l);
+  counters_.filter_false_positives = reg->GetCounter("backup.filter_false_positives", l);
 }
 
 void SendIndexBackupRegion::RecordSpan(const CompactionStream& stream, const char* name,
@@ -107,6 +112,10 @@ SendIndexBackupStats SendIndexBackupRegion::stats() const {
   s.replica_scans = counters_.replica_scans->Value();
   s.read_rejects_epoch = counters_.read_rejects_epoch->Value();
   s.read_rejects_seq = counters_.read_rejects_seq->Value();
+  s.filter_blocks_installed = counters_.filter_blocks_installed->Value();
+  s.filter_checks = counters_.filter_checks->Value();
+  s.filter_negatives = counters_.filter_negatives->Value();
+  s.filter_false_positives = counters_.filter_false_positives->Value();
   return s;
 }
 
@@ -274,6 +283,34 @@ Status SendIndexBackupRegion::HandleIndexSegment(uint64_t compaction_id, int dst
   return status;
 }
 
+Status SendIndexBackupRegion::HandleFilterBlock(uint64_t compaction_id, int dst_level,
+                                                Slice bytes, StreamId stream) {
+  (void)dst_level;
+  std::shared_ptr<CompactionStream> s;
+  {
+    std::lock_guard<std::shared_mutex> lock(state_mutex_);
+    auto it = streams_.find(stream);
+    if (it == streams_.end() || it->second->id != compaction_id) {
+      auto done = last_completed_.find(stream);
+      if (done != last_completed_.end() && done->second == compaction_id) {
+        return Status::Ok();  // duplicate delivery: already installed
+      }
+      return Status::FailedPrecondition("filter block for unknown compaction");
+    }
+    s = it->second;
+  }
+  // Validate before staging: the CRC catches fabric corruption here, once,
+  // so the read path can probe the installed bytes without re-checksumming.
+  BloomFilterView view;
+  TEBIS_RETURN_IF_ERROR(BloomFilterView::Parse(bytes, &view));
+  std::lock_guard<std::mutex> work(s->mutex);
+  if (s->aborted) {
+    return Status::FailedPrecondition("stream aborted by promotion");
+  }
+  s->pending_filter.assign(bytes.data(), bytes.size());
+  return Status::Ok();
+}
+
 Status SendIndexBackupRegion::FreeTree(const BuiltTree& tree) {
   for (SegmentId seg : tree.segments) {
     TEBIS_RETURN_IF_ERROR(device_->FreeSegment(seg));
@@ -308,6 +345,12 @@ Status SendIndexBackupRegion::HandleCompactionEnd(uint64_t compaction_id, int sr
     local_tree.height = primary_tree.height;
     local_tree.num_entries = primary_tree.num_entries;
     local_tree.bytes_written = primary_tree.bytes_written;
+    if (!s->pending_filter.empty()) {
+      // The primary's exact filter bytes: fingerprints are offset-free, so the
+      // block installs verbatim and both replicas answer probes identically.
+      local_tree.filter = std::make_shared<const std::string>(std::move(s->pending_filter));
+      counters_.filter_blocks_installed->Increment();
+    }
     if (!primary_tree.empty()) {
       // Translate the root (§3.3: "each backup translates to the root offset
       // of its storage space using its index map") and the segment list.
@@ -553,6 +596,20 @@ StatusOr<std::string> SendIndexBackupRegion::GetFromLevelsLocked(Slice key) {
     if (levels_[i].empty()) {
       continue;
     }
+    // Consult the shipped (or promoted-over) filter before descending: the
+    // primary's exact bytes, so a skip here matches a skip on the primary.
+    bool filter_said_maybe = false;
+    if (levels_[i].filter != nullptr) {
+      BloomFilterView view;
+      if (BloomFilterView::Parse(Slice(*levels_[i].filter), &view, /*verify_crc=*/false).ok()) {
+        counters_.filter_checks->Increment();
+        if (!view.MayContain(key)) {
+          counters_.filter_negatives->Increment();
+          continue;
+        }
+        filter_said_maybe = true;
+      }
+    }
     BTreeReader reader(device_, nullptr, options_.node_size, levels_[i], IoClass::kLookup);
     auto found = reader.Find(key, loader);
     if (found.ok()) {
@@ -565,6 +622,9 @@ StatusOr<std::string> SendIndexBackupRegion::GetFromLevelsLocked(Slice key) {
     }
     if (!found.status().IsNotFound()) {
       return found.status();
+    }
+    if (filter_said_maybe) {
+      counters_.filter_false_positives->Increment();
     }
   }
   return Status::NotFound();
@@ -732,6 +792,18 @@ StatusOr<std::string> SendIndexBackupRegion::DebugGet(Slice key) {
     if (levels[i].empty()) {
       continue;
     }
+    bool filter_said_maybe = false;
+    if (levels[i].filter != nullptr) {
+      BloomFilterView view;
+      if (BloomFilterView::Parse(Slice(*levels[i].filter), &view, /*verify_crc=*/false).ok()) {
+        counters_.filter_checks->Increment();
+        if (!view.MayContain(key)) {
+          counters_.filter_negatives->Increment();
+          continue;
+        }
+        filter_said_maybe = true;
+      }
+    }
     BTreeReader reader(device_, nullptr, options_.node_size, levels[i], IoClass::kLookup);
     auto found = reader.Find(key, loader);
     if (found.ok()) {
@@ -744,6 +816,9 @@ StatusOr<std::string> SendIndexBackupRegion::DebugGet(Slice key) {
     }
     if (!found.status().IsNotFound()) {
       return found.status();
+    }
+    if (filter_said_maybe) {
+      counters_.filter_false_positives->Increment();
     }
   }
   return Status::NotFound();

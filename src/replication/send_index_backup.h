@@ -43,6 +43,12 @@ struct SendIndexBackupStats {
   uint64_t replica_scans = 0;    // scans served from this replica (PR 6)
   uint64_t read_rejects_epoch = 0;  // reads fenced: replica epoch too old
   uint64_t read_rejects_seq = 0;    // reads fenced: commit seq behind fence
+  // Shipped bloom filters (PR 7): probes against filters installed from the
+  // primary's exact bytes, aggregated over levels.
+  uint64_t filter_blocks_installed = 0;
+  uint64_t filter_checks = 0;
+  uint64_t filter_negatives = 0;
+  uint64_t filter_false_positives = 0;
 };
 
 class SendIndexBackupRegion {
@@ -81,6 +87,12 @@ class SendIndexBackupRegion {
                                StreamId stream = 0);
   Status HandleIndexSegment(uint64_t compaction_id, int dst_level, int tree_level,
                             SegmentId primary_segment, Slice bytes, StreamId stream = 0);
+  // Shipped bloom filter (PR 7): validates and stages the primary's filter
+  // block on the stream; the matching CompactionEnd installs it with the
+  // translated tree. Unlike index segments the bytes install verbatim —
+  // filters hold key fingerprints, not device offsets, so no rewrite.
+  Status HandleFilterBlock(uint64_t compaction_id, int dst_level, Slice bytes,
+                           StreamId stream = 0);
   Status HandleCompactionEnd(uint64_t compaction_id, int src_level, int dst_level,
                              const BuiltTree& primary_tree, StreamId stream = 0);
 
@@ -179,6 +191,9 @@ class SendIndexBackupRegion {
     SegmentMap log_map;           // snapshot at begin
     size_t replay_from_snapshot;  // log segments flushed when it began
     std::mutex mutex;             // serializes rewrites within the stream
+    // Filter block staged by HandleFilterBlock, installed at CompactionEnd
+    // (guarded by `mutex`, like the rewrite state).
+    std::string pending_filter;
     bool aborted = false;         // set by Promote; rejects further traffic
     // Reconstructed from (region epoch, stream id) at begin; rewrite/commit
     // spans attach to the primary's trace without any wire-format change.
@@ -199,6 +214,10 @@ class SendIndexBackupRegion {
     Counter* replica_scans = nullptr;
     Counter* read_rejects_epoch = nullptr;
     Counter* read_rejects_seq = nullptr;
+    Counter* filter_blocks_installed = nullptr;
+    Counter* filter_checks = nullptr;
+    Counter* filter_negatives = nullptr;
+    Counter* filter_false_positives = nullptr;
   };
 
   void InitTelemetry();

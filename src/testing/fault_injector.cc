@@ -32,6 +32,10 @@ const char* FaultSiteName(FaultSite site) {
       return "repl-compaction-end-ack";
     case FaultSite::kReplTrimSend:
       return "repl-trim-send";
+    case FaultSite::kReplFilterBlockSend:
+      return "repl-filter-block-send";
+    case FaultSite::kReplFilterBlockAck:
+      return "repl-filter-block-ack";
     case FaultSite::kNumSites:
       break;
   }

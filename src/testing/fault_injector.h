@@ -51,6 +51,8 @@ enum class FaultSite : int {
   kReplCompactionEndSend,    // primary -> backup compaction end (root install)
   kReplCompactionEndAck,     // backup -> primary compaction end acknowledgment
   kReplTrimSend,             // primary -> backup GC trim
+  kReplFilterBlockSend,      // primary -> backup shipped filter block (PR 7)
+  kReplFilterBlockAck,       // backup -> primary filter block acknowledgment
   kNumSites,
 };
 

@@ -118,10 +118,14 @@ TEST(ClusterYcsbTest, RunDLatestDistributionOverTheWire) {
 // their scrape-visible sum equaling the client's replica-read count proves
 // the replicas actually served.
 TEST(ClusterYcsbTest, ReadFanOutAcrossReplicasBCD) {
-  NetCluster cluster;
+  // 6000 records over 4 regions pushes every region past its L1 capacity
+  // (256 * 4), so the backups hold two shipped levels — which is what makes
+  // the filter-negative assertion below meaningful: a replica get for an
+  // L2-resident key is screened out of L1 by the shipped filter.
+  NetCluster cluster(6000);
   cluster.client->set_read_mode(ReadMode::kBoundedStaleness, /*staleness_bound=*/0);
   YcsbOptions options;
-  options.record_count = 3000;
+  options.record_count = 6000;
   options.op_count = 1200;
   YcsbWorkload workload(options);
   ASSERT_TRUE(workload.RunLoad(cluster.Hooks()).ok());
@@ -135,16 +139,23 @@ TEST(ClusterYcsbTest, ReadFanOutAcrossReplicasBCD) {
   // backup counters before rejecting) is visible in the servers' stats
   // scrapes, and their sum matches the client's count exactly.
   uint64_t replica_gets = 0;
+  uint64_t backup_filter_negatives = 0;
   int serving_backups = 0;
   for (auto& server : cluster.servers) {
-    const uint64_t served = server->telemetry()->Snapshot().Sum("backup.replica_gets");
+    const MetricsSnapshot snapshot = server->telemetry()->Snapshot();
+    const uint64_t served = snapshot.Sum("backup.replica_gets");
     replica_gets += served;
     serving_backups += served > 0 ? 1 : 0;
+    backup_filter_negatives += snapshot.Sum("backup.filter_negatives");
     auto scrape = cluster.client->ScrapeStats(server->name());
     ASSERT_TRUE(scrape.ok()) << scrape.status().ToString();
     EXPECT_NE(scrape->find("backup.replica_gets"), std::string::npos) << server->name();
   }
   EXPECT_EQ(replica_gets, stats.replica_reads);
+  // Shipped filters worked on the replica read path (PR 7): gets for keys
+  // resident in deeper shipped levels are screened out of the shallower
+  // levels by the primary-built filters.
+  EXPECT_GT(backup_filter_negatives, 0u);
   // The fan-out spread over more than one backup (every server hosts backup
   // regions under the uniform map, so all of them should have served).
   EXPECT_GE(serving_backups, 2);

@@ -13,6 +13,7 @@
 #include "src/cluster/kv_wire.h"
 #include "src/cluster/region_map.h"
 #include "src/common/random.h"
+#include "src/lsm/bloom_filter.h"
 #include "src/lsm/btree_builder.h"
 #include "src/lsm/btree_reader.h"
 #include "src/lsm/compaction.h"
@@ -57,6 +58,10 @@ TEST_P(WireFuzzTest, RandomBytesFailCleanly) {
     (void)DecodeIndexSegment(junk, &seg);
     CompactionEndMsg end;
     (void)DecodeCompactionEnd(junk, &end);
+    FilterBlockMsg filter;
+    (void)DecodeFilterBlock(junk, &filter);
+    BloomFilterView view;
+    (void)BloomFilterView::Parse(junk, &view);
     (void)RegionMap::Deserialize(junk);
   }
 }
@@ -77,6 +82,41 @@ TEST_P(WireFuzzTest, TruncatedValidMessagesFail) {
     const size_t cut = rng.Uniform(encoded.size());
     CompactionEndMsg out{};
     EXPECT_FALSE(DecodeCompactionEnd(Slice(encoded.data(), cut), &out).ok());
+  }
+}
+
+TEST_P(WireFuzzTest, TruncatedFilterBlocksFail) {
+  Random rng(GetParam() + 200);
+  for (int i = 0; i < 500; ++i) {
+    FilterBlockMsg msg{};
+    msg.epoch = rng.Next();
+    msg.compaction_id = rng.Next();
+    msg.dst_level = 1 + rng.Uniform(7);
+    msg.stream_id = rng.Uniform(8);
+    std::string payload = rng.Bytes(1 + rng.Uniform(300));
+    msg.data = payload;
+    std::string encoded = EncodeFilterBlock(msg);
+    const size_t cut = rng.Uniform(encoded.size());
+    FilterBlockMsg out{};
+    EXPECT_FALSE(DecodeFilterBlock(Slice(encoded.data(), cut), &out).ok());
+  }
+}
+
+TEST_P(WireFuzzTest, CorruptedFilterBlocksFailCrc) {
+  // A valid serialized filter with any single bit flipped must be rejected by
+  // the install-time CRC check — shipped filter bytes are trusted afterwards.
+  Random rng(GetParam() + 300);
+  BloomFilterBuilder builder;
+  for (int i = 0; i < 500; ++i) {
+    builder.AddKey(rng.Bytes(8 + rng.Uniform(24)));
+  }
+  const std::string block = builder.Finish();
+  BloomFilterView view;
+  ASSERT_TRUE(BloomFilterView::Parse(block, &view).ok());
+  for (int i = 0; i < 300; ++i) {
+    std::string corrupt = block;
+    corrupt[rng.Uniform(corrupt.size())] ^= static_cast<char>(1 << rng.Uniform(8));
+    EXPECT_FALSE(BloomFilterView::Parse(corrupt, &view).ok());
   }
 }
 

@@ -9,8 +9,8 @@
 # Run this before every merge:
 #
 #   tools/check.sh            # all three passes (with their addenda)
-#   tools/check.sh --plain    # plain pass: fast + telemetry labels, BENCH gate
-#   tools/check.sh --tsan     # TSan pass: fast + streams + telemetry + replica
+#   tools/check.sh --plain    # plain pass: fast + telemetry + filters, BENCH gate
+#   tools/check.sh --tsan     # TSan pass: fast + streams + telemetry + replica + filters
 #   tools/check.sh --chaos    # ASan pass: chaos + streams + replica labels
 #
 # Build trees: build/ (plain), build-tsan/ (TEBIS_SANITIZE=thread) and
@@ -54,6 +54,12 @@ if [[ $run_plain -eq 1 ]]; then
     echo "BENCH gate: bench_micro.cc lost the telemetry-overhead A/B (BENCH_pr5.json)" >&2; exit 1; }
   grep -q "RunReplicaReadComparison" bench/bench_micro.cc || {
     echo "BENCH gate: bench_micro.cc lost the replica-read fan-out A/B (BENCH_pr6.json)" >&2; exit 1; }
+  grep -q "RunFilterComparison" bench/bench_micro.cc || {
+    echo "BENCH gate: bench_micro.cc lost the bloom-filter negative-lookup A/B (BENCH_pr7.json)" >&2; exit 1; }
+  # Shipped bloom filters (PR 7): the filter suite by itself, so a filter or
+  # manifest-versioning regression names itself.
+  echo "== tier-1 pass 1/3 (addendum): plain build, filters label =="
+  ctest --test-dir build -L filters --no-tests=error --output-on-failure -j "$jobs"
 fi
 
 if [[ $run_tsan -eq 1 ]]; then
@@ -78,6 +84,11 @@ if [[ $run_tsan -eq 1 ]]; then
   echo "== tier-1 pass 2/3 (addendum): ThreadSanitizer build, replica label =="
   TSAN_OPTIONS="halt_on_error=1 ${TSAN_OPTIONS:-}" \
     ctest --test-dir build-tsan -L replica --no-tests=error --output-on-failure -j "$jobs"
+  # Shipped bloom filters (PR 7): filter installs race with replica reads over
+  # the same level trees; the suite must be race-free under TSan.
+  echo "== tier-1 pass 2/3 (addendum): ThreadSanitizer build, filters label =="
+  TSAN_OPTIONS="halt_on_error=1 ${TSAN_OPTIONS:-}" \
+    ctest --test-dir build-tsan -L filters --no-tests=error --output-on-failure -j "$jobs"
 fi
 
 if [[ $run_chaos -eq 1 ]]; then

@@ -90,6 +90,37 @@ def print_metrics(metrics, raw):
             print(f"  {name:<{name_w}}  {label_str:<{label_w}}  {shown}")
 
 
+def print_filter_summary(metrics):
+    """Derived bloom-filter effectiveness (PR 7): per-level skip and
+    false-positive rates on the primary read path (kv.filter_*, labeled by
+    level) plus the aggregate over the backup replica read path
+    (backup.filter_*). Rates are ratios of raw counters, so this section is
+    unaffected by --raw."""
+    # scope -> {"checks": n, "negatives": n, "false_positives": n}
+    scopes = defaultdict(lambda: defaultdict(int))
+    for key, value in metrics.items():
+        name, labels = parse_metric_key(key)
+        for prefix, scope in (("kv.filter_", labels.get("level", "?")),
+                              ("backup.filter_", "backup")):
+            if name.startswith(prefix):
+                field = name[len(prefix):]
+                if field in ("checks", "negatives", "false_positives"):
+                    scopes[scope][field] += value
+    rows = [(scope, c) for scope, c in sorted(scopes.items()) if c.get("checks")]
+    if not rows:
+        return
+    print("\n== filter effectiveness ==")
+    for scope, c in rows:
+        checks = c["checks"]
+        negatives = c.get("negatives", 0)
+        false_pos = c.get("false_positives", 0)
+        maybes = checks - negatives
+        fp_rate = f"{100.0 * false_pos / maybes:.2f}% fp" if maybes else "no maybes"
+        print(f"  {scope:<8} {checks:>10} checks"
+              f"  {100.0 * negatives / checks:6.2f}% skipped"
+              f"  {fp_rate}")
+
+
 def print_traces(spans):
     events = spans.get("traceEvents", []) if isinstance(spans, dict) else spans
     pid_names = {}
@@ -148,6 +179,7 @@ def main():
 
     print(f"node: {doc.get('node', '?')}")
     print_metrics(doc.get("metrics", {}), args.raw)
+    print_filter_summary(doc.get("metrics", {}))
     print_traces(doc.get("spans", {}))
 
     if args.traces_out:
