@@ -11,6 +11,7 @@
 #include <algorithm>
 #include <atomic>
 #include <chrono>
+#include <future>
 #include <memory>
 #include <thread>
 #include <vector>
@@ -1057,6 +1058,176 @@ void RunFilterComparison() {
   }
 }
 
+// --- background-scrub overhead A/B (PR 8) --------------------------------------
+//
+// One store on a worker pool; a foreground mixed get/put workload runs once
+// with the device otherwise idle and once with a continuous paced background
+// scrub cycling on the pool (every published index segment plus the value
+// log, re-read and CRC-checked each cycle). Arms alternate on the SAME store
+// within each round so machine drift and store growth land on both equally.
+// Budget: the foreground workload gives up at most 5%.
+
+struct ScrubArm {
+  std::unique_ptr<Telemetry> plane;
+  std::unique_ptr<BlockDevice> device;
+  // Declared before the store: members destroy in reverse order, so the
+  // store drains its in-flight background scrubs before the pool dies.
+  std::unique_ptr<WorkerPool> pool;
+  std::unique_ptr<KvStore> store;
+};
+
+ScrubArm MakeScrubArm(uint64_t records, uint64_t l0_entries) {
+  ScrubArm arm;
+  arm.plane = std::make_unique<Telemetry>(/*trace_capacity=*/0);
+  BlockDeviceOptions dev_opts;
+  dev_opts.segment_size = 1 << 18;
+  dev_opts.max_segments = 1 << 17;
+  dev_opts.accounting_granularity = 512;
+  auto device = BlockDevice::Create(dev_opts);
+  if (!device.ok()) {
+    fprintf(stderr, "scrub bench: device: %s\n", device.status().ToString().c_str());
+    abort();
+  }
+  arm.device = std::move(*device);
+  // Headroom matters: the scrub is a long-running pool task, so a pool sized
+  // exactly to the compaction load would lose a compaction slot to it and
+  // put-slowdown throttling would amplify that into a large foreground hit.
+  arm.pool = std::make_unique<WorkerPool>(4);
+  arm.pool->Start();
+  KvStoreOptions opts;
+  opts.l0_max_entries = l0_entries;
+  opts.compaction_pool = arm.pool.get();
+  opts.telemetry = arm.plane.get();
+  auto store = KvStore::Create(arm.device.get(), opts);
+  if (!store.ok()) {
+    fprintf(stderr, "scrub bench: store: %s\n", store.status().ToString().c_str());
+    abort();
+  }
+  arm.store = std::move(*store);
+  const std::string value(100, 'v');
+  for (uint64_t i = 0; i < records; ++i) {
+    if (Status status = arm.store->Put(YcsbKey(i), value); !status.ok()) {
+      fprintf(stderr, "scrub bench: load: %s\n", status.ToString().c_str());
+      abort();
+    }
+  }
+  // Publish real on-device levels so a scrub cycle has segments to walk.
+  if (Status status = arm.store->FlushL0(); !status.ok()) {
+    fprintf(stderr, "scrub bench: flush: %s\n", status.ToString().c_str());
+    abort();
+  }
+  return arm;
+}
+
+void RunScrubOverheadComparison() {
+  const bench::BenchScale scale = bench::BenchScale::FromEnv();
+  constexpr int kRounds = 5;
+  constexpr uint64_t kMixedOps = 100000;
+  // Paced so a full cycle roughly matches a measurement round — already far
+  // more aggressive than a production scrub schedule relative to store size.
+  // On a small machine the scrub's CRC work shares cores with the foreground,
+  // so the pace is the overhead knob the operator owns.
+  constexpr uint64_t kScrubBytesPerSec = 8ull << 20;
+  const uint64_t records = std::min<uint64_t>(scale.records, 20000);
+  printf("\n-- scrub overhead: mixed 90/10 get/put, idle vs continuous paced scrub, "
+         "%llu records, %llu ops/arm, %llu MB/s scrub pace (median of %d, interleaved) --\n",
+         static_cast<unsigned long long>(records),
+         static_cast<unsigned long long>(kMixedOps),
+         static_cast<unsigned long long>(kScrubBytesPerSec >> 20), kRounds);
+
+  ScrubArm arm = MakeScrubArm(records, scale.l0_entries);
+  const std::string value(100, 'v');
+  auto run_mixed = [&](uint64_t seed) {
+    Random rng(seed);
+    const uint64_t start_ns = NowNanos();
+    for (uint64_t i = 0; i < kMixedOps; ++i) {
+      const std::string key = YcsbKey(rng.Uniform(records));
+      // Get-heavy (90/10): enough put traffic to keep compactions in the
+      // picture without growing the store so fast that round-to-round drift
+      // swamps the effect being measured.
+      if (i % 10 != 0) {
+        auto got = arm.store->Get(key);
+        if (!got.ok()) {
+          fprintf(stderr, "scrub bench: get: %s\n", got.status().ToString().c_str());
+          abort();
+        }
+      } else {
+        if (Status status = arm.store->Put(key, value); !status.ok()) {
+          fprintf(stderr, "scrub bench: put: %s\n", status.ToString().c_str());
+          abort();
+        }
+      }
+    }
+    const double seconds = static_cast<double>(NowNanos() - start_ns) / 1e9;
+    return static_cast<double>(kMixedOps) / seconds / 1000.0;
+  };
+
+  std::vector<double> idle_kops, scrubbing_kops;
+  uint64_t scrub_cycles = 0;
+  const MetricsSnapshot before = arm.plane->Snapshot();
+  for (int round = 0; round < kRounds; ++round) {
+    idle_kops.push_back(run_mixed(42 + round));
+    // No compaction carryover between arms: each arm starts from a quiet pool.
+    arm.pool->Drain();
+
+    // Continuous background scrub: re-schedule the next cycle as each one
+    // completes, then run the same workload against it.
+    std::atomic<bool> stop{false};
+    std::thread scrubber([&] {
+      while (!stop.load(std::memory_order_relaxed)) {
+        std::promise<void> cycle_done;
+        KvStore::ScrubOptions sopts;
+        sopts.bytes_per_sec = kScrubBytesPerSec;
+        Status status = arm.store->ScheduleScrub(
+            sopts, [&cycle_done](const StatusOr<KvStore::ScrubReport>& report) {
+              if (!report.ok() || report->corruptions_found != 0) {
+                fprintf(stderr, "scrub bench: scrub cycle failed\n");
+                abort();
+              }
+              cycle_done.set_value();
+            });
+        if (!status.ok()) {
+          fprintf(stderr, "scrub bench: schedule: %s\n", status.ToString().c_str());
+          abort();
+        }
+        cycle_done.get_future().wait();
+        ++scrub_cycles;
+      }
+    });
+    scrubbing_kops.push_back(run_mixed(42 + round));
+    stop.store(true, std::memory_order_relaxed);
+    scrubber.join();
+    arm.pool->Drain();
+  }
+  const MetricsSnapshot after = arm.plane->Snapshot();
+  const double idle = MedianOf(idle_kops);
+  const double scrubbing = MedianOf(scrubbing_kops);
+  const double overhead_pct = (1.0 - scrubbing / idle) * 100.0;
+  printf("  scrub idle     %8.1f mixed kops/s\n", idle);
+  printf("  scrub running  %8.1f mixed kops/s   (%llu full cycles)\n", scrubbing,
+         static_cast<unsigned long long>(scrub_cycles));
+  printf("  foreground overhead: %.2f%% (budget: 5%%)\n", overhead_pct);
+
+  bench::BenchJson json("pr8");
+  json.Set("scrub_overhead", "records", static_cast<double>(records));
+  json.Set("scrub_overhead", "mixed_ops_per_arm", static_cast<double>(kMixedOps));
+  json.Set("scrub_overhead", "scrub_bytes_per_sec", static_cast<double>(kScrubBytesPerSec));
+  json.Set("scrub_overhead", "idle_mixed_kops_per_sec", idle);
+  json.Set("scrub_overhead", "scrubbing_mixed_kops_per_sec", scrubbing);
+  json.Set("scrub_overhead", "scrub_cycles", static_cast<double>(scrub_cycles));
+  json.Set("scrub_overhead", "overhead_pct", overhead_pct);
+  json.Set("scrub_overhead", "budget_pct", 5.0);
+  // Registry delta through the snapshot path: the integrity.* counters prove
+  // the scrubbing arm actually walked bytes (and found nothing on a clean
+  // store); storage.* shows the extra device reads the scrub paid for.
+  bench::SetFromSnapshot(&json, "scrub_registry", bench::DiffSnapshots(before, after),
+                         {"integrity.", "kv.read_corruptions", "storage."});
+  const std::string path = json.Write();
+  if (!path.empty()) {
+    printf("  wrote %s\n", path.c_str());
+  }
+}
+
 }  // namespace
 }  // namespace tebis
 
@@ -1071,5 +1242,6 @@ int main(int argc, char** argv) {
   tebis::RunTelemetryOverheadComparison();
   tebis::RunReplicaReadComparison();
   tebis::RunFilterComparison();
+  tebis::RunScrubOverheadComparison();
   return 0;
 }

@@ -102,7 +102,7 @@ Status TebisClient::Issue(PendingOp* op) {
   RpcClient* client = nullptr;
   std::string target;
   const bool replica_eligible =
-      read_mode_ != ReadMode::kPrimaryOnly && !op->force_primary &&
+      (read_mode_ != ReadMode::kPrimaryOnly || op->force_replica) && !op->force_primary &&
       (op->type == MessageType::kGet || op->type == MessageType::kScan);
   for (int attempt = 0; attempt < 3; ++attempt) {
     region = map_->FindRegion(op->key);
@@ -307,6 +307,28 @@ TebisClient::OpResult TebisClient::Complete(OpHandle handle) {
         }
         continue;
       }
+      if (message.rfind("Corruption", 0) == 0 && !op.corruption_retried &&
+          op.attempts < kMaxAttempts &&
+          (op.type == MessageType::kGet || op.type == MessageType::kScan)) {
+        // The serving replica hit rotten bytes on its device (PR 8). The same
+        // shape as the fenced-primary failover: flip the read to the other
+        // side — a replica's corruption retries on the primary; the primary's
+        // retries on a leased replica (healthy copies are byte-identical in
+        // primary space, so any peer can answer). One flip only: if both
+        // sides are rotten, surface the error so repair can be driven.
+        stats_.corruption_retries++;
+        op.corruption_retried = true;
+        if (op.replica) {
+          op.force_primary = true;
+        } else {
+          op.force_replica = true;
+        }
+        if (Status s = Issue(&op); !s.ok()) {
+          pending_.erase(it);
+          return OpResult{s, ""};
+        }
+        continue;
+      }
       if (message.rfind("FailedPrecondition", 0) == 0) {
         // A fenced (deposed) primary, §3.5: it still answers, but its epoch
         // is stale and the write was not replicated. Re-route like a failover.
@@ -325,8 +347,9 @@ TebisClient::OpResult TebisClient::Complete(OpHandle handle) {
         }
         continue;
       }
-      Status status = message.rfind("NotFound", 0) == 0 ? Status::NotFound(message)
-                                                        : Status::Internal(message);
+      Status status = message.rfind("NotFound", 0) == 0     ? Status::NotFound(message)
+                      : message.rfind("Corruption", 0) == 0 ? Status::Corruption(message)
+                                                            : Status::Internal(message);
       pending_.erase(it);
       return OpResult{status, ""};
     }

@@ -36,6 +36,10 @@ struct ClientStats {
   uint64_t map_refreshes = 0;
   uint64_t replica_reads = 0;      // reads issued to a leased backup (PR 6)
   uint64_t replica_fallbacks = 0;  // replica rejected the fence -> primary
+  // Reads re-routed to the other side after a kCorruption reply (PR 8): a
+  // replica served rotten bytes -> retry on the primary; the primary did ->
+  // retry on a leased replica. One flip per op, then the error surfaces.
+  uint64_t corruption_retries = 0;
 };
 
 // Where reads are routed (PR 6). Writes always go to the primary.
@@ -120,6 +124,10 @@ class TebisClient {
     // Replica-read routing (PR 6).
     bool replica = false;        // currently issued to a backup
     bool force_primary = false;  // a replica rejected the fence: stay on primary
+    // Corruption failover (PR 8): the primary answered kCorruption, so prefer
+    // a leased replica even under ReadMode::kPrimaryOnly. One retry only.
+    bool force_replica = false;
+    bool corruption_retried = false;
     uint32_t region_id = 0;      // region it routed to (read-state key)
   };
 

@@ -1,6 +1,7 @@
 #include "src/cluster/region_server.h"
 
 #include "src/cluster/kv_wire.h"
+#include "src/common/crc32.h"
 #include "src/common/logging.h"
 #include "src/net/rpc_client.h"
 #include "src/replication/replication_wire.h"
@@ -607,6 +608,9 @@ void RegionServer::HandleRequest(const MessageHeader& header, std::string payloa
     case MessageType::kSetReplayStart:
       HandleReplicationOp(region.get(), header, payload, ctx);
       return;
+    case MessageType::kRepairFetch:
+      HandleRepairFetch(region.get(), header, payload, ctx);
+      return;
     default:
       ReplyError(ctx, reply_type, Status::InvalidArgument("unexpected message type"));
   }
@@ -848,7 +852,7 @@ void RegionServer::HandleReplicationOp(RegionHandle* region, const MessageHeader
       if (status.ok() && send != nullptr) {
         status = send->HandleIndexSegment(msg.compaction_id, static_cast<int>(msg.dst_level),
                                           static_cast<int>(msg.tree_level), msg.primary_segment,
-                                          msg.data, msg.stream_id);
+                                          msg.data, msg.stream_id, msg.payload_crc);
       }
       break;
     }
@@ -873,7 +877,7 @@ void RegionServer::HandleReplicationOp(RegionHandle* region, const MessageHeader
       if (status.ok() && send != nullptr) {
         status = send->HandleCompactionEnd(msg.compaction_id, static_cast<int>(msg.src_level),
                                            static_cast<int>(msg.dst_level), msg.tree,
-                                           msg.stream_id);
+                                           msg.stream_id, msg.seg_checksums);
       }
       break;
     }
@@ -913,6 +917,181 @@ void RegionServer::HandleReplicationOp(RegionHandle* region, const MessageHeader
     return;
   }
   (void)ctx.SendReply(reply_type, 0, Slice());
+}
+
+void RegionServer::HandleRepairFetch(RegionHandle* region, const MessageHeader& header,
+                                     Slice payload, const ReplyContext& ctx) {
+  const MessageType reply_type = ReplyTypeFor(static_cast<MessageType>(header.type));
+  std::lock_guard<std::mutex> lock(region->mutex);
+  if (region->closed) {
+    (void)ctx.SendReply(reply_type, kFlagWrongRegion, Slice());
+    return;
+  }
+  RepairFetchMsg msg{};
+  if (Status s = DecodeRepairFetch(payload, &msg); !s.ok()) {
+    ReplyError(ctx, reply_type, s);
+    return;
+  }
+  // Fencing: repair bytes cross replicas only within one configuration
+  // generation. A stale donor must never feed bytes into a newer epoch, and a
+  // stale requester must not resurrect bytes a newer epoch replaced — so the
+  // epochs must match exactly, not merely be "new enough".
+  uint64_t local_epoch = 0;
+  StatusOr<std::string> bytes = Status::Internal("unreachable");
+  uint32_t crc = 0;
+  if (region->is_primary) {
+    local_epoch = region->primary->epoch();
+    if (msg.epoch != local_epoch) {
+      ReplyError(ctx, reply_type,
+                 Status::FailedPrecondition("repair fetch epoch " + std::to_string(msg.epoch) +
+                                            " != donor epoch " + std::to_string(local_epoch)));
+      return;
+    }
+    bytes = region->primary->store()->ReadLevelSegmentVerified(
+        static_cast<int>(msg.level), static_cast<size_t>(msg.seg_index));
+    if (bytes.ok()) {
+      crc = Crc32c(bytes->data(), bytes->size());
+    }
+  } else if (region->send_backup != nullptr) {
+    local_epoch = region->send_backup->region_epoch();
+    if (msg.epoch != local_epoch) {
+      ReplyError(ctx, reply_type,
+                 Status::FailedPrecondition("repair fetch epoch " + std::to_string(msg.epoch) +
+                                            " != donor epoch " + std::to_string(local_epoch)));
+      return;
+    }
+    bytes = region->send_backup->ServeRepairFetch(msg.level, msg.seg_index, &crc);
+  } else {
+    ReplyError(ctx, reply_type,
+               Status::FailedPrecondition(
+                   "Build-Index backup holds no primary-space index segments"));
+    return;
+  }
+  if (!bytes.ok()) {
+    ReplyError(ctx, reply_type, bytes.status());
+    return;
+  }
+  const std::string encoded = EncodeRepairSegment(
+      RepairSegmentMsg{local_epoch, msg.level, msg.seg_index, crc, Slice(*bytes)});
+  if (!ctx.ReplyFits(encoded.size())) {
+    (void)ctx.SendReply(reply_type, kFlagTruncatedReply, EncodeTruncatedReply(encoded.size()));
+    return;
+  }
+  (void)ctx.SendReply(reply_type, 0, encoded);
+}
+
+StatusOr<KvStore::ScrubReport> RegionServer::ScrubRegion(uint32_t region_id,
+                                                         const KvStore::ScrubOptions& options) {
+  std::shared_ptr<RegionHandle> handle = FindRegion(region_id);
+  if (handle == nullptr) {
+    return Status::NotFound("region " + std::to_string(region_id));
+  }
+  KvStore* store = nullptr;
+  SendIndexBackupRegion* send = nullptr;
+  {
+    std::lock_guard<std::mutex> lock(handle->mutex);
+    if (handle->closed) {
+      return Status::NotFound("region " + std::to_string(region_id) + " closed");
+    }
+    if (handle->is_primary) {
+      store = handle->primary->store();
+    } else if (handle->send_backup != nullptr) {
+      send = handle->send_backup.get();
+    } else {
+      return Status::FailedPrecondition("Build-Index backup has no shipped index to scrub");
+    }
+  }
+  // Unlocked from here: a paced scrub must not hold the region mutex, or
+  // client ops and the primary's replication calls would stall behind it.
+  return store != nullptr ? store->Scrub(options) : send->Scrub(options);
+}
+
+StatusOr<std::vector<int>> RegionServer::QuarantinedLevels(uint32_t region_id) const {
+  std::shared_ptr<RegionHandle> handle = FindRegion(region_id);
+  if (handle == nullptr) {
+    return Status::NotFound("region " + std::to_string(region_id));
+  }
+  std::lock_guard<std::mutex> lock(handle->mutex);
+  if (handle->closed) {
+    return Status::NotFound("region " + std::to_string(region_id) + " closed");
+  }
+  if (handle->is_primary) {
+    return handle->primary->store()->QuarantinedLevels();
+  }
+  if (handle->send_backup != nullptr) {
+    return handle->send_backup->QuarantinedLevels();
+  }
+  return std::vector<int>{};
+}
+
+Status RegionServer::RepairRegion(uint32_t region_id, RegionServer* peer) {
+  std::shared_ptr<RegionHandle> handle = FindRegion(region_id);
+  if (handle == nullptr) {
+    return Status::NotFound("region " + std::to_string(region_id));
+  }
+  KvStore* store = nullptr;
+  SendIndexBackupRegion* send = nullptr;
+  uint64_t epoch = 0;
+  {
+    std::lock_guard<std::mutex> lock(handle->mutex);
+    if (handle->closed) {
+      return Status::NotFound("region " + std::to_string(region_id) + " closed");
+    }
+    if (handle->is_primary) {
+      store = handle->primary->store();
+      epoch = handle->primary->epoch();
+    } else if (handle->send_backup != nullptr) {
+      send = handle->send_backup.get();
+      epoch = send->region_epoch();
+    } else {
+      return Status::FailedPrecondition("Build-Index backup repairs by rebuilding, not fetching");
+    }
+  }
+  // One connection for the whole repair; a full index segment plus the
+  // repair-reply framing must fit the reply allocation.
+  const size_t reply_alloc = options_.device_options.segment_size + 256;
+  RpcClient client(fabric_,
+                   name_ + ">repair-r" + std::to_string(region_id) + ">" + peer->name(),
+                   peer->replication_endpoint(),
+                   std::max(options_.replication_connection_buffer, 4 * reply_alloc),
+                   telemetry_.get(),
+                   MetricLabels{{"node", name_},
+                                {"region", std::to_string(region_id)},
+                                {"peer", peer->name()}});
+  KvStore::SegmentFetcher fetch = [&](int level, size_t seg_index) -> StatusOr<std::string> {
+    RepairFetchMsg msg{epoch, static_cast<uint32_t>(level), static_cast<uint64_t>(seg_index)};
+    TEBIS_ASSIGN_OR_RETURN(
+        RpcReply reply, client.Call(MessageType::kRepairFetch, region_id, EncodeRepairFetch(msg),
+                                    reply_alloc, /*map_version=*/0,
+                                    options_.replication_policy.call_deadline_ns));
+    if (reply.header.flags & kFlagWrongRegion) {
+      return Status::NotFound("peer " + peer->name() + " does not host region " +
+                              std::to_string(region_id));
+    }
+    if (reply.header.flags & kFlagError) {
+      const std::string detail =
+          "peer " + peer->name() + " rejected repair fetch: " + reply.payload;
+      // Epoch fencing keeps its code across the wire (same contract as the
+      // replication channels): FailedPrecondition means "wrong generation",
+      // never "try another segment".
+      if (reply.payload.rfind("FailedPrecondition", 0) == 0) {
+        return Status::FailedPrecondition(detail);
+      }
+      return Status::Internal(detail);
+    }
+    RepairSegmentMsg seg{};
+    TEBIS_RETURN_IF_ERROR(DecodeRepairSegment(Slice(reply.payload), &seg));
+    if (seg.level != static_cast<uint32_t>(level) || seg.seg_index != seg_index) {
+      return Status::Internal("repair reply addresses the wrong segment");
+    }
+    if (Crc32c(seg.data.data(), seg.data.size()) != seg.crc) {
+      return Status::Corruption("repair segment for level " + std::to_string(level) +
+                                " mangled in flight");
+    }
+    return std::string(seg.data.data(), seg.data.size());
+  };
+  return store != nullptr ? store->RepairQuarantinedLevels(fetch)
+                          : send->RepairQuarantinedLevels(fetch);
 }
 
 RegionServerStats RegionServer::Aggregate() const {

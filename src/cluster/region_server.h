@@ -145,6 +145,29 @@ class RegionServer {
   // from promotion through the new primary (replicated).
   Status ReplayPromotionBuffer(uint32_t region_id);
 
+  // --- integrity (PR 8) ---
+
+  // Scrubs one hosted region (primary or Send-Index backup role) against its
+  // segment checksums, quarantining levels that fail. Build-Index backups own
+  // no checksummed shipped index and answer FailedPrecondition. The engine
+  // pointer is resolved once under the region lock and the scrub then runs
+  // unlocked (the engines are internally thread-safe), so a paced scrub never
+  // stalls client or replication traffic; admin role changes (promote/demote)
+  // must not race an in-flight scrub.
+  StatusOr<KvStore::ScrubReport> ScrubRegion(uint32_t region_id,
+                                             const KvStore::ScrubOptions& options);
+  StatusOr<KvStore::ScrubReport> ScrubRegion(uint32_t region_id) {
+    return ScrubRegion(region_id, KvStore::ScrubOptions());
+  }
+  StatusOr<std::vector<int>> QuarantinedLevels(uint32_t region_id) const;
+  // Online repair: re-fetches every bad segment of the local region's
+  // quarantined levels from `peer` — any replica of the region at the same
+  // epoch — over kRepairFetch/kRepairSegment, verifies the bytes against the
+  // retained primary-space checksums, and reinstalls them. Works for a local
+  // primary (donor: a backup) and a local Send-Index backup (donor: the
+  // primary or another backup).
+  Status RepairRegion(uint32_t region_id, RegionServer* peer);
+
   void SetRegionMap(std::shared_ptr<const RegionMap> map);
   std::shared_ptr<const RegionMap> region_map() const;
 
@@ -193,6 +216,12 @@ class RegionServer {
                          const ReplyContext& ctx);
   void HandleReplicationOp(RegionHandle* region, const MessageHeader& header, Slice payload,
                            const ReplyContext& ctx);
+  // Donor side of online repair (PR 8): answers kRepairFetch with the good,
+  // verified bytes of one index segment in primary space. Unlike the other
+  // replication ops this is served by primary AND backup handles — any healthy
+  // replica at the requester's epoch can donate.
+  void HandleRepairFetch(RegionHandle* region, const MessageHeader& header, Slice payload,
+                         const ReplyContext& ctx);
   // Returns a shared ref so a concurrent CloseRegion (handover discard path)
   // cannot free the handle out from under an op that already resolved it.
   std::shared_ptr<RegionHandle> FindRegion(uint32_t region_id) const;

@@ -3,6 +3,7 @@
 #include <cstring>
 #include <optional>
 
+#include "src/common/crc32.h"
 #include "src/lsm/bloom_filter.h"
 
 namespace tebis {
@@ -102,6 +103,8 @@ Status BTreeBuilder::FlushStream(size_t level) {
   Slice bytes(state.segment_buf.get(), state.segment_pos);
   TEBIS_RETURN_IF_ERROR(device_->Write(base, bytes, io_class_));
   bytes_written_ += state.segment_pos;
+  seg_crcs_[state.segment] = SegmentChecksum{Crc32c(bytes.data(), bytes.size()),
+                                             static_cast<uint32_t>(bytes.size())};
   if (sink_ != nullptr) {
     sink_->OnSegmentComplete(static_cast<int>(level), state.segment, bytes);
   }
@@ -193,6 +196,16 @@ StatusOr<BuiltTree> BTreeBuilder::Finish() {
   tree.num_entries = num_entries_;
   tree.segments = segments_;
   tree.bytes_written = bytes_written_;
+  // Every segment in segments_ was flushed exactly once, so the checksum map
+  // covers them all; assemble in segments_ order (parallel vectors).
+  tree.seg_checksums.reserve(segments_.size());
+  for (SegmentId segment : segments_) {
+    auto it = seg_crcs_.find(segment);
+    if (it == seg_crcs_.end()) {
+      return Status::Internal("segment " + std::to_string(segment) + " missing checksum");
+    }
+    tree.seg_checksums.push_back(it->second);
+  }
   if (filter_builder_ != nullptr && filter_builder_->num_keys() > 0) {
     tree.filter = std::make_shared<const std::string>(filter_builder_->Finish());
   }

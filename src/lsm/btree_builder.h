@@ -8,6 +8,7 @@
 #ifndef TEBIS_LSM_BTREE_BUILDER_H_
 #define TEBIS_LSM_BTREE_BUILDER_H_
 
+#include <map>
 #include <memory>
 #include <string>
 #include <vector>
@@ -18,6 +19,17 @@
 #include "src/storage/block_device.h"
 
 namespace tebis {
+
+// Integrity fingerprint of one index segment (PR 8): CRC32C over the used
+// prefix exactly as the builder wrote it in one large device write.
+struct SegmentChecksum {
+  uint32_t crc = 0;
+  uint32_t length = 0;  // used prefix, whole nodes only
+
+  bool operator==(const SegmentChecksum& other) const {
+    return crc == other.crc && length == other.length;
+  }
+};
 
 // A finished on-device B+ tree (one LSM level).
 struct BuiltTree {
@@ -32,8 +44,16 @@ struct BuiltTree {
   // tree is copied by value through publication, checkpointing, shipping and
   // promotion, and the filter must travel with every copy.
   std::shared_ptr<const std::string> filter;
+  // Parallel to `segments` (PR 8): per-segment checksums in the same device
+  // space as the offsets in `segments`. Empty = unchecksummed (manifest <= v3
+  // stores, trees assembled before this field existed); read-path verification
+  // then degrades to the structural node checks.
+  std::vector<SegmentChecksum> seg_checksums;
 
   bool empty() const { return root_offset == kInvalidOffset; }
+  bool checksummed() const {
+    return !segments.empty() && seg_checksums.size() == segments.size();
+  }
 };
 
 // Observes completed index segments as they are produced.
@@ -88,6 +108,7 @@ class BTreeBuilder {
   uint64_t num_entries_ = 0;
   uint64_t bytes_written_ = 0;
   std::vector<SegmentId> segments_;
+  std::map<SegmentId, SegmentChecksum> seg_crcs_;  // filled at FlushStream
   bool finished_ = false;
 };
 

@@ -1,12 +1,22 @@
 #include "src/lsm/btree_reader.h"
 
+#include "src/lsm/segment_verifier.h"
+
 namespace tebis {
 
 BTreeReader::BTreeReader(BlockDevice* device, PageCache* cache, size_t node_size,
-                         const BuiltTree& tree, IoClass io_class)
-    : device_(device), cache_(cache), node_size_(node_size), tree_(tree), io_class_(io_class) {}
+                         const BuiltTree& tree, IoClass io_class, SegmentVerifier* verifier)
+    : device_(device),
+      cache_(cache),
+      node_size_(node_size),
+      tree_(tree),
+      io_class_(io_class),
+      verifier_(verifier) {}
 
 Status BTreeReader::ReadNode(uint64_t offset, std::string* buf) const {
+  if (verifier_ != nullptr) {
+    TEBIS_RETURN_IF_ERROR(verifier_->VerifyForOffset(offset, io_class_));
+  }
   buf->resize(node_size_);
   if (cache_ != nullptr) {
     return cache_->Read(offset, node_size_, buf->data(), io_class_);

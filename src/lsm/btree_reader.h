@@ -21,11 +21,17 @@ namespace tebis {
 // ties with the probe key).
 using FullKeyLoader = std::function<StatusOr<std::string>(uint64_t log_offset)>;
 
+class SegmentVerifier;
+
 class BTreeReader {
  public:
-  // `cache` may be null (direct reads). The reader does not own anything.
+  // `cache` may be null (direct reads). `verifier` may be null (unchecksummed
+  // tree); when set, every node read first checks its segment's CRC verdict —
+  // a quarantined segment fails the read with kCorruption rather than serving
+  // possibly-rotten bytes (even ones already sitting clean in the page
+  // cache, so readers and the scrubber agree). The reader owns nothing.
   BTreeReader(BlockDevice* device, PageCache* cache, size_t node_size, const BuiltTree& tree,
-              IoClass io_class);
+              IoClass io_class, SegmentVerifier* verifier = nullptr);
 
   // Returns the value-log offset of `key`, or NotFound.
   StatusOr<uint64_t> Find(Slice key, const FullKeyLoader& full_key) const;
@@ -38,6 +44,7 @@ class BTreeReader {
   const size_t node_size_;
   const BuiltTree tree_;
   const IoClass io_class_;
+  SegmentVerifier* const verifier_;
 
   friend class BTreeIterator;
 };

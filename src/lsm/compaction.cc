@@ -34,8 +34,9 @@ Status MemtableMergeSource::Next() {
 // --- LevelMergeSource ----------------------------------------------------------
 
 LevelMergeSource::LevelMergeSource(BlockDevice* device, size_t node_size, const BuiltTree& tree,
-                                   const ValueLog* log)
-    : reader_(device, /*cache=*/nullptr, node_size, tree, IoClass::kCompactionRead),
+                                   const ValueLog* log, SegmentVerifier* verifier,
+                                   IoClass io_class)
+    : reader_(device, /*cache=*/nullptr, node_size, tree, io_class, verifier),
       it_(&reader_),
       log_(log) {}
 

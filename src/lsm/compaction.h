@@ -55,8 +55,11 @@ class MemtableMergeSource : public MergeSource {
 // is precisely the read traffic Send-Index removes from backups.
 class LevelMergeSource : public MergeSource {
  public:
+  // `verifier`, when set, checks every node's segment CRC before the node is
+  // trusted (PR 8: scans and compaction reads refuse quarantined segments).
   LevelMergeSource(BlockDevice* device, size_t node_size, const BuiltTree& tree,
-                   const ValueLog* log);
+                   const ValueLog* log, SegmentVerifier* verifier = nullptr,
+                   IoClass io_class = IoClass::kCompactionRead);
   // Positions at the first key >= `start` (whole level when `start` is empty).
   Status Init(Slice start = Slice());
 

@@ -36,6 +36,7 @@
 
 #include <atomic>
 #include <condition_variable>
+#include <functional>
 #include <memory>
 #include <mutex>
 #include <string>
@@ -47,6 +48,7 @@
 #include "src/lsm/btree_reader.h"
 #include "src/lsm/memtable.h"
 #include "src/lsm/page_cache.h"
+#include "src/lsm/segment_verifier.h"
 #include "src/lsm/value_log.h"
 #include "src/replication/compaction_stream.h"  // header-only: StreamId
 #include "src/storage/block_device.h"
@@ -186,6 +188,13 @@ struct KvStoreStats {
   uint64_t filter_checks = 0;           // level probes that consulted a filter
   uint64_t filter_negatives = 0;        // probes the filter excluded (tree skipped)
   uint64_t filter_false_positives = 0;  // filter said maybe, tree said NotFound
+  // End-to-end integrity (PR 8).
+  uint64_t scrub_bytes = 0;             // bytes read back and CRC-checked by scrubs
+  uint64_t corruptions_found = 0;       // segments whose CRC check failed
+  uint64_t corruptions_repaired = 0;    // segments rewritten from a peer and re-verified
+  uint64_t repair_fetches = 0;          // peer fetches issued during repair
+  uint64_t read_corruptions = 0;        // reads that hit a corrupt record/segment
+  uint64_t quarantined_levels = 0;      // levels currently refusing reads
 };
 
 struct KvPair {
@@ -262,6 +271,61 @@ class KvStore {
   };
   StatusOr<IntegrityReport> CheckIntegrity();
 
+  // --- integrity: scrub / quarantine / online repair (PR 8) ---------------
+  //
+  // Every published level carries per-segment CRC32C checksums (manifest v4,
+  // computed by BTreeBuilder at seal time). Reads verify a segment the first
+  // time they touch it; the scrubber re-verifies everything. A segment whose
+  // check fails quarantines its level: every read of that level returns
+  // kCorruption until RepairQuarantinedLevels rewrites the segment with good
+  // bytes from a peer replica (byte-identical in primary space, §3.3) and the
+  // re-check passes.
+
+  struct ScrubOptions {
+    // Token-bucket pacing cap on scrub read bandwidth (0 = unpaced). Burst is
+    // one segment, matching the PR 4 write-slowdown bucket shape.
+    uint64_t bytes_per_sec = 0;
+    // Also walk every flushed value-log segment end to end (record CRCs).
+    bool include_value_log = true;
+  };
+  struct ScrubReport {
+    uint64_t bytes_scrubbed = 0;
+    uint64_t corruptions_found = 0;
+    std::vector<int> quarantined_levels;
+  };
+  // Force-re-verifies every checksummed segment of every published level
+  // (plus the value log) against its CRC. Concurrent with reads and writes;
+  // corrupt segments are quarantined, not repaired. Returns the report even
+  // when corruption was found (the report carries the damage).
+  StatusOr<ScrubReport> Scrub(const ScrubOptions& options);
+  StatusOr<ScrubReport> Scrub() { return Scrub(ScrubOptions()); }
+
+  // Dispatches Scrub onto the compaction pool as a low-priority background
+  // job. `done` (may be null) fires on the worker with the report.
+  Status ScheduleScrub(const ScrubOptions& options,
+                       std::function<void(const StatusOr<ScrubReport>&)> done = nullptr);
+
+  // Levels currently refusing reads because a segment failed its CRC check.
+  std::vector<int> QuarantinedLevels() const;
+
+  // Fetches replacement bytes for one quarantined index segment: the full
+  // checksummed prefix of segment `seg_index` (position within the level's
+  // segment list) of `level`, in this store's address space.
+  using SegmentFetcher = std::function<StatusOr<std::string>(int level, size_t seg_index)>;
+
+  // Online repair: for every quarantined level, re-fetches each bad segment
+  // through `fetch`, verifies the bytes against the expected CRC, writes them
+  // back in place, drops stale cache pages, and lifts the quarantine once the
+  // re-check passes. Runs under the writer lock with background work drained
+  // (level sets are stable); concurrent reads keep failing until the segment
+  // verdict flips back.
+  Status RepairQuarantinedLevels(const SegmentFetcher& fetch);
+
+  // Serves a repair fetch: reads the checksummed prefix of segment `seg_index`
+  // of `level` and returns it only if its CRC matches (a corrupt peer must
+  // never propagate rot). This is the donor side of RepairQuarantinedLevels.
+  StatusOr<std::string> ReadLevelSegmentVerified(int level, size_t seg_index);
+
   // --- checkpoint / local recovery ---------------------------------------
 
   // Persists a manifest (levels, flushed log segments, L0 replay boundary)
@@ -332,6 +396,10 @@ class KvStore {
     BlockDevice* device = nullptr;
     PageCache* cache = nullptr;
     BuiltTree tree;
+    // Non-null when the tree carries segment checksums (PR 8): shared verdict
+    // state for every reader of this publication. Readers check it per node;
+    // the scrubber force-re-verifies through it; repair resets it.
+    std::unique_ptr<SegmentVerifier> verifier;
     std::atomic<bool> retire{false};
 
     TreeHandle(BlockDevice* d, PageCache* c, BuiltTree t)
@@ -391,12 +459,29 @@ class KvStore {
     std::vector<Counter*> filter_negatives;
     std::vector<Counter*> filter_false_positives;
     std::vector<Gauge*> filter_bits_per_key;  // set when a level publishes
+    // Integrity plane (PR 8).
+    Counter* scrub_bytes = nullptr;
+    Counter* scrub_corruptions_found = nullptr;
+    Counter* corruptions_repaired = nullptr;
+    Counter* repair_fetches = nullptr;
+    Gauge* quarantined_levels = nullptr;
+    Counter* read_corruptions_log = nullptr;    // kv.read_corruptions{source=value_log}
+    Counter* read_corruptions_level = nullptr;  // kv.read_corruptions{source=level}
   };
 
   KvStore(BlockDevice* device, const KvStoreOptions& options);
 
-  TreeRef MakeHandle(BuiltTree tree) {
-    return std::make_shared<TreeHandle>(device_, cache_.get(), std::move(tree));
+  // `level` (when >= 0) labels the verifier for corruption messages and
+  // telemetry; checksummed trees get a SegmentVerifier, legacy (manifest v3)
+  // trees read unverified.
+  TreeRef MakeHandle(BuiltTree tree, int level = -1) {
+    auto handle = std::make_shared<TreeHandle>(device_, cache_.get(), std::move(tree));
+    if (handle->tree.checksummed()) {
+      handle->verifier = std::make_unique<SegmentVerifier>(
+          device_, handle->tree.segments, handle->tree.seg_checksums,
+          level >= 0 ? "L" + std::to_string(level) : "level");
+    }
+    return handle;
   }
 
   ReadSnapshot TakeReadSnapshot() const;
@@ -449,6 +534,9 @@ class KvStore {
   // compaction is untraced or the ring is disabled.
   void RecordSpan(const CompactionInfo& info, const char* name, uint64_t start_ns,
                   uint64_t end_ns, uint64_t bytes = 0) const;
+
+  // Publishes the current quarantined-level count to the integrity gauge.
+  void UpdateQuarantineGauge();
 
   // Waits until every background job is idle; returns the sticky error.
   // write_mutex_ must be held (blocks new seals).

@@ -21,6 +21,13 @@ std::string Manifest::Encode(uint32_t version) const {
       // Per-level filter block, empty when the tree carries none.
       w.Bytes(tree.filter != nullptr ? Slice(*tree.filter) : Slice());
     }
+    if (version >= 4) {
+      // Per-segment checksums; 0 entries when the tree is unchecksummed.
+      w.U32(static_cast<uint32_t>(tree.seg_checksums.size()));
+      for (const SegmentChecksum& sc : tree.seg_checksums) {
+        w.U32(sc.crc).U32(sc.length);
+      }
+    }
   }
   w.U32(static_cast<uint32_t>(log_flushed_segments.size()));
   for (SegmentId seg : log_flushed_segments) {
@@ -79,6 +86,19 @@ StatusOr<Manifest> Manifest::Decode(Slice data) {
       TEBIS_RETURN_IF_ERROR(r.Bytes(&filter));
       if (!filter.empty()) {
         tree.filter = std::make_shared<const std::string>(std::move(filter));
+      }
+    }
+    if (version >= 4) {
+      uint32_t num_checksums;
+      TEBIS_RETURN_IF_ERROR(r.U32(&num_checksums));
+      if (num_checksums != 0 && num_checksums != num_segments) {
+        return Status::Corruption("manifest segment-checksum count mismatch");
+      }
+      for (uint32_t s = 0; s < num_checksums; ++s) {
+        SegmentChecksum sc;
+        TEBIS_RETURN_IF_ERROR(r.U32(&sc.crc));
+        TEBIS_RETURN_IF_ERROR(r.U32(&sc.length));
+        tree.seg_checksums.push_back(sc);
       }
     }
     manifest.levels.push_back(std::move(tree));

@@ -20,7 +20,10 @@ inline constexpr uint32_t kManifestMagic = 0x5442'4D46;  // "TBMF"
 // v2: per-level content CRCs (torn index-segment detection on recovery).
 // v3: per-level bloom filter blocks (PR 7). Decode still accepts v2 — a
 // pre-filter store opens with null filters and reads simply never skip.
-inline constexpr uint32_t kManifestVersion = 3;
+// v4: per-segment {crc, length} checksums (PR 8). Decode still accepts
+// v2/v3 — an old store opens with empty seg_checksums and the read path
+// falls back to the structural node checks until the next compaction.
+inline constexpr uint32_t kManifestVersion = 4;
 inline constexpr uint32_t kMinManifestVersion = 2;
 
 struct Manifest {

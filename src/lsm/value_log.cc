@@ -184,6 +184,12 @@ Status ValueLog::ReadRecord(uint64_t offset, LogRecord* out, PageCache* cache,
     return Status::Corruption("bad key size in log record");
   }
   const size_t need = LogRecordSize(key_size, value_size);
+  // A record never crosses a segment boundary, so a size that would is a
+  // corrupt header — report it as such, not as a device-geometry error.
+  if (need > geometry.segment_size() - in_segment) {
+    return Status::Corruption("record size overruns segment at offset " +
+                              std::to_string(offset));
+  }
   std::string buf;
   buf.resize(need);
   memcpy(buf.data(), header, kLogRecordHeaderSize);
@@ -229,6 +235,11 @@ Status ValueLog::ReadKey(uint64_t offset, std::string* key, bool* tombstone, Pag
   const uint32_t key_size = DecodeU32(header);
   if (key_size == 0 || key_size == kPadMarker || key_size > kMaxKeySize) {
     return Status::Corruption("bad key size in log record");
+  }
+  if (kLogRecordHeaderSize + static_cast<uint64_t>(key_size) >
+      geometry.segment_size() - in_segment) {
+    return Status::Corruption("record key overruns segment at offset " +
+                              std::to_string(offset));
   }
   if (tombstone != nullptr) {
     *tombstone = (header[8] & kRecordFlagTombstone) != 0;

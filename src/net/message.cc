@@ -87,6 +87,10 @@ const char* MessageTypeName(MessageType type) {
       return "FilterBlock";
     case MessageType::kFilterBlockReply:
       return "FilterBlockReply";
+    case MessageType::kRepairFetch:
+      return "RepairFetch";
+    case MessageType::kRepairSegment:
+      return "RepairSegment";
   }
   return "?";
 }

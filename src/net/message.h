@@ -64,6 +64,11 @@ enum class MessageType : uint16_t {
   // primary ships between the last index segment and CompactionEnd.
   kFilterBlock,
   kFilterBlockReply,
+  // Online repair (PR 8): a replica with a quarantined level re-fetches the
+  // good verbatim segment bytes from any peer at the same epoch. kRepairFetch
+  // is the request; kRepairSegment is its reply, carrying the bytes.
+  kRepairFetch,
+  kRepairSegment,
 };
 
 const char* MessageTypeName(MessageType type);

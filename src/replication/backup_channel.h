@@ -21,6 +21,7 @@
 #include <mutex>
 #include <string>
 #include <utility>
+#include <vector>
 
 #include "src/common/slice.h"
 #include "src/common/status.h"
@@ -53,11 +54,17 @@ class BackupChannel {
   // backup can run one rewrite state machine per stream.
   virtual Status CompactionBegin(uint64_t compaction_id, int src_level, int dst_level,
                                  StreamId stream = 0) = 0;
+  // `payload_crc` (PR 8), when non-zero, is the CRC32C of `bytes`; the backup
+  // rejects a segment mangled in flight before rewriting any pointer.
   virtual Status ShipIndexSegment(uint64_t compaction_id, int dst_level, int tree_level,
-                                  SegmentId primary_segment, Slice bytes,
-                                  StreamId stream = 0) = 0;
+                                  SegmentId primary_segment, Slice bytes, StreamId stream = 0,
+                                  uint32_t payload_crc = 0) = 0;
+  // `seg_checksums` (PR 8), when non-empty, are the primary's per-segment
+  // CRCs parallel to primary_tree.segments; the backup retains them to serve
+  // and validate primary-space repair fetches.
   virtual Status CompactionEnd(uint64_t compaction_id, int src_level, int dst_level,
-                               const BuiltTree& primary_tree, StreamId stream = 0) = 0;
+                               const BuiltTree& primary_tree, StreamId stream = 0,
+                               const std::vector<SegmentChecksum>& seg_checksums = {}) = 0;
 
   // Shipped bloom filters (PR 7): the serialized filter block for the level
   // this compaction produces, sent between the last index segment and

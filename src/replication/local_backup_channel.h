@@ -79,18 +79,19 @@ class LocalBackupChannel : public BackupChannel {
   }
 
   Status ShipIndexSegment(uint64_t compaction_id, int dst_level, int tree_level,
-                          SegmentId primary_segment, Slice bytes,
-                          StreamId stream = 0) override {
+                          SegmentId primary_segment, Slice bytes, StreamId stream = 0,
+                          uint32_t payload_crc = 0) override {
     if (send_backup_ == nullptr) {
       return Status::Ok();
     }
     // The segment body is the dominant network cost of Send-Index.
     Status status =
         WithRetry(FaultSite::kReplIndexSegmentSend, FaultSite::kReplIndexSegmentAck,
-                  /*has_ack=*/true, bytes.size() + 40, [&] {
+                  /*has_ack=*/true, bytes.size() + 44, [&] {
                     TEBIS_RETURN_IF_ERROR(CheckBackupEpoch());
                     return send_backup_->HandleIndexSegment(compaction_id, dst_level, tree_level,
-                                                            primary_segment, bytes, stream);
+                                                            primary_segment, bytes, stream,
+                                                            payload_crc);
                   });
     if (status.ok()) {
       // The ack doubles as the window update: the backup has finished its
@@ -101,17 +102,20 @@ class LocalBackupChannel : public BackupChannel {
   }
 
   Status CompactionEnd(uint64_t compaction_id, int src_level, int dst_level,
-                       const BuiltTree& primary_tree, StreamId stream = 0) override {
+                       const BuiltTree& primary_tree, StreamId stream = 0,
+                       const std::vector<SegmentChecksum>& seg_checksums = {}) override {
     if (send_backup_ == nullptr) {
       return Status::Ok();
     }
-    CompactionEndMsg msg{epoch(), compaction_id, static_cast<uint32_t>(src_level),
-                         static_cast<uint32_t>(dst_level), primary_tree, stream};
+    CompactionEndMsg msg{epoch(),  compaction_id, static_cast<uint32_t>(src_level),
+                         static_cast<uint32_t>(dst_level), primary_tree, stream,
+                         seg_checksums};
     return WithRetry(FaultSite::kReplCompactionEndSend, FaultSite::kReplCompactionEndAck,
                      /*has_ack=*/true, EncodeCompactionEnd(msg).size(), [&] {
                        TEBIS_RETURN_IF_ERROR(CheckBackupEpoch());
                        return send_backup_->HandleCompactionEnd(compaction_id, src_level,
-                                                                dst_level, primary_tree, stream);
+                                                                dst_level, primary_tree, stream,
+                                                                seg_checksums);
                      });
   }
 

@@ -1,6 +1,7 @@
 #include "src/replication/primary_region.h"
 
 #include "src/common/clock.h"
+#include "src/common/crc32.h"
 #include "src/common/logging.h"
 
 namespace tebis {
@@ -475,17 +476,24 @@ Status PrimaryRegion::FullSync(BackupChannel* channel) {
       }
       Status status = [&]() -> Status {
         TEBIS_RETURN_IF_ERROR(channel->CompactionBegin(sync_id, 0, static_cast<int>(i), stream));
-        for (SegmentId seg : tree.segments) {
-          TEBIS_RETURN_IF_ERROR(device_->Read(device_->geometry().BaseOffset(seg), seg_size,
+        for (size_t s = 0; s < tree.segments.size(); ++s) {
+          const SegmentId seg = tree.segments[s];
+          // With a checksummed level (PR 8) ship exactly the fingerprinted
+          // used prefix, CRC-stamped — the backup verifies the wire bytes and
+          // retains the primary checksums for repair interchange.
+          const uint64_t length = tree.checksummed() ? tree.seg_checksums[s].length : seg_size;
+          const uint32_t crc = tree.checksummed() ? tree.seg_checksums[s].crc : 0;
+          TEBIS_RETURN_IF_ERROR(device_->Read(device_->geometry().BaseOffset(seg), length,
                                               buf.data(), IoClass::kRecovery));
-          TEBIS_RETURN_IF_ERROR(
-              channel->ShipIndexSegment(sync_id, static_cast<int>(i), 0, seg, Slice(buf), stream));
+          TEBIS_RETURN_IF_ERROR(channel->ShipIndexSegment(sync_id, static_cast<int>(i), 0, seg,
+                                                          Slice(buf.data(), length), stream, crc));
         }
         if (tree.filter != nullptr) {
           TEBIS_RETURN_IF_ERROR(channel->ShipFilterBlock(sync_id, static_cast<int>(i),
                                                          Slice(*tree.filter), stream));
         }
-        return channel->CompactionEnd(sync_id, 0, static_cast<int>(i), tree, stream);
+        return channel->CompactionEnd(sync_id, 0, static_cast<int>(i), tree, stream,
+                                      tree.seg_checksums);
       }();
       {
         std::lock_guard<std::recursive_mutex> lock(region_mutex_);
@@ -642,9 +650,12 @@ void PrimaryRegion::OnIndexSegment(const CompactionInfo& info, int tree_level, S
   const uint64_t ship_start_ns = NowNanos();
   {
     ScopedCpuTimer timer(&cpu_ns);
+    // Fingerprint once, fan out to every backup: each receiver proves the
+    // bytes survived the wire before rewriting a single pointer (PR 8).
+    const uint32_t payload_crc = Crc32c(bytes.data(), bytes.size());
     FanOut(stream, /*flow_bytes=*/bytes.size(), [&](BackupChannel* channel) {
       return channel->ShipIndexSegment(info.compaction_id, info.dst_level, tree_level, segment,
-                                       bytes, stream);
+                                       bytes, stream, payload_crc);
     });
   }
   RecordSpan(info, "ship_segment", ship_start_ns, NowNanos(), bytes.size());
@@ -679,7 +690,7 @@ void PrimaryRegion::OnCompactionEnd(const CompactionInfo& info, const BuiltTree&
     }
     FanOut(stream, /*flow_bytes=*/0, [&](BackupChannel* channel) {
       return channel->CompactionEnd(info.compaction_id, info.src_level, info.dst_level, new_tree,
-                                    stream);
+                                    stream, new_tree.seg_checksums);
     });
   }
   {

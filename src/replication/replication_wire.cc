@@ -41,6 +41,11 @@ std::string EncodeIndexSegment(const IndexSegmentMsg& msg) {
       .U64(msg.primary_segment)
       .Bytes(msg.data)
       .U32(msg.stream_id);
+  // Trailing (PR 8): written only when set, so an uncheck-summed message stays
+  // byte-identical to the pre-PR 8 encoding (any strict prefix still fails).
+  if (msg.payload_crc != 0) {
+    w.U32(msg.payload_crc);
+  }
   return w.str();
 }
 
@@ -52,7 +57,12 @@ Status DecodeIndexSegment(Slice payload, IndexSegmentMsg* out) {
   TEBIS_RETURN_IF_ERROR(r.U32(&out->tree_level));
   TEBIS_RETURN_IF_ERROR(r.U64(&out->primary_segment));
   TEBIS_RETURN_IF_ERROR(r.BytesView(&out->data));
-  return r.U32(&out->stream_id);
+  TEBIS_RETURN_IF_ERROR(r.U32(&out->stream_id));
+  out->payload_crc = 0;  // pre-PR 8 sender: unchecked
+  if (r.remaining() > 0) {
+    TEBIS_RETURN_IF_ERROR(r.U32(&out->payload_crc));
+  }
+  return Status::Ok();
 }
 
 std::string EncodeCompactionEnd(const CompactionEndMsg& msg) {
@@ -65,6 +75,16 @@ std::string EncodeCompactionEnd(const CompactionEndMsg& msg) {
     w.U64(seg);
   }
   w.U32(msg.stream_id);
+  // Trailing (PR 8): the primary's per-segment checksums, parallel to
+  // tree.segments. Old decoders stop at stream_id and never see them; written
+  // only when present so the unchecksummed encoding stays byte-identical to
+  // the pre-PR 8 format (any strict prefix of it still fails to decode).
+  if (!msg.seg_checksums.empty()) {
+    w.U32(static_cast<uint32_t>(msg.seg_checksums.size()));
+    for (const SegmentChecksum& sc : msg.seg_checksums) {
+      w.U32(sc.crc).U32(sc.length);
+    }
+  }
   return w.str();
 }
 
@@ -86,7 +106,22 @@ Status DecodeCompactionEnd(Slice payload, CompactionEndMsg* out) {
     TEBIS_RETURN_IF_ERROR(r.U64(&seg));
     out->tree.segments.push_back(seg);
   }
-  return r.U32(&out->stream_id);
+  TEBIS_RETURN_IF_ERROR(r.U32(&out->stream_id));
+  out->seg_checksums.clear();
+  if (r.remaining() > 0) {
+    uint32_t num_checksums;
+    TEBIS_RETURN_IF_ERROR(r.U32(&num_checksums));
+    if (num_checksums != 0 && num_checksums != n) {
+      return Status::Corruption("CompactionEnd segment-checksum count mismatch");
+    }
+    for (uint32_t i = 0; i < num_checksums; ++i) {
+      SegmentChecksum sc;
+      TEBIS_RETURN_IF_ERROR(r.U32(&sc.crc));
+      TEBIS_RETURN_IF_ERROR(r.U32(&sc.length));
+      out->seg_checksums.push_back(sc);
+    }
+  }
+  return Status::Ok();
 }
 
 std::string EncodeFilterBlock(const FilterBlockMsg& msg) {
@@ -115,6 +150,34 @@ Status DecodeTrimLog(Slice payload, TrimLogMsg* out) {
   WireReader r(payload);
   TEBIS_RETURN_IF_ERROR(r.U64(&out->epoch));
   return r.U32(&out->segments);
+}
+
+std::string EncodeRepairFetch(const RepairFetchMsg& msg) {
+  WireWriter w;
+  w.U64(msg.epoch).U32(msg.level).U64(msg.seg_index);
+  return w.str();
+}
+
+Status DecodeRepairFetch(Slice payload, RepairFetchMsg* out) {
+  WireReader r(payload);
+  TEBIS_RETURN_IF_ERROR(r.U64(&out->epoch));
+  TEBIS_RETURN_IF_ERROR(r.U32(&out->level));
+  return r.U64(&out->seg_index);
+}
+
+std::string EncodeRepairSegment(const RepairSegmentMsg& msg) {
+  WireWriter w;
+  w.U64(msg.epoch).U32(msg.level).U64(msg.seg_index).U32(msg.crc).Bytes(msg.data);
+  return w.str();
+}
+
+Status DecodeRepairSegment(Slice payload, RepairSegmentMsg* out) {
+  WireReader r(payload);
+  TEBIS_RETURN_IF_ERROR(r.U64(&out->epoch));
+  TEBIS_RETURN_IF_ERROR(r.U32(&out->level));
+  TEBIS_RETURN_IF_ERROR(r.U64(&out->seg_index));
+  TEBIS_RETURN_IF_ERROR(r.U32(&out->crc));
+  return r.BytesView(&out->data);
 }
 
 }  // namespace tebis

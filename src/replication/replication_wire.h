@@ -46,6 +46,10 @@ struct IndexSegmentMsg {
   SegmentId primary_segment;
   Slice data;  // view into the payload
   StreamId stream_id = 0;
+  // CRC32C of `data` (PR 8): lets the backup reject a segment mangled in
+  // flight before rewriting pointers. Trailing field — pre-PR 8 encodings
+  // decode with 0, which the receiver treats as "unchecked".
+  uint32_t payload_crc = 0;
 };
 
 struct CompactionEndMsg {
@@ -55,6 +59,10 @@ struct CompactionEndMsg {
   uint32_t dst_level;
   BuiltTree tree;  // the primary's tree description (root, height, segments)
   StreamId stream_id = 0;
+  // Per-segment checksums of the primary's level bytes, parallel to
+  // tree.segments (PR 8). Trailing; absent in pre-PR 8 encodings. The backup
+  // keeps them to serve (and validate) repair fetches in primary space.
+  std::vector<SegmentChecksum> seg_checksums;
 };
 
 // Bloom filter block for the level a compaction is producing (PR 7): the
@@ -71,6 +79,26 @@ struct FilterBlockMsg {
 struct TrimLogMsg {
   uint64_t epoch = 0;
   uint32_t segments;
+};
+
+// Online repair (PR 8). A replica with a quarantined level asks any peer at
+// the same epoch for the good bytes of one index segment, addressed in
+// primary space: (level, seg_index) — the position within the level's segment
+// list — names identical bytes on every replica (§3.3 byte identity).
+struct RepairFetchMsg {
+  uint64_t epoch = 0;
+  uint32_t level = 0;
+  uint64_t seg_index = 0;
+};
+
+// The peer's reply: the checksummed used prefix of that segment, in primary
+// space, plus the CRC the requester verifies before installing.
+struct RepairSegmentMsg {
+  uint64_t epoch = 0;
+  uint32_t level = 0;
+  uint64_t seg_index = 0;
+  uint32_t crc = 0;  // CRC32C of data
+  Slice data;        // view into the payload
 };
 
 std::string EncodeFlushLog(const FlushLogMsg& msg);
@@ -90,6 +118,12 @@ Status DecodeFilterBlock(Slice payload, FilterBlockMsg* out);
 
 std::string EncodeTrimLog(const TrimLogMsg& msg);
 Status DecodeTrimLog(Slice payload, TrimLogMsg* out);
+
+std::string EncodeRepairFetch(const RepairFetchMsg& msg);
+Status DecodeRepairFetch(Slice payload, RepairFetchMsg* out);
+
+std::string EncodeRepairSegment(const RepairSegmentMsg& msg);
+Status DecodeRepairSegment(Slice payload, RepairSegmentMsg* out);
 
 }  // namespace tebis
 

@@ -120,9 +120,10 @@ Status RpcBackupChannel::CompactionBegin(uint64_t compaction_id, int src_level, 
 
 Status RpcBackupChannel::ShipIndexSegment(uint64_t compaction_id, int dst_level, int tree_level,
                                           SegmentId primary_segment, Slice bytes,
-                                          StreamId stream) {
-  IndexSegmentMsg msg{epoch(), compaction_id, static_cast<uint32_t>(dst_level),
-                      static_cast<uint32_t>(tree_level), primary_segment, bytes, stream};
+                                          StreamId stream, uint32_t payload_crc) {
+  IndexSegmentMsg msg{epoch(),         compaction_id, static_cast<uint32_t>(dst_level),
+                      static_cast<uint32_t>(tree_level), primary_segment, bytes,
+                      stream,          payload_crc};
   Status status = CallChecked(MessageType::kIndexSegment, EncodeIndexSegment(msg), stream);
   if (status.ok()) {
     // The reply arrives after the backup's rewrite handler ran: it is the
@@ -133,9 +134,11 @@ Status RpcBackupChannel::ShipIndexSegment(uint64_t compaction_id, int dst_level,
 }
 
 Status RpcBackupChannel::CompactionEnd(uint64_t compaction_id, int src_level, int dst_level,
-                                       const BuiltTree& primary_tree, StreamId stream) {
-  CompactionEndMsg msg{epoch(), compaction_id, static_cast<uint32_t>(src_level),
-                       static_cast<uint32_t>(dst_level), primary_tree, stream};
+                                       const BuiltTree& primary_tree, StreamId stream,
+                                       const std::vector<SegmentChecksum>& seg_checksums) {
+  CompactionEndMsg msg{epoch(),      compaction_id, static_cast<uint32_t>(src_level),
+                       static_cast<uint32_t>(dst_level), primary_tree, stream,
+                       seg_checksums};
   return CallChecked(MessageType::kCompactionEnd, EncodeCompactionEnd(msg), stream);
 }
 

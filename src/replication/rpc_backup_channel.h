@@ -31,9 +31,11 @@ class RpcBackupChannel : public BackupChannel {
   Status CompactionBegin(uint64_t compaction_id, int src_level, int dst_level,
                          StreamId stream = 0) override;
   Status ShipIndexSegment(uint64_t compaction_id, int dst_level, int tree_level,
-                          SegmentId primary_segment, Slice bytes, StreamId stream = 0) override;
+                          SegmentId primary_segment, Slice bytes, StreamId stream = 0,
+                          uint32_t payload_crc = 0) override;
   Status CompactionEnd(uint64_t compaction_id, int src_level, int dst_level,
-                       const BuiltTree& primary_tree, StreamId stream = 0) override;
+                       const BuiltTree& primary_tree, StreamId stream = 0,
+                       const std::vector<SegmentChecksum>& seg_checksums = {}) override;
   Status ShipFilterBlock(uint64_t compaction_id, int dst_level, Slice bytes,
                          StreamId stream = 0) override;
   Status TrimLog(size_t segments) override;

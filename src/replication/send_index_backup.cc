@@ -1,8 +1,11 @@
 #include "src/replication/send_index_backup.h"
 
+#include <chrono>
 #include <cstring>
+#include <thread>
 
 #include "src/common/clock.h"
+#include "src/common/crc32.h"
 #include "src/common/logging.h"
 #include "src/lsm/bloom_filter.h"
 #include "src/lsm/btree_node.h"
@@ -41,6 +44,13 @@ StatusOr<std::unique_ptr<SendIndexBackupRegion>> SendIndexBackupRegion::CreateFr
   backup->log_map_ = std::move(log_map);
   backup->primary_flush_order_ = std::move(primary_flush_order);
   backup->replay_from_ = replay_from;
+  // Checksummed levels carried over from the demoted primary stay verified on
+  // this node's read path. Their bytes are OLD-primary space though, so
+  // origins_ stays empty: they cannot serve primary-space repair interchange
+  // until the new primary ships them afresh.
+  for (size_t i = 0; i < backup->levels_.size(); ++i) {
+    backup->InstallVerifierLocked(static_cast<int>(i));
+  }
   return backup;
 }
 
@@ -49,7 +59,9 @@ SendIndexBackupRegion::SendIndexBackupRegion(BlockDevice* device, const KvStoreO
     : device_(device),
       options_(options),
       rdma_buffer_(std::move(rdma_buffer)),
-      levels_(options.max_levels + 1) {
+      levels_(options.max_levels + 1),
+      verifiers_(options.max_levels + 1),
+      origins_(options.max_levels + 1) {
   InitTelemetry();
 }
 
@@ -77,6 +89,13 @@ void SendIndexBackupRegion::InitTelemetry() {
   counters_.filter_checks = reg->GetCounter("backup.filter_checks", l);
   counters_.filter_negatives = reg->GetCounter("backup.filter_negatives", l);
   counters_.filter_false_positives = reg->GetCounter("backup.filter_false_positives", l);
+  counters_.segments_crc_rejected = reg->GetCounter("backup.segments_crc_rejected", l);
+  counters_.scrub_bytes = reg->GetCounter("integrity.scrub_bytes", l);
+  counters_.corruptions_found = reg->GetCounter("integrity.corruptions_found", l);
+  counters_.corruptions_repaired = reg->GetCounter("integrity.corruptions_repaired", l);
+  counters_.repair_fetches = reg->GetCounter("integrity.repair_fetches", l);
+  counters_.repair_serves = reg->GetCounter("integrity.repair_serves", l);
+  counters_.read_corruptions = reg->GetCounter("backup.read_corruptions", l);
 }
 
 void SendIndexBackupRegion::RecordSpan(const CompactionStream& stream, const char* name,
@@ -116,6 +135,13 @@ SendIndexBackupStats SendIndexBackupRegion::stats() const {
   s.filter_checks = counters_.filter_checks->Value();
   s.filter_negatives = counters_.filter_negatives->Value();
   s.filter_false_positives = counters_.filter_false_positives->Value();
+  s.segments_crc_rejected = counters_.segments_crc_rejected->Value();
+  s.scrub_bytes = counters_.scrub_bytes->Value();
+  s.corruptions_found = counters_.corruptions_found->Value();
+  s.corruptions_repaired = counters_.corruptions_repaired->Value();
+  s.repair_fetches = counters_.repair_fetches->Value();
+  s.repair_serves = counters_.repair_serves->Value();
+  s.read_corruptions = counters_.read_corruptions->Value();
   return s;
 }
 
@@ -197,12 +223,32 @@ Status SendIndexBackupRegion::HandleCompactionBegin(uint64_t compaction_id, int 
   return Status::Ok();
 }
 
-Status SendIndexBackupRegion::RewriteSegment(CompactionStream* stream, char* bytes,
-                                             size_t size) {
+Status SendIndexBackupRegion::TranslateNodes(char* bytes, size_t size,
+                                             const OffsetTranslator& leaf_translate,
+                                             const OffsetTranslator& index_translate) const {
   const size_t node_size = options_.node_size;
   if (size % node_size != 0) {
     return Status::InvalidArgument("index segment is not node aligned");
   }
+  for (size_t off = 0; off < size; off += node_size) {
+    char* node = bytes + off;
+    NodeHeader header;
+    memcpy(&header, node, sizeof(header));
+    if (header.magic == kLeafMagic) {
+      TEBIS_RETURN_IF_ERROR(RewriteLeafOffsets(node, node_size, leaf_translate));
+    } else if (header.magic == kIndexMagic) {
+      TEBIS_RETURN_IF_ERROR(RewriteIndexChildren(node, node_size, index_translate));
+    } else if (header.magic == 0) {
+      break;  // zeroed tail of a partially-used segment (full-sync path)
+    } else {
+      return Status::Corruption("unknown node magic in shipped segment");
+    }
+  }
+  return Status::Ok();
+}
+
+Status SendIndexBackupRegion::RewriteSegment(CompactionStream* stream, char* bytes,
+                                             size_t size) {
   // Leaf entries point into the value log: translate through the stream's
   // log-map snapshot (strict — the referenced segment must have been flushed
   // before the compaction began, which the primary guarantees by flushing the
@@ -223,27 +269,20 @@ Status SendIndexBackupRegion::RewriteSegment(CompactionStream* stream, char* byt
     counters_.offsets_rewritten->Increment();
     return device_->geometry().Translate(offset, local);
   };
-
-  for (size_t off = 0; off < size; off += node_size) {
-    char* node = bytes + off;
-    NodeHeader header;
-    memcpy(&header, node, sizeof(header));
-    if (header.magic == kLeafMagic) {
-      TEBIS_RETURN_IF_ERROR(RewriteLeafOffsets(node, node_size, log_translate));
-    } else if (header.magic == kIndexMagic) {
-      TEBIS_RETURN_IF_ERROR(RewriteIndexChildren(node, node_size, index_translate));
-    } else if (header.magic == 0) {
-      break;  // zeroed tail of a partially-used segment (full-sync path)
-    } else {
-      return Status::Corruption("unknown node magic in shipped segment");
-    }
-  }
-  return Status::Ok();
+  return TranslateNodes(bytes, size, log_translate, index_translate);
 }
 
 Status SendIndexBackupRegion::HandleIndexSegment(uint64_t compaction_id, int dst_level,
                                                  int tree_level, SegmentId primary_segment,
-                                                 Slice bytes, StreamId stream) {
+                                                 Slice bytes, StreamId stream,
+                                                 uint32_t payload_crc) {
+  // Verify the shipped bytes before any pointer is rewritten (PR 8): a
+  // segment mangled in flight must never be installed. 0 = pre-PR 8 sender.
+  if (payload_crc != 0 && Crc32c(bytes.data(), bytes.size()) != payload_crc) {
+    counters_.segments_crc_rejected->Increment();
+    return Status::Corruption("shipped index segment " + std::to_string(primary_segment) +
+                              " fails its wire checksum");
+  }
   std::shared_ptr<CompactionStream> s;
   {
     std::lock_guard<std::shared_mutex> lock(state_mutex_);
@@ -273,6 +312,11 @@ Status SendIndexBackupRegion::HandleIndexSegment(uint64_t compaction_id, int dst
     TEBIS_RETURN_IF_ERROR(RewriteSegment(s.get(), scratch.data(), scratch.size()));
     TEBIS_RETURN_IF_ERROR(device_->Write(device_->geometry().BaseOffset(local), Slice(scratch),
                                          IoClass::kIndexRewrite));
+    // Fingerprint the LOCAL bytes just written: the matching CompactionEnd
+    // installs these as the level's checksums, so the backup's read path and
+    // scrubber verify exactly what this rewrite produced (PR 8).
+    s->local_crcs[primary_segment] = SegmentChecksum{
+        Crc32c(scratch.data(), scratch.size()), static_cast<uint32_t>(scratch.size())};
     return Status::Ok();
   }();
   counters_.rewrite_cpu_ns->Add(cpu_ns);
@@ -320,7 +364,8 @@ Status SendIndexBackupRegion::FreeTree(const BuiltTree& tree) {
 
 Status SendIndexBackupRegion::HandleCompactionEnd(uint64_t compaction_id, int src_level,
                                                   int dst_level, const BuiltTree& primary_tree,
-                                                  StreamId stream) {
+                                                  StreamId stream,
+                                                  const std::vector<SegmentChecksum>& primary_checksums) {
   std::lock_guard<std::shared_mutex> lock(state_mutex_);
   auto it = streams_.find(stream);
   if (it == streams_.end()) {
@@ -365,17 +410,47 @@ Status SendIndexBackupRegion::HandleCompactionEnd(uint64_t compaction_id, int sr
       if (primary_tree.segments.size() != s->index_map.size()) {
         return Status::Corruption("reserved index segments never shipped");
       }
+      // Install the LOCAL checksums recorded at rewrite time (PR 8), in the
+      // primary's segment order — only when every segment was fingerprinted
+      // (a mid-upgrade primary may ship without CRCs).
+      for (SegmentId seg : primary_tree.segments) {
+        auto crc = s->local_crcs.find(seg);
+        if (crc == s->local_crcs.end()) {
+          local_tree.seg_checksums.clear();
+          break;
+        }
+        local_tree.seg_checksums.push_back(crc->second);
+      }
     }
     // Retire inputs exactly like the primary did.
     if (src_level >= 1) {
       TEBIS_RETURN_IF_ERROR(FreeTree(levels_[src_level]));
       levels_[src_level] = BuiltTree{};
+      verifiers_[src_level] = nullptr;
+      origins_[src_level] = LevelOrigin{};
     } else {
       // L0 -> L1 finished: everything up to the begin snapshot is indexed.
       replay_from_ = s->replay_from_snapshot;
     }
     TEBIS_RETURN_IF_ERROR(FreeTree(levels_[dst_level]));
     levels_[dst_level] = local_tree;
+    InstallVerifierLocked(dst_level);
+    // Retain the level's primary-space identity for repair interchange (PR 8):
+    // valid only when the primary shipped its checksums and the rewrite kept
+    // every segment's length (it always does — rewrites are in place).
+    origins_[dst_level] = LevelOrigin{};
+    if (local_tree.checksummed() &&
+        primary_checksums.size() == primary_tree.segments.size()) {
+      bool lengths_match = true;
+      for (size_t i = 0; i < primary_checksums.size(); ++i) {
+        lengths_match =
+            lengths_match && primary_checksums[i].length == local_tree.seg_checksums[i].length;
+      }
+      if (lengths_match) {
+        origins_[dst_level].primary_segments = primary_tree.segments;
+        origins_[dst_level].primary_checksums = primary_checksums;
+      }
+    }
     return Status::Ok();
   }();
   counters_.rewrite_cpu_ns->Add(cpu_ns);
@@ -610,17 +685,25 @@ StatusOr<std::string> SendIndexBackupRegion::GetFromLevelsLocked(Slice key) {
         filter_said_maybe = true;
       }
     }
-    BTreeReader reader(device_, nullptr, options_.node_size, levels_[i], IoClass::kLookup);
+    BTreeReader reader(device_, nullptr, options_.node_size, levels_[i], IoClass::kLookup,
+                       verifiers_[i].get());
     auto found = reader.Find(key, loader);
     if (found.ok()) {
       LogRecord rec;
-      TEBIS_RETURN_IF_ERROR(log_->ReadRecord(*found, &rec, nullptr, IoClass::kLookup));
+      Status read = log_->ReadRecord(*found, &rec, nullptr, IoClass::kLookup);
+      if (read.IsCorruption()) {
+        counters_.read_corruptions->Increment();
+      }
+      TEBIS_RETURN_IF_ERROR(read);
       if (rec.tombstone) {
         return Status::NotFound();
       }
       return std::move(rec.value);
     }
     if (!found.status().IsNotFound()) {
+      if (found.status().IsCorruption()) {
+        counters_.read_corruptions->Increment();
+      }
       return found.status();
     }
     if (filter_said_maybe) {
@@ -709,8 +792,8 @@ StatusOr<std::vector<KvPair>> SendIndexBackupRegion::Scan(Slice start, size_t li
     if (levels_[i].empty()) {
       continue;
     }
-    auto src =
-        std::make_unique<LevelMergeSource>(device_, options_.node_size, levels_[i], log_.get());
+    auto src = std::make_unique<LevelMergeSource>(device_, options_.node_size, levels_[i],
+                                                  log_.get(), verifiers_[i].get());
     TEBIS_RETURN_IF_ERROR(src->Init(start));
     sources.push_back(std::move(src));
   }
@@ -781,12 +864,15 @@ StatusOr<std::string> SendIndexBackupRegion::DebugGet(Slice key) {
     TEBIS_RETURN_IF_ERROR(log_->ReadKey(off, &k, nullptr, nullptr, IoClass::kLookup));
     return k;
   };
-  // Snapshot the level descriptors; flushed log data is immutable so the
-  // reads below are safe without the lock.
+  // Snapshot the level descriptors (and their verifiers — shared_ptr copies
+  // keep them alive); flushed log data is immutable so the reads below are
+  // safe without the lock.
   std::vector<BuiltTree> levels;
+  std::vector<std::shared_ptr<SegmentVerifier>> verifiers;
   {
     std::shared_lock<std::shared_mutex> lock(state_mutex_);
     levels = levels_;
+    verifiers = verifiers_;
   }
   for (uint32_t i = 1; i <= options_.max_levels; ++i) {
     if (levels[i].empty()) {
@@ -804,7 +890,8 @@ StatusOr<std::string> SendIndexBackupRegion::DebugGet(Slice key) {
         filter_said_maybe = true;
       }
     }
-    BTreeReader reader(device_, nullptr, options_.node_size, levels[i], IoClass::kLookup);
+    BTreeReader reader(device_, nullptr, options_.node_size, levels[i], IoClass::kLookup,
+                       verifiers[i].get());
     auto found = reader.Find(key, loader);
     if (found.ok()) {
       LogRecord rec;
@@ -822,6 +909,268 @@ StatusOr<std::string> SendIndexBackupRegion::DebugGet(Slice key) {
     }
   }
   return Status::NotFound();
+}
+
+// --- integrity: scrub / online repair (PR 8) ---------------------------------
+
+void SendIndexBackupRegion::InstallVerifierLocked(int level) {
+  const BuiltTree& tree = levels_[level];
+  if (tree.checksummed()) {
+    verifiers_[level] = std::make_shared<SegmentVerifier>(
+        device_, tree.segments, tree.seg_checksums, "L" + std::to_string(level));
+  } else {
+    verifiers_[level] = nullptr;
+  }
+}
+
+std::vector<int> SendIndexBackupRegion::QuarantinedLevels() const {
+  std::shared_lock<std::shared_mutex> lock(state_mutex_);
+  std::vector<int> out;
+  for (uint32_t i = 1; i <= options_.max_levels; ++i) {
+    if (verifiers_[i] != nullptr && verifiers_[i]->quarantined()) {
+      out.push_back(static_cast<int>(i));
+    }
+  }
+  return out;
+}
+
+StatusOr<KvStore::ScrubReport> SendIndexBackupRegion::Scrub(
+    const KvStore::ScrubOptions& options) {
+  KvStore::ScrubReport report;
+  // Same token bucket as KvStore::Scrub: refilled at the configured rate,
+  // burst capped at one segment, charged per byte read.
+  double tokens = static_cast<double>(device_->segment_size());
+  uint64_t last_refill_ns = NowNanos();
+  auto pace = [&](uint64_t bytes) {
+    if (options.bytes_per_sec == 0 || bytes == 0) {
+      return;
+    }
+    const uint64_t now = NowNanos();
+    tokens += static_cast<double>(now - last_refill_ns) *
+              static_cast<double>(options.bytes_per_sec) / 1e9;
+    last_refill_ns = now;
+    const double burst = static_cast<double>(device_->segment_size());
+    if (tokens > burst) {
+      tokens = burst;
+    }
+    tokens -= static_cast<double>(bytes);
+    if (tokens >= 0) {
+      return;
+    }
+    const uint64_t sleep_ns =
+        static_cast<uint64_t>(-tokens * 1e9 / static_cast<double>(options.bytes_per_sec));
+    std::this_thread::sleep_for(std::chrono::nanoseconds(sleep_ns));
+    tokens = 0;
+  };
+
+  // Snapshot the verifiers (shared_ptr) so the device reads run without the
+  // state lock — a level retired mid-scrub is simply verified on its way out.
+  std::vector<std::shared_ptr<SegmentVerifier>> verifiers;
+  {
+    std::shared_lock<std::shared_mutex> lock(state_mutex_);
+    verifiers = verifiers_;
+  }
+  for (uint32_t i = 1; i <= options_.max_levels; ++i) {
+    SegmentVerifier* verifier = verifiers[i].get();
+    if (verifier == nullptr) {
+      continue;
+    }
+    const size_t bad_before = verifier->BadSegments().size();
+    uint64_t bytes = 0;
+    Status checked = verifier->VerifyAll(IoClass::kScrub, /*force=*/true, &bytes, pace);
+    report.bytes_scrubbed += bytes;
+    const size_t bad_after = verifier->BadSegments().size();
+    if (bad_after > bad_before) {
+      report.corruptions_found += bad_after - bad_before;
+    }
+    if (verifier->quarantined()) {
+      report.quarantined_levels.push_back(static_cast<int>(i));
+    }
+    if (!checked.ok() && !checked.IsCorruption()) {
+      return checked;  // an I/O failure, not rot — the scrub cannot continue
+    }
+  }
+
+  // Replicated value log: every flushed segment parses end to end with valid
+  // record CRCs. A segment that vanishes mid-scrub (trim) is skipped.
+  if (options.include_value_log) {
+    const uint64_t seg_size = device_->segment_size();
+    std::string buf(seg_size, 0);
+    for (SegmentId seg : log_->FlushedSegmentsSnapshot()) {
+      const uint64_t base = device_->geometry().BaseOffset(seg);
+      Status read = device_->Read(base, seg_size, buf.data(), IoClass::kScrub);
+      if (!read.ok()) {
+        continue;
+      }
+      report.bytes_scrubbed += seg_size;
+      pace(seg_size);
+      Status parsed = ValueLog::ForEachRecord(Slice(buf.data(), buf.size()), base,
+                                              [](const LogRecord&) { return Status::Ok(); });
+      if (parsed.IsCorruption()) {
+        report.corruptions_found++;
+      } else if (!parsed.ok()) {
+        return parsed;
+      }
+    }
+  }
+
+  counters_.scrub_bytes->Add(report.bytes_scrubbed);
+  counters_.corruptions_found->Add(report.corruptions_found);
+  return report;
+}
+
+StatusOr<std::string> SendIndexBackupRegion::ServeRepairFetch(uint32_t level,
+                                                              uint64_t seg_index,
+                                                              uint32_t* crc_out) {
+  std::shared_lock<std::shared_mutex> lock(state_mutex_);
+  if (level < 1 || level > options_.max_levels) {
+    return Status::InvalidArgument("repair fetch for nonexistent level");
+  }
+  const BuiltTree& tree = levels_[level];
+  const LevelOrigin& origin = origins_[level];
+  if (!tree.checksummed() || origin.primary_segments.size() != tree.segments.size() ||
+      origin.primary_checksums.size() != tree.segments.size()) {
+    return Status::FailedPrecondition("no primary-space origin retained for level " +
+                                      std::to_string(level));
+  }
+  if (seg_index >= tree.segments.size()) {
+    return Status::InvalidArgument("repair fetch segment index out of range for L" +
+                                   std::to_string(level));
+  }
+  // Read and self-check the LOCAL bytes first: a corrupt donor must never
+  // propagate its rot to the repairing replica.
+  const SegmentChecksum& local_sum = tree.seg_checksums[seg_index];
+  std::string bytes(local_sum.length, '\0');
+  if (local_sum.length > 0) {
+    TEBIS_RETURN_IF_ERROR(device_->Read(device_->geometry().BaseOffset(tree.segments[seg_index]),
+                                        local_sum.length, bytes.data(), IoClass::kScrub));
+  }
+  if (Crc32c(bytes.data(), bytes.size()) != local_sum.crc) {
+    return Status::Corruption("repair source segment " + std::to_string(seg_index) + " of L" +
+                              std::to_string(level) + " on device " + device_->name() +
+                              " fails its own checksum");
+  }
+  // Reverse-rewrite back into primary space: invert the log map for leaf
+  // offsets, and pair the level's local/primary segment lists for index
+  // children (a tree's children only ever point at its own segments).
+  TEBIS_ASSIGN_OR_RETURN(SegmentMap inverse_log, log_map_.Invert());
+  SegmentMap inverse_index;
+  for (size_t j = 0; j < tree.segments.size(); ++j) {
+    TEBIS_RETURN_IF_ERROR(inverse_index.Insert(tree.segments[j], origin.primary_segments[j]));
+  }
+  OffsetTranslator leaf_translate = [&](uint64_t offset) -> StatusOr<uint64_t> {
+    TEBIS_ASSIGN_OR_RETURN(SegmentId primary,
+                           inverse_log.Lookup(device_->geometry().SegmentOf(offset)));
+    return device_->geometry().Translate(offset, primary);
+  };
+  OffsetTranslator index_translate = [&](uint64_t offset) -> StatusOr<uint64_t> {
+    TEBIS_ASSIGN_OR_RETURN(SegmentId primary,
+                           inverse_index.Lookup(device_->geometry().SegmentOf(offset)));
+    return device_->geometry().Translate(offset, primary);
+  };
+  TEBIS_RETURN_IF_ERROR(TranslateNodes(bytes.data(), bytes.size(), leaf_translate,
+                                       index_translate));
+  // The reconstruction must be bit-identical to what the primary built (§3.3
+  // byte identity) — prove it against the retained primary checksum.
+  const SegmentChecksum& primary_sum = origin.primary_checksums[seg_index];
+  if (bytes.size() != primary_sum.length ||
+      Crc32c(bytes.data(), bytes.size()) != primary_sum.crc) {
+    return Status::Corruption("reverse-rewritten repair bytes for segment " +
+                              std::to_string(seg_index) + " of L" + std::to_string(level) +
+                              " do not match the primary checksum");
+  }
+  if (crc_out != nullptr) {
+    *crc_out = primary_sum.crc;
+  }
+  counters_.repair_serves->Increment();
+  return bytes;
+}
+
+Status SendIndexBackupRegion::RepairQuarantinedLevels(const KvStore::SegmentFetcher& fetch) {
+  for (uint32_t level = 1; level <= options_.max_levels; ++level) {
+    // Collect the level's bad segments under the shared lock, then fetch with
+    // NO lock held: the fetcher typically calls into a peer replica, and two
+    // replicas repairing from each other must not entangle their state locks
+    // (lock-order inversion).
+    std::vector<size_t> bad;
+    SegmentVerifier* observed = nullptr;
+    {
+      std::shared_lock<std::shared_mutex> rlock(state_mutex_);
+      SegmentVerifier* verifier = verifiers_[level].get();
+      if (verifier == nullptr || !verifier->quarantined()) {
+        continue;
+      }
+      const BuiltTree& tree = levels_[level];
+      const LevelOrigin& origin = origins_[level];
+      if (origin.primary_segments.size() != tree.segments.size() ||
+          origin.primary_checksums.size() != tree.segments.size()) {
+        return Status::FailedPrecondition("no primary-space origin retained for quarantined L" +
+                                          std::to_string(level));
+      }
+      observed = verifier;
+      bad = verifier->BadSegments();
+    }
+    std::vector<std::pair<size_t, std::string>> fetched;
+    fetched.reserve(bad.size());
+    for (size_t idx : bad) {
+      counters_.repair_fetches->Increment();
+      TEBIS_ASSIGN_OR_RETURN(std::string bytes, fetch(static_cast<int>(level), idx));
+      fetched.emplace_back(idx, std::move(bytes));
+    }
+
+    // Exclusive: repair mutates level bytes the shared-lock read path trusts.
+    // A level republished while unlocked carries a fresh verifier — the
+    // fetched bytes no longer apply, and the ship already installed verified
+    // bytes, so skip them.
+    std::lock_guard<std::shared_mutex> lock(state_mutex_);
+    SegmentVerifier* verifier = verifiers_[level].get();
+    if (verifier != observed) {
+      continue;
+    }
+    const BuiltTree& tree = levels_[level];
+    const LevelOrigin& origin = origins_[level];
+    // Forward maps, primary -> local: the current log map for leaf offsets
+    // (a superset of the shipping-time snapshot — trims only drop segments no
+    // level references) and the paired segment lists for index children.
+    SegmentMap forward_index;
+    for (size_t j = 0; j < tree.segments.size(); ++j) {
+      TEBIS_RETURN_IF_ERROR(forward_index.Insert(origin.primary_segments[j], tree.segments[j]));
+    }
+    OffsetTranslator leaf_translate = [&](uint64_t offset) -> StatusOr<uint64_t> {
+      TEBIS_ASSIGN_OR_RETURN(SegmentId local,
+                             log_map_.Lookup(device_->geometry().SegmentOf(offset)));
+      return device_->geometry().Translate(offset, local);
+    };
+    OffsetTranslator index_translate = [&](uint64_t offset) -> StatusOr<uint64_t> {
+      TEBIS_ASSIGN_OR_RETURN(SegmentId local,
+                             forward_index.Lookup(device_->geometry().SegmentOf(offset)));
+      return device_->geometry().Translate(offset, local);
+    };
+    for (auto& [idx, bytes] : fetched) {
+      const SegmentChecksum& primary_sum = origin.primary_checksums[idx];
+      if (bytes.size() != primary_sum.length ||
+          Crc32c(bytes.data(), bytes.size()) != primary_sum.crc) {
+        return Status::Corruption("repair fetch for segment " + std::to_string(idx) + " of L" +
+                                  std::to_string(level) +
+                                  " returned bytes that fail the expected checksum");
+      }
+      TEBIS_RETURN_IF_ERROR(TranslateNodes(bytes.data(), bytes.size(), leaf_translate,
+                                           index_translate));
+      const SegmentChecksum& local_sum = tree.seg_checksums[idx];
+      if (bytes.size() != local_sum.length ||
+          Crc32c(bytes.data(), bytes.size()) != local_sum.crc) {
+        return Status::Corruption("rewritten repair bytes for segment " + std::to_string(idx) +
+                                  " of L" + std::to_string(level) +
+                                  " do not match the local checksum");
+      }
+      TEBIS_RETURN_IF_ERROR(device_->Write(device_->geometry().BaseOffset(tree.segments[idx]),
+                                           Slice(bytes), IoClass::kScrub));
+      verifier->ResetSegment(idx);
+      TEBIS_RETURN_IF_ERROR(verifier->VerifySegment(idx, IoClass::kScrub, /*force=*/true));
+      counters_.corruptions_repaired->Increment();
+    }
+  }
+  return Status::Ok();
 }
 
 }  // namespace tebis

@@ -21,7 +21,9 @@
 #include <string>
 #include <vector>
 
+#include "src/lsm/btree_node.h"
 #include "src/lsm/kv_store.h"
+#include "src/lsm/segment_verifier.h"
 #include "src/lsm/value_log.h"
 #include "src/net/fabric.h"
 #include "src/replication/compaction_stream.h"
@@ -49,6 +51,14 @@ struct SendIndexBackupStats {
   uint64_t filter_checks = 0;
   uint64_t filter_negatives = 0;
   uint64_t filter_false_positives = 0;
+  // End-to-end integrity (PR 8).
+  uint64_t segments_crc_rejected = 0;  // shipped segments failing their wire CRC
+  uint64_t scrub_bytes = 0;
+  uint64_t corruptions_found = 0;
+  uint64_t corruptions_repaired = 0;
+  uint64_t repair_fetches = 0;  // fetches this replica issued to heal itself
+  uint64_t repair_serves = 0;   // fetches this replica answered for a peer
+  uint64_t read_corruptions = 0;
 };
 
 class SendIndexBackupRegion {
@@ -85,16 +95,25 @@ class SendIndexBackupRegion {
   // §3.3: compaction lifecycle, one state machine per `stream`.
   Status HandleCompactionBegin(uint64_t compaction_id, int src_level, int dst_level,
                                StreamId stream = 0);
+  // `payload_crc`, when non-zero, is the primary's CRC32C of `bytes` (PR 8):
+  // a mismatch rejects the segment before any pointer is rewritten. After the
+  // rewrite the backup records the CRC of its *local* bytes so the installed
+  // level is checksummed end to end.
   Status HandleIndexSegment(uint64_t compaction_id, int dst_level, int tree_level,
-                            SegmentId primary_segment, Slice bytes, StreamId stream = 0);
+                            SegmentId primary_segment, Slice bytes, StreamId stream = 0,
+                            uint32_t payload_crc = 0);
   // Shipped bloom filter (PR 7): validates and stages the primary's filter
   // block on the stream; the matching CompactionEnd installs it with the
   // translated tree. Unlike index segments the bytes install verbatim —
   // filters hold key fingerprints, not device offsets, so no rewrite.
   Status HandleFilterBlock(uint64_t compaction_id, int dst_level, Slice bytes,
                            StreamId stream = 0);
+  // `primary_checksums`, when non-empty, are the primary's per-segment CRCs
+  // parallel to primary_tree.segments (PR 8); the backup retains them so it
+  // can serve — and validate — repair fetches in primary space.
   Status HandleCompactionEnd(uint64_t compaction_id, int src_level, int dst_level,
-                             const BuiltTree& primary_tree, StreamId stream = 0);
+                             const BuiltTree& primary_tree, StreamId stream = 0,
+                             const std::vector<SegmentChecksum>& primary_checksums = {});
 
   // GC: trim the oldest `segments` local log segments (the primary moved all
   // live data to the tail already).
@@ -174,6 +193,31 @@ class SendIndexBackupRegion {
   void set_replay_from(size_t flushed_segment_index);
   size_t replay_from() const;
 
+  // --- integrity: scrub / online repair (PR 8) ---
+
+  // Walks every checksummed level (force re-verification) and the local value
+  // log, token-bucket paced like KvStore::Scrub. Corruption quarantines the
+  // level; the report says what was found. Never fails on rot — only on I/O
+  // errors.
+  StatusOr<KvStore::ScrubReport> Scrub(const KvStore::ScrubOptions& options);
+  StatusOr<KvStore::ScrubReport> Scrub() { return Scrub(KvStore::ScrubOptions()); }
+  std::vector<int> QuarantinedLevels() const;
+
+  // Donor side: returns one index segment of `level` as the PRIMARY-space
+  // bytes (re-deriving them by inverting this backup's rewrite through the
+  // log/segment maps), verified against both the local and the retained
+  // primary checksum — a corrupt donor never propagates. FailedPrecondition
+  // when this level has no retained primary-space origin (e.g. installed by
+  // demotion, not shipping); the requester then tries another peer.
+  StatusOr<std::string> ServeRepairFetch(uint32_t level, uint64_t seg_index,
+                                         uint32_t* crc_out = nullptr);
+
+  // Repairer side: re-fetches every quarantined segment via `fetch` (which
+  // returns PRIMARY-space bytes), verifies them against the retained primary
+  // checksum, rewrites them back into local space, verifies against the local
+  // checksum, installs, and lifts the quarantine.
+  Status RepairQuarantinedLevels(const KvStore::SegmentFetcher& fetch);
+
  private:
   SendIndexBackupRegion(BlockDevice* device, const KvStoreOptions& options,
                         std::shared_ptr<RegisteredBuffer> rdma_buffer);
@@ -198,6 +242,20 @@ class SendIndexBackupRegion {
     // Reconstructed from (region epoch, stream id) at begin; rewrite/commit
     // spans attach to the primary's trace without any wire-format change.
     TraceId trace = kNoTrace;
+    // CRC32C of each segment's LOCAL (rewritten) bytes, keyed by the primary
+    // segment id it was shipped as; CompactionEnd installs them as the local
+    // tree's seg_checksums (guarded by `mutex`, like the rewrite state).
+    std::map<SegmentId, SegmentChecksum> local_crcs;
+  };
+
+  // Primary-space identity of one installed level (PR 8): the primary's
+  // segment ids and checksums, parallel to the local tree's segment list.
+  // Lets this backup serve repair fetches (reverse rewrite) and validate
+  // repair installs (forward rewrite). Empty when unknown — a level adopted
+  // by demotion carries OLD-primary-space bytes and cannot interchange.
+  struct LevelOrigin {
+    std::vector<SegmentId> primary_segments;
+    std::vector<SegmentChecksum> primary_checksums;
   };
 
   // Mirrors SendIndexBackupStats as registry instruments ("backup.*" names);
@@ -218,12 +276,27 @@ class SendIndexBackupRegion {
     Counter* filter_checks = nullptr;
     Counter* filter_negatives = nullptr;
     Counter* filter_false_positives = nullptr;
+    Counter* segments_crc_rejected = nullptr;
+    Counter* scrub_bytes = nullptr;
+    Counter* corruptions_found = nullptr;
+    Counter* corruptions_repaired = nullptr;
+    Counter* repair_fetches = nullptr;
+    Counter* repair_serves = nullptr;
+    Counter* read_corruptions = nullptr;
   };
 
   void InitTelemetry();
   void RecordSpan(const CompactionStream& stream, const char* name, uint64_t start_ns,
                   uint64_t end_ns, uint64_t bytes = 0) const;
   Status RewriteSegment(CompactionStream* stream, char* bytes, size_t size);
+  // Walks the nodes of one index segment applying `leaf_translate` to value-log
+  // offsets and `index_translate` to child pointers (the rewrite core, shared
+  // by shipping and by the repair paths' forward/reverse rewrites).
+  Status TranslateNodes(char* bytes, size_t size, const OffsetTranslator& leaf_translate,
+                        const OffsetTranslator& index_translate) const;
+  // (Re)creates verifiers_[level] from levels_[level]'s checksums (or clears
+  // it for an unchecksummed tree). Requires state_mutex_ exclusive.
+  void InstallVerifierLocked(int level);
   Status FreeTree(const BuiltTree& tree);
 
   // --- replica read helpers (PR 6; all require state_mutex_) ---
@@ -259,6 +332,11 @@ class SendIndexBackupRegion {
   std::vector<SegmentId> primary_flush_order_;  // primary segs in flush order
   SegmentMap log_map_;
   std::vector<BuiltTree> levels_;  // [0] unused
+  // Parallel to levels_ (PR 8): read-path verifier per checksummed level
+  // (shared_ptr so DebugGet can snapshot it lock-free with the tree), and the
+  // primary-space origin backing repair interchange.
+  std::vector<std::shared_ptr<SegmentVerifier>> verifiers_;
+  std::vector<LevelOrigin> origins_;
   // In-flight streams; shared_ptr so a handler can keep working on a stream
   // after dropping state_mutex_.
   std::map<StreamId, std::shared_ptr<CompactionStream>> streams_;

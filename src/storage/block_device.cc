@@ -243,11 +243,37 @@ Status BlockDevice::Write(uint64_t device_offset, Slice data, IoClass io_class) 
   return Status::Ok();
 }
 
+void BlockDevice::ApplyBitFlips(const std::vector<BlockDeviceFaultHook::BitFlip>& flips) const {
+  for (const auto& flip : flips) {
+    const SegmentId segment = geometry_.SegmentOf(flip.offset);
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      if (segment >= allocated_.size() || !allocated_[segment]) {
+        continue;
+      }
+    }
+    char* buf = SegmentBuffer(segment);
+    char* byte = buf + geometry_.OffsetInSegment(flip.offset);
+    *byte = static_cast<char>(static_cast<uint8_t>(*byte) ^ flip.mask);
+    if (fd_ >= 0) {
+      ssize_t w = pwrite(fd_, byte, 1, static_cast<off_t>(flip.offset));
+      (void)w;
+    }
+  }
+}
+
 Status BlockDevice::Read(uint64_t device_offset, size_t n, char* out, IoClass io_class) const {
   TEBIS_RETURN_IF_ERROR(CheckRange(device_offset, n));
   if (fault_hook_ != nullptr) {
     const uint64_t seq = read_seq_.fetch_add(1, std::memory_order_relaxed);
-    TEBIS_RETURN_IF_ERROR(fault_hook_->OnDeviceRead(options_.name, seq));
+    BlockDeviceFaultHook::ReadDecision decision =
+        fault_hook_->OnDeviceRead(options_.name, seq, device_offset, n);
+    if (!decision.image_flips.empty()) {
+      ApplyBitFlips(decision.image_flips);
+    }
+    if (!decision.status.ok()) {
+      return decision.status;
+    }
   }
   const SegmentId segment = geometry_.SegmentOf(device_offset);
   const char* buf = SegmentBuffer(segment);

@@ -43,9 +43,26 @@ class BlockDeviceFaultHook {
     bool take_snapshot = false;
   };
 
-  // `write_seq` / `read_seq` are per-device 0-based transfer counters.
+  // One flipped bit in the device image: XOR `mask` into the byte at absolute
+  // device offset `offset`. Applied to the stored image (persistent bit-rot),
+  // not just the returned buffer — subsequent reads see the damage too.
+  struct BitFlip {
+    uint64_t offset = 0;
+    uint8_t mask = 0;
+  };
+
+  struct ReadDecision {
+    Status status;  // non-ok: the read fails with this status (nothing read)
+    // Bit-rot to burn into the device image before serving this read. Offsets
+    // outside the read's own range are still applied (latent damage).
+    std::vector<BitFlip> image_flips;
+  };
+
+  // `write_seq` / `read_seq` are per-device 0-based transfer counters;
+  // `offset`/`n` describe the transfer so corruption rules can target it.
   virtual WriteDecision OnDeviceWrite(const std::string& device, uint64_t write_seq) = 0;
-  virtual Status OnDeviceRead(const std::string& device, uint64_t read_seq) = 0;
+  virtual ReadDecision OnDeviceRead(const std::string& device, uint64_t read_seq, uint64_t offset,
+                                    size_t n) = 0;
 };
 
 // Bandwidth/latency model. Zero bandwidth disables throttling for that
@@ -124,6 +141,10 @@ class BlockDevice {
 
   const std::string& name() const { return options_.name; }
 
+  // Number of reads issued so far — the `read_seq` the fault hook will see on
+  // the next read (lets tests aim CorruptNthDeviceRead at a specific read).
+  uint64_t read_seq() const { return read_seq_.load(std::memory_order_relaxed); }
+
   // Attaches (nullptr detaches) the fault hook; every subsequent transfer
   // consults it.
   void set_fault_hook(BlockDeviceFaultHook* hook) { fault_hook_ = hook; }
@@ -143,6 +164,9 @@ class BlockDevice {
   Status Init();
 
   Status CheckRange(uint64_t device_offset, size_t n) const;
+  // Burns injected bit-rot into the stored image (and the backing file when
+  // file-backed). Flips aimed at unallocated segments are dropped.
+  void ApplyBitFlips(const std::vector<BlockDeviceFaultHook::BitFlip>& flips) const;
   void Throttle(bool is_write, size_t n) const;
   uint64_t AccountedBytes(size_t n) const;
 

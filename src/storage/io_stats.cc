@@ -20,6 +20,8 @@ const char* IoClassName(IoClass c) {
       return "recovery";
     case IoClass::kGc:
       return "gc";
+    case IoClass::kScrub:
+      return "scrub";
     case IoClass::kOther:
       return "other";
   }

@@ -21,6 +21,7 @@ enum class IoClass : int {
   kLookup,            // get/scan reads
   kRecovery,          // promotion / replay reads
   kGc,                // value-log garbage collection
+  kScrub,             // background integrity scrub + repair traffic
   kOther,
 };
 

@@ -220,6 +220,28 @@ void FaultInjector::ArmCrashSnapshot(const std::string& device, uint64_t n) {
   device_rules_.push_back(std::move(rule));
 }
 
+void FaultInjector::CorruptNthDeviceRead(const std::string& device, uint64_t n, int bits) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  DeviceRule rule;
+  rule.kind = DeviceRule::Kind::kCorruptRead;
+  rule.device = device;
+  rule.n = n;
+  rule.bits = bits;
+  device_rules_.push_back(std::move(rule));
+}
+
+void FaultInjector::FlipBitsInRange(const std::string& device, uint64_t offset, uint64_t len,
+                                    int bits) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  DeviceRule rule;
+  rule.kind = DeviceRule::Kind::kFlipRange;
+  rule.device = device;
+  rule.offset = offset;
+  rule.len = len;
+  rule.bits = bits;
+  device_rules_.push_back(std::move(rule));
+}
+
 void FaultInjector::ClearRules() {
   std::lock_guard<std::mutex> lock(mutex_);
   for (auto& rules : site_rules_) {
@@ -359,28 +381,69 @@ BlockDeviceFaultHook::WriteDecision FaultInjector::OnDeviceWrite(const std::stri
                     "tear write " + device + " keep=" + std::to_string(rule.keep_bytes));
         break;
       case DeviceRule::Kind::kFailRead:
+      case DeviceRule::Kind::kCorruptRead:
+      case DeviceRule::Kind::kFlipRange:
         break;
     }
   }
   return decision;
 }
 
-Status FaultInjector::OnDeviceRead(const std::string& device, uint64_t read_seq) {
+BlockDeviceFaultHook::ReadDecision FaultInjector::OnDeviceRead(const std::string& device,
+                                                               uint64_t read_seq, uint64_t offset,
+                                                               size_t n) {
   std::lock_guard<std::mutex> lock(mutex_);
   const int s = static_cast<int>(FaultSite::kDeviceRead);
   stats_.seen[s]++;
+  ReadDecision decision;
+  // Seeded flip generation: draws come off the shared rng_ under mutex_, so a
+  // fixed seed + the same driven operation sequence flips the same bits.
+  auto emit_flips = [&](uint64_t range_start, uint64_t range_len, int bits, const char* what) {
+    std::string detail = std::string(what) + " " + device;
+    for (int i = 0; i < bits && range_len > 0; ++i) {
+      BitFlip flip;
+      flip.offset = range_start + rng_.Uniform(range_len);
+      flip.mask = static_cast<uint8_t>(1u << rng_.Uniform(8));
+      decision.image_flips.push_back(flip);
+      stats_.corruptions++;
+      detail += " off=" + std::to_string(flip.offset) + "/mask=" + std::to_string(flip.mask);
+    }
+    RecordFired(FaultSite::kDeviceRead, read_seq, std::move(detail));
+  };
   for (DeviceRule& rule : device_rules_) {
-    if (rule.consumed || rule.kind != DeviceRule::Kind::kFailRead || rule.device != device ||
-        rule.n != read_seq) {
+    if (rule.consumed || rule.device != device) {
       continue;
     }
-    rule.consumed = true;
-    stats_.injected[s]++;
-    RecordFired(FaultSite::kDeviceRead, read_seq, "fail read " + device);
-    return Status(rule.code,
-                  "injected read failure on " + device + " #" + std::to_string(read_seq));
+    switch (rule.kind) {
+      case DeviceRule::Kind::kFailRead:
+        if (rule.n == read_seq) {
+          rule.consumed = true;
+          stats_.injected[s]++;
+          RecordFired(FaultSite::kDeviceRead, read_seq, "fail read " + device);
+          if (decision.status.ok()) {
+            decision.status = Status(
+                rule.code, "injected read failure on " + device + " #" + std::to_string(read_seq));
+          }
+        }
+        break;
+      case DeviceRule::Kind::kCorruptRead:
+        if (rule.n == read_seq) {
+          rule.consumed = true;
+          stats_.injected[s]++;
+          emit_flips(offset, n, rule.bits, "corrupt read");
+        }
+        break;
+      case DeviceRule::Kind::kFlipRange:
+        // Fires on the device's next read, whatever it targets.
+        rule.consumed = true;
+        stats_.injected[s]++;
+        emit_flips(rule.offset, rule.len, rule.bits, "flip range");
+        break;
+      default:
+        break;
+    }
   }
-  return Status::Ok();
+  return decision;
 }
 
 // --- observability ------------------------------------------------------------

@@ -69,6 +69,7 @@ struct FaultInjectorStats {
   uint64_t delays_injected = 0;
   uint64_t torn_writes = 0;
   uint64_t crash_snapshots = 0;
+  uint64_t corruptions = 0;  // bit-rot flips burned into a device image
 
   uint64_t TotalInjected() const;
 };
@@ -151,6 +152,16 @@ class FaultInjector : public BlockDeviceFaultHook {
   // BlockDevice::TakeCrashSnapshot) — the on-flash state at a crash point.
   void ArmCrashSnapshot(const std::string& device, uint64_t n);
 
+  // Bit-rot (PR 8): the nth read of `device` burns `bits` seeded-random
+  // single-bit flips into the bytes the read covers — persistent damage to the
+  // stored image, so the read (and every later one) returns corrupt bytes.
+  // The flipped offsets/masks land in history() for replay assertions.
+  void CorruptNthDeviceRead(const std::string& device, uint64_t n, int bits = 1);
+  // Bit-rot at a known location: on the *next* read of `device` (whatever its
+  // target), burn `bits` seeded-random flips into [offset, offset+len) of the
+  // image — latent damage planted independently of what is being read.
+  void FlipBitsInRange(const std::string& device, uint64_t offset, uint64_t len, int bits = 1);
+
   // Removes every rule, partition, failed QP, and halted node; per-site
   // counters, stats, and history are preserved.
   void ClearRules();
@@ -165,7 +176,8 @@ class FaultInjector : public BlockDeviceFaultHook {
 
   // BlockDeviceFaultHook:
   WriteDecision OnDeviceWrite(const std::string& device, uint64_t write_seq) override;
-  Status OnDeviceRead(const std::string& device, uint64_t read_seq) override;
+  ReadDecision OnDeviceRead(const std::string& device, uint64_t read_seq, uint64_t offset,
+                            size_t n) override;
 
   // --- observability -------------------------------------------------------
 
@@ -187,12 +199,18 @@ class FaultInjector : public BlockDeviceFaultHook {
   };
 
   struct DeviceRule {
-    enum class Kind { kFailWrite, kFailRead, kTearWrite, kSnapshot };
+    enum class Kind { kFailWrite, kFailRead, kTearWrite, kSnapshot, kCorruptRead, kFlipRange };
     Kind kind;
     std::string device;
     uint64_t n = 0;
     StatusCode code = StatusCode::kIoError;
     size_t keep_bytes = 0;
+    // kCorruptRead / kFlipRange: how many bits to flip, and (kFlipRange) the
+    // image range the flips must land in. kFlipRange fires on the device's
+    // next read regardless of `n`.
+    int bits = 1;
+    uint64_t offset = 0;
+    uint64_t len = 0;
     bool consumed = false;
   };
 

@@ -561,20 +561,20 @@ class HalfShipChannel : public BackupChannel {
     return inner_->CompactionBegin(id, src, dst, stream);
   }
   Status ShipIndexSegment(uint64_t id, int dst, int tree_level, SegmentId segment, Slice bytes,
-                          StreamId stream) override {
+                          StreamId stream, uint32_t payload_crc) override {
     if (ships_->fetch_add(1, std::memory_order_relaxed) >= allowed_ships_) {
       return Status::Unavailable("injected mid-ship drop");
     }
     inner_->set_epoch(epoch());
-    return inner_->ShipIndexSegment(id, dst, tree_level, segment, bytes, stream);
+    return inner_->ShipIndexSegment(id, dst, tree_level, segment, bytes, stream, payload_crc);
   }
-  Status CompactionEnd(uint64_t id, int src, int dst, const BuiltTree& tree,
-                       StreamId stream) override {
+  Status CompactionEnd(uint64_t id, int src, int dst, const BuiltTree& tree, StreamId stream,
+                       const std::vector<SegmentChecksum>& seg_checksums) override {
     if (ships_->load(std::memory_order_relaxed) >= allowed_ships_) {
       return Status::Unavailable("injected end drop after mid-ship failure");
     }
     inner_->set_epoch(epoch());
-    return inner_->CompactionEnd(id, src, dst, tree, stream);
+    return inner_->CompactionEnd(id, src, dst, tree, stream, seg_checksums);
   }
   Status TrimLog(size_t segments) override {
     inner_->set_epoch(epoch());

@@ -343,12 +343,14 @@ class MidShipFailChannel : public BackupChannel {
   Status RdmaWriteLog(uint64_t, Slice) override { return Status::Ok(); }
   Status FlushLog(SegmentId, StreamId, uint64_t) override { return Status::Ok(); }
   Status CompactionBegin(uint64_t, int, int, StreamId) override { return Status::Ok(); }
-  Status ShipIndexSegment(uint64_t, int, int, SegmentId, Slice, StreamId stream) override {
+  Status ShipIndexSegment(uint64_t, int, int, SegmentId, Slice, StreamId stream,
+                          uint32_t) override {
     last_stream_->store(stream, std::memory_order_relaxed);
     ship_calls_->fetch_add(1, std::memory_order_relaxed);
     return Status::Unavailable("injected mid-ship drop");
   }
-  Status CompactionEnd(uint64_t, int, int, const BuiltTree&, StreamId) override {
+  Status CompactionEnd(uint64_t, int, int, const BuiltTree&, StreamId,
+                       const std::vector<SegmentChecksum>&) override {
     return Status::Ok();
   }
   Status TrimLog(size_t) override { return Status::Ok(); }

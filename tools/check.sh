@@ -9,8 +9,8 @@
 # Run this before every merge:
 #
 #   tools/check.sh            # all three passes (with their addenda)
-#   tools/check.sh --plain    # plain pass: fast + telemetry + filters, BENCH gate
-#   tools/check.sh --tsan     # TSan pass: fast + streams + telemetry + replica + filters
+#   tools/check.sh --plain    # plain pass: fast + telemetry + filters + scrub, BENCH gate
+#   tools/check.sh --tsan     # TSan pass: fast + streams + telemetry + replica + filters + scrub
 #   tools/check.sh --chaos    # ASan pass: chaos + streams + replica labels
 #
 # Build trees: build/ (plain), build-tsan/ (TEBIS_SANITIZE=thread) and
@@ -56,10 +56,15 @@ if [[ $run_plain -eq 1 ]]; then
     echo "BENCH gate: bench_micro.cc lost the replica-read fan-out A/B (BENCH_pr6.json)" >&2; exit 1; }
   grep -q "RunFilterComparison" bench/bench_micro.cc || {
     echo "BENCH gate: bench_micro.cc lost the bloom-filter negative-lookup A/B (BENCH_pr7.json)" >&2; exit 1; }
+  grep -q "RunScrubOverheadComparison" bench/bench_micro.cc || {
+    echo "BENCH gate: bench_micro.cc lost the scrub-overhead A/B (BENCH_pr8.json)" >&2; exit 1; }
   # Shipped bloom filters (PR 7): the filter suite by itself, so a filter or
   # manifest-versioning regression names itself.
   echo "== tier-1 pass 1/3 (addendum): plain build, filters label =="
   ctest --test-dir build -L filters --no-tests=error --output-on-failure -j "$jobs"
+  # End-to-end integrity (PR 8): checksummed segments, scrub, online repair.
+  echo "== tier-1 pass 1/3 (addendum): plain build, scrub label =="
+  ctest --test-dir build -L scrub --no-tests=error --output-on-failure -j "$jobs"
 fi
 
 if [[ $run_tsan -eq 1 ]]; then
@@ -89,6 +94,13 @@ if [[ $run_tsan -eq 1 ]]; then
   echo "== tier-1 pass 2/3 (addendum): ThreadSanitizer build, filters label =="
   TSAN_OPTIONS="halt_on_error=1 ${TSAN_OPTIONS:-}" \
     ctest --test-dir build-tsan -L filters --no-tests=error --output-on-failure -j "$jobs"
+  # Integrity (PR 8): background scrub runs on the compaction pool while
+  # foreground reads, repairs, and quarantine flags touch the same levels —
+  # the suite must be race-free under TSan. (The seeded corruption soak also
+  # rides the ASan chaos pass via its fast-chaos-scrub label.)
+  echo "== tier-1 pass 2/3 (addendum): ThreadSanitizer build, scrub label =="
+  TSAN_OPTIONS="halt_on_error=1 ${TSAN_OPTIONS:-}" \
+    ctest --test-dir build-tsan -L scrub --no-tests=error --output-on-failure -j "$jobs"
 fi
 
 if [[ $run_chaos -eq 1 ]]; then

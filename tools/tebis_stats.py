@@ -121,6 +121,41 @@ def print_filter_summary(metrics):
               f"  {fp_rate}")
 
 
+def print_integrity_summary(metrics):
+    """Derived integrity health (PR 8): scrub coverage, corruption
+    detections by path, repair traffic, and any levels still quarantined.
+    Raw-counter ratios and sums, so this section is unaffected by --raw."""
+    totals = defaultdict(int)
+    read_corruptions = defaultdict(int)
+    for key, value in metrics.items():
+        name, labels = parse_metric_key(key)
+        if name.startswith("integrity."):
+            totals[name[len("integrity."):]] += value
+        elif name == "kv.read_corruptions":
+            read_corruptions[labels.get("source", "?")] += value
+        elif name == "backup.segments_crc_rejected":
+            totals["ship_crc_rejected"] += value
+    if not totals and not read_corruptions:
+        return
+    print("\n== integrity ==")
+    print(f"  scrubbed          {humanize('bytes', totals.get('scrub_bytes', 0))}")
+    found = totals.get("corruptions_found", 0)
+    repaired = totals.get("corruptions_repaired", 0)
+    print(f"  corruptions       {found} found, {repaired} repaired"
+          f" ({found - repaired} outstanding)")
+    if read_corruptions:
+        by_src = ", ".join(f"{v} from {k}" for k, v in sorted(read_corruptions.items()))
+        print(f"  read-path hits    {by_src}")
+    print(f"  repair traffic    {totals.get('repair_fetches', 0)} fetched,"
+          f" {totals.get('repair_serves', 0)} served to peers")
+    if totals.get("ship_crc_rejected"):
+        print(f"  ship rejects      {totals['ship_crc_rejected']} shipped segments"
+              " failed payload crc")
+    quarantined = totals.get("quarantined_levels", 0)
+    status = "none -- healthy" if not quarantined else f"{quarantined} LEVELS DEGRADED"
+    print(f"  quarantined       {status}")
+
+
 def print_traces(spans):
     events = spans.get("traceEvents", []) if isinstance(spans, dict) else spans
     pid_names = {}
@@ -180,6 +215,7 @@ def main():
     print(f"node: {doc.get('node', '?')}")
     print_metrics(doc.get("metrics", {}), args.raw)
     print_filter_summary(doc.get("metrics", {}))
+    print_integrity_summary(doc.get("metrics", {}))
     print_traces(doc.get("spans", {}))
 
     if args.traces_out:
