@@ -1228,6 +1228,200 @@ void RunScrubOverheadComparison() {
   }
 }
 
+// --- write-path group commit (PR 9) ---------------------------------------------
+//
+// The acceptance experiment: 16 client threads against a replicated cluster,
+// once issuing puts one at a time (the seed path: one replication doorbell
+// per record) and once shipping the same ops in groups of 16 through
+// WriteBatch (one engine reservation + one coalesced doorbell per group).
+// Each thread owns a contiguous key window, so a group stays within one
+// region — exactly what the client's per-destination staging produces.
+
+struct WritePathRunResult {
+  double put_kops_per_sec = 0;
+  Histogram op_latency;  // batched arm: every op in a group records the group's latency
+};
+
+WritePathRunResult RunWritePathArm(SimCluster* cluster, int threads, uint64_t ops_per_thread,
+                                   size_t value_bytes, size_t group_size) {
+  WritePathRunResult result;
+  std::vector<Histogram> latencies(threads);
+  std::vector<std::thread> clients;
+  const uint64_t window = (1ull << 32) / static_cast<uint64_t>(threads);
+  const uint64_t start_ns = NowNanos();
+  for (int t = 0; t < threads; ++t) {
+    clients.emplace_back([&, t] {
+      const std::string value(value_bytes, 'w');
+      std::vector<std::string> keys(group_size);
+      std::vector<KvStore::BatchOp> ops(group_size);
+      std::vector<Status> statuses;
+      const uint64_t base = static_cast<uint64_t>(t) * window;
+      for (uint64_t i = 0; i < ops_per_thread; i += group_size) {
+        const size_t n = static_cast<size_t>(
+            std::min<uint64_t>(group_size, ops_per_thread - i));
+        for (size_t j = 0; j < n; ++j) {
+          keys[j] = Key(base + (i + j) % window);
+        }
+        const uint64_t t0 = NowNanos();
+        if (n == 1) {
+          if (Status status = cluster->Put(keys[0], value); !status.ok()) {
+            fprintf(stderr, "write-path bench: put: %s\n", status.ToString().c_str());
+            abort();
+          }
+        } else {
+          for (size_t j = 0; j < n; ++j) {
+            ops[j] = {Slice(keys[j]), Slice(value), /*tombstone=*/false};
+          }
+          ops.resize(n);
+          if (Status status = cluster->WriteBatch(ops, &statuses); !status.ok()) {
+            fprintf(stderr, "write-path bench: batch: %s\n", status.ToString().c_str());
+            abort();
+          }
+          for (const Status& s : statuses) {
+            if (!s.ok()) {
+              fprintf(stderr, "write-path bench: op: %s\n", s.ToString().c_str());
+              abort();
+            }
+          }
+          ops.resize(group_size);
+        }
+        const uint64_t elapsed = NowNanos() - t0;
+        for (size_t j = 0; j < n; ++j) {
+          latencies[t].Record(elapsed);
+        }
+      }
+    });
+  }
+  for (auto& c : clients) {
+    c.join();
+  }
+  const double seconds = static_cast<double>(NowNanos() - start_ns) / 1e9;
+  result.put_kops_per_sec =
+      static_cast<double>(ops_per_thread) * threads / seconds / 1000.0;
+  for (const Histogram& h : latencies) {
+    result.op_latency.Merge(h);
+  }
+  return result;
+}
+
+void RunWritePathComparison() {
+  const bench::BenchScale scale = bench::BenchScale::FromEnv();
+  constexpr int kClientThreads = 16;
+  constexpr size_t kGroupSize = 16;
+  constexpr int kRunsPerArm = 3;
+  // S/M/L value mixes; L crosses the WAL-time separation threshold, so that
+  // mix also exercises the large-value family end to end.
+  constexpr size_t kLargeValueThreshold = 512;
+  struct Mix {
+    const char* name;
+    size_t value_bytes;
+  };
+  constexpr Mix kMixes[] = {{"S", 24}, {"M", 120}, {"L", 1024}};
+  const uint64_t ops_per_thread =
+      std::max<uint64_t>(256, std::min<uint64_t>(scale.ops, 4000));
+  printf("\n-- write-path group commit: %d client threads, single-op vs groups of %zu, "
+         "%llu puts/thread/arm, %llu MB/s devices (median of %d, interleaved) --\n",
+         kClientThreads, kGroupSize, static_cast<unsigned long long>(ops_per_thread),
+         static_cast<unsigned long long>(scale.bandwidth_mb), kRunsPerArm);
+
+  bench::BenchJson json("pr9");
+  json.Set("write_path", "client_threads", static_cast<double>(kClientThreads));
+  json.Set("write_path", "group_size", static_cast<double>(kGroupSize));
+  json.Set("write_path", "ops_per_thread_per_arm", static_cast<double>(ops_per_thread));
+  json.Set("write_path", "device_bandwidth_mb", static_cast<double>(scale.bandwidth_mb));
+  json.Set("write_path", "large_value_threshold", static_cast<double>(kLargeValueThreshold));
+  json.Set("write_path", "target_speedup", 1.5);
+  double worst_speedup = 0;
+  bool first_mix = true;
+  for (const Mix& mix : kMixes) {
+    SimClusterOptions options;
+    options.num_servers = 3;
+    options.num_regions = 8;
+    options.replication_factor = 3;  // two backups: the doorbell path runs per backup
+    options.mode = ReplicationMode::kSendIndex;
+    // A roomy L0 keeps compaction cadence (identical work in both arms, and
+    // PR 2's experiment) from swamping the per-record vs per-group contrast
+    // this A/B isolates.
+    options.kv_options.l0_max_entries = std::max<uint64_t>(scale.l0_entries, 8192);
+    options.kv_options.large_value_threshold = kLargeValueThreshold;
+    options.device_options.segment_size = 1 << 18;
+    options.device_options.max_segments = 1 << 17;
+    if (scale.bandwidth_mb > 0) {
+      options.device_options.cost_model.read_bandwidth_bytes_per_sec =
+          scale.bandwidth_mb * 1024 * 1024;
+      options.device_options.cost_model.write_bandwidth_bytes_per_sec =
+          scale.bandwidth_mb * 1024 * 1024;
+    }
+    // One cluster per arm (identical layout and devices), runs interleaved so
+    // store growth and machine drift land on both arms equally.
+    auto make_cluster = [&] {
+      auto cluster_or = SimCluster::Create(options);
+      if (!cluster_or.ok()) {
+        fprintf(stderr, "write-path bench: cluster: %s\n",
+                cluster_or.status().ToString().c_str());
+        abort();
+      }
+      return std::move(*cluster_or);
+    };
+    auto single_cluster = make_cluster();
+    auto batched_cluster = make_cluster();
+
+    std::vector<double> single_kops, batched_kops;
+    Histogram single_latency, batched_latency;
+    const MetricsSnapshot single_before = single_cluster->MetricsNow();
+    const MetricsSnapshot batched_before = batched_cluster->MetricsNow();
+    for (int i = 0; i < kRunsPerArm; ++i) {
+      auto single = RunWritePathArm(single_cluster.get(), kClientThreads, ops_per_thread,
+                                    mix.value_bytes, /*group_size=*/1);
+      single_kops.push_back(single.put_kops_per_sec);
+      single_latency.Merge(single.op_latency);
+      auto batched = RunWritePathArm(batched_cluster.get(), kClientThreads, ops_per_thread,
+                                     mix.value_bytes, kGroupSize);
+      batched_kops.push_back(batched.put_kops_per_sec);
+      batched_latency.Merge(batched.op_latency);
+    }
+    const MetricsSnapshot single_after = single_cluster->MetricsNow();
+    const MetricsSnapshot batched_after = batched_cluster->MetricsNow();
+
+    const double single = MedianOf(single_kops);
+    const double batched = MedianOf(batched_kops);
+    const double speedup = batched / single;
+    if (first_mix || speedup < worst_speedup) {
+      worst_speedup = speedup;
+      first_mix = false;
+    }
+    printf("  mix %s (%4zu B values): single-op %8.1f kops/s p99 %7.1fus | "
+           "batched %8.1f kops/s p99 %7.1fus | speedup %.2fx\n",
+           mix.name, mix.value_bytes, single,
+           static_cast<double>(single_latency.Percentile(99)) / 1000.0, batched,
+           static_cast<double>(batched_latency.Percentile(99)) / 1000.0, speedup);
+
+    const std::string section = std::string("write_path_mix_") + mix.name;
+    json.Set(section, "value_bytes", static_cast<double>(mix.value_bytes));
+    json.Set(section, "single_put_kops_per_sec", single);
+    json.Set(section, "single_put_p99_us",
+             static_cast<double>(single_latency.Percentile(99)) / 1000.0);
+    json.Set(section, "batched_put_kops_per_sec", batched);
+    json.Set(section, "batched_put_p99_us",
+             static_cast<double>(batched_latency.Percentile(99)) / 1000.0);
+    json.Set(section, "speedup", speedup);
+    // Registry-delta proof: the single arm's delta has zero wp.batch_groups
+    // and doorbells == doorbell_records (coalesce ratio 1); the batched arm's
+    // delta shows one group per WriteBatch and a ~group_size coalesce ratio
+    // (plus wp.large_value_separations on the L mix).
+    bench::SetFromSnapshot(&json, section + "_single_registry",
+                           bench::DiffSnapshots(single_before, single_after), {"wp."});
+    bench::SetFromSnapshot(&json, section + "_batched_registry",
+                           bench::DiffSnapshots(batched_before, batched_after), {"wp."});
+  }
+  json.Set("write_path", "worst_mix_speedup", worst_speedup);
+  printf("  worst-mix speedup: %.2fx (target: >= 1.5x)\n", worst_speedup);
+  const std::string path = json.Write();
+  if (!path.empty()) {
+    printf("  wrote %s\n", path.c_str());
+  }
+}
+
 }  // namespace
 }  // namespace tebis
 
@@ -1243,5 +1437,6 @@ int main(int argc, char** argv) {
   tebis::RunReplicaReadComparison();
   tebis::RunFilterComparison();
   tebis::RunScrubOverheadComparison();
+  tebis::RunWritePathComparison();
   return 0;
 }

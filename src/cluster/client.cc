@@ -96,6 +96,13 @@ Status TebisClient::Issue(PendingOp* op) {
   if (map_ == nullptr) {
     TEBIS_RETURN_IF_ERROR(RefreshMap());
   }
+  if (!batch_queues_.empty() &&
+      (op->type == MessageType::kGet || op->type == MessageType::kScan)) {
+    // Writes parked behind the batch threshold must not be overtaken by this
+    // client's own reads (the seed pipelined path preserved per-connection
+    // FIFO); push them onto the wire first.
+    TEBIS_RETURN_IF_ERROR(FlushAllBatches());
+  }
   // Scans route by start key; everything else by exact key. If the cached
   // map routes to an unreachable server, refresh and re-route (§3.1).
   const RegionInfo* region = nullptr;
@@ -187,6 +194,11 @@ Status TebisClient::Issue(PendingOp* op) {
 }
 
 StatusOr<TebisClient::OpHandle> TebisClient::PutAsync(Slice key, Slice value) {
+  if (batch_size_ > 1) {
+    TEBIS_ASSIGN_OR_RETURN(OpHandle handle, StageWrite(MessageType::kPut, key, value));
+    stats_.puts++;
+    return handle;
+  }
   PendingOp op;
   op.type = MessageType::kPut;
   op.key = key.ToString();
@@ -197,6 +209,203 @@ StatusOr<TebisClient::OpHandle> TebisClient::PutAsync(Slice key, Slice value) {
   const OpHandle handle = next_handle_++;
   pending_.emplace(handle, std::move(op));
   return handle;
+}
+
+StatusOr<TebisClient::OpHandle> TebisClient::StageWrite(MessageType type, Slice key,
+                                                        Slice value) {
+  if (map_ == nullptr) {
+    TEBIS_RETURN_IF_ERROR(RefreshMap());
+  }
+  const RegionInfo* region = map_->FindRegion(key);
+  if (region == nullptr) {
+    return Status::Internal("no region owns key " + key.ToString());
+  }
+  PendingOp op;
+  op.type = type;
+  op.key = key.ToString();
+  op.value = value.ToString();
+  op.reply_alloc = 16;
+  op.staged = true;
+  op.region_id = region->region_id;
+  const OpHandle handle = next_handle_++;
+  BatchQueue& queue = batch_queues_[region->region_id];
+  queue.handles.push_back(handle);
+  queue.bytes += op.key.size() + op.value.size();
+  const bool full = queue.handles.size() >= batch_size_ || queue.bytes >= batch_bytes_;
+  pending_.emplace(handle, std::move(op));
+  if (full) {
+    TEBIS_RETURN_IF_ERROR(FlushBatchQueue(region->region_id));
+  }
+  return handle;
+}
+
+Status TebisClient::FlushBatchQueue(uint32_t region_id) {
+  auto qit = batch_queues_.find(region_id);
+  if (qit == batch_queues_.end()) {
+    return Status::Ok();
+  }
+  std::vector<OpHandle> handles = std::move(qit->second.handles);
+  batch_queues_.erase(qit);
+  if (handles.empty()) {
+    return Status::Ok();
+  }
+  // Re-issues handles[from..] through the single-op path, which owns routing,
+  // retries, and failover; an op that cannot even be issued completes with
+  // that error.
+  auto fallback = [&](size_t from) {
+    for (size_t i = from; i < handles.size(); ++i) {
+      auto pit = pending_.find(handles[i]);
+      if (pit == pending_.end()) {
+        continue;
+      }
+      PendingOp& op = pit->second;
+      op.staged = false;
+      op.batch_id = 0;
+      if (Status s = Issue(&op); !s.ok()) {
+        completed_[handles[i]] = OpResult{s, ""};
+        pending_.erase(pit);
+      }
+    }
+  };
+  if (handles.size() == 1) {
+    // A group of one gains nothing from the batch frame; keep the seed
+    // single-op wire shape (byte-compat acceptance of PR 9).
+    fallback(0);
+    return Status::Ok();
+  }
+  std::vector<KvBatchOp> ops;
+  ops.reserve(handles.size());
+  for (OpHandle h : handles) {
+    PendingOp& op = pending_.at(h);
+    op.staged = false;
+    ops.push_back(KvBatchOp{op.type == MessageType::kDelete, Slice(op.key), Slice(op.value)});
+  }
+  // Route the group by its first key. Staging grouped by region under some map
+  // version; if the map moved since, the server answers kFlagWrongRegion and
+  // the harvest falls back to per-op re-issue, which re-routes each key.
+  const RegionInfo* region = map_ == nullptr ? nullptr : map_->FindRegion(ops.front().key);
+  RpcClient* client = nullptr;
+  if (region != nullptr) {
+    if (auto resolved = ClientFor(region->primary); resolved.ok()) {
+      client = *resolved;
+    }
+  }
+  if (client == nullptr) {
+    stats_.batch_fallbacks++;
+    (void)RefreshMap();
+    fallback(0);
+    return Status::Ok();
+  }
+  const std::string payload = EncodeKvBatchRequest(ops);
+  // Success replies carry one small status per op; only failures add message
+  // strings. An undersized allocation falls back to single-op re-issue.
+  const size_t alloc = 64 + 48 * ops.size();
+  auto request = client->SendRequest(MessageType::kKvBatch, region->region_id, payload, alloc,
+                                     static_cast<uint32_t>(map_->version()));
+  if (!request.ok()) {
+    stats_.batch_fallbacks++;
+    fallback(0);
+    return Status::Ok();
+  }
+  const uint64_t batch_id = next_batch_id_++;
+  InflightBatch batch;
+  batch.server = region->primary;
+  batch.request_id = *request;
+  batch.region_id = region->region_id;
+  batch.handles = handles;
+  inflight_batches_.emplace(batch_id, std::move(batch));
+  for (OpHandle h : handles) {
+    PendingOp& op = pending_.at(h);
+    op.batch_id = batch_id;
+    op.server = region->primary;
+    op.attempts++;
+  }
+  stats_.batches_sent++;
+  stats_.batched_ops += handles.size();
+  return Status::Ok();
+}
+
+Status TebisClient::FlushAllBatches() {
+  Status first;
+  while (!batch_queues_.empty()) {
+    const uint32_t region_id = batch_queues_.begin()->first;
+    if (Status s = FlushBatchQueue(region_id); !s.ok() && first.ok()) {
+      first = s;
+    }
+  }
+  return first;
+}
+
+void TebisClient::HarvestBatch(uint64_t batch_id) {
+  auto bit = inflight_batches_.find(batch_id);
+  if (bit == inflight_batches_.end()) {
+    return;
+  }
+  InflightBatch batch = std::move(bit->second);
+  inflight_batches_.erase(bit);
+  StatusOr<RpcReply> reply = Status::Unavailable("server gone");
+  if (auto client = ClientFor(batch.server); client.ok()) {
+    reply = (*client)->WaitReply(batch.request_id, rpc_timeout_ns_);
+  }
+  std::vector<KvBatchOpStatus> statuses;
+  uint64_t token_epoch = 0;
+  uint64_t token_seq = 0;
+  bool per_op = false;
+  if (reply.ok() &&
+      (reply->header.flags & (kFlagError | kFlagWrongRegion | kFlagTruncatedReply)) == 0) {
+    per_op = DecodeKvBatchReply(reply->payload, &statuses, &token_epoch, &token_seq).ok() &&
+             statuses.size() == batch.handles.size();
+  }
+  if (!per_op) {
+    // The frame failed as a unit — dead server, stale map, fenced primary, or
+    // an undersized reply allocation. The single-op path already owns every
+    // one of those retries, so re-issue each carried write through it.
+    stats_.batch_fallbacks++;
+    if (!reply.ok()) {
+      stats_.failover_retries++;
+      (void)RefreshMap();
+    } else if (reply->header.flags & kFlagWrongRegion) {
+      stats_.wrong_region_retries++;
+      (void)RefreshMap();
+    } else if ((reply->header.flags & kFlagError) &&
+               reply->payload.rfind("FailedPrecondition", 0) == 0) {
+      // A fenced (deposed) primary, §3.5: nothing in the group replicated.
+      stats_.failover_retries++;
+      (void)RefreshMap();
+    }
+    for (OpHandle h : batch.handles) {
+      auto pit = pending_.find(h);
+      if (pit == pending_.end()) {
+        continue;
+      }
+      PendingOp& op = pit->second;
+      op.batch_id = 0;
+      if (op.attempts >= kMaxAttempts) {
+        completed_[h] = OpResult{Status::Unavailable("batched write failed after retries"), ""};
+        pending_.erase(pit);
+        continue;
+      }
+      if (Status s = Issue(&op); !s.ok()) {
+        completed_[h] = OpResult{s, ""};
+        pending_.erase(pit);
+      }
+    }
+    return;
+  }
+  // Fold the commit token (PR 6) once for the whole group.
+  RegionReadState& st = read_state_[batch.region_id];
+  if (token_epoch > st.token_epoch ||
+      (token_epoch == st.token_epoch && token_seq > st.token_seq)) {
+    st.token_epoch = token_epoch;
+    st.token_seq = token_seq;
+  }
+  for (size_t i = 0; i < batch.handles.size(); ++i) {
+    const KvBatchOpStatus& s = statuses[i];
+    Status status =
+        s.code == 0 ? Status::Ok() : Status(static_cast<StatusCode>(s.code), s.message);
+    completed_[batch.handles[i]] = OpResult{std::move(status), ""};
+    pending_.erase(batch.handles[i]);
+  }
 }
 
 StatusOr<TebisClient::OpHandle> TebisClient::GetAsync(Slice key) {
@@ -212,6 +421,11 @@ StatusOr<TebisClient::OpHandle> TebisClient::GetAsync(Slice key) {
 }
 
 StatusOr<TebisClient::OpHandle> TebisClient::DeleteAsync(Slice key) {
+  if (batch_size_ > 1) {
+    TEBIS_ASSIGN_OR_RETURN(OpHandle handle, StageWrite(MessageType::kDelete, key, Slice()));
+    stats_.deletes++;
+    return handle;
+  }
   PendingOp op;
   op.type = MessageType::kDelete;
   op.key = key.ToString();
@@ -224,7 +438,32 @@ StatusOr<TebisClient::OpHandle> TebisClient::DeleteAsync(Slice key) {
 }
 
 TebisClient::OpResult TebisClient::Complete(OpHandle handle) {
+  if (auto done = completed_.find(handle); done != completed_.end()) {
+    OpResult result = std::move(done->second);
+    completed_.erase(done);
+    return result;
+  }
   auto it = pending_.find(handle);
+  if (it == pending_.end()) {
+    return OpResult{Status::NotFound("unknown op handle"), ""};
+  }
+  if (it->second.staged) {
+    // Still parked in a batch queue: push the group onto the wire now.
+    (void)FlushBatchQueue(it->second.region_id);
+    it = pending_.find(handle);
+  }
+  if (it != pending_.end() && it->second.batch_id != 0) {
+    // Rode a kKvBatch frame: harvest it. Either the per-op status lands in
+    // completed_, or the fallback re-issued this op through the single-op
+    // path and the loop below drives it home.
+    HarvestBatch(it->second.batch_id);
+    it = pending_.find(handle);
+  }
+  if (auto done = completed_.find(handle); done != completed_.end()) {
+    OpResult result = std::move(done->second);
+    completed_.erase(done);
+    return result;
+  }
   if (it == pending_.end()) {
     return OpResult{Status::NotFound("unknown op handle"), ""};
   }
@@ -399,9 +638,11 @@ TebisClient::OpResult TebisClient::Complete(OpHandle handle) {
 TebisClient::OpResult TebisClient::Wait(OpHandle handle) { return Complete(handle); }
 
 Status TebisClient::WaitAll() {
+  (void)FlushAllBatches();
   Status first;
-  while (!pending_.empty()) {
-    const OpHandle handle = pending_.begin()->first;
+  while (!pending_.empty() || !completed_.empty()) {
+    const OpHandle handle =
+        pending_.empty() ? completed_.begin()->first : pending_.begin()->first;
     OpResult result = Complete(handle);
     if (!result.status.ok() && !result.status.IsNotFound() && first.ok()) {
       first = result.status;

@@ -40,6 +40,10 @@ struct ClientStats {
   // replica served rotten bytes -> retry on the primary; the primary did ->
   // retry on a leased replica. One flip per op, then the error surfaces.
   uint64_t corruption_retries = 0;
+  // Write batching (PR 9).
+  uint64_t batches_sent = 0;     // kKvBatch frames shipped
+  uint64_t batched_ops = 0;      // writes carried by those frames
+  uint64_t batch_fallbacks = 0;  // batch frames re-issued op-by-op
 };
 
 // Where reads are routed (PR 6). Writes always go to the primary.
@@ -111,6 +115,19 @@ class TebisClient {
   }
   ReadMode read_mode() const { return read_mode_; }
 
+  // Write batching (PR 9): when batch_size > 1, PutAsync/DeleteAsync stage
+  // writes per destination region and ship each group as one kKvBatch frame
+  // once it reaches batch_size ops or batch_bytes of key+value payload
+  // (reads and Wait/WaitAll flush staged groups first). The server applies a
+  // group under one value-log reservation and replicates it with coalesced
+  // doorbells. batch_size = 1 (the default) keeps the seed single-op wire
+  // format byte-for-byte; a group of one is likewise sent as a plain kPut.
+  void set_batching(size_t batch_size, size_t batch_bytes = 1 << 16) {
+    batch_size_ = batch_size == 0 ? 1 : batch_size;
+    batch_bytes_ = batch_bytes == 0 ? 1 : batch_bytes;
+  }
+  size_t batch_size() const { return batch_size_; }
+
  private:
   struct PendingOp {
     MessageType type;
@@ -129,6 +146,9 @@ class TebisClient {
     bool force_replica = false;
     bool corruption_retried = false;
     uint32_t region_id = 0;      // region it routed to (read-state key)
+    // Write batching (PR 9).
+    bool staged = false;     // parked in a batch queue, not yet on the wire
+    uint64_t batch_id = 0;   // in-flight kKvBatch frame it rode (0 = single-op)
   };
 
   // Per-region read-consistency state (PR 6).
@@ -141,12 +161,34 @@ class TebisClient {
     uint64_t observed_seq = 0;
   };
 
+  // A batch queue holds writes staged for one region; an in-flight batch is
+  // one kKvBatch frame whose per-op statuses have not been harvested yet.
+  struct BatchQueue {
+    std::vector<OpHandle> handles;
+    size_t bytes = 0;  // staged key+value payload
+  };
+  struct InflightBatch {
+    std::string server;
+    uint64_t request_id = 0;
+    uint32_t region_id = 0;
+    std::vector<OpHandle> handles;
+  };
+
   Status RefreshMap();
   StatusOr<RpcClient*> ClientFor(const std::string& server);
   // Issues (or re-issues) `op` to the current owner of its key.
   Status Issue(PendingOp* op);
   // Drives one op to completion.
   OpResult Complete(OpHandle handle);
+  // Parks a write in its region's batch queue, flushing at the thresholds.
+  StatusOr<OpHandle> StageWrite(MessageType type, Slice key, Slice value);
+  // Ships one region's staged writes as a kKvBatch frame (or re-issues them
+  // through the single-op path when the frame cannot be sent).
+  Status FlushBatchQueue(uint32_t region_id);
+  Status FlushAllBatches();
+  // Waits for a batch reply and distributes per-op statuses; a frame that
+  // fails as a unit falls back to single-op re-issue per carried write.
+  void HarvestBatch(uint64_t batch_id);
 
   Fabric* const fabric_;
   const std::string name_;
@@ -157,6 +199,14 @@ class TebisClient {
   std::map<std::string, std::unique_ptr<RpcClient>> connections_;
   std::shared_ptr<const RegionMap> map_;
   std::map<OpHandle, PendingOp> pending_;
+  // Results of batched ops resolved before their Wait (node-stable maps:
+  // KvBatchOp slices into pending_ entries survive unrelated inserts).
+  std::map<OpHandle, OpResult> completed_;
+  std::map<uint32_t, BatchQueue> batch_queues_;    // keyed by region id
+  std::map<uint64_t, InflightBatch> inflight_batches_;
+  uint64_t next_batch_id_ = 1;
+  size_t batch_size_ = 1;
+  size_t batch_bytes_ = 1 << 16;
   OpHandle next_handle_ = 1;
   size_t default_value_alloc_ = 1024;
   uint64_t rpc_timeout_ns_ = kDefaultRpcCallTimeoutNs;

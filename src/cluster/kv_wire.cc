@@ -150,4 +150,83 @@ Status DecodeCommitToken(Slice payload, uint64_t* epoch, uint64_t* seq) {
   return r.U64(seq);
 }
 
+std::string EncodeKvBatchRequest(const std::vector<KvBatchOp>& ops) {
+  WireWriter w;
+  w.U32(static_cast<uint32_t>(ops.size()));
+  for (const KvBatchOp& op : ops) {
+    w.U8(op.tombstone ? 1 : 0).Bytes(op.key);
+    if (!op.tombstone) {
+      w.Bytes(op.value);
+    }
+  }
+  return w.str();
+}
+
+Status DecodeKvBatchRequest(Slice payload, std::vector<KvBatchOp>* ops) {
+  WireReader r(payload);
+  uint32_t n;
+  TEBIS_RETURN_IF_ERROR(r.U32(&n));
+  // A count that cannot possibly fit the remaining bytes is corruption, not a
+  // huge allocation: every op costs at least the flag byte plus a key length.
+  if (n > r.remaining()) {
+    return Status::Corruption("kv batch: op count past end");
+  }
+  ops->clear();
+  ops->reserve(n);
+  for (uint32_t i = 0; i < n; ++i) {
+    KvBatchOp op;
+    uint8_t flag;
+    TEBIS_RETURN_IF_ERROR(r.U8(&flag));
+    if (flag > 1) {
+      return Status::Corruption("kv batch: bad op flag");
+    }
+    op.tombstone = (flag == 1);
+    TEBIS_RETURN_IF_ERROR(r.BytesView(&op.key));
+    if (!op.tombstone) {
+      TEBIS_RETURN_IF_ERROR(r.BytesView(&op.value));
+    }
+    ops->push_back(op);
+  }
+  if (r.remaining() != 0) {
+    return Status::Corruption("kv batch: trailing bytes");
+  }
+  return Status::Ok();
+}
+
+std::string EncodeKvBatchReply(const std::vector<KvBatchOpStatus>& statuses, uint64_t epoch,
+                               uint64_t seq) {
+  WireWriter w;
+  w.U32(static_cast<uint32_t>(statuses.size()));
+  for (const KvBatchOpStatus& s : statuses) {
+    w.U32(s.code);
+    if (s.code != 0) {
+      w.Bytes(s.message);
+    }
+  }
+  w.U64(epoch).U64(seq);
+  return w.str();
+}
+
+Status DecodeKvBatchReply(Slice payload, std::vector<KvBatchOpStatus>* statuses,
+                          uint64_t* epoch, uint64_t* seq) {
+  WireReader r(payload);
+  uint32_t n;
+  TEBIS_RETURN_IF_ERROR(r.U32(&n));
+  if (n > r.remaining()) {
+    return Status::Corruption("kv batch reply: op count past end");
+  }
+  statuses->clear();
+  statuses->reserve(n);
+  for (uint32_t i = 0; i < n; ++i) {
+    KvBatchOpStatus s;
+    TEBIS_RETURN_IF_ERROR(r.U32(&s.code));
+    if (s.code != 0) {
+      TEBIS_RETURN_IF_ERROR(r.Bytes(&s.message));
+    }
+    statuses->push_back(std::move(s));
+  }
+  TEBIS_RETURN_IF_ERROR(r.U64(epoch));
+  return r.U64(seq);
+}
+
 }  // namespace tebis

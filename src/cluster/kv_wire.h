@@ -53,6 +53,33 @@ Status DecodeReplicaScanReply(Slice payload, std::vector<KvPair>* pairs,
 std::string EncodeCommitToken(uint64_t epoch, uint64_t seq);
 Status DecodeCommitToken(Slice payload, uint64_t* epoch, uint64_t* seq);
 
+// Write-path group commit (PR 9): a kKvBatch frame carries N puts/deletes the
+// client coalesced for one destination (server, region); the server applies
+// them as one group commit and answers one status per op plus the commit
+// token the *group* reached. Clients running batch_size=1 never emit this
+// frame — their wire bytes stay identical to the single-op messages above.
+struct KvBatchOp {
+  bool tombstone = false;  // false = put, true = delete
+  Slice key;
+  Slice value;  // empty for deletes
+};
+
+// Per-op outcome in a kKvBatchReply. `code` travels as the numeric StatusCode
+// so the client can reconstruct the exact status; `message` only accompanies
+// failures.
+struct KvBatchOpStatus {
+  uint32_t code = 0;  // StatusCode as wire integer; 0 = ok
+  std::string message;
+};
+
+std::string EncodeKvBatchRequest(const std::vector<KvBatchOp>& ops);
+Status DecodeKvBatchRequest(Slice payload, std::vector<KvBatchOp>* ops);
+
+std::string EncodeKvBatchReply(const std::vector<KvBatchOpStatus>& statuses, uint64_t epoch,
+                               uint64_t seq);
+Status DecodeKvBatchReply(Slice payload, std::vector<KvBatchOpStatus>* statuses,
+                          uint64_t* epoch, uint64_t* seq);
+
 }  // namespace tebis
 
 #endif  // TEBIS_CLUSTER_KV_WIRE_H_

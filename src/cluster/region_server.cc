@@ -176,10 +176,12 @@ Status RegionServer::OpenBackupRegion(uint32_t region_id, uint64_t epoch) {
   }
   auto handle = std::make_shared<RegionHandle>();
   handle->is_primary = false;
-  // Register the log buffer this region's primary will write one-sided.
+  // Register the log buffer this region's primary will write one-sided: 2x a
+  // segment (PR 9) — main tail mirror in [0, segment), large-value tail
+  // mirror in [segment, 2*segment).
   handle->replication_buffer =
       fabric_->RegisterBuffer(/*owner=*/name_, /*writer=*/"primary-of-r" + std::to_string(region_id),
-                              options_.device_options.segment_size);
+                              2 * options_.device_options.segment_size);
   const KvStoreOptions backup_kv = RegionKvOptions(region_id, "backup");
   if (options_.replication_mode == ReplicationMode::kSendIndex) {
     TEBIS_ASSIGN_OR_RETURN(handle->send_backup,
@@ -233,6 +235,35 @@ std::shared_ptr<RegionServer::RegionHandle> RegionServer::FindRegion(uint32_t re
   return it == regions_.end() ? nullptr : it->second;
 }
 
+std::unique_ptr<BackupChannel> RegionServer::MakeBackupChannel(
+    uint32_t region_id, RegionServer* backup_server, std::shared_ptr<RegisteredBuffer> buffer) {
+  const std::string backup_name = backup_server->name();
+  const std::string base = name_ + ">r" + std::to_string(region_id) + ">" + backup_name;
+  const MetricLabels labels{{"node", name_},
+                            {"region", std::to_string(region_id)},
+                            {"backup", backup_name}};
+  auto client = std::make_unique<RpcClient>(fabric_, base,
+                                            backup_server->replication_endpoint(),
+                                            options_.replication_connection_buffer,
+                                            telemetry_.get(), labels);
+  // Per-stream queue-pair slots (PR 9): a dedicated connection — own rings,
+  // own send lock — per shipping stream. Captures the endpoint, not the
+  // server object: the channel may outlive this attach call, and the
+  // endpoint's lifetime is what the base connection already depends on.
+  ServerEndpoint* endpoint = backup_server->replication_endpoint();
+  RpcBackupChannel::StreamClientFactory factory =
+      [this, base, endpoint, labels](StreamId stream) -> std::unique_ptr<RpcClient> {
+    MetricLabels stream_labels = labels;
+    stream_labels.emplace_back("stream", std::to_string(stream));
+    return std::make_unique<RpcClient>(fabric_, base + ">s" + std::to_string(stream), endpoint,
+                                       options_.replication_connection_buffer, telemetry_.get(),
+                                       stream_labels);
+  };
+  return std::make_unique<RpcBackupChannel>(std::move(client), region_id, std::move(buffer),
+                                            options_.replication_policy.call_deadline_ns,
+                                            std::move(factory));
+}
+
 Status RegionServer::AttachBackup(uint32_t region_id, RegionServer* backup_server,
                                   uint64_t epoch) {
   std::shared_ptr<RegionHandle> handle = FindRegion(region_id);
@@ -241,13 +272,8 @@ Status RegionServer::AttachBackup(uint32_t region_id, RegionServer* backup_serve
   }
   TEBIS_ASSIGN_OR_RETURN(std::shared_ptr<RegisteredBuffer> buffer,
                          backup_server->GetReplicationBuffer(region_id));
-  auto client = std::make_unique<RpcClient>(
-      fabric_, name_ + ">r" + std::to_string(region_id) + ">" + backup_server->name(),
-      backup_server->replication_endpoint(), options_.replication_connection_buffer,
-      telemetry_.get(),
-      MetricLabels{{"node", name_},
-                   {"region", std::to_string(region_id)},
-                   {"backup", backup_server->name()}});
+  std::unique_ptr<BackupChannel> channel =
+      MakeBackupChannel(region_id, backup_server, std::move(buffer));
   std::lock_guard<std::mutex> lock(handle->mutex);
   if (handle->closed) {
     return Status::NotFound("region " + std::to_string(region_id) + " closed");
@@ -255,9 +281,7 @@ Status RegionServer::AttachBackup(uint32_t region_id, RegionServer* backup_serve
   if (epoch != 0) {
     handle->primary->set_epoch(epoch);
   }
-  handle->primary->AddBackup(std::make_unique<RpcBackupChannel>(
-      std::move(client), region_id, std::move(buffer),
-      options_.replication_policy.call_deadline_ns));
+  handle->primary->AddBackup(std::move(channel));
   return Status::Ok();
 }
 
@@ -269,16 +293,8 @@ Status RegionServer::AttachBackupWithFullSync(uint32_t region_id, RegionServer* 
   }
   TEBIS_ASSIGN_OR_RETURN(std::shared_ptr<RegisteredBuffer> buffer,
                          backup_server->GetReplicationBuffer(region_id));
-  auto client = std::make_unique<RpcClient>(
-      fabric_, name_ + ">r" + std::to_string(region_id) + ">" + backup_server->name(),
-      backup_server->replication_endpoint(), options_.replication_connection_buffer,
-      telemetry_.get(),
-      MetricLabels{{"node", name_},
-                   {"region", std::to_string(region_id)},
-                   {"backup", backup_server->name()}});
-  auto channel = std::make_unique<RpcBackupChannel>(
-      std::move(client), region_id, std::move(buffer),
-      options_.replication_policy.call_deadline_ns);
+  std::unique_ptr<BackupChannel> channel =
+      MakeBackupChannel(region_id, backup_server, std::move(buffer));
   std::lock_guard<std::mutex> lock(handle->mutex);
   if (handle->closed) {
     return Status::NotFound("region " + std::to_string(region_id) + " closed");
@@ -407,7 +423,9 @@ Status RegionServer::DemoteRegion(uint32_t region_id, const SegmentMap& new_prim
   // Validate BEFORE gutting the primary: a put that raced in after the
   // coordinator's tail flush must leave the region serving (the caller
   // retries the move), not a husk whose engine was moved out and destroyed.
-  if (handle->primary->store()->value_log()->tail_used() != 0) {
+  // Covers both tails (PR 9): a dual-tail log may have a clean main tail but
+  // unflushed large-value records.
+  if (handle->primary->store()->value_log()->HasUnflushedRecords()) {
     return Status::FailedPrecondition("tail not flushed before demotion");
   }
   std::unique_ptr<KvStore> store = handle->primary->ReleaseStore();
@@ -421,7 +439,7 @@ Status RegionServer::DemoteRegion(uint32_t region_id, const SegmentMap& new_prim
   }
   handle->replication_buffer = fabric_->RegisterBuffer(
       /*owner=*/name_, /*writer=*/"primary-of-r" + std::to_string(region_id),
-      options_.device_options.segment_size);
+      2 * options_.device_options.segment_size);
   const KvStoreOptions backup_kv = RegionKvOptions(region_id, "backup");
   if (options_.replication_mode == ReplicationMode::kSendIndex) {
     KvStore::Parts parts = KvStore::Decompose(std::move(store));
@@ -593,6 +611,7 @@ void RegionServer::HandleRequest(const MessageHeader& header, std::string payloa
     case MessageType::kGet:
     case MessageType::kDelete:
     case MessageType::kScan:
+    case MessageType::kKvBatch:
       HandleKvOp(region.get(), header, payload, ctx);
       return;
     case MessageType::kReplicaGet:
@@ -688,6 +707,41 @@ void RegionServer::HandleKvOp(RegionHandle* region, const MessageHeader& header,
         return;
       }
       (void)ctx.SendReply(reply_type, 0, *value);
+      return;
+    }
+    case MessageType::kKvBatch: {
+      // Group commit (PR 9): the whole frame applies under one engine
+      // reservation and one coalesced replication doorbell; the reply is one
+      // status per op plus the commit token the group reached.
+      std::vector<KvBatchOp> ops;
+      if (Status s = DecodeKvBatchRequest(payload, &ops); !s.ok()) {
+        ReplyError(ctx, reply_type, s);
+        return;
+      }
+      std::vector<KvStore::BatchOp> batch;
+      batch.reserve(ops.size());
+      for (const KvBatchOp& op : ops) {
+        batch.push_back({op.key, op.value, op.tombstone});
+      }
+      std::vector<Status> statuses;
+      // The batch-level status is already folded into the per-op statuses
+      // (PrimaryRegion::WriteBatch fails un-replicated ops individually), so
+      // the frame itself always answers with the per-op vector.
+      (void)primary->WriteBatch(batch, &statuses);
+      std::vector<KvBatchOpStatus> op_statuses;
+      op_statuses.reserve(statuses.size());
+      for (const Status& s : statuses) {
+        op_statuses.push_back({static_cast<uint32_t>(s.code()), s.ok() ? "" : s.ToString()});
+      }
+      uint64_t token_epoch, token_seq;
+      primary->CommitToken(&token_epoch, &token_seq);
+      const std::string encoded = EncodeKvBatchReply(op_statuses, token_epoch, token_seq);
+      if (!ctx.ReplyFits(encoded.size())) {
+        (void)ctx.SendReply(reply_type, kFlagTruncatedReply,
+                            EncodeTruncatedReply(encoded.size()));
+        return;
+      }
+      (void)ctx.SendReply(reply_type, 0, encoded);
       return;
     }
     case MessageType::kScan: {
@@ -826,8 +880,9 @@ void RegionServer::HandleReplicationOp(RegionHandle* region, const MessageHeader
         status = check_epoch(msg.epoch);
       }
       if (status.ok()) {
-        status = send != nullptr ? send->HandleLogFlush(msg.primary_segment, msg.commit_seq)
-                                 : build->HandleLogFlush(msg.primary_segment, msg.commit_seq);
+        status = send != nullptr
+                     ? send->HandleLogFlush(msg.primary_segment, msg.commit_seq, msg.family)
+                     : build->HandleLogFlush(msg.primary_segment, msg.commit_seq, msg.family);
       }
       break;
     }

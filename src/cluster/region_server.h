@@ -231,6 +231,13 @@ class RegionServer {
   KvStoreOptions RegionKvOptions(uint32_t region_id, const char* role) const;
   // Wires the health policy + detach listener into a primary region object.
   void InstallPrimaryPolicy(uint32_t region_id, PrimaryRegion* primary);
+  // Builds the replication channel to one backup, with a per-stream client
+  // factory (PR 9, closing the PR 4 follow-on): each shipping stream gets its
+  // own connection — its own queue-pair slot — so concurrent streams stop
+  // serializing on one channel-wide send lock.
+  std::unique_ptr<BackupChannel> MakeBackupChannel(uint32_t region_id,
+                                                   RegionServer* backup_server,
+                                                   std::shared_ptr<RegisteredBuffer> buffer);
   // Records a unilateral detach as a persistent coordinator znode, off-thread
   // (the listener runs under region locks; the master's watch fires on the
   // creating thread and re-enters this server). `stream` is the shipping

@@ -63,6 +63,7 @@ StatusOr<std::unique_ptr<KvStore>> KvStore::Create(BlockDevice* device,
   }
   std::unique_ptr<KvStore> store(new KvStore(device, options));
   TEBIS_ASSIGN_OR_RETURN(store->log_, ValueLog::Create(device));
+  store->log_->set_large_value_threshold(options.large_value_threshold);
   return store;
 }
 
@@ -75,6 +76,7 @@ StatusOr<std::unique_ptr<KvStore>> KvStore::CreateFromParts(BlockDevice* device,
   }
   std::unique_ptr<KvStore> store(new KvStore(device, options));
   store->log_ = std::move(log);
+  store->log_->set_large_value_threshold(options.large_value_threshold);
   for (size_t i = 0; i < levels.size(); ++i) {
     store->levels_[i] = store->MakeHandle(std::move(levels[i]), static_cast<int>(i));
   }
@@ -157,6 +159,12 @@ KvStore::KvStore(BlockDevice* device, const KvStoreOptions& options)
     level_labels.emplace_back("source", "level");
     counters_.read_corruptions_level = reg->GetCounter("kv.read_corruptions", level_labels);
   }
+  // Write-path group commit (PR 9).
+  counters_.batch_groups = reg->GetCounter("wp.batch_groups", l);
+  counters_.batch_ops = reg->GetCounter("wp.batch_ops", l);
+  counters_.large_value_separations = reg->GetCounter("wp.large_value_separations", l);
+  counters_.batch_size = reg->GetHistogram("wp.batch_size", l);
+  counters_.group_commit_latency_ns = reg->GetHistogram("wp.group_commit_latency_ns", l);
 }
 
 void KvStore::AssignStreamLocked(CompactionInfo* info) {
@@ -263,6 +271,9 @@ KvStoreStats KvStore::stats() const {
   s.repair_fetches = counters_.repair_fetches->Value();
   s.read_corruptions =
       counters_.read_corruptions_log->Value() + counters_.read_corruptions_level->Value();
+  s.batch_groups = counters_.batch_groups->Value();
+  s.batch_ops = counters_.batch_ops->Value();
+  s.large_value_separations = counters_.large_value_separations->Value();
   // Live view, not the gauge: a read may quarantine a level between scrubs.
   s.quarantined_levels = QuarantinedLevels().size();
   return s;
@@ -320,6 +331,125 @@ Status KvStore::WriteImpl(Slice key, Slice value, bool tombstone) {
     return MaybeCompactLocked();
   }
   return MaybeScheduleL0(record_bytes);
+}
+
+Status KvStore::WriteBatch(const std::vector<BatchOp>& ops, std::vector<Status>* statuses) {
+  statuses->assign(ops.size(), Status::Ok());
+  if (ops.empty()) {
+    return Status::Ok();
+  }
+  std::lock_guard<std::mutex> wl(write_mutex_);
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (!bg_error_.ok()) {
+      for (Status& s : *statuses) {
+        s = bg_error_;
+      }
+      return bg_error_;
+    }
+  }
+  const uint64_t start_ns = NowNanos();
+  const size_t threshold = log_->large_value_threshold();
+  const size_t seg_size = device_->segment_size();
+
+  // Validate up front (mirroring ValueLog::Append's checks) so the group
+  // reservation only counts records that will land; an invalid op fails alone
+  // and the rest of the batch proceeds.
+  size_t main_bytes = 0;
+  size_t large_bytes = 0;
+  for (size_t i = 0; i < ops.size(); ++i) {
+    const BatchOp& op = ops[i];
+    if (op.key.empty() || op.key.size() > kMaxKeySize) {
+      (*statuses)[i] =
+          Status::InvalidArgument("key size must be in [1, " + std::to_string(kMaxKeySize) + "]");
+      continue;
+    }
+    const size_t need = LogRecordSize(op.key.size(), op.tombstone ? 0 : op.value.size());
+    if (need + 4 > seg_size) {
+      (*statuses)[i] = Status::InvalidArgument("record larger than a segment");
+      continue;
+    }
+    const bool large = threshold > 0 && !op.tombstone && op.value.size() >= threshold;
+    (large ? large_bytes : main_bytes) += need;
+  }
+
+  bool flushed = false;
+  Status result = Status::Ok();
+  uint64_t appended_bytes = 0;
+  uint64_t applied_puts = 0;
+  uint64_t applied_deletes = 0;
+  uint64_t separations = 0;
+  uint64_t cpu_ns = 0;
+  {
+    ScopedCpuTimer t(&cpu_ns);
+    Status begin = log_->BeginGroup(main_bytes, large_bytes, &flushed);
+    if (!begin.ok()) {
+      for (size_t i = 0; i < ops.size(); ++i) {
+        if ((*statuses)[i].ok()) {
+          (*statuses)[i] = begin;
+        }
+      }
+      return begin;
+    }
+    std::vector<Memtable::BatchEntry> entries;
+    entries.reserve(ops.size());
+    for (size_t i = 0; i < ops.size(); ++i) {
+      if (!(*statuses)[i].ok()) {
+        continue;
+      }
+      const BatchOp& op = ops[i];
+      StatusOr<ValueLog::AppendResult> res =
+          log_->Append(op.key, op.tombstone ? Slice() : op.value, op.tombstone);
+      if (!res.ok()) {
+        // A hard append failure (I/O, allocation) kills the rest of the group:
+        // nothing at or past this op reached the log. The applied prefix stays
+        // committed — it is already in the run the observer will see.
+        for (size_t j = i; j < ops.size(); ++j) {
+          if ((*statuses)[j].ok()) {
+            (*statuses)[j] = res.status();
+          }
+        }
+        result = res.status();
+        break;
+      }
+      flushed = flushed || res->flushed_segment;
+      entries.push_back({op.key, ValueLocation{res->offset, op.tombstone}});
+      appended_bytes += op.key.size() + (op.tombstone ? 0 : op.value.size());
+      if (op.tombstone) {
+        ++applied_deletes;
+      } else {
+        ++applied_puts;
+        if (threshold > 0 && op.value.size() >= threshold) {
+          ++separations;
+        }
+      }
+    }
+    log_->EndGroup();
+    if (!entries.empty()) {
+      active_->PutBatch(entries.data(), entries.size());
+    }
+  }
+  counters_.insert_l0_cpu_ns->Add(cpu_ns);
+  counters_.puts->Add(applied_puts);
+  counters_.deletes->Add(applied_deletes);
+  counters_.batch_groups->Increment();
+  counters_.batch_ops->Add(applied_puts + applied_deletes);
+  counters_.large_value_separations->Add(separations);
+  counters_.batch_size->Record(applied_puts + applied_deletes);
+  active_appended_bytes_ += appended_bytes;
+  if (flushed && options_.auto_checkpoint) {
+    TEBIS_RETURN_IF_ERROR(Checkpoint().status());
+  }
+  counters_.group_commit_latency_ns->Record(NowNanos() - start_ns);
+  if (!result.ok()) {
+    return result;
+  }
+  // Backpressure charged once for the whole group: one slowdown-bucket debit
+  // (or one synchronous compaction check) per doorbell, not per record.
+  if (pool_ == nullptr) {
+    return MaybeCompactLocked();
+  }
+  return MaybeScheduleL0(appended_bytes);
 }
 
 Status KvStore::PutLocked(Slice key, Slice value, bool tombstone) {

@@ -84,6 +84,12 @@ struct KvStoreOptions {
   bool enable_filters = true;
   uint32_t filter_bits_per_key = kDefaultFilterBitsPerKey;
 
+  // WAL-time KV separation (PR 9): put values at or above this many bytes are
+  // appended to the value log's dedicated large-value tail instead of the main
+  // tail, so the hot tail — and the memtable/L0/shipped-index footprint per
+  // log byte — stays dense under value-heavy mixes. 0 disables separation.
+  size_t large_value_threshold = 0;
+
   // Background compaction (PR 2). When set, L0 spills and level cascades run
   // as a long-running job on this pool and writes overlap compaction. The
   // pool must be Start()ed and must outlive the store. Null = synchronous.
@@ -195,6 +201,10 @@ struct KvStoreStats {
   uint64_t repair_fetches = 0;          // peer fetches issued during repair
   uint64_t read_corruptions = 0;        // reads that hit a corrupt record/segment
   uint64_t quarantined_levels = 0;      // levels currently refusing reads
+  // Write-path group commit (PR 9).
+  uint64_t batch_groups = 0;             // WriteBatch calls that reached the log
+  uint64_t batch_ops = 0;                // ops applied through WriteBatch
+  uint64_t large_value_separations = 0;  // puts routed to the large-value tail
 };
 
 struct KvPair {
@@ -223,6 +233,22 @@ class KvStore {
   Status Put(Slice key, Slice value);
   Status Delete(Slice key);
   StatusOr<std::string> Get(Slice key);
+
+  // Group commit (PR 9): applies `ops` in order under one writer-lock
+  // acquisition and one value-log group reservation, firing the replication
+  // observer once per contiguous run instead of once per record. The batch is
+  // a transport artifact, not a transaction: an invalid op fails alone (its
+  // slot in `statuses`) and the rest of the group proceeds; a hard log
+  // failure fails that op and every later one, while the already-applied
+  // prefix stays committed. Returns non-ok only for store-level failures
+  // (background error, log I/O) — per-op outcomes live in `statuses`, which
+  // is resized to ops.size().
+  struct BatchOp {
+    Slice key;
+    Slice value;  // ignored for deletes
+    bool tombstone = false;
+  };
+  Status WriteBatch(const std::vector<BatchOp>& ops, std::vector<Status>* statuses);
 
   // Returns up to `limit` pairs with key >= start, ascending, skipping
   // tombstones.
@@ -467,6 +493,12 @@ class KvStore {
     Gauge* quarantined_levels = nullptr;
     Counter* read_corruptions_log = nullptr;    // kv.read_corruptions{source=value_log}
     Counter* read_corruptions_level = nullptr;  // kv.read_corruptions{source=level}
+    // Write-path group commit (PR 9).
+    Counter* batch_groups = nullptr;
+    Counter* batch_ops = nullptr;
+    Counter* large_value_separations = nullptr;
+    HistogramInstrument* batch_size = nullptr;               // ops per group
+    HistogramInstrument* group_commit_latency_ns = nullptr;  // WriteBatch wall time
   };
 
   KvStore(BlockDevice* device, const KvStoreOptions& options);

@@ -96,13 +96,11 @@ Memtable::Node* Memtable::FindGreaterOrEqual(Slice key, Node** prev) const {
   }
 }
 
-void Memtable::Put(Slice key, ValueLocation location) {
-  Node* prev[kMaxHeight];
-  Node* node = FindGreaterOrEqual(key, prev);
-  if (node != nullptr && Slice(node->key) == key) {
+Memtable::Node* Memtable::InsertAt(Slice key, ValueLocation location, Node** prev, Node* ge) {
+  if (ge != nullptr && Slice(ge->key) == key) {
     // Newest version wins in place; one atomic word so readers never tear.
-    node->packed.store(PackLocation(location), std::memory_order_release);
-    return;
+    ge->packed.store(PackLocation(location), std::memory_order_release);
+    return ge;
   }
   const int height = RandomHeight();
   if (height > max_height_.load(std::memory_order_relaxed)) {
@@ -117,8 +115,45 @@ void Memtable::Put(Slice key, ValueLocation location) {
   for (int i = 0; i < height; ++i) {
     fresh->NoBarrierSetNext(i, prev[i]->Next(i));
     prev[i]->SetNext(i, fresh);  // publication: release-stores the fully built node
+    prev[i] = fresh;             // the frontier moves past the new node
   }
   entries_.fetch_add(1, std::memory_order_release);
+  return fresh;
+}
+
+void Memtable::Put(Slice key, ValueLocation location) {
+  Node* prev[kMaxHeight];
+  Node* node = FindGreaterOrEqual(key, prev);
+  InsertAt(key, location, prev, node);
+}
+
+void Memtable::PutBatch(const BatchEntry* entries, size_t count) {
+  Node* prev[kMaxHeight];
+  Node* last = nullptr;  // node touched by the previous entry
+  for (size_t j = 0; j < count; ++j) {
+    const Slice key = entries[j].key;
+    Node* ge = nullptr;
+    bool seeded = false;
+    if (last != nullptr && Slice(last->key).Compare(key) < 0) {
+      // Adjacency fast path: the new key splices immediately after the node
+      // we just touched. Level 0 holds every node, so an empty (last, key)
+      // gap at level 0 means no node anywhere sorts between them — prev[]
+      // from the previous insert (with `last` patched in up to its height)
+      // is still a valid frontier at every level.
+      Node* succ = last->Next(0);
+      if (succ == nullptr || key.Compare(Slice(succ->key)) <= 0) {
+        for (int i = 0; i < last->height; ++i) {
+          prev[i] = last;
+        }
+        ge = succ;
+        seeded = true;
+      }
+    }
+    if (!seeded) {
+      ge = FindGreaterOrEqual(key, prev);
+    }
+    last = InsertAt(key, entries[j].location, prev, ge);
+  }
 }
 
 bool Memtable::Get(Slice key, ValueLocation* out) const {

@@ -41,6 +41,17 @@ class Memtable {
   // Inserts or overwrites the location of `key`. Single writer only.
   void Put(Slice key, ValueLocation location);
 
+  // Group-commit insert (PR 9): applies `count` entries in order (later
+  // duplicates win, same as repeated Put). When consecutive keys land
+  // adjacently in the skiplist — sorted client batches, sequential loads —
+  // the splice position is reused instead of re-searching from the head.
+  // Single writer only.
+  struct BatchEntry {
+    Slice key;
+    ValueLocation location;
+  };
+  void PutBatch(const BatchEntry* entries, size_t count);
+
   // Returns true and fills `out` if the key is present (tombstones count as
   // present — the caller must check). Safe concurrently with one writer.
   bool Get(Slice key, ValueLocation* out) const;
@@ -79,6 +90,11 @@ class Memtable {
   int RandomHeight();
   // Returns the first node >= key; fills prev[] when non-null.
   Node* FindGreaterOrEqual(Slice key, Node** prev) const;
+  // Inserts (or overwrites) `key` given its splice frontier: prev[] holds the
+  // per-level predecessors and `ge` the first node >= key. Returns the node
+  // that now holds the location and updates prev[] to remain a valid frontier
+  // just past the touched node (the PutBatch adjacency hint).
+  Node* InsertAt(Slice key, ValueLocation location, Node** prev, Node* ge);
 
   Node* head_;
   std::atomic<int> max_height_;

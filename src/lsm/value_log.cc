@@ -17,6 +17,31 @@ uint32_t DecodeU32(const char* p) {
 
 }  // namespace
 
+void ValueLogObserver::OnAppendGroup(SegmentId tail_segment, uint64_t offset_in_segment,
+                                     Slice run_bytes, size_t record_count, uint32_t family) {
+  // Default: replay the run record by record, so observers that only know the
+  // per-record callbacks behave identically under a batched writer.
+  size_t pos = 0;
+  for (size_t i = 0; i < record_count; ++i) {
+    if (pos + kLogRecordHeaderSize > run_bytes.size()) {
+      return;
+    }
+    const char* p = run_bytes.data() + pos;
+    const uint32_t key_size = DecodeU32(p);
+    const uint32_t value_size = DecodeU32(p + 4);
+    const size_t need = LogRecordSize(key_size, value_size);
+    if (pos + need > run_bytes.size()) {
+      return;
+    }
+    if (family == kLargeLogFamily) {
+      OnLargeAppend(tail_segment, offset_in_segment + pos, Slice(p, need));
+    } else {
+      OnAppend(tail_segment, offset_in_segment + pos, Slice(p, need));
+    }
+    pos += need;
+  }
+}
+
 StatusOr<std::unique_ptr<ValueLog>> ValueLog::Create(BlockDevice* device) {
   std::unique_ptr<ValueLog> log(new ValueLog(device));
   TEBIS_RETURN_IF_ERROR(log->OpenNewTail());
@@ -66,25 +91,72 @@ Status ValueLog::SealTail() {
   return Status::Ok();
 }
 
+Status ValueLog::OpenNewLargeTail() {
+  TEBIS_ASSIGN_OR_RETURN(SegmentId fresh, device_->AllocateSegment());
+  if (large_tail_buffer_ == nullptr) {
+    large_tail_buffer_ = std::make_unique<char[]>(device_->segment_size());
+  }
+  std::lock_guard<std::mutex> lock(tail_mutex_);
+  memset(large_tail_buffer_.get(), 0, device_->segment_size());
+  large_tail_segment_ = fresh;
+  large_tail_used_ = 0;
+  return Status::Ok();
+}
+
+Status ValueLog::SealLargeTail() {
+  const uint64_t seg_size = device_->segment_size();
+  if (large_tail_used_ < seg_size) {
+    EncodeU32(large_tail_buffer_.get() + large_tail_used_, kPadMarker);
+  }
+  const uint64_t base = device_->geometry().BaseOffset(large_tail_segment_);
+  TEBIS_RETURN_IF_ERROR(
+      device_->Write(base, Slice(large_tail_buffer_.get(), seg_size), IoClass::kLogFlush));
+  if (observer_ != nullptr) {
+    observer_->OnLargeTailFlush(large_tail_segment_, Slice(large_tail_buffer_.get(), seg_size));
+  }
+  // Large segments join the one flushed list in seal order: GC, checkpoint,
+  // full sync, and the backups' log maps all see a single segment sequence.
+  std::lock_guard<std::mutex> lock(tail_mutex_);
+  flushed_segments_.push_back(large_tail_segment_);
+  return Status::Ok();
+}
+
 StatusOr<ValueLog::AppendResult> ValueLog::Append(Slice key, Slice value, bool tombstone) {
   if (key.empty() || key.size() > kMaxKeySize) {
     return Status::InvalidArgument("key size must be in [1, " + std::to_string(kMaxKeySize) + "]");
   }
   const size_t need = LogRecordSize(key.size(), value.size());
-  const uint64_t seg_size = device_->segment_size();
   // +4 so there is always room for a pad marker after the record.
-  if (need + 4 > seg_size) {
+  if (need + 4 > device_->segment_size()) {
     return Status::InvalidArgument("record larger than a segment");
+  }
+  const bool large = large_value_threshold_ > 0 && !tombstone &&
+                     value.size() >= large_value_threshold_;
+  return AppendToFamily(key, value, tombstone, large ? kLargeLogFamily : kMainLogFamily);
+}
+
+StatusOr<ValueLog::AppendResult> ValueLog::AppendToFamily(Slice key, Slice value, bool tombstone,
+                                                          uint32_t family) {
+  const size_t need = LogRecordSize(key.size(), value.size());
+  const uint64_t seg_size = device_->segment_size();
+  const bool large = (family == kLargeLogFamily);
+  if (large && large_tail_buffer_ == nullptr) {
+    TEBIS_RETURN_IF_ERROR(OpenNewLargeTail());
   }
 
   AppendResult result{};
-  if (tail_used_ + need + 4 > seg_size) {
-    TEBIS_RETURN_IF_ERROR(SealTail());
-    TEBIS_RETURN_IF_ERROR(OpenNewTail());
+  if ((large ? large_tail_used_ : tail_used_) + need + 4 > seg_size) {
+    // A mid-group seal publishes the open run first: backups must hold the
+    // run's bytes before the flush message asks them to persist the segment.
+    EmitRun(family);
+    TEBIS_RETURN_IF_ERROR(large ? SealLargeTail() : SealTail());
+    TEBIS_RETURN_IF_ERROR(large ? OpenNewLargeTail() : OpenNewTail());
     result.flushed_segment = true;
   }
 
-  char* p = tail_buffer_.get() + tail_used_;
+  char* buf = large ? large_tail_buffer_.get() : tail_buffer_.get();
+  const uint64_t used = large ? large_tail_used_ : tail_used_;
+  char* p = buf + used;
   EncodeU32(p, static_cast<uint32_t>(key.size()));
   EncodeU32(p + 4, static_cast<uint32_t>(value.size()));
   p[8] = tombstone ? static_cast<char>(kRecordFlagTombstone) : 0;
@@ -93,29 +165,113 @@ StatusOr<ValueLog::AppendResult> ValueLog::Append(Slice key, Slice value, bool t
   const uint32_t crc = Crc32c(p, kLogRecordHeaderSize + key.size() + value.size());
   EncodeU32(p + need - kLogRecordTrailerSize, crc);
 
-  const uint64_t offset_in_segment = tail_used_;
-  result.offset = device_->geometry().BaseOffset(tail_segment_) | offset_in_segment;
+  const uint64_t offset_in_segment = used;
+  const SegmentId segment = large ? large_tail_segment_ : tail_segment_;
+  result.offset = device_->geometry().BaseOffset(segment) | offset_in_segment;
   result.encoded_size = need;
   {
     // Publish the record: readers acquire tail_mutex_ before reading up to
-    // tail_used_, so the byte writes above happen-before any reader's copy.
+    // the used mark, so the byte writes above happen-before any reader's copy.
     std::lock_guard<std::mutex> lock(tail_mutex_);
-    tail_used_ += need;
+    (large ? large_tail_used_ : tail_used_) += need;
   }
   total_appended_bytes_.fetch_add(need, std::memory_order_relaxed);
 
-  if (observer_ != nullptr) {
-    observer_->OnAppend(tail_segment_, offset_in_segment, Slice(p, need));
+  if (group_active_) {
+    ExtendRun(family, segment, offset_in_segment, need);
+  } else if (observer_ != nullptr) {
+    if (large) {
+      observer_->OnLargeAppend(segment, offset_in_segment, Slice(p, need));
+    } else {
+      observer_->OnAppend(segment, offset_in_segment, Slice(p, need));
+    }
   }
   return result;
 }
 
-Status ValueLog::FlushTail() {
-  if (tail_used_ == 0) {
-    return Status::Ok();
+Status ValueLog::BeginGroup(size_t main_bytes, size_t large_bytes, bool* flushed) {
+  if (flushed != nullptr) {
+    *flushed = false;
   }
-  TEBIS_RETURN_IF_ERROR(SealTail());
-  return OpenNewTail();
+  runs_[kMainLogFamily] = GroupRun{};
+  runs_[kLargeLogFamily] = GroupRun{};
+  const uint64_t seg_size = device_->segment_size();
+  // Reserve one contiguous extent per family: when the whole group fits a
+  // fresh segment but not the current remainder, pre-seal so the group's run
+  // lands adjacent and replicates as a single one-sided write.
+  if (main_bytes > 0 && main_bytes + 4 <= seg_size && tail_used_ > 0 &&
+      tail_used_ + main_bytes + 4 > seg_size) {
+    TEBIS_RETURN_IF_ERROR(SealTail());
+    TEBIS_RETURN_IF_ERROR(OpenNewTail());
+    if (flushed != nullptr) {
+      *flushed = true;
+    }
+  }
+  if (large_bytes > 0) {
+    if (large_tail_buffer_ == nullptr) {
+      TEBIS_RETURN_IF_ERROR(OpenNewLargeTail());
+    } else if (large_bytes + 4 <= seg_size && large_tail_used_ > 0 &&
+               large_tail_used_ + large_bytes + 4 > seg_size) {
+      TEBIS_RETURN_IF_ERROR(SealLargeTail());
+      TEBIS_RETURN_IF_ERROR(OpenNewLargeTail());
+      if (flushed != nullptr) {
+        *flushed = true;
+      }
+    }
+  }
+  group_active_ = true;
+  return Status::Ok();
+}
+
+void ValueLog::EndGroup() {
+  if (!group_active_) {
+    return;
+  }
+  EmitRun(kMainLogFamily);
+  EmitRun(kLargeLogFamily);
+  group_active_ = false;
+}
+
+void ValueLog::ExtendRun(uint32_t family, SegmentId segment, uint64_t offset, size_t bytes) {
+  GroupRun& run = runs_[family];
+  if (!run.open) {
+    run.open = true;
+    run.segment = segment;
+    run.start = offset;
+    run.bytes = 0;
+    run.count = 0;
+  }
+  run.bytes += bytes;
+  run.count++;
+}
+
+void ValueLog::EmitRun(uint32_t family) {
+  GroupRun& run = runs_[family];
+  if (!run.open || run.count == 0) {
+    run = GroupRun{};
+    return;
+  }
+  if (observer_ != nullptr) {
+    char* buf =
+        (family == kLargeLogFamily) ? large_tail_buffer_.get() : tail_buffer_.get();
+    // The +4 covers the zero terminator after the run — the append path always
+    // reserves it, and no later record has been written there yet.
+    observer_->OnAppendGroup(run.segment, run.start, Slice(buf + run.start, run.bytes + 4),
+                             run.count, family);
+  }
+  run = GroupRun{};
+}
+
+Status ValueLog::FlushTail() {
+  if (tail_used_ != 0) {
+    TEBIS_RETURN_IF_ERROR(SealTail());
+    TEBIS_RETURN_IF_ERROR(OpenNewTail());
+  }
+  if (large_tail_used_ != 0) {
+    TEBIS_RETURN_IF_ERROR(SealLargeTail());
+    TEBIS_RETURN_IF_ERROR(OpenNewLargeTail());
+  }
+  return Status::Ok();
 }
 
 StatusOr<LogRecord> ValueLog::Decode(const char* buf, size_t available, uint64_t offset) {
@@ -164,6 +320,14 @@ Status ValueLog::ReadRecord(uint64_t offset, LogRecord* out, PageCache* cache,
           *out, Decode(tail_buffer_.get() + in_segment, tail_used_ - in_segment, offset));
       return Status::Ok();
     }
+    if (segment == large_tail_segment_ && large_tail_buffer_ != nullptr) {
+      if (in_segment >= large_tail_used_) {
+        return Status::OutOfRange("offset past large-value log tail");
+      }
+      TEBIS_ASSIGN_OR_RETURN(*out, Decode(large_tail_buffer_.get() + in_segment,
+                                          large_tail_used_ - in_segment, offset));
+      return Status::Ok();
+    }
   }
 
   // Flushed segment: read header first, then the body.
@@ -207,18 +371,26 @@ Status ValueLog::ReadKey(uint64_t offset, std::string* key, bool* tombstone, Pag
 
   {
     std::lock_guard<std::mutex> lock(tail_mutex_);
+    const char* tail_ptr = nullptr;
     if (segment == tail_segment_) {
       if (in_segment >= tail_used_) {
         return Status::OutOfRange("offset past log tail");
       }
-      const char* p = tail_buffer_.get() + in_segment;
-      const uint32_t key_size = DecodeU32(p);
+      tail_ptr = tail_buffer_.get() + in_segment;
+    } else if (segment == large_tail_segment_ && large_tail_buffer_ != nullptr) {
+      if (in_segment >= large_tail_used_) {
+        return Status::OutOfRange("offset past large-value log tail");
+      }
+      tail_ptr = large_tail_buffer_.get() + in_segment;
+    }
+    if (tail_ptr != nullptr) {
+      const uint32_t key_size = DecodeU32(tail_ptr);
       if (key_size == 0 || key_size > kMaxKeySize) {
         return Status::Corruption("bad key size in tail record");
       }
-      key->assign(p + kLogRecordHeaderSize, key_size);
+      key->assign(tail_ptr + kLogRecordHeaderSize, key_size);
       if (tombstone != nullptr) {
-        *tombstone = (p[8] & kRecordFlagTombstone) != 0;
+        *tombstone = (tail_ptr[8] & kRecordFlagTombstone) != 0;
       }
       return Status::Ok();
     }

@@ -37,6 +37,13 @@ struct LogRecord {
   size_t encoded_size = 0;
 };
 
+// Log families (PR 9): the main tail takes every record below the large-value
+// threshold; values at or above it go to dedicated large-value segments at
+// write time (WAL-time KV separation), so the hot tail — and everything
+// mirrored from it — stays dense under value-heavy mixes.
+inline constexpr uint32_t kMainLogFamily = 0;
+inline constexpr uint32_t kLargeLogFamily = 1;
+
 // Observer of log appends/flushes. Callbacks run on the appending thread.
 class ValueLogObserver {
  public:
@@ -49,6 +56,23 @@ class ValueLogObserver {
   // The tail segment was persisted to the device. `segment_bytes` is the full
   // segment image.
   virtual void OnTailFlush(SegmentId tail_segment, Slice segment_bytes) {}
+
+  // A record above the large-value threshold was appended to the large-value
+  // tail (PR 9). Mirrors OnAppend but for the kLargeLogFamily tail.
+  virtual void OnLargeAppend(SegmentId tail_segment, uint64_t offset_in_segment,
+                             Slice record_bytes) {}
+
+  // The large-value tail segment was persisted to the device (PR 9).
+  virtual void OnLargeTailFlush(SegmentId tail_segment, Slice segment_bytes) {}
+
+  // A group commit appended `record_count` consecutive records occupying
+  // `run_bytes` at `offset_in_segment` of `family`'s tail (PR 9). The slice
+  // covers the contiguous run plus its 4-byte zero terminator. The default
+  // implementation decodes the run and forwards each record to
+  // OnAppend/OnLargeAppend, so observers that never override this keep exact
+  // per-record semantics under batched writers.
+  virtual void OnAppendGroup(SegmentId tail_segment, uint64_t offset_in_segment, Slice run_bytes,
+                             size_t record_count, uint32_t family);
 };
 
 class ValueLog {
@@ -67,6 +91,13 @@ class ValueLog {
 
   void set_observer(ValueLogObserver* observer) { observer_ = observer; }
 
+  // WAL-time KV separation (PR 9): values >= `threshold` bytes are appended
+  // to the large-value tail instead of the main tail; 0 (the default)
+  // disables separation entirely — no second tail is ever allocated. Set
+  // before the first append (the engine configures it at Create/Recover).
+  void set_large_value_threshold(size_t threshold) { large_value_threshold_ = threshold; }
+  size_t large_value_threshold() const { return large_value_threshold_; }
+
   struct AppendResult {
     uint64_t offset;       // device offset of the record
     size_t encoded_size;   // bytes occupied in the log
@@ -77,8 +108,19 @@ class ValueLog {
   // (allocating a new one) when the record does not fit.
   StatusOr<AppendResult> Append(Slice key, Slice value, bool tombstone);
 
-  // Forces the current tail to the device (pads the remainder) and opens a
-  // fresh tail segment. No-op on an empty tail.
+  // Group commit (PR 9): between BeginGroup and EndGroup, appends accumulate
+  // into one contiguous per-family run instead of firing per-record observer
+  // callbacks; EndGroup (or a mid-group seal) emits OnAppendGroup once for
+  // the whole run. BeginGroup reserves one contiguous extent: when the whole
+  // group would fit a fresh segment but not the current tail remainder, the
+  // tail is pre-sealed so the group's bytes land adjacent. `main_bytes` /
+  // `large_bytes` are the encoded sizes headed to each family; `*flushed` is
+  // set when a pre-seal flushed a segment. Single-writer, like Append.
+  Status BeginGroup(size_t main_bytes, size_t large_bytes, bool* flushed);
+  void EndGroup();
+
+  // Forces the current tail (and the large-value tail, when open) to the
+  // device (pads the remainder) and opens fresh tails. No-op on empty tails.
   Status FlushTail();
 
   // Reads the record at `offset`. Serves from the in-memory tail when the
@@ -98,6 +140,20 @@ class ValueLog {
   uint64_t tail_used() const {
     std::lock_guard<std::mutex> lock(tail_mutex_);
     return tail_used_;
+  }
+  SegmentId large_tail_segment() const {
+    std::lock_guard<std::mutex> lock(tail_mutex_);
+    return large_tail_segment_;
+  }
+  uint64_t large_tail_used() const {
+    std::lock_guard<std::mutex> lock(tail_mutex_);
+    return large_tail_used_;
+  }
+  // True while any family's tail holds unflushed records (PR 9): the
+  // demotion/handover guard must cover the large-value tail too.
+  bool HasUnflushedRecords() const {
+    std::lock_guard<std::mutex> lock(tail_mutex_);
+    return tail_used_ != 0 || large_tail_used_ != 0;
   }
   // Direct reference — only valid while no mutating call runs concurrently
   // (checkpoint, recovery, integrity checks). Concurrent readers use the
@@ -130,6 +186,18 @@ class ValueLog {
     return image;
   }
 
+  // Same, for the large-value tail (PR 9): seeds the [segment, 2*segment)
+  // half of a freshly attached backup's replication buffer.
+  std::string LargeTailImageSnapshot() const {
+    std::lock_guard<std::mutex> lock(tail_mutex_);
+    if (large_tail_buffer_ == nullptr || large_tail_used_ == 0) {
+      return std::string();
+    }
+    std::string image(large_tail_buffer_.get(), large_tail_used_);
+    image.append(4, '\0');
+    return image;
+  }
+
   // Frees the oldest `n` flushed segments (value-log trim after GC).
   Status TrimHead(size_t n);
 
@@ -149,12 +217,29 @@ class ValueLog {
   explicit ValueLog(BlockDevice* device);
   Status OpenNewTail();
   Status SealTail();
+  Status OpenNewLargeTail();
+  Status SealLargeTail();
+  StatusOr<AppendResult> AppendToFamily(Slice key, Slice value, bool tombstone, uint32_t family);
+
+  // One in-progress group-commit run per family (PR 9): the contiguous byte
+  // range the current group has appended to that family's tail. Emitted as
+  // one OnAppendGroup either at EndGroup or just before a mid-group seal.
+  struct GroupRun {
+    bool open = false;
+    SegmentId segment = kInvalidSegment;
+    uint64_t start = 0;  // offset in segment of the first record
+    uint64_t bytes = 0;  // encoded bytes of all records in the run
+    size_t count = 0;
+  };
+  void ExtendRun(uint32_t family, SegmentId segment, uint64_t offset, size_t bytes);
+  void EmitRun(uint32_t family);
 
   // Decodes one record from `buf` (which has at least header bytes available).
   static StatusOr<LogRecord> Decode(const char* buf, size_t available, uint64_t offset);
 
   BlockDevice* const device_;
   ValueLogObserver* observer_ = nullptr;
+  size_t large_value_threshold_ = 0;  // 0 = separation off
 
   // Orders tail-state publication (tail_segment_, tail_used_, buffer resets,
   // flushed_segments_) against concurrent tail-path readers. Never held across
@@ -165,6 +250,16 @@ class ValueLog {
   SegmentId tail_segment_ = kInvalidSegment;
   std::unique_ptr<char[]> tail_buffer_;
   uint64_t tail_used_ = 0;
+
+  // Large-value tail (PR 9): allocated lazily on the first large append so a
+  // log with separation disabled never pays a second segment.
+  SegmentId large_tail_segment_ = kInvalidSegment;
+  std::unique_ptr<char[]> large_tail_buffer_;
+  uint64_t large_tail_used_ = 0;
+
+  // Group-commit state (PR 9); touched only by the single writer thread.
+  bool group_active_ = false;
+  GroupRun runs_[2];
 
   std::vector<SegmentId> flushed_segments_;
   std::atomic<uint64_t> total_appended_bytes_{0};

@@ -74,6 +74,28 @@ void RegisteredBuffer::ZeroPrefix(size_t len) {
   memset(data_.data(), 0, len);
 }
 
+std::string RegisteredBuffer::SnapshotRange(size_t offset, size_t len) {
+  std::lock_guard<std::mutex> lock(write_mutex_);
+  if (offset >= data_.size()) {
+    return std::string();
+  }
+  if (len > data_.size() - offset) {
+    len = data_.size() - offset;
+  }
+  return std::string(data_.data() + offset, len);
+}
+
+void RegisteredBuffer::ZeroRange(size_t offset, size_t len) {
+  std::lock_guard<std::mutex> lock(write_mutex_);
+  if (offset >= data_.size()) {
+    return;
+  }
+  if (len > data_.size() - offset) {
+    len = data_.size() - offset;
+  }
+  memset(data_.data() + offset, 0, len);
+}
+
 Status RegisteredBuffer::RdmaWriteMessage(uint64_t offset, const MessageHeader& header,
                                           Slice payload) {
   const size_t wire = MessageWireSize(header.padded_payload_size);

@@ -103,6 +103,13 @@ class RegisteredBuffer {
   // empty prefix; a 4-byte zero key_size terminates record iteration.
   void ZeroPrefix(size_t len);
 
+  // Ranged variants (PR 9): the replication buffer now carries two tail
+  // mirrors — main at [0, segment) and large-value at [segment, 2*segment) —
+  // so backups snapshot and scrub each region independently. Out-of-range
+  // requests clamp to the buffer like the prefix forms.
+  std::string SnapshotRange(size_t offset, size_t len);
+  void ZeroRange(size_t offset, size_t len);
+
   const std::string& owner() const { return owner_; }
   const std::string& writer() const { return writer_; }
 

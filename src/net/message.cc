@@ -91,6 +91,10 @@ const char* MessageTypeName(MessageType type) {
       return "RepairFetch";
     case MessageType::kRepairSegment:
       return "RepairSegment";
+    case MessageType::kKvBatch:
+      return "KvBatch";
+    case MessageType::kKvBatchReply:
+      return "KvBatchReply";
   }
   return "?";
 }

@@ -69,6 +69,10 @@ enum class MessageType : uint16_t {
   // is the request; kRepairSegment is its reply, carrying the bytes.
   kRepairFetch,
   kRepairSegment,
+  // Write-path group commit (PR 9): one frame carrying N put/delete ops; the
+  // reply carries one status per op plus the commit token of the group.
+  kKvBatch,
+  kKvBatchReply,
 };
 
 const char* MessageTypeName(MessageType type);

@@ -49,6 +49,16 @@ class BackupChannel {
   virtual Status FlushLog(SegmentId primary_segment, StreamId stream = kNoStream,
                           uint64_t commit_seq = 0) = 0;
 
+  // Same, for the large-value tail (PR 9): the backup persists the
+  // [segment, 2*segment) half of its replication buffer instead of the main
+  // half. Default forwards to FlushLog for family 0 so family-unaware test
+  // doubles keep working; implementations that mirror large values override.
+  virtual Status FlushLogFamily(SegmentId primary_segment, uint32_t family,
+                                StreamId stream = kNoStream, uint64_t commit_seq = 0) {
+    (void)family;
+    return FlushLog(primary_segment, stream, commit_seq);
+  }
+
   // Control plane (§3.3): compaction lifecycle for Send-Index shipping. Every
   // message is tagged with the compaction's shipping stream (PR 4) so the
   // backup can run one rewrite state machine per stream.

@@ -92,7 +92,8 @@ void BuildIndexBackupRegion::set_region_epoch(uint64_t epoch) {
   }
 }
 
-Status BuildIndexBackupRegion::HandleLogFlush(SegmentId primary_segment, uint64_t commit_seq) {
+Status BuildIndexBackupRegion::HandleLogFlush(SegmentId primary_segment, uint64_t commit_seq,
+                                              uint32_t family) {
   std::lock_guard<std::shared_mutex> lock(state_mutex_);
   if (log_map_.Contains(primary_segment)) {
     // Duplicate delivery (the ack was lost, not the flush). No buffer scrub
@@ -100,7 +101,13 @@ Status BuildIndexBackupRegion::HandleLogFlush(SegmentId primary_segment, uint64_
     return Status::Ok();
   }
   const uint64_t seg_size = device_->segment_size();
-  Slice image(rdma_buffer_->data(), seg_size);
+  // The large-value tail mirrors into the second half of the buffer (PR 9).
+  const uint64_t half = family == kLargeLogFamily ? seg_size : 0;
+  if (rdma_buffer_->size() < half + seg_size) {
+    // Not FailedPrecondition: that code means "you are deposed" on this wire.
+    return Status::InvalidArgument("large-family flush needs a 2x-segment replication buffer");
+  }
+  Slice image(rdma_buffer_->data() + half, seg_size);
   TEBIS_ASSIGN_OR_RETURN(SegmentId local, store_->value_log()->AppendRawSegment(image));
   TEBIS_RETURN_IF_ERROR(log_map_.Insert(primary_segment, local));
   primary_flush_order_.push_back(primary_segment);
@@ -131,20 +138,31 @@ Status BuildIndexBackupRegion::HandleLogFlush(SegmentId primary_segment, uint64_
   // The absorbed tail image is in the engine now; scrub it so the replica
   // read path does not double-count it toward the visible sequence. Safe:
   // FlushLog is synchronous, the primary is blocked on this ack.
-  rdma_buffer_->ZeroPrefix(sizeof(uint32_t));
+  rdma_buffer_->ZeroRange(half, sizeof(uint32_t));
   return status;
 }
 
 // --- replica read path (PR 6) ----------------------------------------------------
 
 uint64_t BuildIndexBackupRegion::ParseBufferLocked(std::vector<LogRecord>* records) const {
-  const std::string image = rdma_buffer_->SnapshotBytes(device_->segment_size());
+  const uint64_t seg_size = device_->segment_size();
+  const std::string image = rdma_buffer_->SnapshotBytes(seg_size);
   Status status = ValueLog::ForEachRecord(Slice(image), /*segment_base=*/0,
                                           [records](const LogRecord& rec) {
                                             records->push_back(rec);
                                             return Status::Ok();
                                           });
   (void)status;  // a corruption marks the end of valid data
+  // The large-value mirror (PR 9) lives in the second half of a 2x buffer.
+  if (rdma_buffer_->size() >= 2 * seg_size) {
+    const std::string large = rdma_buffer_->SnapshotRange(seg_size, seg_size);
+    status = ValueLog::ForEachRecord(Slice(large), /*segment_base=*/0,
+                                     [records](const LogRecord& rec) {
+                                       records->push_back(rec);
+                                       return Status::Ok();
+                                     });
+    (void)status;
+  }
   return flushed_commit_seq_ + records->size();
 }
 
@@ -264,15 +282,23 @@ StatusOr<std::unique_ptr<KvStore>> BuildIndexBackupRegion::Promote(bool replay_r
     return std::move(store_);
   }
   const uint64_t seg_size = device_->segment_size();
-  Status replay_status = ValueLog::ForEachRecord(
-      Slice(rdma_buffer_->data(), seg_size), /*segment_base=*/0, [&](const LogRecord& rec) {
-        if (rec.tombstone) {
-          return store_->Delete(rec.key);
-        }
-        return store_->Put(rec.key, rec.value);
-      });
-  if (!replay_status.ok() && !replay_status.IsCorruption()) {
-    return replay_status;
+  const auto replay_half = [&](Slice half) -> Status {
+    Status replay_status =
+        ValueLog::ForEachRecord(half, /*segment_base=*/0, [&](const LogRecord& rec) {
+          if (rec.tombstone) {
+            return store_->Delete(rec.key);
+          }
+          return store_->Put(rec.key, rec.value);
+        });
+    if (!replay_status.ok() && !replay_status.IsCorruption()) {
+      return replay_status;
+    }
+    return Status::Ok();
+  };
+  TEBIS_RETURN_IF_ERROR(replay_half(Slice(rdma_buffer_->data(), seg_size)));
+  // The large-value mirror in the second half of a 2x buffer (PR 9).
+  if (rdma_buffer_->size() >= 2 * seg_size) {
+    TEBIS_RETURN_IF_ERROR(replay_half(Slice(rdma_buffer_->data() + seg_size, seg_size)));
   }
   return std::move(store_);
 }

@@ -50,7 +50,10 @@ class BuildIndexBackupRegion {
   // Persists the RDMA buffer as a local log segment, then replays every
   // record into the local engine (L0 insert + any compactions it triggers).
   // `commit_seq` is the primary's commit sequence as of this flush (PR 6).
-  Status HandleLogFlush(SegmentId primary_segment, uint64_t commit_seq = 0);
+  // `family` (PR 9) selects the buffer half: kMainLogFamily is [0, segment),
+  // kLargeLogFamily is [segment, 2*segment) of a 2x-segment buffer.
+  Status HandleLogFlush(SegmentId primary_segment, uint64_t commit_seq = 0,
+                        uint32_t family = kMainLogFamily);
 
   // --- replica read path (PR 6), mirrors SendIndexBackupRegion ---
 

@@ -50,14 +50,20 @@ class LocalBackupChannel : public BackupChannel {
 
   Status FlushLog(SegmentId primary_segment, StreamId stream = kNoStream,
                   uint64_t commit_seq = 0) override {
-    return WithRetry(FaultSite::kReplFlushSend, FaultSite::kReplFlushAck, /*has_ack=*/true,
-                     EncodeFlushLog({epoch(), primary_segment, commit_seq, stream}).size(), [&] {
-                       TEBIS_RETURN_IF_ERROR(CheckBackupEpoch());
-                       if (send_backup_ != nullptr) {
-                         return send_backup_->HandleLogFlush(primary_segment, commit_seq);
-                       }
-                       return build_backup_->HandleLogFlush(primary_segment, commit_seq);
-                     });
+    return FlushLogFamily(primary_segment, kMainLogFamily, stream, commit_seq);
+  }
+
+  Status FlushLogFamily(SegmentId primary_segment, uint32_t family, StreamId stream = kNoStream,
+                        uint64_t commit_seq = 0) override {
+    return WithRetry(
+        FaultSite::kReplFlushSend, FaultSite::kReplFlushAck, /*has_ack=*/true,
+        EncodeFlushLog({epoch(), primary_segment, commit_seq, stream, family}).size(), [&] {
+          TEBIS_RETURN_IF_ERROR(CheckBackupEpoch());
+          if (send_backup_ != nullptr) {
+            return send_backup_->HandleLogFlush(primary_segment, commit_seq, family);
+          }
+          return build_backup_->HandleLogFlush(primary_segment, commit_seq, family);
+        });
   }
 
   Status CompactionBegin(uint64_t compaction_id, int src_level, int dst_level,

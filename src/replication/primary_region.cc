@@ -65,6 +65,11 @@ void PrimaryRegion::InitTelemetry() {
   repl_.fence_errors = reg->GetCounter("repl.fence_errors", l);
   repl_.streams_opened = reg->GetCounter("repl.streams_opened", l);
   repl_.flow_wait_ns = reg->GetCounter("repl.flow_wait_ns", l);
+  // Write-path group commit (PR 9): wp.* is the write-path instrument plane
+  // (shared with the engine's wp.batch_* counters).
+  repl_.doorbells = reg->GetCounter("wp.doorbells", l);
+  repl_.doorbell_records = reg->GetCounter("wp.doorbell_records", l);
+  repl_.large_records_replicated = reg->GetCounter("wp.large_records_replicated", l);
 }
 
 ReplicationStats PrimaryRegion::replication_stats() const {
@@ -84,6 +89,9 @@ ReplicationStats PrimaryRegion::replication_stats() const {
   s.fence_errors = repl_.fence_errors->Value();
   s.streams_opened = repl_.streams_opened->Value();
   s.flow_wait_ns = repl_.flow_wait_ns->Value();
+  s.doorbells = repl_.doorbells->Value();
+  s.doorbell_records = repl_.doorbell_records->Value();
+  s.large_records_replicated = repl_.large_records_replicated->Value();
   return s;
 }
 
@@ -168,6 +176,20 @@ void PrimaryRegion::AddBackup(std::unique_ptr<BackupChannel> channel) {
       // An unseeded backup is worse than a parked region: it acks flushes it
       // cannot honor. (Epoch fences mean *we* are deposed; the master will
       // tear this attach down, so they don't park.)
+      Park(s);
+    }
+  }
+  // Same invariant for the large-value tail (PR 9): its mirror lives in the
+  // second half of the backup's (2x segment) replication buffer.
+  std::string large_image = store_->value_log()->LargeTailImageSnapshot();
+  if (!large_image.empty()) {
+    Status s = slot->channel->RdmaWriteLog(device_->segment_size(), Slice(large_image));
+    constexpr int kSeedRetryLimit = 8;
+    for (int retry = 0; retry < kSeedRetryLimit && s.IsUnavailable(); ++retry) {
+      repl_.append_retries->Increment();
+      s = slot->channel->RdmaWriteLog(device_->segment_size(), Slice(large_image));
+    }
+    if (!s.ok() && !s.IsFailedPrecondition()) {
       Park(s);
     }
   }
@@ -414,6 +436,25 @@ Status PrimaryRegion::Delete(Slice key) {
   return TakeParkedError();
 }
 
+Status PrimaryRegion::WriteBatch(const std::vector<KvStore::BatchOp>& ops,
+                                 std::vector<Status>* statuses) {
+  Status applied = store_->WriteBatch(ops, statuses);
+  Status parked = TakeParkedError();
+  if (!parked.ok()) {
+    // Replication failed somewhere in the group. Like Put, locally-applied
+    // ops still fail back to the writer (it never got the §3.2 all-replicas
+    // guarantee), so every op that was not already failed inherits the
+    // parked error.
+    for (Status& s : *statuses) {
+      if (s.ok()) {
+        s = parked;
+      }
+    }
+    return parked;
+  }
+  return applied;
+}
+
 StatusOr<std::string> PrimaryRegion::Get(Slice key) { return store_->Get(key); }
 
 StatusOr<std::vector<KvPair>> PrimaryRegion::Scan(Slice start, size_t limit) {
@@ -507,17 +548,31 @@ Status PrimaryRegion::FullSync(BackupChannel* channel) {
 }
 
 Status PrimaryRegion::ReplayBufferImage(Slice image) {
-  Status status = ValueLog::ForEachRecord(image, /*segment_base=*/0,
-                                          [this](const LogRecord& rec) {
-                                            if (rec.tombstone) {
-                                              return Delete(rec.key);
-                                            }
-                                            return Put(rec.key, rec.value);
-                                          });
-  if (!status.ok() && !status.IsCorruption()) {
-    return status;  // a torn trailing record marks the end of valid data
+  const auto replay = [this](Slice half) -> Status {
+    Status status = ValueLog::ForEachRecord(half, /*segment_base=*/0,
+                                            [this](const LogRecord& rec) {
+                                              if (rec.tombstone) {
+                                                return Delete(rec.key);
+                                              }
+                                              return Put(rec.key, rec.value);
+                                            });
+    if (!status.ok() && !status.IsCorruption()) {
+      return status;  // a torn trailing record marks the end of valid data
+    }
+    return Status::Ok();
+  };
+  // A 2x-segment image (PR 9) carries the main-tail mirror in the first half
+  // and the large-value-tail mirror in the second; replay both. Within each
+  // family, order is append order. Across families the halves replay
+  // sequentially, so a small overwrite of a still-unflushed large value can
+  // replay before it — see DESIGN.md "write path" for why promotions
+  // tolerate this window.
+  const uint64_t seg_size = device_->segment_size();
+  if (image.size() >= 2 * seg_size) {
+    TEBIS_RETURN_IF_ERROR(replay(Slice(image.data(), seg_size)));
+    return replay(Slice(image.data() + seg_size, image.size() - seg_size));
   }
-  return Status::Ok();
+  return replay(image);
 }
 
 // --- data plane (§3.2) ---------------------------------------------------------
@@ -560,6 +615,88 @@ void PrimaryRegion::OnAppend(SegmentId tail_segment, uint64_t offset_in_segment,
   }
   repl_.log_replication_cpu_ns->Add(cpu_ns);
   repl_.log_records_replicated->Increment();
+  repl_.doorbells->Increment();
+  repl_.doorbell_records->Increment();
+}
+
+void PrimaryRegion::OnLargeAppend(SegmentId tail_segment, uint64_t offset_in_segment,
+                                  Slice record_bytes) {
+  std::lock_guard<std::recursive_mutex> lock(region_mutex_);
+  ++commit_seq_;
+  if (backups_.empty()) {
+    return;
+  }
+  uint64_t cpu_ns = 0;
+  {
+    ScopedCpuTimer timer(&cpu_ns);
+    // Large-value records mirror into the second half of the backup's
+    // replication buffer (PR 9) — same terminator discipline as OnAppend.
+    Slice with_terminator(record_bytes.data(), record_bytes.size() + 4);
+    const uint64_t offset = device_->segment_size() + offset_in_segment;
+    constexpr int kAppendRetryLimit = 8;
+    for (auto& slot : backups_) {
+      Status status = GuardedCall(slot, kNoStream, [&] {
+        Status s = slot->channel->RdmaWriteLog(offset, with_terminator);
+        for (int retry = 0; retry < kAppendRetryLimit && s.IsUnavailable(); ++retry) {
+          repl_.append_retries->Increment();
+          s = slot->channel->RdmaWriteLog(offset, with_terminator);
+        }
+        return s;
+      });
+      if (!StruckOutLocked(*slot, kNoStream)) {
+        Park(status);
+      }
+    }
+    DetachStruckBackupsLocked();
+  }
+  repl_.log_replication_cpu_ns->Add(cpu_ns);
+  repl_.log_records_replicated->Increment();
+  repl_.large_records_replicated->Increment();
+  repl_.doorbells->Increment();
+  repl_.doorbell_records->Increment();
+}
+
+void PrimaryRegion::OnAppendGroup(SegmentId tail_segment, uint64_t offset_in_segment,
+                                  Slice run_bytes, size_t record_count, uint32_t family) {
+  std::lock_guard<std::recursive_mutex> lock(region_mutex_);
+  // The whole group advances the commit sequence at once: the batch reply
+  // carries one token covering every op in it (PR 9).
+  commit_seq_ += record_count;
+  if (backups_.empty()) {
+    return;
+  }
+  uint64_t cpu_ns = 0;
+  {
+    ScopedCpuTimer timer(&cpu_ns);
+    // One coalesced doorbell: the run is contiguous in the tail, so a single
+    // one-sided write (run + its 4-byte terminator, already included in the
+    // slice) replaces record_count per-record writes.
+    const uint64_t offset = family == kLargeLogFamily
+                                ? device_->segment_size() + offset_in_segment
+                                : offset_in_segment;
+    constexpr int kAppendRetryLimit = 8;
+    for (auto& slot : backups_) {
+      Status status = GuardedCall(slot, kNoStream, [&] {
+        Status s = slot->channel->RdmaWriteLog(offset, run_bytes);
+        for (int retry = 0; retry < kAppendRetryLimit && s.IsUnavailable(); ++retry) {
+          repl_.append_retries->Increment();
+          s = slot->channel->RdmaWriteLog(offset, run_bytes);
+        }
+        return s;
+      });
+      if (!StruckOutLocked(*slot, kNoStream)) {
+        Park(status);
+      }
+    }
+    DetachStruckBackupsLocked();
+  }
+  repl_.log_replication_cpu_ns->Add(cpu_ns);
+  repl_.log_records_replicated->Add(record_count);
+  if (family == kLargeLogFamily) {
+    repl_.large_records_replicated->Add(record_count);
+  }
+  repl_.doorbells->Increment();
+  repl_.doorbell_records->Add(record_count);
 }
 
 void PrimaryRegion::OnTailFlush(SegmentId tail_segment, Slice segment_bytes) {
@@ -587,6 +724,30 @@ void PrimaryRegion::OnTailFlush(SegmentId tail_segment, Slice segment_bytes) {
     if (in_compaction_begin_) {
       repl_.log_flush_in_compaction_cpu_ns->Add(ThreadCpuNanos() - start);
     }
+  }
+  repl_.log_replication_cpu_ns->Add(cpu_ns);
+  repl_.log_flushes->Increment();
+}
+
+void PrimaryRegion::OnLargeTailFlush(SegmentId tail_segment, Slice segment_bytes) {
+  std::lock_guard<std::recursive_mutex> lock(region_mutex_);
+  if (backups_.empty()) {
+    return;
+  }
+  uint64_t cpu_ns = 0;
+  {
+    ScopedCpuTimer timer(&cpu_ns);
+    const StreamId stream = in_compaction_begin_ ? in_begin_stream_ : kNoStream;
+    const uint64_t commit_seq = commit_seq_;
+    for (auto& slot : backups_) {
+      Status status = GuardedCall(slot, kNoStream, [&] {
+        return slot->channel->FlushLogFamily(tail_segment, kLargeLogFamily, stream, commit_seq);
+      });
+      if (!StruckOutLocked(*slot, kNoStream)) {
+        Park(status);
+      }
+    }
+    DetachStruckBackupsLocked();
   }
   repl_.log_replication_cpu_ns->Add(cpu_ns);
   repl_.log_flushes->Increment();

@@ -63,6 +63,12 @@ struct ReplicationStats {
   uint64_t fence_errors = 0;       // calls rejected as stale-epoch (deposed)
   uint64_t streams_opened = 0;     // shipping streams allocated (PR 4)
   uint64_t flow_wait_ns = 0;       // time streams waited for shipping credit
+  // Write-path group commit (PR 9): doorbells are one-sided data-plane writes
+  // issued per backup-visible event; doorbell_records counts the log records
+  // those writes carried. records/doorbells is the coalesce ratio.
+  uint64_t doorbells = 0;
+  uint64_t doorbell_records = 0;
+  uint64_t large_records_replicated = 0;  // records mirrored to the large-value half
 };
 
 // Per-replica health policy (§3.5 "slow-not-dead"). A control/data call that
@@ -107,6 +113,12 @@ class PrimaryRegion : public ValueLogObserver, public CompactionObserver {
   // it means that its operation has been replicated in the replica set").
   Status Put(Slice key, Slice value);
   Status Delete(Slice key);
+  // Group commit (PR 9): applies the whole batch under one engine reservation
+  // and replicates it with one coalesced doorbell per contiguous log run.
+  // Batch semantics match KvStore::WriteBatch (transport artifact, not a
+  // transaction); a replication failure parks and surfaces as the batch-level
+  // status, failing every op the client must re-issue.
+  Status WriteBatch(const std::vector<KvStore::BatchOp>& ops, std::vector<Status>* statuses);
   StatusOr<std::string> Get(Slice key);
   StatusOr<std::vector<KvPair>> Scan(Slice start, size_t limit);
 
@@ -235,11 +247,23 @@ class PrimaryRegion : public ValueLogObserver, public CompactionObserver {
     Counter* fence_errors = nullptr;
     Counter* streams_opened = nullptr;
     Counter* flow_wait_ns = nullptr;
+    Counter* doorbells = nullptr;
+    Counter* doorbell_records = nullptr;
+    Counter* large_records_replicated = nullptr;
   };
 
   // ValueLogObserver (data plane).
   void OnAppend(SegmentId tail_segment, uint64_t offset_in_segment, Slice record_bytes) override;
   void OnTailFlush(SegmentId tail_segment, Slice segment_bytes) override;
+  // Group commit (PR 9): one coalesced RDMA write covering the group's
+  // contiguous log bytes replaces the per-record doorbells.
+  void OnAppendGroup(SegmentId tail_segment, uint64_t offset_in_segment, Slice run_bytes,
+                     size_t record_count, uint32_t family) override;
+  // Large-value tail (PR 9): mirrored into the [segment, 2*segment) half of
+  // each backup's replication buffer.
+  void OnLargeAppend(SegmentId tail_segment, uint64_t offset_in_segment,
+                     Slice record_bytes) override;
+  void OnLargeTailFlush(SegmentId tail_segment, Slice segment_bytes) override;
 
   // CompactionObserver (index shipping). May run on several compaction
   // workers concurrently — one stream each; fan-outs drop region_mutex_

@@ -5,6 +5,9 @@ namespace tebis {
 std::string EncodeFlushLog(const FlushLogMsg& msg) {
   WireWriter w;
   w.U64(msg.epoch).U64(msg.primary_segment).U64(msg.commit_seq).U32(msg.stream_id);
+  if (msg.family != 0) {
+    w.U32(msg.family);
+  }
   return w.str();
 }
 
@@ -13,7 +16,12 @@ Status DecodeFlushLog(Slice payload, FlushLogMsg* out) {
   TEBIS_RETURN_IF_ERROR(r.U64(&out->epoch));
   TEBIS_RETURN_IF_ERROR(r.U64(&out->primary_segment));
   TEBIS_RETURN_IF_ERROR(r.U64(&out->commit_seq));
-  return r.U32(&out->stream_id);
+  TEBIS_RETURN_IF_ERROR(r.U32(&out->stream_id));
+  out->family = 0;
+  if (r.remaining() > 0) {
+    return r.U32(&out->family);
+  }
+  return Status::Ok();
 }
 
 std::string EncodeCompactionBegin(const CompactionBeginMsg& msg) {

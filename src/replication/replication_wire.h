@@ -28,6 +28,10 @@ struct FlushLogMsg {
   // Data-plane flushes use kNoStream; a flush nested inside a sync-mode
   // compaction begin carries that compaction's stream.
   StreamId stream_id = kNoStream;
+  // Which tail sealed (PR 9): kMainLogFamily (0) or kLargeLogFamily (1).
+  // Encoded only when non-zero, so main-tail flushes stay byte-identical to
+  // the pre-PR-9 wire format (same trailing-field idiom as payload_crc).
+  uint32_t family = 0;
 };
 
 struct CompactionBeginMsg {

@@ -5,18 +5,23 @@
 #include <thread>
 
 #include "src/common/clock.h"
+#include "src/lsm/value_log.h"  // kMainLogFamily
 #include "src/replication/replication_wire.h"
 
 namespace tebis {
 
 RpcBackupChannel::RpcBackupChannel(std::unique_ptr<RpcClient> client, uint32_t region_id,
                                    std::shared_ptr<RegisteredBuffer> buffer,
-                                   uint64_t call_timeout_ns)
+                                   uint64_t call_timeout_ns,
+                                   StreamClientFactory stream_client_factory)
     : client_(std::move(client)),
       region_id_(region_id),
       buffer_(std::move(buffer)),
       backup_name_(buffer_->owner()),
-      call_timeout_ns_(call_timeout_ns) {}
+      call_timeout_ns_(call_timeout_ns),
+      stream_client_factory_(std::move(stream_client_factory)) {
+  shared_slot_.client = client_.get();
+}
 
 Status RpcBackupChannel::RdmaWriteLog(uint64_t offset_in_segment, Slice record_bytes) {
   return buffer_->RdmaWriteTagged(epoch(), offset_in_segment, record_bytes);
@@ -31,15 +36,44 @@ std::mutex* RpcBackupChannel::StreamMutex(StreamId stream) {
   return slot.get();
 }
 
-StatusOr<RpcReply> RpcBackupChannel::CallShared(MessageType type, Slice payload,
+RpcBackupChannel::ClientSlot* RpcBackupChannel::SlotFor(StreamId stream) {
+  if (!stream_client_factory_ || stream == kNoStream) {
+    return &shared_slot_;
+  }
+  ClientSlot* slot;
+  {
+    std::lock_guard<std::mutex> lock(table_mutex_);
+    std::unique_ptr<ClientSlot>& entry = stream_slots_[stream];
+    if (entry == nullptr) {
+      entry = std::make_unique<ClientSlot>();
+    }
+    slot = entry.get();
+  }
+  if (slot->client == nullptr && !slot->resolved) {
+    // Built outside table_mutex_ (endpoint registration takes its own locks);
+    // safe because only this stream — serialized by its call mutex — can be
+    // populating its slot.
+    slot->owned = stream_client_factory_(stream);
+    slot->resolved = true;
+    if (slot->owned != nullptr) {
+      slot->owned->set_retry_policy(client_->retry_policy());
+      slot->client = slot->owned.get();
+    }
+  }
+  // A factory that declined (returned null) keeps the stream on the shared
+  // slot — never alias the base client under a different mutex.
+  return slot->client != nullptr ? slot : &shared_slot_;
+}
+
+StatusOr<RpcReply> RpcBackupChannel::CallOnSlot(ClientSlot* slot, MessageType type, Slice payload,
                                                 size_t reply_alloc) {
-  // Mirrors RpcClient::Call's retry loop, but holds `client_mutex_` only for
-  // the send and for each completion probe, so concurrent streams keep their
-  // own requests in flight on the shared connection.
+  // Mirrors RpcClient::Call's retry loop, but holds the slot's client lock
+  // only for the send and for each completion probe, so concurrent streams
+  // keep their own requests in flight even when they share a connection.
   RpcRetryPolicy policy;
   {
-    std::lock_guard<std::mutex> lock(client_mutex_);
-    policy = client_->retry_policy();
+    std::lock_guard<std::mutex> lock(slot->mutex);
+    policy = slot->client->retry_policy();
   }
   uint64_t backoff_ns = policy.initial_backoff_ns;
   const int max_attempts = std::max(1, policy.max_attempts);
@@ -51,8 +85,8 @@ StatusOr<RpcReply> RpcBackupChannel::CallShared(MessageType type, Slice payload,
                                       policy.max_backoff_ns);
     }
     StatusOr<uint64_t> id = [&]() -> StatusOr<uint64_t> {
-      std::lock_guard<std::mutex> lock(client_mutex_);
-      return client_->SendRequest(type, region_id_, payload, reply_alloc);
+      std::lock_guard<std::mutex> lock(slot->mutex);
+      return slot->client->SendRequest(type, region_id_, payload, reply_alloc);
     }();
     if (!id.ok()) {
       last = id.status();
@@ -66,8 +100,8 @@ StatusOr<RpcReply> RpcBackupChannel::CallShared(MessageType type, Slice payload,
     bool done = false;
     while (!done) {
       {
-        std::lock_guard<std::mutex> lock(client_mutex_);
-        done = client_->TryGetReply(id.value(), &reply);
+        std::lock_guard<std::mutex> lock(slot->mutex);
+        done = slot->client->TryGetReply(id.value(), &reply);
       }
       if (done) {
         return reply;
@@ -87,7 +121,7 @@ Status RpcBackupChannel::CallChecked(MessageType type, Slice payload, StreamId s
   // Held across the whole call: messages of one stream stay strictly ordered
   // (begin -> segments -> filter -> end) while other streams proceed.
   std::lock_guard<std::mutex> stream_lock(*StreamMutex(stream));
-  TEBIS_ASSIGN_OR_RETURN(RpcReply reply, CallShared(type, payload, reply_alloc));
+  TEBIS_ASSIGN_OR_RETURN(RpcReply reply, CallOnSlot(SlotFor(stream), type, payload, reply_alloc));
   if (reply.header.flags & kFlagError) {
     const std::string detail = "backup " + backup_name_ + " rejected " + MessageTypeName(type) +
                                ": " + reply.payload;
@@ -105,8 +139,14 @@ Status RpcBackupChannel::CallChecked(MessageType type, Slice payload, StreamId s
 
 Status RpcBackupChannel::FlushLog(SegmentId primary_segment, StreamId stream,
                                   uint64_t commit_seq) {
+  return FlushLogFamily(primary_segment, kMainLogFamily, stream, commit_seq);
+}
+
+Status RpcBackupChannel::FlushLogFamily(SegmentId primary_segment, uint32_t family,
+                                        StreamId stream, uint64_t commit_seq) {
   return CallChecked(MessageType::kFlushLog,
-                     EncodeFlushLog({epoch(), primary_segment, commit_seq, stream}), stream);
+                     EncodeFlushLog({epoch(), primary_segment, commit_seq, stream, family}),
+                     stream);
 }
 
 Status RpcBackupChannel::CompactionBegin(uint64_t compaction_id, int src_level, int dst_level,

@@ -4,6 +4,7 @@
 #ifndef TEBIS_REPLICATION_RPC_BACKUP_CHANNEL_H_
 #define TEBIS_REPLICATION_RPC_BACKUP_CHANNEL_H_
 
+#include <functional>
 #include <map>
 #include <memory>
 #include <mutex>
@@ -16,6 +17,13 @@ namespace tebis {
 
 class RpcBackupChannel : public BackupChannel {
  public:
+  // Builds one dedicated connection per shipping stream (PR 9, closing the
+  // PR 4 follow-on): each stream gets its own rings — its own queue-pair
+  // slot — so concurrent streams no longer serialize on one connection's
+  // send lock. kNoStream traffic (data-plane flushes, trim) stays on the
+  // base `client`. May return null to keep a stream on the shared client.
+  using StreamClientFactory = std::function<std::unique_ptr<RpcClient>(StreamId)>;
+
   // `client` is a dedicated connection from the primary server to the backup
   // server (owned by this channel); `region_id` routes to the backup region.
   // `call_timeout_ns` bounds every control call: a backup that does not
@@ -23,11 +31,14 @@ class RpcBackupChannel : public BackupChannel {
   // instead of wedging the calling thread.
   RpcBackupChannel(std::unique_ptr<RpcClient> client, uint32_t region_id,
                    std::shared_ptr<RegisteredBuffer> buffer,
-                   uint64_t call_timeout_ns = kDefaultRpcCallTimeoutNs);
+                   uint64_t call_timeout_ns = kDefaultRpcCallTimeoutNs,
+                   StreamClientFactory stream_client_factory = nullptr);
 
   Status RdmaWriteLog(uint64_t offset_in_segment, Slice record_bytes) override;
   Status FlushLog(SegmentId primary_segment, StreamId stream = kNoStream,
                   uint64_t commit_seq = 0) override;
+  Status FlushLogFamily(SegmentId primary_segment, uint32_t family, StreamId stream = kNoStream,
+                        uint64_t commit_seq = 0) override;
   Status CompactionBegin(uint64_t compaction_id, int src_level, int dst_level,
                          StreamId stream = 0) override;
   Status ShipIndexSegment(uint64_t compaction_id, int dst_level, int tree_level,
@@ -48,26 +59,43 @@ class RpcBackupChannel : public BackupChannel {
   RpcClient* client() { return client_.get(); }
 
  private:
+  // A connection slot: the (non-thread-safe) client plus the short lock held
+  // only for sends and reply probes — never across a wait.
+  struct ClientSlot {
+    RpcClient* client = nullptr;  // owned or the channel's base client_
+    std::unique_ptr<RpcClient> owned;
+    bool resolved = false;  // the factory already ran for this stream
+    std::mutex mutex;
+  };
+
   Status CallChecked(MessageType type, Slice payload, StreamId stream, size_t reply_alloc = 16);
-  // Sends under the short client lock, then waits for the reply polling the
-  // shared client briefly per probe — the lock is never held across a wait.
-  StatusOr<RpcReply> CallShared(MessageType type, Slice payload, size_t reply_alloc);
+  // Sends under the slot's short client lock, then waits for the reply
+  // polling the slot briefly per probe — the lock is never held across a
+  // wait, so streams sharing a slot keep their own requests in flight.
+  StatusOr<RpcReply> CallOnSlot(ClientSlot* slot, MessageType type, Slice payload,
+                                size_t reply_alloc);
   std::mutex* StreamMutex(StreamId stream);
+  // The connection a stream's calls go out on: its dedicated per-stream
+  // client when the factory produced one (PR 9 queue-pair slots), else the
+  // shared base client. The caller must hold the stream's call mutex (slot
+  // creation for a stream races only with itself).
+  ClientSlot* SlotFor(StreamId stream);
 
   std::unique_ptr<RpcClient> client_;
   const uint32_t region_id_;
   std::shared_ptr<RegisteredBuffer> buffer_;
   const std::string backup_name_;
   const uint64_t call_timeout_ns_;
-  // Per-stream call mutexes (PR 7): concurrent shipping streams (PR 4) share
-  // one connection, but requests complete out of order (§3.4.1), so only
-  // per-stream *ordering* needs a lock held across the whole call. The
-  // non-thread-safe RpcClient itself is guarded by `client_mutex_`, held only
-  // for the send and for each reply poll — never across the wait — so one
-  // stream's slow rewrite ack no longer blocks every other stream's sends.
+  const StreamClientFactory stream_client_factory_;
+  // Per-stream call mutexes (PR 7): requests complete out of order (§3.4.1),
+  // so per-stream *ordering* needs a lock held across the whole call. With a
+  // StreamClientFactory each stream also gets its own ClientSlot (PR 9), so
+  // nothing below the call mutex is shared between streams anymore; without
+  // one, every stream's slot aliases the base client.
   std::mutex table_mutex_;
   std::map<StreamId, std::unique_ptr<std::mutex>> stream_mutexes_;
-  std::mutex client_mutex_;
+  std::map<StreamId, std::unique_ptr<ClientSlot>> stream_slots_;
+  ClientSlot shared_slot_;
 };
 
 }  // namespace tebis

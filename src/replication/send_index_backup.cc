@@ -160,7 +160,8 @@ size_t SendIndexBackupRegion::replay_from() const {
   return replay_from_;
 }
 
-Status SendIndexBackupRegion::HandleLogFlush(SegmentId primary_segment, uint64_t commit_seq) {
+Status SendIndexBackupRegion::HandleLogFlush(SegmentId primary_segment, uint64_t commit_seq,
+                                             uint32_t family) {
   std::lock_guard<std::shared_mutex> lock(state_mutex_);
   if (log_map_.Contains(primary_segment)) {
     // Duplicate delivery (the ack was lost, not the flush). Do NOT scrub the
@@ -168,10 +169,17 @@ Status SendIndexBackupRegion::HandleLogFlush(SegmentId primary_segment, uint64_t
     // into it, and those records are live.
     return Status::Ok();
   }
+  const uint64_t seg_size = device_->segment_size();
+  // The large-value tail mirrors into the second half of the buffer (PR 9).
+  const uint64_t half = family == kLargeLogFamily ? seg_size : 0;
+  if (rdma_buffer_->size() < half + seg_size) {
+    // Not FailedPrecondition: that code means "you are deposed" on this wire.
+    return Status::InvalidArgument("large-family flush needs a 2x-segment replication buffer");
+  }
   // Persist the replicated tail (one large write, like the primary's flush).
   TEBIS_ASSIGN_OR_RETURN(
       SegmentId local,
-      log_->AppendRawSegment(Slice(rdma_buffer_->data(), device_->segment_size())));
+      log_->AppendRawSegment(Slice(rdma_buffer_->data() + half, seg_size)));
   TEBIS_RETURN_IF_ERROR(log_map_.Insert(primary_segment, local));
   primary_flush_order_.push_back(primary_segment);
   if (commit_seq > flushed_commit_seq_) {
@@ -181,7 +189,7 @@ Status SendIndexBackupRegion::HandleLogFlush(SegmentId primary_segment, uint64_t
   // sequence (its records are now in the flushed segment AND still in the
   // buffer). Safe exactly here: FlushLog is synchronous, so the primary is
   // blocked on this ack and cannot be appending the next tail yet.
-  rdma_buffer_->ZeroPrefix(sizeof(uint32_t));
+  rdma_buffer_->ZeroRange(half, sizeof(uint32_t));
   counters_.log_flushes->Increment();
   return Status::Ok();
 }
@@ -535,18 +543,26 @@ StatusOr<std::unique_ptr<KvStore>> SendIndexBackupRegion::Promote(bool replay_rd
   if (!replay_rdma_buffer) {
     return store;
   }
-  Status replay_status = ValueLog::ForEachRecord(
-      Slice(rdma_buffer_->data(), seg_size), /*segment_base=*/0, [&](const LogRecord& rec) {
-        if (rec.tombstone) {
-          return store->Delete(rec.key);
-        }
-        return store->Put(rec.key, rec.value);
-      });
-  if (!replay_status.ok() && !replay_status.IsCorruption()) {
-    // A torn trailing record (primary died mid-RDMA-write) reads as
-    // corruption and marks the end of the replicated data; anything else is a
-    // real error.
-    return replay_status;
+  const auto replay_half = [&](Slice half) -> Status {
+    Status replay_status =
+        ValueLog::ForEachRecord(half, /*segment_base=*/0, [&](const LogRecord& rec) {
+          if (rec.tombstone) {
+            return store->Delete(rec.key);
+          }
+          return store->Put(rec.key, rec.value);
+        });
+    if (!replay_status.ok() && !replay_status.IsCorruption()) {
+      // A torn trailing record (primary died mid-RDMA-write) reads as
+      // corruption and marks the end of the replicated data; anything else is
+      // a real error.
+      return replay_status;
+    }
+    return Status::Ok();
+  };
+  TEBIS_RETURN_IF_ERROR(replay_half(Slice(rdma_buffer_->data(), seg_size)));
+  // The large-value mirror in the second half of a 2x buffer (PR 9).
+  if (rdma_buffer_->size() >= 2 * seg_size) {
+    TEBIS_RETURN_IF_ERROR(replay_half(Slice(rdma_buffer_->data() + seg_size, seg_size)));
   }
   return store;
 }
@@ -604,7 +620,8 @@ Status SendIndexBackupRegion::AdoptNewPrimaryLogMap(const SegmentMap& new_primar
 uint64_t SendIndexBackupRegion::ParseBufferLocked(std::vector<LogRecord>* records) const {
   // SnapshotBytes serializes with the primary's tagged one-sided writes, so
   // the image never contains a half-landed record.
-  const std::string image = rdma_buffer_->SnapshotBytes(device_->segment_size());
+  const uint64_t seg_size = device_->segment_size();
+  const std::string image = rdma_buffer_->SnapshotBytes(seg_size);
   Status status = ValueLog::ForEachRecord(Slice(image), /*segment_base=*/0,
                                           [records](const LogRecord& rec) {
                                             records->push_back(rec);
@@ -612,6 +629,16 @@ uint64_t SendIndexBackupRegion::ParseBufferLocked(std::vector<LogRecord>* record
                                           });
   // A corruption marks the end of valid data, same as promotion replay.
   (void)status;
+  // The large-value mirror (PR 9) lives in the second half of a 2x buffer.
+  if (rdma_buffer_->size() >= 2 * seg_size) {
+    const std::string large = rdma_buffer_->SnapshotRange(seg_size, seg_size);
+    status = ValueLog::ForEachRecord(Slice(large), /*segment_base=*/0,
+                                     [records](const LogRecord& rec) {
+                                       records->push_back(rec);
+                                       return Status::Ok();
+                                     });
+    (void)status;
+  }
   return flushed_commit_seq_ + records->size();
 }
 

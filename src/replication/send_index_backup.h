@@ -90,7 +90,11 @@ class SendIndexBackupRegion {
   // the <primary segment, backup segment> log-map entry. `commit_seq` is the
   // primary's commit sequence as of this flush (PR 6); the replica read path
   // reports visible_seq = flushed high-water + records still in the buffer.
-  Status HandleLogFlush(SegmentId primary_segment, uint64_t commit_seq = 0);
+  // `family` (PR 9) selects which half of the replication buffer persists:
+  // kMainLogFamily is [0, segment), kLargeLogFamily is [segment, 2*segment)
+  // and requires a 2x-segment buffer.
+  Status HandleLogFlush(SegmentId primary_segment, uint64_t commit_seq = 0,
+                        uint32_t family = kMainLogFamily);
 
   // §3.3: compaction lifecycle, one state machine per `stream`.
   Status HandleCompactionBegin(uint64_t compaction_id, int src_level, int dst_level,

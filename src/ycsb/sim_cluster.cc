@@ -1,6 +1,7 @@
 #include "src/ycsb/sim_cluster.h"
 
 #include <algorithm>
+#include <map>
 
 namespace tebis {
 
@@ -68,8 +69,10 @@ StatusOr<std::unique_ptr<SimCluster>> SimCluster::Create(const SimClusterOptions
           static_cast<int>(std::find(cluster->server_names_.begin(),
                                      cluster->server_names_.end(), backup_name) -
                            cluster->server_names_.begin());
+      // 2x a segment (PR 9): main tail mirror in [0, segment), large-value
+      // tail mirror in [segment, 2*segment).
       auto buffer = cluster->fabric_->RegisterBuffer(backup_name, info.primary,
-                                                     options.device_options.segment_size);
+                                                     2 * options.device_options.segment_size);
       KvStoreOptions backup_kv = cluster->options_.kv_options;
       backup_kv.telemetry = cluster->telemetry_.get();
       backup_kv.telemetry_labels = StoreLabels(cluster->options_.kv_options.telemetry_labels,
@@ -136,6 +139,35 @@ StatusOr<std::string> SimCluster::Get(Slice key) {
 Status SimCluster::Delete(Slice key) {
   TEBIS_ASSIGN_OR_RETURN(Region * region, Route(key));
   return region->primary->Delete(key);
+}
+
+Status SimCluster::WriteBatch(const std::vector<KvStore::BatchOp>& ops,
+                              std::vector<Status>* statuses) {
+  statuses->assign(ops.size(), Status::Ok());
+  // Group per owning region, preserving op order within each group — the same
+  // shape the client's per-destination coalescing produces.
+  std::map<Region*, std::vector<size_t>> groups;
+  for (size_t i = 0; i < ops.size(); ++i) {
+    TEBIS_ASSIGN_OR_RETURN(Region * region, Route(ops[i].key));
+    groups[region].push_back(i);
+  }
+  Status first;
+  for (auto& [region, indexes] : groups) {
+    std::vector<KvStore::BatchOp> group;
+    group.reserve(indexes.size());
+    for (size_t i : indexes) {
+      group.push_back(ops[i]);
+    }
+    std::vector<Status> group_statuses;
+    Status s = region->primary->WriteBatch(group, &group_statuses);
+    for (size_t k = 0; k < indexes.size(); ++k) {
+      (*statuses)[indexes[k]] = group_statuses[k];
+    }
+    if (!s.ok() && first.ok()) {
+      first = s;
+    }
+  }
+  return first;
 }
 
 StatusOr<std::string> SimCluster::ReplicaGet(Slice key) {

@@ -84,6 +84,12 @@ class SimCluster {
   StatusOr<std::string> Get(Slice key);
   Status Delete(Slice key);
 
+  // Group-commit passthrough (PR 9): applies `ops` grouped per owning region
+  // — one engine reservation and one coalesced replication doorbell per
+  // group, mirroring the client's per-destination batching. Per-op statuses
+  // land in `statuses` in input order; returns the first group-level error.
+  Status WriteBatch(const std::vector<KvStore::BatchOp>& ops, std::vector<Status>* statuses);
+
   // Replica-read fan-out (PR 6): rotates each get across the region's
   // replica set — the primary plus every backup — so read I/O spreads over
   // all devices holding the region. The fence is zero (the harness measures

@@ -69,6 +69,107 @@ TEST_P(WireFuzzTest, RandomBytesFailCleanly) {
     BloomFilterView view;
     (void)BloomFilterView::Parse(junk, &view);
     (void)RegionMap::Deserialize(junk);
+    std::vector<KvBatchOp> batch_ops;
+    (void)DecodeKvBatchRequest(junk, &batch_ops);
+    std::vector<KvBatchOpStatus> batch_statuses;
+    uint64_t epoch, seq;
+    (void)DecodeKvBatchReply(junk, &batch_statuses, &epoch, &seq);
+  }
+}
+
+// --- batched kv frames (PR 9) round-trip and reject damage ---------------------
+
+TEST_P(WireFuzzTest, KvBatchRequestRoundTrips) {
+  Random rng(GetParam() + 600);
+  for (int i = 0; i < 300; ++i) {
+    // Own the backing bytes for the encode's Slices.
+    std::vector<std::pair<std::string, std::string>> backing;
+    const size_t n = 1 + rng.Uniform(24);
+    for (size_t k = 0; k < n; ++k) {
+      backing.emplace_back(rng.Bytes(1 + rng.Uniform(40)), rng.Bytes(rng.Uniform(300)));
+    }
+    std::vector<KvBatchOp> ops;
+    for (size_t k = 0; k < n; ++k) {
+      ops.push_back(KvBatchOp{rng.Uniform(4) == 0, Slice(backing[k].first),
+                              Slice(backing[k].second)});
+    }
+    const std::string encoded = EncodeKvBatchRequest(ops);
+    std::vector<KvBatchOp> out;
+    ASSERT_TRUE(DecodeKvBatchRequest(encoded, &out).ok());
+    ASSERT_EQ(out.size(), ops.size());
+    for (size_t k = 0; k < n; ++k) {
+      EXPECT_EQ(out[k].tombstone, ops[k].tombstone);
+      EXPECT_EQ(out[k].key.ToString(), backing[k].first);
+      if (!ops[k].tombstone) {
+        EXPECT_EQ(out[k].value.ToString(), backing[k].second);
+      }
+    }
+    // Any strict prefix (a torn frame) must fail, never yield a short batch.
+    const size_t cut = rng.Uniform(encoded.size());
+    out.clear();
+    EXPECT_FALSE(DecodeKvBatchRequest(Slice(encoded.data(), cut), &out).ok());
+  }
+}
+
+TEST_P(WireFuzzTest, KvBatchReplyRoundTripsAndTruncationFails) {
+  Random rng(GetParam() + 700);
+  for (int i = 0; i < 300; ++i) {
+    const size_t n = 1 + rng.Uniform(24);
+    std::vector<KvBatchOpStatus> statuses;
+    for (size_t k = 0; k < n; ++k) {
+      KvBatchOpStatus s;
+      if (rng.Uniform(3) == 0) {
+        s.code = 1 + rng.Uniform(10);
+        s.message = rng.Bytes(rng.Uniform(60));
+      }
+      statuses.push_back(std::move(s));
+    }
+    const uint64_t epoch = rng.Next();
+    const uint64_t seq = rng.Next();
+    const std::string encoded = EncodeKvBatchReply(statuses, epoch, seq);
+    std::vector<KvBatchOpStatus> out;
+    uint64_t out_epoch = 0, out_seq = 0;
+    ASSERT_TRUE(DecodeKvBatchReply(encoded, &out, &out_epoch, &out_seq).ok());
+    ASSERT_EQ(out.size(), statuses.size());
+    EXPECT_EQ(out_epoch, epoch);
+    EXPECT_EQ(out_seq, seq);
+    for (size_t k = 0; k < n; ++k) {
+      EXPECT_EQ(out[k].code, statuses[k].code);
+      EXPECT_EQ(out[k].message, statuses[k].message);
+    }
+    const size_t cut = rng.Uniform(encoded.size());
+    out.clear();
+    EXPECT_FALSE(DecodeKvBatchReply(Slice(encoded.data(), cut), &out, &out_epoch, &out_seq).ok());
+  }
+}
+
+TEST_P(WireFuzzTest, CorruptKvBatchFramesNeverMisparse) {
+  // Flipped bytes in a valid batch frame either fail to decode or still
+  // decode into a structurally bounded batch (framing lengths keep every
+  // slice inside the payload) — never a crash or over-read.
+  Random rng(GetParam() + 800);
+  std::vector<std::pair<std::string, std::string>> backing;
+  for (int k = 0; k < 8; ++k) {
+    backing.emplace_back("key" + std::to_string(k), rng.Bytes(64));
+  }
+  std::vector<KvBatchOp> ops;
+  for (auto& [key, value] : backing) {
+    ops.push_back(KvBatchOp{false, Slice(key), Slice(value)});
+  }
+  const std::string encoded = EncodeKvBatchRequest(ops);
+  for (int i = 0; i < 500; ++i) {
+    std::string corrupt = encoded;
+    corrupt[rng.Uniform(corrupt.size())] ^= static_cast<char>(1 + rng.Uniform(255));
+    std::vector<KvBatchOp> out;
+    if (DecodeKvBatchRequest(corrupt, &out).ok()) {
+      for (const KvBatchOp& op : out) {
+        // Every decoded slice must lie inside the corrupt buffer.
+        EXPECT_GE(op.key.data(), corrupt.data());
+        EXPECT_LE(op.key.data() + op.key.size(), corrupt.data() + corrupt.size());
+        EXPECT_GE(op.value.data(), corrupt.data());
+        EXPECT_LE(op.value.data() + op.value.size(), corrupt.data() + corrupt.size());
+      }
+    }
   }
 }
 

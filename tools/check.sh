@@ -9,8 +9,8 @@
 # Run this before every merge:
 #
 #   tools/check.sh            # all three passes (with their addenda)
-#   tools/check.sh --plain    # plain pass: fast + telemetry + filters + scrub, BENCH gate
-#   tools/check.sh --tsan     # TSan pass: fast + streams + telemetry + replica + filters + scrub
+#   tools/check.sh --plain    # plain pass: fast + telemetry + filters + scrub + batch, BENCH gate
+#   tools/check.sh --tsan     # TSan pass: fast + streams + telemetry + replica + filters + scrub + batch
 #   tools/check.sh --chaos    # ASan pass: chaos + streams + replica labels
 #
 # Build trees: build/ (plain), build-tsan/ (TEBIS_SANITIZE=thread) and
@@ -58,6 +58,8 @@ if [[ $run_plain -eq 1 ]]; then
     echo "BENCH gate: bench_micro.cc lost the bloom-filter negative-lookup A/B (BENCH_pr7.json)" >&2; exit 1; }
   grep -q "RunScrubOverheadComparison" bench/bench_micro.cc || {
     echo "BENCH gate: bench_micro.cc lost the scrub-overhead A/B (BENCH_pr8.json)" >&2; exit 1; }
+  grep -q "RunWritePathComparison" bench/bench_micro.cc || {
+    echo "BENCH gate: bench_micro.cc lost the write-path group-commit A/B (BENCH_pr9.json)" >&2; exit 1; }
   # Shipped bloom filters (PR 7): the filter suite by itself, so a filter or
   # manifest-versioning regression names itself.
   echo "== tier-1 pass 1/3 (addendum): plain build, filters label =="
@@ -65,6 +67,10 @@ if [[ $run_plain -eq 1 ]]; then
   # End-to-end integrity (PR 8): checksummed segments, scrub, online repair.
   echo "== tier-1 pass 1/3 (addendum): plain build, scrub label =="
   ctest --test-dir build -L scrub --no-tests=error --output-on-failure -j "$jobs"
+  # Write-path group commit (PR 9): batched frames, coalesced doorbells,
+  # large-value separation, and the group-commit crash points.
+  echo "== tier-1 pass 1/3 (addendum): plain build, batch label =="
+  ctest --test-dir build -L batch --no-tests=error --output-on-failure -j "$jobs"
 fi
 
 if [[ $run_tsan -eq 1 ]]; then
@@ -101,6 +107,12 @@ if [[ $run_tsan -eq 1 ]]; then
   echo "== tier-1 pass 2/3 (addendum): ThreadSanitizer build, scrub label =="
   TSAN_OPTIONS="halt_on_error=1 ${TSAN_OPTIONS:-}" \
     ctest --test-dir build-tsan -L scrub --no-tests=error --output-on-failure -j "$jobs"
+  # Write-path group commit (PR 9): group appends race client threads against
+  # the replication doorbell path and both log-family tails — the suite must
+  # be race-free under TSan.
+  echo "== tier-1 pass 2/3 (addendum): ThreadSanitizer build, batch label =="
+  TSAN_OPTIONS="halt_on_error=1 ${TSAN_OPTIONS:-}" \
+    ctest --test-dir build-tsan -L batch --no-tests=error --output-on-failure -j "$jobs"
 fi
 
 if [[ $run_chaos -eq 1 ]]; then

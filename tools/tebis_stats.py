@@ -156,6 +156,59 @@ def print_integrity_summary(metrics):
     print(f"  quarantined       {status}")
 
 
+def print_write_path_summary(metrics):
+    """Derived write-path health (PR 9): group-commit batching on the engine
+    (wp.batch_* from KvStore::WriteBatch), doorbell coalescing on the
+    replication plane (wp.doorbell* from PrimaryRegion), and WAL-time
+    large-value separation. Histogram samples arrive as name{labels}_count/
+    _p50/_p99/_max keys. Raw-counter ratios, so unaffected by --raw."""
+    totals = defaultdict(int)
+    # histogram field -> {suffix: aggregated value}; percentiles keep the max
+    # across nodes (a conservative cluster-wide view), counts sum.
+    hists = defaultdict(dict)
+    hist_re = re.compile(r"^(?P<name>wp\.[^{]+?)(?:\{.*\})?_(?P<suffix>count|p50|p99|max)$")
+    for key, value in metrics.items():
+        m = hist_re.match(key)
+        if m is not None:
+            name, suffix = m.group("name"), m.group("suffix")
+            if suffix == "count":
+                hists[name][suffix] = hists[name].get(suffix, 0) + value
+            else:
+                hists[name][suffix] = max(hists[name].get(suffix, 0), value)
+            continue
+        name, _ = parse_metric_key(key)
+        if name.startswith("wp."):
+            totals[name[len("wp."):]] += value
+    if not totals and not hists:
+        return
+    print("\n== write path ==")
+    groups = totals.get("batch_groups", 0)
+    ops = totals.get("batch_ops", 0)
+    if groups:
+        print(f"  group commit      {groups} groups, {ops} ops"
+              f" ({ops / groups:.1f} ops/group)")
+    size_h = hists.get("wp.batch_size", {})
+    if size_h.get("count"):
+        print(f"  batch size        p50 {size_h.get('p50', 0)}"
+              f"  p99 {size_h.get('p99', 0)}  max {size_h.get('max', 0)}"
+              f"  ({size_h['count']} groups sampled)")
+    lat_h = hists.get("wp.group_commit_latency_ns", {})
+    if lat_h.get("count"):
+        print(f"  group latency     p50 {humanize('_ns', lat_h.get('p50', 0))}"
+              f"  p99 {humanize('_ns', lat_h.get('p99', 0))}"
+              f"  max {humanize('_ns', lat_h.get('max', 0))}")
+    doorbells = totals.get("doorbells", 0)
+    records = totals.get("doorbell_records", 0)
+    if doorbells:
+        print(f"  doorbells         {doorbells} writes carried {records} records"
+              f" ({records / doorbells:.1f} records/doorbell coalesced)")
+    separations = totals.get("large_value_separations", 0)
+    if separations or totals.get("large_records_replicated", 0):
+        print(f"  large values      {separations} separated at WAL time,"
+              f" {totals.get('large_records_replicated', 0)} mirrored to the"
+              " large-log family")
+
+
 def print_traces(spans):
     events = spans.get("traceEvents", []) if isinstance(spans, dict) else spans
     pid_names = {}
@@ -216,6 +269,7 @@ def main():
     print_metrics(doc.get("metrics", {}), args.raw)
     print_filter_summary(doc.get("metrics", {}))
     print_integrity_summary(doc.get("metrics", {}))
+    print_write_path_summary(doc.get("metrics", {}))
     print_traces(doc.get("spans", {}))
 
     if args.traces_out:
