@@ -11,6 +11,8 @@
 #include <algorithm>
 #include <atomic>
 #include <chrono>
+#include <cstdlib>
+#include <cstring>
 #include <future>
 #include <memory>
 #include <thread>
@@ -1422,6 +1424,106 @@ void RunWritePathComparison() {
   }
 }
 
+// --- sampled request tracing overhead (PR 10) -----------------------------------
+//
+// The acceptance A/B for request-scoped tracing: the same replicated put loop
+// once with sampling off (sample_every = 0 — the untraced fast path takes no
+// clock reads and appends no wire bytes) and once at the default production
+// rate (1 in 32 — sampled ops carry the trace through engine apply, the
+// doorbell, and the backup commit listener, and land exemplars + spans).
+// Sampling must cost <= 2% put throughput.
+
+double RunRequestTracingArm(SimCluster* cluster, uint64_t ops, uint64_t value_bytes) {
+  const std::string value(value_bytes, 'v');
+  const uint64_t start_ns = NowNanos();
+  for (uint64_t i = 0; i < ops; ++i) {
+    Status status = cluster->Put(Key(i), value);
+    if (!status.ok()) {
+      fprintf(stderr, "tracing bench: put failed: %s\n", status.ToString().c_str());
+      abort();
+    }
+  }
+  const uint64_t wall_ns = NowNanos() - start_ns;
+  return static_cast<double>(ops) / 1e3 / (static_cast<double>(wall_ns) / 1e9);
+}
+
+void RunRequestTracingComparison() {
+  const bench::BenchScale scale = bench::BenchScale::FromEnv();
+  constexpr int kRunsPerArm = 5;
+  constexpr uint64_t kSampleEvery = 32;
+  constexpr uint64_t kValueBytes = 120;
+  const uint64_t ops = std::max<uint64_t>(2000, std::min<uint64_t>(scale.records, 20000));
+  printf("\n-- request tracing overhead: sampling off vs 1-in-%llu, %llu replicated puts, "
+         "RF=2 (median of %d, interleaved) --\n",
+         static_cast<unsigned long long>(kSampleEvery),
+         static_cast<unsigned long long>(ops), kRunsPerArm);
+
+  SimClusterOptions options;
+  options.num_servers = 3;
+  options.num_regions = 4;
+  options.replication_factor = 2;  // the doorbell + backup-commit path is on
+  options.mode = ReplicationMode::kSendIndex;
+  options.kv_options.l0_max_entries = std::max<uint64_t>(scale.l0_entries, 8192);
+  options.device_options.segment_size = 1 << 18;
+  options.device_options.max_segments = 1 << 17;
+  if (scale.bandwidth_mb > 0) {
+    options.device_options.cost_model.read_bandwidth_bytes_per_sec =
+        scale.bandwidth_mb * 1024 * 1024;
+    options.device_options.cost_model.write_bandwidth_bytes_per_sec =
+        scale.bandwidth_mb * 1024 * 1024;
+  }
+
+  auto make_cluster = [&](uint64_t sample_every) {
+    SimClusterOptions arm = options;
+    arm.request_trace_sample_every = sample_every;
+    auto cluster_or = SimCluster::Create(arm);
+    if (!cluster_or.ok()) {
+      fprintf(stderr, "tracing bench: cluster: %s\n",
+              cluster_or.status().ToString().c_str());
+      abort();
+    }
+    return std::move(*cluster_or);
+  };
+  // One long-lived cluster per arm (identical layout), runs interleaved so
+  // store growth and machine drift land on both arms equally.
+  auto off_cluster = make_cluster(0);
+  auto on_cluster = make_cluster(kSampleEvery);
+
+  std::vector<double> off_kops, on_kops;
+  for (int i = 0; i < kRunsPerArm; ++i) {
+    off_kops.push_back(RunRequestTracingArm(off_cluster.get(), ops, kValueBytes));
+    on_kops.push_back(RunRequestTracingArm(on_cluster.get(), ops, kValueBytes));
+  }
+  const double off = MedianOf(off_kops);
+  const double on = MedianOf(on_kops);
+  const double overhead_pct = (1.0 - on / off) * 100.0;
+  const uint64_t spans =
+      on_cluster->Traces().size() + on_cluster->telemetry()->traces()->dropped();
+  printf("  sampling off %8.1f put kops/s\n", off);
+  printf("  1-in-%-2llu      %8.1f put kops/s   (%llu request spans recorded)\n",
+         static_cast<unsigned long long>(kSampleEvery), on,
+         static_cast<unsigned long long>(spans));
+  printf("  put-throughput overhead: %.2f%% (budget: 2%%)\n", overhead_pct);
+
+  bench::BenchJson json("pr10");
+  json.Set("request_tracing", "ops_per_run", static_cast<double>(ops));
+  json.Set("request_tracing", "sample_every", static_cast<double>(kSampleEvery));
+  json.Set("request_tracing", "value_bytes", static_cast<double>(kValueBytes));
+  json.Set("request_tracing", "off_put_kops_per_sec", off);
+  json.Set("request_tracing", "on_put_kops_per_sec", on);
+  json.Set("request_tracing", "spans_recorded", static_cast<double>(spans));
+  json.Set("request_tracing", "overhead_pct", overhead_pct);
+  json.Set("request_tracing", "budget_pct", 2.0);
+  // The traced arm's request-facing registry: latency histogram (with
+  // exemplars riding the snapshot) plus the trace.* family the scrape exposes.
+  bench::SetFromSnapshot(&json, "request_tracing_registry", on_cluster->MetricsNow(),
+                         {"trace."});
+  const std::string path = json.Write();
+  if (!path.empty()) {
+    printf("  wrote %s\n", path.c_str());
+  }
+}
+
 }  // namespace
 }  // namespace tebis
 
@@ -1431,12 +1533,19 @@ int main(int argc, char** argv) {
     return 1;
   }
   benchmark::RunSpecifiedBenchmarks();
-  tebis::RunPipelineComparison();
-  tebis::RunShippingComparison();
-  tebis::RunTelemetryOverheadComparison();
-  tebis::RunReplicaReadComparison();
-  tebis::RunFilterComparison();
-  tebis::RunScrubOverheadComparison();
-  tebis::RunWritePathComparison();
+  // TEBIS_BENCH_ONLY=<substring> reruns a single comparison (and refreshes
+  // only its BENCH_*.json) without paying for the whole suite.
+  const char* only = std::getenv("TEBIS_BENCH_ONLY");
+  auto enabled = [only](const char* name) {
+    return only == nullptr || std::strstr(name, only) != nullptr;
+  };
+  if (enabled("pipeline")) tebis::RunPipelineComparison();
+  if (enabled("shipping")) tebis::RunShippingComparison();
+  if (enabled("telemetry")) tebis::RunTelemetryOverheadComparison();
+  if (enabled("replica")) tebis::RunReplicaReadComparison();
+  if (enabled("filter")) tebis::RunFilterComparison();
+  if (enabled("scrub")) tebis::RunScrubOverheadComparison();
+  if (enabled("write_path")) tebis::RunWritePathComparison();
+  if (enabled("tracing")) tebis::RunRequestTracingComparison();
   return 0;
 }

@@ -1,6 +1,10 @@
 #include "src/cluster/client.h"
 
+#include <functional>
+
 #include "src/cluster/kv_wire.h"
+#include "src/cluster/stats_wire.h"
+#include "src/common/clock.h"
 #include "src/common/logging.h"
 
 namespace tebis {
@@ -16,7 +20,36 @@ TebisClient::TebisClient(Fabric* fabric, std::string name, ServerResolver resolv
       name_(std::move(name)),
       resolver_(std::move(resolver)),
       seed_servers_(std::move(seed_servers)),
-      buffer_size_(buffer_size) {}
+      buffer_size_(buffer_size),
+      source_hash_(std::hash<std::string>{}(name_)) {}
+
+TraceId TebisClient::MaybeSampleTrace() {
+  if (sample_every_ == 0) {
+    return kNoTrace;
+  }
+  if (++sample_counter_ % sample_every_ != 0) {
+    return kNoTrace;
+  }
+  return MakeRequestTraceId(source_hash_, trace_seq_++);
+}
+
+void TebisClient::RecordClientSpan(TraceId trace, uint64_t start_ns, uint64_t bytes) {
+  if (trace == kNoTrace || telemetry_ == nullptr) {
+    return;
+  }
+  TraceBuffer* traces = telemetry_->traces();
+  if (!traces->enabled()) {
+    return;
+  }
+  SpanRecord span;
+  span.trace = trace;
+  span.name = "client";
+  span.node = name_;
+  span.start_ns = start_ns;
+  span.end_ns = NowNanos();
+  span.bytes = bytes;
+  traces->Record(std::move(span));
+}
 
 StatusOr<RpcClient*> TebisClient::ClientFor(const std::string& server) {
   ServerEndpoint* endpoint = resolver_(server);
@@ -78,6 +111,28 @@ StatusOr<std::string> TebisClient::ScrapeStats(const std::string& server) {
     TEBIS_ASSIGN_OR_RETURN(
         RpcReply reply,
         client->Call(MessageType::kStatsScrape, 0, Slice(), alloc, 0, rpc_timeout_ns_));
+    if (reply.header.flags & kFlagTruncatedReply) {
+      uint64_t needed;
+      TEBIS_RETURN_IF_ERROR(DecodeTruncatedReply(reply.payload, &needed));
+      alloc = needed + 64;
+      continue;
+    }
+    if (reply.header.flags & kFlagError) {
+      return Status::Internal("scrape rejected: " + reply.payload);
+    }
+    return std::move(reply.payload);
+  }
+  return Status::Unavailable("scrape reply kept outgrowing the allocation");
+}
+
+StatusOr<std::string> TebisClient::ScrapeStatsBinary(const std::string& server) {
+  TEBIS_ASSIGN_OR_RETURN(RpcClient * client, ClientFor(server));
+  const std::string request = EncodeScrapeRequest(kScrapeFormatBinary);
+  size_t alloc = 16384;
+  for (int attempt = 0; attempt < 3; ++attempt) {
+    TEBIS_ASSIGN_OR_RETURN(
+        RpcReply reply,
+        client->Call(MessageType::kStatsScrape, 0, request, alloc, 0, rpc_timeout_ns_));
     if (reply.header.flags & kFlagTruncatedReply) {
       uint64_t needed;
       TEBIS_RETURN_IF_ERROR(DecodeTruncatedReply(reply.payload, &needed));
@@ -171,14 +226,14 @@ Status TebisClient::Issue(PendingOp* op) {
   } else {
     switch (op->type) {
       case MessageType::kPut:
-        payload = EncodePutRequest(op->key, op->value);
+        payload = EncodePutRequest(op->key, op->value, op->trace);
         break;
       case MessageType::kGet:
       case MessageType::kDelete:
-        payload = EncodeKeyRequest(op->key);
+        payload = EncodeKeyRequest(op->key, op->trace);
         break;
       case MessageType::kScan:
-        payload = EncodeScanRequest(op->key, op->limit);
+        payload = EncodeScanRequest(op->key, op->limit, op->trace);
         break;
       default:
         return Status::Internal("bad op type");
@@ -204,6 +259,10 @@ StatusOr<TebisClient::OpHandle> TebisClient::PutAsync(Slice key, Slice value) {
   op.key = key.ToString();
   op.value = value.ToString();
   op.reply_alloc = 16;
+  op.trace = MaybeSampleTrace();
+  if (op.trace != kNoTrace) {
+    op.trace_start_ns = NowNanos();
+  }
   TEBIS_RETURN_IF_ERROR(Issue(&op));
   stats_.puts++;
   const OpHandle handle = next_handle_++;
@@ -296,7 +355,11 @@ Status TebisClient::FlushBatchQueue(uint32_t region_id) {
     fallback(0);
     return Status::Ok();
   }
-  const std::string payload = EncodeKvBatchRequest(ops);
+  // Sampled per frame (PR 10): the frame is the unit of work on the wire, so
+  // one trace id covers the whole group.
+  const TraceId frame_trace = MaybeSampleTrace();
+  const uint64_t frame_start_ns = frame_trace != kNoTrace ? NowNanos() : 0;
+  const std::string payload = EncodeKvBatchRequest(ops, frame_trace);
   // Success replies carry one small status per op; only failures add message
   // strings. An undersized allocation falls back to single-op re-issue.
   const size_t alloc = 64 + 48 * ops.size();
@@ -313,6 +376,13 @@ Status TebisClient::FlushBatchQueue(uint32_t region_id) {
   batch.request_id = *request;
   batch.region_id = region->region_id;
   batch.handles = handles;
+  batch.trace = frame_trace;
+  batch.trace_start_ns = frame_start_ns;
+  if (frame_trace != kNoTrace) {
+    for (const KvBatchOp& op : ops) {
+      batch.trace_bytes += op.key.size() + op.value.size();
+    }
+  }
   inflight_batches_.emplace(batch_id, std::move(batch));
   for (OpHandle h : handles) {
     PendingOp& op = pending_.at(h);
@@ -392,6 +462,7 @@ void TebisClient::HarvestBatch(uint64_t batch_id) {
     }
     return;
   }
+  RecordClientSpan(batch.trace, batch.trace_start_ns, batch.trace_bytes);
   // Fold the commit token (PR 6) once for the whole group.
   RegionReadState& st = read_state_[batch.region_id];
   if (token_epoch > st.token_epoch ||
@@ -413,6 +484,10 @@ StatusOr<TebisClient::OpHandle> TebisClient::GetAsync(Slice key) {
   op.type = MessageType::kGet;
   op.key = key.ToString();
   op.reply_alloc = default_value_alloc_;
+  op.trace = MaybeSampleTrace();
+  if (op.trace != kNoTrace) {
+    op.trace_start_ns = NowNanos();
+  }
   TEBIS_RETURN_IF_ERROR(Issue(&op));
   stats_.gets++;
   const OpHandle handle = next_handle_++;
@@ -430,6 +505,10 @@ StatusOr<TebisClient::OpHandle> TebisClient::DeleteAsync(Slice key) {
   op.type = MessageType::kDelete;
   op.key = key.ToString();
   op.reply_alloc = 16;
+  op.trace = MaybeSampleTrace();
+  if (op.trace != kNoTrace) {
+    op.trace_start_ns = NowNanos();
+  }
   TEBIS_RETURN_IF_ERROR(Issue(&op));
   stats_.deletes++;
   const OpHandle handle = next_handle_++;
@@ -630,6 +709,7 @@ TebisClient::OpResult TebisClient::Complete(OpHandle handle) {
         }
       }
     }
+    RecordClientSpan(op.trace, op.trace_start_ns, op.key.size() + op.value.size());
     pending_.erase(it);
     return result;
   }
@@ -681,6 +761,10 @@ StatusOr<std::vector<KvPair>> TebisClient::Scan(Slice start, uint32_t limit) {
     op.key = cursor;
     op.limit = limit - static_cast<uint32_t>(out.size());
     op.reply_alloc = std::max<size_t>(default_value_alloc_ * op.limit / 4, 4096);
+    op.trace = MaybeSampleTrace();
+    if (op.trace != kNoTrace) {
+      op.trace_start_ns = NowNanos();
+    }
     TEBIS_RETURN_IF_ERROR(Issue(&op));
     stats_.scans++;
     const OpHandle handle = next_handle_++;

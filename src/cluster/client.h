@@ -19,6 +19,8 @@
 #include "src/cluster/region_map.h"
 #include "src/lsm/kv_store.h"
 #include "src/net/rpc_client.h"
+#include "src/telemetry/telemetry.h"
+#include "src/telemetry/trace.h"
 
 namespace tebis {
 
@@ -78,6 +80,9 @@ class TebisClient {
   // Admin scrape (PR 5): fetch `server`'s telemetry payload — metrics
   // snapshot + recent pipeline spans — as JSON.
   StatusOr<std::string> ScrapeStats(const std::string& server);
+  // Binary scrape (PR 10): the structured NodeScrape payload the master's
+  // federation fan-out merges (decode with DecodeNodeScrape).
+  StatusOr<std::string> ScrapeStatsBinary(const std::string& server);
 
   // --- synchronous API ---
   Status Put(Slice key, Slice value);
@@ -128,6 +133,17 @@ class TebisClient {
   }
   size_t batch_size() const { return batch_size_; }
 
+  // Request-scoped tracing (PR 10): sample one in `sample_every` ops (0
+  // disables, the default — requests stay byte-identical on the wire). A
+  // sampled op carries a request trace id in a trailing wire field; the
+  // servers it touches record spans under that id.
+  void set_request_sampling(uint64_t sample_every) { sample_every_ = sample_every; }
+  uint64_t request_sampling() const { return sample_every_; }
+  // Plane that receives this client's "client" spans for sampled ops (e.g.
+  // the test harness's plane). nullptr (default) skips client-side spans;
+  // trace ids still flow to the servers.
+  void set_telemetry(Telemetry* telemetry) { telemetry_ = telemetry; }
+
  private:
   struct PendingOp {
     MessageType type;
@@ -149,6 +165,10 @@ class TebisClient {
     // Write batching (PR 9).
     bool staged = false;     // parked in a batch queue, not yet on the wire
     uint64_t batch_id = 0;   // in-flight kKvBatch frame it rode (0 = single-op)
+    // Request tracing (PR 10): allocated once at op creation; retries re-send
+    // the same id so the trace tree stays whole across failover.
+    TraceId trace = kNoTrace;
+    uint64_t trace_start_ns = 0;
   };
 
   // Per-region read-consistency state (PR 6).
@@ -172,6 +192,10 @@ class TebisClient {
     uint64_t request_id = 0;
     uint32_t region_id = 0;
     std::vector<OpHandle> handles;
+    // Request tracing (PR 10): sampled per frame, not per carried op.
+    TraceId trace = kNoTrace;
+    uint64_t trace_start_ns = 0;
+    uint64_t trace_bytes = 0;
   };
 
   Status RefreshMap();
@@ -189,6 +213,11 @@ class TebisClient {
   // Waits for a batch reply and distributes per-op statuses; a frame that
   // fails as a unit falls back to single-op re-issue per carried write.
   void HarvestBatch(uint64_t batch_id);
+  // 1-in-N sampling decision; returns a fresh request trace id or kNoTrace.
+  TraceId MaybeSampleTrace();
+  // Records the end-to-end "client" span for a sampled op (no-op without a
+  // telemetry plane).
+  void RecordClientSpan(TraceId trace, uint64_t start_ns, uint64_t bytes);
 
   Fabric* const fabric_;
   const std::string name_;
@@ -215,6 +244,12 @@ class TebisClient {
   uint64_t staleness_bound_ = 0;
   uint64_t replica_rr_ = 0;  // round-robin cursor over a region's leases
   std::map<uint32_t, RegionReadState> read_state_;
+  // Request tracing (PR 10).
+  uint64_t sample_every_ = 0;   // 0 = off
+  uint64_t sample_counter_ = 0;
+  uint64_t trace_seq_ = 0;
+  uint64_t source_hash_ = 0;    // hash of name_, keeps clients' ids apart
+  Telemetry* telemetry_ = nullptr;
 };
 
 }  // namespace tebis

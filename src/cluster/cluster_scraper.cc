@@ -1,0 +1,273 @@
+#include "src/cluster/cluster_scraper.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cinttypes>
+#include <cstdio>
+
+namespace tebis {
+
+ClusterScraper::ClusterScraper(std::vector<std::string> servers, FetchFn fetch, Options options)
+    : servers_(std::move(servers)), fetch_(std::move(fetch)), options_(options) {
+  for (const std::string& server : servers_) {
+    nodes_[server];
+  }
+}
+
+ClusterScraper::~ClusterScraper() { Stop(); }
+
+Status ClusterScraper::ScrapeOnce() {
+  // Fan out without holding the merge lock: fetches may block on RPC
+  // timeouts, and ClusterJson() readers should not wait behind them.
+  std::vector<std::pair<std::string, StatusOr<std::string>>> replies;
+  replies.reserve(servers_.size());
+  for (const std::string& server : servers_) {
+    replies.emplace_back(server, fetch_(server));
+  }
+  Status result = Status::Ok();
+  std::lock_guard<std::mutex> lock(mutex_);
+  rounds_++;
+  for (auto& [server, reply] : replies) {
+    PerNode& node = nodes_[server];
+    if (!reply.ok()) {
+      node.missed++;
+      continue;
+    }
+    NodeScrape scrape;
+    Status decode = DecodeNodeScrape(reply.value(), &scrape);
+    if (!decode.ok()) {
+      // An undecodable reply is a real failure worth surfacing, but it still
+      // only stales the node — the rest of the round stands.
+      node.missed++;
+      result = decode;
+      continue;
+    }
+    node.last = std::move(scrape);
+    node.ever_scraped = true;
+    node.missed = 0;
+  }
+  return result;
+}
+
+void ClusterScraper::Start() {
+  std::lock_guard<std::mutex> lock(thread_mutex_);
+  if (thread_.joinable()) {
+    return;
+  }
+  stop_ = false;
+  thread_ = std::thread([this] {
+    std::unique_lock<std::mutex> lock(thread_mutex_);
+    while (!stop_) {
+      lock.unlock();
+      ScrapeOnce();
+      lock.lock();
+      stop_cv_.wait_for(lock, std::chrono::milliseconds(options_.period_ms),
+                        [this] { return stop_; });
+    }
+  });
+}
+
+void ClusterScraper::Stop() {
+  {
+    std::lock_guard<std::mutex> lock(thread_mutex_);
+    if (!thread_.joinable()) {
+      return;
+    }
+    stop_ = true;
+  }
+  stop_cv_.notify_all();
+  thread_.join();
+}
+
+MetricsSnapshot ClusterScraper::MergedSnapshot() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  MetricsSnapshot merged;
+  for (const auto& [server, node] : nodes_) {
+    if (!node.ever_scraped) {
+      continue;
+    }
+    for (const MetricSample& sample : node.last.metrics.samples()) {
+      MetricSample copy = sample;
+      bool has_node = false;
+      for (const auto& [key, value] : copy.labels) {
+        if (key == "node") {
+          has_node = true;
+          break;
+        }
+      }
+      if (!has_node) {
+        copy.labels.emplace_back("node", server);
+      }
+      merged.Add(std::move(copy));
+    }
+  }
+  return merged;
+}
+
+int64_t ClusterScraper::NodeHealthLocked(const PerNode& node) const {
+  int64_t health = kHealthGreen;
+  if (node.ever_scraped) {
+    if (const MetricSample* sample = node.last.metrics.Find("health.node")) {
+      health = sample->value;
+    }
+  }
+  if (NodeStaleLocked(node)) {
+    // An unreachable node is at least a yellow cluster signal even if its
+    // last-good scrape was green.
+    health = std::max(health, kHealthYellow);
+  }
+  return health;
+}
+
+int64_t ClusterScraper::ClusterHealthLocked() const {
+  int64_t health = kHealthGreen;
+  for (const auto& [server, node] : nodes_) {
+    health = std::max(health, NodeHealthLocked(node));
+  }
+  return health;
+}
+
+int64_t ClusterScraper::ClusterHealth() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return ClusterHealthLocked();
+}
+
+ClusterScraper::NodeState ClusterScraper::node_state(const std::string& server) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  NodeState state;
+  auto it = nodes_.find(server);
+  if (it == nodes_.end()) {
+    return state;
+  }
+  state.ever_scraped = it->second.ever_scraped;
+  state.stale = NodeStaleLocked(it->second);
+  state.missed_scrapes = it->second.missed;
+  return state;
+}
+
+uint64_t ClusterScraper::rounds() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return rounds_;
+}
+
+std::string ClusterScraper::ClusterJson() const {
+  // MergedSnapshot takes mutex_ itself; gather everything else under one
+  // acquisition afterwards. The document is advisory (a scrape between the
+  // two locks just means a fresher metrics section).
+  MetricsSnapshot merged = MergedSnapshot();
+
+  std::lock_guard<std::mutex> lock(mutex_);
+  char buf[160];
+  size_t stale_nodes = 0;
+  for (const auto& [server, node] : nodes_) {
+    if (NodeStaleLocked(node)) {
+      stale_nodes++;
+    }
+  }
+
+  std::string out = "{\n\"cluster\": {";
+  snprintf(buf, sizeof(buf),
+           "\"nodes\": %zu, \"stale_nodes\": %zu, \"rounds\": %" PRIu64 ", \"health\": \"%s\"}",
+           nodes_.size(), stale_nodes, rounds_, HealthColorName(ClusterHealthLocked()));
+  out += buf;
+
+  out += ",\n\"nodes\": {";
+  bool first = true;
+  for (const auto& [server, node] : nodes_) {
+    snprintf(buf, sizeof(buf),
+             "%s\n  \"%s\": {\"stale\": %s, \"missed_scrapes\": %d, \"health\": \"%s\"}",
+             first ? "" : ",", server.c_str(), NodeStaleLocked(node) ? "true" : "false",
+             node.missed, HealthColorName(NodeHealthLocked(node)));
+    out += buf;
+    first = false;
+  }
+  out += "\n}";
+
+  // Prometheus-federation layout: cluster-wide counter totals first, then the
+  // full per-node sample set (every sample node-labeled), then merged
+  // histograms with buckets + exemplars, then the slow-op rings.
+  std::map<std::string, uint64_t> totals;
+  std::map<std::string, Histogram> histograms;
+  std::map<std::string, std::vector<std::pair<std::string, HistogramExemplar>>> exemplars;
+  for (const auto& [server, node] : nodes_) {
+    if (!node.ever_scraped) {
+      continue;
+    }
+    for (const MetricSample& sample : node.last.metrics.samples()) {
+      if (sample.kind == InstrumentKind::kCounter) {
+        totals[sample.name] += static_cast<uint64_t>(sample.value);
+      } else if (sample.kind == InstrumentKind::kHistogram) {
+        histograms[sample.name].Merge(sample.histogram);
+        for (const HistogramExemplar& e : sample.exemplars) {
+          exemplars[sample.name].emplace_back(server, e);
+        }
+      }
+    }
+  }
+
+  out += ",\n\"totals\": {";
+  first = true;
+  for (const auto& [name, total] : totals) {
+    snprintf(buf, sizeof(buf), "%s\n  \"%s\": %" PRIu64, first ? "" : ",", name.c_str(), total);
+    out += buf;
+    first = false;
+  }
+  out += "\n}";
+
+  out += ",\n\"metrics\": ";
+  out += merged.Json();
+
+  out += ",\n\"histograms\": {";
+  first = true;
+  for (const auto& [name, histogram] : histograms) {
+    out += first ? "\n  \"" : ",\n  \"";
+    first = false;
+    out += name;
+    snprintf(buf, sizeof(buf),
+             "\": {\"count\": %" PRIu64 ", \"sum\": %" PRIu64 ", \"min\": %" PRIu64
+             ", \"max\": %" PRIu64 ", \"p50\": %" PRIu64 ", \"p99\": %" PRIu64 ", \"buckets\": [",
+             histogram.count(), histogram.sum(), histogram.min(), histogram.max(),
+             histogram.Percentile(50), histogram.Percentile(99));
+    out += buf;
+    bool first_bucket = true;
+    for (const auto& [index, count] : histogram.SparseBuckets()) {
+      snprintf(buf, sizeof(buf), "%s[%" PRIu32 ",%" PRIu64 "]", first_bucket ? "" : ",", index,
+               count);
+      out += buf;
+      first_bucket = false;
+    }
+    out += "], \"exemplars\": [";
+    bool first_exemplar = true;
+    auto it = exemplars.find(name);
+    if (it != exemplars.end()) {
+      for (const auto& [server, e] : it->second) {
+        snprintf(buf, sizeof(buf), "%s{\"trace\": \"0x%" PRIx64 "\", \"value\": %" PRIu64
+                 ", \"node\": \"%s\"}",
+                 first_exemplar ? "" : ",", e.trace, e.value, server.c_str());
+        out += buf;
+        first_exemplar = false;
+      }
+    }
+    out += "]}";
+  }
+  out += "\n}";
+
+  out += ",\n\"slow_ops\": {";
+  first = true;
+  for (const auto& [server, node] : nodes_) {
+    if (!node.ever_scraped || node.last.slow_ops.empty()) {
+      continue;
+    }
+    out += first ? "\n  \"" : ",\n  \"";
+    first = false;
+    out += server;
+    out += "\": ";
+    out += SlowOpsJson(node.last.slow_ops);
+  }
+  out += "\n}";
+
+  out += "\n}";
+  return out;
+}
+
+}  // namespace tebis

@@ -2,39 +2,78 @@
 
 namespace tebis {
 
-std::string EncodePutRequest(Slice key, Slice value) {
+void AppendTraceField(WireWriter* w, TraceId trace) {
+  if (trace == kNoTrace) {
+    return;
+  }
+  w->U8(kTraceFieldTag).U64(trace);
+}
+
+TraceId ReadTraceField(WireReader* r) {
+  // The full field is tag + 8 id bytes; anything shorter is treated as
+  // absent (a truncated field must not fail the fields already decoded).
+  if (r->remaining() < 9) {
+    return kNoTrace;
+  }
+  uint8_t tag = 0;
+  if (!r->U8(&tag).ok() || tag != kTraceFieldTag) {
+    return kNoTrace;
+  }
+  uint64_t trace = kNoTrace;
+  if (!r->U64(&trace).ok()) {
+    return kNoTrace;
+  }
+  return trace;
+}
+
+std::string EncodePutRequest(Slice key, Slice value, TraceId trace) {
   WireWriter w;
   w.Bytes(key).Bytes(value);
+  AppendTraceField(&w, trace);
   return w.str();
 }
 
-Status DecodePutRequest(Slice payload, Slice* key, Slice* value) {
+Status DecodePutRequest(Slice payload, Slice* key, Slice* value, TraceId* trace) {
   WireReader r(payload);
   TEBIS_RETURN_IF_ERROR(r.BytesView(key));
-  return r.BytesView(value);
+  TEBIS_RETURN_IF_ERROR(r.BytesView(value));
+  if (trace != nullptr) {
+    *trace = ReadTraceField(&r);
+  }
+  return Status::Ok();
 }
 
-std::string EncodeKeyRequest(Slice key) {
+std::string EncodeKeyRequest(Slice key, TraceId trace) {
   WireWriter w;
   w.Bytes(key);
+  AppendTraceField(&w, trace);
   return w.str();
 }
 
-Status DecodeKeyRequest(Slice payload, Slice* key) {
+Status DecodeKeyRequest(Slice payload, Slice* key, TraceId* trace) {
   WireReader r(payload);
-  return r.BytesView(key);
+  TEBIS_RETURN_IF_ERROR(r.BytesView(key));
+  if (trace != nullptr) {
+    *trace = ReadTraceField(&r);
+  }
+  return Status::Ok();
 }
 
-std::string EncodeScanRequest(Slice start, uint32_t limit) {
+std::string EncodeScanRequest(Slice start, uint32_t limit, TraceId trace) {
   WireWriter w;
   w.Bytes(start).U32(limit);
+  AppendTraceField(&w, trace);
   return w.str();
 }
 
-Status DecodeScanRequest(Slice payload, Slice* start, uint32_t* limit) {
+Status DecodeScanRequest(Slice payload, Slice* start, uint32_t* limit, TraceId* trace) {
   WireReader r(payload);
   TEBIS_RETURN_IF_ERROR(r.BytesView(start));
-  return r.U32(limit);
+  TEBIS_RETURN_IF_ERROR(r.U32(limit));
+  if (trace != nullptr) {
+    *trace = ReadTraceField(&r);
+  }
+  return Status::Ok();
 }
 
 std::string EncodeScanReply(const std::vector<KvPair>& pairs) {
@@ -150,7 +189,7 @@ Status DecodeCommitToken(Slice payload, uint64_t* epoch, uint64_t* seq) {
   return r.U64(seq);
 }
 
-std::string EncodeKvBatchRequest(const std::vector<KvBatchOp>& ops) {
+std::string EncodeKvBatchRequest(const std::vector<KvBatchOp>& ops, TraceId trace) {
   WireWriter w;
   w.U32(static_cast<uint32_t>(ops.size()));
   for (const KvBatchOp& op : ops) {
@@ -159,10 +198,11 @@ std::string EncodeKvBatchRequest(const std::vector<KvBatchOp>& ops) {
       w.Bytes(op.value);
     }
   }
+  AppendTraceField(&w, trace);
   return w.str();
 }
 
-Status DecodeKvBatchRequest(Slice payload, std::vector<KvBatchOp>* ops) {
+Status DecodeKvBatchRequest(Slice payload, std::vector<KvBatchOp>* ops, TraceId* trace) {
   WireReader r(payload);
   uint32_t n;
   TEBIS_RETURN_IF_ERROR(r.U32(&n));
@@ -186,6 +226,12 @@ Status DecodeKvBatchRequest(Slice payload, std::vector<KvBatchOp>* ops) {
       TEBIS_RETURN_IF_ERROR(r.BytesView(&op.value));
     }
     ops->push_back(op);
+  }
+  // Optional trailing trace field, then the strict leftover check: a batch
+  // frame's trailing bytes are either a well-formed trace field or corruption.
+  const TraceId frame_trace = ReadTraceField(&r);
+  if (trace != nullptr) {
+    *trace = frame_trace;
   }
   if (r.remaining() != 0) {
     return Status::Corruption("kv batch: trailing bytes");

@@ -8,17 +8,36 @@
 #include "src/common/status.h"
 #include "src/lsm/kv_store.h"
 #include "src/net/wire.h"
+#include "src/telemetry/trace.h"
 
 namespace tebis {
 
-std::string EncodePutRequest(Slice key, Slice value);
-Status DecodePutRequest(Slice payload, Slice* key, Slice* value);
+// Trailing request-trace field (PR 10). Requests append
+// [u8 kTraceFieldTag][u64 trace id] after their fixed fields only when the op
+// is sampled, so unsampled frames stay byte-identical to the seed format
+// (decoders always tolerated trailing bytes; kKvBatch's strict check parses
+// the field before rejecting leftovers).
+inline constexpr uint8_t kTraceFieldTag = 0xA7;
 
-std::string EncodeKeyRequest(Slice key);  // get & delete share the shape
-Status DecodeKeyRequest(Slice payload, Slice* key);
+// Appends the field to `w` when trace != kNoTrace; a no-op otherwise.
+void AppendTraceField(WireWriter* w, TraceId trace);
 
-std::string EncodeScanRequest(Slice start, uint32_t limit);
-Status DecodeScanRequest(Slice payload, Slice* start, uint32_t* limit);
+// Consumes a trailing trace field at the reader's position if one is present.
+// Returns kNoTrace when the field is absent, truncated, or corrupt — a
+// damaged trace field degrades to "unsampled", never to a decode failure for
+// the fields that precede it.
+TraceId ReadTraceField(WireReader* r);
+
+std::string EncodePutRequest(Slice key, Slice value, TraceId trace = kNoTrace);
+Status DecodePutRequest(Slice payload, Slice* key, Slice* value, TraceId* trace = nullptr);
+
+// get & delete share the shape
+std::string EncodeKeyRequest(Slice key, TraceId trace = kNoTrace);
+Status DecodeKeyRequest(Slice payload, Slice* key, TraceId* trace = nullptr);
+
+std::string EncodeScanRequest(Slice start, uint32_t limit, TraceId trace = kNoTrace);
+Status DecodeScanRequest(Slice payload, Slice* start, uint32_t* limit,
+                         TraceId* trace = nullptr);
 
 std::string EncodeScanReply(const std::vector<KvPair>& pairs);
 Status DecodeScanReply(Slice payload, std::vector<KvPair>* pairs);
@@ -72,8 +91,9 @@ struct KvBatchOpStatus {
   std::string message;
 };
 
-std::string EncodeKvBatchRequest(const std::vector<KvBatchOp>& ops);
-Status DecodeKvBatchRequest(Slice payload, std::vector<KvBatchOp>* ops);
+std::string EncodeKvBatchRequest(const std::vector<KvBatchOp>& ops, TraceId trace = kNoTrace);
+Status DecodeKvBatchRequest(Slice payload, std::vector<KvBatchOp>* ops,
+                            TraceId* trace = nullptr);
 
 std::string EncodeKvBatchReply(const std::vector<KvBatchOpStatus>& statuses, uint64_t epoch,
                                uint64_t seq);

@@ -2,7 +2,10 @@
 
 #include <algorithm>
 
+#include "src/cluster/kv_wire.h"
+#include "src/cluster/stats_wire.h"
 #include "src/common/logging.h"
+#include "src/net/rpc_client.h"
 #include "src/net/wire.h"
 
 namespace tebis {
@@ -669,6 +672,104 @@ void Master::Fail() {
     leader_ = false;
   }
   coordinator_->ExpireSession(session_);
+}
+
+// --- metrics federation (PR 10) --------------------------------------------
+
+void Master::set_scrape_fetcher(ClusterScraper::FetchFn fetch) {
+  std::lock_guard<std::recursive_mutex> lock(mutex_);
+  scrape_fetch_ = std::move(fetch);
+}
+
+StatusOr<std::string> Master::FetchNodeScrape(const std::string& server) {
+  RegionServer* rs = nullptr;
+  {
+    std::lock_guard<std::recursive_mutex> lock(mutex_);
+    auto it = directory_.find(server);
+    if (it == directory_.end()) {
+      return Status::NotFound("unknown server " + server);
+    }
+    rs = it->second;
+  }
+  if (rs->crashed()) {
+    return Status::Unavailable(server + " crashed");
+  }
+  // A fresh connection per round keeps the fetch stateless across server
+  // restarts; scrape pacing makes the setup cost irrelevant.
+  RpcClient client(rs->fabric(), name_ + ">scrape>" + server, rs->client_endpoint(),
+                   kDefaultConnectionBufferSize);
+  const std::string request = EncodeScrapeRequest(kScrapeFormatBinary);
+  size_t alloc = 16384;
+  for (int attempt = 0; attempt < 3; ++attempt) {
+    TEBIS_ASSIGN_OR_RETURN(RpcReply reply, client.Call(MessageType::kStatsScrape, 0, request,
+                                                       alloc, /*map_version=*/0));
+    if (reply.header.flags & kFlagTruncatedReply) {
+      uint64_t needed;
+      TEBIS_RETURN_IF_ERROR(DecodeTruncatedReply(reply.payload, &needed));
+      alloc = needed + 64;
+      continue;
+    }
+    if (reply.header.flags & kFlagError) {
+      return Status::Internal(server + " rejected scrape: " + reply.payload);
+    }
+    return std::move(reply.payload);
+  }
+  return Status::Unavailable(server + "'s scrape kept outgrowing the allocation");
+}
+
+StatusOr<ClusterScraper*> Master::EnsureScraper(uint64_t period_ms) {
+  std::lock_guard<std::recursive_mutex> lock(mutex_);
+  if (scraper_ != nullptr) {
+    return scraper_.get();
+  }
+  if (!leader_ || failed_) {
+    return Status::FailedPrecondition("not the leader");
+  }
+  std::vector<std::string> servers;
+  servers.reserve(directory_.size());
+  for (const auto& [server, unused] : directory_) {
+    servers.push_back(server);
+  }
+  ClusterScraper::FetchFn fetch = scrape_fetch_;
+  if (fetch == nullptr) {
+    fetch = [this](const std::string& server) { return FetchNodeScrape(server); };
+  }
+  ClusterScraper::Options options;
+  options.period_ms = period_ms;
+  scraper_ = std::make_unique<ClusterScraper>(std::move(servers), std::move(fetch), options);
+  return scraper_.get();
+}
+
+Status Master::ScrapeCluster() {
+  TEBIS_ASSIGN_OR_RETURN(ClusterScraper * scraper, EnsureScraper());
+  // Unlocked: the fan-out RPCs must not run under the master mutex.
+  return scraper->ScrapeOnce();
+}
+
+Status Master::EnableClusterScrape(uint64_t period_ms) {
+  TEBIS_ASSIGN_OR_RETURN(ClusterScraper * scraper, EnsureScraper(period_ms));
+  scraper->Start();
+  return Status::Ok();
+}
+
+void Master::DisableClusterScrape() {
+  ClusterScraper* scraper;
+  {
+    std::lock_guard<std::recursive_mutex> lock(mutex_);
+    scraper = scraper_.get();
+  }
+  if (scraper != nullptr) {
+    scraper->Stop();
+  }
+}
+
+std::string Master::ClusterStatsJson() const {
+  const ClusterScraper* scraper;
+  {
+    std::lock_guard<std::recursive_mutex> lock(mutex_);
+    scraper = scraper_.get();
+  }
+  return scraper == nullptr ? "" : scraper->ClusterJson();
 }
 
 }  // namespace tebis

@@ -21,6 +21,7 @@
 #include <string>
 #include <vector>
 
+#include "src/cluster/cluster_scraper.h"
 #include "src/cluster/coordinator.h"
 #include "src/cluster/region_map.h"
 #include "src/cluster/region_server.h"
@@ -60,6 +61,24 @@ class Master {
   std::shared_ptr<const RegionMap> current_map() const;
 
   const std::string& name() const { return name_; }
+
+  // --- metrics federation (PR 10) ---
+
+  // Leader-only: one synchronous scrape fan-out round over every directory
+  // server's kStatsScrape RPC (binary format). Builds the scraper on first
+  // use. Per-node fetch failures become staleness markers, not errors.
+  Status ScrapeCluster();
+  // Leader-only: paced background federation at `period_ms`. Idempotent.
+  Status EnableClusterScrape(uint64_t period_ms = 1000);
+  // Stops the paced thread (keeps the last federated state readable).
+  void DisableClusterScrape();
+  // The federated cluster document; "" before the scraper ever ran.
+  std::string ClusterStatsJson() const;
+  // nullptr before the first ScrapeCluster/EnableClusterScrape.
+  ClusterScraper* cluster_scraper() { return scraper_.get(); }
+  // Test seam: replaces the default RPC fetch. Must be set before the scraper
+  // is built (i.e. before the first ScrapeCluster/EnableClusterScrape).
+  void set_scrape_fetcher(ClusterScraper::FetchFn fetch);
 
   // Test support: invoked at named recovery failpoints (e.g.
   // "failover-promoted:<region>", "move-promoted:<region>"). Returning false
@@ -109,6 +128,12 @@ class Master {
   Status PushMap(const RegionMap& map);
   bool ServerAlive(const std::string& name) const;
   bool Step(const std::string& point);
+  // Builds scraper_ (leader-gated) if it does not exist yet; returns it.
+  // `period_ms` only applies when this call constructs the scraper.
+  StatusOr<ClusterScraper*> EnsureScraper(uint64_t period_ms = 1000);
+  // The default fetch: kStatsScrape with the binary format byte over the
+  // server's client endpoint, growing the allocation on truncated replies.
+  StatusOr<std::string> FetchNodeScrape(const std::string& server);
 
   Coordinator* const coordinator_;
   const std::string name_;
@@ -123,6 +148,10 @@ class Master {
   std::shared_ptr<const RegionMap> map_;
   std::function<void()> recheck_;
   StepHook step_hook_;
+  // Metrics federation (PR 10). scraper_ is built on first use and survives
+  // DisableClusterScrape so the last federated state stays readable.
+  std::unique_ptr<ClusterScraper> scraper_;
+  ClusterScraper::FetchFn scrape_fetch_;  // null = FetchNodeScrape
 };
 
 }  // namespace tebis

@@ -1,6 +1,10 @@
 #include "src/cluster/region_server.h"
 
+#include <optional>
+
 #include "src/cluster/kv_wire.h"
+#include "src/cluster/stats_wire.h"
+#include "src/common/clock.h"
 #include "src/common/crc32.h"
 #include "src/common/logging.h"
 #include "src/net/rpc_client.h"
@@ -28,6 +32,13 @@ RegionServer::RegionServer(Fabric* fabric, Coordinator* coordinator, std::string
   if (options_.replication_connection_buffer == 0) {
     options_.replication_connection_buffer = 8 * options_.device_options.segment_size;
   }
+  telemetry_->EnableHealthWatchdog(options_.health_thresholds);
+  telemetry_->ConfigureSlowOps(options_.slow_op_policy);
+  for (size_t t = 0; t < kNumSlowOpTypes; ++t) {
+    request_latency_[t] = telemetry_->metrics()->GetHistogram(
+        "trace.request_latency_ns",
+        {{"node", name_}, {"op", SlowOpTypeName(static_cast<SlowOpType>(t))}});
+  }
 }
 
 KvStoreOptions RegionServer::RegionKvOptions(uint32_t region_id, const char* role) const {
@@ -39,7 +50,15 @@ KvStoreOptions RegionServer::RegionKvOptions(uint32_t region_id, const char* rol
   return kv_options;
 }
 
-RegionServer::~RegionServer() { Stop(); }
+RegionServer::~RegionServer() {
+  Stop();
+  // See Crash(): shared buffers must not invoke listeners into a destroyed
+  // telemetry plane.
+  std::lock_guard<std::mutex> lock(regions_mutex_);
+  for (auto& [id, handle] : regions_) {
+    ClearCommitListener(handle.get());
+  }
+}
 
 Status RegionServer::Start() {
   if (started_) {
@@ -144,6 +163,11 @@ void RegionServer::Crash() {
   Stop();
   {
     std::lock_guard<std::mutex> lock(regions_mutex_);
+    // Buffers can outlive their handles (the primary's channel keeps a ref);
+    // drop the listeners that capture this server's telemetry plane.
+    for (auto& [id, handle] : regions_) {
+      ClearCommitListener(handle.get());
+    }
     regions_.clear();
   }
   coordinator_->ExpireSession(session_);
@@ -182,6 +206,7 @@ Status RegionServer::OpenBackupRegion(uint32_t region_id, uint64_t epoch) {
   handle->replication_buffer =
       fabric_->RegisterBuffer(/*owner=*/name_, /*writer=*/"primary-of-r" + std::to_string(region_id),
                               2 * options_.device_options.segment_size);
+  InstallCommitListener(handle->replication_buffer.get());
   const KvStoreOptions backup_kv = RegionKvOptions(region_id, "backup");
   if (options_.replication_mode == ReplicationMode::kSendIndex) {
     TEBIS_ASSIGN_OR_RETURN(handle->send_backup,
@@ -216,6 +241,9 @@ Status RegionServer::CloseRegion(uint32_t region_id) {
   // dirty-tail path then silently loses the acked write.
   std::lock_guard<std::mutex> lock(handle->mutex);
   handle->closed = true;
+  // The commit listener captures this server's telemetry plane; a primary
+  // elsewhere may keep a ref to the buffer past this close.
+  ClearCommitListener(handle.get());
   return Status::Ok();
 }
 
@@ -440,6 +468,7 @@ Status RegionServer::DemoteRegion(uint32_t region_id, const SegmentMap& new_prim
   handle->replication_buffer = fabric_->RegisterBuffer(
       /*owner=*/name_, /*writer=*/"primary-of-r" + std::to_string(region_id),
       2 * options_.device_options.segment_size);
+  InstallCommitListener(handle->replication_buffer.get());
   const KvStoreOptions backup_kv = RegionKvOptions(region_id, "backup");
   if (options_.replication_mode == ReplicationMode::kSendIndex) {
     KvStore::Parts parts = KvStore::Decompose(std::move(store));
@@ -554,6 +583,70 @@ StatusOr<ReplicationStats> RegionServer::PrimaryReplicationStats(uint32_t region
   return handle->primary->replication_stats();
 }
 
+// --- request observability (PR 10) ----------------------------------------
+
+void RegionServer::ObserveRequest(SlowOpType op, Slice key, uint32_t region_id, uint64_t epoch,
+                                  TraceId trace, uint64_t start_ns,
+                                  const RequestStageTimings& stages) {
+  const uint64_t end_ns = NowNanos();
+  const uint64_t total_ns = end_ns - start_ns;
+  if (trace != kNoTrace) {
+    // The exemplar links a p99 bucket in the (federated) latency histogram
+    // back to this trace id.
+    request_latency_[static_cast<size_t>(op)]->Record(total_ns, trace);
+    TraceBuffer* traces = telemetry_->traces();
+    if (traces->enabled()) {
+      SpanRecord span;
+      span.trace = trace;
+      span.name = "primary_apply";
+      span.node = name_;
+      span.start_ns = start_ns;
+      span.end_ns = end_ns;
+      span.bytes = key.size();
+      traces->Record(std::move(span));
+    }
+  }
+  telemetry_->slow_ops()->MaybeRecord(op, std::string_view(key.data(), key.size()), region_id,
+                                      epoch, trace, total_ns, &stages, end_ns);
+}
+
+void RegionServer::InstallCommitListener(RegisteredBuffer* buffer) {
+  // The listener captures the raw plane pointer: it runs on the *primary's*
+  // writer thread (the simulation stand-in for the backup noticing committed
+  // bytes), so it must not touch handle state. Cleared on close/crash/destroy
+  // before telemetry_ dies.
+  Telemetry* telemetry = telemetry_.get();
+  buffer->set_commit_listener([telemetry, node = name_](TraceId trace, uint64_t epoch,
+                                                        uint64_t offset, size_t bytes,
+                                                        uint64_t start_ns, uint64_t end_ns) {
+    (void)epoch;
+    (void)offset;
+    // Accumulate into the writer's request scope so the primary's slow-op
+    // breakdown includes replication time.
+    if (RequestStageTimings* stages = CurrentRequestStages(); stages != nullptr) {
+      stages->backup_commit_ns += end_ns - start_ns;
+    }
+    TraceBuffer* traces = telemetry->traces();
+    if (!traces->enabled()) {
+      return;
+    }
+    SpanRecord span;
+    span.trace = trace;
+    span.name = "backup_commit";
+    span.node = node;
+    span.start_ns = start_ns;
+    span.end_ns = end_ns;
+    span.bytes = bytes;
+    traces->Record(std::move(span));
+  });
+}
+
+void RegionServer::ClearCommitListener(RegionHandle* handle) {
+  if (handle->replication_buffer != nullptr) {
+    handle->replication_buffer->set_commit_listener(nullptr);
+  }
+}
+
 // --- request handling --------------------------------------------------------
 
 void RegionServer::ReplyError(const ReplyContext& ctx, MessageType reply_type,
@@ -587,8 +680,15 @@ void RegionServer::HandleRequest(const MessageHeader& header, std::string payloa
 
   if (type == MessageType::kStatsScrape) {
     // Server-wide (region-independent), like the region map: one JSON payload
-    // with the metrics snapshot and recent pipeline spans.
-    std::string scrape = ScrapeJson();
+    // with the metrics snapshot and recent pipeline spans — or, when the
+    // request carries the binary format byte (PR 10), the structured
+    // NodeScrape the master's federation fan-out merges.
+    const bool binary =
+        !payload.empty() && static_cast<uint8_t>(payload[0]) == kScrapeFormatBinary;
+    std::string scrape =
+        binary ? EncodeNodeScrape(name_, telemetry_->Snapshot(),
+                                  telemetry_->slow_ops()->Snapshot())
+               : ScrapeJson();
     if (!ctx.ReplyFits(scrape.size())) {
       (void)ctx.SendReply(reply_type, kFlagTruncatedReply, EncodeTruncatedReply(scrape.size()));
       return;
@@ -654,13 +754,28 @@ void RegionServer::HandleKvOp(RegionHandle* region, const MessageHeader& header,
   switch (type) {
     case MessageType::kPut: {
       Slice key, value;
-      if (Status s = DecodePutRequest(payload, &key, &value); !s.ok()) {
+      TraceId trace = kNoTrace;
+      if (Status s = DecodePutRequest(payload, &key, &value, &trace); !s.ok()) {
         ReplyError(ctx, reply_type, s);
         return;
+      }
+      // A trace scope is installed only when the op is sampled or the slow-op
+      // log wants this type timed, so untraced ops pay no clock reads.
+      const bool timed =
+          trace != kNoTrace || telemetry_->slow_ops()->threshold(SlowOpType::kPut) != 0;
+      std::optional<ScopedRequestTrace> scope;
+      uint64_t start_ns = 0;
+      if (timed) {
+        scope.emplace(trace);
+        start_ns = NowNanos();
       }
       if (Status s = primary->Put(key, value); !s.ok()) {
         ReplyError(ctx, reply_type, s);
         return;
+      }
+      if (timed) {
+        ObserveRequest(SlowOpType::kPut, key, header.region_id, primary->epoch(), trace,
+                       start_ns, scope->stages());
       }
       // The reply carries the commit token the write reached (PR 6);
       // read-your-writes clients fold it into their replica read fence.
@@ -673,13 +788,26 @@ void RegionServer::HandleKvOp(RegionHandle* region, const MessageHeader& header,
     }
     case MessageType::kDelete: {
       Slice key;
-      if (Status s = DecodeKeyRequest(payload, &key); !s.ok()) {
+      TraceId trace = kNoTrace;
+      if (Status s = DecodeKeyRequest(payload, &key, &trace); !s.ok()) {
         ReplyError(ctx, reply_type, s);
         return;
+      }
+      const bool timed = trace != kNoTrace ||
+                         telemetry_->slow_ops()->threshold(SlowOpType::kDelete) != 0;
+      std::optional<ScopedRequestTrace> scope;
+      uint64_t start_ns = 0;
+      if (timed) {
+        scope.emplace(trace);
+        start_ns = NowNanos();
       }
       if (Status s = primary->Delete(key); !s.ok()) {
         ReplyError(ctx, reply_type, s);
         return;
+      }
+      if (timed) {
+        ObserveRequest(SlowOpType::kDelete, key, header.region_id, primary->epoch(), trace,
+                       start_ns, scope->stages());
       }
       uint64_t token_epoch, token_seq;
       primary->CommitToken(&token_epoch, &token_seq);
@@ -690,11 +818,24 @@ void RegionServer::HandleKvOp(RegionHandle* region, const MessageHeader& header,
     }
     case MessageType::kGet: {
       Slice key;
-      if (Status s = DecodeKeyRequest(payload, &key); !s.ok()) {
+      TraceId trace = kNoTrace;
+      if (Status s = DecodeKeyRequest(payload, &key, &trace); !s.ok()) {
         ReplyError(ctx, reply_type, s);
         return;
       }
+      const bool timed =
+          trace != kNoTrace || telemetry_->slow_ops()->threshold(SlowOpType::kGet) != 0;
+      std::optional<ScopedRequestTrace> scope;
+      uint64_t start_ns = 0;
+      if (timed) {
+        scope.emplace(trace);
+        start_ns = NowNanos();
+      }
       auto value = primary->Get(key);
+      if (timed && (value.ok() || value.status().IsNotFound())) {
+        ObserveRequest(SlowOpType::kGet, key, header.region_id, primary->epoch(), trace,
+                       start_ns, scope->stages());
+      }
       if (!value.ok()) {
         ReplyError(ctx, reply_type, value.status());
         return;
@@ -714,7 +855,8 @@ void RegionServer::HandleKvOp(RegionHandle* region, const MessageHeader& header,
       // reservation and one coalesced replication doorbell; the reply is one
       // status per op plus the commit token the group reached.
       std::vector<KvBatchOp> ops;
-      if (Status s = DecodeKvBatchRequest(payload, &ops); !s.ok()) {
+      TraceId trace = kNoTrace;
+      if (Status s = DecodeKvBatchRequest(payload, &ops, &trace); !s.ok()) {
         ReplyError(ctx, reply_type, s);
         return;
       }
@@ -723,11 +865,23 @@ void RegionServer::HandleKvOp(RegionHandle* region, const MessageHeader& header,
       for (const KvBatchOp& op : ops) {
         batch.push_back({op.key, op.value, op.tombstone});
       }
+      const bool timed = trace != kNoTrace ||
+                         telemetry_->slow_ops()->threshold(SlowOpType::kBatch) != 0;
+      std::optional<ScopedRequestTrace> scope;
+      uint64_t start_ns = 0;
+      if (timed) {
+        scope.emplace(trace);
+        start_ns = NowNanos();
+      }
       std::vector<Status> statuses;
       // The batch-level status is already folded into the per-op statuses
       // (PrimaryRegion::WriteBatch fails un-replicated ops individually), so
       // the frame itself always answers with the per-op vector.
       (void)primary->WriteBatch(batch, &statuses);
+      if (timed) {
+        ObserveRequest(SlowOpType::kBatch, ops.empty() ? Slice() : ops.front().key,
+                       header.region_id, primary->epoch(), trace, start_ns, scope->stages());
+      }
       std::vector<KvBatchOpStatus> op_statuses;
       op_statuses.reserve(statuses.size());
       for (const Status& s : statuses) {
@@ -747,11 +901,24 @@ void RegionServer::HandleKvOp(RegionHandle* region, const MessageHeader& header,
     case MessageType::kScan: {
       Slice start;
       uint32_t limit;
-      if (Status s = DecodeScanRequest(payload, &start, &limit); !s.ok()) {
+      TraceId trace = kNoTrace;
+      if (Status s = DecodeScanRequest(payload, &start, &limit, &trace); !s.ok()) {
         ReplyError(ctx, reply_type, s);
         return;
       }
+      const bool timed =
+          trace != kNoTrace || telemetry_->slow_ops()->threshold(SlowOpType::kScan) != 0;
+      std::optional<ScopedRequestTrace> scope;
+      uint64_t start_ns = 0;
+      if (timed) {
+        scope.emplace(trace);
+        start_ns = NowNanos();
+      }
       auto pairs = primary->Scan(start, limit);
+      if (timed && pairs.ok()) {
+        ObserveRequest(SlowOpType::kScan, start, header.region_id, primary->epoch(), trace,
+                       start_ns, scope->stages());
+      }
       if (!pairs.ok()) {
         ReplyError(ctx, reply_type, pairs.status());
         return;

@@ -23,6 +23,9 @@
 #include "src/replication/primary_region.h"
 #include "src/replication/send_index_backup.h"
 #include "src/storage/block_device.h"
+#include "src/telemetry/health.h"
+#include "src/telemetry/request_trace.h"
+#include "src/telemetry/slow_op.h"
 
 namespace tebis {
 
@@ -52,6 +55,13 @@ struct RegionServerOptions {
   // Span ring capacity for this server's telemetry plane (PR 5); 0 disables
   // pipeline tracing.
   size_t trace_capacity = 4096;
+  // Slow-op thresholds (PR 10); all-zero keeps the slow-op log silent. An op
+  // type with a nonzero threshold is timed even when unsampled, so the log
+  // catches outliers that sampling missed.
+  SlowOpPolicy slow_op_policy;
+  // Health watchdog (PR 10): evaluated at every scrape, publishing the
+  // `health.*` gauge family into the snapshot.
+  HealthThresholds health_thresholds;
 };
 
 // Aggregate counters for the experiment harness.
@@ -225,6 +235,16 @@ class RegionServer {
   // Returns a shared ref so a concurrent CloseRegion (handover discard path)
   // cannot free the handle out from under an op that already resolved it.
   std::shared_ptr<RegionHandle> FindRegion(uint32_t region_id) const;
+  // Request observability (PR 10): called when a KV op ran under a trace
+  // scope — records the primary_apply span and the request-latency exemplar
+  // for sampled ops, and feeds the slow-op log.
+  void ObserveRequest(SlowOpType op, Slice key, uint32_t region_id, uint64_t epoch,
+                      TraceId trace, uint64_t start_ns, const RequestStageTimings& stages);
+  // Installs the backup-commit span recorder on a backup region's registered
+  // log buffer. The listener captures this server's telemetry plane, so it is
+  // cleared (ClearCommitListener) before the plane can die.
+  void InstallCommitListener(RegisteredBuffer* buffer);
+  static void ClearCommitListener(RegionHandle* handle);
   static void ReplyError(const ReplyContext& ctx, MessageType reply_type, const Status& status);
   // kv_options with the server's telemetry plane and {node, region, role}
   // labels stamped in, so every store's instruments are uniquely named.
@@ -253,6 +273,9 @@ class RegionServer {
   // Declared before regions_: instruments resolved against this plane must
   // outlive the stores updating them.
   std::unique_ptr<Telemetry> telemetry_;
+  // trace.request_latency_ns{node, op} histograms, pre-resolved per op type so
+  // the sampled path does one array index instead of a registry lookup.
+  HistogramInstrument* request_latency_[kNumSlowOpTypes] = {};
   std::unique_ptr<BlockDevice> device_;
   // Declared before regions_: stores must be destroyed while the pool still
   // runs, so queued background compactions can finish.

@@ -1,0 +1,158 @@
+#include "src/cluster/stats_wire.h"
+
+#include "src/net/wire.h"
+
+namespace tebis {
+
+namespace {
+constexpr uint8_t kVersion = 1;
+}  // namespace
+
+std::string EncodeScrapeRequest(uint8_t format) {
+  WireWriter w;
+  w.U8(format);
+  return w.str();
+}
+
+std::string EncodeNodeScrape(const std::string& node, const MetricsSnapshot& snapshot,
+                             const std::vector<SlowOpRecord>& slow_ops) {
+  WireWriter w;
+  w.U8(kVersion);
+  w.Bytes(node);
+  w.U32(static_cast<uint32_t>(snapshot.samples().size()));
+  for (const MetricSample& sample : snapshot.samples()) {
+    w.Bytes(sample.name);
+    w.U32(static_cast<uint32_t>(sample.labels.size()));
+    for (const auto& [key, value] : sample.labels) {
+      w.Bytes(key).Bytes(value);
+    }
+    w.U8(static_cast<uint8_t>(sample.kind));
+    if (sample.kind == InstrumentKind::kHistogram) {
+      const Histogram& h = sample.histogram;
+      w.U64(h.count()).U64(h.sum()).U64(h.min()).U64(h.max());
+      const auto buckets = h.SparseBuckets();
+      w.U32(static_cast<uint32_t>(buckets.size()));
+      for (const auto& [index, count] : buckets) {
+        w.U32(index).U64(count);
+      }
+      w.U32(static_cast<uint32_t>(sample.exemplars.size()));
+      for (const HistogramExemplar& e : sample.exemplars) {
+        w.U64(e.trace).U64(e.value);
+      }
+    } else {
+      w.U64(static_cast<uint64_t>(sample.value));
+    }
+  }
+  w.U32(static_cast<uint32_t>(slow_ops.size()));
+  for (const SlowOpRecord& r : slow_ops) {
+    w.U8(static_cast<uint8_t>(r.type));
+    w.Bytes(r.key_prefix);
+    w.U32(r.region).U64(r.epoch).U64(r.trace).U64(r.total_ns);
+    w.U64(r.stages.engine_ns).U64(r.stages.doorbell_ns).U64(r.stages.backup_commit_ns);
+    w.U64(r.end_ns);
+  }
+  return w.str();
+}
+
+Status DecodeNodeScrape(Slice payload, NodeScrape* out) {
+  WireReader r(payload);
+  uint8_t version = 0;
+  TEBIS_RETURN_IF_ERROR(r.U8(&version));
+  if (version != kVersion) {
+    return Status::Corruption("node scrape: unknown version");
+  }
+  TEBIS_RETURN_IF_ERROR(r.Bytes(&out->node));
+  uint32_t nsamples = 0;
+  TEBIS_RETURN_IF_ERROR(r.U32(&nsamples));
+  if (nsamples > r.remaining()) {
+    return Status::Corruption("node scrape: sample count past end");
+  }
+  out->metrics = MetricsSnapshot();
+  for (uint32_t i = 0; i < nsamples; ++i) {
+    MetricSample sample;
+    TEBIS_RETURN_IF_ERROR(r.Bytes(&sample.name));
+    uint32_t nlabels = 0;
+    TEBIS_RETURN_IF_ERROR(r.U32(&nlabels));
+    if (nlabels > r.remaining()) {
+      return Status::Corruption("node scrape: label count past end");
+    }
+    for (uint32_t j = 0; j < nlabels; ++j) {
+      std::string key, value;
+      TEBIS_RETURN_IF_ERROR(r.Bytes(&key));
+      TEBIS_RETURN_IF_ERROR(r.Bytes(&value));
+      sample.labels.emplace_back(std::move(key), std::move(value));
+    }
+    uint8_t kind = 0;
+    TEBIS_RETURN_IF_ERROR(r.U8(&kind));
+    if (kind > static_cast<uint8_t>(InstrumentKind::kHistogram)) {
+      return Status::Corruption("node scrape: bad instrument kind");
+    }
+    sample.kind = static_cast<InstrumentKind>(kind);
+    if (sample.kind == InstrumentKind::kHistogram) {
+      uint64_t count = 0, sum = 0, min = 0, max = 0;
+      TEBIS_RETURN_IF_ERROR(r.U64(&count));
+      TEBIS_RETURN_IF_ERROR(r.U64(&sum));
+      TEBIS_RETURN_IF_ERROR(r.U64(&min));
+      TEBIS_RETURN_IF_ERROR(r.U64(&max));
+      uint32_t nbuckets = 0;
+      TEBIS_RETURN_IF_ERROR(r.U32(&nbuckets));
+      if (nbuckets > r.remaining()) {
+        return Status::Corruption("node scrape: bucket count past end");
+      }
+      std::vector<std::pair<uint32_t, uint64_t>> buckets;
+      buckets.reserve(nbuckets);
+      for (uint32_t j = 0; j < nbuckets; ++j) {
+        uint32_t index = 0;
+        uint64_t bucket_count = 0;
+        TEBIS_RETURN_IF_ERROR(r.U32(&index));
+        TEBIS_RETURN_IF_ERROR(r.U64(&bucket_count));
+        buckets.emplace_back(index, bucket_count);
+      }
+      sample.histogram.MergeSerialized(count, sum, min, max, buckets);
+      uint32_t nexemplars = 0;
+      TEBIS_RETURN_IF_ERROR(r.U32(&nexemplars));
+      if (nexemplars > r.remaining()) {
+        return Status::Corruption("node scrape: exemplar count past end");
+      }
+      for (uint32_t j = 0; j < nexemplars; ++j) {
+        HistogramExemplar e;
+        TEBIS_RETURN_IF_ERROR(r.U64(&e.trace));
+        TEBIS_RETURN_IF_ERROR(r.U64(&e.value));
+        sample.exemplars.push_back(e);
+      }
+    } else {
+      uint64_t value = 0;
+      TEBIS_RETURN_IF_ERROR(r.U64(&value));
+      sample.value = static_cast<int64_t>(value);
+    }
+    out->metrics.Add(std::move(sample));
+  }
+  uint32_t nslow = 0;
+  TEBIS_RETURN_IF_ERROR(r.U32(&nslow));
+  if (nslow > r.remaining()) {
+    return Status::Corruption("node scrape: slow-op count past end");
+  }
+  out->slow_ops.clear();
+  for (uint32_t i = 0; i < nslow; ++i) {
+    SlowOpRecord record;
+    uint8_t type = 0;
+    TEBIS_RETURN_IF_ERROR(r.U8(&type));
+    if (type >= kNumSlowOpTypes) {
+      return Status::Corruption("node scrape: bad slow-op type");
+    }
+    record.type = static_cast<SlowOpType>(type);
+    TEBIS_RETURN_IF_ERROR(r.Bytes(&record.key_prefix));
+    TEBIS_RETURN_IF_ERROR(r.U32(&record.region));
+    TEBIS_RETURN_IF_ERROR(r.U64(&record.epoch));
+    TEBIS_RETURN_IF_ERROR(r.U64(&record.trace));
+    TEBIS_RETURN_IF_ERROR(r.U64(&record.total_ns));
+    TEBIS_RETURN_IF_ERROR(r.U64(&record.stages.engine_ns));
+    TEBIS_RETURN_IF_ERROR(r.U64(&record.stages.doorbell_ns));
+    TEBIS_RETURN_IF_ERROR(r.U64(&record.stages.backup_commit_ns));
+    TEBIS_RETURN_IF_ERROR(r.U64(&record.end_ns));
+    out->slow_ops.push_back(std::move(record));
+  }
+  return Status::Ok();
+}
+
+}  // namespace tebis

@@ -32,7 +32,14 @@ uint64_t Histogram::BucketUpperBound(size_t index) const {
   const size_t group = (index - kSubBuckets) / kSubBuckets;
   const size_t sub = (index - kSubBuckets) % kSubBuckets;
   const int shift = static_cast<int>(group);
-  return ((kSubBuckets + sub + 1) << shift) - 1;
+  // (kSubBuckets + sub + 1) <= 64 == 2^6, so the shift overflows uint64 once
+  // shift >= 58; saturate instead of wrapping (Percentile clamps to max_
+  // anyway, but a wrapped bound of ~0 used to pull the last bucket's answer
+  // down to garbage).
+  if (shift >= 58) {
+    return std::numeric_limits<uint64_t>::max();
+  }
+  return ((static_cast<uint64_t>(kSubBuckets) + sub + 1) << shift) - 1;
 }
 
 void Histogram::Record(uint64_t value_ns) {
@@ -55,6 +62,31 @@ void Histogram::Merge(const Histogram& other) {
   sum_ += other.sum_;
   min_ = std::min(min_, other.min_);
   max_ = std::max(max_, other.max_);
+}
+
+std::vector<std::pair<uint32_t, uint64_t>> Histogram::SparseBuckets() const {
+  std::vector<std::pair<uint32_t, uint64_t>> out;
+  for (size_t i = 0; i < buckets_.size(); ++i) {
+    if (buckets_[i] != 0) {
+      out.emplace_back(static_cast<uint32_t>(i), buckets_[i]);
+    }
+  }
+  return out;
+}
+
+void Histogram::MergeSerialized(uint64_t count, uint64_t sum, uint64_t min, uint64_t max,
+                                const std::vector<std::pair<uint32_t, uint64_t>>& buckets) {
+  if (count == 0) {
+    return;
+  }
+  for (const auto& [index, c] : buckets) {
+    const size_t i = std::min(static_cast<size_t>(index), buckets_.size() - 1);
+    buckets_[i] += c;
+  }
+  count_ += count;
+  sum_ += sum;
+  min_ = std::min(min_, min);
+  max_ = std::max(max_, max);
 }
 
 void Histogram::Reset() {

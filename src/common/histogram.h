@@ -6,6 +6,7 @@
 
 #include <cstdint>
 #include <string>
+#include <utility>
 #include <vector>
 
 namespace tebis {
@@ -19,9 +20,20 @@ class Histogram {
   void Reset();
 
   uint64_t count() const { return count_; }
+  uint64_t sum() const { return sum_; }
   uint64_t min() const { return count_ == 0 ? 0 : min_; }
   uint64_t max() const { return max_; }
   double Mean() const;
+
+  // Sparse serialization for shipping histograms across the wire: the
+  // non-zero (bucket index, count) pairs. Together with count/sum/min/max
+  // this round-trips the full distribution.
+  std::vector<std::pair<uint32_t, uint64_t>> SparseBuckets() const;
+  // Folds a serialized histogram (as produced by SparseBuckets plus the
+  // aggregate accessors) into this one; out-of-range bucket indices are
+  // clamped to the last bucket so corrupt input cannot write out of bounds.
+  void MergeSerialized(uint64_t count, uint64_t sum, uint64_t min, uint64_t max,
+                       const std::vector<std::pair<uint32_t, uint64_t>>& buckets);
 
   // p in [0, 100]. Returns an upper bound of the bucket containing the
   // percentile (values are bucketed with <= 3% relative error).

@@ -11,6 +11,7 @@
 #include "src/lsm/compaction.h"
 #include "src/lsm/manifest.h"
 #include "src/net/worker_pool.h"
+#include "src/telemetry/request_trace.h"
 
 namespace tebis {
 namespace {
@@ -303,6 +304,30 @@ Status KvStore::Put(Slice key, Slice value) { return WriteImpl(key, value, false
 Status KvStore::Delete(Slice key) { return WriteImpl(key, Slice(), true); }
 
 Status KvStore::WriteImpl(Slice key, Slice value, bool tombstone) {
+  RequestStageTimings* stages = CurrentRequestStages();
+  if (stages == nullptr) {
+    return WriteImplInner(key, value, tombstone);
+  }
+  const uint64_t start_ns = NowNanos();
+  Status status = WriteImplInner(key, value, tombstone);
+  const uint64_t end_ns = NowNanos();
+  stages->engine_ns += end_ns - start_ns;
+  const TraceId trace = CurrentRequestTrace();
+  TraceBuffer* traces = telemetry_->traces();
+  if (trace != kNoTrace && traces->enabled()) {
+    SpanRecord span;
+    span.trace = trace;
+    span.name = "engine_apply";
+    span.node = node_name_;
+    span.start_ns = start_ns;
+    span.end_ns = end_ns;
+    span.bytes = key.size() + value.size();
+    traces->Record(std::move(span));
+  }
+  return status;
+}
+
+Status KvStore::WriteImplInner(Slice key, Slice value, bool tombstone) {
   std::lock_guard<std::mutex> wl(write_mutex_);
   {
     std::lock_guard<std::mutex> lock(mutex_);
@@ -334,6 +359,32 @@ Status KvStore::WriteImpl(Slice key, Slice value, bool tombstone) {
 }
 
 Status KvStore::WriteBatch(const std::vector<BatchOp>& ops, std::vector<Status>* statuses) {
+  RequestStageTimings* stages = CurrentRequestStages();
+  if (stages == nullptr) {
+    return WriteBatchInner(ops, statuses);
+  }
+  const uint64_t start_ns = NowNanos();
+  Status status = WriteBatchInner(ops, statuses);
+  const uint64_t end_ns = NowNanos();
+  stages->engine_ns += end_ns - start_ns;
+  const TraceId trace = CurrentRequestTrace();
+  TraceBuffer* traces = telemetry_->traces();
+  if (trace != kNoTrace && traces->enabled()) {
+    SpanRecord span;
+    span.trace = trace;
+    span.name = "engine_apply";
+    span.node = node_name_;
+    span.start_ns = start_ns;
+    span.end_ns = end_ns;
+    for (const BatchOp& op : ops) {
+      span.bytes += op.key.size() + op.value.size();
+    }
+    traces->Record(std::move(span));
+  }
+  return status;
+}
+
+Status KvStore::WriteBatchInner(const std::vector<BatchOp>& ops, std::vector<Status>* statuses) {
   statuses->assign(ops.size(), Status::Ok());
   if (ops.empty()) {
     return Status::Ok();
@@ -440,7 +491,9 @@ Status KvStore::WriteBatch(const std::vector<BatchOp>& ops, std::vector<Status>*
   if (flushed && options_.auto_checkpoint) {
     TEBIS_RETURN_IF_ERROR(Checkpoint().status());
   }
-  counters_.group_commit_latency_ns->Record(NowNanos() - start_ns);
+  // A sampled batch stamps its trace as the histogram exemplar, linking the
+  // group-commit tail bucket back to the trace tree that landed there.
+  counters_.group_commit_latency_ns->Record(NowNanos() - start_ns, CurrentRequestTrace());
   if (!result.ok()) {
     return result;
   }

@@ -518,7 +518,13 @@ class KvStore {
 
   ReadSnapshot TakeReadSnapshot() const;
 
+  // Request-trace wrapper (PR 10): times the apply and records an
+  // "engine_apply" span when the calling thread carries a sampled request
+  // scope, then delegates to WriteImplInner. Costs one thread-local load on
+  // untraced calls.
   Status WriteImpl(Slice key, Slice value, bool tombstone);
+  Status WriteImplInner(Slice key, Slice value, bool tombstone);
+  Status WriteBatchInner(const std::vector<BatchOp>& ops, std::vector<Status>* statuses);
   // Append + L0 insert without backpressure/seals; requires write_mutex_.
   Status PutLocked(Slice key, Slice value, bool tombstone);
 

@@ -2,6 +2,7 @@
 
 #include <cstring>
 
+#include "src/common/clock.h"
 #include "src/net/message.h"
 #include "src/testing/fault_injector.h"
 
@@ -25,24 +26,47 @@ Status RegisteredBuffer::RdmaWrite(uint64_t offset, Slice bytes) {
   return Status::Ok();
 }
 
-Status RegisteredBuffer::RdmaWriteTagged(uint64_t epoch, uint64_t offset, Slice bytes) {
-  // Fence check and memcpy form one critical section with FenceAndSnapshot():
-  // a write that passed the fence check must fully land before a snapshot
-  // taken under the raised fence may read the buffer.
-  std::lock_guard<std::mutex> lock(write_mutex_);
-  // The fence check happens before the memcpy: a deposed primary's write must
-  // never land, not land-then-be-noticed.
-  if (epoch < fence_epoch_.load(std::memory_order_acquire)) {
-    stale_write_rejects_.fetch_add(1, std::memory_order_relaxed);
-    return Status::FailedPrecondition("stale replication epoch fenced by " + owner_);
+Status RegisteredBuffer::RdmaWriteTagged(uint64_t epoch, uint64_t offset, Slice bytes,
+                                         TraceId trace) {
+  const uint64_t start_ns = trace != kNoTrace ? NowNanos() : 0;
+  {
+    // Fence check and memcpy form one critical section with
+    // FenceAndSnapshot(): a write that passed the fence check must fully land
+    // before a snapshot taken under the raised fence may read the buffer.
+    std::lock_guard<std::mutex> lock(write_mutex_);
+    // The fence check happens before the memcpy: a deposed primary's write
+    // must never land, not land-then-be-noticed.
+    if (epoch < fence_epoch_.load(std::memory_order_acquire)) {
+      stale_write_rejects_.fetch_add(1, std::memory_order_relaxed);
+      return Status::FailedPrecondition("stale replication epoch fenced by " + owner_);
+    }
+    TEBIS_RETURN_IF_ERROR(RdmaWrite(offset, bytes));
+    // Track the newest epoch observed; monotonic under concurrent writers.
+    uint64_t seen = last_writer_epoch_.load(std::memory_order_relaxed);
+    while (seen < epoch &&
+           !last_writer_epoch_.compare_exchange_weak(seen, epoch, std::memory_order_release)) {
+    }
   }
-  TEBIS_RETURN_IF_ERROR(RdmaWrite(offset, bytes));
-  // Track the newest epoch observed; monotonic under concurrent writers.
-  uint64_t seen = last_writer_epoch_.load(std::memory_order_relaxed);
-  while (seen < epoch &&
-         !last_writer_epoch_.compare_exchange_weak(seen, epoch, std::memory_order_release)) {
+  if (trace != kNoTrace) {
+    std::shared_ptr<const CommitListener> listener;
+    {
+      std::lock_guard<std::mutex> lock(listener_mutex_);
+      listener = commit_listener_;
+    }
+    if (listener != nullptr && *listener) {
+      (*listener)(trace, epoch, offset, bytes.size(), start_ns, NowNanos());
+    }
   }
   return Status::Ok();
+}
+
+void RegisteredBuffer::set_commit_listener(CommitListener listener) {
+  std::lock_guard<std::mutex> lock(listener_mutex_);
+  if (listener) {
+    commit_listener_ = std::make_shared<const CommitListener>(std::move(listener));
+  } else {
+    commit_listener_.reset();
+  }
 }
 
 void RegisteredBuffer::Fence(uint64_t min_epoch) {

@@ -20,6 +20,7 @@
 
 #include "src/common/slice.h"
 #include "src/common/status.h"
+#include "src/telemetry/trace.h"
 
 namespace tebis {
 
@@ -53,7 +54,22 @@ class RegisteredBuffer {
   // header word. Writes below the owner's fence epoch are rejected before the
   // memcpy — the simulation analogue of revoking a deposed primary's memory
   // registration so its in-flight RDMA writes complete with an error.
-  Status RdmaWriteTagged(uint64_t epoch, uint64_t offset, Slice bytes);
+  //
+  // `trace` (PR 10): the request trace id of the sampled op whose doorbell
+  // produced this write, kNoTrace otherwise. A sampled write that lands
+  // invokes the owner's commit listener after the critical section, which is
+  // how the backup records its commit span under the client's trace id —
+  // the write itself stays one-sided.
+  Status RdmaWriteTagged(uint64_t epoch, uint64_t offset, Slice bytes,
+                         TraceId trace = kNoTrace);
+
+  // Owner-installed observer for sampled tagged writes that landed. Invoked
+  // outside write_mutex_, on the writer's thread (the simulation stand-in
+  // for the owner noticing the committed bytes). Install nullptr to clear —
+  // owners must clear before their telemetry plane dies.
+  using CommitListener = std::function<void(TraceId trace, uint64_t epoch, uint64_t offset,
+                                            size_t bytes, uint64_t start_ns, uint64_t end_ns)>;
+  void set_commit_listener(CommitListener listener);
 
   // Raises the fence: tagged writes with epoch < `min_epoch` fail from now
   // on. The owner calls this when it learns of a configuration change.
@@ -125,6 +141,10 @@ class RegisteredBuffer {
   std::atomic<uint64_t> fence_epoch_{0};
   std::atomic<uint64_t> last_writer_epoch_{0};
   std::atomic<uint64_t> stale_write_rejects_{0};
+  // Guarded by listener_mutex_; copied out per sampled write only, so the
+  // unsampled path never touches it.
+  std::mutex listener_mutex_;
+  std::shared_ptr<const CommitListener> commit_listener_;
 };
 
 // Simulated RDMA network connecting named nodes.

@@ -24,6 +24,7 @@
 #include "src/replication/build_index_backup.h"
 #include "src/replication/replication_wire.h"
 #include "src/replication/send_index_backup.h"
+#include "src/telemetry/request_trace.h"
 #include "src/testing/fault_injector.h"
 
 namespace tebis {
@@ -45,7 +46,8 @@ class LocalBackupChannel : public BackupChannel {
         max_attempts_(std::max(1, max_attempts)) {}
 
   Status RdmaWriteLog(uint64_t offset_in_segment, Slice record_bytes) override {
-    return buffer_->RdmaWriteTagged(epoch(), offset_in_segment, record_bytes);
+    return buffer_->RdmaWriteTagged(epoch(), offset_in_segment, record_bytes,
+                                    CurrentRequestTrace());
   }
 
   Status FlushLog(SegmentId primary_segment, StreamId stream = kNoStream,

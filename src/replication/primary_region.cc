@@ -114,6 +114,25 @@ void PrimaryRegion::RecordSpan(const CompactionInfo& info, const char* name, uin
   traces->Record(std::move(span));
 }
 
+void PrimaryRegion::FinishDoorbellSpan(uint64_t start_ns, uint64_t bytes,
+                                       RequestStageTimings* stages) const {
+  const uint64_t end_ns = NowNanos();
+  stages->doorbell_ns += end_ns - start_ns;
+  const TraceId trace = CurrentRequestTrace();
+  TraceBuffer* traces = store_->telemetry()->traces();
+  if (trace == kNoTrace || !traces->enabled()) {
+    return;
+  }
+  SpanRecord span;
+  span.trace = trace;
+  span.name = "doorbell";
+  span.node = node_name_;
+  span.start_ns = start_ns;
+  span.end_ns = end_ns;
+  span.bytes = bytes;
+  traces->Record(std::move(span));
+}
+
 void PrimaryRegion::AddBackup(std::unique_ptr<BackupChannel> channel) {
   std::lock_guard<std::recursive_mutex> lock(region_mutex_);
   channel->set_epoch(epoch_);
@@ -586,6 +605,8 @@ void PrimaryRegion::OnAppend(SegmentId tail_segment, uint64_t offset_in_segment,
   if (backups_.empty()) {
     return;
   }
+  RequestStageTimings* stages = CurrentRequestStages();
+  const uint64_t doorbell_start_ns = stages != nullptr ? NowNanos() : 0;
   uint64_t cpu_ns = 0;
   {
     ScopedCpuTimer timer(&cpu_ns);
@@ -617,6 +638,9 @@ void PrimaryRegion::OnAppend(SegmentId tail_segment, uint64_t offset_in_segment,
   repl_.log_records_replicated->Increment();
   repl_.doorbells->Increment();
   repl_.doorbell_records->Increment();
+  if (stages != nullptr) {
+    FinishDoorbellSpan(doorbell_start_ns, record_bytes.size(), stages);
+  }
 }
 
 void PrimaryRegion::OnLargeAppend(SegmentId tail_segment, uint64_t offset_in_segment,
@@ -626,6 +650,8 @@ void PrimaryRegion::OnLargeAppend(SegmentId tail_segment, uint64_t offset_in_seg
   if (backups_.empty()) {
     return;
   }
+  RequestStageTimings* stages = CurrentRequestStages();
+  const uint64_t doorbell_start_ns = stages != nullptr ? NowNanos() : 0;
   uint64_t cpu_ns = 0;
   {
     ScopedCpuTimer timer(&cpu_ns);
@@ -654,6 +680,9 @@ void PrimaryRegion::OnLargeAppend(SegmentId tail_segment, uint64_t offset_in_seg
   repl_.large_records_replicated->Increment();
   repl_.doorbells->Increment();
   repl_.doorbell_records->Increment();
+  if (stages != nullptr) {
+    FinishDoorbellSpan(doorbell_start_ns, record_bytes.size(), stages);
+  }
 }
 
 void PrimaryRegion::OnAppendGroup(SegmentId tail_segment, uint64_t offset_in_segment,
@@ -665,6 +694,8 @@ void PrimaryRegion::OnAppendGroup(SegmentId tail_segment, uint64_t offset_in_seg
   if (backups_.empty()) {
     return;
   }
+  RequestStageTimings* stages = CurrentRequestStages();
+  const uint64_t doorbell_start_ns = stages != nullptr ? NowNanos() : 0;
   uint64_t cpu_ns = 0;
   {
     ScopedCpuTimer timer(&cpu_ns);
@@ -697,6 +728,9 @@ void PrimaryRegion::OnAppendGroup(SegmentId tail_segment, uint64_t offset_in_seg
   }
   repl_.doorbells->Increment();
   repl_.doorbell_records->Add(record_count);
+  if (stages != nullptr) {
+    FinishDoorbellSpan(doorbell_start_ns, run_bytes.size(), stages);
+  }
 }
 
 void PrimaryRegion::OnTailFlush(SegmentId tail_segment, Slice segment_bytes) {

@@ -30,6 +30,7 @@
 #include "src/net/flow_control.h"
 #include "src/replication/backup_channel.h"
 #include "src/replication/compaction_stream.h"
+#include "src/telemetry/request_trace.h"
 
 namespace tebis {
 
@@ -294,6 +295,12 @@ class PrimaryRegion : public ValueLogObserver, public CompactionObserver {
   // Records one shipping-plane span (no-op when untraced or disabled).
   void RecordSpan(const CompactionInfo& info, const char* name, uint64_t start_ns,
                   uint64_t end_ns, uint64_t bytes = 0) const;
+  // Request-trace bookkeeping for one doorbell fan-out (PR 10): accumulates
+  // the stage timing and records a "doorbell" span when the calling thread
+  // carries a sampled request scope. `stages` is the non-null result of
+  // CurrentRequestStages() the caller already fetched.
+  void FinishDoorbellSpan(uint64_t start_ns, uint64_t bytes,
+                          RequestStageTimings* stages) const;
 
   // Runs one call against a backup under the health policy: failures and
   // deadline overruns are strikes on (backup, stream), a clean on-time call

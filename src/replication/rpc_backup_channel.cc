@@ -7,6 +7,7 @@
 #include "src/common/clock.h"
 #include "src/lsm/value_log.h"  // kMainLogFamily
 #include "src/replication/replication_wire.h"
+#include "src/telemetry/request_trace.h"
 
 namespace tebis {
 
@@ -24,7 +25,8 @@ RpcBackupChannel::RpcBackupChannel(std::unique_ptr<RpcClient> client, uint32_t r
 }
 
 Status RpcBackupChannel::RdmaWriteLog(uint64_t offset_in_segment, Slice record_bytes) {
-  return buffer_->RdmaWriteTagged(epoch(), offset_in_segment, record_bytes);
+  return buffer_->RdmaWriteTagged(epoch(), offset_in_segment, record_bytes,
+                                  CurrentRequestTrace());
 }
 
 std::mutex* RpcBackupChannel::StreamMutex(StreamId stream) {

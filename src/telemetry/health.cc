@@ -1,0 +1,81 @@
+#include "src/telemetry/health.h"
+
+#include <algorithm>
+
+namespace tebis {
+
+const char* HealthColorName(int64_t color) {
+  switch (color) {
+    case kHealthGreen:
+      return "green";
+    case kHealthYellow:
+      return "yellow";
+    default:
+      return "red";
+  }
+}
+
+void HealthWatchdog::Evaluate(MetricsSnapshot* snapshot) {
+  Baseline now;
+  now.valid = true;
+  now.stall_ns = snapshot->Sum("kv.write_stall_ns") + snapshot->Sum("repl.flow_wait_ns");
+  now.queue_wait_ns = snapshot->Sum("kv.compaction_queue_wait_ns");
+  now.corruptions = snapshot->Sum("integrity.corruptions_found");
+  now.detached = snapshot->Sum("repl.backups_detached");
+  now.fence_errors = snapshot->Sum("repl.fence_errors");
+  const uint64_t quarantined = snapshot->Sum("integrity.quarantined_levels");
+
+  auto delta = [](uint64_t cur, uint64_t prev) { return cur > prev ? cur - prev : 0; };
+  // First evaluation: no baseline window, so counter deltas read as zero.
+  const Baseline base = prev_.valid ? prev_ : now;
+
+  int64_t flow = kHealthGreen;
+  const uint64_t stall_delta = delta(now.stall_ns, base.stall_ns);
+  if (stall_delta >= thresholds_.stall_ns_red) {
+    flow = kHealthRed;
+  } else if (stall_delta >= thresholds_.stall_ns_yellow) {
+    flow = kHealthYellow;
+  }
+
+  int64_t compaction = kHealthGreen;
+  const uint64_t queue_delta = delta(now.queue_wait_ns, base.queue_wait_ns);
+  if (queue_delta >= thresholds_.queue_wait_ns_red) {
+    compaction = kHealthRed;
+  } else if (queue_delta >= thresholds_.queue_wait_ns_yellow) {
+    compaction = kHealthYellow;
+  }
+
+  // Quarantined levels are an absolute signal (data currently unreadable on
+  // this node); new scrub finds alone are yellow — scrub repairs in place.
+  int64_t integrity = kHealthGreen;
+  if (quarantined > 0) {
+    integrity = kHealthRed;
+  } else if (delta(now.corruptions, base.corruptions) > 0) {
+    integrity = kHealthYellow;
+  }
+
+  int64_t replication = kHealthGreen;
+  const uint64_t detach_delta = delta(now.detached, base.detached);
+  if (detach_delta >= thresholds_.detached_backups_red) {
+    replication = kHealthRed;
+  } else if (detach_delta > 0 || delta(now.fence_errors, base.fence_errors) > 0) {
+    replication = kHealthYellow;
+  }
+
+  prev_ = now;
+
+  auto publish = [snapshot](const char* name, int64_t value) {
+    MetricSample sample;
+    sample.name = name;
+    sample.kind = InstrumentKind::kGauge;
+    sample.value = value;
+    snapshot->Add(std::move(sample));
+  };
+  publish("health.flow_control", flow);
+  publish("health.compaction", compaction);
+  publish("health.integrity", integrity);
+  publish("health.replication", replication);
+  publish("health.node", std::max({flow, compaction, integrity, replication}));
+}
+
+}  // namespace tebis

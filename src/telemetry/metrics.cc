@@ -1,13 +1,12 @@
 #include "src/telemetry/metrics.h"
 
 #include <algorithm>
+#include <cstdio>
 #include <functional>
 
 namespace tebis {
-namespace {
 
-// Canonical instrument key: name + sorted labels, e.g. `kv.puts{node=s0,region=r3}`.
-std::string CanonicalKey(std::string_view name, const MetricLabels& labels) {
+std::string CanonicalMetricKey(std::string_view name, const MetricLabels& labels) {
   std::string key(name);
   if (!labels.empty()) {
     MetricLabels sorted = labels;
@@ -25,6 +24,8 @@ std::string CanonicalKey(std::string_view name, const MetricLabels& labels) {
   }
   return key;
 }
+
+namespace {
 
 void AppendJsonEscaped(std::string* out, std::string_view s) {
   for (char c : s) {
@@ -118,13 +119,26 @@ std::string MetricsSnapshot::Json(int indent) const {
     out += value_text;
   };
   for (const MetricSample& sample : samples_) {
-    const std::string key = CanonicalKey(sample.name, sample.labels);
+    const std::string key = CanonicalMetricKey(sample.name, sample.labels);
     if (sample.kind == InstrumentKind::kHistogram) {
       emit(key + "_count", std::to_string(sample.histogram.count()));
       if (sample.histogram.count() > 0) {
         emit(key + "_p50", std::to_string(sample.histogram.Percentile(50)));
         emit(key + "_p99", std::to_string(sample.histogram.Percentile(99)));
         emit(key + "_max", std::to_string(sample.histogram.max()));
+      }
+      if (!sample.exemplars.empty()) {
+        // String value ("0x<trace>@<value>,...") so line-oriented consumers
+        // (tebis_stats.py) parse it without a full JSON parser.
+        std::string text;
+        char buf[64];
+        for (const HistogramExemplar& e : sample.exemplars) {
+          snprintf(buf, sizeof(buf), "%s0x%llx@%llu", text.empty() ? "" : ",",
+                   static_cast<unsigned long long>(e.trace),
+                   static_cast<unsigned long long>(e.value));
+          text += buf;
+        }
+        emit(key + "_exemplars", "\"" + text + "\"");
       }
     } else {
       emit(key, std::to_string(sample.value));
@@ -137,7 +151,7 @@ std::string MetricsSnapshot::Json(int indent) const {
 MetricsRegistry::Entry* MetricsRegistry::GetOrCreate(std::string_view name,
                                                      const MetricLabels& labels,
                                                      InstrumentKind kind) {
-  std::string key = CanonicalKey(name, labels);
+  std::string key = CanonicalMetricKey(name, labels);
   // Kinds share one namespace: suffix the key so a counter and a histogram
   // with the same name cannot alias (a config error, not a crash).
   key += kind == InstrumentKind::kCounter ? "#c"
@@ -199,6 +213,7 @@ MetricsSnapshot MetricsRegistry::Snapshot() const {
           break;
         case InstrumentKind::kHistogram:
           sample.histogram = entry.histogram->Snapshot();
+          sample.exemplars = entry.histogram->Exemplars();
           break;
       }
       snapshot.Add(std::move(sample));

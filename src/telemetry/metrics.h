@@ -24,6 +24,7 @@
 #include <vector>
 
 #include "src/common/histogram.h"
+#include "src/telemetry/trace.h"
 
 namespace tebis {
 
@@ -34,6 +35,11 @@ using MetricLabels = std::vector<std::pair<std::string, std::string>>;
 // The `node` label if present, else all label values joined with '/', else
 // "local". Used to stamp trace spans with the emitting node.
 std::string NodeLabel(const MetricLabels& labels);
+
+// Canonical instrument key: name + sorted labels, `kv.puts{node=s0,region=r3}`.
+// Shared by the registry, the snapshot JSON, and the cluster federation layer
+// so one key format names an instrument everywhere.
+std::string CanonicalMetricKey(std::string_view name, const MetricLabels& labels);
 
 // Monotonic counter. Relaxed atomics: counters order nothing; the consistency
 // a snapshot needs is per-instrument atomicity, which the load provides.
@@ -65,24 +71,50 @@ class Gauge {
   std::atomic<int64_t> value_{0};
 };
 
+// Exemplar (PR 10): the trace id of a sampled request that landed a value in
+// this histogram, so a tail-latency bucket links back to the trace tree that
+// produced it. A small ring keeps the most recent few.
+struct HistogramExemplar {
+  TraceId trace = kNoTrace;
+  uint64_t value = 0;
+};
+
 // Mergeable distribution backed by common/Histogram. Mutex-guarded: Record is
 // off the put fast path (latencies are recorded by the harness; durations by
 // compaction jobs), so a per-instrument lock is cheap and keeps Histogram's
 // bucket array coherent.
 class HistogramInstrument {
  public:
-  void Record(uint64_t value_ns) {
+  static constexpr size_t kMaxExemplars = 4;
+
+  void Record(uint64_t value_ns, TraceId exemplar_trace = kNoTrace) {
     std::lock_guard<std::mutex> lock(mutex_);
     histogram_.Record(value_ns);
+    if (exemplar_trace != kNoTrace) {
+      exemplars_[next_exemplar_ % kMaxExemplars] = {exemplar_trace, value_ns};
+      next_exemplar_++;
+    }
   }
   Histogram Snapshot() const {
     std::lock_guard<std::mutex> lock(mutex_);
     return histogram_;
   }
+  // Most recent exemplars, oldest first (at most kMaxExemplars).
+  std::vector<HistogramExemplar> Exemplars() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    std::vector<HistogramExemplar> out;
+    const size_t n = next_exemplar_ < kMaxExemplars ? next_exemplar_ : kMaxExemplars;
+    for (size_t i = 0; i < n; ++i) {
+      out.push_back(exemplars_[(next_exemplar_ - n + i) % kMaxExemplars]);
+    }
+    return out;
+  }
 
  private:
   mutable std::mutex mutex_;
   Histogram histogram_;
+  HistogramExemplar exemplars_[kMaxExemplars] = {};
+  size_t next_exemplar_ = 0;
 };
 
 enum class InstrumentKind { kCounter, kGauge, kHistogram };
@@ -93,7 +125,8 @@ struct MetricSample {
   InstrumentKind kind = InstrumentKind::kCounter;
   // Counter value or gauge value (gauges may be negative; stored signed).
   int64_t value = 0;
-  Histogram histogram;  // kHistogram only
+  Histogram histogram;                       // kHistogram only
+  std::vector<HistogramExemplar> exemplars;  // kHistogram only; often empty
 
   bool HasLabel(std::string_view key, std::string_view value_match) const;
 };
@@ -115,7 +148,8 @@ class MetricsSnapshot {
   const MetricSample* Find(std::string_view name, std::string_view key,
                            std::string_view value) const;
 
-  // {"name{k=v,...}": value, ...} — histograms expand to _count/_p50/_p99/_max.
+  // {"name{k=v,...}": value, ...} — histograms expand to _count/_p50/_p99/_max
+  // plus an `_exemplars` string ("0x<trace>@<value>,...") when exemplars exist.
   std::string Json(int indent = 2) const;
 
  private:

@@ -1,0 +1,21 @@
+#include "src/telemetry/request_trace.h"
+
+namespace tebis {
+
+namespace {
+thread_local ScopedRequestTrace* tls_scope = nullptr;
+}  // namespace
+
+ScopedRequestTrace::ScopedRequestTrace(TraceId trace) : prev_(tls_scope), trace_(trace) {
+  tls_scope = this;
+}
+
+ScopedRequestTrace::~ScopedRequestTrace() { tls_scope = prev_; }
+
+TraceId CurrentRequestTrace() { return tls_scope == nullptr ? kNoTrace : tls_scope->trace(); }
+
+RequestStageTimings* CurrentRequestStages() {
+  return tls_scope == nullptr ? nullptr : tls_scope->mutable_stages();
+}
+
+}  // namespace tebis

@@ -1,0 +1,146 @@
+#include "src/telemetry/slow_op.h"
+
+#include <cinttypes>
+#include <cstdio>
+
+namespace tebis {
+
+const char* SlowOpTypeName(SlowOpType type) {
+  switch (type) {
+    case SlowOpType::kPut:
+      return "put";
+    case SlowOpType::kGet:
+      return "get";
+    case SlowOpType::kDelete:
+      return "delete";
+    case SlowOpType::kScan:
+      return "scan";
+    case SlowOpType::kBatch:
+      return "batch";
+  }
+  return "unknown";
+}
+
+uint64_t SlowOpPolicy::ThresholdFor(SlowOpType type) const {
+  switch (type) {
+    case SlowOpType::kPut:
+      return put_ns;
+    case SlowOpType::kGet:
+      return get_ns;
+    case SlowOpType::kDelete:
+      return delete_ns;
+    case SlowOpType::kScan:
+      return scan_ns;
+    case SlowOpType::kBatch:
+      return batch_ns;
+  }
+  return 0;
+}
+
+void SlowOpLog::Configure(const SlowOpPolicy& policy) {
+  for (size_t i = 0; i < kNumSlowOpTypes; ++i) {
+    thresholds_[i].store(policy.ThresholdFor(static_cast<SlowOpType>(i)),
+                         std::memory_order_relaxed);
+  }
+}
+
+bool SlowOpLog::MaybeRecord(SlowOpType type, std::string_view key, uint32_t region,
+                            uint64_t epoch, TraceId trace, uint64_t total_ns,
+                            const RequestStageTimings* stages, uint64_t end_ns) {
+  const uint64_t limit = threshold(type);
+  if (limit == 0 || total_ns < limit || capacity_ == 0) {
+    return false;
+  }
+  SlowOpRecord record;
+  record.type = type;
+  record.key_prefix.assign(key.substr(0, kKeyPrefixBytes));
+  record.region = region;
+  record.epoch = epoch;
+  record.trace = trace;
+  record.total_ns = total_ns;
+  if (stages != nullptr) {
+    record.stages = *stages;
+  }
+  record.end_ns = end_ns;
+  std::lock_guard<std::mutex> lock(mutex_);
+  total_++;
+  if (ring_.size() < capacity_) {
+    ring_.push_back(std::move(record));
+  } else {
+    ring_[next_] = std::move(record);
+    next_ = (next_ + 1) % capacity_;
+  }
+  return true;
+}
+
+std::vector<SlowOpRecord> SlowOpLog::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<SlowOpRecord> out;
+  out.reserve(ring_.size());
+  // Once full, next_ points at the oldest slot.
+  for (size_t i = 0; i < ring_.size(); ++i) {
+    out.push_back(ring_[(next_ + i) % ring_.size()]);
+  }
+  return out;
+}
+
+uint64_t SlowOpLog::total() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return total_;
+}
+
+uint64_t SlowOpLog::dropped() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return total_ > ring_.size() ? total_ - ring_.size() : 0;
+}
+
+namespace {
+void AppendEscaped(std::string* out, std::string_view s) {
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        *out += "\\\"";
+        break;
+      case '\\':
+        *out += "\\\\";
+        break;
+      case '\n':
+        *out += "\\n";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20 || static_cast<unsigned char>(c) >= 0x7f) {
+          char buf[8];
+          snprintf(buf, sizeof(buf), "\\u%04x", static_cast<unsigned char>(c));
+          *out += buf;
+        } else {
+          *out += c;
+        }
+    }
+  }
+}
+}  // namespace
+
+std::string SlowOpsJson(const std::vector<SlowOpRecord>& records) {
+  std::string out = "[";
+  char buf[320];
+  bool first = true;
+  for (const SlowOpRecord& r : records) {
+    out += first ? "\n" : ",\n";
+    first = false;
+    out += "  {\"op\": \"";
+    out += SlowOpTypeName(r.type);
+    out += "\", \"key_prefix\": \"";
+    AppendEscaped(&out, r.key_prefix);
+    snprintf(buf, sizeof(buf),
+             "\", \"region\": %" PRIu32 ", \"epoch\": %" PRIu64 ", \"trace\": \"0x%" PRIx64
+             "\", \"total_ns\": %" PRIu64 ", \"engine_ns\": %" PRIu64 ", \"doorbell_ns\": %" PRIu64
+             ", \"backup_commit_ns\": %" PRIu64 ", \"end_ns\": %" PRIu64 "}",
+             r.region, r.epoch, r.trace, r.total_ns, r.stages.engine_ns, r.stages.doorbell_ns,
+             r.stages.backup_commit_ns, r.end_ns);
+    out += buf;
+  }
+  out += first ? "]" : "\n]";
+  return out;
+}
+
+}  // namespace tebis

@@ -7,6 +7,21 @@ void Telemetry::AddCollector(std::function<void(MetricsSnapshot*)> collector) {
   collectors_.push_back(std::move(collector));
 }
 
+void Telemetry::EnableHealthWatchdog(HealthThresholds thresholds) {
+  auto watchdog = std::make_unique<HealthWatchdog>(thresholds);
+  HealthWatchdog* raw = watchdog.get();
+  {
+    std::lock_guard<std::mutex> lock(collectors_mutex_);
+    if (watchdog_ != nullptr) {
+      return;  // already enabled; keep the original baseline
+    }
+    watchdog_ = std::move(watchdog);
+  }
+  // The watchdog's baseline is guarded by collectors_mutex_ (collectors run
+  // serialized under it in Snapshot).
+  AddCollector([raw](MetricsSnapshot* snapshot) { raw->Evaluate(snapshot); });
+}
+
 MetricsSnapshot Telemetry::Snapshot() const {
   MetricsSnapshot snapshot = metrics_.Snapshot();
   std::lock_guard<std::mutex> lock(collectors_mutex_);
@@ -21,6 +36,8 @@ std::string Telemetry::ScrapeJson(const std::string& node) const {
   out += Snapshot().Json();
   out += ",\n\"spans\": ";
   out += ChromeTraceJson(traces_.Snapshot());
+  out += ",\n\"slow_ops\": ";
+  out += SlowOpsJson(slow_ops_.Snapshot());
   out += "\n}";
   return out;
 }

@@ -2,17 +2,22 @@
 // shared by every store/region object a node hosts (each stamped with unique
 // labels), plus scrape-time collectors for subsystems whose hot-path counters
 // stay native (IoStats, page caches) and are sampled live instead of
-// migrated. SimCluster and RegionServer each own one; a standalone KvStore
-// creates a private one so its stats() view stays per-store.
+// migrated. PR 10 adds a bounded slow-op log and an optional health watchdog
+// whose `health.*` gauges ride every snapshot. SimCluster and RegionServer
+// each own one; a standalone KvStore creates a private one so its stats()
+// view stays per-store.
 #ifndef TEBIS_TELEMETRY_TELEMETRY_H_
 #define TEBIS_TELEMETRY_TELEMETRY_H_
 
 #include <functional>
+#include <memory>
 #include <mutex>
 #include <string>
 #include <vector>
 
+#include "src/telemetry/health.h"
 #include "src/telemetry/metrics.h"
+#include "src/telemetry/slow_op.h"
 #include "src/telemetry/trace.h"
 
 namespace tebis {
@@ -27,6 +32,15 @@ class Telemetry {
 
   MetricsRegistry* metrics() { return &metrics_; }
   TraceBuffer* traces() { return &traces_; }
+  SlowOpLog* slow_ops() { return &slow_ops_; }
+  const SlowOpLog* slow_ops() const { return &slow_ops_; }
+
+  // Sets the per-type slow-op thresholds. Call at node setup, before traffic.
+  void ConfigureSlowOps(const SlowOpPolicy& policy) { slow_ops_.Configure(policy); }
+
+  // Installs the health watchdog as a scrape-time collector. Call at most
+  // once per plane, at node setup.
+  void EnableHealthWatchdog(HealthThresholds thresholds = {});
 
   // Collectors run during Snapshot() and append samples for state that lives
   // outside the registry. The owner must guarantee whatever the collector
@@ -36,14 +50,17 @@ class Telemetry {
   // Registry walk + collectors.
   MetricsSnapshot Snapshot() const;
 
-  // Scrape payload: {"node":..., "metrics":{...}, "spans":[chrome events]}.
+  // Scrape payload: {"node":..., "metrics":{...}, "spans":[chrome events],
+  // "slow_ops":[...]}.
   std::string ScrapeJson(const std::string& node) const;
 
  private:
   MetricsRegistry metrics_;
   TraceBuffer traces_;
+  SlowOpLog slow_ops_;
   mutable std::mutex collectors_mutex_;
   std::vector<std::function<void(MetricsSnapshot*)>> collectors_;
+  std::unique_ptr<HealthWatchdog> watchdog_;  // set once by EnableHealthWatchdog
 };
 
 }  // namespace tebis

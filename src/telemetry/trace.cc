@@ -11,29 +11,36 @@ void TraceBuffer::Record(SpanRecord span) {
     return;
   }
   std::lock_guard<std::mutex> lock(mutex_);
-  total_++;
-  if (ring_.size() < capacity_) {
-    ring_.push_back(std::move(span));
-    return;
+  if (spans_.size() >= capacity_) {
+    EvictOldestTraceLocked();
   }
-  ring_[next_] = std::move(span);
-  next_ = (next_ + 1) % capacity_;
+  trace_counts_[span.trace]++;
+  spans_.push_back(std::move(span));
+}
+
+void TraceBuffer::EvictOldestTraceLocked() {
+  const TraceId victim = spans_.front().trace;
+  size_t removed = 0;
+  for (auto it = spans_.begin(); it != spans_.end();) {
+    if (it->trace == victim) {
+      it = spans_.erase(it);
+      removed++;
+    } else {
+      ++it;
+    }
+  }
+  trace_counts_.erase(victim);
+  evicted_ += removed;
 }
 
 std::vector<SpanRecord> TraceBuffer::Snapshot() const {
   std::lock_guard<std::mutex> lock(mutex_);
-  std::vector<SpanRecord> out;
-  out.reserve(ring_.size());
-  // Once full, next_ points at the oldest slot.
-  for (size_t i = 0; i < ring_.size(); ++i) {
-    out.push_back(ring_[(next_ + i) % ring_.size()]);
-  }
-  return out;
+  return std::vector<SpanRecord>(spans_.begin(), spans_.end());
 }
 
 uint64_t TraceBuffer::dropped() const {
   std::lock_guard<std::mutex> lock(mutex_);
-  return total_ > ring_.size() ? total_ - ring_.size() : 0;
+  return evicted_;
 }
 
 std::string ChromeTraceJson(const std::vector<SpanRecord>& spans) {

@@ -1,14 +1,22 @@
 #include "src/ycsb/sim_cluster.h"
 
 #include <algorithm>
+#include <functional>
 #include <map>
+#include <optional>
+#include <string_view>
+#include <utility>
+
+#include "src/common/clock.h"
+#include "src/telemetry/request_trace.h"
 
 namespace tebis {
 
 SimCluster::SimCluster(const SimClusterOptions& options)
     : options_(options),
       telemetry_(std::make_unique<Telemetry>(options.trace_capacity)),
-      fabric_(std::make_unique<Fabric>()) {}
+      fabric_(std::make_unique<Fabric>()),
+      source_hash_(std::hash<std::string>{}("sim-cluster")) {}
 
 namespace {
 
@@ -19,6 +27,34 @@ MetricLabels StoreLabels(const MetricLabels& base, const std::string& node, uint
   labels.emplace_back("region", std::to_string(region));
   labels.emplace_back("role", role);
   return labels;
+}
+
+// Mirrors RegionServer::InstallCommitListener: the backup owner observes
+// sampled tagged writes landing in its registered buffer, accumulating the
+// commit time into the writer's stage breakdown (the listener runs on the
+// primary's thread, where the request-trace scope lives) and recording the
+// backup_commit span under the request's id. No clearing needed here: the
+// buffers die with the channels/regions, before telemetry_ (declared first).
+void InstallCommitSpanListener(RegisteredBuffer* buffer, Telemetry* telemetry,
+                               const std::string& node) {
+  buffer->set_commit_listener([telemetry, node](TraceId trace, uint64_t /*epoch*/,
+                                                uint64_t /*offset*/, size_t bytes,
+                                                uint64_t start_ns, uint64_t end_ns) {
+    if (RequestStageTimings* stages = CurrentRequestStages(); stages != nullptr) {
+      stages->backup_commit_ns += end_ns - start_ns;
+    }
+    TraceBuffer* traces = telemetry->traces();
+    if (traces->enabled()) {
+      SpanRecord span;
+      span.trace = trace;
+      span.name = "backup_commit";
+      span.node = node;
+      span.start_ns = start_ns;
+      span.end_ns = end_ns;
+      span.bytes = bytes;
+      traces->Record(std::move(span));
+    }
+  });
 }
 
 }  // namespace
@@ -52,9 +88,18 @@ StatusOr<std::unique_ptr<SimCluster>> SimCluster::Create(const SimClusterOptions
       options.num_servers;
   cluster->options_.kv_options.cache_shards = PageCache::ShardsForStores(stores_per_server);
 
+  cluster->telemetry_->EnableHealthWatchdog();
+  cluster->telemetry_->ConfigureSlowOps(options.slow_op_policy);
+  for (size_t t = 0; t < kNumSlowOpTypes; ++t) {
+    cluster->request_latency_[t] = cluster->telemetry_->metrics()->GetHistogram(
+        "trace.request_latency_ns",
+        {{"op", SlowOpTypeName(static_cast<SlowOpType>(t))}});
+  }
+
   for (const RegionInfo& info : cluster->map_.regions()) {
     Region region;
     region.id = info.region_id;
+    region.primary_node = info.primary;
     const int primary_server = static_cast<int>(info.region_id) % options.num_servers;
     KvStoreOptions primary_kv = cluster->options_.kv_options;
     primary_kv.compaction_pool = cluster->compaction_pool_.get();  // null = synchronous
@@ -73,6 +118,7 @@ StatusOr<std::unique_ptr<SimCluster>> SimCluster::Create(const SimClusterOptions
       // tail mirror in [segment, 2*segment).
       auto buffer = cluster->fabric_->RegisterBuffer(backup_name, info.primary,
                                                      2 * options.device_options.segment_size);
+      InstallCommitSpanListener(buffer.get(), cluster->telemetry_.get(), backup_name);
       KvStoreOptions backup_kv = cluster->options_.kv_options;
       backup_kv.telemetry = cluster->telemetry_.get();
       backup_kv.telemetry_labels = StoreLabels(cluster->options_.kv_options.telemetry_labels,
@@ -126,19 +172,93 @@ StatusOr<SimCluster::Region*> SimCluster::Route(Slice key) {
   return &regions_[info->region_id];
 }
 
+TraceId SimCluster::MaybeSampleTrace() {
+  const uint64_t every = options_.request_trace_sample_every;
+  if (every == 0) {
+    return kNoTrace;
+  }
+  if (sample_counter_.fetch_add(1, std::memory_order_relaxed) % every != 0) {
+    return kNoTrace;
+  }
+  return MakeRequestTraceId(source_hash_, trace_seq_.fetch_add(1, std::memory_order_relaxed));
+}
+
+void SimCluster::ObserveOp(SlowOpType op, Slice key, const Region& region, TraceId trace,
+                           uint64_t start_ns, const RequestStageTimings& stages) {
+  const uint64_t end_ns = NowNanos();
+  const uint64_t total_ns = end_ns - start_ns;
+  if (trace != kNoTrace) {
+    request_latency_[static_cast<size_t>(op)]->Record(static_cast<int64_t>(total_ns), trace);
+    TraceBuffer* traces = telemetry_->traces();
+    if (traces->enabled()) {
+      // With direct channels there is no separate dispatch hop, so the client
+      // and primary_apply spans cover the same interval; both are recorded so
+      // the tree has the same shape as the RPC cluster's.
+      SpanRecord apply;
+      apply.trace = trace;
+      apply.name = "primary_apply";
+      apply.node = region.primary_node;
+      apply.start_ns = start_ns;
+      apply.end_ns = end_ns;
+      apply.bytes = key.size();
+      traces->Record(std::move(apply));
+      SpanRecord client;
+      client.trace = trace;
+      client.name = "client";
+      client.node = "client";
+      client.start_ns = start_ns;
+      client.end_ns = end_ns;
+      client.bytes = key.size();
+      traces->Record(std::move(client));
+    }
+  }
+  telemetry_->slow_ops()->MaybeRecord(op, std::string_view(key.data(), key.size()), region.id,
+                                      region.primary->epoch(), trace, total_ns, &stages, end_ns);
+}
+
 Status SimCluster::Put(Slice key, Slice value) {
   TEBIS_ASSIGN_OR_RETURN(Region * region, Route(key));
-  return region->primary->Put(key, value);
+  const TraceId trace = MaybeSampleTrace();
+  if (trace == kNoTrace && telemetry_->slow_ops()->threshold(SlowOpType::kPut) == 0) {
+    return region->primary->Put(key, value);  // untraced: zero clock reads
+  }
+  ScopedRequestTrace scope(trace);
+  const uint64_t start_ns = NowNanos();
+  Status s = region->primary->Put(key, value);
+  if (s.ok()) {
+    ObserveOp(SlowOpType::kPut, key, *region, trace, start_ns, scope.stages());
+  }
+  return s;
 }
 
 StatusOr<std::string> SimCluster::Get(Slice key) {
   TEBIS_ASSIGN_OR_RETURN(Region * region, Route(key));
-  return region->primary->Get(key);
+  const TraceId trace = MaybeSampleTrace();
+  if (trace == kNoTrace && telemetry_->slow_ops()->threshold(SlowOpType::kGet) == 0) {
+    return region->primary->Get(key);
+  }
+  ScopedRequestTrace scope(trace);
+  const uint64_t start_ns = NowNanos();
+  StatusOr<std::string> v = region->primary->Get(key);
+  if (v.ok() || v.status().IsNotFound()) {
+    ObserveOp(SlowOpType::kGet, key, *region, trace, start_ns, scope.stages());
+  }
+  return v;
 }
 
 Status SimCluster::Delete(Slice key) {
   TEBIS_ASSIGN_OR_RETURN(Region * region, Route(key));
-  return region->primary->Delete(key);
+  const TraceId trace = MaybeSampleTrace();
+  if (trace == kNoTrace && telemetry_->slow_ops()->threshold(SlowOpType::kDelete) == 0) {
+    return region->primary->Delete(key);
+  }
+  ScopedRequestTrace scope(trace);
+  const uint64_t start_ns = NowNanos();
+  Status s = region->primary->Delete(key);
+  if (s.ok()) {
+    ObserveOp(SlowOpType::kDelete, key, *region, trace, start_ns, scope.stages());
+  }
+  return s;
 }
 
 Status SimCluster::WriteBatch(const std::vector<KvStore::BatchOp>& ops,
@@ -150,6 +270,17 @@ Status SimCluster::WriteBatch(const std::vector<KvStore::BatchOp>& ops,
   for (size_t i = 0; i < ops.size(); ++i) {
     TEBIS_ASSIGN_OR_RETURN(Region * region, Route(ops[i].key));
     groups[region].push_back(i);
+  }
+  // One sampling decision per WriteBatch call (matching the client, which
+  // samples per kKvBatch frame rather than per carried op).
+  const TraceId trace = MaybeSampleTrace();
+  const bool timed =
+      trace != kNoTrace || telemetry_->slow_ops()->threshold(SlowOpType::kBatch) != 0;
+  std::optional<ScopedRequestTrace> scope;
+  uint64_t start_ns = 0;
+  if (timed) {
+    scope.emplace(trace);
+    start_ns = NowNanos();
   }
   Status first;
   for (auto& [region, indexes] : groups) {
@@ -166,6 +297,11 @@ Status SimCluster::WriteBatch(const std::vector<KvStore::BatchOp>& ops,
     if (!s.ok() && first.ok()) {
       first = s;
     }
+  }
+  if (timed && !groups.empty() && first.ok()) {
+    Region* front = groups.begin()->first;
+    ObserveOp(SlowOpType::kBatch, ops[groups.begin()->second.front()].key, *front, trace,
+              start_ns, scope->stages());
   }
   return first;
 }

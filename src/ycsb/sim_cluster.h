@@ -49,6 +49,11 @@ struct SimClusterOptions {
   // Span ring capacity for the cluster's shared trace buffer (PR 5);
   // 0 disables pipeline tracing entirely.
   size_t trace_capacity = 4096;
+  // Request-scoped tracing (PR 10): sample one in N client-facing ops (0
+  // disables — the overhead A/B's off arm takes no clock reads at all).
+  uint64_t request_trace_sample_every = 0;
+  // Slow-op thresholds (PR 10); all-zero keeps the slow-op log silent.
+  SlowOpPolicy slow_op_policy;
 };
 
 // Aggregated *inclusive* CPU timings across all servers. Calls nest (see
@@ -154,6 +159,7 @@ class SimCluster {
  private:
   struct Region {
     uint32_t id;
+    std::string primary_node;  // hosting server name, for span attribution
     std::unique_ptr<PrimaryRegion> primary;
     std::vector<std::unique_ptr<SendIndexBackupRegion>> send_backups;
     std::vector<std::unique_ptr<BuildIndexBackupRegion>> build_backups;
@@ -161,6 +167,12 @@ class SimCluster {
 
   explicit SimCluster(const SimClusterOptions& options);
   StatusOr<Region*> Route(Slice key);
+  // 1-in-N sampling decision (PR 10); kNoTrace when tracing is off.
+  TraceId MaybeSampleTrace();
+  // Records client/primary_apply spans, the latency exemplar, and the slow-op
+  // record for an op that ran under a request-trace scope.
+  void ObserveOp(SlowOpType op, Slice key, const Region& region, TraceId trace,
+                 uint64_t start_ns, const RequestStageTimings& stages);
 
   SimClusterOptions options_;
   // Declared before every store/region member: instruments resolved against
@@ -175,6 +187,12 @@ class SimCluster {
   RegionMap map_;
   std::vector<Region> regions_;
   std::atomic<uint64_t> replica_rr_{0};  // ReplicaGet round-robin cursor
+  // Request tracing (PR 10). The pre-resolved histograms keep the sampled
+  // path to one array index; atomics because the YCSB driver is threaded.
+  HistogramInstrument* request_latency_[kNumSlowOpTypes] = {};
+  std::atomic<uint64_t> sample_counter_{0};
+  std::atomic<uint64_t> trace_seq_{0};
+  uint64_t source_hash_ = 0;
 };
 
 }  // namespace tebis

@@ -77,6 +77,114 @@ TEST_P(WireFuzzTest, RandomBytesFailCleanly) {
   }
 }
 
+// --- trailing trace-id wire field (PR 10) --------------------------------------
+
+// The optional [tag][u64] suffix must never turn damage into a crash or a
+// misparse: truncating or corrupting it degrades the frame to "unsampled"
+// (trace == kNoTrace) with every payload field before it intact, and frames
+// encoded without a trace are byte-identical to the pre-tracing format.
+TEST_P(WireFuzzTest, TraceFieldDamageDegradesToUnsampled) {
+  Random rng(GetParam() + 900);
+  for (int i = 0; i < 500; ++i) {
+    const std::string key_bytes = rng.Bytes(1 + rng.Uniform(40));
+    const std::string value_bytes = rng.Bytes(rng.Uniform(200));
+    const TraceId trace = MakeRequestTraceId(rng.Uniform(1 << 15), rng.Uniform(1 << 20));
+
+    // Unsampled frames carry no suffix at all.
+    const std::string bare = EncodePutRequest(key_bytes, value_bytes);
+    ASSERT_EQ(bare, EncodePutRequest(key_bytes, value_bytes, kNoTrace));
+    const std::string tagged = EncodePutRequest(key_bytes, value_bytes, trace);
+    ASSERT_EQ(tagged.size(), bare.size() + 9);
+
+    // Intact frame round-trips the id.
+    Slice key, value;
+    TraceId decoded = kNoTrace;
+    ASSERT_TRUE(DecodePutRequest(tagged, &key, &value, &decoded).ok());
+    ASSERT_EQ(decoded, trace);
+
+    // Truncate anywhere inside the suffix: decode still succeeds, reads as
+    // unsampled, and the payload fields are untouched.
+    const size_t cut = 1 + rng.Uniform(9);
+    decoded = trace;
+    ASSERT_TRUE(DecodePutRequest(Slice(tagged.data(), tagged.size() - cut), &key, &value,
+                                 &decoded)
+                    .ok());
+    EXPECT_EQ(decoded, kNoTrace);
+    EXPECT_EQ(key.ToString(), key_bytes);
+    EXPECT_EQ(value.ToString(), value_bytes);
+
+    // Corrupt one byte of the suffix: a flipped tag reads as unsampled, a
+    // flipped id byte reads as a different id — either way decode succeeds
+    // and the payload survives.
+    std::string corrupt = tagged;
+    const size_t victim = bare.size() + rng.Uniform(9);
+    corrupt[victim] = static_cast<char>(corrupt[victim] ^ (1 + rng.Uniform(255)));
+    ASSERT_TRUE(DecodePutRequest(corrupt, &key, &value, &decoded).ok());
+    EXPECT_EQ(key.ToString(), key_bytes);
+    if (static_cast<uint8_t>(corrupt[bare.size()]) != kTraceFieldTag) {
+      EXPECT_EQ(decoded, kNoTrace);
+    }
+
+    // Callers that never ask for the trace still accept tagged frames.
+    ASSERT_TRUE(DecodePutRequest(tagged, &key, &value).ok());
+    EXPECT_EQ(value.ToString(), value_bytes);
+  }
+}
+
+TEST_P(WireFuzzTest, TraceFieldRoundTripsOnEveryRequestKind) {
+  Random rng(GetParam() + 950);
+  for (int i = 0; i < 300; ++i) {
+    const TraceId trace = MakeRequestTraceId(rng.Uniform(1 << 15), rng.Uniform(1 << 20));
+    const std::string key_bytes = rng.Bytes(1 + rng.Uniform(40));
+
+    Slice key, start;
+    uint32_t limit;
+    TraceId decoded;
+
+    decoded = kNoTrace;
+    const std::string key_frame = EncodeKeyRequest(key_bytes, trace);
+    ASSERT_TRUE(DecodeKeyRequest(key_frame, &key, &decoded).ok());
+    EXPECT_EQ(decoded, trace);
+    EXPECT_EQ(key.ToString(), key_bytes);
+    EXPECT_EQ(EncodeKeyRequest(key_bytes), EncodeKeyRequest(key_bytes, kNoTrace));
+
+    decoded = kNoTrace;
+    const uint32_t want_limit = 1 + rng.Uniform(100);
+    const std::string scan_frame = EncodeScanRequest(key_bytes, want_limit, trace);
+    ASSERT_TRUE(DecodeScanRequest(scan_frame, &start, &limit, &decoded).ok());
+    EXPECT_EQ(decoded, trace);
+    EXPECT_EQ(limit, want_limit);
+    EXPECT_EQ(EncodeScanRequest(key_bytes, want_limit),
+              EncodeScanRequest(key_bytes, want_limit, kNoTrace));
+
+    std::vector<std::pair<std::string, std::string>> backing;
+    const size_t n = 1 + rng.Uniform(8);
+    for (size_t k = 0; k < n; ++k) {
+      backing.emplace_back(rng.Bytes(1 + rng.Uniform(20)), rng.Bytes(rng.Uniform(60)));
+    }
+    std::vector<KvBatchOp> ops;
+    for (size_t k = 0; k < n; ++k) {
+      ops.push_back(
+          KvBatchOp{rng.Uniform(4) == 0, Slice(backing[k].first), Slice(backing[k].second)});
+    }
+    const std::string batch = EncodeKvBatchRequest(ops, trace);
+    std::vector<KvBatchOp> out;
+    decoded = kNoTrace;
+    ASSERT_TRUE(DecodeKvBatchRequest(batch, &out, &decoded).ok());
+    EXPECT_EQ(decoded, trace);
+    ASSERT_EQ(out.size(), n);
+    EXPECT_EQ(EncodeKvBatchRequest(ops), EncodeKvBatchRequest(ops, kNoTrace));
+
+    // A torn batch frame still fails outright even when a trace suffix is
+    // present — the suffix never excuses missing ops.
+    const size_t cut = 10 + rng.Uniform(batch.size() - 10);
+    if (cut < batch.size() - 9) {
+      out.clear();
+      EXPECT_FALSE(DecodeKvBatchRequest(Slice(batch.data(), cut), &out).ok());
+    }
+  }
+}
+
 // --- batched kv frames (PR 9) round-trip and reject damage ---------------------
 
 TEST_P(WireFuzzTest, KvBatchRequestRoundTrips) {

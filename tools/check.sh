@@ -60,6 +60,34 @@ if [[ $run_plain -eq 1 ]]; then
     echo "BENCH gate: bench_micro.cc lost the scrub-overhead A/B (BENCH_pr8.json)" >&2; exit 1; }
   grep -q "RunWritePathComparison" bench/bench_micro.cc || {
     echo "BENCH gate: bench_micro.cc lost the write-path group-commit A/B (BENCH_pr9.json)" >&2; exit 1; }
+  grep -q "RunRequestTracingComparison" bench/bench_micro.cc || {
+    echo "BENCH gate: bench_micro.cc lost the request-tracing overhead A/B (BENCH_pr10.json)" >&2; exit 1; }
+  # Telemetry-overhead regression gate (PR 10): the sampled-tracing A/B's last
+  # recorded run must be within its budget. bench_micro refreshes the file;
+  # the gate catches a committed regression without rerunning the bench here.
+  if [[ -f BENCH_pr10.json ]]; then
+    python3 - <<'EOF' || exit 1
+import json
+doc = json.load(open("BENCH_pr10.json"))
+section = doc["request_tracing"]
+overhead, budget = section["overhead_pct"], section["budget_pct"]
+if overhead > budget:
+    raise SystemExit(
+        f"BENCH gate: request-tracing overhead {overhead:.2f}% exceeds budget {budget:.2f}%")
+print(f"  request-tracing overhead {overhead:.2f}% within budget {budget:.2f}%")
+EOF
+  fi
+  # Observability coverage gates (PR 10): every health.*/wp.*/trace.*
+  # instrument registered in src/ must be understood by tebis_stats.py, and
+  # the README metrics-reference table must be regenerated when instruments
+  # change.
+  echo "== tier-1 pass 1/3 (addendum): observability coverage gate =="
+  for name in $(grep -rhoE '"(health|wp|trace)\.[a-z0-9_.]+"' src | tr -d '"' | sort -u); do
+    grep -qF "$name" tools/tebis_stats.py || {
+      echo "coverage gate: instrument $name is not referenced in tools/tebis_stats.py" >&2
+      exit 1; }
+  done
+  python3 tools/gen_metrics_table.py --check || exit 1
   # Shipped bloom filters (PR 7): the filter suite by itself, so a filter or
   # manifest-versioning regression names itself.
   echo "== tier-1 pass 1/3 (addendum): plain build, filters label =="

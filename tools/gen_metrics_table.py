@@ -1,0 +1,115 @@
+#!/usr/bin/env python3
+"""Generates the README metrics-reference table from instrument names (PR 10).
+
+Scans src/ for instrument registrations -- GetCounter/GetGauge/GetHistogram
+call sites -- plus the scrape-time collector samples and watchdog gauges that
+publish by literal name, and rewrites the README.md section between the
+`<!-- metrics-table:begin -->` / `<!-- metrics-table:end -->` markers with one
+table row per instrument: name, kind, defining file. Run from the repo root:
+
+    python3 tools/gen_metrics_table.py            # rewrite README.md in place
+    python3 tools/gen_metrics_table.py --check    # exit 1 if README is stale
+    python3 tools/gen_metrics_table.py --stdout   # print the table only
+
+The table is generated, not hand-edited -- check.sh runs --check so a new
+instrument without a regenerated README fails CI.
+"""
+
+import argparse
+import os
+import re
+import sys
+
+REPO = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+BEGIN = "<!-- metrics-table:begin -->"
+END = "<!-- metrics-table:end -->"
+
+REGISTERED_RE = re.compile(r'Get(Counter|Gauge|Histogram)\(\s*"([a-z0-9_.]+)"')
+# Instruments published by literal name outside the registry helpers: the
+# watchdog's publish() lambda and scrape-time collector MetricSamples.
+PUBLISHED_RE = re.compile(r'(?:publish\(|\.name = )"([a-z0-9_.]+\.[a-z0-9_.]+)"')
+
+SUBSYSTEM_NOTES = {
+    "kv": "LSM engine (per store; labeled node/region/role)",
+    "repl": "primary replication path",
+    "backup": "backup regions (rewrite/replay/replica reads)",
+    "net": "RPC + fabric",
+    "storage": "simulated NVMe devices",
+    "integrity": "checksums, scrub, repair (PR 8)",
+    "wp": "write path: group commit + doorbells (PR 9)",
+    "trace": "sampled request tracing (PR 10)",
+    "health": "watchdog verdicts, 0 green / 1 yellow / 2 red (PR 10)",
+}
+
+
+def collect():
+    instruments = {}  # name -> (kind, relpath)
+    for root, _, files in os.walk(os.path.join(REPO, "src")):
+        for fname in files:
+            if not fname.endswith((".cc", ".h")):
+                continue
+            path = os.path.join(root, fname)
+            rel = os.path.relpath(path, REPO)
+            with open(path) as f:
+                text = f.read()
+            for kind, name in REGISTERED_RE.findall(text):
+                instruments.setdefault(name, (kind.lower(), rel))
+            for name in PUBLISHED_RE.findall(text):
+                if "." in name:
+                    instruments.setdefault(name, ("gauge", rel))
+    return instruments
+
+
+def render(instruments):
+    lines = ["| Instrument | Kind | Defined in |",
+             "|---|---|---|"]
+    last_subsystem = None
+    for name in sorted(instruments):
+        kind, rel = instruments[name]
+        subsystem = name.split(".", 1)[0]
+        if subsystem != last_subsystem:
+            note = SUBSYSTEM_NOTES.get(subsystem, "")
+            lines.append(f"| **{subsystem}.** — {note} | | |")
+            last_subsystem = subsystem
+        lines.append(f"| `{name}` | {kind} | `{rel}` |")
+    return "\n".join(lines)
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--check", action="store_true",
+                        help="verify README.md is current; do not write")
+    parser.add_argument("--stdout", action="store_true",
+                        help="print the table instead of editing README.md")
+    args = parser.parse_args()
+
+    table = render(collect())
+    if args.stdout:
+        print(table)
+        return
+
+    readme_path = os.path.join(REPO, "README.md")
+    with open(readme_path) as f:
+        readme = f.read()
+    if BEGIN not in readme or END not in readme:
+        print(f"README.md is missing the {BEGIN} / {END} markers", file=sys.stderr)
+        sys.exit(1)
+    head, rest = readme.split(BEGIN, 1)
+    _, tail = rest.split(END, 1)
+    updated = head + BEGIN + "\n" + table + "\n" + END + tail
+    if args.check:
+        if updated != readme:
+            print("README metrics table is stale; run tools/gen_metrics_table.py",
+                  file=sys.stderr)
+            sys.exit(1)
+        return
+    if updated != readme:
+        with open(readme_path, "w") as f:
+            f.write(updated)
+        print("README.md metrics table regenerated")
+    else:
+        print("README.md metrics table already current")
+
+
+if __name__ == "__main__":
+    main()

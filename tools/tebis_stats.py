@@ -1,21 +1,33 @@
 #!/usr/bin/env python3
-"""Pretty-printer for Tebis telemetry scrapes (PR 5).
+"""Pretty-printer for Tebis telemetry scrapes (PR 5, cluster mode PR 10).
 
-Reads the JSON payload produced by the kStatsScrape admin RPC
-(TebisClient::ScrapeStats), RegionServer::ScrapeJson(), or
-SimCluster::ScrapeJson() -- shape:
+Reads either a single-node scrape -- the JSON payload produced by the
+kStatsScrape admin RPC (TebisClient::ScrapeStats), RegionServer::ScrapeJson(),
+or SimCluster::ScrapeJson() -- shape:
 
     {"node": "...", "metrics": {"name{k=v,...}": value, ...},
-     "spans": {"traceEvents": [...]}}
+     "slow_ops": [...], "spans": {"traceEvents": [...]}}
+
+or (with --cluster, auto-detected) the federated document the master's scrape
+fan-out assembles (Master::ClusterStatsJson / ClusterScraper::ClusterJson):
+
+    {"cluster": {...}, "nodes": {...}, "totals": {...}, "metrics": {...},
+     "histograms": {...}, "slow_ops": {...}}
 
 and renders:
   * metrics grouped by subsystem prefix (kv., repl., backup., net., ...),
     label sets aligned, values humanized (ns -> ms, bytes -> MiB);
   * per-trace span trees reconstructed from the chrome trace events,
-    ordered by start time, with durations.
+    ordered by start time, with durations (request trees and compaction
+    pipelines alike);
+  * cluster mode: per-node health columns with staleness markers, counter
+    totals, merged histograms with interpolated percentiles and their
+    exemplars, and every node's slow-op ring.
 
 Usage:
     tebis_stats.py [scrape.json]          # read file (default: stdin)
+    tebis_stats.py --cluster cluster.json # federated document
+    tebis_stats.py --trace 0x8000...      # exemplar -> trace lookup
     tebis_stats.py --traces-out out.json  # also write chrome://tracing JSON
     tebis_stats.py --raw                  # no humanization of values
 """
@@ -28,9 +40,23 @@ from collections import defaultdict
 
 METRIC_RE = re.compile(r"^(?P<name>[^{]+)(?:\{(?P<labels>.*)\})?$")
 
-# Order spans appear in the shipping pipeline, for stable tree rendering.
+# Order spans appear in their pipeline, for stable tree rendering. Ranks 0-4
+# are the compaction shipping pipeline (PR 5); 10+ are the request path
+# (PR 10) -- the two families never share a trace id (request ids have bit 63
+# set), so one table serves both.
 SPAN_ORDER = {"claim": 0, "merge_build": 1, "ship_segment": 2,
-              "rewrite_segment": 3, "commit": 4}
+              "rewrite_segment": 3, "commit": 4,
+              "client": 10, "primary_apply": 11, "engine_apply": 12,
+              "doorbell": 13, "backup_commit": 14}
+
+# Indentation depth per request-path span (client wraps primary wraps engine
+# wraps doorbell; backup_commit is the doorbell's remote half).
+SPAN_DEPTH = {"client": 1, "primary_apply": 2, "engine_apply": 3,
+              "doorbell": 4, "backup_commit": 4}
+
+# Mirrors Histogram's bucket layout (src/common/histogram.h): 64 power-of-two
+# groups x kSubBuckets linear sub-buckets.
+SUB_BUCKETS = 32
 
 
 def parse_metric_key(key):
@@ -45,6 +71,49 @@ def parse_metric_key(key):
             k, _, v = pair.partition("=")
             labels[k] = v
     return m.group("name"), labels
+
+
+def bucket_upper_bound(index):
+    """Inclusive upper bound of bucket `index` (Histogram::BucketUpperBound)."""
+    if index < SUB_BUCKETS:
+        return index
+    group = (index - SUB_BUCKETS) // SUB_BUCKETS
+    sub = (index - SUB_BUCKETS) % SUB_BUCKETS
+    if group >= 58:  # saturates in the C++ too
+        return (1 << 64) - 1
+    return ((SUB_BUCKETS + sub + 1) << group) - 1
+
+
+def bucket_lower_bound(index):
+    return 0 if index == 0 else bucket_upper_bound(index - 1) + 1
+
+
+def percentile_from_buckets(buckets, count, max_value, p):
+    """Percentile estimate from a sparse [[index, count], ...] bucket list.
+
+    Interpolates linearly *within* the landing bucket instead of reporting its
+    upper bound, and clamps that bucket's bound to the observed max -- the
+    fix for the last-bucket boundary: the top bucket's nominal bound is a
+    power-of-two edge (up to 2^64-1 after saturation), so the old
+    report-the-bound behavior inflated p99 by up to 2x whenever the target
+    sample sat in the final occupied bucket.
+    """
+    if count == 0:
+        return 0
+    target = p / 100.0 * count
+    seen = 0
+    for index, n in sorted(buckets):
+        if n == 0:
+            continue
+        if seen + n >= target:
+            lo = bucket_lower_bound(index)
+            hi = min(bucket_upper_bound(index), max_value)
+            if hi <= lo:
+                return min(hi, max_value)
+            fraction = (target - seen) / n
+            return min(int(lo + fraction * (hi - lo)), max_value)
+        seen += n
+    return max_value
 
 
 def humanize(name, value):
@@ -156,17 +225,16 @@ def print_integrity_summary(metrics):
     print(f"  quarantined       {status}")
 
 
-def print_write_path_summary(metrics):
-    """Derived write-path health (PR 9): group-commit batching on the engine
-    (wp.batch_* from KvStore::WriteBatch), doorbell coalescing on the
-    replication plane (wp.doorbell* from PrimaryRegion), and WAL-time
-    large-value separation. Histogram samples arrive as name{labels}_count/
-    _p50/_p99/_max keys. Raw-counter ratios, so unaffected by --raw."""
+def aggregate_metrics(metrics, wanted_prefix):
+    """Sum counters and fold histogram suffix keys for one name prefix.
+
+    Returns (totals, hists): totals[full_name] sums plain values across label
+    sets; hists[full_name][suffix] sums counts and keeps the max of
+    p50/p99/max (a conservative cluster-wide view)."""
     totals = defaultdict(int)
-    # histogram field -> {suffix: aggregated value}; percentiles keep the max
-    # across nodes (a conservative cluster-wide view), counts sum.
     hists = defaultdict(dict)
-    hist_re = re.compile(r"^(?P<name>wp\.[^{]+?)(?:\{.*\})?_(?P<suffix>count|p50|p99|max)$")
+    hist_re = re.compile(r"^(?P<name>" + re.escape(wanted_prefix) +
+                         r"[^{]+?)(?:\{.*\})?_(?P<suffix>count|p50|p99|max)$")
     for key, value in metrics.items():
         m = hist_re.match(key)
         if m is not None:
@@ -177,13 +245,23 @@ def print_write_path_summary(metrics):
                 hists[name][suffix] = max(hists[name].get(suffix, 0), value)
             continue
         name, _ = parse_metric_key(key)
-        if name.startswith("wp."):
-            totals[name[len("wp."):]] += value
+        if name.startswith(wanted_prefix) and not name.endswith("_exemplars"):
+            totals[name] += value
+    return totals, hists
+
+
+def print_write_path_summary(metrics):
+    """Derived write-path health (PR 9): group-commit batching on the engine
+    (wp.batch_* from KvStore::WriteBatch), doorbell coalescing on the
+    replication plane (wp.doorbell* from PrimaryRegion), and WAL-time
+    large-value separation. Histogram samples arrive as name{labels}_count/
+    _p50/_p99/_max keys. Raw-counter ratios, so unaffected by --raw."""
+    totals, hists = aggregate_metrics(metrics, "wp.")
     if not totals and not hists:
         return
     print("\n== write path ==")
-    groups = totals.get("batch_groups", 0)
-    ops = totals.get("batch_ops", 0)
+    groups = totals.get("wp.batch_groups", 0)
+    ops = totals.get("wp.batch_ops", 0)
     if groups:
         print(f"  group commit      {groups} groups, {ops} ops"
               f" ({ops / groups:.1f} ops/group)")
@@ -197,19 +275,115 @@ def print_write_path_summary(metrics):
         print(f"  group latency     p50 {humanize('_ns', lat_h.get('p50', 0))}"
               f"  p99 {humanize('_ns', lat_h.get('p99', 0))}"
               f"  max {humanize('_ns', lat_h.get('max', 0))}")
-    doorbells = totals.get("doorbells", 0)
-    records = totals.get("doorbell_records", 0)
+    doorbells = totals.get("wp.doorbells", 0)
+    records = totals.get("wp.doorbell_records", 0)
     if doorbells:
         print(f"  doorbells         {doorbells} writes carried {records} records"
               f" ({records / doorbells:.1f} records/doorbell coalesced)")
-    separations = totals.get("large_value_separations", 0)
-    if separations or totals.get("large_records_replicated", 0):
+    separations = totals.get("wp.large_value_separations", 0)
+    if separations or totals.get("wp.large_records_replicated", 0):
         print(f"  large values      {separations} separated at WAL time,"
-              f" {totals.get('large_records_replicated', 0)} mirrored to the"
+              f" {totals.get('wp.large_records_replicated', 0)} mirrored to the"
               " large-log family")
 
 
-def print_traces(spans):
+# The health gauge family (PR 10): HealthWatchdog publishes one gauge per
+# subsystem detector plus the node rollup; 0 green / 1 yellow / 2 red.
+HEALTH_GAUGES = ["health.node", "health.flow_control", "health.compaction",
+                 "health.integrity", "health.replication"]
+HEALTH_COLORS = {0: "green", 1: "yellow", 2: "red"}
+
+
+def health_color(value):
+    return HEALTH_COLORS.get(int(value), f"?{value}")
+
+
+def print_health_summary(metrics, default_node="?"):
+    """Watchdog verdicts (PR 10), one row per node seen in the labels.
+
+    A single-node scrape publishes the gauges unlabeled; `default_node`
+    (the document's own node name) fills the row label there."""
+    # node -> {gauge: value}
+    nodes = defaultdict(dict)
+    for key, value in metrics.items():
+        name, labels = parse_metric_key(key)
+        if name in HEALTH_GAUGES:
+            nodes[labels.get("node", default_node)][name] = value
+    if not nodes:
+        return
+    print("\n== health ==")
+    for node, gauges in sorted(nodes.items()):
+        overall = health_color(gauges.get("health.node", 0))
+        detail = "  ".join(
+            f"{g.split('.', 1)[1]}={health_color(v)}"
+            for g, v in sorted(gauges.items()) if g != "health.node")
+        print(f"  {node:<12} {overall:<7} {detail}")
+
+
+def parse_exemplars(text):
+    """'0x<trace>@<value>,...' -> [(trace-hex-str, value), ...]."""
+    out = []
+    for item in str(text).split(","):
+        trace, _, value = item.partition("@")
+        if trace and value:
+            out.append((trace, int(value)))
+    return out
+
+
+def print_request_latency_summary(metrics, raw):
+    """Sampled request latency (PR 10): the trace.request_latency_ns
+    histograms, one row per op label, with their exemplars so a bad
+    percentile can be chased to the trace that produced it."""
+    rows = {}
+    exemplars = {}
+    for key, value in metrics.items():
+        if "trace.request_latency_ns" not in key:
+            continue
+        _, labels = parse_metric_key(key.rsplit("_", 1)[0]
+                                     if key.endswith(("_count", "_p50", "_p99", "_max"))
+                                     else key)
+        op = labels.get("op", "?")
+        if key.endswith("_exemplars"):
+            exemplars.setdefault(op, []).extend(parse_exemplars(value))
+        else:
+            suffix = key.rsplit("_", 1)[1]
+            if suffix in ("count", "p50", "p99", "max"):
+                rows.setdefault(op, {})[suffix] = value
+    rows = {op: r for op, r in rows.items() if r.get("count")}
+    if not rows:
+        return
+    print("\n== request latency (sampled) ==")
+    fmt = (lambda v: str(v)) if raw else (lambda v: humanize("_ns", v))
+    for op, r in sorted(rows.items()):
+        print(f"  {op:<8} {r['count']:>8} sampled"
+              f"  p50 {fmt(r.get('p50', 0))}"
+              f"  p99 {fmt(r.get('p99', 0))}"
+              f"  max {fmt(r.get('max', 0))}")
+        for trace, value in exemplars.get(op, []):
+            print(f"           exemplar {trace} @ {fmt(value)}")
+
+
+def print_slow_ops(records, indent="  "):
+    for r in records:
+        stages = (f"engine {humanize('_ns', r.get('engine_ns', 0))}"
+                  f" doorbell {humanize('_ns', r.get('doorbell_ns', 0))}"
+                  f" backup {humanize('_ns', r.get('backup_commit_ns', 0))}")
+        trace = r.get("trace", "0x0")
+        trace_note = f"  trace {trace}" if trace not in ("0x0", "0") else ""
+        print(f"{indent}{r.get('op', '?'):<7} key={r.get('key_prefix', '')!r:<20}"
+              f" region {r.get('region', '?')} epoch {r.get('epoch', '?')}"
+              f"  total {humanize('_ns', r.get('total_ns', 0))} ({stages}){trace_note}")
+
+
+def print_slow_ops_section(doc):
+    records = doc.get("slow_ops", [])
+    if not records:
+        return
+    print(f"\n== slow ops ({len(records)} recorded) ==")
+    print_slow_ops(records)
+
+
+def print_traces(spans, trace_filter=None):
     events = spans.get("traceEvents", []) if isinstance(spans, dict) else spans
     pid_names = {}
     complete = []
@@ -218,27 +392,35 @@ def print_traces(spans):
             pid_names[ev.get("pid")] = ev.get("args", {}).get("name", "?")
         elif ev.get("ph") == "X":
             complete.append(ev)
+    if trace_filter:
+        complete = [ev for ev in complete
+                    if ev.get("args", {}).get("trace") == trace_filter]
     if not complete:
-        print("\n(no spans recorded)")
+        print("\n(no spans recorded)" if not trace_filter
+              else f"\n(no spans for trace {trace_filter})")
         return
 
     # (trace id, compaction id) identifies one pipeline run even when a
-    # stream id is reused across compactions within an epoch.
+    # stream id is reused across compactions within an epoch. Request traces
+    # (bit-63 ids) always carry compaction 0, so the pair is just the id.
     traces = defaultdict(list)
     for ev in complete:
         args = ev.get("args", {})
         traces[(args.get("trace", "?"), args.get("compaction", "?"))].append(ev)
 
-    print(f"\n== traces ({len(traces)} pipeline runs, {len(complete)} spans) ==")
+    print(f"\n== traces ({len(traces)} trees, {len(complete)} spans) ==")
     for (trace_id, compaction), evs in sorted(
             traces.items(), key=lambda item: min(e["ts"] for e in item[1])):
         evs.sort(key=lambda e: (SPAN_ORDER.get(e["name"], 99), e["ts"]))
         base_ts = min(e["ts"] for e in evs)
-        print(f"\n  trace {trace_id} (compaction #{compaction})")
+        request = any(e["name"] in SPAN_DEPTH for e in evs)
+        kind = "request" if request else f"compaction #{compaction}"
+        print(f"\n  trace {trace_id} ({kind})")
         for ev in evs:
             node = pid_names.get(ev.get("pid"), "?")
             args = ev.get("args", {})
-            depth = 1 if SPAN_ORDER.get(ev["name"], 99) < 2 else 2
+            depth = SPAN_DEPTH.get(
+                ev["name"], 1 if SPAN_ORDER.get(ev["name"], 99) < 2 else 2)
             extra = ""
             if args.get("bytes"):
                 extra += f"  {humanize('bytes', args['bytes'])}"
@@ -250,9 +432,98 @@ def print_traces(spans):
                   f"  dur {ev.get('dur', 0) / 1000.0:9.3f} ms{extra}")
 
 
+def print_cluster(doc, raw, trace_filter):
+    """The federated document: health columns, totals, merged histograms with
+    interpolated percentiles, exemplars, per-node slow-op rings."""
+    cluster = doc.get("cluster", {})
+    print(f"cluster: {cluster.get('nodes', '?')} nodes,"
+          f" {cluster.get('stale_nodes', 0)} stale,"
+          f" {cluster.get('rounds', 0)} scrape rounds,"
+          f" health {cluster.get('health', '?')}")
+
+    nodes = doc.get("nodes", {})
+    if nodes:
+        print("\n== nodes ==")
+        name_w = max(len(n) for n in nodes)
+        for name, state in sorted(nodes.items()):
+            flags = ""
+            if state.get("stale"):
+                flags = f"  STALE ({state.get('missed_scrapes', '?')} missed scrapes)"
+            print(f"  {name:<{name_w}}  {state.get('health', '?'):<7}{flags}")
+
+    totals = doc.get("totals", {})
+    if totals:
+        groups = defaultdict(list)
+        for name, value in totals.items():
+            groups[name.split(".", 1)[0] if "." in name else "(other)"].append(
+                (name, value))
+        print("\n== cluster totals (counters summed) ==")
+        for subsystem in sorted(groups):
+            for name, value in sorted(groups[subsystem]):
+                shown = str(value) if raw else humanize(name, value)
+                print(f"  {name:<44} {shown}")
+
+    metrics = doc.get("metrics", {})
+    print_health_summary(metrics)
+    print_filter_summary(metrics)
+    print_integrity_summary(metrics)
+    print_write_path_summary(metrics)
+
+    histograms = doc.get("histograms", {})
+    if histograms:
+        print("\n== merged histograms ==")
+        fmt = (lambda n, v: str(v)) if raw else humanize
+        for name, h in sorted(histograms.items()):
+            count, mx = h.get("count", 0), h.get("max", 0)
+            buckets = h.get("buckets", [])
+            # Recompute from the merged buckets with within-bucket
+            # interpolation (the embedded p50/p99 are bucket upper bounds).
+            p50 = percentile_from_buckets(buckets, count, mx, 50)
+            p99 = percentile_from_buckets(buckets, count, mx, 99)
+            print(f"  {name:<36} count {count:>8}"
+                  f"  p50 {fmt(name, p50)}  p99 {fmt(name, p99)}"
+                  f"  max {fmt(name, mx)}")
+            for e in h.get("exemplars", []):
+                marker = " <--" if trace_filter and e.get("trace") == trace_filter else ""
+                print(f"      exemplar {e.get('trace')} @ {fmt(name, e.get('value', 0))}"
+                      f" [{e.get('node', '?')}]{marker}")
+
+    slow = doc.get("slow_ops", {})
+    if slow:
+        print("\n== slow ops ==")
+        for node, records in sorted(slow.items()):
+            print(f"  {node}:")
+            print_slow_ops(records, indent="    ")
+
+    if trace_filter:
+        hits = []
+        for name, h in histograms.items():
+            for e in h.get("exemplars", []):
+                if e.get("trace") == trace_filter:
+                    hits.append((name, e))
+        for node, records in slow.items():
+            for r in records:
+                if r.get("trace") == trace_filter:
+                    hits.append((f"slow-op ring on {node}", r))
+        print(f"\n== trace {trace_filter} ==")
+        if hits:
+            for where, _ in hits:
+                print(f"  seen in {where}")
+            print("  (fetch the owning node's scrape for the span tree)")
+        else:
+            print("  not referenced by any exemplar or slow-op record")
+
+
 def main():
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("scrape", nargs="?", help="scrape JSON file (default: stdin)")
+    parser.add_argument("--cluster", action="store_true",
+                        help="input is the master's federated cluster document"
+                             " (auto-detected from the payload shape)")
+    parser.add_argument("--trace", metavar="ID",
+                        help="look up one trace id (as printed by exemplars,"
+                             " e.g. 0x8000abc...): filter span trees to it and"
+                             " mark every exemplar/slow-op referencing it")
     parser.add_argument("--traces-out", metavar="FILE",
                         help="write the embedded chrome://tracing JSON to FILE")
     parser.add_argument("--raw", action="store_true",
@@ -265,12 +536,19 @@ def main():
     else:
         doc = json.load(sys.stdin)
 
+    if args.cluster or "cluster" in doc:
+        print_cluster(doc, args.raw, args.trace)
+        return
+
     print(f"node: {doc.get('node', '?')}")
     print_metrics(doc.get("metrics", {}), args.raw)
+    print_health_summary(doc.get("metrics", {}), doc.get("node", "?"))
     print_filter_summary(doc.get("metrics", {}))
     print_integrity_summary(doc.get("metrics", {}))
     print_write_path_summary(doc.get("metrics", {}))
-    print_traces(doc.get("spans", {}))
+    print_request_latency_summary(doc.get("metrics", {}), args.raw)
+    print_slow_ops_section(doc)
+    print_traces(doc.get("spans", {}), args.trace)
 
     if args.traces_out:
         with open(args.traces_out, "w") as f:
